@@ -1,0 +1,171 @@
+// Ablation studies for the design choices DESIGN.md calls out. Not paper
+// figures — these quantify how much each mechanism contributes:
+//
+//  A. ∆ sensitivity: how the compensation probability affects detection
+//     (the paper fixes ∆ = 1/(s−1); what if it is badly estimated?).
+//  B. Granularity: fine (per-attribute) vs coarse (per-mapping) quality.
+//  C. Damping: convergence behaviour on dense evidence graphs.
+//  D. Closure-length cap: evidence quality vs discovery cost (the
+//     Section 5.1.2 TTL trade-off).
+
+#include <cstdio>
+
+#include "bench/fixtures.h"
+#include "graph/topology.h"
+#include "util/table.h"
+
+namespace pdms {
+namespace {
+
+void DeltaSensitivity() {
+  std::printf("A. delta sensitivity (intro example, true delta would be "
+              "1/10)\n");
+  TextTable table;
+  table.SetHeader({"delta", "P(m23)", "P(m24)", "classified correctly"});
+  for (double delta : {0.001, 0.01, 0.05, 0.1, 0.2, 0.4}) {
+    EngineOptions options;
+    options.delta_override = delta;
+    bench::IntroFixture fixture = bench::MakeIntroFixture(options);
+    fixture.engine->DiscoverClosures();
+    fixture.engine->RunToConvergence(200);
+    const double m23 = fixture.engine->Posterior(fixture.edges.m23, 0);
+    const double m24 = fixture.engine->Posterior(fixture.edges.m24, 0);
+    const bool ok = m23 > 0.5 && m24 < 0.5;
+    table.AddRow({StrFormat("%.3f", delta), StrFormat("%.4f", m23),
+                  StrFormat("%.4f", m24), ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void GranularityAblation() {
+  std::printf("B. fine vs coarse granularity (m24 wrong on 1 of 11 "
+              "attributes)\n");
+  TextTable table;
+  table.SetHeader({"granularity", "factors", "P(m24, attr0)",
+                   "P(m24, attr1)", "note"});
+  for (Granularity granularity : {Granularity::kFine, Granularity::kCoarse}) {
+    EngineOptions options;
+    options.delta_override = 0.1;
+    options.granularity = granularity;
+    bench::IntroFixture fixture = bench::MakeIntroFixture(options);
+    const size_t factors = fixture.engine->DiscoverClosures();
+    fixture.engine->RunToConvergence(200);
+    if (granularity == Granularity::kFine) {
+      table.AddRow({"fine", StrFormat("%zu", factors),
+                    StrFormat("%.3f", fixture.engine->Posterior(
+                                          fixture.edges.m24, 0)),
+                    StrFormat("%.3f", fixture.engine->Posterior(
+                                          fixture.edges.m24, 1)),
+                    "only the garbled attribute is penalized"});
+    } else {
+      const double coarse = fixture.engine->PosteriorCoarse(fixture.edges.m24);
+      table.AddRow({"coarse", StrFormat("%zu", factors),
+                    StrFormat("%.3f", coarse), StrFormat("%.3f", coarse),
+                    "whole mapping penalized for one bad attribute"});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void DampingAblation() {
+  std::printf("C. damping on a dense evidence graph (BA(16,2), 20%% errors,"
+              " tolerance 1e-3)\n");
+  TextTable table;
+  table.SetHeader({"damping", "rounds", "converged", "accuracy@0.5"});
+  for (double damping : {0.0, 0.1, 0.25, 0.5}) {
+    Rng rng(4);
+    const Digraph graph = topology::BarabasiAlbert(16, 2, &rng);
+    MappingNetworkOptions network_options;
+    network_options.attributes_per_schema = 10;
+    network_options.error_rate = 0.2;
+    const SyntheticPdms synthetic =
+        BuildSyntheticPdms(graph, network_options, &rng);
+    EngineOptions options;
+    options.probe_ttl = 4;
+    options.closure_limits.max_cycle_length = 4;
+    options.closure_limits.max_path_length = 3;
+    options.tolerance = 1e-3;
+    options.damping = damping;
+    Result<std::unique_ptr<PdmsEngine>> engine =
+        PdmsEngine::FromSynthetic(synthetic, options);
+    (*engine)->DiscoverClosures();
+    const ConvergenceReport report = (*engine)->RunToConvergence(300);
+    size_t right = 0;
+    size_t total = 0;
+    for (EdgeId e : synthetic.graph.LiveEdges()) {
+      for (AttributeId a = 0; a < 10; ++a) {
+        if (!synthetic.mappings[e].Apply(a).has_value()) continue;
+        const bool truly_correct = synthetic.ground_truth[e][a];
+        if (((*engine)->Posterior(e, a) > 0.5) == truly_correct) ++right;
+        ++total;
+      }
+    }
+    table.AddRow({StrFormat("%.2f", damping), StrFormat("%zu", report.rounds),
+                  report.converged ? "yes" : "no",
+                  StrFormat("%.3f", static_cast<double>(right) /
+                                        static_cast<double>(total))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void ClosureLengthAblation() {
+  std::printf("D. closure length cap (BA(20,2), 20%% errors): evidence vs "
+              "cost\n");
+  TextTable table;
+  table.SetHeader({"max cycle len", "factors", "probes", "accuracy@0.5"});
+  for (size_t cap : {3u, 4u, 5u, 6u}) {
+    Rng rng(9);
+    const Digraph graph = topology::BarabasiAlbert(20, 2, &rng);
+    MappingNetworkOptions network_options;
+    network_options.attributes_per_schema = 10;
+    network_options.error_rate = 0.2;
+    const SyntheticPdms synthetic =
+        BuildSyntheticPdms(graph, network_options, &rng);
+    EngineOptions options;
+    options.probe_ttl = static_cast<uint32_t>(cap);
+    options.closure_limits.max_cycle_length = cap;
+    options.closure_limits.max_path_length = cap - 1;
+    options.damping = 0.25;
+    options.tolerance = 1e-3;
+    Result<std::unique_ptr<PdmsEngine>> engine =
+        PdmsEngine::FromSynthetic(synthetic, options);
+    const size_t factors = (*engine)->DiscoverClosures();
+    (*engine)->RunToConvergence(200);
+    size_t right = 0;
+    size_t total = 0;
+    for (EdgeId e : synthetic.graph.LiveEdges()) {
+      for (AttributeId a = 0; a < 10; ++a) {
+        if (!synthetic.mappings[e].Apply(a).has_value()) continue;
+        if (((*engine)->Posterior(e, a) > 0.5) ==
+            synthetic.ground_truth[e][a]) {
+          ++right;
+        }
+        ++total;
+      }
+    }
+    table.AddRow(
+        {StrFormat("%zu", cap), StrFormat("%zu", factors),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(
+                       (*engine)->network().stats().sent[static_cast<size_t>(
+                           MessageKind::kProbe)])),
+         StrFormat("%.3f",
+                   static_cast<double>(right) / static_cast<double>(total))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper (Section 5.1.2): peers can stop lengthening probes once\n"
+              "new cycles stop moving posteriors; short closures carry most\n"
+              "of the evidence.\n");
+}
+
+}  // namespace
+}  // namespace pdms
+
+int main() {
+  std::printf("Ablations — contribution of individual design choices\n\n");
+  pdms::DeltaSensitivity();
+  pdms::GranularityAblation();
+  pdms::DampingAblation();
+  pdms::ClosureLengthAblation();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Reproduces the Section 6 comparison against the authors' earlier
+// Chatty-Web heuristics [2, 3], which analyzed cycles while "ignoring all
+// interdependencies among the mappings and cycles":
+//
+//  * On the introductory example, the old heuristics disqualify several
+//    correct mappings, while the message passing approach infers all five
+//    correctly.
+//  * On the bibliographic alignment workload (Figure 12's setting), the
+//    probabilistic approach dominates both heuristics and random guessing
+//    on precision at matched recall.
+
+#include <cstdio>
+
+#include "baseline/chatty_web.h"
+#include "baseline/random_guess.h"
+#include "bench/bibliographic_pdms.h"
+#include "bench/fixtures.h"
+#include "util/table.h"
+
+namespace pdms {
+namespace {
+
+std::vector<ClosureEvidence> EvidenceFromEngine(const PdmsEngine& engine) {
+  std::set<std::string> seen;
+  std::vector<ClosureEvidence> evidence;
+  for (PeerId p = 0; p < engine.peer_count(); ++p) {
+    for (const Peer::ReplicaView& view : engine.peer(p).ReplicaViews()) {
+      if (!seen.insert(view.key.value).second) continue;
+      evidence.push_back(ClosureEvidence{view.members, view.sign});
+    }
+  }
+  return evidence;
+}
+
+void IntroComparison() {
+  std::printf("introductory example (theta = 0.5, truth: only m24 wrong):\n\n");
+  EngineOptions options;
+  options.delta_override = 0.1;
+  bench::IntroFixture fixture = bench::MakeIntroFixture(options);
+  bench::InjectPaperFeedback(fixture);
+  fixture.engine->RunToConvergence(100);
+
+  const auto evidence = EvidenceFromEngine(*fixture.engine);
+  ChattyWebOptions hard;
+  hard.variant = ChattyWebVariant::kHardExclusion;
+  ChattyWebOptions naive;
+  naive.variant = ChattyWebVariant::kNaiveBayes;
+  const auto hard_scores = ChattyWebAnalyze(evidence, hard);
+  const auto naive_scores = ChattyWebAnalyze(evidence, naive);
+
+  TextTable table;
+  table.SetHeader({"mapping", "truth", "message passing", "chatty naive",
+                   "chatty hard"});
+  const topology::ExampleEdges& e = fixture.edges;
+  struct Row {
+    const char* name;
+    EdgeId edge;
+    bool correct;
+  };
+  for (const Row& row : std::vector<Row>{{"m12", e.m12, true},
+                                         {"m23", e.m23, true},
+                                         {"m34", e.m34, true},
+                                         {"m41", e.m41, true},
+                                         {"m24", e.m24, false}}) {
+    const MappingVarKey var{row.edge, 0};
+    auto verdict = [](double score) {
+      return StrFormat("%.3f %s", score, score > 0.5 ? "keep" : "drop");
+    };
+    table.AddRow({row.name, row.correct ? "correct" : "WRONG",
+                  verdict(fixture.engine->Posterior(row.edge, 0)),
+                  verdict(naive_scores.count(var) > 0 ? naive_scores.at(var)
+                                                      : 0.5),
+                  verdict(hard_scores.count(var) > 0 ? hard_scores.at(var)
+                                                     : 0.5)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper: the former heuristics disqualify correct mappings; the\n"
+      "message passing approach infers all five correctly.\n\n");
+}
+
+void BibliographicComparison() {
+  std::printf("bibliographic workload, detection quality at theta = 0.5:\n\n");
+  EngineOptions options;
+  options.delta_override = 0.1;
+  options.probe_ttl = 4;
+  options.closure_limits.max_cycle_length = 4;
+  options.closure_limits.max_path_length = 3;
+  bench::BibliographicPdms workload = bench::MakeBibliographicPdms(options);
+  workload.engine->DiscoverClosures();
+  workload.engine->RunToConvergence(60);
+
+  const auto evidence = EvidenceFromEngine(*workload.engine);
+  ChattyWebOptions naive;
+  naive.variant = ChattyWebVariant::kNaiveBayes;
+  const auto naive_scores = ChattyWebAnalyze(evidence, naive);
+  ChattyWebOptions hard;
+  hard.variant = ChattyWebVariant::kHardExclusion;
+  const auto hard_scores = ChattyWebAnalyze(evidence, hard);
+
+  Rng rng(5);
+  const auto random_flags = RandomGuessErroneous(
+      workload.entries,
+      static_cast<double>(workload.ErroneousCount()) /
+          static_cast<double>(workload.entries.size()),
+      &rng);
+
+  auto score_method = [&](const char* name, auto flagged_fn) {
+    size_t flagged = 0;
+    size_t correct = 0;
+    for (size_t i = 0; i < workload.entries.size(); ++i) {
+      if (!flagged_fn(workload.entries[i])) continue;
+      ++flagged;
+      if (workload.erroneous[i]) ++correct;
+    }
+    const double precision =
+        flagged == 0 ? 1.0
+                     : static_cast<double>(correct) /
+                           static_cast<double>(flagged);
+    const double recall = static_cast<double>(correct) /
+                          static_cast<double>(workload.ErroneousCount());
+    return std::vector<std::string>{name, StrFormat("%zu", flagged),
+                                    StrFormat("%.3f", precision),
+                                    StrFormat("%.3f", recall)};
+  };
+
+  TextTable table;
+  table.SetHeader({"method", "flagged", "precision", "recall"});
+  table.AddRow(score_method("message passing", [&](const MappingVarKey& var) {
+    return workload.engine->Posterior(var.edge, var.attribute) < 0.5;
+  }));
+  table.AddRow(score_method("chatty-web naive", [&](const MappingVarKey& var) {
+    const auto it = naive_scores.find(var);
+    return it != naive_scores.end() && it->second < 0.5;
+  }));
+  table.AddRow(score_method("chatty-web hard", [&](const MappingVarKey& var) {
+    const auto it = hard_scores.find(var);
+    return it != hard_scores.end() && it->second < 0.5;
+  }));
+  table.AddRow(score_method("random guess", [&](const MappingVarKey& var) {
+    return random_flags.at(var);
+  }));
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace pdms
+
+int main() {
+  std::printf("Section 6 — comparison with the earlier Chatty-Web "
+              "heuristics\n\n");
+  pdms::IntroComparison();
+  pdms::BibliographicComparison();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Figure 10: impact of the cycle length on the posterior
+// probability, for a single positive cycle of 2..20 mappings, priors 0.5,
+// two iterations (the factor graph is a tree, so two iterations are exact)
+// and three values of ∆.
+//
+// The paper's observation: shorter cycles give much stronger evidence;
+// past about ten mappings a positive cycle tells you almost nothing, even
+// for small ∆ (large schemas where compensating errors are rare).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/pdms_engine.h"
+#include "graph/topology.h"
+#include "mapping/mapping_generator.h"
+#include "util/table.h"
+
+namespace pdms {
+namespace {
+
+/// Closed-form posterior for one positive cycle of n mappings with uniform
+/// priors (DESIGN.md Section 2).
+double ClosedForm(size_t n, double delta) {
+  const double half = std::pow(2.0, static_cast<double>(n - 1));
+  const double numerator = 1.0 + delta * (half - static_cast<double>(n));
+  return numerator / (numerator + delta * (half - 1.0));
+}
+
+double EnginePosterior(size_t n, double delta) {
+  Rng rng(1);
+  const Digraph graph = topology::Ring(n);
+  MappingNetworkOptions network_options;
+  network_options.attributes_per_schema = 4;
+  network_options.error_rate = 0.0;  // all-correct ring -> positive feedback
+  const SyntheticPdms synthetic =
+      BuildSyntheticPdms(graph, network_options, &rng);
+  EngineOptions options;
+  options.delta_override = delta;
+  options.default_prior = 0.5;
+  options.probe_ttl = static_cast<uint32_t>(n);
+  options.closure_limits.min_cycle_length = 2;
+  options.closure_limits.max_cycle_length = n;
+  options.closure_limits.max_path_length = 1;  // no parallel paths in a ring
+  Result<std::unique_ptr<PdmsEngine>> engine =
+      PdmsEngine::FromSynthetic(synthetic, options);
+  (*engine)->DiscoverClosures();
+  // "2 iterations [cycle-free factor-graph]" — exact on this tree.
+  (*engine)->RunRound();
+  (*engine)->RunRound();
+  return (*engine)->Posterior(0, 0);
+}
+
+void Run() {
+  const double deltas[] = {0.1, 0.05, 0.01};
+  std::printf("Figure 10 — impact of cycle length on the posterior\n");
+  std::printf("(single positive cycle, priors 0.5, 2 iterations)\n\n");
+  TextTable table;
+  table.SetHeader({"cycle length", "delta=0.1", "closed(0.1)", "delta=0.05",
+                   "closed(0.05)", "delta=0.01", "closed(0.01)"});
+  for (size_t n = 2; n <= 20; ++n) {
+    std::vector<double> row{static_cast<double>(n)};
+    for (double delta : deltas) {
+      row.push_back(EnginePosterior(n, delta));
+      row.push_back(ClosedForm(n, delta));
+    }
+    table.AddNumericRow(row, 4);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper: evidence fades with cycle length; cycles beyond ~10\n"
+              "mappings provide very little evidence even for delta=0.01\n");
+}
+
+}  // namespace
+}  // namespace pdms
+
+int main() {
+  pdms::Run();
+  return 0;
+}

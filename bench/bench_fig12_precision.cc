@@ -1,0 +1,114 @@
+// Reproduces Figure 12: precision of erroneous-mapping detection on the
+// real-world bibliographic schema workload (our synthetic stand-in for the
+// EON Ontology Alignment Contest set) as a function of the threshold θ.
+//
+// Setup per the paper: ontologies of ~30 concepts aligned automatically,
+// priors 0.5, ∆ = 0.1, a single complete inference run (no prior updates).
+// A mapping entry is *flagged erroneous* when its posterior falls below θ.
+// Precision = correctly flagged / flagged; the paper reports >= 80%
+// precision for small θ, a phase transition near θ = 0.6 where about half
+// of the erroneous mappings are caught, and a consistent win over random
+// guessing (whose precision equals the base error rate).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bibliographic_pdms.h"
+#include "util/table.h"
+
+namespace pdms {
+namespace {
+
+void Run() {
+  EngineOptions options;
+  options.default_prior = 0.5;
+  options.delta_override = 0.1;
+  options.probe_ttl = 4;
+  options.closure_limits.max_cycle_length = 4;
+  options.closure_limits.max_path_length = 3;
+  options.tolerance = 1e-4;
+  options.damping = 0.5;  // dense evidence graph: damp loopy oscillation
+
+  bench::BibliographicPdms workload = bench::MakeBibliographicPdms(options);
+  PdmsEngine& engine = *workload.engine;
+
+  const size_t total = workload.entries.size();
+  const size_t erroneous = workload.ErroneousCount();
+  std::printf("Figure 12 — precision of erroneous-mapping detection\n");
+  std::printf("(six bibliographic ontologies, automatic alignment)\n\n");
+  std::printf("generated mappings (attribute level): %zu\n", total);
+  std::printf("truly erroneous:                      %zu (%.1f%%)\n",
+              erroneous, 100.0 * static_cast<double>(erroneous) /
+                             static_cast<double>(total));
+  std::printf("(paper: 396 generated mappings, 86 erroneous)\n\n");
+
+  const size_t factors = engine.DiscoverClosures();
+  const ConvergenceReport report = engine.RunToConvergence(100);
+
+  // A handful of variables sit on frustrated loops (conflicting hard
+  // evidence) where plain loopy BP oscillates ([15]); average posteriors
+  // over a short window, the standard stabilization.
+  constexpr size_t kWindow = 10;
+  std::vector<double> posteriors(total, 0.0);
+  for (size_t round = 0; round < kWindow; ++round) {
+    engine.RunRound();
+    for (size_t i = 0; i < total; ++i) {
+      posteriors[i] += engine.Posterior(workload.entries[i].edge,
+                                        workload.entries[i].attribute);
+    }
+  }
+  size_t stable = 0;
+  for (size_t i = 0; i < total; ++i) {
+    posteriors[i] /= static_cast<double>(kWindow);
+    if (std::abs(posteriors[i] - engine.Posterior(
+                                     workload.entries[i].edge,
+                                     workload.entries[i].attribute)) < 1e-3) {
+      ++stable;
+    }
+  }
+  std::printf(
+      "factor replicas: %zu, inference rounds: %zu+%zu, stable variables: "
+      "%zu/%zu\n(unstable ones oscillate on frustrated loops; posteriors "
+      "averaged over the last %zu rounds)\n\n",
+      factors, report.rounds, kWindow, stable, total, kWindow);
+
+  const double random_precision =
+      static_cast<double>(erroneous) / static_cast<double>(total);
+  TextTable table;
+  table.SetHeader({"theta", "flagged", "correct", "precision", "recall",
+                   "random precision"});
+  for (double theta = 0.05; theta < 1.0; theta += 0.05) {
+    size_t flagged = 0;
+    size_t correct = 0;
+    for (size_t i = 0; i < total; ++i) {
+      if (posteriors[i] < theta) {
+        ++flagged;
+        if (workload.erroneous[i]) ++correct;
+      }
+    }
+    const double precision =
+        flagged == 0 ? 1.0
+                     : static_cast<double>(correct) / static_cast<double>(flagged);
+    const double recall =
+        erroneous == 0 ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(erroneous);
+    table.AddRow({StrFormat("%.2f", theta), StrFormat("%zu", flagged),
+                  StrFormat("%zu", correct), StrFormat("%.3f", precision),
+                  StrFormat("%.3f", recall),
+                  StrFormat("%.3f", random_precision)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper: precision >= 0.8 at small theta, phase transition near\n"
+      "theta = 0.6 (about 50%% of erroneous mappings caught), always above\n"
+      "the random-guess precision.\n");
+}
+
+}  // namespace
+}  // namespace pdms
+
+int main() {
+  pdms::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+#ifndef PDMS_BENCH_BIBLIOGRAPHIC_PDMS_H_
+#define PDMS_BENCH_BIBLIOGRAPHIC_PDMS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/pdms_engine.h"
+#include "schema/alignment.h"
+#include "schema/bibliographic.h"
+#include "util/string_util.h"
+
+namespace pdms {
+namespace bench {
+
+/// The Section 5.2 workload: six bibliographic ontologies (EON stand-ins),
+/// automatically aligned into a PDMS whose attribute-level mappings carry
+/// genuine aligner errors, plus the ground truth needed to score them.
+struct BibliographicPdms {
+  std::vector<Ontology> family;
+  std::unique_ptr<PdmsEngine> engine;
+  /// Every attribute-level mapping entry: (edge, source attribute).
+  std::vector<MappingVarKey> entries;
+  /// erroneous[i] == true iff entries[i] maps across different concepts.
+  std::vector<bool> erroneous;
+
+  size_t ErroneousCount() const {
+    size_t count = 0;
+    for (bool e : erroneous) count += e ? 1 : 0;
+    return count;
+  }
+};
+
+/// Aligns every ordered ontology pair — alternating between the combined
+/// (dictionary-backed) and plain edit-distance techniques, as contest
+/// participants' tools did — and assembles the resulting PDMS.
+inline BibliographicPdms MakeBibliographicPdms(EngineOptions options) {
+  BibliographicPdms workload;
+  workload.family = MakeBibliographicOntologies();
+  const size_t n = workload.family.size();
+  GroundTruth truth(&workload.family);
+
+  Digraph graph(n);
+  std::vector<Schema> schemas;
+  for (const Ontology& ontology : workload.family) {
+    schemas.push_back(ontology.schema);
+  }
+  std::vector<SchemaMapping> mappings;
+  std::vector<std::pair<size_t, size_t>> edge_pairs;
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      AlignerOptions aligner_options;
+      if ((i + j) % 2 == 0) {
+        aligner_options.technique = AlignmentTechnique::kCombined;
+        aligner_options.min_score = 0.5;
+      } else {
+        aligner_options.technique = AlignmentTechnique::kEditDistance;
+        aligner_options.min_score = 0.45;
+      }
+      const auto correspondences =
+          Aligner(aligner_options)
+              .Align(workload.family[i].schema, workload.family[j].schema);
+      if (correspondences.empty()) continue;
+      Result<EdgeId> edge = graph.AddEdge(static_cast<NodeId>(i),
+                                          static_cast<NodeId>(j));
+      mappings.push_back(SchemaMapping::FromCorrespondences(
+          StrFormat("m_%s_%s", workload.family[i].schema.name().c_str(),
+                    workload.family[j].schema.name().c_str()),
+          workload.family[i].schema.size(), correspondences));
+      edge_pairs.emplace_back(i, j);
+      (void)edge;
+    }
+  }
+
+  Result<std::unique_ptr<PdmsEngine>> engine =
+      PdmsEngine::Create(graph, std::move(schemas), mappings, options);
+  workload.engine = std::move(engine).value();
+
+  for (EdgeId e = 0; e < mappings.size(); ++e) {
+    const auto [i, j] = edge_pairs[e];
+    for (AttributeId a = 0; a < workload.family[i].schema.size(); ++a) {
+      const std::optional<AttributeId> image = mappings[e].Apply(a);
+      if (!image.has_value()) continue;
+      workload.entries.push_back(MappingVarKey{e, a});
+      workload.erroneous.push_back(!truth.SameConcept(i, a, j, *image));
+    }
+  }
+  return workload;
+}
+
+}  // namespace bench
+}  // namespace pdms
+
+#endif  // PDMS_BENCH_BIBLIOGRAPHIC_PDMS_H_

@@ -1,0 +1,92 @@
+// Aligns six heterogeneous bibliographic ontologies automatically, builds
+// a PDMS from the (partly wrong) correspondences, and lets probabilistic
+// message passing pick out the erroneous attribute mappings — the paper's
+// Section 5.2 experiment as an interactive walkthrough.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bibliographic_pdms.h"
+#include "util/table.h"
+
+using namespace pdms;  // NOLINT: example brevity
+
+int main() {
+  std::printf("=== Bibliographic ontology alignment (Section 5.2) ===\n\n");
+
+  // Show what the aligner does on one cross-language pair first.
+  const auto family = MakeBibliographicOntologies();
+  GroundTruth truth(&family);
+  AlignerOptions aligner_options;
+  aligner_options.technique = AlignmentTechnique::kCombined;
+  Aligner aligner(aligner_options);
+  std::printf("sample correspondences, %s -> %s (combined technique):\n",
+              family[0].schema.name().c_str(), family[1].schema.name().c_str());
+  TextTable sample;
+  sample.SetHeader({"source", "target", "score", "ground truth"});
+  size_t shown = 0;
+  for (const Correspondence& c :
+       aligner.Align(family[0].schema, family[1].schema)) {
+    const bool ok = truth.SameConcept(0, c.source, 1, c.target);
+    if (shown < 8 || !ok) {
+      sample.AddRow({family[0].schema.attribute(c.source).name,
+                     family[1].schema.attribute(c.target).name,
+                     StrFormat("%.2f", c.score), ok ? "correct" : "WRONG"});
+      ++shown;
+    }
+  }
+  std::printf("%s\n", sample.ToString().c_str());
+
+  // Full PDMS over all ordered pairs.
+  EngineOptions options;
+  options.delta_override = 0.1;
+  options.probe_ttl = 4;
+  options.closure_limits.max_cycle_length = 4;
+  options.closure_limits.max_path_length = 3;
+  options.damping = 0.5;
+  bench::BibliographicPdms workload = bench::MakeBibliographicPdms(options);
+  std::printf("network: %zu ontologies, %zu schema mappings, %zu attribute "
+              "correspondences (%zu wrong)\n",
+              workload.family.size(), workload.engine->graph().edge_count(),
+              workload.entries.size(), workload.ErroneousCount());
+
+  const size_t factors = workload.engine->DiscoverClosures();
+  workload.engine->RunToConvergence(100);
+  std::printf("discovered %zu feedback factors; inference done\n\n", factors);
+
+  // Rank the most suspicious correspondences.
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t i = 0; i < workload.entries.size(); ++i) {
+    ranked.emplace_back(
+        workload.engine->Posterior(workload.entries[i].edge,
+                                   workload.entries[i].attribute),
+        i);
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  std::printf("15 most suspicious attribute mappings:\n");
+  TextTable table;
+  table.SetHeader({"posterior", "mapping", "attribute", "ground truth"});
+  for (size_t rank = 0; rank < 15 && rank < ranked.size(); ++rank) {
+    const auto [posterior, index] = ranked[rank];
+    const MappingVarKey& var = workload.entries[index];
+    const Edge& edge = workload.engine->graph().edge(var.edge);
+    table.AddRow(
+        {StrFormat("%.3f", posterior),
+         workload.family[edge.src].schema.name() + "->" +
+             workload.family[edge.dst].schema.name(),
+         workload.family[edge.src].schema.attribute(var.attribute).name,
+         workload.erroneous[index] ? "WRONG (caught)" : "correct (false alarm)"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  size_t caught = 0;
+  for (size_t rank = 0; rank < 30 && rank < ranked.size(); ++rank) {
+    if (workload.erroneous[ranked[rank].second]) ++caught;
+  }
+  std::printf("precision@30: %.2f (base error rate %.2f)\n",
+              static_cast<double>(caught) / 30.0,
+              static_cast<double>(workload.ErroneousCount()) /
+                  static_cast<double>(workload.entries.size()));
+  return 0;
+}

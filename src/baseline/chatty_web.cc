@@ -1,0 +1,74 @@
+#include "baseline/chatty_web.h"
+
+#include <cmath>
+#include <set>
+
+namespace pdms {
+
+std::map<MappingVarKey, double> ChattyWebAnalyze(
+    const std::vector<ClosureEvidence>& evidence,
+    const ChattyWebOptions& options) {
+  std::map<MappingVarKey, double> quality;
+
+  // Collect the variable universe first.
+  for (const ClosureEvidence& closure : evidence) {
+    for (const MappingVarKey& var : closure.members) {
+      quality.emplace(var, options.prior);
+    }
+  }
+
+  if (options.variant == ChattyWebVariant::kHardExclusion) {
+    for (auto& [var, score] : quality) score = 1.0;
+    for (const ClosureEvidence& closure : evidence) {
+      if (closure.sign != FeedbackSign::kNegative) continue;
+      for (const MappingVarKey& var : closure.members) quality[var] = 0.0;
+    }
+    return quality;
+  }
+
+  // kNaiveBayes: per variable, odds = prior-odds × Π_closures LR(closure).
+  // For a closure of n members with per-other-member correctness prior p:
+  //   P(f+ | m correct)   = p^{n-1} + (1 - p^{n-1}) · ∆'
+  //   P(f+ | m incorrect) = ∆
+  // where ∆' approximates compensation among the others and is taken = ∆
+  // (the heuristic's coarseness is the point). Negative feedback uses the
+  // complements. Contributions multiply across closures as if independent.
+  for (auto& [var, score] : quality) {
+    double odds = options.prior / (1.0 - options.prior);
+    for (const ClosureEvidence& closure : evidence) {
+      bool member = false;
+      for (const MappingVarKey& candidate : closure.members) {
+        if (candidate == var) {
+          member = true;
+          break;
+        }
+      }
+      if (!member || closure.sign == FeedbackSign::kNeutral) continue;
+      const auto n = static_cast<double>(closure.members.size());
+      const double others_correct = std::pow(options.prior, n - 1.0);
+      const double p_pos_given_correct =
+          others_correct + (1.0 - others_correct) * options.delta;
+      const double p_pos_given_incorrect = options.delta;
+      double likelihood_correct;
+      double likelihood_incorrect;
+      if (closure.sign == FeedbackSign::kPositive) {
+        likelihood_correct = p_pos_given_correct;
+        likelihood_incorrect = p_pos_given_incorrect;
+      } else {
+        likelihood_correct = 1.0 - p_pos_given_correct;
+        likelihood_incorrect = 1.0 - p_pos_given_incorrect;
+      }
+      if (likelihood_incorrect <= 0.0) {
+        odds = likelihood_correct > 0.0
+                   ? std::numeric_limits<double>::infinity()
+                   : odds;
+        continue;
+      }
+      odds *= likelihood_correct / likelihood_incorrect;
+    }
+    score = std::isinf(odds) ? 1.0 : odds / (1.0 + odds);
+  }
+  return quality;
+}
+
+}  // namespace pdms

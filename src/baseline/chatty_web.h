@@ -1,0 +1,53 @@
+#ifndef PDMS_BASELINE_CHATTY_WEB_H_
+#define PDMS_BASELINE_CHATTY_WEB_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mapping/mapping.h"
+#include "net/message.h"
+
+namespace pdms {
+
+/// One piece of closure evidence as the baselines consume it.
+struct ClosureEvidence {
+  std::vector<MappingVarKey> members;
+  FeedbackSign sign = FeedbackSign::kNeutral;
+};
+
+/// Variants of the authors' earlier Chatty-Web cycle heuristics [2, 3],
+/// which the paper's Section 6 compares against: they analyze each closure
+/// independently, "ignoring all interdependencies among the mappings and
+/// cycles".
+enum class ChattyWebVariant : uint8_t {
+  /// Hard exclusion: any mapping occurring in a negative closure is
+  /// disqualified outright. On the introductory example this disqualifies
+  /// every mapping of cycle f2 — the paper's "all three mappings on the
+  /// left, while only one is erroneous".
+  kHardExclusion = 0,
+  /// Independence-assuming probabilistic voting: each closure contributes
+  /// a likelihood ratio for each member computed as if all other members
+  /// independently had the prior probability of being correct, and the
+  /// per-closure contributions multiply (double-counting shared evidence).
+  kNaiveBayes = 1,
+};
+
+struct ChattyWebOptions {
+  ChattyWebVariant variant = ChattyWebVariant::kNaiveBayes;
+  /// Prior probability of a mapping being correct.
+  double prior = 0.5;
+  /// Compensation probability ∆ (same role as in the paper's model).
+  double delta = 0.1;
+};
+
+/// Centralized reimplementation of the earlier heuristics as a baseline.
+/// Returns a quality score in [0, 1] per mapping variable appearing in the
+/// evidence.
+std::map<MappingVarKey, double> ChattyWebAnalyze(
+    const std::vector<ClosureEvidence>& evidence,
+    const ChattyWebOptions& options);
+
+}  // namespace pdms
+
+#endif  // PDMS_BASELINE_CHATTY_WEB_H_

@@ -1,0 +1,15 @@
+#include "baseline/random_guess.h"
+
+namespace pdms {
+
+std::map<MappingVarKey, bool> RandomGuessErroneous(
+    const std::vector<MappingVarKey>& variables, double flag_probability,
+    Rng* rng) {
+  std::map<MappingVarKey, bool> flags;
+  for (const MappingVarKey& var : variables) {
+    flags[var] = rng->Bernoulli(flag_probability);
+  }
+  return flags;
+}
+
+}  // namespace pdms

@@ -1,0 +1,22 @@
+#ifndef PDMS_BASELINE_RANDOM_GUESS_H_
+#define PDMS_BASELINE_RANDOM_GUESS_H_
+
+#include <map>
+
+#include "net/message.h"
+#include "util/rng.h"
+
+namespace pdms {
+
+/// Random-guess baseline for the precision experiment (Figure 12): flags
+/// each mapping variable as erroneous independently with probability
+/// `flag_probability`. Its expected precision equals the base error rate
+/// of the mapping population, which is the floor the paper's method is
+/// compared against.
+std::map<MappingVarKey, bool> RandomGuessErroneous(
+    const std::vector<MappingVarKey>& variables, double flag_probability,
+    Rng* rng);
+
+}  // namespace pdms
+
+#endif  // PDMS_BASELINE_RANDOM_GUESS_H_

@@ -1,0 +1,76 @@
+#ifndef PDMS_CORE_OPTIONS_H_
+#define PDMS_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/closure.h"
+#include "net/network.h"
+
+namespace pdms {
+
+/// When peers exchange remote belief messages (Section 4.3).
+enum class ScheduleKind : uint8_t {
+  /// Every `period_ticks` ticks each peer proactively sends remote
+  /// messages to all peers in its local factor graph (Section 4.3.1).
+  kPeriodic = 0,
+  /// Remote messages piggyback on query traffic only: zero additional
+  /// message overhead, convergence speed proportional to query load
+  /// (Section 4.3.2).
+  kLazy = 1,
+};
+
+/// Whether mapping quality is tracked per attribute or per mapping
+/// (Section 4.1, "two levels of granularity").
+enum class Granularity : uint8_t {
+  kFine = 0,    ///< one variable / factor-graph instance per attribute
+  kCoarse = 1,  ///< one variable per mapping
+};
+
+/// Configuration of a `PdmsEngine`.
+struct EngineOptions {
+  /// Prior P(m = correct) for mappings without explicit prior information
+  /// (maximum entropy: 0.5, Section 4.4).
+  double default_prior = 0.5;
+  /// ∆ — probability that two or more mapping errors compensate along a
+  /// closure. When unset, each discovering peer estimates ∆ = 1/(s−1)
+  /// from its schema size s, the paper's heuristic (Section 4.5: eleven
+  /// attributes -> ∆ = 1/10).
+  std::optional<double> delta_override;
+  /// Semantic threshold θ: a query is forwarded through a mapping only if
+  /// every query attribute has posterior correctness > θ (Section 2).
+  double theta = 0.5;
+  /// Forward queries through mappings that have no feedback evidence yet
+  /// (standard-PDMS bootstrap behaviour; ⊥ attributes still block).
+  bool forward_without_evidence = true;
+  /// TTL for closure-discovery probes (Section 3.2.1).
+  uint32_t probe_ttl = 6;
+  /// Structural limits honored during discovery.
+  ClosureFinderOptions closure_limits;
+  /// Cached foreign probes per (peer, origin) for parallel-path detection.
+  size_t max_cached_probes = 128;
+
+  ScheduleKind schedule = ScheduleKind::kPeriodic;
+  /// Remote-message period τ in ticks (periodic schedule).
+  uint64_t period_ticks = 1;
+
+  Granularity granularity = Granularity::kFine;
+
+  /// Convergence: max posterior change per round below `tolerance` for
+  /// `convergence_patience` consecutive rounds (0 = auto like the
+  /// centralized engine: 1 lossless, ceil(3/P(send)) lossy).
+  double tolerance = 1e-7;
+  size_t convergence_patience = 0;
+  /// Damping λ in [0,1) on local factor->variable message updates:
+  /// message' = λ·old + (1−λ)·computed. Loopy BP on dense evidence graphs
+  /// can oscillate (Section 3.1, [15]); damping restores convergence
+  /// without moving the fixed point. 0 disables (the paper's plain
+  /// schedule).
+  double damping = 0.0;
+
+  NetworkOptions network;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_OPTIONS_H_

@@ -1,0 +1,277 @@
+#include "core/pdms_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+PdmsEngine::PdmsEngine(Digraph graph, EngineOptions options)
+    : graph_(std::move(graph)),
+      options_(options),
+      network_(graph_.node_count(), options.network) {}
+
+Result<std::unique_ptr<PdmsEngine>> PdmsEngine::Create(
+    const Digraph& graph, std::vector<Schema> schemas,
+    std::vector<SchemaMapping> mappings, const EngineOptions& options) {
+  if (schemas.size() != graph.node_count()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu schemas, got %zu", graph.node_count(),
+                  schemas.size()));
+  }
+  if (mappings.size() < graph.edge_capacity()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu mappings, got %zu", graph.edge_capacity(),
+                  mappings.size()));
+  }
+  std::unique_ptr<PdmsEngine> engine(new PdmsEngine(graph, options));
+  engine->peers_.reserve(graph.node_count());
+  for (PeerId p = 0; p < graph.node_count(); ++p) {
+    engine->peers_.push_back(std::make_unique<Peer>(
+        p, std::move(schemas[p]), &engine->graph_, &engine->options_));
+  }
+  for (EdgeId e = 0; e < graph.edge_capacity(); ++e) {
+    if (!graph.edge_alive(e)) continue;
+    PDMS_RETURN_IF_ERROR(
+        engine->peers_[graph.edge(e).src]->AddMapping(e, std::move(mappings[e])));
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<PdmsEngine>> PdmsEngine::FromSynthetic(
+    const SyntheticPdms& synthetic, const EngineOptions& options) {
+  return Create(synthetic.graph, synthetic.schemas, synthetic.mappings,
+                options);
+}
+
+void PdmsEngine::SendAll(PeerId from, std::vector<Outgoing> messages) {
+  for (Outgoing& message : messages) {
+    network_.Send(from, message.to, message.via, std::move(message.payload));
+  }
+}
+
+void PdmsEngine::DeliverAll() {
+  for (PeerId p = 0; p < peers_.size(); ++p) {
+    for (Envelope& envelope : network_.Drain(p)) {
+      Peer& peer = *peers_[p];
+      if (auto* probe = std::get_if<ProbeMessage>(&envelope.payload)) {
+        SendAll(p, peer.HandleProbe(*probe));
+      } else if (auto* feedback =
+                     std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
+        peer.IngestFeedback(*feedback);
+      } else if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
+        for (const BeliefUpdate& update : beliefs->updates) {
+          peer.AbsorbBeliefUpdate(update);
+        }
+      } else if (auto* query = std::get_if<QueryMessage>(&envelope.payload)) {
+        for (const BeliefUpdate& update : query->piggyback) {
+          peer.AbsorbBeliefUpdate(update);
+        }
+        const bool first_visit = !peer.SawQuery(query->query_id);
+        QueryActions actions = peer.ProcessQuery(
+            *query, options_.schedule == ScheduleKind::kLazy);
+        if (query_report_ != nullptr && first_visit) {
+          query_report_->reached.push_back(p);
+          for (ResultRow& row : actions.rows) {
+            query_report_->rows.emplace_back(p, std::move(row));
+          }
+          for (const Outgoing& forward : actions.forwards) {
+            if (forward.via.has_value()) {
+              query_report_->used_edges.push_back(*forward.via);
+            }
+          }
+          for (EdgeId blocked : actions.blocked_edges) {
+            query_report_->blocked_edges.push_back(blocked);
+          }
+          query_report_->messages += actions.forwards.size();
+        }
+        SendAll(p, std::move(actions.forwards));
+      }
+    }
+  }
+}
+
+size_t PdmsEngine::DiscoverClosures() {
+  for (PeerId p = 0; p < peers_.size(); ++p) {
+    SendAll(p, peers_[p]->StartProbes());
+  }
+  // Probe traffic is self-limiting (TTL + simple routes): run to quiet.
+  while (network_.HasPendingMessages()) {
+    network_.AdvanceTick();
+    DeliverAll();
+  }
+  return UniqueFactorCount();
+}
+
+void PdmsEngine::InjectFeedback(const FeedbackAnnouncement& announcement) {
+  std::set<PeerId> owners;
+  for (EdgeId edge : announcement.closure.edges) {
+    if (graph_.edge_alive(edge)) owners.insert(graph_.edge(edge).src);
+  }
+  for (PeerId owner : owners) {
+    peers_[owner]->IngestFeedback(announcement);
+  }
+}
+
+RoundReport PdmsEngine::RunRound() {
+  RoundReport report;
+  network_.AdvanceTick();
+  DeliverAll();
+
+  report.max_posterior_change = 0.0;
+  for (auto& peer : peers_) {
+    report.max_posterior_change =
+        std::max(report.max_posterior_change, peer->ComputeRound());
+  }
+
+  if (options_.schedule == ScheduleKind::kPeriodic &&
+      network_.now() % options_.period_ticks == 0) {
+    for (PeerId p = 0; p < peers_.size(); ++p) {
+      std::vector<Outgoing> outgoing = peers_[p]->CollectOutgoingBeliefs();
+      for (const Outgoing& message : outgoing) {
+        const auto& bundle = std::get<BeliefMessage>(message.payload);
+        report.belief_updates_sent += bundle.updates.size();
+        ++report.belief_envelopes_sent;
+      }
+      SendAll(p, std::move(outgoing));
+    }
+  }
+  return report;
+}
+
+ConvergenceReport PdmsEngine::RunToConvergence(size_t max_rounds) {
+  ConvergenceReport report;
+  size_t patience = options_.convergence_patience;
+  if (patience == 0) {
+    patience = options_.network.send_probability >= 1.0
+                   ? 1
+                   : static_cast<size_t>(
+                         std::ceil(3.0 / options_.network.send_probability));
+  }
+  size_t quiet = 0;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    const RoundReport step = RunRound();
+    report.rounds = round + 1;
+    report.belief_updates_sent += step.belief_updates_sent;
+    if (!tracked_.empty()) {
+      std::vector<double> snapshot;
+      snapshot.reserve(tracked_.size());
+      for (const MappingVarKey& var : tracked_) {
+        snapshot.push_back(
+            peers_[graph_.edge(var.edge).src]->Posterior(var));
+      }
+      report.trajectory.push_back(std::move(snapshot));
+    }
+    quiet = step.max_posterior_change < options_.tolerance ? quiet + 1 : 0;
+    if (quiet >= patience) {
+      report.converged = true;
+      break;
+    }
+  }
+  return report;
+}
+
+double PdmsEngine::Posterior(EdgeId edge, AttributeId attribute) const {
+  return peers_[graph_.edge(edge).src]->Posterior(
+      MappingVarKey{edge, attribute});
+}
+
+double PdmsEngine::PosteriorCoarse(EdgeId edge) const {
+  return peers_[graph_.edge(edge).src]->Posterior(
+      MappingVarKey{edge, MappingVarKey::kWholeMapping});
+}
+
+QueryReport PdmsEngine::IssueQuery(PeerId origin, const Query& query,
+                                   uint32_t ttl) {
+  QueryReport report;
+  query_report_ = &report;
+  QueryMessage message;
+  message.query_id = next_query_id_++;
+  message.origin = origin;
+  message.ttl = ttl;
+  message.query = query;
+  network_.Send(origin, origin, std::nullopt, message);
+  ++report.messages;
+  while (network_.HasPendingMessages()) {
+    network_.AdvanceTick();
+    DeliverAll();
+  }
+  query_report_ = nullptr;
+  return report;
+}
+
+void PdmsEngine::SetPrior(EdgeId edge, AttributeId attribute, double prior) {
+  peers_[graph_.edge(edge).src]->SetPrior(MappingVarKey{edge, attribute},
+                                          prior);
+}
+
+double PdmsEngine::Prior(EdgeId edge, AttributeId attribute) const {
+  return peers_[graph_.edge(edge).src]->Prior(MappingVarKey{edge, attribute});
+}
+
+void PdmsEngine::UpdatePriors() {
+  for (auto& peer : peers_) peer->UpdatePriorsFromPosteriors();
+}
+
+Status PdmsEngine::RemoveMapping(EdgeId edge) {
+  if (!graph_.edge_alive(edge)) {
+    return Status::NotFound(StrFormat("edge %u is not alive", edge));
+  }
+  for (auto& peer : peers_) peer->RemoveMapping(edge);
+  return graph_.RemoveEdge(edge);
+}
+
+size_t PdmsEngine::UniqueFactorCount() const {
+  std::set<FactorKey> keys;
+  for (const auto& peer : peers_) {
+    for (const Peer::ReplicaView& view : peer->ReplicaViews()) {
+      keys.insert(view.key);
+    }
+  }
+  return keys.size();
+}
+
+FactorGraph PdmsEngine::BuildGlobalFactorGraph(
+    std::vector<MappingVarKey>* vars_out) const {
+  FactorGraph graph;
+  std::map<MappingVarKey, VarId> var_ids;
+  std::vector<MappingVarKey> vars;
+  std::set<FactorKey> added_factors;
+
+  auto var_id = [&](const MappingVarKey& key) {
+    const auto it = var_ids.find(key);
+    if (it != var_ids.end()) return it->second;
+    const VarId id = graph.AddVariable(key.ToString());
+    var_ids.emplace(key, id);
+    vars.push_back(key);
+    // Prior factor from the owner's belief.
+    const PeerId owner = graph_.edge(key.edge).src;
+    Result<FactorId> prior = graph.AddFactor(
+        std::make_unique<PriorFactor>(id, peers_[owner]->Prior(key)));
+    assert(prior.ok());
+    (void)prior;
+    return id;
+  };
+
+  for (const auto& peer : peers_) {
+    for (const Peer::ReplicaView& view : peer->ReplicaViews()) {
+      if (!added_factors.insert(view.key).second) continue;
+      std::vector<VarId> scope;
+      scope.reserve(view.members.size());
+      for (const MappingVarKey& member : view.members) {
+        scope.push_back(var_id(member));
+      }
+      Result<FactorId> factor =
+          graph.AddFactor(std::make_unique<CycleFeedbackFactor>(
+              scope, view.sign == FeedbackSign::kPositive, view.delta));
+      assert(factor.ok());
+      (void)factor;
+    }
+  }
+  if (vars_out != nullptr) *vars_out = vars;
+  return graph;
+}
+
+}  // namespace pdms

@@ -1,0 +1,160 @@
+#ifndef PDMS_CORE_PDMS_ENGINE_H_
+#define PDMS_CORE_PDMS_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/peer.h"
+#include "factor/factor_graph.h"
+#include "mapping/mapping_generator.h"
+#include "net/network.h"
+
+namespace pdms {
+
+/// One periodic inference round's accounting.
+struct RoundReport {
+  /// Individual µ remote-message updates sent this round (the unit the
+  /// paper's Σ(l_ci − 1) bound counts).
+  uint64_t belief_updates_sent = 0;
+  /// Network envelopes carrying them (bundled per recipient).
+  uint64_t belief_envelopes_sent = 0;
+  double max_posterior_change = 1.0;
+};
+
+/// Outcome of RunToConvergence.
+struct ConvergenceReport {
+  size_t rounds = 0;
+  bool converged = false;
+  uint64_t belief_updates_sent = 0;
+  /// trajectory[r][i] = posterior of tracked variable i after round r+1
+  /// (only variables registered via TrackVariable).
+  std::vector<std::vector<double>> trajectory;
+};
+
+/// Outcome of a query issued into the network.
+struct QueryReport {
+  /// (answering peer, row) pairs, in delivery order.
+  std::vector<std::pair<PeerId, ResultRow>> rows;
+  /// Peers that processed the query (origin included).
+  std::vector<PeerId> reached;
+  /// Mapping links used / θ-blocked along the way.
+  std::vector<EdgeId> used_edges;
+  std::vector<EdgeId> blocked_edges;
+  /// Query envelopes sent.
+  uint64_t messages = 0;
+};
+
+/// The paper's system: a network of peer databases that (1) discovers
+/// mapping cycles and parallel paths with TTL probes, (2) runs decentral-
+/// ized loopy sum-product message passing over the induced factor graph to
+/// estimate per-attribute mapping correctness, and (3) routes queries
+/// through mappings whose posterior clears the semantic threshold θ.
+///
+/// The engine is the simulation driver: it owns the peers and the message
+/// bus and advances global ticks. All inference math happens inside the
+/// peers using only their local state — the engine never shares state
+/// across peers except through network messages.
+class PdmsEngine {
+ public:
+  /// Builds an engine over `graph`; `schemas[p]` is peer p's schema and
+  /// `mappings[e]` the mapping for live edge e (indexed by EdgeId).
+  static Result<std::unique_ptr<PdmsEngine>> Create(
+      const Digraph& graph, std::vector<Schema> schemas,
+      std::vector<SchemaMapping> mappings, const EngineOptions& options);
+
+  /// Convenience: builds from a generated synthetic PDMS.
+  static Result<std::unique_ptr<PdmsEngine>> FromSynthetic(
+      const SyntheticPdms& synthetic, const EngineOptions& options);
+
+  // --- Closure discovery -----------------------------------------------------
+
+  /// Floods TTL probes from every peer and processes the resulting probe /
+  /// feedback traffic until the network is quiet. Returns the number of
+  /// distinct factor replicas that exist across peers afterwards.
+  size_t DiscoverClosures();
+
+  /// Injects a closure with externally computed per-attribute feedback
+  /// (used by experiments that need the paper's exact feedback sets and by
+  /// churn tests). The announcement is ingested directly by member owners.
+  void InjectFeedback(const FeedbackAnnouncement& announcement);
+
+  // --- Inference -------------------------------------------------------------
+
+  /// One synchronized round: tick, deliver, compute, and (periodic
+  /// schedule, every τ) exchange remote messages.
+  RoundReport RunRound();
+
+  /// Rounds until posterior movement stays below tolerance (with loss-aware
+  /// patience) or `max_rounds`.
+  ConvergenceReport RunToConvergence(size_t max_rounds);
+
+  /// Registers a variable whose posterior RunToConvergence records each
+  /// round (Figure 7 trajectories).
+  void TrackVariable(const MappingVarKey& var) { tracked_.push_back(var); }
+
+  /// Posterior of (edge, attribute) as believed by the mapping's owner.
+  double Posterior(EdgeId edge, AttributeId attribute) const;
+  double PosteriorCoarse(EdgeId edge) const;
+
+  // --- Queries ---------------------------------------------------------------
+
+  /// Issues `query` (expressed in `origin`'s schema) and drives the
+  /// network until all query traffic quiesces.
+  QueryReport IssueQuery(PeerId origin, const Query& query, uint32_t ttl);
+
+  // --- Priors & churn ----------------------------------------------------------
+
+  void SetPrior(EdgeId edge, AttributeId attribute, double prior);
+  double Prior(EdgeId edge, AttributeId attribute) const;
+  /// EM prior update on every peer (Section 4.4).
+  void UpdatePriors();
+
+  /// Removes a mapping network-wide: the owner drops it, every peer purges
+  /// replicas referencing it, and the topology edge is tombstoned.
+  /// Closures must be re-discovered afterwards.
+  Status RemoveMapping(EdgeId edge);
+
+  // --- Introspection ------------------------------------------------------------
+
+  Peer& peer(PeerId id) { return *peers_[id]; }
+  const Peer& peer(PeerId id) const { return *peers_[id]; }
+  size_t peer_count() const { return peers_.size(); }
+  const Digraph& graph() const { return graph_; }
+  const Network& network() const { return network_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Total distinct factor replicas (unique FactorKeys across peers).
+  size_t UniqueFactorCount() const;
+
+  /// Materializes the *global* factor graph implied by the current peer
+  /// states (priors + all announced feedback factors). Baseline for exact
+  /// inference and for validating the decentralized engine. `vars_out`
+  /// receives the variable order.
+  FactorGraph BuildGlobalFactorGraph(std::vector<MappingVarKey>* vars_out) const;
+
+ private:
+  PdmsEngine(Digraph graph, EngineOptions options);
+
+  /// Delivers due messages to every peer, dispatching by payload type.
+  /// Query rows/blocks are accumulated into `query_report_` when set.
+  void DeliverAll();
+
+  void SendAll(PeerId from, std::vector<Outgoing> messages);
+
+  Digraph graph_;
+  EngineOptions options_;
+  Network network_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<MappingVarKey> tracked_;
+  uint64_t next_query_id_ = 1;
+  /// Non-null while IssueQuery drives the network.
+  QueryReport* query_report_ = nullptr;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_PDMS_ENGINE_H_

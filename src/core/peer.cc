@@ -1,0 +1,598 @@
+#include "core/peer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+Peer::Peer(PeerId id, Schema schema, const Digraph* graph,
+           const EngineOptions* options)
+    : id_(id), schema_(std::move(schema)), graph_(graph), options_(options) {}
+
+// --- Mappings ---------------------------------------------------------------
+
+Status Peer::AddMapping(EdgeId edge, SchemaMapping mapping) {
+  if (mappings_.count(edge) > 0) {
+    return Status::AlreadyExists(StrFormat("peer %u already maps edge %u", id_,
+                                           edge));
+  }
+  if (graph_->edge(edge).src != id_) {
+    return Status::InvalidArgument(
+        StrFormat("edge %u does not start at peer %u", edge, id_));
+  }
+  mappings_.emplace(edge, std::move(mapping));
+  return Status::Ok();
+}
+
+void Peer::RemoveMapping(EdgeId edge) {
+  mappings_.erase(edge);
+  // Drop every replica referencing the edge, then rebuild the var index.
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    const bool touches = std::any_of(
+        it->second.members.begin(), it->second.members.end(),
+        [edge](const MappingVarKey& var) { return var.edge == edge; });
+    it = touches ? replicas_.erase(it) : std::next(it);
+  }
+  factors_of_var_.clear();
+  for (const auto& [key, replica] : replicas_) {
+    for (size_t i = 0; i < replica.members.size(); ++i) {
+      if (replica.owner_of_member[i] == id_) {
+        factors_of_var_[replica.members[i]].push_back(key);
+      }
+    }
+  }
+}
+
+const SchemaMapping* Peer::mapping(EdgeId edge) const {
+  const auto it = mappings_.find(edge);
+  return it == mappings_.end() ? nullptr : &it->second;
+}
+
+std::vector<EdgeId> Peer::OutgoingEdges() const {
+  std::vector<EdgeId> edges;
+  edges.reserve(mappings_.size());
+  for (const auto& [edge, mapping] : mappings_) edges.push_back(edge);
+  return edges;
+}
+
+// --- Priors & posteriors ------------------------------------------------------
+
+void Peer::SetPrior(const MappingVarKey& var, double prior) {
+  priors_[var] = prior;
+  evidence_.erase(var);
+}
+
+double Peer::Prior(const MappingVarKey& var) const {
+  const auto it = priors_.find(var);
+  return it == priors_.end() ? options_->default_prior : it->second;
+}
+
+bool Peer::HasEvidence(const MappingVarKey& var) const {
+  const auto it = factors_of_var_.find(var);
+  return it != factors_of_var_.end() && !it->second.empty();
+}
+
+Belief Peer::PosteriorBelief(const MappingVarKey& var) const {
+  // ⊥ rule: a mapping that does not represent the attribute has
+  // correctness 0 for it (Section 3.2.1).
+  if (var.attribute != MappingVarKey::kWholeMapping) {
+    const SchemaMapping* m = mapping(var.edge);
+    if (m == nullptr || !m->Apply(var.attribute).has_value()) {
+      return Belief{0.0, 1.0};
+    }
+  }
+  Belief posterior = Belief::FromProbability(Prior(var));
+  const auto it = factors_of_var_.find(var);
+  if (it != factors_of_var_.end()) {
+    for (const FactorKey& key : it->second) {
+      const Replica& replica = replicas_.at(key);
+      for (size_t i = 0; i < replica.members.size(); ++i) {
+        if (replica.members[i] == var) posterior *= replica.factor_to_var[i];
+      }
+    }
+  }
+  return posterior.Normalized();
+}
+
+double Peer::Posterior(const MappingVarKey& var) const {
+  return PosteriorBelief(var).correct;
+}
+
+void Peer::UpdatePriorsFromPosteriors() {
+  for (const auto& [var, keys] : factors_of_var_) {
+    if (keys.empty()) continue;
+    auto [it, inserted] = evidence_.try_emplace(var, 1, Prior(var));
+    auto& [count, sum] = it->second;
+    ++count;
+    sum += Posterior(var);
+    priors_[var] = sum / static_cast<double>(count);
+  }
+}
+
+// --- Embedded message passing -------------------------------------------------
+
+double Peer::EffectiveDelta() const {
+  if (options_->delta_override.has_value()) return *options_->delta_override;
+  const size_t s = schema_.size();
+  return s > 1 ? 1.0 / static_cast<double>(s - 1) : 0.5;
+}
+
+void Peer::IngestFeedback(const FeedbackAnnouncement& announcement) {
+  for (const AttributeFeedback& feedback : announcement.feedback) {
+    if (feedback.sign == FeedbackSign::kNeutral) continue;
+    const FactorKey key =
+        FactorKey::Make(announcement.closure, feedback.root_attribute);
+    if (replicas_.count(key) > 0) continue;  // idempotent
+    const bool owns_member = std::any_of(
+        feedback.members.begin(), feedback.members.end(),
+        [this](const MappingVarKey& var) {
+          return graph_->edge_alive(var.edge) &&
+                 graph_->edge(var.edge).src == id_;
+        });
+    if (!owns_member) continue;
+
+    Replica replica;
+    replica.closure = announcement.closure;
+    replica.sign = feedback.sign;
+    replica.members = feedback.members;
+    replica.delta = announcement.delta;
+    const size_t n = replica.members.size();
+    std::vector<VarId> positions(n);
+    for (size_t i = 0; i < n; ++i) positions[i] = static_cast<VarId>(i);
+    replica.factor = std::make_unique<CycleFeedbackFactor>(
+        positions, feedback.sign == FeedbackSign::kPositive, replica.delta);
+    replica.var_to_factor.assign(n, Belief::Unit());
+    replica.factor_to_var.assign(n, Belief::Unit());
+    replica.owner_of_member.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      replica.owner_of_member[i] = graph_->edge(replica.members[i].edge).src;
+      if (replica.owner_of_member[i] == id_) {
+        // Own variables start from the locally-known prior instead of the
+        // unit message; remote ones stay unit until heard from.
+        replica.var_to_factor[i] =
+            Belief::FromProbability(Prior(replica.members[i]));
+      }
+    }
+    auto [it, inserted] = replicas_.emplace(key, std::move(replica));
+    assert(inserted);
+    for (size_t i = 0; i < n; ++i) {
+      if (it->second.owner_of_member[i] == id_) {
+        factors_of_var_[it->second.members[i]].push_back(key);
+      }
+    }
+  }
+}
+
+void Peer::AbsorbBeliefUpdate(const BeliefUpdate& update) {
+  const auto it = replicas_.find(update.factor);
+  if (it == replicas_.end()) return;  // closure unknown here: ignore
+  Replica& replica = it->second;
+  for (size_t i = 0; i < replica.members.size(); ++i) {
+    if (replica.members[i] == update.var && replica.owner_of_member[i] != id_) {
+      replica.var_to_factor[i] = update.belief;
+    }
+  }
+}
+
+double Peer::ComputeRound() {
+  // Phase 1: factor -> variable messages for owned members, from the
+  // var -> factor state of the previous round (synchronous flooding).
+  for (auto& [key, replica] : replicas_) {
+    for (size_t i = 0; i < replica.members.size(); ++i) {
+      if (replica.owner_of_member[i] != id_) continue;
+      Belief computed =
+          replica.factor->MessageTo(i, replica.var_to_factor).Rescaled();
+      if (options_->damping > 0.0) {
+        computed = replica.factor_to_var[i].DampedToward(
+            computed, 1.0 - options_->damping);
+      }
+      replica.factor_to_var[i] = computed;
+    }
+  }
+  // Phase 2: variable -> factor messages for owned variables:
+  // µ_{v->f} = prior(v) · Π_{f' ∋ v, f' ≠ f} µ_{f'->v}.
+  for (auto& [var, keys] : factors_of_var_) {
+    for (const FactorKey& target : keys) {
+      Belief message = Belief::FromProbability(Prior(var));
+      for (const FactorKey& other : keys) {
+        if (other == target) continue;
+        const Replica& source = replicas_.at(other);
+        for (size_t i = 0; i < source.members.size(); ++i) {
+          if (source.members[i] == var) message *= source.factor_to_var[i];
+        }
+      }
+      Replica& replica = replicas_.at(target);
+      for (size_t i = 0; i < replica.members.size(); ++i) {
+        if (replica.members[i] == var) {
+          replica.var_to_factor[i] = message.Rescaled();
+        }
+      }
+    }
+  }
+  // Convergence metric: max posterior change over owned variables.
+  double max_change = 0.0;
+  for (const auto& [var, keys] : factors_of_var_) {
+    const double now = Posterior(var);
+    const auto it = last_posteriors_.find(var);
+    if (it != last_posteriors_.end()) {
+      max_change = std::max(max_change, std::abs(now - it->second));
+    } else {
+      max_change = 1.0;  // first round with evidence: not converged
+    }
+    last_posteriors_[var] = now;
+  }
+  return max_change;
+}
+
+std::vector<Outgoing> Peer::CollectOutgoingBeliefs() const {
+  std::map<PeerId, BeliefMessage> bundles;
+  for (const auto& [key, replica] : replicas_) {
+    for (size_t i = 0; i < replica.members.size(); ++i) {
+      if (replica.owner_of_member[i] != id_) continue;
+      // Send µ_{v -> f} to every *other* owner peer of the factor.
+      std::set<PeerId> recipients;
+      for (size_t j = 0; j < replica.members.size(); ++j) {
+        if (replica.owner_of_member[j] != id_) {
+          recipients.insert(replica.owner_of_member[j]);
+        }
+      }
+      for (PeerId peer : recipients) {
+        bundles[peer].updates.push_back(
+            BeliefUpdate{key, replica.members[i], replica.var_to_factor[i]});
+      }
+    }
+  }
+  std::vector<Outgoing> out;
+  out.reserve(bundles.size());
+  for (auto& [peer, bundle] : bundles) {
+    out.push_back(Outgoing{peer, std::nullopt, std::move(bundle)});
+  }
+  return out;
+}
+
+std::vector<BeliefUpdate> Peer::PiggybackUpdatesFor(EdgeId edge) const {
+  std::vector<BeliefUpdate> updates;
+  for (const auto& [var, keys] : factors_of_var_) {
+    if (var.edge != edge) continue;
+    for (const FactorKey& key : keys) {
+      const Replica& replica = replicas_.at(key);
+      for (size_t i = 0; i < replica.members.size(); ++i) {
+        if (replica.members[i] == var) {
+          updates.push_back(BeliefUpdate{key, var, replica.var_to_factor[i]});
+        }
+      }
+    }
+  }
+  return updates;
+}
+
+std::vector<Peer::ReplicaView> Peer::ReplicaViews() const {
+  std::vector<ReplicaView> views;
+  views.reserve(replicas_.size());
+  for (const auto& [key, replica] : replicas_) {
+    views.push_back(ReplicaView{key, replica.sign, replica.members,
+                                replica.delta, replica.closure.kind});
+  }
+  return views;
+}
+
+size_t Peer::RemoteMessageBound() const {
+  size_t bound = 0;
+  for (const auto& [key, replica] : replicas_) {
+    size_t own = 0;
+    for (PeerId owner : replica.owner_of_member) {
+      if (owner == id_) ++own;
+    }
+    bound += own * (replica.members.size() - 1);
+  }
+  return bound;
+}
+
+// --- Probes & discovery --------------------------------------------------------
+
+std::vector<Outgoing> Peer::StartProbes() const {
+  std::vector<Outgoing> out;
+  if (options_->probe_ttl == 0) return out;
+  for (const auto& [edge, mapping] : mappings_) {
+    ProbeMessage probe;
+    probe.origin = id_;
+    probe.ttl = options_->probe_ttl - 1;
+    probe.route = {edge};
+    std::vector<std::optional<AttributeId>> images(schema_.size());
+    for (AttributeId a = 0; a < schema_.size(); ++a) {
+      images[a] = mapping.Apply(a);
+    }
+    probe.trail = {std::move(images)};
+    out.push_back(Outgoing{graph_->edge(edge).dst, edge, std::move(probe)});
+  }
+  return out;
+}
+
+std::vector<NodeId> Peer::RouteNodes(const std::vector<EdgeId>& route) const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(route.size() + 1);
+  if (!route.empty()) nodes.push_back(graph_->edge(route[0]).src);
+  for (EdgeId edge : route) nodes.push_back(graph_->edge(edge).dst);
+  return nodes;
+}
+
+bool Peer::RoutesIndependent(const std::vector<EdgeId>& a,
+                             const std::vector<EdgeId>& b) const {
+  for (EdgeId ea : a) {
+    if (std::find(b.begin(), b.end(), ea) != b.end()) return false;
+  }
+  const std::vector<NodeId> nodes_a = RouteNodes(a);
+  const std::vector<NodeId> nodes_b = RouteNodes(b);
+  // Interior nodes exclude the shared source (front) and sink (back).
+  for (size_t i = 1; i + 1 < nodes_a.size(); ++i) {
+    for (size_t j = 1; j + 1 < nodes_b.size(); ++j) {
+      if (nodes_a[i] == nodes_b[j]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<AttributeFeedback> Peer::CycleFeedback(
+    const ProbeMessage& probe) const {
+  std::vector<AttributeFeedback> feedback;
+  const size_t attr_count = probe.trail.empty() ? 0 : probe.trail[0].size();
+  for (AttributeId a = 0; a < attr_count; ++a) {
+    AttributeFeedback entry;
+    entry.root_attribute = a;
+    entry.members.push_back(MappingVarKey{probe.route[0], a});
+    bool broken = false;
+    for (size_t hop = 1; hop < probe.route.size(); ++hop) {
+      const std::optional<AttributeId> image = probe.trail[hop - 1][a];
+      if (!image.has_value()) {
+        broken = true;
+        break;
+      }
+      entry.members.push_back(MappingVarKey{probe.route[hop], *image});
+    }
+    const std::optional<AttributeId> final_image = probe.trail.back()[a];
+    if (broken || !final_image.has_value()) {
+      entry.sign = FeedbackSign::kNeutral;
+    } else {
+      entry.sign = *final_image == a ? FeedbackSign::kPositive
+                                     : FeedbackSign::kNegative;
+    }
+    feedback.push_back(std::move(entry));
+  }
+  return feedback;
+}
+
+std::vector<AttributeFeedback> Peer::ParallelFeedback(
+    const ProbeMessage& first, const ProbeMessage& second) const {
+  std::vector<AttributeFeedback> feedback;
+  const size_t attr_count = first.trail.empty() ? 0 : first.trail[0].size();
+  for (AttributeId a = 0; a < attr_count; ++a) {
+    AttributeFeedback entry;
+    entry.root_attribute = a;
+    bool broken = false;
+    auto add_chain = [&](const ProbeMessage& probe) {
+      entry.members.push_back(MappingVarKey{probe.route[0], a});
+      for (size_t hop = 1; hop < probe.route.size(); ++hop) {
+        const std::optional<AttributeId> image = probe.trail[hop - 1][a];
+        if (!image.has_value()) {
+          broken = true;
+          return;
+        }
+        entry.members.push_back(MappingVarKey{probe.route[hop], *image});
+      }
+    };
+    add_chain(first);
+    add_chain(second);
+    const std::optional<AttributeId> image1 = first.trail.back()[a];
+    const std::optional<AttributeId> image2 = second.trail.back()[a];
+    if (broken || !image1.has_value() || !image2.has_value()) {
+      entry.sign = FeedbackSign::kNeutral;
+    } else {
+      entry.sign = *image1 == *image2 ? FeedbackSign::kPositive
+                                      : FeedbackSign::kNegative;
+    }
+    feedback.push_back(std::move(entry));
+  }
+  return feedback;
+}
+
+std::vector<AttributeFeedback> Peer::CoarsenFeedback(
+    std::vector<AttributeFeedback> fine) {
+  bool any_negative = false;
+  bool any_positive = false;
+  std::vector<MappingVarKey> members;
+  for (const AttributeFeedback& entry : fine) {
+    if (entry.sign == FeedbackSign::kNegative) any_negative = true;
+    if (entry.sign == FeedbackSign::kPositive) any_positive = true;
+    if (members.empty()) {
+      for (const MappingVarKey& var : entry.members) {
+        members.push_back(MappingVarKey{var.edge, MappingVarKey::kWholeMapping});
+      }
+    }
+  }
+  AttributeFeedback coarse;
+  coarse.root_attribute = MappingVarKey::kWholeMapping;
+  coarse.members = std::move(members);
+  coarse.sign = any_negative  ? FeedbackSign::kNegative
+                : any_positive ? FeedbackSign::kPositive
+                               : FeedbackSign::kNeutral;
+  return {std::move(coarse)};
+}
+
+void Peer::AnnounceToOwners(const FeedbackAnnouncement& announcement,
+                            std::vector<Outgoing>* out) const {
+  std::set<PeerId> owners;
+  for (EdgeId edge : announcement.closure.edges) {
+    if (graph_->edge_alive(edge)) owners.insert(graph_->edge(edge).src);
+  }
+  for (PeerId owner : owners) {
+    out->push_back(Outgoing{owner, std::nullopt, announcement});
+  }
+}
+
+std::vector<Outgoing> Peer::HandleProbe(const ProbeMessage& probe) {
+  std::vector<Outgoing> out;
+  const auto& limits = options_->closure_limits;
+
+  if (probe.origin == id_) {
+    // Cycle closed (Section 3.2.1). Only the minimum-id peer on the cycle
+    // announces it: every peer's probe traverses the same physical cycle,
+    // and rooting the factor at a canonical peer prevents the same
+    // comparison from being double-counted as several factors.
+    const std::vector<NodeId> nodes = RouteNodes(probe.route);
+    const bool canonical_root =
+        *std::min_element(nodes.begin(), nodes.end()) == id_;
+    const size_t length = probe.route.size();
+    if (canonical_root && length >= limits.min_cycle_length &&
+        length <= limits.max_cycle_length) {
+      Closure closure;
+      closure.kind = Closure::Kind::kCycle;
+      closure.edges = probe.route;
+      closure.split = probe.route.size();
+      closure.source = id_;
+      closure.sink = id_;
+      const FactorKey base = FactorKey::Make(closure, 0);
+      if (announced_.insert(base.value).second) {
+        FeedbackAnnouncement announcement;
+        announcement.closure = std::move(closure);
+        announcement.delta = EffectiveDelta();
+        announcement.feedback = CycleFeedback(probe);
+        if (options_->granularity == Granularity::kCoarse) {
+          announcement.feedback =
+              CoarsenFeedback(std::move(announcement.feedback));
+        }
+        AnnounceToOwners(announcement, &out);
+      }
+    }
+    return out;  // Probes stop at their origin.
+  }
+
+  // Parallel-path detection (Section 3.3): pair this probe against cached
+  // probes from the same origin arriving via an independent route.
+  if (probe.route.size() <= limits.max_path_length) {
+    for (const ProbeMessage& cached : probe_cache_[probe.origin]) {
+      if (cached.route.size() > limits.max_path_length) continue;
+      if (!RoutesIndependent(cached.route, probe.route)) continue;
+      // Canonical path order (lexicographically smaller edge sequence
+      // first) so the same physical pair always yields the same closure —
+      // regardless of probe arrival order across discovery rounds.
+      const ProbeMessage* first = &cached;
+      const ProbeMessage* second = &probe;
+      if (second->route < first->route) std::swap(first, second);
+      Closure closure;
+      closure.kind = Closure::Kind::kParallelPaths;
+      closure.edges = first->route;
+      closure.edges.insert(closure.edges.end(), second->route.begin(),
+                           second->route.end());
+      closure.split = first->route.size();
+      closure.source = probe.origin;
+      closure.sink = id_;
+      const FactorKey base = FactorKey::Make(closure, 0);
+      if (!announced_.insert(base.value).second) continue;
+      FeedbackAnnouncement announcement;
+      announcement.closure = std::move(closure);
+      announcement.delta = EffectiveDelta();
+      announcement.feedback = ParallelFeedback(*first, *second);
+      if (options_->granularity == Granularity::kCoarse) {
+        announcement.feedback =
+            CoarsenFeedback(std::move(announcement.feedback));
+      }
+      AnnounceToOwners(announcement, &out);
+    }
+    auto& cache = probe_cache_[probe.origin];
+    if (cache.size() < options_->max_cached_probes) cache.push_back(probe);
+  }
+
+  // Forward (flooding with TTL, simple routes only).
+  const size_t max_route = std::max(limits.max_cycle_length,
+                                    limits.max_path_length);
+  if (probe.ttl == 0 || probe.route.size() >= max_route) return out;
+  const std::vector<NodeId> visited = RouteNodes(probe.route);
+  for (const auto& [edge, mapping] : mappings_) {
+    const NodeId next = graph_->edge(edge).dst;
+    // Simple routes: never revisit an interior node; returning to the
+    // origin is allowed (that closes a cycle).
+    if (next != probe.origin &&
+        std::find(visited.begin(), visited.end(), next) != visited.end()) {
+      continue;
+    }
+    ProbeMessage forwarded = probe;
+    forwarded.ttl = probe.ttl - 1;
+    forwarded.route.push_back(edge);
+    std::vector<std::optional<AttributeId>> images(probe.trail.back().size());
+    for (size_t a = 0; a < images.size(); ++a) {
+      const std::optional<AttributeId> current = probe.trail.back()[a];
+      images[a] = current.has_value() ? mapping.Apply(*current) : std::nullopt;
+    }
+    forwarded.trail.push_back(std::move(images));
+    out.push_back(Outgoing{next, edge, std::move(forwarded)});
+  }
+  return out;
+}
+
+// --- Queries --------------------------------------------------------------------
+
+bool Peer::GateAllows(EdgeId edge, AttributeId attribute) const {
+  const SchemaMapping* m = mapping(edge);
+  if (m == nullptr || !m->Apply(attribute).has_value()) return false;
+  const MappingVarKey var =
+      options_->granularity == Granularity::kCoarse
+          ? MappingVarKey{edge, MappingVarKey::kWholeMapping}
+          : MappingVarKey{edge, attribute};
+  if (!HasEvidence(var)) return options_->forward_without_evidence;
+  return Posterior(var) > options_->theta;
+}
+
+QueryActions Peer::ProcessQuery(const QueryMessage& message,
+                                bool piggyback_beliefs) {
+  QueryActions actions;
+  if (!seen_queries_.insert(message.query_id).second) return actions;
+
+  actions.rows = store_.Execute(message.query);
+
+  if (message.ttl == 0) return actions;
+  for (const auto& [edge, mapping] : mappings_) {
+    const NodeId next = graph_->edge(edge).dst;
+    if (std::find(message.visited.begin(), message.visited.end(), next) !=
+        message.visited.end()) {
+      continue;
+    }
+    bool allowed = true;
+    for (AttributeId attribute : message.query.Attributes()) {
+      if (!GateAllows(edge, attribute)) {
+        allowed = false;
+        break;
+      }
+    }
+    if (!allowed) {
+      actions.blocked_edges.push_back(edge);
+      continue;
+    }
+    Result<Query> translated = message.query.Translate(mapping);
+    if (!translated.ok()) {  // ⊥ slipped through: treat as blocked.
+      actions.blocked_edges.push_back(edge);
+      continue;
+    }
+    QueryMessage forwarded;
+    forwarded.query_id = message.query_id;
+    forwarded.origin = message.origin;
+    forwarded.ttl = message.ttl - 1;
+    forwarded.query = std::move(translated).value();
+    forwarded.visited = message.visited;
+    forwarded.visited.push_back(id_);
+    if (piggyback_beliefs) {
+      forwarded.piggyback = PiggybackUpdatesFor(edge);
+      // Also relay foreign belief messages riding on the incoming query
+      // (gossip-style dissemination, Section 4.3.2).
+      forwarded.piggyback.insert(forwarded.piggyback.end(),
+                                 message.piggyback.begin(),
+                                 message.piggyback.end());
+    }
+    actions.forwards.push_back(Outgoing{next, edge, std::move(forwarded)});
+  }
+  return actions;
+}
+
+}  // namespace pdms

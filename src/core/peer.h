@@ -1,0 +1,228 @@
+#ifndef PDMS_CORE_PEER_H_
+#define PDMS_CORE_PEER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "factor/factor.h"
+#include "graph/digraph.h"
+#include "net/message.h"
+#include "query/document_store.h"
+#include "query/query.h"
+
+namespace pdms {
+
+/// A message a peer wants delivered.
+struct Outgoing {
+  PeerId to = 0;
+  std::optional<EdgeId> via;
+  Payload payload;
+};
+
+/// Outcome of local query processing.
+struct QueryActions {
+  /// Rows produced by the local database.
+  std::vector<ResultRow> rows;
+  /// Translated queries to forward (θ-gate passed).
+  std::vector<Outgoing> forwards;
+  /// Mapping links the θ-gate blocked.
+  std::vector<EdgeId> blocked_edges;
+};
+
+/// One autonomous peer database: schema, documents, outgoing mappings, and
+/// the peer's fragment of the global factor graph (Section 4.1).
+///
+/// A peer stores one factor replica per announced (closure, root-attribute)
+/// pair touching any of its outgoing mappings, together with the last
+/// var->factor message received from each foreign variable. Everything the
+/// peer computes uses only this local state plus incoming messages — the
+/// decentralization claim of the paper, made literal.
+class Peer {
+ public:
+  /// `graph` is the shared topology (used only to resolve edge endpoints,
+  /// information a real deployment would carry in probe metadata).
+  Peer(PeerId id, Schema schema, const Digraph* graph,
+       const EngineOptions* options);
+
+  PeerId id() const { return id_; }
+  const Schema& schema() const { return schema_; }
+  DocumentStore& store() { return store_; }
+  const DocumentStore& store() const { return store_; }
+
+  // --- Mappings -------------------------------------------------------------
+
+  /// Registers the outgoing mapping for `edge` (this peer must be its
+  /// source). Fails with `AlreadyExists` on duplicates.
+  Status AddMapping(EdgeId edge, SchemaMapping mapping);
+
+  /// Drops a mapping and every factor replica that references it (churn).
+  void RemoveMapping(EdgeId edge);
+
+  /// The outgoing mapping stored for `edge`, or nullptr.
+  const SchemaMapping* mapping(EdgeId edge) const;
+
+  std::vector<EdgeId> OutgoingEdges() const;
+
+  // --- Priors & posteriors ----------------------------------------------------
+
+  /// Sets explicit prior belief for one mapping variable (expert
+  /// validation, Section 4.4). Resets the variable's evidence history.
+  void SetPrior(const MappingVarKey& var, double prior);
+  double Prior(const MappingVarKey& var) const;
+
+  /// Posterior P(var = correct). Follows the ⊥ rule: if the mapping has no
+  /// image for the attribute, the posterior is 0 (Section 3.2.1). Without
+  /// any feedback evidence, returns the prior.
+  double Posterior(const MappingVarKey& var) const;
+  Belief PosteriorBelief(const MappingVarKey& var) const;
+
+  /// Whether any factor replica references (edge, attribute).
+  bool HasEvidence(const MappingVarKey& var) const;
+
+  /// EM-style prior update (Section 4.4): records the current posterior of
+  /// every owned variable with evidence as a new observation and sets
+  /// prior = mean of observations (the initial prior counts as the first).
+  void UpdatePriorsFromPosteriors();
+
+  // --- Embedded message passing ----------------------------------------------
+
+  /// Ingests an announced closure + feedback (creates factor replicas).
+  void IngestFeedback(const FeedbackAnnouncement& announcement);
+
+  /// Stores a remote var->factor message.
+  void AbsorbBeliefUpdate(const BeliefUpdate& update);
+
+  /// Executes one local inference round: recomputes factor->var messages
+  /// from stored var->factor state, then var->factor messages for owned
+  /// variables. Returns the max normalized posterior change.
+  double ComputeRound();
+
+  /// Remote messages to the other owners of this peer's factor replicas,
+  /// bundled per recipient (the Section 4.3.1 periodic payload).
+  std::vector<Outgoing> CollectOutgoingBeliefs() const;
+
+  /// Belief updates pertaining to mapping `edge` (for lazy piggybacking,
+  /// Section 4.3.2).
+  std::vector<BeliefUpdate> PiggybackUpdatesFor(EdgeId edge) const;
+
+  /// Number of factor replicas currently stored.
+  size_t replica_count() const { return replicas_.size(); }
+
+  /// Read-only summary of one stored factor replica (engine introspection:
+  /// global-factor-graph reconstruction, baselines, debugging).
+  struct ReplicaView {
+    FactorKey key;
+    FeedbackSign sign = FeedbackSign::kNeutral;
+    std::vector<MappingVarKey> members;
+    double delta = 0.1;
+    Closure::Kind kind = Closure::Kind::kCycle;
+  };
+  std::vector<ReplicaView> ReplicaViews() const;
+
+  /// Per-period remote-message bound: Σ over replicas of
+  /// own_members · (l − 1). On directed simple cycles a peer owns exactly
+  /// one member, so this reduces to the paper's Σ_ci (l_ci − 1) bound
+  /// (Section 4.3.1); parallel-path sources own both path heads and get
+  /// the correspondingly larger bound.
+  size_t RemoteMessageBound() const;
+
+  // --- Probes & discovery -----------------------------------------------------
+
+  /// Emits this peer's initial probes (one per outgoing mapping).
+  std::vector<Outgoing> StartProbes() const;
+
+  /// Handles an arriving probe: may complete a cycle, detect parallel
+  /// paths (announcing feedback to member owners), and forward the probe.
+  std::vector<Outgoing> HandleProbe(const ProbeMessage& probe);
+
+  // --- Queries ----------------------------------------------------------------
+
+  /// Processes an arriving (or locally issued) query: executes it against
+  /// the local store and prepares θ-gated forwards. `piggyback_beliefs`
+  /// appends this peer's belief messages to forwarded queries (lazy
+  /// schedule).
+  QueryActions ProcessQuery(const QueryMessage& message,
+                            bool piggyback_beliefs);
+
+  /// Whether this peer already processed the given query id.
+  bool SawQuery(uint64_t query_id) const {
+    return seen_queries_.count(query_id) > 0;
+  }
+
+ private:
+  /// One replicated feedback factor (Section 4.1 local factor graph).
+  struct Replica {
+    Closure closure;
+    FeedbackSign sign = FeedbackSign::kNeutral;
+    std::vector<MappingVarKey> members;
+    std::vector<PeerId> owner_of_member;
+    double delta = 0.1;
+    /// The factor function (variables are member positions).
+    std::unique_ptr<CycleFeedbackFactor> factor;
+    /// Last µ_{member -> factor} per member (unit until heard otherwise).
+    std::vector<Belief> var_to_factor;
+    /// µ_{factor -> member}, maintained for *owned* members.
+    std::vector<Belief> factor_to_var;
+  };
+
+  /// ∆ used by this peer when announcing feedback.
+  double EffectiveDelta() const;
+
+  /// Per-attribute feedback for a closed cycle probe.
+  std::vector<AttributeFeedback> CycleFeedback(const ProbeMessage& probe) const;
+
+  /// Per-attribute feedback for two independent parallel-path probes.
+  std::vector<AttributeFeedback> ParallelFeedback(
+      const ProbeMessage& first, const ProbeMessage& second) const;
+
+  /// Coarse-granularity aggregation of per-attribute feedback.
+  static std::vector<AttributeFeedback> CoarsenFeedback(
+      std::vector<AttributeFeedback> fine);
+
+  /// Sends `announcement` to every distinct owner of a member mapping.
+  void AnnounceToOwners(const FeedbackAnnouncement& announcement,
+                        std::vector<Outgoing>* out) const;
+
+  /// Node sequence of a probe route (origin, then successive edge dsts).
+  std::vector<NodeId> RouteNodes(const std::vector<EdgeId>& route) const;
+
+  /// True if the two routes share no edge and no interior node.
+  bool RoutesIndependent(const std::vector<EdgeId>& a,
+                         const std::vector<EdgeId>& b) const;
+
+  /// The θ-gate for a query attribute over one mapping (see
+  /// EngineOptions::forward_without_evidence).
+  bool GateAllows(EdgeId edge, AttributeId attribute) const;
+
+  PeerId id_;
+  Schema schema_;
+  const Digraph* graph_;
+  const EngineOptions* options_;
+  DocumentStore store_;
+
+  std::map<EdgeId, SchemaMapping> mappings_;
+  std::map<MappingVarKey, double> priors_;
+  /// EM evidence accumulators: (count, sum) per variable.
+  std::map<MappingVarKey, std::pair<uint64_t, double>> evidence_;
+
+  std::map<FactorKey, Replica> replicas_;
+  /// Replica keys per owned variable.
+  std::map<MappingVarKey, std::vector<FactorKey>> factors_of_var_;
+  /// Posteriors at the end of the previous round (for convergence).
+  std::map<MappingVarKey, double> last_posteriors_;
+
+  /// Closures this peer has already announced (dedup).
+  std::set<std::string> announced_;
+  /// Cached foreign probes per origin for parallel detection.
+  std::map<PeerId, std::vector<ProbeMessage>> probe_cache_;
+  std::set<uint64_t> seen_queries_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_PEER_H_

@@ -1,0 +1,74 @@
+#ifndef PDMS_FACTOR_BELIEF_H_
+#define PDMS_FACTOR_BELIEF_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace pdms {
+
+/// Unnormalized measure over the binary domain {correct, incorrect} of a
+/// mapping variable. Used both for sum-product messages and for posteriors.
+struct Belief {
+  double correct = 1.0;
+  double incorrect = 1.0;
+
+  /// The unit (uninformative) message: the multiplicative identity.
+  static Belief Unit() { return Belief{1.0, 1.0}; }
+
+  /// A normalized point-ish prior: P(correct) = p.
+  static Belief FromProbability(double p) { return Belief{p, 1.0 - p}; }
+
+  /// Pointwise product (combining independent evidence).
+  Belief operator*(const Belief& other) const {
+    return Belief{correct * other.correct, incorrect * other.incorrect};
+  }
+  Belief& operator*=(const Belief& other) {
+    correct *= other.correct;
+    incorrect *= other.incorrect;
+    return *this;
+  }
+
+  /// Normalizes so the two entries sum to 1. An all-zero belief (possible
+  /// when hard evidence conflicts) normalizes to (0.5, 0.5) by convention.
+  Belief Normalized() const {
+    const double z = correct + incorrect;
+    if (z <= 0.0 || !std::isfinite(z)) return Belief{0.5, 0.5};
+    return Belief{correct / z, incorrect / z};
+  }
+
+  /// P(correct) after normalization.
+  double ProbabilityCorrect() const { return Normalized().correct; }
+
+  /// L-infinity distance between the normalized forms; the convergence
+  /// metric of the iterative schedules.
+  double NormalizedDistance(const Belief& other) const {
+    const Belief a = Normalized();
+    const Belief b = other.Normalized();
+    return std::max(std::abs(a.correct - b.correct),
+                    std::abs(a.incorrect - b.incorrect));
+  }
+
+  /// Rescales so max entry is 1 (guards against under/overflow in long
+  /// message products); an all-zero belief is returned unchanged.
+  Belief Rescaled() const {
+    const double m = std::max(correct, incorrect);
+    if (m <= 0.0 || !std::isfinite(m)) return *this;
+    return Belief{correct / m, incorrect / m};
+  }
+
+  /// Linear interpolation toward `target` (damped update):
+  /// (1-lambda)*this + lambda*target, applied to normalized forms.
+  Belief DampedToward(const Belief& target, double lambda) const {
+    const Belief a = Normalized();
+    const Belief b = target.Normalized();
+    return Belief{(1.0 - lambda) * a.correct + lambda * b.correct,
+                  (1.0 - lambda) * a.incorrect + lambda * b.incorrect};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_FACTOR_BELIEF_H_

@@ -1,0 +1,237 @@
+#include "factor/exact.h"
+
+#include <algorithm>
+#include <cassert>
+#include <list>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+Result<std::vector<Belief>> ExactMarginalsBruteForce(const FactorGraph& graph) {
+  const size_t n = graph.variable_count();
+  if (n > 24) {
+    return Status::InvalidArgument(
+        StrFormat("brute force limited to 24 variables, got %zu", n));
+  }
+  std::vector<Belief> marginals(n, Belief{0.0, 0.0});
+
+  // Pre-extract scopes to avoid virtual dispatch in the hot loop where
+  // possible; Evaluate is still virtual but cheap.
+  std::vector<std::vector<bool>> scratch(graph.factor_count());
+  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+    scratch[f].resize(graph.factor(f).arity());
+  }
+
+  for (size_t assignment = 0; assignment < (size_t{1} << n); ++assignment) {
+    double weight = 1.0;
+    for (FactorId f = 0; f < graph.factor_count() && weight > 0.0; ++f) {
+      const auto& vars = graph.factor(f).variables();
+      for (size_t i = 0; i < vars.size(); ++i) {
+        scratch[f][i] = (assignment >> vars[i]) & 1;
+      }
+      weight *= graph.factor(f).Evaluate(scratch[f]);
+    }
+    if (weight == 0.0) continue;
+    for (VarId v = 0; v < n; ++v) {
+      if ((assignment >> v) & 1) {
+        marginals[v].correct += weight;
+      } else {
+        marginals[v].incorrect += weight;
+      }
+    }
+  }
+  for (auto& belief : marginals) belief = belief.Normalized();
+  return marginals;
+}
+
+Result<double> ExactPartitionFunction(const FactorGraph& graph) {
+  const size_t n = graph.variable_count();
+  if (n > 24) {
+    return Status::InvalidArgument(
+        StrFormat("brute force limited to 24 variables, got %zu", n));
+  }
+  double z = 0.0;
+  std::vector<bool> scratch;
+  for (size_t assignment = 0; assignment < (size_t{1} << n); ++assignment) {
+    double weight = 1.0;
+    for (FactorId f = 0; f < graph.factor_count() && weight > 0.0; ++f) {
+      const auto& vars = graph.factor(f).variables();
+      scratch.assign(vars.size(), false);
+      for (size_t i = 0; i < vars.size(); ++i) {
+        scratch[i] = (assignment >> vars[i]) & 1;
+      }
+      weight *= graph.factor(f).Evaluate(scratch);
+    }
+    z += weight;
+  }
+  return z;
+}
+
+namespace {
+
+constexpr size_t kMaxTableBits = 24;
+
+/// Dense factor over a sorted variable scope; row bit i corresponds to
+/// vars[i] (1 = correct). The working representation of variable
+/// elimination.
+struct DenseFactor {
+  std::vector<VarId> vars;  // sorted ascending
+  std::vector<double> table;
+
+  static DenseFactor FromGraphFactor(const Factor& factor) {
+    // Build a sorted scope and a permutation from graph order to sorted.
+    std::vector<VarId> sorted = factor.variables();
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    assert(sorted.size() == factor.arity() &&
+           "factors must not repeat variables");
+
+    std::vector<size_t> position_of(sorted.size());
+    for (size_t i = 0; i < factor.variables().size(); ++i) {
+      const auto it = std::lower_bound(sorted.begin(), sorted.end(),
+                                       factor.variables()[i]);
+      position_of[i] = static_cast<size_t>(it - sorted.begin());
+    }
+
+    DenseFactor dense;
+    dense.vars = std::move(sorted);
+    dense.table.resize(size_t{1} << dense.vars.size());
+    std::vector<bool> assignment(factor.arity());
+    for (size_t row = 0; row < dense.table.size(); ++row) {
+      for (size_t i = 0; i < factor.arity(); ++i) {
+        assignment[i] = (row >> position_of[i]) & 1;
+      }
+      dense.table[row] = factor.Evaluate(assignment);
+    }
+    return dense;
+  }
+};
+
+/// Multiplies two dense factors over the union of their scopes.
+Result<DenseFactor> Multiply(const DenseFactor& a, const DenseFactor& b) {
+  DenseFactor out;
+  std::set_union(a.vars.begin(), a.vars.end(), b.vars.begin(), b.vars.end(),
+                 std::back_inserter(out.vars));
+  if (out.vars.size() > kMaxTableBits) {
+    return Status::InvalidArgument(
+        StrFormat("elimination scope too large: %zu variables",
+                  out.vars.size()));
+  }
+  // For each scope variable, its bit position inside a and b (or npos).
+  auto positions = [&out](const DenseFactor& f) {
+    std::vector<size_t> pos(out.vars.size(), SIZE_MAX);
+    for (size_t i = 0; i < out.vars.size(); ++i) {
+      const auto it = std::lower_bound(f.vars.begin(), f.vars.end(),
+                                       out.vars[i]);
+      if (it != f.vars.end() && *it == out.vars[i]) {
+        pos[i] = static_cast<size_t>(it - f.vars.begin());
+      }
+    }
+    return pos;
+  };
+  const std::vector<size_t> pos_a = positions(a);
+  const std::vector<size_t> pos_b = positions(b);
+
+  out.table.resize(size_t{1} << out.vars.size());
+  for (size_t row = 0; row < out.table.size(); ++row) {
+    size_t row_a = 0;
+    size_t row_b = 0;
+    for (size_t i = 0; i < out.vars.size(); ++i) {
+      const size_t bit = (row >> i) & 1;
+      if (pos_a[i] != SIZE_MAX) row_a |= bit << pos_a[i];
+      if (pos_b[i] != SIZE_MAX) row_b |= bit << pos_b[i];
+    }
+    out.table[row] = a.table[row_a] * b.table[row_b];
+  }
+  return out;
+}
+
+/// Sums variable `v` out of the factor; `v` must be in scope.
+DenseFactor SumOut(const DenseFactor& factor, VarId v) {
+  const auto it = std::lower_bound(factor.vars.begin(), factor.vars.end(), v);
+  assert(it != factor.vars.end() && *it == v);
+  const auto bit = static_cast<size_t>(it - factor.vars.begin());
+
+  DenseFactor out;
+  out.vars = factor.vars;
+  out.vars.erase(out.vars.begin() + static_cast<ptrdiff_t>(bit));
+  out.table.assign(size_t{1} << out.vars.size(), 0.0);
+  for (size_t row = 0; row < factor.table.size(); ++row) {
+    const size_t low = row & ((size_t{1} << bit) - 1);
+    const size_t high = (row >> (bit + 1)) << bit;
+    out.table[high | low] += factor.table[row];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Belief> ExactMarginalVariableElimination(const FactorGraph& graph,
+                                                VarId target) {
+  if (target >= graph.variable_count()) {
+    return Status::InvalidArgument(StrFormat("unknown variable %u", target));
+  }
+  std::list<DenseFactor> pool;
+  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+    pool.push_back(DenseFactor::FromGraphFactor(graph.factor(f)));
+  }
+  // Variables lacking any factor contribute a free factor of 2 to Z but do
+  // not affect the target's marginal, so they can be ignored.
+  std::set<VarId> to_eliminate;
+  for (const auto& dense : pool) {
+    to_eliminate.insert(dense.vars.begin(), dense.vars.end());
+  }
+  to_eliminate.erase(target);
+
+  while (!to_eliminate.empty()) {
+    // Min-scope heuristic: eliminate the variable whose combined factor has
+    // the smallest scope union.
+    VarId best = *to_eliminate.begin();
+    size_t best_scope = SIZE_MAX;
+    for (VarId v : to_eliminate) {
+      std::set<VarId> scope;
+      for (const auto& dense : pool) {
+        if (std::binary_search(dense.vars.begin(), dense.vars.end(), v)) {
+          scope.insert(dense.vars.begin(), dense.vars.end());
+        }
+      }
+      if (scope.size() < best_scope) {
+        best_scope = scope.size();
+        best = v;
+      }
+    }
+
+    DenseFactor combined;
+    combined.vars.clear();
+    combined.table = {1.0};
+    for (auto it = pool.begin(); it != pool.end();) {
+      if (std::binary_search(it->vars.begin(), it->vars.end(), best)) {
+        Result<DenseFactor> product = Multiply(combined, *it);
+        if (!product.ok()) return product.status();
+        combined = std::move(product).value();
+        it = pool.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    pool.push_back(SumOut(combined, best));
+    to_eliminate.erase(best);
+  }
+
+  DenseFactor answer;
+  answer.vars.clear();
+  answer.table = {1.0};
+  for (const auto& dense : pool) {
+    Result<DenseFactor> product = Multiply(answer, dense);
+    if (!product.ok()) return product.status();
+    answer = std::move(product).value();
+  }
+  // `answer` is over {target} (or empty if target had no factors).
+  if (answer.vars.empty()) return Belief{0.5, 0.5};
+  assert(answer.vars.size() == 1 && answer.vars[0] == target);
+  return Belief{answer.table[1], answer.table[0]}.Normalized();
+}
+
+}  // namespace pdms

@@ -1,0 +1,28 @@
+#ifndef PDMS_FACTOR_EXACT_H_
+#define PDMS_FACTOR_EXACT_H_
+
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "util/status.h"
+
+namespace pdms {
+
+/// Exact marginals by brute-force enumeration of all 2^n assignments.
+/// Fails with `InvalidArgument` beyond 24 variables. This is the oracle the
+/// paper compares its decentralized loopy scheme against (Figure 9).
+Result<std::vector<Belief>> ExactMarginalsBruteForce(const FactorGraph& graph);
+
+/// Exact marginal of a single variable by variable elimination with a
+/// min-fill-in ordering; handles graphs whose induced width stays small
+/// even when brute force would be infeasible. Fails if an intermediate
+/// factor would exceed 2^24 entries.
+Result<Belief> ExactMarginalVariableElimination(const FactorGraph& graph,
+                                                VarId target);
+
+/// Exact partition function Z = Σ_X Π_f f(X) by brute force (<= 24 vars).
+Result<double> ExactPartitionFunction(const FactorGraph& graph);
+
+}  // namespace pdms
+
+#endif  // PDMS_FACTOR_EXACT_H_

@@ -1,0 +1,155 @@
+#include "factor/factor.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+std::string Belief::ToString() const {
+  return StrFormat("(c=%.6f, i=%.6f)", correct, incorrect);
+}
+
+std::string PriorFactor::Describe() const {
+  return StrFormat("prior(%.3f)", prior_);
+}
+
+CycleFeedbackFactor::CycleFeedbackFactor(std::vector<VarId> variables,
+                                         bool positive, double delta)
+    : Factor(std::move(variables)), positive_(positive), delta_(delta) {
+  assert(delta >= 0.0 && delta <= 1.0);
+  assert(arity() >= 1);
+}
+
+double CycleFeedbackFactor::ValueForIncorrectCount(size_t k) const {
+  double positive_value;
+  if (k == 0) {
+    positive_value = 1.0;
+  } else if (k == 1) {
+    positive_value = 0.0;
+  } else {
+    positive_value = delta_;
+  }
+  return positive_ ? positive_value : 1.0 - positive_value;
+}
+
+double CycleFeedbackFactor::Evaluate(const std::vector<bool>& correct) const {
+  assert(correct.size() == arity());
+  size_t incorrect_count = 0;
+  for (bool c : correct) {
+    if (!c) ++incorrect_count;
+  }
+  return ValueForIncorrectCount(incorrect_count);
+}
+
+Belief CycleFeedbackFactor::MessageTo(size_t position,
+                                      const std::vector<Belief>& incoming) const {
+  assert(incoming.size() == arity());
+  // The factor value depends only on the number of incorrect mappings, with
+  // three regimes (0 / 1 / >=2 incorrect). Over the *other* variables,
+  // accumulate:
+  //   p0    = mass of "zero incorrect"        = Π c_j
+  //   p1    = mass of "exactly one incorrect" = Σ_j w_j Π_{l≠j} c_l
+  //   total = Π (c_j + w_j)
+  // via the exact DP  p1' = p1*c + p0*w,  p0' = p0*c  (no divisions).
+  double p0 = 1.0;
+  double p1 = 0.0;
+  double total = 1.0;
+  for (size_t j = 0; j < incoming.size(); ++j) {
+    if (j == position) continue;
+    const double c = incoming[j].correct;
+    const double w = incoming[j].incorrect;
+    p1 = p1 * c + p0 * w;
+    p0 = p0 * c;
+    total *= c + w;
+  }
+  const double at_least_two = std::max(0.0, total - p0 - p1);
+  const double at_least_one = std::max(0.0, total - p0);
+
+  const double g0 = ValueForIncorrectCount(0);
+  const double g1 = ValueForIncorrectCount(1);
+  const double g2 = ValueForIncorrectCount(2);
+
+  Belief message;
+  // Recipient correct: total incorrect count == count among others.
+  message.correct = g0 * p0 + g1 * p1 + g2 * at_least_two;
+  // Recipient incorrect: total count == count among others + 1.
+  message.incorrect = g1 * p0 + g2 * at_least_one;
+  return message;
+}
+
+std::string CycleFeedbackFactor::Describe() const {
+  return StrFormat("cycle%s(n=%zu, delta=%.3f)", positive_ ? "+" : "-", arity(),
+                   delta_);
+}
+
+Result<std::unique_ptr<TableFactor>> TableFactor::Create(
+    std::vector<VarId> variables, std::vector<double> table) {
+  if (variables.size() > 20) {
+    return Status::InvalidArgument("TableFactor limited to 20 variables");
+  }
+  const size_t expected = size_t{1} << variables.size();
+  if (table.size() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("table size %zu != 2^%zu", table.size(), variables.size()));
+  }
+  for (double v : table) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      return Status::InvalidArgument("factor entries must be finite and >= 0");
+    }
+  }
+  return std::unique_ptr<TableFactor>(
+      new TableFactor(std::move(variables), std::move(table)));
+}
+
+std::unique_ptr<TableFactor> TableFactor::FromFactor(const Factor& factor) {
+  const size_t n = factor.arity();
+  assert(n <= 20);
+  std::vector<double> table(size_t{1} << n);
+  std::vector<bool> assignment(n);
+  for (size_t row = 0; row < table.size(); ++row) {
+    for (size_t i = 0; i < n; ++i) assignment[i] = (row >> i) & 1;
+    table[row] = factor.Evaluate(assignment);
+  }
+  Result<std::unique_ptr<TableFactor>> result =
+      Create(factor.variables(), std::move(table));
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+double TableFactor::Evaluate(const std::vector<bool>& correct) const {
+  assert(correct.size() == arity());
+  size_t row = 0;
+  for (size_t i = 0; i < correct.size(); ++i) {
+    if (correct[i]) row |= size_t{1} << i;
+  }
+  return table_[row];
+}
+
+Belief TableFactor::MessageTo(size_t position,
+                              const std::vector<Belief>& incoming) const {
+  assert(incoming.size() == arity());
+  Belief message{0.0, 0.0};
+  const size_t n = arity();
+  for (size_t row = 0; row < table_.size(); ++row) {
+    double weight = table_[row];
+    if (weight == 0.0) continue;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == position) continue;
+      weight *= ((row >> i) & 1) ? incoming[i].correct : incoming[i].incorrect;
+    }
+    if ((row >> position) & 1) {
+      message.correct += weight;
+    } else {
+      message.incorrect += weight;
+    }
+  }
+  return message;
+}
+
+std::string TableFactor::Describe() const {
+  return StrFormat("table(n=%zu)", arity());
+}
+
+}  // namespace pdms

@@ -1,0 +1,142 @@
+#ifndef PDMS_FACTOR_FACTOR_H_
+#define PDMS_FACTOR_FACTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "factor/belief.h"
+#include "util/status.h"
+
+namespace pdms {
+
+/// Index of a variable node in a `FactorGraph`.
+using VarId = uint32_t;
+/// Index of a factor node in a `FactorGraph`.
+using FactorId = uint32_t;
+
+/// A non-negative local function over a subset of binary variables — one
+/// node of the bipartite factor graph (Section 3.1 of the paper).
+///
+/// Implementations provide the two primitives sum-product needs: pointwise
+/// evaluation (used by the exact-inference baselines) and the outgoing
+/// message summary
+///   µ_{f->x}(x) = Σ_{~x} f(X) Π_{y in n(f)\{x}} µ_{y->f}(y).
+class Factor {
+ public:
+  explicit Factor(std::vector<VarId> variables)
+      : variables_(std::move(variables)) {}
+  virtual ~Factor() = default;
+
+  Factor(const Factor&) = delete;
+  Factor& operator=(const Factor&) = delete;
+
+  /// The variables this factor touches, in argument order.
+  const std::vector<VarId>& variables() const { return variables_; }
+  size_t arity() const { return variables_.size(); }
+
+  /// Evaluates f at a full assignment. `correct[i]` is the value of
+  /// `variables()[i]` (true = the mapping is semantically correct).
+  virtual double Evaluate(const std::vector<bool>& correct) const = 0;
+
+  /// Sum-product message to `variables()[position]`. `incoming[i]` is
+  /// µ_{variables()[i] -> f}; `incoming[position]` is ignored.
+  virtual Belief MessageTo(size_t position,
+                           const std::vector<Belief>& incoming) const = 0;
+
+  /// Short type tag for debugging ("prior", "cycle+", ...).
+  virtual std::string Describe() const = 0;
+
+ private:
+  std::vector<VarId> variables_;
+};
+
+/// Unary factor encoding a peer's prior belief that a mapping is correct
+/// (the top layer of a PDMS factor graph; Section 4.4).
+class PriorFactor : public Factor {
+ public:
+  PriorFactor(VarId variable, double probability_correct)
+      : Factor({variable}), prior_(probability_correct) {}
+
+  double probability_correct() const { return prior_; }
+
+  double Evaluate(const std::vector<bool>& correct) const override {
+    return correct[0] ? prior_ : 1.0 - prior_;
+  }
+
+  Belief MessageTo(size_t /*position*/,
+                   const std::vector<Belief>& /*incoming*/) const override {
+    return Belief::FromProbability(prior_);
+  }
+
+  std::string Describe() const override;
+
+ private:
+  double prior_;
+};
+
+/// The paper's feedback factor: the conditional probability of observing
+/// the given feedback sign on a cycle / parallel-path closure, as a
+/// function of how many member mappings are incorrect (Section 3.2.1):
+///
+///   P(f+ | k incorrect) = 1 (k=0), 0 (k=1), ∆ (k>=2)
+///   P(f- | k incorrect) = 1 - P(f+ | k incorrect)
+///
+/// The observed feedback variable is folded into the factor (conditioning
+/// slice), so the factor's scope is exactly the member mappings. Messages
+/// are computed in O(arity) using count-based dynamic programming rather
+/// than a 2^arity table.
+class CycleFeedbackFactor : public Factor {
+ public:
+  /// `positive` selects the f+ slice, otherwise f-. `delta` is ∆, the
+  /// probability that two or more mapping errors compensate along the
+  /// closure; must lie in [0, 1].
+  CycleFeedbackFactor(std::vector<VarId> variables, bool positive, double delta);
+
+  bool positive() const { return positive_; }
+  double delta() const { return delta_; }
+
+  double Evaluate(const std::vector<bool>& correct) const override;
+  Belief MessageTo(size_t position,
+                   const std::vector<Belief>& incoming) const override;
+  std::string Describe() const override;
+
+  /// The conditional probability P(feedback-sign | k incorrect mappings).
+  double ValueForIncorrectCount(size_t k) const;
+
+ private:
+  bool positive_;
+  double delta_;
+};
+
+/// Dense table factor over up to 20 binary variables; row index bit i is
+/// the assignment of `variables()[i]` (1 = correct). Used by tests to
+/// cross-validate the structured factors and by the variable-elimination
+/// baseline for intermediate results.
+class TableFactor : public Factor {
+ public:
+  /// `table.size()` must equal 2^variables.size().
+  static Result<std::unique_ptr<TableFactor>> Create(std::vector<VarId> variables,
+                                                     std::vector<double> table);
+
+  /// Materializes any factor into an equivalent dense table.
+  static std::unique_ptr<TableFactor> FromFactor(const Factor& factor);
+
+  double Evaluate(const std::vector<bool>& correct) const override;
+  Belief MessageTo(size_t position,
+                   const std::vector<Belief>& incoming) const override;
+  std::string Describe() const override;
+
+  const std::vector<double>& table() const { return table_; }
+
+ private:
+  TableFactor(std::vector<VarId> variables, std::vector<double> table)
+      : Factor(std::move(variables)), table_(std::move(table)) {}
+
+  std::vector<double> table_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_FACTOR_FACTOR_H_

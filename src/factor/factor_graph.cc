@@ -1,0 +1,44 @@
+#include "factor/factor_graph.h"
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+VarId FactorGraph::AddVariable(std::string name) {
+  variable_names_.push_back(std::move(name));
+  var_factors_.emplace_back();
+  return static_cast<VarId>(variable_names_.size() - 1);
+}
+
+Result<FactorId> FactorGraph::AddFactor(std::unique_ptr<Factor> factor) {
+  for (VarId v : factor->variables()) {
+    if (v >= variable_count()) {
+      return Status::InvalidArgument(
+          StrFormat("factor references unknown variable %u", v));
+    }
+  }
+  const auto id = static_cast<FactorId>(factors_.size());
+  for (VarId v : factor->variables()) {
+    var_factors_[v].push_back(id);
+    ++edge_count_;
+  }
+  factors_.push_back(std::move(factor));
+  return id;
+}
+
+std::string FactorGraph::ToString() const {
+  std::string out = StrFormat("FactorGraph(%zu variables, %zu factors)\n",
+                              variable_count(), factor_count());
+  for (FactorId f = 0; f < factors_.size(); ++f) {
+    out += StrFormat("  f%u = %s over {", f, factors_[f]->Describe().c_str());
+    const auto& vars = factors_[f]->variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += variable_names_[vars[i]];
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace pdms

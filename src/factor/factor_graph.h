@@ -1,0 +1,57 @@
+#ifndef PDMS_FACTOR_FACTOR_GRAPH_H_
+#define PDMS_FACTOR_FACTOR_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "factor/factor.h"
+#include "util/status.h"
+
+namespace pdms {
+
+/// Bipartite graph of binary variables and factors (Section 3.1).
+///
+/// Owns its factors. Variables carry only a debug name; their domain is
+/// always {correct, incorrect}. The graph is append-only: the embedded
+/// engine rebuilds local fragments on change, which is cheap because
+/// fragments are small.
+class FactorGraph {
+ public:
+  FactorGraph() = default;
+  FactorGraph(FactorGraph&&) = default;
+  FactorGraph& operator=(FactorGraph&&) = default;
+
+  /// Adds a variable and returns its id.
+  VarId AddVariable(std::string name);
+
+  /// Adds a factor; all its variables must already exist.
+  Result<FactorId> AddFactor(std::unique_ptr<Factor> factor);
+
+  size_t variable_count() const { return variable_names_.size(); }
+  size_t factor_count() const { return factors_.size(); }
+
+  const std::string& variable_name(VarId v) const { return variable_names_[v]; }
+  const Factor& factor(FactorId f) const { return *factors_[f]; }
+
+  /// Factors adjacent to variable `v`.
+  const std::vector<FactorId>& factors_of(VarId v) const {
+    return var_factors_[v];
+  }
+
+  /// Number of variable–factor edges (message slots per direction).
+  size_t edge_count() const { return edge_count_; }
+
+  /// Multi-line description for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> variable_names_;
+  std::vector<std::unique_ptr<Factor>> factors_;
+  std::vector<std::vector<FactorId>> var_factors_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_FACTOR_FACTOR_GRAPH_H_

@@ -1,0 +1,145 @@
+#include "factor/sum_product.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pdms {
+
+SumProductEngine::SumProductEngine(const FactorGraph& graph,
+                                   SumProductOptions options)
+    : graph_(graph), options_(options), rng_(options.seed) {
+  to_var_.resize(graph_.factor_count());
+  for (FactorId f = 0; f < graph_.factor_count(); ++f) {
+    // "All peers virtually received a unit message from all other peers
+    // prior to starting the algorithm" (Section 4.3): initialize every
+    // message to the unit function.
+    to_var_[f].assign(graph_.factor(f).arity(), Belief::Unit());
+  }
+  staged_ = to_var_;
+}
+
+Belief SumProductEngine::VariableToFactor(FactorId f, size_t position) const {
+  const VarId v = graph_.factor(f).variables()[position];
+  Belief message = Belief::Unit();
+  for (FactorId g : graph_.factors_of(v)) {
+    if (g == f) continue;
+    const auto& vars = graph_.factor(g).variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == v) message *= to_var_[g][i];
+    }
+  }
+  return message.Rescaled();
+}
+
+void SumProductEngine::UpdateFactorMessages(FactorId f, bool synchronous_stage) {
+  const Factor& factor = graph_.factor(f);
+  const size_t n = factor.arity();
+  std::vector<Belief> incoming(n);
+  for (size_t i = 0; i < n; ++i) {
+    incoming[i] = VariableToFactor(f, i);
+    ++message_updates_;
+  }
+  auto& target = synchronous_stage ? staged_[f] : to_var_[f];
+  for (size_t i = 0; i < n; ++i) {
+    if (options_.message_send_probability < 1.0 &&
+        !rng_.Bernoulli(options_.message_send_probability)) {
+      target[i] = to_var_[f][i];  // Message lost: recipient keeps stale value.
+      continue;
+    }
+    Belief computed = factor.MessageTo(i, incoming).Rescaled();
+    if (options_.damping > 0.0) {
+      computed = to_var_[f][i].DampedToward(computed, 1.0 - options_.damping);
+    }
+    target[i] = computed;
+    ++message_updates_;
+  }
+}
+
+double SumProductEngine::Step() {
+  std::vector<Belief> before = Posteriors();
+
+  switch (options_.schedule) {
+    case SumProductSchedule::kFlooding: {
+      for (FactorId f = 0; f < graph_.factor_count(); ++f) {
+        UpdateFactorMessages(f, /*synchronous_stage=*/true);
+      }
+      to_var_ = staged_;
+      break;
+    }
+    case SumProductSchedule::kSerial: {
+      for (FactorId f = 0; f < graph_.factor_count(); ++f) {
+        UpdateFactorMessages(f, /*synchronous_stage=*/false);
+      }
+      break;
+    }
+    case SumProductSchedule::kRandomSerial: {
+      std::vector<FactorId> order(graph_.factor_count());
+      std::iota(order.begin(), order.end(), 0);
+      rng_.Shuffle(&order);
+      for (FactorId f : order) {
+        UpdateFactorMessages(f, /*synchronous_stage=*/false);
+      }
+      break;
+    }
+  }
+
+  double max_change = 0.0;
+  for (VarId v = 0; v < graph_.variable_count(); ++v) {
+    max_change = std::max(max_change, before[v].NormalizedDistance(Posterior(v)));
+  }
+  return max_change;
+}
+
+Belief SumProductEngine::Posterior(VarId v) const {
+  Belief posterior = Belief::Unit();
+  for (FactorId f : graph_.factors_of(v)) {
+    const auto& vars = graph_.factor(f).variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == v) posterior *= to_var_[f][i];
+    }
+  }
+  return posterior.Normalized();
+}
+
+std::vector<Belief> SumProductEngine::Posteriors() const {
+  std::vector<Belief> posteriors(graph_.variable_count());
+  for (VarId v = 0; v < graph_.variable_count(); ++v) {
+    posteriors[v] = Posterior(v);
+  }
+  return posteriors;
+}
+
+SumProductResult SumProductEngine::Run() {
+  SumProductResult result;
+  size_t patience = options_.convergence_patience;
+  if (patience == 0) {
+    patience = options_.message_send_probability >= 1.0
+                   ? 1
+                   : static_cast<size_t>(
+                         std::ceil(3.0 / options_.message_send_probability));
+  }
+  size_t quiet_steps = 0;
+  for (size_t iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    const double change = Step();
+    result.iterations = iteration + 1;
+    if (options_.record_trajectory) {
+      std::vector<double> snapshot(graph_.variable_count());
+      for (VarId v = 0; v < graph_.variable_count(); ++v) {
+        snapshot[v] = Posterior(v).correct;
+      }
+      result.trajectory.push_back(std::move(snapshot));
+    }
+    quiet_steps = change < options_.tolerance ? quiet_steps + 1 : 0;
+    if (quiet_steps >= patience) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.posteriors = Posteriors();
+  result.message_updates = message_updates_;
+  return result;
+}
+
+}  // namespace pdms

@@ -1,0 +1,154 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+NodeId Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+Result<EdgeId> Digraph::AddEdge(NodeId src, NodeId dst) {
+  if (src >= node_count() || dst >= node_count()) {
+    return Status::InvalidArgument(
+        StrFormat("edge endpoint out of range: %u -> %u (nodes: %zu)", src, dst,
+                  node_count()));
+  }
+  if (src == dst) {
+    return Status::InvalidArgument(
+        StrFormat("self-loop mappings are not allowed (node %u)", src));
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{id, src, dst});
+  alive_.push_back(true);
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  ++live_edges_;
+  return id;
+}
+
+Status Digraph::RemoveEdge(EdgeId id) {
+  if (id >= edges_.size() || !alive_[id]) {
+    return Status::NotFound(StrFormat("edge %u does not exist", id));
+  }
+  alive_[id] = false;
+  auto erase_from = [id](std::vector<EdgeId>* list) {
+    list->erase(std::remove(list->begin(), list->end(), id), list->end());
+  };
+  erase_from(&out_[edges_[id].src]);
+  erase_from(&in_[edges_[id].dst]);
+  --live_edges_;
+  return Status::Ok();
+}
+
+bool Digraph::HasEdge(NodeId src, NodeId dst) const {
+  for (EdgeId id : out_[src]) {
+    if (edges_[id].dst == dst) return true;
+  }
+  return false;
+}
+
+Result<EdgeId> Digraph::FindEdge(NodeId src, NodeId dst) const {
+  for (EdgeId id : out_[src]) {
+    if (edges_[id].dst == dst) return id;
+  }
+  return Status::NotFound(StrFormat("no edge %u -> %u", src, dst));
+}
+
+std::vector<EdgeId> Digraph::LiveEdges() const {
+  std::vector<EdgeId> live;
+  live.reserve(live_edges_);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    if (alive_[id]) live.push_back(id);
+  }
+  return live;
+}
+
+std::string Digraph::ToString() const {
+  std::string out = StrFormat("Digraph(%zu nodes, %zu edges)\n", node_count(),
+                              edge_count());
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    if (!alive_[id]) continue;
+    out += StrFormat("  %u -> %u [e%u]\n", edges_[id].src, edges_[id].dst, id);
+  }
+  return out;
+}
+
+namespace {
+
+/// Undirected simple-graph neighbor sets (multi-edges and direction dropped).
+std::vector<std::set<NodeId>> UndirectedNeighbors(const Digraph& graph) {
+  std::vector<std::set<NodeId>> nbrs(graph.node_count());
+  for (EdgeId id : graph.LiveEdges()) {
+    const Edge& e = graph.edge(id);
+    nbrs[e.src].insert(e.dst);
+    nbrs[e.dst].insert(e.src);
+  }
+  return nbrs;
+}
+
+}  // namespace
+
+double ClusteringCoefficient(const Digraph& graph) {
+  const auto nbrs = UndirectedNeighbors(graph);
+  uint64_t triangles_x3 = 0;
+  uint64_t triples = 0;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const size_t d = nbrs[v].size();
+    if (d < 2) continue;
+    triples += d * (d - 1) / 2;
+    for (auto it = nbrs[v].begin(); it != nbrs[v].end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != nbrs[v].end(); ++jt) {
+        if (nbrs[*it].count(*jt) > 0) ++triangles_x3;
+      }
+    }
+  }
+  if (triples == 0) return 0.0;
+  return static_cast<double>(triangles_x3) / static_cast<double>(triples);
+}
+
+std::vector<size_t> UndirectedDegrees(const Digraph& graph) {
+  const auto nbrs = UndirectedNeighbors(graph);
+  std::vector<size_t> degrees(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) degrees[v] = nbrs[v].size();
+  return degrees;
+}
+
+double AveragePathLength(const Digraph& graph) {
+  const auto nbrs = UndirectedNeighbors(graph);
+  uint64_t total = 0;
+  uint64_t pairs = 0;
+  std::vector<int64_t> dist(graph.node_count());
+  for (NodeId s = 0; s < graph.node_count(); ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[s] = 0;
+    std::deque<NodeId> queue{s};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (NodeId w : nbrs[v]) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (NodeId t = 0; t < graph.node_count(); ++t) {
+      if (t != s && dist[t] > 0) {
+        total += static_cast<uint64_t>(dist[t]);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+}  // namespace pdms

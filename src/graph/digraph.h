@@ -1,0 +1,105 @@
+#ifndef PDMS_GRAPH_DIGRAPH_H_
+#define PDMS_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdms {
+
+/// Index of a peer (node) in a mapping network.
+using NodeId = uint32_t;
+/// Index of a mapping (directed edge) in a mapping network.
+using EdgeId = uint32_t;
+
+/// A directed edge `src -> dst`. In PDMS terms: a pairwise schema mapping
+/// allowing queries posed against `src`'s schema to be rewritten into
+/// `dst`'s schema.
+struct Edge {
+  EdgeId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+/// Directed multigraph with stable edge identifiers and tombstone removal.
+///
+/// This is the structural skeleton of a PDMS: nodes are peers, edges are
+/// schema mappings. Multiple parallel edges between the same pair of nodes
+/// are allowed (independently-authored mappings); self-loops are not.
+/// Edge removal (for churn experiments) keeps `EdgeId`s stable: removed ids
+/// are never reused and `edge_alive()` reports liveness.
+class Digraph {
+ public:
+  Digraph() = default;
+  /// Creates a graph with `node_count` isolated nodes.
+  explicit Digraph(size_t node_count) : out_(node_count), in_(node_count) {}
+
+  /// Adds an isolated node and returns its id.
+  NodeId AddNode();
+
+  /// Adds a directed edge. Fails with `InvalidArgument` for out-of-range
+  /// endpoints or self-loops.
+  Result<EdgeId> AddEdge(NodeId src, NodeId dst);
+
+  /// Tombstones an edge. Fails with `NotFound` if already removed or
+  /// out of range.
+  Status RemoveEdge(EdgeId id);
+
+  size_t node_count() const { return out_.size(); }
+  /// Total edges ever added, including removed ones (the EdgeId space).
+  size_t edge_capacity() const { return edges_.size(); }
+  /// Currently live edges.
+  size_t edge_count() const { return live_edges_; }
+
+  bool edge_alive(EdgeId id) const {
+    return id < alive_.size() && alive_[id];
+  }
+  /// Endpoint record for a live or dead edge id (id must be < capacity).
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// Live outgoing edge ids of `node`.
+  const std::vector<EdgeId>& out_edges(NodeId node) const { return out_[node]; }
+  /// Live incoming edge ids of `node`.
+  const std::vector<EdgeId>& in_edges(NodeId node) const { return in_[node]; }
+
+  /// True if at least one live edge `src -> dst` exists.
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  /// First live edge id `src -> dst`, or `NotFound`.
+  Result<EdgeId> FindEdge(NodeId src, NodeId dst) const;
+
+  /// All live edge ids, ascending.
+  std::vector<EdgeId> LiveEdges() const;
+
+  /// Undirected degree (in + out, counting multi-edges) of `node`.
+  size_t Degree(NodeId node) const {
+    return out_[node].size() + in_[node].size();
+  }
+
+  /// Multi-line human-readable dump ("0 -> 1 [e0]" per edge).
+  std::string ToString() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<bool> alive_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  size_t live_edges_ = 0;
+};
+
+/// Global clustering coefficient of the underlying undirected simple graph
+/// (3 × triangles / connected triples). Returns 0 for degenerate graphs.
+double ClusteringCoefficient(const Digraph& graph);
+
+/// Undirected degree of every node (multi-edges collapsed).
+std::vector<size_t> UndirectedDegrees(const Digraph& graph);
+
+/// Average shortest-path length over reachable ordered pairs of the
+/// underlying undirected graph; returns 0 if no pairs are reachable.
+double AveragePathLength(const Digraph& graph);
+
+}  // namespace pdms
+
+#endif  // PDMS_GRAPH_DIGRAPH_H_

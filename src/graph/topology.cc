@@ -1,0 +1,163 @@
+#include "graph/topology.h"
+
+#include <cassert>
+#include <set>
+
+namespace pdms {
+namespace topology {
+
+namespace {
+EdgeId MustAdd(Digraph* graph, NodeId src, NodeId dst) {
+  Result<EdgeId> result = graph->AddEdge(src, dst);
+  assert(result.ok());
+  return *result;
+}
+}  // namespace
+
+Digraph ExampleGraph(ExampleEdges* edges) {
+  Digraph graph(4);  // p1..p4 -> 0..3
+  ExampleEdges ids;
+  ids.m12 = MustAdd(&graph, 0, 1);
+  ids.m23 = MustAdd(&graph, 1, 2);
+  ids.m34 = MustAdd(&graph, 2, 3);
+  ids.m41 = MustAdd(&graph, 3, 0);
+  ids.m24 = MustAdd(&graph, 1, 3);
+  ids.m21 = ExampleEdges::kAbsent;
+  if (edges != nullptr) *edges = ids;
+  return graph;
+}
+
+Digraph ExampleGraphDirected(ExampleEdges* edges) {
+  ExampleEdges ids;
+  Digraph graph = ExampleGraph(&ids);
+  ids.m21 = MustAdd(&graph, 1, 0);
+  if (edges != nullptr) *edges = ids;
+  return graph;
+}
+
+Digraph ExampleGraphExtended(size_t inserted, ExampleEdges* edges,
+                             std::vector<EdgeId>* chain) {
+  Digraph graph(4 + inserted);
+  ExampleEdges ids;
+  std::vector<EdgeId> chain_ids;
+  // p1 -> x1 -> ... -> xk -> p2, where the inserted peers get ids 4..3+k.
+  NodeId previous = 0;
+  for (size_t i = 0; i < inserted; ++i) {
+    const NodeId next = static_cast<NodeId>(4 + i);
+    chain_ids.push_back(MustAdd(&graph, previous, next));
+    previous = next;
+  }
+  chain_ids.push_back(MustAdd(&graph, previous, 1));
+  ids.m12 = chain_ids.front();
+  ids.m23 = MustAdd(&graph, 1, 2);
+  ids.m34 = MustAdd(&graph, 2, 3);
+  ids.m41 = MustAdd(&graph, 3, 0);
+  ids.m24 = MustAdd(&graph, 1, 3);
+  ids.m21 = ExampleEdges::kAbsent;
+  if (edges != nullptr) *edges = ids;
+  if (chain != nullptr) *chain = chain_ids;
+  return graph;
+}
+
+Digraph Ring(size_t n) {
+  assert(n >= 2);
+  Digraph graph(n);
+  for (size_t i = 0; i < n; ++i) {
+    MustAdd(&graph, static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return graph;
+}
+
+Digraph ErdosRenyi(size_t n, double p, Rng* rng) {
+  Digraph graph(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i != j && rng->Bernoulli(p)) MustAdd(&graph, i, j);
+    }
+  }
+  return graph;
+}
+
+Digraph BarabasiAlbert(size_t n, size_t m, Rng* rng) {
+  assert(m >= 1);
+  assert(n >= m + 1);
+  Digraph graph(n);
+  // Repeated-node list implements preferential attachment: a node appears
+  // once per incident link, so sampling uniformly from it is
+  // degree-proportional.
+  std::vector<NodeId> attachment;
+
+  // Seed: a (m+1)-clique of undirected links with random orientation.
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = static_cast<NodeId>(i + 1); j <= m; ++j) {
+      const bool flip = rng->Bernoulli(0.5);
+      MustAdd(&graph, flip ? j : i, flip ? i : j);
+      attachment.push_back(i);
+      attachment.push_back(j);
+    }
+  }
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    std::set<NodeId> targets;
+    while (targets.size() < m) {
+      targets.insert(attachment[rng->Index(attachment.size())]);
+    }
+    for (NodeId t : targets) {
+      const bool flip = rng->Bernoulli(0.5);
+      MustAdd(&graph, flip ? t : v, flip ? v : t);
+      attachment.push_back(v);
+      attachment.push_back(t);
+    }
+  }
+  return graph;
+}
+
+Digraph WattsStrogatz(size_t n, size_t k, double beta, Rng* rng) {
+  assert(k % 2 == 0);
+  assert(n > k);
+  // Build the undirected link set first so rewiring can avoid duplicates.
+  std::set<std::pair<NodeId, NodeId>> links;
+  auto canon = [](NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    for (size_t d = 1; d <= k / 2; ++d) {
+      links.insert(canon(i, static_cast<NodeId>((i + d) % n)));
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> rewired(links.begin(), links.end());
+  for (auto& link : rewired) {
+    if (!rng->Bernoulli(beta)) continue;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto target = static_cast<NodeId>(rng->Index(n));
+      if (target == link.first) continue;
+      const auto candidate = canon(link.first, target);
+      if (links.count(candidate) > 0) continue;
+      links.erase(canon(link.first, link.second));
+      links.insert(candidate);
+      link = candidate;
+      break;
+    }
+  }
+  Digraph graph(n);
+  for (const auto& [a, b] : links) {
+    const bool flip = rng->Bernoulli(0.5);
+    MustAdd(&graph, flip ? b : a, flip ? a : b);
+  }
+  return graph;
+}
+
+std::vector<EdgeId> Symmetrize(Digraph* graph) {
+  std::vector<EdgeId> added;
+  for (EdgeId id : graph->LiveEdges()) {
+    const Edge& e = graph->edge(id);
+    if (!graph->HasEdge(e.dst, e.src)) {
+      Result<EdgeId> reverse = graph->AddEdge(e.dst, e.src);
+      assert(reverse.ok());
+      added.push_back(*reverse);
+    }
+  }
+  return added;
+}
+
+}  // namespace topology
+}  // namespace pdms

@@ -1,0 +1,62 @@
+#ifndef PDMS_GRAPH_TOPOLOGY_H_
+#define PDMS_GRAPH_TOPOLOGY_H_
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace pdms {
+namespace topology {
+
+/// Named edge ids of the paper's running example (Figures 1, 4, 5).
+/// Peers are numbered p1..p4 -> nodes 0..3.
+struct ExampleEdges {
+  EdgeId m12, m23, m34, m41, m24;
+  /// Only present in the directed example (Figure 5); otherwise == kAbsent.
+  EdgeId m21;
+  static constexpr EdgeId kAbsent = static_cast<EdgeId>(-1);
+};
+
+/// The five-mapping example network of Figure 4 (used undirected in the
+/// paper; edges are stored with the orientations of Figure 5 minus m21).
+Digraph ExampleGraph(ExampleEdges* edges);
+
+/// The six-mapping directed example network of Figure 5 (adds m21).
+Digraph ExampleGraphDirected(ExampleEdges* edges);
+
+/// The Figure 8 construction: the example network with `inserted` extra
+/// peers spliced into the p1 -> p2 mapping, lengthening cycles f1 and f2 by
+/// `inserted` hops. With inserted == 0 this equals `ExampleGraph`.
+/// `chain` (optional) receives the edge ids of the p1 -> ... -> p2 chain in
+/// order; all other example edge ids are returned through `edges` (with
+/// m12 == first chain edge).
+Digraph ExampleGraphExtended(size_t inserted, ExampleEdges* edges,
+                             std::vector<EdgeId>* chain);
+
+/// Directed ring 0 -> 1 -> ... -> n-1 -> 0 (the Figure 10 workload).
+/// Requires n >= 2.
+Digraph Ring(size_t n);
+
+/// Directed Erdős–Rényi G(n, p): each ordered pair (i, j), i != j, gets an
+/// edge independently with probability `p`.
+Digraph ErdosRenyi(size_t n, double p, Rng* rng);
+
+/// Scale-free network via Barabási–Albert preferential attachment with `m`
+/// links per new node; each undirected link is stored with a random
+/// orientation. Requires n >= m + 1 and m >= 1.
+Digraph BarabasiAlbert(size_t n, size_t m, Rng* rng);
+
+/// Watts–Strogatz small world: ring of n nodes, each linked to its k/2
+/// nearest neighbors on each side, rewired with probability `beta`; random
+/// orientations. Requires k even, n > k.
+Digraph WattsStrogatz(size_t n, size_t k, double beta, Rng* rng);
+
+/// Adds the reverse of every live edge that lacks one and reports the added
+/// ids; models bidirectional mappings.
+std::vector<EdgeId> Symmetrize(Digraph* graph);
+
+}  // namespace topology
+}  // namespace pdms
+
+#endif  // PDMS_GRAPH_TOPOLOGY_H_

@@ -1,0 +1,96 @@
+#include "mapping/mapping.h"
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+SchemaMapping SchemaMapping::FromCorrespondences(
+    std::string name, size_t source_size,
+    const std::vector<Correspondence>& correspondences) {
+  SchemaMapping mapping(std::move(name), source_size);
+  for (const Correspondence& c : correspondences) {
+    if (c.source < source_size) mapping.table_[c.source] = c.target;
+  }
+  return mapping;
+}
+
+Status SchemaMapping::Set(AttributeId source,
+                          std::optional<AttributeId> target) {
+  if (source >= table_.size()) {
+    return Status::OutOfRange(
+        StrFormat("source attribute %u out of range (%zu)", source,
+                  table_.size()));
+  }
+  table_[source] = target;
+  return Status::Ok();
+}
+
+size_t SchemaMapping::DefinedCount() const {
+  size_t count = 0;
+  for (const auto& entry : table_) {
+    if (entry.has_value()) ++count;
+  }
+  return count;
+}
+
+SchemaMapping SchemaMapping::ComposeWith(const SchemaMapping& next) const {
+  SchemaMapping composed(name_ + "∘" + next.name_, table_.size());
+  for (AttributeId a = 0; a < table_.size(); ++a) {
+    const std::optional<AttributeId> mid = table_[a];
+    composed.table_[a] = mid.has_value() ? next.Apply(*mid) : std::nullopt;
+  }
+  return composed;
+}
+
+Result<SchemaMapping> SchemaMapping::ComposeChain(
+    const std::vector<const SchemaMapping*>& chain) {
+  if (chain.empty()) {
+    return Status::InvalidArgument("cannot compose an empty mapping chain");
+  }
+  SchemaMapping composed = *chain[0];
+  for (size_t i = 1; i < chain.size(); ++i) {
+    composed = composed.ComposeWith(*chain[i]);
+  }
+  return composed;
+}
+
+std::string SchemaMapping::ToString() const {
+  std::string out = StrFormat("Mapping '%s' (%zu attributes, %zu defined)\n",
+                              name_.c_str(), table_.size(), DefinedCount());
+  for (AttributeId a = 0; a < table_.size(); ++a) {
+    if (table_[a].has_value()) {
+      out += StrFormat("  %u -> %u\n", a, *table_[a]);
+    } else {
+      out += StrFormat("  %u -> ⊥\n", a);
+    }
+  }
+  return out;
+}
+
+std::string_view FeedbackSignName(FeedbackSign sign) {
+  switch (sign) {
+    case FeedbackSign::kPositive:
+      return "positive";
+    case FeedbackSign::kNegative:
+      return "negative";
+    case FeedbackSign::kNeutral:
+      return "neutral";
+  }
+  return "?";
+}
+
+FeedbackSign CompareCycle(const SchemaMapping& closure, AttributeId a) {
+  const std::optional<AttributeId> image = closure.Apply(a);
+  if (!image.has_value()) return FeedbackSign::kNeutral;
+  return *image == a ? FeedbackSign::kPositive : FeedbackSign::kNegative;
+}
+
+FeedbackSign CompareParallel(const SchemaMapping& path1,
+                             const SchemaMapping& path2, AttributeId a) {
+  const std::optional<AttributeId> image1 = path1.Apply(a);
+  const std::optional<AttributeId> image2 = path2.Apply(a);
+  if (!image1.has_value() || !image2.has_value()) return FeedbackSign::kNeutral;
+  return *image1 == *image2 ? FeedbackSign::kPositive : FeedbackSign::kNegative;
+}
+
+}  // namespace pdms

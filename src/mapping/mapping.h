@@ -1,0 +1,88 @@
+#ifndef PDMS_MAPPING_MAPPING_H_
+#define PDMS_MAPPING_MAPPING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/alignment.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace pdms {
+
+/// A directed pairwise schema mapping: for every attribute of the source
+/// schema, either the target attribute it is rewritten into, or ⊥ (the
+/// target schema has no representation for it; Section 3.2.1).
+///
+/// This is the operational object queries are translated through; whether
+/// an individual entry is *semantically* correct is exactly what the
+/// paper's message passing scheme estimates.
+class SchemaMapping {
+ public:
+  SchemaMapping() = default;
+
+  /// Creates an empty (all-⊥) mapping for `source_size` attributes.
+  SchemaMapping(std::string name, size_t source_size)
+      : name_(std::move(name)),
+        table_(source_size, std::nullopt) {}
+
+  /// Builds a mapping from aligner output.
+  static SchemaMapping FromCorrespondences(
+      std::string name, size_t source_size,
+      const std::vector<Correspondence>& correspondences);
+
+  const std::string& name() const { return name_; }
+  size_t source_size() const { return table_.size(); }
+
+  /// Sets the image of `source`; fails on out-of-range source.
+  Status Set(AttributeId source, std::optional<AttributeId> target);
+
+  /// Image of a source attribute (⊥ as nullopt).
+  std::optional<AttributeId> Apply(AttributeId source) const {
+    return source < table_.size() ? table_[source] : std::nullopt;
+  }
+
+  /// Number of non-⊥ entries.
+  size_t DefinedCount() const;
+
+  /// Composition `next ∘ this`: first apply this mapping, then `next`.
+  /// ⊥ propagates. The result maps this mapping's source schema into
+  /// `next`'s target schema — one step of the paper's transitive closure
+  /// of mapping operations.
+  SchemaMapping ComposeWith(const SchemaMapping& next) const;
+
+  /// Composes a whole chain left-to-right; an empty chain is invalid.
+  static Result<SchemaMapping> ComposeChain(
+      const std::vector<const SchemaMapping*>& chain);
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::optional<AttributeId>> table_;
+};
+
+/// Per-attribute comparison outcome between an original attribute and its
+/// image under a closed chain of mappings (Section 3.2.1).
+enum class FeedbackSign : uint8_t {
+  kPositive = 0,  ///< image == original: semantic agreement along the cycle
+  kNegative = 1,  ///< image != original: at least one mapping disagreed
+  kNeutral = 2,   ///< image == ⊥: no representation at some hop
+};
+
+std::string_view FeedbackSignName(FeedbackSign sign);
+
+/// Compares attribute `a` against its image under the composed cycle
+/// mapping `closure` (whose source and target schema are the same).
+FeedbackSign CompareCycle(const SchemaMapping& closure, AttributeId a);
+
+/// Compares the images of attribute `a` under two composed parallel-path
+/// mappings (Section 3.3): positive if both defined and equal, negative if
+/// both defined and different, neutral if either is ⊥.
+FeedbackSign CompareParallel(const SchemaMapping& path1,
+                             const SchemaMapping& path2, AttributeId a);
+
+}  // namespace pdms
+
+#endif  // PDMS_MAPPING_MAPPING_H_

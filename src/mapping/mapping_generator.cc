@@ -1,0 +1,100 @@
+#include "mapping/mapping_generator.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+size_t SyntheticPdms::CountErroneousEntries() const {
+  size_t erroneous = 0;
+  for (EdgeId e = 0; e < ground_truth.size(); ++e) {
+    if (!graph.edge_alive(e)) continue;
+    for (AttributeId a = 0; a < ground_truth[e].size(); ++a) {
+      if (!ground_truth[e][a] && mappings[e].Apply(a).has_value()) ++erroneous;
+    }
+  }
+  return erroneous;
+}
+
+SyntheticPdms BuildSyntheticPdms(const Digraph& graph,
+                                 const MappingNetworkOptions& options,
+                                 Rng* rng) {
+  SyntheticPdms pdms;
+  pdms.graph = graph;
+  const size_t s = options.attributes_per_schema;
+
+  pdms.schemas.reserve(graph.node_count());
+  for (NodeId p = 0; p < graph.node_count(); ++p) {
+    Schema schema(StrFormat("p%u", p));
+    for (size_t a = 0; a < s; ++a) {
+      Result<AttributeId> id = schema.AddAttribute(StrFormat("p%u_a%zu", p, a));
+      assert(id.ok());
+      (void)id;
+    }
+    pdms.schemas.push_back(std::move(schema));
+  }
+
+  pdms.mappings.resize(graph.edge_capacity());
+  pdms.ground_truth.resize(graph.edge_capacity());
+  for (EdgeId e = 0; e < graph.edge_capacity(); ++e) {
+    if (!graph.edge_alive(e)) continue;
+    const Edge& edge = graph.edge(e);
+    SchemaMapping mapping(StrFormat("m%u_%u", edge.src, edge.dst), s);
+    std::vector<bool> truth(s, true);
+    for (AttributeId a = 0; a < s; ++a) {
+      if (options.null_rate > 0.0 && rng->Bernoulli(options.null_rate)) {
+        // ⊥: asserts nothing, so it stays "correct" in the ground truth.
+        continue;
+      }
+      if (rng->Bernoulli(options.error_rate)) {
+        // Map to a uniformly random *different* attribute (the paper's
+        // error model behind the ∆ estimate, Section 4.5).
+        AttributeId wrong = a;
+        while (wrong == a && s > 1) {
+          wrong = static_cast<AttributeId>(rng->Index(s));
+        }
+        Status status = mapping.Set(a, wrong);
+        assert(status.ok());
+        (void)status;
+        truth[a] = false;
+      } else {
+        Status status = mapping.Set(a, a);
+        assert(status.ok());
+        (void)status;
+      }
+    }
+    pdms.mappings[e] = std::move(mapping);
+    pdms.ground_truth[e] = std::move(truth);
+  }
+  return pdms;
+}
+
+SchemaMapping MakeConceptMapping(const std::string& name, size_t attributes,
+                                 const std::vector<AttributeId>& wrong_on,
+                                 Rng* rng) {
+  SchemaMapping mapping(name, attributes);
+  std::vector<bool> wrong(attributes, false);
+  for (AttributeId a : wrong_on) {
+    assert(a < attributes);
+    wrong[a] = true;
+  }
+  for (AttributeId a = 0; a < attributes; ++a) {
+    if (!wrong[a]) {
+      Status status = mapping.Set(a, a);
+      assert(status.ok());
+      (void)status;
+      continue;
+    }
+    AttributeId target = a;
+    while (target == a && attributes > 1) {
+      target = static_cast<AttributeId>(rng->Index(attributes));
+    }
+    Status status = mapping.Set(a, target);
+    assert(status.ok());
+    (void)status;
+  }
+  return mapping;
+}
+
+}  // namespace pdms

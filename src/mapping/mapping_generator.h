@@ -1,0 +1,61 @@
+#ifndef PDMS_MAPPING_MAPPING_GENERATOR_H_
+#define PDMS_MAPPING_MAPPING_GENERATOR_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "mapping/mapping.h"
+#include "schema/schema.h"
+#include "util/rng.h"
+
+namespace pdms {
+
+/// Configuration for synthetic mapping networks over a shared concept
+/// universe (used by the simulation experiments, Section 5.1).
+struct MappingNetworkOptions {
+  /// Attributes per schema. The paper's convergence experiments use
+  /// schemas of about ten attributes (∆ = 0.1).
+  size_t attributes_per_schema = 10;
+  /// Probability that a mapping entry is semantically wrong (maps to a
+  /// uniformly random different attribute).
+  double error_rate = 0.2;
+  /// Probability that a mapping entry is ⊥ (target lacks the concept).
+  double null_rate = 0.0;
+};
+
+/// A fully materialized synthetic PDMS: topology, one schema per peer, one
+/// mapping per directed edge, plus the ground truth needed for scoring.
+///
+/// Every peer's schema draws from the same concept universe with peer-
+/// specific attribute names ("p3_a7"), and the hidden permutation between
+/// schemas is the identity on concept ids — so mapping entry `a -> b` is
+/// correct iff both denote the same concept.
+struct SyntheticPdms {
+  Digraph graph;
+  std::vector<Schema> schemas;                 // indexed by NodeId
+  std::vector<SchemaMapping> mappings;         // indexed by EdgeId
+  /// ground_truth[edge][attr] = true iff the entry is semantically correct.
+  /// ⊥ entries are recorded as correct (they assert nothing).
+  std::vector<std::vector<bool>> ground_truth;
+
+  /// Count of attribute-level mapping entries that are wrong.
+  size_t CountErroneousEntries() const;
+};
+
+/// Builds schemas and mappings for every live edge of `graph`.
+/// Deterministic for a given `rng` state.
+SyntheticPdms BuildSyntheticPdms(const Digraph& graph,
+                                 const MappingNetworkOptions& options,
+                                 Rng* rng);
+
+/// Builds a mapping for one edge where the *whole mapping* is either
+/// correct (identity on concepts) or faulty on a chosen set of attributes;
+/// used by tests and by benches that need precise control (e.g. the
+/// introductory example where m24 garbles exactly the Creator attribute).
+SchemaMapping MakeConceptMapping(const std::string& name, size_t attributes,
+                                 const std::vector<AttributeId>& wrong_on,
+                                 Rng* rng);
+
+}  // namespace pdms
+
+#endif  // PDMS_MAPPING_MAPPING_GENERATOR_H_

@@ -1,0 +1,53 @@
+#include "net/message.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+std::string MappingVarKey::ToString() const {
+  if (attribute == kWholeMapping) return StrFormat("m(e%u)", edge);
+  return StrFormat("m(e%u,a%u)", edge, attribute);
+}
+
+FactorKey FactorKey::Make(const Closure& closure, AttributeId root_attribute) {
+  // Canonical form: kind prefix + sorted member edges + root peer (cycles
+  // are announced only by their minimum-id member, so source is canonical)
+  // + sink/split for parallel paths + root attribute. The key must identify
+  // the factor *content*: the same edge set rooted at a different peer
+  // induces a different attribute chain and therefore a different factor.
+  std::vector<EdgeId> sorted = closure.edges;
+  std::sort(sorted.begin(), sorted.end());
+  std::string value = closure.kind == Closure::Kind::kCycle ? "c:" : "p:";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) value += ',';
+    value += StrFormat("e%u", sorted[i]);
+  }
+  value += StrFormat(":s%u", closure.source);
+  if (closure.kind == Closure::Kind::kParallelPaths) {
+    value += StrFormat(":t%u:k%zu", closure.sink, closure.split);
+  }
+  value += StrFormat("@a%u", root_attribute);
+  return FactorKey{std::move(value)};
+}
+
+std::string_view MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kProbe:
+      return "probe";
+    case MessageKind::kFeedback:
+      return "feedback";
+    case MessageKind::kBelief:
+      return "belief";
+    case MessageKind::kQuery:
+      return "query";
+  }
+  return "?";
+}
+
+MessageKind KindOf(const Payload& payload) {
+  return static_cast<MessageKind>(payload.index());
+}
+
+}  // namespace pdms

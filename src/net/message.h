@@ -1,0 +1,143 @@
+#ifndef PDMS_NET_MESSAGE_H_
+#define PDMS_NET_MESSAGE_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "factor/belief.h"
+#include "graph/closure.h"
+#include "graph/digraph.h"
+#include "mapping/mapping.h"
+#include "query/query.h"
+#include "schema/schema.h"
+
+namespace pdms {
+
+/// Peers are the nodes of the mapping network.
+using PeerId = NodeId;
+
+/// Globally addressable fine-granularity mapping variable: the correctness
+/// of mapping `edge` for source-schema attribute `attribute` (Section 4.1,
+/// fine granularity). Coarse granularity uses attribute == kWholeMapping.
+struct MappingVarKey {
+  EdgeId edge = 0;
+  AttributeId attribute = 0;
+
+  /// Sentinel attribute for coarse (per-mapping) granularity.
+  static constexpr AttributeId kWholeMapping = static_cast<AttributeId>(-1);
+
+  auto operator<=>(const MappingVarKey&) const = default;
+  std::string ToString() const;
+};
+
+/// Canonical identity of a feedback factor: the closure structure plus the
+/// root attribute whose transformation chain it scores. All peers derive
+/// the same key for the same closure, so remote messages can be routed to
+/// the right factor replica without central coordination.
+struct FactorKey {
+  std::string value;
+
+  static FactorKey Make(const Closure& closure, AttributeId root_attribute);
+
+  auto operator<=>(const FactorKey&) const = default;
+};
+
+/// One remote sum-product message µ_{var -> factor} (Section 4.3,
+/// "remote message for factor fak from peer p0 to peer pj").
+struct BeliefUpdate {
+  FactorKey factor;
+  MappingVarKey var;
+  Belief belief;
+};
+
+/// A TTL-bounded probe flooded to discover cycles and parallel paths
+/// (Section 3.2.1: "proactively flooding their neighborhood with probe
+/// messages with a certain Time-To-Live").
+///
+/// The probe carries the transitive closure of the mapping operations it
+/// traversed: for every attribute of the origin's schema, its current
+/// image (or ⊥), plus the full per-hop trail so feedback factors can name
+/// the (edge, attribute) variable at each hop.
+struct ProbeMessage {
+  PeerId origin = 0;
+  uint32_t ttl = 0;
+  /// Mapping edges traversed, in order.
+  std::vector<EdgeId> route;
+  /// trail[h][a] = image of origin attribute `a` after h+1 hops.
+  std::vector<std::vector<std::optional<AttributeId>>> trail;
+};
+
+/// Feedback for one (closure, root attribute): the observed sign and the
+/// chain of mapping variables the corresponding factor connects.
+/// Neutral feedback is never announced (it generates no factor).
+struct AttributeFeedback {
+  AttributeId root_attribute = 0;
+  FeedbackSign sign = FeedbackSign::kNeutral;
+  /// (edge, source-attribute) for every mapping in the closure, in closure
+  /// order; the factor's variable scope.
+  std::vector<MappingVarKey> members;
+};
+
+/// Announcement of a discovered closure with its per-attribute feedback,
+/// sent by the discovering peer to every peer owning a member mapping
+/// (the `feedbackMessage` of the Section 4.1 pseudocode).
+struct FeedbackAnnouncement {
+  Closure closure;
+  std::vector<AttributeFeedback> feedback;
+  /// ∆ estimated by the discovering peer (Section 4.5: ≈ 1/(s−1) for a
+  /// schema of s attributes, unless overridden by configuration).
+  double delta = 0.1;
+};
+
+/// A bundle of remote belief messages (periodic schedule, Section 4.3.1).
+struct BeliefMessage {
+  std::vector<BeliefUpdate> updates;
+};
+
+/// A query being propagated through the network (Section 2). The query is
+/// always expressed in the *recipient*'s schema: the sender translates it
+/// through the mapping link before sending. Under the lazy schedule
+/// (Section 4.3.2) remote belief messages piggyback on it.
+struct QueryMessage {
+  uint64_t query_id = 0;
+  PeerId origin = 0;
+  uint32_t ttl = 0;
+  Query query;
+  /// Peers that have already processed this query (loop suppression).
+  std::vector<PeerId> visited;
+  /// Piggybacked belief messages (lazy schedule; empty otherwise).
+  std::vector<BeliefUpdate> piggyback;
+};
+
+using Payload =
+    std::variant<ProbeMessage, FeedbackAnnouncement, BeliefMessage, QueryMessage>;
+
+/// Payload type indices, used for network statistics.
+enum class MessageKind : uint8_t {
+  kProbe = 0,
+  kFeedback = 1,
+  kBelief = 2,
+  kQuery = 3,
+};
+constexpr size_t kMessageKindCount = 4;
+
+std::string_view MessageKindName(MessageKind kind);
+MessageKind KindOf(const Payload& payload);
+
+/// A payload in flight.
+struct Envelope {
+  PeerId from = 0;
+  PeerId to = 0;
+  /// The mapping link it traveled through (edge id), when applicable.
+  std::optional<EdgeId> via;
+  uint64_t deliver_at = 0;  ///< network tick of delivery
+  Payload payload;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_NET_MESSAGE_H_

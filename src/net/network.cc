@@ -1,0 +1,70 @@
+#include "net/network.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+uint64_t NetworkStats::TotalSent() const {
+  uint64_t total = 0;
+  for (uint64_t s : sent) total += s;
+  return total;
+}
+
+std::string NetworkStats::ToString() const {
+  std::string out;
+  for (size_t k = 0; k < kMessageKindCount; ++k) {
+    out += StrFormat("%s: sent=%llu dropped=%llu delivered=%llu\n",
+                     std::string(MessageKindName(static_cast<MessageKind>(k)))
+                         .c_str(),
+                     static_cast<unsigned long long>(sent[k]),
+                     static_cast<unsigned long long>(dropped[k]),
+                     static_cast<unsigned long long>(delivered[k]));
+  }
+  return out;
+}
+
+void Network::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+                   Payload payload) {
+  assert(to < queues_.size());
+  const auto kind = static_cast<size_t>(KindOf(payload));
+  ++stats_.sent[kind];
+  const bool lossy_kind = !options_.lose_belief_messages_only ||
+                          KindOf(payload) == MessageKind::kBelief;
+  if (lossy_kind && options_.send_probability < 1.0 &&
+      !rng_.Bernoulli(options_.send_probability)) {
+    ++stats_.dropped[kind];
+    return;
+  }
+  Envelope envelope;
+  envelope.from = from;
+  envelope.to = to;
+  envelope.via = via;
+  envelope.deliver_at = now_ + options_.delay_ticks;
+  envelope.payload = std::move(payload);
+  queues_[to].push_back(std::move(envelope));
+}
+
+std::vector<Envelope> Network::Drain(PeerId peer) {
+  assert(peer < queues_.size());
+  std::vector<Envelope> due;
+  auto& queue = queues_[peer];
+  // Constant per-message delay keeps queues ordered by deliver_at, so the
+  // due prefix can be split off directly.
+  while (!queue.empty() && queue.front().deliver_at <= now_) {
+    ++stats_.delivered[static_cast<size_t>(KindOf(queue.front().payload))];
+    due.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+  return due;
+}
+
+bool Network::HasPendingMessages() const {
+  for (const auto& queue : queues_) {
+    if (!queue.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace pdms

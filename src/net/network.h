@@ -1,0 +1,79 @@
+#ifndef PDMS_NET_NETWORK_H_
+#define PDMS_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "util/rng.h"
+
+namespace pdms {
+
+/// Configuration of the simulated transport.
+struct NetworkOptions {
+  /// Probability that a sent message is actually delivered — the
+  /// `P(send)` of the fault-tolerance experiment (Section 5.1.3). Lost
+  /// messages vanish silently; the algorithm tolerates this by design.
+  double send_probability = 1.0;
+  /// Delivery latency in ticks (>= 1: a message sent at tick t becomes
+  /// deliverable at t + delay_ticks).
+  uint64_t delay_ticks = 1;
+  uint64_t seed = 1;
+  /// Message loss applies only to belief traffic when true (the paper's
+  /// experiment drops inference messages; probes/feedback/query traffic
+  /// uses whatever reliability the overlay provides).
+  bool lose_belief_messages_only = true;
+};
+
+/// Per-kind traffic counters.
+struct NetworkStats {
+  std::array<uint64_t, kMessageKindCount> sent{};
+  std::array<uint64_t, kMessageKindCount> dropped{};
+  std::array<uint64_t, kMessageKindCount> delivered{};
+
+  uint64_t TotalSent() const;
+  std::string ToString() const;
+};
+
+/// Discrete-tick simulated message bus between peers.
+///
+/// Single-threaded by design: the PDMS engine advances the clock and
+/// drains per-peer queues in rounds. Determinism: given the same seed and
+/// send sequence, drops and deliveries are identical.
+class Network {
+ public:
+  Network(size_t peer_count, const NetworkOptions& options)
+      : options_(options), rng_(options.seed), queues_(peer_count) {}
+
+  uint64_t now() const { return now_; }
+  void AdvanceTick() { ++now_; }
+
+  size_t peer_count() const { return queues_.size(); }
+
+  /// Enqueues a message; may drop it per `send_probability`.
+  void Send(PeerId from, PeerId to, std::optional<EdgeId> via, Payload payload);
+
+  /// Removes and returns all messages deliverable to `peer` at the current
+  /// tick (deliver_at <= now).
+  std::vector<Envelope> Drain(PeerId peer);
+
+  /// True if any queue still holds messages (delivered or future).
+  bool HasPendingMessages() const;
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+ private:
+  NetworkOptions options_;
+  Rng rng_;
+  uint64_t now_ = 0;
+  std::vector<std::deque<Envelope>> queues_;
+  NetworkStats stats_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_NET_NETWORK_H_

@@ -1,0 +1,42 @@
+#include "query/document_store.h"
+
+namespace pdms {
+
+DocId DocumentStore::Insert(uint64_t entity,
+                            std::map<AttributeId, std::string> values) {
+  Document doc;
+  doc.id = documents_.size();
+  doc.entity = entity;
+  doc.values = std::move(values);
+  documents_.push_back(std::move(doc));
+  return documents_.back().id;
+}
+
+std::vector<ResultRow> DocumentStore::Execute(const Query& query) const {
+  std::vector<ResultRow> rows;
+  for (const Document& doc : documents_) {
+    bool matches = true;
+    for (const Operation& op : query.operations()) {
+      if (op.kind != OpKind::kSelection) continue;
+      const auto it = doc.values.find(op.attribute);
+      if (it == doc.values.end() ||
+          it->second.find(op.literal) == std::string::npos) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) continue;
+    ResultRow row;
+    row.document = doc.id;
+    row.entity = doc.entity;
+    for (const Operation& op : query.operations()) {
+      if (op.kind != OpKind::kProjection) continue;
+      const auto it = doc.values.find(op.attribute);
+      row.values.push_back(it == doc.values.end() ? "" : it->second);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace pdms

@@ -1,0 +1,63 @@
+#ifndef PDMS_QUERY_DOCUMENT_STORE_H_
+#define PDMS_QUERY_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace pdms {
+
+/// Globally unique document identifier: (owning peer, local row index) is
+/// encoded by the caller; the store itself only hands out local ids.
+using DocId = uint64_t;
+
+/// One record: attribute -> value. Sparse (documents need not fill every
+/// attribute); the hidden `entity` tag links semantically identical
+/// documents across peers so experiments can score false positives.
+struct Document {
+  DocId id = 0;
+  /// Hidden provenance: which real-world entity this row describes.
+  /// Not visible to query processing; used only by evaluation oracles.
+  uint64_t entity = 0;
+  std::map<AttributeId, std::string> values;
+};
+
+/// A result row produced by query evaluation.
+struct ResultRow {
+  DocId document = 0;
+  uint64_t entity = 0;
+  /// Projected values in the order of the query's projection operations.
+  std::vector<std::string> values;
+};
+
+/// In-memory document collection for one peer database, with evaluation of
+/// the selection/projection query model.
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+
+  /// Adds a document and returns its local id.
+  DocId Insert(uint64_t entity, std::map<AttributeId, std::string> values);
+
+  size_t size() const { return documents_.size(); }
+  const Document& document(DocId id) const { return documents_[id]; }
+  const std::vector<Document>& documents() const { return documents_; }
+
+  /// Evaluates `query`: a document matches when every selection literal is
+  /// a substring of the document's value for that attribute (missing
+  /// attribute = no match); each match emits the projected values
+  /// (missing projected attributes render as "").
+  std::vector<ResultRow> Execute(const Query& query) const;
+
+ private:
+  std::vector<Document> documents_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_QUERY_DOCUMENT_STORE_H_

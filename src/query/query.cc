@@ -1,0 +1,165 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+std::string Operation::ToString(const Schema* schema) const {
+  const std::string attr_name =
+      schema != nullptr && attribute < schema->size()
+          ? schema->attribute(attribute).name
+          : StrFormat("a%u", attribute);
+  if (kind == OpKind::kProjection) {
+    return StrFormat("π(%s)", attr_name.c_str());
+  }
+  return StrFormat("σ(%s LIKE \"%%%s%%\")", attr_name.c_str(), literal.c_str());
+}
+
+void Query::AddProjection(AttributeId attribute) {
+  operations_.push_back(Operation{OpKind::kProjection, attribute, ""});
+}
+
+void Query::AddSelection(AttributeId attribute, std::string literal) {
+  operations_.push_back(
+      Operation{OpKind::kSelection, attribute, std::move(literal)});
+}
+
+std::vector<AttributeId> Query::Attributes() const {
+  std::set<AttributeId> unique;
+  for (const Operation& op : operations_) unique.insert(op.attribute);
+  return {unique.begin(), unique.end()};
+}
+
+Result<Query> Query::Translate(const SchemaMapping& mapping) const {
+  Query translated(name_);
+  for (const Operation& op : operations_) {
+    const std::optional<AttributeId> image = mapping.Apply(op.attribute);
+    if (!image.has_value()) {
+      return Status::FailedPrecondition(
+          StrFormat("mapping '%s' has no image for attribute %u",
+                    mapping.name().c_str(), op.attribute));
+    }
+    Operation rewritten = op;
+    rewritten.attribute = *image;
+    translated.operations_.push_back(std::move(rewritten));
+  }
+  return translated;
+}
+
+std::string Query::ToString(const Schema* schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(operations_.size());
+  for (const Operation& op : operations_) parts.push_back(op.ToString(schema));
+  return name_ + ": " + Join(parts, " ∧ ");
+}
+
+namespace {
+
+/// Splits on whitespace but keeps double-quoted strings as single tokens
+/// (without the quotes).
+Result<std::vector<std::string>> Lex(const std::string& text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      tokens.emplace_back(",");
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      const size_t close = text.find('"', i + 1);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tokens.push_back(text.substr(i + 1, close - i - 1));
+      i = close + 1;
+      continue;
+    }
+    size_t end = i;
+    while (end < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[end])) == 0 &&
+           text[end] != ',' && text[end] != '"') {
+      ++end;
+    }
+    tokens.push_back(text.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text, const Schema& schema,
+                         std::string query_name) {
+  Result<std::vector<std::string>> lexed = Lex(text);
+  if (!lexed.ok()) return lexed.status();
+  const std::vector<std::string>& tokens = *lexed;
+
+  size_t i = 0;
+  auto at_keyword = [&](const char* kw) {
+    return i < tokens.size() && ToUpper(tokens[i]) == kw;
+  };
+  if (!at_keyword("SELECT")) {
+    return Status::InvalidArgument("query must start with SELECT");
+  }
+  ++i;
+
+  Query query(std::move(query_name));
+  bool expecting_attribute = true;
+  while (i < tokens.size() && !at_keyword("WHERE")) {
+    if (tokens[i] == ",") {
+      if (expecting_attribute) {
+        return Status::InvalidArgument("dangling comma in SELECT list");
+      }
+      expecting_attribute = true;
+      ++i;
+      continue;
+    }
+    if (!expecting_attribute) {
+      return Status::InvalidArgument("missing comma between attributes");
+    }
+    Result<AttributeId> attr = schema.Find(tokens[i]);
+    if (!attr.ok()) return attr.status();
+    query.AddProjection(*attr);
+    expecting_attribute = false;
+    ++i;
+  }
+  if (query.operations().empty()) {
+    return Status::InvalidArgument("SELECT list must not be empty");
+  }
+  if (expecting_attribute) {
+    return Status::InvalidArgument("dangling comma in SELECT list");
+  }
+
+  if (i < tokens.size()) {  // WHERE clause
+    ++i;                    // consume WHERE
+    while (true) {
+      if (i + 2 >= tokens.size()) {
+        return Status::InvalidArgument("WHERE expects: <attr> LIKE \"text\"");
+      }
+      Result<AttributeId> attr = schema.Find(tokens[i]);
+      if (!attr.ok()) return attr.status();
+      if (ToUpper(tokens[i + 1]) != "LIKE") {
+        return Status::InvalidArgument("expected LIKE after attribute");
+      }
+      query.AddSelection(*attr, tokens[i + 2]);
+      i += 3;
+      if (i >= tokens.size()) break;
+      if (ToUpper(tokens[i]) != "AND") {
+        return Status::InvalidArgument("expected AND between predicates");
+      }
+      ++i;
+    }
+  }
+  return query;
+}
+
+}  // namespace pdms

@@ -1,0 +1,75 @@
+#ifndef PDMS_QUERY_QUERY_H_
+#define PDMS_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace pdms {
+
+/// The generic operator model of Section 2: queries are compositions of
+/// selections and projections over attributes.
+enum class OpKind : uint8_t {
+  kProjection = 0,  ///< π_attribute — return this attribute's values
+  kSelection = 1,   ///< σ_attribute LIKE %literal% — substring filter
+};
+
+/// One selection/projection operation `op(attribute)`.
+struct Operation {
+  OpKind kind = OpKind::kProjection;
+  AttributeId attribute = 0;
+  /// Selection literal (substring semantics, as in the paper's
+  /// `WHERE $c/..//Item LIKE "%river%"`). Unused for projections.
+  std::string literal;
+
+  std::string ToString(const Schema* schema = nullptr) const;
+};
+
+/// A query posed against one peer's schema.
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Operation>& operations() const { return operations_; }
+
+  void AddProjection(AttributeId attribute);
+  void AddSelection(AttributeId attribute, std::string literal);
+
+  /// The distinct attributes the query touches — the a_i whose per-mapping
+  /// posteriors gate forwarding (Section 2).
+  std::vector<AttributeId> Attributes() const;
+
+  /// Rewrites the query through a mapping. Fails with `FailedPrecondition`
+  /// if any referenced attribute maps to ⊥ (the query cannot be fully
+  /// represented in the target schema; per Section 3.2.1 the forwarding
+  /// probability for such a mapping is zero anyway).
+  Result<Query> Translate(const SchemaMapping& mapping) const;
+
+  std::string ToString(const Schema* schema = nullptr) const;
+
+ private:
+  std::string name_;
+  std::vector<Operation> operations_;
+};
+
+/// Parses the library's tiny query language against `schema`:
+///
+///   SELECT <attr> [, <attr>...] [WHERE <attr> LIKE "<substr>"
+///                                [AND <attr> LIKE "<substr>"...]]
+///
+/// Example: `SELECT author WHERE keywords LIKE "river"`.
+/// Unknown attributes fail with `NotFound`; syntax errors with
+/// `InvalidArgument`.
+Result<Query> ParseQuery(const std::string& text, const Schema& schema,
+                         std::string query_name = "q");
+
+}  // namespace pdms
+
+#endif  // PDMS_QUERY_QUERY_H_

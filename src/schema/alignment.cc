@@ -1,0 +1,80 @@
+#include "schema/alignment.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+std::string_view AlignmentTechniqueName(AlignmentTechnique technique) {
+  switch (technique) {
+    case AlignmentTechnique::kEditDistance:
+      return "edit-distance";
+    case AlignmentTechnique::kTrigram:
+      return "trigram";
+    case AlignmentTechnique::kTokenDictionary:
+      return "token-dictionary";
+    case AlignmentTechnique::kCombined:
+      return "combined";
+  }
+  return "?";
+}
+
+Aligner::Aligner(AlignerOptions options)
+    : options_(options),
+      dictionary_(options.dictionary != nullptr ? options.dictionary
+                                                : &Dictionary::Bibliographic()) {}
+
+double Aligner::TokenSimilarity(const std::string& a, const std::string& b) const {
+  const std::vector<std::string> ta = dictionary_->CanonicalTokens(a);
+  const std::vector<std::string> tb = dictionary_->CanonicalTokens(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  const std::set<std::string> sa(ta.begin(), ta.end());
+  const std::set<std::string> sb(tb.begin(), tb.end());
+  size_t intersection = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t) > 0) ++intersection;
+  }
+  const size_t unions = sa.size() + sb.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+double Aligner::Similarity(const std::string& a, const std::string& b) const {
+  const std::string la = ToLower(a);
+  const std::string lb = ToLower(b);
+  switch (options_.technique) {
+    case AlignmentTechnique::kEditDistance:
+      return EditSimilarity(la, lb);
+    case AlignmentTechnique::kTrigram:
+      return TrigramSimilarity(la, lb);
+    case AlignmentTechnique::kTokenDictionary:
+      return TokenSimilarity(a, b);
+    case AlignmentTechnique::kCombined:
+      return options_.weight_edit * EditSimilarity(la, lb) +
+             options_.weight_trigram * TrigramSimilarity(la, lb) +
+             options_.weight_token * TokenSimilarity(a, b);
+  }
+  return 0.0;
+}
+
+std::vector<Correspondence> Aligner::Align(const Schema& source,
+                                           const Schema& target) const {
+  std::vector<Correspondence> correspondences;
+  for (const Attribute& src : source.attributes()) {
+    Correspondence best;
+    best.source = src.id;
+    best.score = -1.0;
+    for (const Attribute& dst : target.attributes()) {
+      const double score = Similarity(src.name, dst.name);
+      if (score > best.score) {
+        best.target = dst.id;
+        best.score = score;
+      }
+    }
+    if (best.score >= options_.min_score) correspondences.push_back(best);
+  }
+  return correspondences;
+}
+
+}  // namespace pdms

@@ -1,0 +1,86 @@
+#ifndef PDMS_SCHEMA_ALIGNMENT_H_
+#define PDMS_SCHEMA_ALIGNMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/dictionary.h"
+#include "schema/schema.h"
+
+namespace pdms {
+
+/// One attribute-level correspondence proposed by an aligner.
+struct Correspondence {
+  AttributeId source = 0;
+  AttributeId target = 0;
+  double score = 0.0;
+};
+
+/// The simple alignment techniques of the paper's era ([10], Euzenat's
+/// alignment API): each is a different similarity on attribute names.
+/// Their differing quality is the point — the weaker techniques produce the
+/// erroneous mappings the message passing scheme must later detect.
+enum class AlignmentTechnique : uint8_t {
+  /// Normalized Levenshtein similarity on raw lower-cased names. Cheap and
+  /// notoriously unreliable across languages ("editeur" -> "editor").
+  kEditDistance = 0,
+  /// Character-trigram Jaccard similarity on raw lower-cased names.
+  kTrigram = 1,
+  /// Token overlap after dictionary canonicalization (translations +
+  /// synonyms), the strongest single signal.
+  kTokenDictionary = 2,
+  /// Weighted blend of all three.
+  kCombined = 3,
+};
+
+std::string_view AlignmentTechniqueName(AlignmentTechnique technique);
+
+/// Configuration for `Aligner`.
+struct AlignerOptions {
+  AlignmentTechnique technique = AlignmentTechnique::kCombined;
+  /// Correspondences scoring below this are not emitted (the attribute maps
+  /// to ⊥ instead).
+  double min_score = 0.5;
+  /// Blend weights for kCombined.
+  double weight_edit = 0.35;
+  double weight_trigram = 0.25;
+  double weight_token = 0.40;
+  /// Dictionary for kTokenDictionary / kCombined; nullptr selects the
+  /// built-in bibliographic dictionary.
+  const Dictionary* dictionary = nullptr;
+};
+
+/// (Semi-)automatic schema aligner producing per-attribute best-match
+/// correspondences from a source schema to a target schema.
+///
+/// Matching is greedy best-match per source attribute (as the simple
+/// techniques of [10] were): several source attributes may map to the same
+/// target, and systematic mistakes — faux amis, near-miss strings, synonym
+/// gaps — survive into the output. That is intended: these are the
+/// erroneous mappings the PDMS must discover via message passing.
+class Aligner {
+ public:
+  explicit Aligner(AlignerOptions options = {});
+
+  /// Similarity of two attribute names under the configured technique,
+  /// in [0, 1].
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  /// Best-match correspondences for every source attribute that clears
+  /// `min_score`.
+  std::vector<Correspondence> Align(const Schema& source,
+                                    const Schema& target) const;
+
+  const AlignerOptions& options() const { return options_; }
+
+ private:
+  double TokenSimilarity(const std::string& a, const std::string& b) const;
+
+  AlignerOptions options_;
+  const Dictionary* dictionary_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_SCHEMA_ALIGNMENT_H_

@@ -1,0 +1,148 @@
+#include "schema/bibliographic.h"
+
+#include <array>
+#include <cassert>
+
+namespace pdms {
+
+std::optional<AttributeId> Ontology::AttributeForConcept(
+    ConceptId concept_id) const {
+  for (AttributeId a = 0; a < concept_of.size(); ++a) {
+    if (concept_of[a] == concept_id) return a;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// One concept row: canonical key + surface form per ontology style.
+/// An empty string means the ontology omits the concept (⊥ source).
+struct ConceptRow {
+  const char* key;
+  const char* ref;        // reference ontology "101"
+  const char* french;     // translated ontology "221"
+  const char* mit;        // BibTeX ontology, hasXxx style
+  const char* umbc;       // BibTeX ontology, snake_case style
+  const char* inria;      // independent redesign, synonym-heavy
+  const char* karlsruhe;  // independent redesign, German vocabulary
+};
+
+// The trap structure mirrors the error modes the paper's tool hit on the
+// real EON set: "editeur"(publisher) vs "editor" faux ami, "edition" vs
+// "editor" near-miss, "date" vs "year"/"month" coarseness, "collection" vs
+// "series"/"keywords" ambiguity, plus concepts some ontologies simply lack.
+constexpr std::array<ConceptRow, 34> kConcepts = {{
+    {"publication", "Publication", "Publication", "hasPublication",
+     "publication", "Work", "Publikation"},
+    {"article", "Article", "Article", "ArticleEntry", "article_entry",
+     "JournalPaper", "Artikel"},
+    {"book", "Book", "Livre", "BookEntry", "book_entry", "Monograph", "Buch"},
+    {"proceedings", "Proceedings", "Actes", "ProceedingsEntry",
+     "proceedings_entry", "ConferenceRecord", "Tagungsband"},
+    {"thesis", "Thesis", "These", "ThesisEntry", "thesis_entry",
+     "Dissertation", "Doktorarbeit"},
+    {"report", "Report", "Rapport", "ReportEntry", "report_entry",
+     "TechnicalNote", "Bericht"},
+    {"title", "title", "titre", "hasTitle", "title_field", "name", "titel"},
+    {"subtitle", "subtitle", "sousTitre", "hasSubtitle", "subtitle_field",
+     "secondaryName", "untertitel"},
+    {"abstract", "abstract", "resume", "hasAbstract", "abstract_field",
+     "summary", "zusammenfassung"},
+    {"author", "author", "auteur", "hasAuthor", "author_field", "creator",
+     "autor"},
+    {"editor", "editor", "redacteur", "hasEditor", "editor_field",
+     "reviewingEditor", "herausgeber"},
+    {"publisher", "publisher", "editeur", "hasPublisher", "publisher_field",
+     "publishingHouse", "verlag"},
+    {"journal", "journal", "revue", "hasJournal", "journal_field",
+     "periodical", "zeitschrift"},
+    {"volume", "volume", "volume", "hasVolume", "volume_field", "volume",
+     "band"},
+    {"number", "number", "numero", "hasNumber", "number_field", "issue",
+     "nummer"},
+    {"pages", "pages", "pages", "hasPages", "pages_field", "pageRange",
+     "seiten"},
+    {"year", "year", "annee", "hasYear", "year_field", "date", "jahr"},
+    {"month", "month", "mois", "hasMonth", "month_field", "", "monat"},
+    {"note", "note", "note", "hasNote", "note_field", "comment", "notiz"},
+    {"keywords", "keywords", "motsCles", "hasKeywords", "keywords_field",
+     "subject", "schlagworte"},
+    {"isbn", "isbn", "isbn", "hasIsbn", "isbn_field", "isbn", "isbn"},
+    {"issn", "issn", "issn", "hasIssn", "issn_field", "issn", ""},
+    {"doi", "doi", "doi", "hasDoi", "doi_field", "digitalObjectId", "doi"},
+    {"url", "url", "url", "hasUrl", "url_field", "webAddress", "url"},
+    {"address", "address", "adresse", "hasAddress", "address_field",
+     "location", "adresse"},
+    {"institution", "institution", "institution", "hasInstitution",
+     "institution_field", "institute", "institut"},
+    {"organization", "organization", "organisation", "hasOrganization",
+     "organization_field", "association", "organisation"},
+    {"school", "school", "ecole", "hasSchool", "school_field", "university",
+     "hochschule"},
+    {"series", "series", "collection", "hasSeries", "series_field",
+     "bookSeries", "reihe"},
+    {"edition", "edition", "edition", "hasEdition", "edition_field",
+     "version", "auflage"},
+    {"chapter", "chapter", "chapitre", "hasChapter", "chapter_field",
+     "section", "kapitel"},
+    {"language", "language", "langue", "hasLanguage", "language_field", "",
+     "sprache"},
+    {"copyright", "copyright", "droits", "hasCopyright", "copyright_field",
+     "rights", "urheberrecht"},
+    {"booktitle", "booktitle", "titreLivre", "hasBooktitle",
+     "booktitle_field", "containerName", ""},
+}};
+
+const std::vector<std::string>* BuildKeys() {
+  auto* keys = new std::vector<std::string>();
+  keys->reserve(kConcepts.size());
+  for (const auto& row : kConcepts) keys->emplace_back(row.key);
+  return keys;
+}
+
+Ontology BuildOntology(const std::string& name,
+                       const char* ConceptRow::*member) {
+  Ontology ontology;
+  ontology.schema = Schema(name);
+  for (ConceptId c = 0; c < kConcepts.size(); ++c) {
+    const char* surface = kConcepts[c].*member;
+    if (surface == nullptr || surface[0] == '\0') continue;  // omitted concept
+    Result<AttributeId> id = ontology.schema.AddAttribute(
+        surface, std::string("denotes ") + kConcepts[c].key);
+    assert(id.ok());
+    (void)id;
+    ontology.concept_of.push_back(c);
+  }
+  return ontology;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BibliographicConcepts::Keys() {
+  static const std::vector<std::string>* keys = BuildKeys();
+  return *keys;
+}
+
+std::vector<Ontology> MakeBibliographicOntologies() {
+  std::vector<Ontology> family;
+  family.push_back(BuildOntology("ref101", &ConceptRow::ref));
+  family.push_back(BuildOntology("french221", &ConceptRow::french));
+  family.push_back(BuildOntology("mitBibtex", &ConceptRow::mit));
+  family.push_back(BuildOntology("umbcBibtex", &ConceptRow::umbc));
+  family.push_back(BuildOntology("inria", &ConceptRow::inria));
+  family.push_back(BuildOntology("karlsruhe", &ConceptRow::karlsruhe));
+  return family;
+}
+
+bool GroundTruth::SameConcept(size_t s1, AttributeId a, size_t s2,
+                              AttributeId b) const {
+  return ConceptOf(s1, a) == ConceptOf(s2, b);
+}
+
+ConceptId GroundTruth::ConceptOf(size_t s, AttributeId a) const {
+  assert(s < family_->size());
+  assert(a < (*family_)[s].concept_of.size());
+  return (*family_)[s].concept_of[a];
+}
+
+}  // namespace pdms

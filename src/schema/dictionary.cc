@@ -1,0 +1,88 @@
+#include "schema/dictionary.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+void Dictionary::Add(const std::string& token, const std::string& canonical) {
+  entries_[token] = canonical;
+}
+
+const std::string& Dictionary::Canonicalize(const std::string& token) const {
+  const auto it = entries_.find(token);
+  return it == entries_.end() ? token : it->second;
+}
+
+std::vector<std::string> Dictionary::CanonicalTokens(
+    const std::string& identifier) const {
+  static const std::set<std::string> kAffixes = {"has", "is",  "bibtex", "bib",
+                                                 "the", "of",  "field",  "entry"};
+  std::vector<std::string> out;
+  for (const std::string& token : TokenizeIdentifier(identifier)) {
+    if (kAffixes.count(token) > 0) continue;
+    out.push_back(Canonicalize(token));
+  }
+  return out;
+}
+
+const Dictionary& Dictionary::Bibliographic() {
+  static const Dictionary* dictionary = [] {
+    auto* d = new Dictionary();
+    // --- French -> English (incomplete on purpose; and with the classic
+    // faux ami: "editeur" is really the publisher, but era dictionaries
+    // mapped it to "editor", seeding a systematic alignment error).
+    d->Add("titre", "title");
+    d->Add("auteur", "author");
+    d->Add("annee", "year");
+    d->Add("mois", "month");
+    d->Add("revue", "journal");
+    d->Add("numero", "number");
+    d->Add("editeur", "editor");  // WRONG on purpose (means publisher).
+    d->Add("adresse", "address");
+    d->Add("ecole", "school");
+    d->Add("livre", "book");
+    d->Add("actes", "proceedings");
+    d->Add("these", "thesis");
+    d->Add("rapport", "report");
+    d->Add("chapitre", "chapter");
+    d->Add("langue", "language");
+    // Missing on purpose: redacteur, resume, motscles/mots/cles, droits,
+    // collection, soustitre/sous, maison.
+
+    // --- German -> English (even sparser, as era tools were).
+    d->Add("titel", "title");
+    d->Add("autor", "author");
+    d->Add("jahr", "year");
+    d->Add("seiten", "pages");
+    d->Add("nummer", "number");
+    d->Add("adresse", "address");
+    d->Add("kapitel", "chapter");
+    d->Add("buch", "book");
+    // Missing on purpose: herausgeber, verlag, zeitschrift, band, monat,
+    // schlagworte, hochschule, reihe, auflage, sprache, urheberrecht,
+    // zusammenfassung, untertitel, notiz, bericht.
+
+    // --- English synonyms (subset of WordNet-ish equivalences).
+    d->Add("creator", "author");
+    d->Add("writer", "author");
+    d->Add("name", "title");
+    d->Add("heading", "title");
+    d->Add("summary", "abstract");
+    d->Add("periodical", "journal");
+    d->Add("issue", "number");
+    d->Add("date", "year");  // Coarse on purpose: collides month/year.
+    d->Add("location", "address");
+    d->Add("university", "school");
+    d->Add("organisation", "organization");
+    d->Add("subject", "keywords");
+    d->Add("rights", "copyright");
+    // Missing on purpose: pagerange, publishinghouse, digitalobjectid,
+    // webaddress, version, section, association, comment.
+    return d;
+  }();
+  return *dictionary;
+}
+
+}  // namespace pdms

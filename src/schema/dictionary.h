@@ -1,0 +1,45 @@
+#ifndef PDMS_SCHEMA_DICTIONARY_H_
+#define PDMS_SCHEMA_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pdms {
+
+/// A small translation/synonym dictionary mapping surface tokens to
+/// canonical English concept tokens, as shipped with simple alignment tools
+/// of the paper's era ([10]).
+///
+/// The dictionary is *deliberately incomplete and imperfect*: real
+/// alignment dictionaries were, and the resulting systematic aligner errors
+/// (e.g. the French faux ami "editeur" -> "editor", where editeur actually
+/// means publisher) are exactly the erroneous mappings the paper's message
+/// passing scheme is designed to catch.
+class Dictionary {
+ public:
+  /// The built-in bibliographic dictionary used by the EON-style workload.
+  static const Dictionary& Bibliographic();
+
+  /// An empty dictionary (string similarity only).
+  Dictionary() = default;
+
+  /// Registers a translation/synonym entry (token -> canonical token).
+  void Add(const std::string& token, const std::string& canonical);
+
+  /// Canonicalizes one lower-case token; returns the input when unknown.
+  const std::string& Canonicalize(const std::string& token) const;
+
+  /// Canonicalizes every token of an identifier split on word boundaries,
+  /// dropping vacuous affixes ("has", "is", "bibtex", ...).
+  std::vector<std::string> CanonicalTokens(const std::string& identifier) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> entries_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_SCHEMA_DICTIONARY_H_

@@ -1,0 +1,45 @@
+#include "schema/schema.h"
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+Result<AttributeId> Schema::AddAttribute(std::string attr_name,
+                                         std::string comment) {
+  if (attr_name.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  if (index_.count(attr_name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("attribute '%s' already in schema '%s'", attr_name.c_str(),
+                  name_.c_str()));
+  }
+  const auto id = static_cast<AttributeId>(attributes_.size());
+  index_.emplace(attr_name, id);
+  attributes_.push_back(Attribute{id, std::move(attr_name), std::move(comment)});
+  return id;
+}
+
+Result<AttributeId> Schema::Find(const std::string& attr_name) const {
+  const auto it = index_.find(attr_name);
+  if (it == index_.end()) {
+    return Status::NotFound(StrFormat("attribute '%s' not in schema '%s'",
+                                      attr_name.c_str(), name_.c_str()));
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& attr_name) const {
+  return index_.count(attr_name) > 0;
+}
+
+std::string Schema::ToString() const {
+  std::string out = StrFormat("Schema '%s' (%zu attributes)\n", name_.c_str(),
+                              attributes_.size());
+  for (const auto& attr : attributes_) {
+    out += StrFormat("  %u: %s\n", attr.id, attr.name.c_str());
+  }
+  return out;
+}
+
+}  // namespace pdms

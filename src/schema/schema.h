@@ -1,0 +1,60 @@
+#ifndef PDMS_SCHEMA_SCHEMA_H_
+#define PDMS_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdms {
+
+/// Index of an attribute within one schema.
+using AttributeId = uint32_t;
+
+/// A named concept a database stores information about: an attribute in a
+/// relational schema, an element/attribute in XML, or a class/property in
+/// RDF (Section 2 of the paper treats these uniformly).
+struct Attribute {
+  AttributeId id = 0;
+  /// Identifier as it appears in the schema, e.g. "hasAuthor" or "auteur".
+  std::string name;
+  /// Optional human-readable annotation (rdfs:comment-like); aligners may
+  /// use it as a secondary signal.
+  std::string comment;
+};
+
+/// An ordered collection of uniquely-named attributes belonging to one peer
+/// database.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an attribute; fails with `AlreadyExists` on duplicate names.
+  Result<AttributeId> AddAttribute(std::string attr_name,
+                                   std::string comment = "");
+
+  size_t size() const { return attributes_.size(); }
+  const Attribute& attribute(AttributeId id) const { return attributes_[id]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Looks an attribute up by exact name.
+  Result<AttributeId> Find(const std::string& attr_name) const;
+  bool Contains(const std::string& attr_name) const;
+
+  /// Multi-line dump: one "id: name" per attribute.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, AttributeId> index_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_SCHEMA_SCHEMA_H_

@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace pdms {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (!Enabled(level)) return;
+  std::cerr << "[" << LogLevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace pdms

@@ -1,0 +1,64 @@
+#include "util/stats.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins >= 1);
+}
+
+void Histogram::Add(double x) {
+  auto raw = static_cast<int64_t>(std::floor((x - lo_) / width_));
+  raw = std::clamp<int64_t>(raw, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(raw)];
+  ++total_;
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out += StrFormat("%10.4f | %-*s %llu\n", bin_lower(i),
+                     static_cast<int>(max_width),
+                     std::string(bar_len, '#').c_str(),
+                     static_cast<unsigned long long>(counts_[i]));
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace pdms

@@ -1,0 +1,80 @@
+#ifndef PDMS_UTIL_STATS_H_
+#define PDMS_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pdms {
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n − 1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const OnlineStats& other);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width buckets covering [lo, hi). Requires
+  /// lo < hi and bins >= 1.
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  uint64_t total() const { return total_; }
+  size_t bin_count() const { return counts_.size(); }
+  uint64_t bin(size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket `i`.
+  double bin_lower(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+  /// Renders a compact ASCII bar chart, one bucket per line.
+  std::string ToAscii(size_t max_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Exact percentile from a sample set (nearest-rank). `p` in [0, 100].
+/// Returns NaN for an empty sample.
+double Percentile(std::vector<double> samples, double p);
+
+}  // namespace pdms
+
+#endif  // PDMS_UTIL_STATS_H_

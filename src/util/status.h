@@ -1,0 +1,145 @@
+#ifndef PDMS_UTIL_STATUS_H_
+#define PDMS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pdms {
+
+/// Canonical error space for all fallible operations in the library.
+///
+/// The library does not use C++ exceptions: every operation that can fail
+/// returns a `Status`, or a `Result<T>` when it also produces a value
+/// (the RocksDB / Abseil idiom).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kUnavailable = 8,
+};
+
+/// Returns a stable, human-readable name for a status code (e.g. "NotFound").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic error indicator carrying a code and an optional message.
+///
+/// A default-constructed `Status` is OK. Statuses are cheap to copy and
+/// compare; the message participates only in printing, not in equality.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Accessing the value of a failed result aborts in debug builds; callers
+/// must check `ok()` first. `T` must be movable.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit by design, mirroring
+  /// absl::StatusOr, so `return value;` works in factory functions).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() called on failed Result");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() called on failed Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() called on failed Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when failed.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pdms
+
+/// Propagates a non-OK status from an expression to the caller.
+#define PDMS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::pdms::Status _pdms_status = (expr);         \
+    if (!_pdms_status.ok()) return _pdms_status;  \
+  } while (false)
+
+#endif  // PDMS_UTIL_STATUS_H_

@@ -1,0 +1,155 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <unordered_set>
+
+namespace pdms {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // Keep the row small.
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t diagonal = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t previous = row[i];
+      const size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, substitute});
+      diagonal = previous;
+    }
+  }
+  return row[a.size()];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double TrigramSimilarity(std::string_view a, std::string_view b) {
+  if (a.size() < 3 || b.size() < 3) return a == b ? 1.0 : 0.0;
+  auto grams = [](std::string_view s) {
+    std::unordered_set<std::string> out;
+    for (size_t i = 0; i + 3 <= s.size(); ++i) out.emplace(s.substr(i, 3));
+    return out;
+  };
+  const auto ga = grams(a);
+  const auto gb = grams(b);
+  size_t intersection = 0;
+  for (const auto& g : ga) {
+    if (gb.count(g) > 0) ++intersection;
+  }
+  const size_t unions = ga.size() + gb.size() - intersection;
+  return unions == 0 ? 1.0
+                     : static_cast<double>(intersection) /
+                           static_cast<double>(unions);
+}
+
+std::vector<std::string> TokenizeIdentifier(std::string_view identifier) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(ToLower(current));
+      current.clear();
+    }
+  };
+  for (size_t i = 0; i < identifier.size(); ++i) {
+    const char c = identifier[i];
+    if (c == '_' || c == '-' || c == ' ' || c == '/' || c == '.' || c == ':') {
+      flush();
+      continue;
+    }
+    if (std::isupper(static_cast<unsigned char>(c)) && !current.empty() &&
+        !std::isupper(static_cast<unsigned char>(current.back()))) {
+      flush();
+    }
+    current.push_back(c);
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace pdms

@@ -1,0 +1,51 @@
+#ifndef PDMS_UTIL_STRING_UTIL_H_
+#define PDMS_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdms {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on the single character `sep`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view text);
+
+/// ASCII upper-casing (locale-independent).
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Levenshtein edit distance between two strings (insert/delete/substitute,
+/// unit costs). O(|a|·|b|) time, O(min) memory.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalized string similarity in [0,1]: 1 − editDistance / max(len).
+/// Two empty strings have similarity 1.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Trigram (character 3-gram) Jaccard similarity in [0,1]. Strings shorter
+/// than 3 characters are compared by exact equality.
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+/// Splits an identifier into lower-cased word tokens on case boundaries,
+/// digits, and separators: "hasAuthorName" -> {"has","author","name"},
+/// "date_of_birth" -> {"date","of","birth"}.
+std::vector<std::string> TokenizeIdentifier(std::string_view identifier);
+
+}  // namespace pdms
+
+#endif  // PDMS_UTIL_STRING_UTIL_H_

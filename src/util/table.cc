@@ -1,0 +1,96 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(StrFormat("%.*f", precision, v));
+  AddRow(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  auto render = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += row[i];
+      if (i + 1 < row.size()) {
+        line.append(widths[i] - row[i].size(), ' ');
+      }
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out += std::string(total, '-') + "\n";
+  }
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+}  // namespace
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  auto render = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvEscape(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) render(header_);
+  for (const auto& row : rows_) render(row);
+  return out;
+}
+
+Status TextTable::WriteCsv(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::Unavailable("cannot open " + path);
+  file << ToCsv();
+  return file ? Status::Ok() : Status::Unavailable("short write to " + path);
+}
+
+}  // namespace pdms

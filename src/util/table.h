@@ -1,0 +1,44 @@
+#ifndef PDMS_UTIL_TABLE_H_
+#define PDMS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdms {
+
+/// Accumulates rows of string cells and renders a column-aligned text table.
+///
+/// Used by the benchmark harnesses to print the series each paper figure
+/// reports in a shape that is easy to diff and to plot.
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; rows may have differing lengths.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal digits.
+  void AddNumericRow(const std::vector<double>& values, int precision = 4);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with two-space column gutters and a dashed header separator.
+  std::string ToString() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes escaped).
+  std::string ToCsv() const;
+
+  /// Writes `ToCsv()` to `path`, overwriting.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_UTIL_TABLE_H_

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "baseline/chatty_web.h"
+#include "baseline/random_guess.h"
+#include "factor/exact.h"
+#include "factor/factor.h"
+#include "factor/factor_graph.h"
+#include "util/rng.h"
+
+namespace pdms {
+namespace {
+
+/// The introductory example's closure evidence for attribute 0 (edge ids
+/// follow Figure 4: m12=0, m23=1, m34=2, m41=3, m24=4).
+std::vector<ClosureEvidence> IntroEvidence() {
+  return {
+      {{{0, 0}, {1, 0}, {2, 0}, {3, 0}}, FeedbackSign::kPositive},  // f1+
+      {{{0, 0}, {4, 0}, {3, 0}}, FeedbackSign::kNegative},          // f2−
+      {{{4, 0}, {1, 0}, {2, 0}}, FeedbackSign::kNegative},          // f3−
+  };
+}
+
+TEST(ChattyWebTest, HardExclusionOverreacts) {
+  ChattyWebOptions options;
+  options.variant = ChattyWebVariant::kHardExclusion;
+  const auto quality = ChattyWebAnalyze(IntroEvidence(), options);
+  ASSERT_EQ(quality.size(), 5u);
+  // Every mapping sits on some negative closure, so the naive heuristic
+  // disqualifies all five — although only m24 is wrong. This is the
+  // Section 6 comparison: the old approach ignores correlations.
+  size_t disqualified = 0;
+  for (const auto& [var, score] : quality) {
+    if (score < 0.5) ++disqualified;
+  }
+  EXPECT_EQ(disqualified, 5u);
+}
+
+TEST(ChattyWebTest, NaiveBayesRanksFaultyMappingWorst) {
+  ChattyWebOptions options;
+  options.variant = ChattyWebVariant::kNaiveBayes;
+  const auto quality = ChattyWebAnalyze(IntroEvidence(), options);
+  // m24 (edge 4) must be the worst-rated mapping.
+  const double m24 = quality.at(MappingVarKey{4, 0});
+  for (const auto& [var, score] : quality) {
+    EXPECT_GE(score, m24 - 1e-12) << var.ToString();
+  }
+  EXPECT_LT(m24, 0.5);
+}
+
+TEST(ChattyWebTest, NaiveBayesDoubleCountsCorrelatedEvidence) {
+  // Mapping A (edge 0) shares three negative closures with mapping B
+  // (edge 1), which is the actual culprit. Correct inference mostly blames
+  // B and keeps A near its prior; the independence assumption multiplies
+  // the three negatives against A as if they were fresh evidence each time
+  // — the "ignored all interdependencies among the mappings and cycles"
+  // flaw the paper's Section 6 calls out.
+  const std::vector<ClosureEvidence> evidence = {
+      {{{0, 0}, {1, 0}}, FeedbackSign::kNegative},
+      {{{0, 0}, {1, 0}, {2, 0}}, FeedbackSign::kNegative},
+      {{{0, 0}, {1, 0}, {3, 0}}, FeedbackSign::kNegative},
+  };
+  ChattyWebOptions options;
+  options.variant = ChattyWebVariant::kNaiveBayes;
+  const auto naive = ChattyWebAnalyze(evidence, options);
+
+  // Exact inference on the equivalent factor graph.
+  FactorGraph graph;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 4; ++i) vars.push_back(graph.AddVariable("m"));
+  for (VarId v : vars) {
+    ASSERT_TRUE(graph.AddFactor(std::make_unique<PriorFactor>(v, 0.5)).ok());
+  }
+  for (const ClosureEvidence& closure : evidence) {
+    std::vector<VarId> scope;
+    for (const MappingVarKey& var : closure.members) {
+      scope.push_back(vars[var.edge]);
+    }
+    ASSERT_TRUE(graph
+                    .AddFactor(std::make_unique<CycleFeedbackFactor>(
+                        scope, /*positive=*/false, /*delta=*/0.1))
+                    .ok());
+  }
+  const auto exact = ExactMarginalsBruteForce(graph);
+  ASSERT_TRUE(exact.ok());
+
+  // The naive score for A undershoots the exact marginal substantially.
+  EXPECT_LT(naive.at(MappingVarKey{0, 0}),
+            (*exact)[0].ProbabilityCorrect() - 0.05);
+}
+
+TEST(ChattyWebTest, PositiveOnlyEvidenceRaisesQuality) {
+  std::vector<ClosureEvidence> evidence = {
+      {{{0, 0}, {1, 0}, {2, 0}}, FeedbackSign::kPositive}};
+  ChattyWebOptions options;
+  options.variant = ChattyWebVariant::kNaiveBayes;
+  const auto quality = ChattyWebAnalyze(evidence, options);
+  for (const auto& [var, score] : quality) EXPECT_GT(score, 0.5);
+}
+
+TEST(ChattyWebTest, NeutralEvidenceIsIgnored) {
+  std::vector<ClosureEvidence> evidence = {
+      {{{0, 0}, {1, 0}}, FeedbackSign::kNeutral}};
+  ChattyWebOptions options;
+  options.variant = ChattyWebVariant::kNaiveBayes;
+  options.prior = 0.7;
+  const auto quality = ChattyWebAnalyze(evidence, options);
+  for (const auto& [var, score] : quality) EXPECT_NEAR(score, 0.7, 1e-12);
+}
+
+TEST(ChattyWebTest, HardExclusionKeepsCleanMappings) {
+  std::vector<ClosureEvidence> evidence = {
+      {{{0, 0}, {1, 0}}, FeedbackSign::kPositive},
+      {{{2, 0}, {3, 0}}, FeedbackSign::kNegative}};
+  ChattyWebOptions options;
+  options.variant = ChattyWebVariant::kHardExclusion;
+  const auto quality = ChattyWebAnalyze(evidence, options);
+  EXPECT_DOUBLE_EQ(quality.at(MappingVarKey{0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(quality.at(MappingVarKey{1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(quality.at(MappingVarKey{2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(quality.at(MappingVarKey{3, 0}), 0.0);
+}
+
+TEST(RandomGuessTest, FlagRateAndDeterminism) {
+  std::vector<MappingVarKey> vars;
+  for (EdgeId e = 0; e < 2000; ++e) vars.push_back(MappingVarKey{e, 0});
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto flags_a = RandomGuessErroneous(vars, 0.25, &rng_a);
+  const auto flags_b = RandomGuessErroneous(vars, 0.25, &rng_b);
+  EXPECT_EQ(flags_a, flags_b);
+  size_t flagged = 0;
+  for (const auto& [var, flag] : flags_a) {
+    if (flag) ++flagged;
+  }
+  EXPECT_NEAR(static_cast<double>(flagged) / vars.size(), 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,539 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/pdms_engine.h"
+#include "factor/exact.h"
+#include "factor/sum_product.h"
+#include "graph/topology.h"
+#include "mapping/mapping_generator.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace pdms {
+namespace {
+
+constexpr size_t kAttrs = 11;  // schemas of 11 attributes -> ∆ = 1/10
+
+/// The introductory example as a live PDMS: Figure 4 topology, mappings
+/// that are concept-identities except m24, which garbles attribute 0
+/// (the paper's Creator). All schemas have 11 attributes so each peer's
+/// auto-estimated ∆ is 0.1 (Section 4.5).
+struct IntroPdms {
+  topology::ExampleEdges edges;
+  std::unique_ptr<PdmsEngine> engine;
+};
+
+IntroPdms MakeIntro(EngineOptions options, uint64_t seed = 17) {
+  IntroPdms intro;
+  Rng rng(seed);
+  const Digraph graph = topology::ExampleGraph(&intro.edges);
+  std::vector<Schema> schemas;
+  for (NodeId p = 0; p < 4; ++p) {
+    Schema schema(StrFormat("p%u", p + 1));
+    for (size_t a = 0; a < kAttrs; ++a) {
+      EXPECT_TRUE(schema.AddAttribute(StrFormat("p%u_a%zu", p + 1, a)).ok());
+    }
+    schemas.push_back(std::move(schema));
+  }
+  std::vector<SchemaMapping> mappings(graph.edge_capacity());
+  for (EdgeId e : graph.LiveEdges()) {
+    const std::vector<AttributeId> wrong =
+        e == intro.edges.m24 ? std::vector<AttributeId>{0}
+                             : std::vector<AttributeId>{};
+    mappings[e] = MakeConceptMapping(StrFormat("m%u", e), kAttrs, wrong, &rng);
+  }
+  options.probe_ttl = 5;
+  Result<std::unique_ptr<PdmsEngine>> engine =
+      PdmsEngine::Create(graph, std::move(schemas), std::move(mappings),
+                         options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  intro.engine = std::move(engine).value();
+  return intro;
+}
+
+/// The paper's exact Section 4.5 feedback set injected over the intro
+/// topology: f1+ (cycle m12,m23,m34,m41), f2− (cycle m12,m24,m41),
+/// f3− (parallel m24 ‖ m23,m34), all for attribute 0, ∆ = 0.1.
+void InjectPaperFeedback(PdmsEngine* engine,
+                         const topology::ExampleEdges& edges) {
+  auto cycle = [](std::vector<EdgeId> cycle_edges, NodeId source) {
+    Closure closure;
+    closure.kind = Closure::Kind::kCycle;
+    closure.edges = std::move(cycle_edges);
+    closure.split = closure.edges.size();
+    closure.source = source;
+    closure.sink = source;
+    return closure;
+  };
+  auto members = [](std::vector<EdgeId> member_edges) {
+    std::vector<MappingVarKey> vars;
+    for (EdgeId e : member_edges) vars.push_back(MappingVarKey{e, 0});
+    return vars;
+  };
+
+  FeedbackAnnouncement f1;
+  f1.closure = cycle({edges.m12, edges.m23, edges.m34, edges.m41}, 0);
+  f1.delta = 0.1;
+  f1.feedback = {{0, FeedbackSign::kPositive,
+                  members({edges.m12, edges.m23, edges.m34, edges.m41})}};
+  engine->InjectFeedback(f1);
+
+  FeedbackAnnouncement f2;
+  f2.closure = cycle({edges.m12, edges.m24, edges.m41}, 0);
+  f2.delta = 0.1;
+  f2.feedback = {{0, FeedbackSign::kNegative,
+                  members({edges.m12, edges.m24, edges.m41})}};
+  engine->InjectFeedback(f2);
+
+  FeedbackAnnouncement f3;
+  f3.closure.kind = Closure::Kind::kParallelPaths;
+  f3.closure.edges = {edges.m24, edges.m23, edges.m34};
+  f3.closure.split = 1;
+  f3.closure.source = 1;
+  f3.closure.sink = 3;
+  f3.delta = 0.1;
+  f3.feedback = {{0, FeedbackSign::kNegative,
+                  members({edges.m24, edges.m23, edges.m34})}};
+  engine->InjectFeedback(f3);
+}
+
+// --- Discovery ---------------------------------------------------------------
+
+TEST(EngineDiscoveryTest, FindsThePaperClosures) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  const size_t factors = intro.engine->DiscoverClosures();
+  // Three closures (f1, f2, f3) × 11 root attributes.
+  EXPECT_EQ(factors, 3 * kAttrs);
+  // Replica placement: p2 owns mappings in all three closures.
+  EXPECT_EQ(intro.engine->peer(1).replica_count(), 3 * kAttrs);
+  EXPECT_EQ(intro.engine->peer(0).replica_count(), 2 * kAttrs);  // f1, f2
+  EXPECT_EQ(intro.engine->peer(2).replica_count(), 2 * kAttrs);  // f1, f3
+  EXPECT_EQ(intro.engine->peer(3).replica_count(), 2 * kAttrs);  // f1, f2
+}
+
+TEST(EngineDiscoveryTest, DiscoveryIsIdempotent) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  const size_t first = intro.engine->DiscoverClosures();
+  const size_t second = intro.engine->DiscoverClosures();
+  EXPECT_EQ(first, second);
+}
+
+TEST(EngineDiscoveryTest, TtlLimitsDiscovery) {
+  EngineOptions options;
+  IntroPdms intro = MakeIntro(options);
+  // Override after MakeIntro set probe_ttl: rebuild with a tiny TTL.
+  EngineOptions tight;
+  tight.probe_ttl = 3;  // too short to close the length-4 cycle f1
+  IntroPdms limited = MakeIntro(tight);
+  // MakeIntro overwrites probe_ttl, so emulate by closure limits instead.
+  EngineOptions capped;
+  capped.closure_limits.max_cycle_length = 3;
+  capped.closure_limits.max_path_length = 2;
+  IntroPdms capped_intro = MakeIntro(capped);
+  const size_t factors = capped_intro.engine->DiscoverClosures();
+  // Only f2 (length 3) and f3 (paths of length 1 and 2) survive the caps.
+  EXPECT_EQ(factors, 2 * kAttrs);
+}
+
+// --- Inference ----------------------------------------------------------------
+
+TEST(EngineInferenceTest, ClassifiesTheFaultyMapping) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  intro.engine->DiscoverClosures();
+  const ConvergenceReport report = intro.engine->RunToConvergence(200);
+  EXPECT_TRUE(report.converged);
+  // Attribute 0: m24 garbles it; everything else preserves it.
+  EXPECT_LT(intro.engine->Posterior(intro.edges.m24, 0), 0.45);
+  EXPECT_GT(intro.engine->Posterior(intro.edges.m23, 0), 0.5);
+  EXPECT_GT(intro.engine->Posterior(intro.edges.m12, 0), 0.5);
+  EXPECT_GT(intro.engine->Posterior(intro.edges.m34, 0), 0.5);
+  EXPECT_GT(intro.engine->Posterior(intro.edges.m41, 0), 0.5);
+  // Unaffected attributes accumulate strong positive evidence.
+  for (AttributeId a = 1; a < kAttrs; ++a) {
+    EXPECT_GT(intro.engine->Posterior(intro.edges.m23, a), 0.6) << "attr " << a;
+    EXPECT_GT(intro.engine->Posterior(intro.edges.m24, a), 0.6) << "attr " << a;
+  }
+}
+
+TEST(EngineInferenceTest, InjectedPaperGraphMatchesPaperNumbers) {
+  // With the paper's exact factor graph (Section 4.5), the decentralized
+  // engine must land near exact inference's 0.59 / 0.31.
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  InjectPaperFeedback(intro.engine.get(), intro.edges);
+  const ConvergenceReport report = intro.engine->RunToConvergence(200);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(intro.engine->Posterior(intro.edges.m23, 0), 1.623 / 2.75, 0.06);
+  EXPECT_NEAR(intro.engine->Posterior(intro.edges.m24, 0), 0.841 / 2.75, 0.06);
+}
+
+TEST(EngineInferenceTest, EmbeddedMatchesCentralizedFixedPoint) {
+  EngineOptions options;
+  options.tolerance = 1e-12;
+  IntroPdms intro = MakeIntro(options);
+  intro.engine->DiscoverClosures();
+  intro.engine->RunToConvergence(500);
+
+  std::vector<MappingVarKey> vars;
+  const FactorGraph global = intro.engine->BuildGlobalFactorGraph(&vars);
+  SumProductOptions sp;
+  sp.tolerance = 1e-12;
+  sp.max_iterations = 500;
+  const SumProductResult central = SumProductEngine(global, sp).Run();
+  ASSERT_TRUE(central.converged);
+  for (VarId v = 0; v < vars.size(); ++v) {
+    EXPECT_NEAR(intro.engine->Posterior(vars[v].edge, vars[v].attribute),
+                central.posteriors[v].ProbabilityCorrect(), 1e-6)
+        << vars[v].ToString();
+  }
+}
+
+TEST(EngineInferenceTest, EmbeddedCloseToExactInference) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  intro.engine->DiscoverClosures();
+  intro.engine->RunToConvergence(200);
+
+  std::vector<MappingVarKey> vars;
+  const FactorGraph global = intro.engine->BuildGlobalFactorGraph(&vars);
+  for (VarId v = 0; v < vars.size(); ++v) {
+    Result<Belief> exact = ExactMarginalVariableElimination(global, v);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(intro.engine->Posterior(vars[v].edge, vars[v].attribute),
+                exact->ProbabilityCorrect(), 0.06)
+        << vars[v].ToString();
+  }
+}
+
+TEST(EngineInferenceTest, ConvergesWithinAboutTenRounds) {
+  // Section 5.1.1: "our embedded message passing scheme converges to
+  // approximate results in ten iterations usually".
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  intro.engine->DiscoverClosures();
+  EngineOptions* mutable_options = nullptr;
+  (void)mutable_options;
+  ConvergenceReport report;
+  // Count rounds until posteriors move < 1e-3 between rounds.
+  size_t rounds = 0;
+  double previous = intro.engine->Posterior(intro.edges.m24, 0);
+  for (; rounds < 50; ++rounds) {
+    intro.engine->RunRound();
+    const double current = intro.engine->Posterior(intro.edges.m24, 0);
+    if (rounds > 2 && std::abs(current - previous) < 1e-3) break;
+    previous = current;
+  }
+  EXPECT_LE(rounds, 15u);
+}
+
+TEST(EngineInferenceTest, TrajectoryIsRecorded) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  intro.engine->DiscoverClosures();
+  intro.engine->TrackVariable(MappingVarKey{intro.edges.m24, 0});
+  intro.engine->TrackVariable(MappingVarKey{intro.edges.m23, 0});
+  const ConvergenceReport report = intro.engine->RunToConvergence(100);
+  ASSERT_EQ(report.trajectory.size(), report.rounds);
+  ASSERT_EQ(report.trajectory[0].size(), 2u);
+  // The faulty mapping's posterior decreases over time.
+  EXPECT_LT(report.trajectory.back()[0], report.trajectory.front()[0] + 1e-9);
+}
+
+TEST(EngineInferenceTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    IntroPdms intro = MakeIntro(EngineOptions{});
+    intro.engine->DiscoverClosures();
+    intro.engine->RunToConvergence(100);
+    std::vector<double> posteriors;
+    for (EdgeId e : intro.engine->graph().LiveEdges()) {
+      for (AttributeId a = 0; a < kAttrs; ++a) {
+        posteriors.push_back(intro.engine->Posterior(e, a));
+      }
+    }
+    return posteriors;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- ⊥ handling -----------------------------------------------------------------
+
+TEST(EngineBottomTest, UnmappedAttributeHasZeroPosterior) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  // Knock out attribute 5 of m23's mapping.
+  Peer& p2 = intro.engine->peer(1);
+  SchemaMapping patched = *p2.mapping(intro.edges.m23);
+  ASSERT_TRUE(patched.Set(5, std::nullopt).ok());
+  p2.RemoveMapping(intro.edges.m23);
+  ASSERT_TRUE(p2.AddMapping(intro.edges.m23, std::move(patched)).ok());
+  EXPECT_DOUBLE_EQ(intro.engine->Posterior(intro.edges.m23, 5), 0.0);
+  // Other attributes are unaffected.
+  EXPECT_GT(intro.engine->Posterior(intro.edges.m23, 1), 0.4);
+}
+
+// --- Query routing -----------------------------------------------------------------
+
+void LoadDocuments(PdmsEngine* engine) {
+  const std::vector<std::string> keywords = {"river wells", "garden pond",
+                                             "river dedham"};
+  for (PeerId p = 0; p < engine->peer_count(); ++p) {
+    for (uint64_t entity = 0; entity < 3; ++entity) {
+      std::map<AttributeId, std::string> values;
+      for (AttributeId a = 0; a < kAttrs; ++a) {
+        values[a] = StrFormat("val_e%llu_a%u",
+                              static_cast<unsigned long long>(entity), a);
+      }
+      values[1] = keywords[entity];
+      engine->peer(p).store().Insert(entity, values);
+    }
+  }
+}
+
+Query RiverQuery() {
+  Query query("q1");
+  query.AddProjection(0);
+  query.AddSelection(1, "river");
+  return query;
+}
+
+TEST(EngineQueryTest, WithoutInferenceFaultyMappingPollutesResults) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  LoadDocuments(intro.engine.get());
+  const QueryReport report =
+      intro.engine->IssueQuery(/*origin=*/1, RiverQuery(), /*ttl=*/3);
+  EXPECT_EQ(report.reached.size(), 4u);
+  // p4 hears the query through the faulty m24 first (one hop) and answers
+  // with a wrong projection: a false positive.
+  bool any_false = false;
+  for (const auto& [peer, row] : report.rows) {
+    const std::string expected =
+        StrFormat("val_e%llu_a0", static_cast<unsigned long long>(row.entity));
+    if (row.values[0] != expected) any_false = true;
+  }
+  EXPECT_TRUE(any_false);
+}
+
+TEST(EngineQueryTest, InferenceBlocksFaultyMappingAndCleansResults) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  LoadDocuments(intro.engine.get());
+  intro.engine->DiscoverClosures();
+  intro.engine->RunToConvergence(200);
+  const QueryReport report =
+      intro.engine->IssueQuery(/*origin=*/1, RiverQuery(), /*ttl=*/3);
+  // The faulty mapping is ignored; the query still reaches every database
+  // through p2 -> p3 -> p4 -> p1 (Section 4.5).
+  EXPECT_EQ(report.reached.size(), 4u);
+  EXPECT_NE(std::find(report.blocked_edges.begin(), report.blocked_edges.end(),
+                      intro.edges.m24),
+            report.blocked_edges.end());
+  ASSERT_EQ(report.rows.size(), 8u);  // 4 peers × 2 river entities
+  for (const auto& [peer, row] : report.rows) {
+    EXPECT_EQ(row.values[0],
+              StrFormat("val_e%llu_a0",
+                        static_cast<unsigned long long>(row.entity)));
+  }
+}
+
+TEST(EngineQueryTest, BottomBlocksForwardingEvenWithoutEvidence) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  LoadDocuments(intro.engine.get());
+  Peer& p2 = intro.engine->peer(1);
+  SchemaMapping patched = *p2.mapping(intro.edges.m23);
+  ASSERT_TRUE(patched.Set(0, std::nullopt).ok());  // projection attr -> ⊥
+  p2.RemoveMapping(intro.edges.m23);
+  ASSERT_TRUE(p2.AddMapping(intro.edges.m23, std::move(patched)).ok());
+  const QueryReport report = intro.engine->IssueQuery(1, RiverQuery(), 3);
+  EXPECT_NE(std::find(report.blocked_edges.begin(), report.blocked_edges.end(),
+                      intro.edges.m23),
+            report.blocked_edges.end());
+}
+
+TEST(EngineQueryTest, ForwardWithoutEvidenceDisabledStopsColdStart) {
+  EngineOptions options;
+  options.forward_without_evidence = false;
+  IntroPdms intro = MakeIntro(options);
+  LoadDocuments(intro.engine.get());
+  const QueryReport report = intro.engine->IssueQuery(1, RiverQuery(), 3);
+  EXPECT_EQ(report.reached.size(), 1u);  // only the origin answers
+  EXPECT_EQ(report.rows.size(), 2u);
+}
+
+// --- Prior updates (Section 4.4) --------------------------------------------------
+
+TEST(EnginePriorTest, EmUpdateMatchesPaperNumbers) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  InjectPaperFeedback(intro.engine.get(), intro.edges);
+  intro.engine->RunToConvergence(200);
+  intro.engine->UpdatePriors();
+  // Section 4.5: priors move to about 0.55 and 0.4. Exact inference gives
+  // (0.5 + 0.590)/2 = 0.545 and (0.5 + 0.306)/2 = 0.403; the loopy
+  // fixed point sits a few hundredths below the exact m23 value.
+  EXPECT_NEAR(intro.engine->Prior(intro.edges.m23, 0), 0.55, 0.035);
+  EXPECT_NEAR(intro.engine->Prior(intro.edges.m24, 0), 0.40, 0.02);
+}
+
+TEST(EnginePriorTest, ExplicitPriorOverrides) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  intro.engine->SetPrior(intro.edges.m24, 0, 1.0);  // expert-validated
+  InjectPaperFeedback(intro.engine.get(), intro.edges);
+  intro.engine->RunToConvergence(200);
+  // With a hard prior of 1 the negative feedback cannot pull m24 down.
+  EXPECT_GT(intro.engine->Posterior(intro.edges.m24, 0), 0.9);
+}
+
+// --- Schedules -----------------------------------------------------------------------
+
+TEST(EngineScheduleTest, LazyPiggybacksOnQueries) {
+  EngineOptions options;
+  options.schedule = ScheduleKind::kLazy;
+  options.theta = 0.45;
+  IntroPdms intro = MakeIntro(options);
+  LoadDocuments(intro.engine.get());
+  intro.engine->DiscoverClosures();
+  const uint64_t beliefs_before =
+      intro.engine->network().stats().sent[static_cast<size_t>(
+          MessageKind::kBelief)];
+
+  // Drive convergence purely with query traffic.
+  for (int i = 0; i < 40; ++i) {
+    intro.engine->IssueQuery(static_cast<PeerId>(i % 4), RiverQuery(), 4);
+    intro.engine->RunRound();
+  }
+  // No standalone belief messages were ever sent...
+  EXPECT_EQ(intro.engine->network().stats().sent[static_cast<size_t>(
+                MessageKind::kBelief)],
+            beliefs_before);
+  // ...yet the faulty mapping was identified.
+  EXPECT_LT(intro.engine->Posterior(intro.edges.m24, 0), 0.45);
+  EXPECT_GT(intro.engine->Posterior(intro.edges.m23, 0), 0.5);
+}
+
+TEST(EngineScheduleTest, PeriodicRespectsPeriod) {
+  EngineOptions options;
+  options.period_ticks = 3;
+  IntroPdms intro = MakeIntro(options);
+  intro.engine->DiscoverClosures();
+  uint64_t rounds_with_traffic = 0;
+  for (int i = 0; i < 9; ++i) {
+    const RoundReport report = intro.engine->RunRound();
+    if (report.belief_updates_sent > 0) ++rounds_with_traffic;
+  }
+  EXPECT_EQ(rounds_with_traffic, 3u);
+}
+
+// --- Fault tolerance (Section 5.1.3) ------------------------------------------------
+
+TEST(EngineFaultTest, ConvergesUnderMessageLoss) {
+  EngineOptions reliable;
+  IntroPdms baseline = MakeIntro(reliable);
+  baseline.engine->DiscoverClosures();
+  const ConvergenceReport clean = baseline.engine->RunToConvergence(400);
+  ASSERT_TRUE(clean.converged);
+
+  EngineOptions lossy;
+  lossy.network.send_probability = 0.5;
+  lossy.network.seed = 99;
+  IntroPdms dropped = MakeIntro(lossy);
+  dropped.engine->DiscoverClosures();
+  const ConvergenceReport noisy = dropped.engine->RunToConvergence(2000);
+  EXPECT_TRUE(noisy.converged);
+  EXPECT_GT(noisy.rounds, clean.rounds);
+  for (EdgeId e : baseline.engine->graph().LiveEdges()) {
+    for (AttributeId a = 0; a < kAttrs; ++a) {
+      EXPECT_NEAR(dropped.engine->Posterior(e, a),
+                  baseline.engine->Posterior(e, a), 1e-3);
+    }
+  }
+}
+
+// --- Churn ---------------------------------------------------------------------------
+
+TEST(EngineChurnTest, RemovingMappingPurgesEvidence) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  intro.engine->DiscoverClosures();
+  intro.engine->RunToConvergence(200);
+  ASSERT_TRUE(intro.engine->RemoveMapping(intro.edges.m24).ok());
+  // All replicas referencing m24 are gone network-wide: only f1 remains.
+  EXPECT_EQ(intro.engine->UniqueFactorCount(), kAttrs);
+  // Re-discovery finds nothing new (f1 closures already known).
+  intro.engine->DiscoverClosures();
+  EXPECT_EQ(intro.engine->UniqueFactorCount(), kAttrs);
+  const ConvergenceReport report = intro.engine->RunToConvergence(100);
+  EXPECT_TRUE(report.converged);
+  // Single positive 4-cycle, uniform priors, ∆ = 0.1:
+  // P = (1 + ∆(8−4)) / (1 + ∆(8−4) + ∆(8−1)) = 1.4 / 2.1 = 2/3.
+  EXPECT_NEAR(intro.engine->Posterior(intro.edges.m23, 0), 2.0 / 3.0, 1e-6);
+}
+
+// --- Coarse granularity -----------------------------------------------------------------
+
+TEST(EngineGranularityTest, CoarseTracksWholeMappings) {
+  EngineOptions options;
+  options.granularity = Granularity::kCoarse;
+  IntroPdms intro = MakeIntro(options);
+  const size_t factors = intro.engine->DiscoverClosures();
+  EXPECT_EQ(factors, 3u);  // one replica per closure, not per attribute
+  intro.engine->RunToConvergence(200);
+  EXPECT_LT(intro.engine->PosteriorCoarse(intro.edges.m24),
+            intro.engine->PosteriorCoarse(intro.edges.m23));
+  // m24 is wrong on 1 of 11 attributes; coarsening calls the whole mapping
+  // into question — exactly the resolution the paper's fine mode fixes.
+  EXPECT_LT(intro.engine->PosteriorCoarse(intro.edges.m24), 0.5);
+}
+
+// --- Overhead accounting (Section 4.3.1) -------------------------------------------------
+
+TEST(EngineOverheadTest, RemoteMessagesRespectPaperBound) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  intro.engine->DiscoverClosures();
+  intro.engine->RunRound();  // populate messages
+  for (PeerId p = 0; p < 4; ++p) {
+    const Peer& peer = intro.engine->peer(p);
+    size_t actual_updates = 0;
+    for (const Outgoing& outgoing : peer.CollectOutgoingBeliefs()) {
+      actual_updates += std::get<BeliefMessage>(outgoing.payload).updates.size();
+    }
+    EXPECT_LE(actual_updates, peer.RemoteMessageBound())
+        << "peer " << p;
+  }
+}
+
+// --- Decentralized == centralized, property-style across random networks -----------------
+
+class RandomNetworkEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomNetworkEquivalence, EmbeddedMatchesCentralized) {
+  Rng rng(GetParam());
+  const Digraph graph = topology::ErdosRenyi(7, 0.3, &rng);
+  if (graph.edge_count() == 0) GTEST_SKIP() << "empty draw";
+  MappingNetworkOptions network_options;
+  network_options.attributes_per_schema = 5;
+  network_options.error_rate = 0.2;
+  network_options.null_rate = 0.05;
+  const SyntheticPdms synthetic =
+      BuildSyntheticPdms(graph, network_options, &rng);
+  EngineOptions options;
+  options.tolerance = 1e-12;
+  options.probe_ttl = 5;
+  Result<std::unique_ptr<PdmsEngine>> engine =
+      PdmsEngine::FromSynthetic(synthetic, options);
+  ASSERT_TRUE(engine.ok());
+  (*engine)->DiscoverClosures();
+  (*engine)->RunToConvergence(1000);
+
+  std::vector<MappingVarKey> vars;
+  const FactorGraph global = (*engine)->BuildGlobalFactorGraph(&vars);
+  if (global.variable_count() == 0) GTEST_SKIP() << "no closures in draw";
+  SumProductOptions sp;
+  sp.tolerance = 1e-12;
+  sp.max_iterations = 1000;
+  const SumProductResult central = SumProductEngine(global, sp).Run();
+  for (VarId v = 0; v < vars.size(); ++v) {
+    EXPECT_NEAR((*engine)->Posterior(vars[v].edge, vars[v].attribute),
+                central.posteriors[v].ProbabilityCorrect(), 1e-5)
+        << "seed " << GetParam() << " " << vars[v].ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "mapping/mapping.h"
+#include "mapping/mapping_generator.h"
+#include "util/rng.h"
+
+namespace pdms {
+namespace {
+
+TEST(SchemaMappingTest, SetAndApply) {
+  SchemaMapping mapping("m", 3);
+  EXPECT_EQ(mapping.DefinedCount(), 0u);
+  ASSERT_TRUE(mapping.Set(0, 2).ok());
+  ASSERT_TRUE(mapping.Set(1, std::nullopt).ok());
+  EXPECT_EQ(mapping.Apply(0), std::optional<AttributeId>(2));
+  EXPECT_EQ(mapping.Apply(1), std::nullopt);
+  EXPECT_EQ(mapping.Apply(2), std::nullopt);  // never set
+  EXPECT_EQ(mapping.Apply(99), std::nullopt);  // out of range is ⊥
+  EXPECT_EQ(mapping.DefinedCount(), 1u);
+  EXPECT_EQ(mapping.Set(99, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaMappingTest, FromCorrespondences) {
+  std::vector<Correspondence> correspondences{{0, 5, 0.9}, {2, 1, 0.7}};
+  const SchemaMapping mapping =
+      SchemaMapping::FromCorrespondences("m", 3, correspondences);
+  EXPECT_EQ(mapping.Apply(0), std::optional<AttributeId>(5));
+  EXPECT_EQ(mapping.Apply(1), std::nullopt);
+  EXPECT_EQ(mapping.Apply(2), std::optional<AttributeId>(1));
+}
+
+TEST(SchemaMappingTest, CompositionFollowsChains) {
+  SchemaMapping first("a", 3);
+  ASSERT_TRUE(first.Set(0, 1).ok());
+  ASSERT_TRUE(first.Set(1, 2).ok());
+  SchemaMapping second("b", 3);
+  ASSERT_TRUE(second.Set(1, 0).ok());
+  ASSERT_TRUE(second.Set(2, 2).ok());
+  const SchemaMapping composed = first.ComposeWith(second);
+  EXPECT_EQ(composed.Apply(0), std::optional<AttributeId>(0));  // 0->1->0
+  EXPECT_EQ(composed.Apply(1), std::optional<AttributeId>(2));  // 1->2->2
+  EXPECT_EQ(composed.Apply(2), std::nullopt);                   // ⊥ propagates
+}
+
+TEST(SchemaMappingTest, ComposeChainMatchesPairwise) {
+  Rng rng(77);
+  const SchemaMapping a = MakeConceptMapping("a", 6, {1}, &rng);
+  const SchemaMapping b = MakeConceptMapping("b", 6, {3}, &rng);
+  const SchemaMapping c = MakeConceptMapping("c", 6, {}, &rng);
+  Result<SchemaMapping> chained = SchemaMapping::ComposeChain({&a, &b, &c});
+  ASSERT_TRUE(chained.ok());
+  const SchemaMapping pairwise = a.ComposeWith(b).ComposeWith(c);
+  for (AttributeId attr = 0; attr < 6; ++attr) {
+    EXPECT_EQ(chained->Apply(attr), pairwise.Apply(attr));
+  }
+  EXPECT_FALSE(SchemaMapping::ComposeChain({}).ok());
+}
+
+TEST(FeedbackTest, CompareCycleSigns) {
+  SchemaMapping closure("c", 3);
+  ASSERT_TRUE(closure.Set(0, 0).ok());       // identity -> positive
+  ASSERT_TRUE(closure.Set(1, 2).ok());       // garbled -> negative
+  // attribute 2 unset -> ⊥ -> neutral
+  EXPECT_EQ(CompareCycle(closure, 0), FeedbackSign::kPositive);
+  EXPECT_EQ(CompareCycle(closure, 1), FeedbackSign::kNegative);
+  EXPECT_EQ(CompareCycle(closure, 2), FeedbackSign::kNeutral);
+}
+
+TEST(FeedbackTest, CompareParallelSigns) {
+  SchemaMapping path1("p1", 3);
+  SchemaMapping path2("p2", 3);
+  ASSERT_TRUE(path1.Set(0, 1).ok());
+  ASSERT_TRUE(path2.Set(0, 1).ok());  // agree -> positive
+  ASSERT_TRUE(path1.Set(1, 0).ok());
+  ASSERT_TRUE(path2.Set(1, 2).ok());  // disagree -> negative
+  ASSERT_TRUE(path1.Set(2, 2).ok());  // path2 ⊥ -> neutral
+  EXPECT_EQ(CompareParallel(path1, path2, 0), FeedbackSign::kPositive);
+  EXPECT_EQ(CompareParallel(path1, path2, 1), FeedbackSign::kNegative);
+  EXPECT_EQ(CompareParallel(path1, path2, 2), FeedbackSign::kNeutral);
+}
+
+TEST(FeedbackTest, ErrorsCanCompensate) {
+  // Two wrong mappings composing back to the identity: the ∆ case the
+  // feedback factor's third regime models.
+  SchemaMapping first("a", 2);
+  ASSERT_TRUE(first.Set(0, 1).ok());
+  ASSERT_TRUE(first.Set(1, 0).ok());
+  const SchemaMapping composed = first.ComposeWith(first);
+  EXPECT_EQ(CompareCycle(composed, 0), FeedbackSign::kPositive);
+  EXPECT_EQ(CompareCycle(composed, 1), FeedbackSign::kPositive);
+}
+
+TEST(GeneratorTest, SyntheticPdmsShape) {
+  Rng rng(42);
+  const Digraph graph = topology::ExampleGraph(nullptr);
+  MappingNetworkOptions options;
+  options.attributes_per_schema = 8;
+  options.error_rate = 0.0;
+  const SyntheticPdms pdms = BuildSyntheticPdms(graph, options, &rng);
+  EXPECT_EQ(pdms.schemas.size(), 4u);
+  EXPECT_EQ(pdms.mappings.size(), 5u);
+  for (const Schema& schema : pdms.schemas) EXPECT_EQ(schema.size(), 8u);
+  EXPECT_EQ(pdms.CountErroneousEntries(), 0u);
+  // With error_rate 0 every mapping is the identity on concepts.
+  for (EdgeId e : pdms.graph.LiveEdges()) {
+    for (AttributeId a = 0; a < 8; ++a) {
+      EXPECT_EQ(pdms.mappings[e].Apply(a), std::optional<AttributeId>(a));
+    }
+  }
+}
+
+TEST(GeneratorTest, ErrorRateIsRespected) {
+  Rng rng(7);
+  Rng topo_rng(8);
+  const Digraph graph = topology::ErdosRenyi(30, 0.15, &topo_rng);
+  MappingNetworkOptions options;
+  options.attributes_per_schema = 10;
+  options.error_rate = 0.25;
+  const SyntheticPdms pdms = BuildSyntheticPdms(graph, options, &rng);
+  const size_t entries = graph.edge_count() * 10;
+  const double observed =
+      static_cast<double>(pdms.CountErroneousEntries()) /
+      static_cast<double>(entries);
+  EXPECT_NEAR(observed, 0.25, 0.06);
+  // Ground truth is consistent: erroneous entries never map a to a.
+  for (EdgeId e : pdms.graph.LiveEdges()) {
+    for (AttributeId a = 0; a < 10; ++a) {
+      if (!pdms.ground_truth[e][a]) {
+        ASSERT_TRUE(pdms.mappings[e].Apply(a).has_value());
+        EXPECT_NE(*pdms.mappings[e].Apply(a), a);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, NullRateProducesBottoms) {
+  Rng rng(11);
+  const Digraph graph = topology::Ring(6);
+  MappingNetworkOptions options;
+  options.attributes_per_schema = 20;
+  options.error_rate = 0.0;
+  options.null_rate = 0.3;
+  const SyntheticPdms pdms = BuildSyntheticPdms(graph, options, &rng);
+  size_t nulls = 0;
+  for (EdgeId e : pdms.graph.LiveEdges()) {
+    nulls += 20 - pdms.mappings[e].DefinedCount();
+  }
+  const double observed =
+      static_cast<double>(nulls) / static_cast<double>(6 * 20);
+  EXPECT_NEAR(observed, 0.3, 0.1);
+}
+
+TEST(GeneratorTest, MakeConceptMappingControlsErrors) {
+  Rng rng(3);
+  const SchemaMapping mapping = MakeConceptMapping("m", 10, {2, 7}, &rng);
+  for (AttributeId a = 0; a < 10; ++a) {
+    ASSERT_TRUE(mapping.Apply(a).has_value());
+    if (a == 2 || a == 7) {
+      EXPECT_NE(*mapping.Apply(a), a);
+    } else {
+      EXPECT_EQ(*mapping.Apply(a), a);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  Rng rng_a(123);
+  Rng rng_b(123);
+  const Digraph graph = topology::Ring(5);
+  MappingNetworkOptions options;
+  options.error_rate = 0.4;
+  const SyntheticPdms a = BuildSyntheticPdms(graph, options, &rng_a);
+  const SyntheticPdms b = BuildSyntheticPdms(graph, options, &rng_b);
+  for (EdgeId e : a.graph.LiveEdges()) {
+    for (AttributeId attr = 0; attr < options.attributes_per_schema; ++attr) {
+      EXPECT_EQ(a.mappings[e].Apply(attr), b.mappings[e].Apply(attr));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+#include "net/network.h"
+
+namespace pdms {
+namespace {
+
+BeliefMessage MakeBelief() {
+  BeliefMessage message;
+  message.updates.push_back(
+      BeliefUpdate{FactorKey{"c:e0,e1:s0@a0"}, MappingVarKey{0, 0},
+                   Belief::FromProbability(0.7)});
+  return message;
+}
+
+TEST(MappingVarKeyTest, OrderingAndNaming) {
+  const MappingVarKey a{1, 2};
+  const MappingVarKey b{1, 3};
+  const MappingVarKey c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.ToString(), "m(e1,a2)");
+  const MappingVarKey coarse{4, MappingVarKey::kWholeMapping};
+  EXPECT_EQ(coarse.ToString(), "m(e4)");
+}
+
+TEST(FactorKeyTest, CanonicalAcrossEdgeOrderings) {
+  Closure first;
+  first.kind = Closure::Kind::kCycle;
+  first.edges = {3, 1, 2};
+  first.source = 1;
+  first.sink = 1;
+  Closure second = first;
+  second.edges = {1, 2, 3};
+  EXPECT_EQ(FactorKey::Make(first, 5), FactorKey::Make(second, 5));
+  EXPECT_NE(FactorKey::Make(first, 5), FactorKey::Make(second, 6));
+}
+
+TEST(FactorKeyTest, DistinguishesRootAndKind) {
+  Closure cycle;
+  cycle.kind = Closure::Kind::kCycle;
+  cycle.edges = {1, 2};
+  cycle.source = 0;
+  cycle.sink = 0;
+  Closure other_root = cycle;
+  other_root.source = 1;
+  EXPECT_NE(FactorKey::Make(cycle, 0), FactorKey::Make(other_root, 0));
+
+  Closure parallel = cycle;
+  parallel.kind = Closure::Kind::kParallelPaths;
+  parallel.split = 1;
+  parallel.sink = 3;
+  EXPECT_NE(FactorKey::Make(cycle, 0), FactorKey::Make(parallel, 0));
+}
+
+TEST(NetworkTest, DeliversAfterDelay) {
+  NetworkOptions options;
+  options.delay_ticks = 2;
+  Network network(3, options);
+  network.Send(0, 1, std::nullopt, MakeBelief());
+  EXPECT_TRUE(network.Drain(1).empty());  // tick 0
+  network.AdvanceTick();
+  EXPECT_TRUE(network.Drain(1).empty());  // tick 1
+  network.AdvanceTick();
+  const auto due = network.Drain(1);      // tick 2
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].from, 0u);
+  EXPECT_EQ(due[0].to, 1u);
+  EXPECT_TRUE(std::holds_alternative<BeliefMessage>(due[0].payload));
+  EXPECT_FALSE(network.HasPendingMessages());
+}
+
+TEST(NetworkTest, FifoWithinPeer) {
+  Network network(2, NetworkOptions{});
+  for (int i = 0; i < 5; ++i) {
+    ProbeMessage probe;
+    probe.origin = static_cast<PeerId>(i);
+    network.Send(0, 1, std::nullopt, probe);
+  }
+  network.AdvanceTick();
+  const auto due = network.Drain(1);
+  ASSERT_EQ(due.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(std::get<ProbeMessage>(due[i].payload).origin,
+              static_cast<PeerId>(i));
+  }
+}
+
+TEST(NetworkTest, LossDropsBeliefMessagesOnly) {
+  NetworkOptions options;
+  options.send_probability = 0.0;
+  options.lose_belief_messages_only = true;
+  options.seed = 5;
+  Network network(2, options);
+  network.Send(0, 1, std::nullopt, MakeBelief());
+  network.Send(0, 1, std::nullopt, ProbeMessage{});
+  network.AdvanceTick();
+  const auto due = network.Drain(1);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<ProbeMessage>(due[0].payload));
+  EXPECT_EQ(network.stats().dropped[static_cast<size_t>(MessageKind::kBelief)],
+            1u);
+}
+
+TEST(NetworkTest, LossCanAffectAllTraffic) {
+  NetworkOptions options;
+  options.send_probability = 0.0;
+  options.lose_belief_messages_only = false;
+  Network network(2, options);
+  network.Send(0, 1, std::nullopt, ProbeMessage{});
+  network.AdvanceTick();
+  EXPECT_TRUE(network.Drain(1).empty());
+}
+
+TEST(NetworkTest, LossRateIsApproximatelyRespected) {
+  NetworkOptions options;
+  options.send_probability = 0.3;
+  options.seed = 77;
+  Network network(2, options);
+  const int kMessages = 20000;
+  for (int i = 0; i < kMessages; ++i) {
+    network.Send(0, 1, std::nullopt, MakeBelief());
+  }
+  const double delivered_fraction =
+      1.0 - static_cast<double>(
+                network.stats().dropped[static_cast<size_t>(
+                    MessageKind::kBelief)]) /
+                kMessages;
+  EXPECT_NEAR(delivered_fraction, 0.3, 0.02);
+}
+
+TEST(NetworkTest, StatsCountPerKind) {
+  Network network(3, NetworkOptions{});
+  network.Send(0, 1, std::nullopt, MakeBelief());
+  network.Send(1, 2, std::nullopt, ProbeMessage{});
+  network.Send(2, 0, std::nullopt, QueryMessage{});
+  EXPECT_EQ(network.stats().TotalSent(), 3u);
+  network.AdvanceTick();
+  network.Drain(0);
+  network.Drain(1);
+  network.Drain(2);
+  EXPECT_EQ(
+      network.stats().delivered[static_cast<size_t>(MessageKind::kQuery)], 1u);
+  EXPECT_NE(network.stats().ToString().find("belief"), std::string::npos);
+}
+
+TEST(NetworkTest, DeterministicLossForSeed) {
+  auto run = [] {
+    NetworkOptions options;
+    options.send_probability = 0.5;
+    options.seed = 9;
+    Network network(2, options);
+    std::vector<bool> delivered;
+    for (int i = 0; i < 100; ++i) {
+      network.Send(0, 1, std::nullopt, MakeBelief());
+      network.AdvanceTick();
+      delivered.push_back(!network.Drain(1).empty());
+    }
+    return delivered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,318 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/peer.h"
+#include "graph/topology.h"
+#include "mapping/mapping_generator.h"
+#include "util/rng.h"
+
+namespace pdms {
+namespace {
+
+constexpr size_t kAttrs = 4;
+
+/// Harness around one peer of the example graph with direct access to its
+/// message-level API (the engine normally drives this).
+class PeerTest : public ::testing::Test {
+ protected:
+  PeerTest() : graph_(topology::ExampleGraph(&edges_)) {
+    options_.probe_ttl = 5;
+    options_.delta_override = 0.1;
+    for (NodeId p = 0; p < graph_.node_count(); ++p) {
+      Schema schema("p" + std::to_string(p + 1));
+      for (size_t a = 0; a < kAttrs; ++a) {
+        EXPECT_TRUE(schema.AddAttribute("a" + std::to_string(a)).ok());
+      }
+      peers_.push_back(std::make_unique<Peer>(p, std::move(schema), &graph_,
+                                              &options_));
+    }
+    Rng rng(3);
+    for (EdgeId e : graph_.LiveEdges()) {
+      EXPECT_TRUE(peers_[graph_.edge(e).src]
+                      ->AddMapping(e, MakeConceptMapping(
+                                          "m" + std::to_string(e), kAttrs,
+                                          {}, &rng))
+                      .ok());
+    }
+  }
+
+  /// A positive-feedback announcement for the f1 cycle on attribute 0.
+  FeedbackAnnouncement F1Announcement(FeedbackSign sign = FeedbackSign::kPositive) {
+    FeedbackAnnouncement announcement;
+    announcement.closure.kind = Closure::Kind::kCycle;
+    announcement.closure.edges = {edges_.m12, edges_.m23, edges_.m34,
+                                  edges_.m41};
+    announcement.closure.split = 4;
+    announcement.closure.source = 0;
+    announcement.closure.sink = 0;
+    announcement.delta = 0.1;
+    AttributeFeedback feedback;
+    feedback.root_attribute = 0;
+    feedback.sign = sign;
+    for (EdgeId e : announcement.closure.edges) {
+      feedback.members.push_back(MappingVarKey{e, 0});
+    }
+    announcement.feedback = {feedback};
+    return announcement;
+  }
+
+  topology::ExampleEdges edges_;
+  Digraph graph_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+};
+
+TEST_F(PeerTest, AddMappingValidatesOwnership) {
+  Rng rng(1);
+  // m34 starts at peer 2, not peer 0.
+  EXPECT_EQ(peers_[0]
+                ->AddMapping(edges_.m34,
+                             MakeConceptMapping("x", kAttrs, {}, &rng))
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate registration.
+  EXPECT_EQ(peers_[0]
+                ->AddMapping(edges_.m12,
+                             MakeConceptMapping("x", kAttrs, {}, &rng))
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(PeerTest, PosteriorWithoutEvidenceIsPrior) {
+  const MappingVarKey var{edges_.m12, 0};
+  EXPECT_DOUBLE_EQ(peers_[0]->Posterior(var), 0.5);
+  peers_[0]->SetPrior(var, 0.8);
+  EXPECT_DOUBLE_EQ(peers_[0]->Posterior(var), 0.8);
+  EXPECT_FALSE(peers_[0]->HasEvidence(var));
+}
+
+TEST_F(PeerTest, IngestFeedbackCreatesReplicaForOwnersOnly) {
+  const FeedbackAnnouncement announcement = F1Announcement();
+  peers_[0]->IngestFeedback(announcement);  // owns m12: replica
+  EXPECT_EQ(peers_[0]->replica_count(), 1u);
+  EXPECT_TRUE(peers_[0]->HasEvidence(MappingVarKey{edges_.m12, 0}));
+  // Ingesting twice is idempotent.
+  peers_[0]->IngestFeedback(announcement);
+  EXPECT_EQ(peers_[0]->replica_count(), 1u);
+}
+
+TEST_F(PeerTest, NeutralFeedbackCreatesNoReplica) {
+  peers_[0]->IngestFeedback(F1Announcement(FeedbackSign::kNeutral));
+  EXPECT_EQ(peers_[0]->replica_count(), 0u);
+}
+
+TEST_F(PeerTest, ComputeRoundMovesPosteriorTowardEvidence) {
+  peers_[0]->IngestFeedback(F1Announcement(FeedbackSign::kPositive));
+  peers_[0]->ComputeRound();
+  // Positive cycle evidence raises the posterior above the 0.5 prior.
+  EXPECT_GT(peers_[0]->Posterior(MappingVarKey{edges_.m12, 0}), 0.5);
+  peers_[1]->IngestFeedback(F1Announcement(FeedbackSign::kNegative));
+  peers_[1]->ComputeRound();
+  EXPECT_LT(peers_[1]->Posterior(MappingVarKey{edges_.m23, 0}), 0.5);
+}
+
+TEST_F(PeerTest, AbsorbBeliefUpdateAffectsFactorMessages) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const double before = peers_[0]->Posterior(MappingVarKey{edges_.m12, 0});
+
+  // A remote peer reports strong belief that m23 is INCORRECT; under a
+  // positive cycle factor this pulls m12 upward (if the cycle still
+  // composed to the identity, somebody else's error must compensate) —
+  // or at least changes the message.
+  BeliefUpdate update;
+  update.factor = FactorKey::Make(F1Announcement().closure, 0);
+  update.var = MappingVarKey{edges_.m23, 0};
+  update.belief = Belief{0.05, 0.95};
+  peers_[0]->AbsorbBeliefUpdate(update);
+  peers_[0]->ComputeRound();
+  EXPECT_NE(peers_[0]->Posterior(MappingVarKey{edges_.m12, 0}), before);
+}
+
+TEST_F(PeerTest, AbsorbIgnoresUnknownFactorAndOwnVariables) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const double before = peers_[0]->Posterior(MappingVarKey{edges_.m12, 0});
+
+  BeliefUpdate unknown;
+  unknown.factor = FactorKey{"c:e9@a0"};
+  unknown.var = MappingVarKey{edges_.m23, 0};
+  unknown.belief = Belief{0.0, 1.0};
+  peers_[0]->AbsorbBeliefUpdate(unknown);
+
+  // A forged update about the peer's OWN variable must be ignored.
+  BeliefUpdate forged;
+  forged.factor = FactorKey::Make(F1Announcement().closure, 0);
+  forged.var = MappingVarKey{edges_.m12, 0};
+  forged.belief = Belief{0.0, 1.0};
+  peers_[0]->AbsorbBeliefUpdate(forged);
+
+  peers_[0]->ComputeRound();
+  EXPECT_NEAR(peers_[0]->Posterior(MappingVarKey{edges_.m12, 0}), before,
+              1e-12);
+}
+
+TEST_F(PeerTest, CollectOutgoingBeliefsTargetsOtherOwners) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const auto outgoing = peers_[0]->CollectOutgoingBeliefs();
+  // Other owners of f1's members: peers 1, 2, 3.
+  ASSERT_EQ(outgoing.size(), 3u);
+  std::set<PeerId> recipients;
+  for (const Outgoing& message : outgoing) {
+    recipients.insert(message.to);
+    const auto& bundle = std::get<BeliefMessage>(message.payload);
+    ASSERT_EQ(bundle.updates.size(), 1u);
+    EXPECT_EQ(bundle.updates[0].var, (MappingVarKey{edges_.m12, 0}));
+  }
+  EXPECT_EQ(recipients, (std::set<PeerId>{1, 2, 3}));
+}
+
+TEST_F(PeerTest, PiggybackUpdatesFilteredByEdge) {
+  peers_[1]->IngestFeedback(F1Announcement());  // p2 owns m23 in f1
+  peers_[1]->ComputeRound();
+  EXPECT_EQ(peers_[1]->PiggybackUpdatesFor(edges_.m23).size(), 1u);
+  EXPECT_TRUE(peers_[1]->PiggybackUpdatesFor(edges_.m24).empty());
+}
+
+TEST_F(PeerTest, RemoveMappingPurgesReplicas) {
+  peers_[1]->IngestFeedback(F1Announcement());
+  EXPECT_EQ(peers_[1]->replica_count(), 1u);
+  peers_[1]->RemoveMapping(edges_.m23);
+  EXPECT_EQ(peers_[1]->replica_count(), 0u);
+  EXPECT_EQ(peers_[1]->mapping(edges_.m23), nullptr);
+  EXPECT_FALSE(peers_[1]->HasEvidence(MappingVarKey{edges_.m23, 0}));
+}
+
+TEST_F(PeerTest, StartProbesCarryMappingImages) {
+  const auto probes = peers_[1]->StartProbes();  // p2 owns m23 and m24
+  ASSERT_EQ(probes.size(), 2u);
+  for (const Outgoing& message : probes) {
+    const auto& probe = std::get<ProbeMessage>(message.payload);
+    EXPECT_EQ(probe.origin, 1u);
+    EXPECT_EQ(probe.ttl, options_.probe_ttl - 1);
+    ASSERT_EQ(probe.route.size(), 1u);
+    ASSERT_EQ(probe.trail.size(), 1u);
+    ASSERT_EQ(probe.trail[0].size(), kAttrs);
+    // Identity mappings: every image equals the source attribute.
+    for (AttributeId a = 0; a < kAttrs; ++a) {
+      EXPECT_EQ(probe.trail[0][a], std::optional<AttributeId>(a));
+    }
+  }
+}
+
+TEST_F(PeerTest, HandleProbeForwardsWithDecrementedTtl) {
+  ProbeMessage probe;
+  probe.origin = 0;
+  probe.ttl = 3;
+  probe.route = {edges_.m12};
+  probe.trail = {std::vector<std::optional<AttributeId>>(kAttrs, 1)};
+  const auto actions = peers_[1]->HandleProbe(probe);
+  // p2 forwards through m23 and m24 (origin p1 not revisited).
+  ASSERT_EQ(actions.size(), 2u);
+  for (const Outgoing& message : actions) {
+    const auto& forwarded = std::get<ProbeMessage>(message.payload);
+    EXPECT_EQ(forwarded.ttl, 2u);
+    EXPECT_EQ(forwarded.route.size(), 2u);
+    EXPECT_EQ(forwarded.trail.size(), 2u);
+  }
+}
+
+TEST_F(PeerTest, HandleProbeStopsAtTtlZero) {
+  ProbeMessage probe;
+  probe.origin = 0;
+  probe.ttl = 0;
+  probe.route = {edges_.m12};
+  probe.trail = {std::vector<std::optional<AttributeId>>(kAttrs, 0)};
+  EXPECT_TRUE(peers_[1]->HandleProbe(probe).empty());
+}
+
+TEST_F(PeerTest, CycleAnnouncedOnlyByMinimumPeer) {
+  // A probe from p2 (id 1) closing the 4-cycle back at p2: peer 1 is NOT
+  // the minimum id on the cycle (p1 = 0 is), so it must stay silent.
+  ProbeMessage probe;
+  probe.origin = 1;
+  probe.ttl = 2;
+  probe.route = {edges_.m23, edges_.m34, edges_.m41, edges_.m12};
+  probe.trail.assign(4, std::vector<std::optional<AttributeId>>(kAttrs, 0));
+  for (AttributeId a = 0; a < kAttrs; ++a) probe.trail[3][a] = a;
+  EXPECT_TRUE(peers_[1]->HandleProbe(probe).empty());
+
+  // The same physical cycle closing at p1 (the minimum) is announced to
+  // all four member owners.
+  ProbeMessage canonical;
+  canonical.origin = 0;
+  canonical.ttl = 2;
+  canonical.route = {edges_.m12, edges_.m23, edges_.m34, edges_.m41};
+  canonical.trail.assign(4, std::vector<std::optional<AttributeId>>(kAttrs, 0));
+  for (AttributeId a = 0; a < kAttrs; ++a) canonical.trail[3][a] = a;
+  const auto actions = peers_[0]->HandleProbe(canonical);
+  ASSERT_EQ(actions.size(), 4u);
+  for (const Outgoing& message : actions) {
+    EXPECT_TRUE(std::holds_alternative<FeedbackAnnouncement>(message.payload));
+  }
+}
+
+TEST_F(PeerTest, BrokenChainYieldsNeutralFeedback) {
+  // The probe's trail hits ⊥ at hop 2 for attribute 1.
+  ProbeMessage probe;
+  probe.origin = 0;
+  probe.ttl = 2;
+  probe.route = {edges_.m12, edges_.m23, edges_.m34, edges_.m41};
+  probe.trail.assign(4, std::vector<std::optional<AttributeId>>(kAttrs, 0));
+  for (AttributeId a = 0; a < kAttrs; ++a) {
+    probe.trail[3][a] = a;  // cycle closes on the identity
+  }
+  probe.trail[1][1] = std::nullopt;  // ⊥ at hop 2 for attribute 1
+  const auto actions = peers_[0]->HandleProbe(probe);
+  ASSERT_FALSE(actions.empty());
+  const auto& announcement =
+      std::get<FeedbackAnnouncement>(actions[0].payload);
+  ASSERT_EQ(announcement.feedback.size(), kAttrs);
+  EXPECT_EQ(announcement.feedback[1].sign, FeedbackSign::kNeutral);
+  EXPECT_EQ(announcement.feedback[0].sign, FeedbackSign::kPositive);
+}
+
+TEST_F(PeerTest, UpdatePriorsOnlyTouchesVariablesWithEvidence) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  peers_[0]->UpdatePriorsFromPosteriors();
+  // Evidence variable moved off 0.5; attribute 1 (no evidence) unchanged.
+  EXPECT_NE(peers_[0]->Prior(MappingVarKey{edges_.m12, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(peers_[0]->Prior(MappingVarKey{edges_.m12, 1}), 0.5);
+}
+
+TEST_F(PeerTest, SetPriorResetsEvidenceHistory) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  peers_[0]->UpdatePriorsFromPosteriors();
+  peers_[0]->SetPrior(MappingVarKey{edges_.m12, 0}, 0.9);
+  EXPECT_DOUBLE_EQ(peers_[0]->Prior(MappingVarKey{edges_.m12, 0}), 0.9);
+}
+
+TEST_F(PeerTest, ReplicaViewsExposeStoredFactors) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  const auto views = peers_[0]->ReplicaViews();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].sign, FeedbackSign::kPositive);
+  EXPECT_EQ(views[0].members.size(), 4u);
+  EXPECT_DOUBLE_EQ(views[0].delta, 0.1);
+  EXPECT_EQ(views[0].kind, Closure::Kind::kCycle);
+}
+
+TEST_F(PeerTest, ProcessQueryDeduplicatesByQueryId) {
+  peers_[0]->store().Insert(1, {{0, "value"}});
+  QueryMessage message;
+  message.query_id = 7;
+  message.ttl = 0;
+  message.query.AddProjection(0);
+  const QueryActions first = peers_[0]->ProcessQuery(message, false);
+  EXPECT_EQ(first.rows.size(), 1u);
+  const QueryActions second = peers_[0]->ProcessQuery(message, false);
+  EXPECT_TRUE(second.rows.empty());
+  EXPECT_TRUE(peers_[0]->SawQuery(7));
+}
+
+}  // namespace
+}  // namespace pdms

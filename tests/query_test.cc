@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "query/document_store.h"
+#include "query/query.h"
+
+namespace pdms {
+namespace {
+
+Schema ArtSchema() {
+  Schema schema("art");
+  EXPECT_TRUE(schema.AddAttribute("creator").ok());   // 0
+  EXPECT_TRUE(schema.AddAttribute("keywords").ok());  // 1
+  EXPECT_TRUE(schema.AddAttribute("created").ok());   // 2
+  return schema;
+}
+
+TEST(QueryTest, BuildAndInspect) {
+  Query query("q1");
+  query.AddProjection(0);
+  query.AddSelection(1, "river");
+  EXPECT_EQ(query.operations().size(), 2u);
+  EXPECT_EQ(query.Attributes(), (std::vector<AttributeId>{0, 1}));
+  const Schema schema = ArtSchema();
+  EXPECT_NE(query.ToString(&schema).find("creator"), std::string::npos);
+  EXPECT_NE(query.ToString(&schema).find("river"), std::string::npos);
+}
+
+TEST(QueryTest, AttributesAreDeduplicated) {
+  Query query("q");
+  query.AddProjection(3);
+  query.AddSelection(3, "x");
+  query.AddSelection(1, "y");
+  EXPECT_EQ(query.Attributes(), (std::vector<AttributeId>{1, 3}));
+}
+
+TEST(QueryTest, TranslateRewritesAttributes) {
+  Query query("q");
+  query.AddProjection(0);
+  query.AddSelection(1, "river");
+  SchemaMapping mapping("m", 3);
+  ASSERT_TRUE(mapping.Set(0, 2).ok());
+  ASSERT_TRUE(mapping.Set(1, 1).ok());
+  Result<Query> translated = query.Translate(mapping);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(translated->operations()[0].attribute, 2u);
+  EXPECT_EQ(translated->operations()[1].attribute, 1u);
+  EXPECT_EQ(translated->operations()[1].literal, "river");
+}
+
+TEST(QueryTest, TranslateFailsOnBottom) {
+  Query query("q");
+  query.AddProjection(0);
+  SchemaMapping mapping("m", 3);  // attribute 0 unmapped
+  EXPECT_EQ(query.Translate(mapping).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ParserTest, SelectOnly) {
+  const Schema schema = ArtSchema();
+  Result<Query> query = ParseQuery("SELECT creator", schema);
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->operations().size(), 1u);
+  EXPECT_EQ(query->operations()[0].kind, OpKind::kProjection);
+  EXPECT_EQ(query->operations()[0].attribute, 0u);
+}
+
+TEST(ParserTest, SelectMultipleWithWhere) {
+  const Schema schema = ArtSchema();
+  Result<Query> query = ParseQuery(
+      "SELECT creator, created WHERE keywords LIKE \"river\" AND creator "
+      "LIKE \"Robi\"",
+      schema);
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->operations().size(), 4u);
+  EXPECT_EQ(query->operations()[2].kind, OpKind::kSelection);
+  EXPECT_EQ(query->operations()[2].literal, "river");
+  EXPECT_EQ(query->operations()[3].literal, "Robi");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  const Schema schema = ArtSchema();
+  EXPECT_TRUE(ParseQuery("select creator where keywords like \"x\"", schema).ok());
+}
+
+TEST(ParserTest, Errors) {
+  const Schema schema = ArtSchema();
+  EXPECT_EQ(ParseQuery("creator", schema).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseQuery("SELECT", schema).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseQuery("SELECT nope", schema).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseQuery("SELECT creator,", schema).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseQuery("SELECT creator WHERE keywords \"x\"", schema)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseQuery("SELECT creator WHERE keywords LIKE \"x", schema)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DocumentStoreTest, InsertAndExecute) {
+  DocumentStore store;
+  store.Insert(1, {{0, "Henry Peach Robinson"}, {1, "river landscape"}});
+  store.Insert(2, {{0, "Claude Monet"}, {1, "garden pond"}});
+  store.Insert(3, {{0, "John Constable"}, {1, "river dedham"}});
+
+  Query query("q");
+  query.AddProjection(0);
+  query.AddSelection(1, "river");
+  const auto rows = store.Execute(query);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].values[0], "Henry Peach Robinson");
+  EXPECT_EQ(rows[0].entity, 1u);
+  EXPECT_EQ(rows[1].values[0], "John Constable");
+}
+
+TEST(DocumentStoreTest, MissingSelectionAttributeMeansNoMatch) {
+  DocumentStore store;
+  store.Insert(1, {{0, "value"}});
+  Query query("q");
+  query.AddProjection(0);
+  query.AddSelection(5, "anything");
+  EXPECT_TRUE(store.Execute(query).empty());
+}
+
+TEST(DocumentStoreTest, MissingProjectionRendersEmpty) {
+  DocumentStore store;
+  store.Insert(1, {{1, "river"}});
+  Query query("q");
+  query.AddProjection(0);
+  query.AddSelection(1, "river");
+  const auto rows = store.Execute(query);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].values[0], "");
+}
+
+TEST(DocumentStoreTest, SelectionIsSubstringMatch) {
+  DocumentStore store;
+  store.Insert(1, {{0, "Robinson"}});
+  Query query("q");
+  query.AddProjection(0);
+  query.AddSelection(0, "Robi");
+  EXPECT_EQ(store.Execute(query).size(), 1u);
+  Query miss("q2");
+  miss.AddProjection(0);
+  miss.AddSelection(0, "robi");  // case-sensitive LIKE
+  EXPECT_TRUE(store.Execute(miss).empty());
+}
+
+TEST(DocumentStoreTest, ProjectionOnlyReturnsAllDocuments) {
+  DocumentStore store;
+  store.Insert(1, {{0, "a"}});
+  store.Insert(2, {{0, "b"}});
+  Query query("q");
+  query.AddProjection(0);
+  EXPECT_EQ(store.Execute(query).size(), 2u);
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,186 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "schema/alignment.h"
+#include "schema/bibliographic.h"
+#include "schema/dictionary.h"
+#include "schema/schema.h"
+
+namespace pdms {
+namespace {
+
+TEST(SchemaTest, AddAndFindAttributes) {
+  Schema schema("art");
+  Result<AttributeId> creator = schema.AddAttribute("Creator", "who made it");
+  ASSERT_TRUE(creator.ok());
+  EXPECT_EQ(*creator, 0u);
+  ASSERT_TRUE(schema.AddAttribute("Subject").ok());
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_TRUE(schema.Contains("Creator"));
+  EXPECT_FALSE(schema.Contains("creator"));  // case-sensitive by design
+  Result<AttributeId> found = schema.Find("Subject");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 1u);
+  EXPECT_EQ(schema.attribute(0).comment, "who made it");
+}
+
+TEST(SchemaTest, RejectsDuplicatesAndEmpty) {
+  Schema schema("s");
+  ASSERT_TRUE(schema.AddAttribute("a").ok());
+  EXPECT_EQ(schema.AddAttribute("a").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.AddAttribute("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.Find("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DictionaryTest, CanonicalizesKnownTokens) {
+  const Dictionary& dict = Dictionary::Bibliographic();
+  EXPECT_EQ(dict.Canonicalize("titre"), "title");
+  EXPECT_EQ(dict.Canonicalize("auteur"), "author");
+  EXPECT_EQ(dict.Canonicalize("creator"), "author");
+  EXPECT_EQ(dict.Canonicalize("unknown_token"), "unknown_token");
+  // The deliberate faux ami: editeur (publisher) canonicalizes to editor.
+  EXPECT_EQ(dict.Canonicalize("editeur"), "editor");
+}
+
+TEST(DictionaryTest, CanonicalTokensDropAffixes) {
+  const Dictionary& dict = Dictionary::Bibliographic();
+  EXPECT_EQ(dict.CanonicalTokens("hasAuthor"),
+            (std::vector<std::string>{"author"}));
+  EXPECT_EQ(dict.CanonicalTokens("title_field"),
+            (std::vector<std::string>{"title"}));
+  EXPECT_EQ(dict.CanonicalTokens("motsCles"),
+            (std::vector<std::string>{"mots", "cles"}));  // not in dictionary
+}
+
+TEST(BibliographicTest, FamilyShape) {
+  const auto family = MakeBibliographicOntologies();
+  ASSERT_EQ(family.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& ontology : family) {
+    names.insert(ontology.schema.name());
+    // "about thirty concepts" each (Section 5.2).
+    EXPECT_GE(ontology.schema.size(), 28u) << ontology.schema.name();
+    EXPECT_LE(ontology.schema.size(), 34u);
+    ASSERT_EQ(ontology.schema.size(), ontology.concept_of.size());
+    // Concepts are unique within an ontology.
+    std::set<ConceptId> concepts(ontology.concept_of.begin(),
+                                 ontology.concept_of.end());
+    EXPECT_EQ(concepts.size(), ontology.concept_of.size());
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(BibliographicTest, SomeConceptsAreOmitted) {
+  const auto family = MakeBibliographicOntologies();
+  size_t omissions = 0;
+  for (const auto& ontology : family) {
+    for (ConceptId c = 0; c < BibliographicConcepts::Count(); ++c) {
+      if (!ontology.AttributeForConcept(c).has_value()) ++omissions;
+    }
+  }
+  // The family deliberately omits a few concepts (⊥ sources) but not many.
+  EXPECT_GE(omissions, 3u);
+  EXPECT_LE(omissions, 12u);
+}
+
+TEST(BibliographicTest, GroundTruthOracle) {
+  const auto family = MakeBibliographicOntologies();
+  GroundTruth truth(&family);
+  const auto title_ref = family[0].schema.Find("title");
+  const auto titre_fr = family[1].schema.Find("titre");
+  const auto auteur_fr = family[1].schema.Find("auteur");
+  ASSERT_TRUE(title_ref.ok());
+  ASSERT_TRUE(titre_fr.ok());
+  ASSERT_TRUE(auteur_fr.ok());
+  EXPECT_TRUE(truth.SameConcept(0, *title_ref, 1, *titre_fr));
+  EXPECT_FALSE(truth.SameConcept(0, *title_ref, 1, *auteur_fr));
+}
+
+TEST(AlignerTest, SimilarityTechniquesDiffer) {
+  AlignerOptions edit_options;
+  edit_options.technique = AlignmentTechnique::kEditDistance;
+  Aligner edit_aligner(edit_options);
+
+  AlignerOptions dict_options;
+  dict_options.technique = AlignmentTechnique::kTokenDictionary;
+  Aligner dict_aligner(dict_options);
+
+  // Dictionary resolves the translation edit distance cannot.
+  EXPECT_LT(edit_aligner.Similarity("annee", "year"), 0.3);
+  EXPECT_DOUBLE_EQ(dict_aligner.Similarity("annee", "year"), 1.0);
+
+  // Edit distance falls for the faux ami; the dictionary does too (it maps
+  // editeur -> editor), which is the seeded systematic error.
+  EXPECT_GT(edit_aligner.Similarity("editeur", "editor"), 0.7);
+  EXPECT_DOUBLE_EQ(dict_aligner.Similarity("editeur", "editor"), 1.0);
+}
+
+TEST(AlignerTest, AlignRefToFrenchFindsCorrectPairsAndTheTrap) {
+  const auto family = MakeBibliographicOntologies();
+  GroundTruth truth(&family);
+  AlignerOptions options;
+  options.technique = AlignmentTechnique::kCombined;
+  options.min_score = 0.5;
+  Aligner aligner(options);
+  const auto correspondences =
+      aligner.Align(family[0].schema, family[1].schema);
+  ASSERT_FALSE(correspondences.empty());
+
+  size_t correct = 0;
+  size_t wrong = 0;
+  bool editor_trap = false;
+  for (const Correspondence& c : correspondences) {
+    if (truth.SameConcept(0, c.source, 1, c.target)) {
+      ++correct;
+    } else {
+      ++wrong;
+      if (family[0].schema.attribute(c.source).name == "editor" &&
+          family[1].schema.attribute(c.target).name == "editeur") {
+        editor_trap = true;
+      }
+    }
+  }
+  // The aligner works (mostly) but produces genuine errors, including the
+  // editor -> editeur faux ami.
+  EXPECT_GT(correct, 15u);
+  EXPECT_GE(wrong, 1u);
+  EXPECT_TRUE(editor_trap);
+}
+
+TEST(AlignerTest, ThresholdControlsYield) {
+  const auto family = MakeBibliographicOntologies();
+  AlignerOptions strict;
+  strict.min_score = 0.9;
+  AlignerOptions loose;
+  loose.min_score = 0.3;
+  const auto strict_result =
+      Aligner(strict).Align(family[0].schema, family[4].schema);
+  const auto loose_result =
+      Aligner(loose).Align(family[0].schema, family[4].schema);
+  EXPECT_LT(strict_result.size(), loose_result.size());
+}
+
+TEST(AlignerTest, SelfAlignmentIsPerfect) {
+  const auto family = MakeBibliographicOntologies();
+  GroundTruth truth(&family);
+  Aligner aligner;
+  const auto correspondences =
+      aligner.Align(family[0].schema, family[0].schema);
+  EXPECT_EQ(correspondences.size(), family[0].schema.size());
+  for (const Correspondence& c : correspondences) {
+    EXPECT_EQ(c.source, c.target);
+    EXPECT_DOUBLE_EQ(c.score, 1.0);
+  }
+}
+
+TEST(AlignerTest, TechniqueNamesAreStable) {
+  EXPECT_EQ(AlignmentTechniqueName(AlignmentTechnique::kEditDistance),
+            "edit-distance");
+  EXPECT_EQ(AlignmentTechniqueName(AlignmentTechnique::kCombined), "combined");
+}
+
+}  // namespace
+}  // namespace pdms

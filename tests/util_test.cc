@@ -1,0 +1,285 @@
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace pdms {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing mapping");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NotFound: missing mapping");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    PDMS_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::InvalidArgument("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> weights{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(100);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(100);
+  parent2.Fork();
+  EXPECT_EQ(parent.NextUint64(), parent2.NextUint64());
+  EXPECT_NE(child.NextUint64(), parent.NextUint64());
+}
+
+TEST(StringUtilTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts{"a", "", "bc", "d"};
+  EXPECT_EQ(Join(parts, ","), "a,,bc,d");
+  EXPECT_EQ(Split("a,,bc,d", ','), parts);
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  EXPECT_EQ(Split("abc", ','), std::vector<std::string>{"abc"});
+}
+
+TEST(StringUtilTest, TrimRemovesOuterWhitespace) {
+  EXPECT_EQ(Trim("  hello world \t\n"), "hello world");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("CreAtor"), "creator");
+  EXPECT_EQ(ToUpper("creAtor"), "CREATOR");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("Photoshop_Image", "Photo"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_TRUE(EndsWith("Photoshop_Image", "_Image"));
+  EXPECT_FALSE(EndsWith("abc", "dabc"));
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, EditDistanceKnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("creator", "creator"), 0u);
+  EXPECT_EQ(EditDistance("creator", "createur"), 2u);
+}
+
+TEST(StringUtilTest, EditSimilarityBounds) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_GT(EditSimilarity("author", "auteur"), 0.4);
+}
+
+TEST(StringUtilTest, TrigramSimilarity) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("ab", "ab"), 1.0);  // short-string path
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("ab", "ba"), 0.0);
+  EXPECT_GT(TrigramSimilarity("creator", "creators"), 0.5);
+  EXPECT_LT(TrigramSimilarity("creator", "subject"), 0.2);
+}
+
+TEST(StringUtilTest, TokenizeIdentifierVariants) {
+  EXPECT_EQ(TokenizeIdentifier("hasAuthorName"),
+            (std::vector<std::string>{"has", "author", "name"}));
+  EXPECT_EQ(TokenizeIdentifier("date_of_birth"),
+            (std::vector<std::string>{"date", "of", "birth"}));
+  EXPECT_EQ(TokenizeIdentifier("Painting/Painter"),
+            (std::vector<std::string>{"painting", "painter"}));
+  // Consecutive uppercase runs (acronyms) are kept as a single token.
+  EXPECT_EQ(TokenizeIdentifier("HTTPServer"),
+            (std::vector<std::string>{"httpserver"}));
+  EXPECT_TRUE(TokenizeIdentifier("").empty());
+}
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  Rng rng(55);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram hist(0.0, 1.0, 10);
+  hist.Add(0.05);
+  hist.Add(0.15);
+  hist.Add(0.15);
+  hist.Add(-5.0);  // clamps to first bin
+  hist.Add(5.0);   // clamps to last bin
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_EQ(hist.bin(0), 2u);
+  EXPECT_EQ(hist.bin(1), 2u);
+  EXPECT_EQ(hist.bin(9), 1u);
+}
+
+TEST(PercentileTest, NearestRank) {
+  std::vector<double> samples{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0), 1.0);
+  EXPECT_TRUE(std::isnan(Percentile({}, 50)));
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.SetHeader({"theta", "precision"});
+  table.AddRow({"0.1", "0.85"});
+  table.AddNumericRow({0.2, 0.8126}, 3);
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("theta"), std::string::npos);
+  EXPECT_NE(rendered.find("0.813"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"with,comma", "with\"quote"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdms
