@@ -26,10 +26,10 @@ void DeltaSensitivity() {
     EngineOptions options;
     options.delta_override = delta;
     bench::IntroFixture fixture = bench::MakeIntroFixture(options);
-    fixture.engine->DiscoverClosures();
-    fixture.engine->RunToConvergence(200);
-    const double m23 = fixture.engine->Posterior(fixture.edges.m23, 0);
-    const double m24 = fixture.engine->Posterior(fixture.edges.m24, 0);
+    fixture.pdms.session().Discover();
+    fixture.pdms.session().Converge(200);
+    const double m23 = fixture.pdms.Posterior(fixture.edges.m23, 0);
+    const double m24 = fixture.pdms.Posterior(fixture.edges.m24, 0);
     const bool ok = m23 > 0.5 && m24 < 0.5;
     table.AddRow({StrFormat("%.3f", delta), StrFormat("%.4f", m23),
                   StrFormat("%.4f", m24), ok ? "yes" : "NO"});
@@ -48,17 +48,17 @@ void GranularityAblation() {
     options.delta_override = 0.1;
     options.granularity = granularity;
     bench::IntroFixture fixture = bench::MakeIntroFixture(options);
-    const size_t factors = fixture.engine->DiscoverClosures();
-    fixture.engine->RunToConvergence(200);
+    const size_t factors = fixture.pdms.session().Discover();
+    fixture.pdms.session().Converge(200);
     if (granularity == Granularity::kFine) {
       table.AddRow({"fine", StrFormat("%zu", factors),
-                    StrFormat("%.3f", fixture.engine->Posterior(
+                    StrFormat("%.3f", fixture.pdms.Posterior(
                                           fixture.edges.m24, 0)),
-                    StrFormat("%.3f", fixture.engine->Posterior(
+                    StrFormat("%.3f", fixture.pdms.Posterior(
                                           fixture.edges.m24, 1)),
                     "only the garbled attribute is penalized"});
     } else {
-      const double coarse = fixture.engine->PosteriorCoarse(fixture.edges.m24);
+      const double coarse = fixture.pdms.PosteriorCoarse(fixture.edges.m24);
       table.AddRow({"coarse", StrFormat("%zu", factors),
                     StrFormat("%.3f", coarse), StrFormat("%.3f", coarse),
                     "whole mapping penalized for one bad attribute"});
@@ -86,17 +86,19 @@ void DampingAblation() {
     options.closure_limits.max_path_length = 3;
     options.tolerance = 1e-3;
     options.damping = damping;
-    Result<std::unique_ptr<PdmsEngine>> engine =
-        PdmsEngine::FromSynthetic(synthetic, options);
-    (*engine)->DiscoverClosures();
-    const ConvergenceReport report = (*engine)->RunToConvergence(300);
+    Pdms pdms = PdmsBuilder::FromSynthetic(synthetic)
+                    .WithOptions(options)
+                    .Build()
+                    .value();
+    pdms.session().Discover();
+    const ConvergenceReport report = pdms.session().Converge(300);
     size_t right = 0;
     size_t total = 0;
     for (EdgeId e : synthetic.graph.LiveEdges()) {
       for (AttributeId a = 0; a < 10; ++a) {
         if (!synthetic.mappings[e].Apply(a).has_value()) continue;
         const bool truly_correct = synthetic.ground_truth[e][a];
-        if (((*engine)->Posterior(e, a) > 0.5) == truly_correct) ++right;
+        if ((pdms.Posterior(e, a) > 0.5) == truly_correct) ++right;
         ++total;
       }
     }
@@ -127,16 +129,18 @@ void ClosureLengthAblation() {
     options.closure_limits.max_path_length = cap - 1;
     options.damping = 0.25;
     options.tolerance = 1e-3;
-    Result<std::unique_ptr<PdmsEngine>> engine =
-        PdmsEngine::FromSynthetic(synthetic, options);
-    const size_t factors = (*engine)->DiscoverClosures();
-    (*engine)->RunToConvergence(200);
+    Pdms pdms = PdmsBuilder::FromSynthetic(synthetic)
+                    .WithOptions(options)
+                    .Build()
+                    .value();
+    const size_t factors = pdms.session().Discover();
+    pdms.session().Converge(200);
     size_t right = 0;
     size_t total = 0;
     for (EdgeId e : synthetic.graph.LiveEdges()) {
       for (AttributeId a = 0; a < 10; ++a) {
         if (!synthetic.mappings[e].Apply(a).has_value()) continue;
-        if (((*engine)->Posterior(e, a) > 0.5) ==
+        if ((pdms.Posterior(e, a) > 0.5) ==
             synthetic.ground_truth[e][a]) {
           ++right;
         }
@@ -147,7 +151,7 @@ void ClosureLengthAblation() {
         {StrFormat("%zu", cap), StrFormat("%zu", factors),
          StrFormat("%llu",
                    static_cast<unsigned long long>(
-                       (*engine)->network().stats().sent[static_cast<size_t>(
+                       pdms.transport().stats().sent[static_cast<size_t>(
                            MessageKind::kProbe)])),
          StrFormat("%.3f",
                    static_cast<double>(right) / static_cast<double>(total))});

@@ -20,11 +20,11 @@
 namespace pdms {
 namespace {
 
-std::vector<ClosureEvidence> EvidenceFromEngine(const PdmsEngine& engine) {
+std::vector<ClosureEvidence> EvidenceFromPdms(const Pdms& pdms) {
   std::set<std::string> seen;
   std::vector<ClosureEvidence> evidence;
-  for (PeerId p = 0; p < engine.peer_count(); ++p) {
-    for (const Peer::ReplicaView& view : engine.peer(p).ReplicaViews()) {
+  for (PeerId p = 0; p < pdms.peer_count(); ++p) {
+    for (const Peer::ReplicaView& view : pdms.peer(p).ReplicaViews()) {
       if (!seen.insert(view.key.value).second) continue;
       evidence.push_back(ClosureEvidence{view.members, view.sign});
     }
@@ -38,9 +38,9 @@ void IntroComparison() {
   options.delta_override = 0.1;
   bench::IntroFixture fixture = bench::MakeIntroFixture(options);
   bench::InjectPaperFeedback(fixture);
-  fixture.engine->RunToConvergence(100);
+  fixture.pdms.session().Converge(100);
 
-  const auto evidence = EvidenceFromEngine(*fixture.engine);
+  const auto evidence = EvidenceFromPdms(fixture.pdms);
   ChattyWebOptions hard;
   hard.variant = ChattyWebVariant::kHardExclusion;
   ChattyWebOptions naive;
@@ -67,7 +67,7 @@ void IntroComparison() {
       return StrFormat("%.3f %s", score, score > 0.5 ? "keep" : "drop");
     };
     table.AddRow({row.name, row.correct ? "correct" : "WRONG",
-                  verdict(fixture.engine->Posterior(row.edge, 0)),
+                  verdict(fixture.pdms.Posterior(row.edge, 0)),
                   verdict(naive_scores.count(var) > 0 ? naive_scores.at(var)
                                                       : 0.5),
                   verdict(hard_scores.count(var) > 0 ? hard_scores.at(var)
@@ -87,10 +87,10 @@ void BibliographicComparison() {
   options.closure_limits.max_cycle_length = 4;
   options.closure_limits.max_path_length = 3;
   bench::BibliographicPdms workload = bench::MakeBibliographicPdms(options);
-  workload.engine->DiscoverClosures();
-  workload.engine->RunToConvergence(60);
+  workload.pdms.session().Discover();
+  workload.pdms.session().Converge(60);
 
-  const auto evidence = EvidenceFromEngine(*workload.engine);
+  const auto evidence = EvidenceFromPdms(workload.pdms);
   ChattyWebOptions naive;
   naive.variant = ChattyWebVariant::kNaiveBayes;
   const auto naive_scores = ChattyWebAnalyze(evidence, naive);
@@ -127,7 +127,7 @@ void BibliographicComparison() {
   TextTable table;
   table.SetHeader({"method", "flagged", "precision", "recall"});
   table.AddRow(score_method("message passing", [&](const MappingVarKey& var) {
-    return workload.engine->Posterior(var.edge, var.attribute) < 0.5;
+    return workload.pdms.Posterior(var.edge, var.attribute) < 0.5;
   }));
   table.AddRow(score_method("chatty-web naive", [&](const MappingVarKey& var) {
     const auto it = naive_scores.find(var);

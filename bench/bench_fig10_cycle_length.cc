@@ -10,9 +10,8 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/pdms_engine.h"
 #include "graph/topology.h"
-#include "mapping/mapping_generator.h"
+#include "pdms/pdms.h"
 #include "util/table.h"
 
 namespace pdms {
@@ -41,13 +40,15 @@ double EnginePosterior(size_t n, double delta) {
   options.closure_limits.min_cycle_length = 2;
   options.closure_limits.max_cycle_length = n;
   options.closure_limits.max_path_length = 1;  // no parallel paths in a ring
-  Result<std::unique_ptr<PdmsEngine>> engine =
-      PdmsEngine::FromSynthetic(synthetic, options);
-  (*engine)->DiscoverClosures();
+  Pdms pdms = PdmsBuilder::FromSynthetic(synthetic)
+                  .WithOptions(options)
+                  .Build()
+                  .value();
+  pdms.session().Discover();
   // "2 iterations [cycle-free factor-graph]" — exact on this tree.
-  (*engine)->RunRound();
-  (*engine)->RunRound();
-  return (*engine)->Posterior(0, 0);
+  pdms.session().Step();
+  pdms.session().Step();
+  return pdms.Posterior(0, 0);
 }
 
 void Run() {

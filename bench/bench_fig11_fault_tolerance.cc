@@ -34,20 +34,20 @@ LossRun RunWithLoss(double p_send, const std::vector<double>* reference,
   options.tolerance = 1e-7;
   bench::IntroFixture fixture = bench::MakeIntroFixture(options);
   bench::InjectPaperFeedback(fixture);
-  PdmsEngine& engine = *fixture.engine;
-  const ConvergenceReport report = engine.RunToConvergence(4000);
+  Pdms& pdms = fixture.pdms;
+  const ConvergenceReport report = pdms.session().Converge(4000);
 
   LossRun run;
   run.p_send = p_send;
   run.rounds = report.rounds;
   run.converged = report.converged;
-  run.m24_posterior = engine.Posterior(fixture.edges.m24, 0);
+  run.m24_posterior = pdms.Posterior(fixture.edges.m24, 0);
 
   std::vector<double> posteriors;
   for (EdgeId e :
        {fixture.edges.m12, fixture.edges.m23, fixture.edges.m34,
         fixture.edges.m41, fixture.edges.m24}) {
-    posteriors.push_back(engine.Posterior(e, 0));
+    posteriors.push_back(pdms.Posterior(e, 0));
   }
   if (reference != nullptr) {
     for (size_t i = 0; i < posteriors.size(); ++i) {

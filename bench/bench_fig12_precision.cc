@@ -30,7 +30,8 @@ void Run() {
   options.damping = 0.5;  // dense evidence graph: damp loopy oscillation
 
   bench::BibliographicPdms workload = bench::MakeBibliographicPdms(options);
-  PdmsEngine& engine = *workload.engine;
+  Pdms& pdms = workload.pdms;
+  Session& session = pdms.session();
 
   const size_t total = workload.entries.size();
   const size_t erroneous = workload.ErroneousCount();
@@ -42,8 +43,8 @@ void Run() {
                              static_cast<double>(total));
   std::printf("(paper: 396 generated mappings, 86 erroneous)\n\n");
 
-  const size_t factors = engine.DiscoverClosures();
-  const ConvergenceReport report = engine.RunToConvergence(100);
+  const size_t factors = session.Discover();
+  const ConvergenceReport report = session.Converge(100);
 
   // A handful of variables sit on frustrated loops (conflicting hard
   // evidence) where plain loopy BP oscillates ([15]); average posteriors
@@ -51,16 +52,16 @@ void Run() {
   constexpr size_t kWindow = 10;
   std::vector<double> posteriors(total, 0.0);
   for (size_t round = 0; round < kWindow; ++round) {
-    engine.RunRound();
+    session.Step();
     for (size_t i = 0; i < total; ++i) {
-      posteriors[i] += engine.Posterior(workload.entries[i].edge,
-                                        workload.entries[i].attribute);
+      posteriors[i] += pdms.Posterior(workload.entries[i].edge,
+                                      workload.entries[i].attribute);
     }
   }
   size_t stable = 0;
   for (size_t i = 0; i < total; ++i) {
     posteriors[i] /= static_cast<double>(kWindow);
-    if (std::abs(posteriors[i] - engine.Posterior(
+    if (std::abs(posteriors[i] - pdms.Posterior(
                                      workload.entries[i].edge,
                                      workload.entries[i].attribute)) < 1e-3) {
       ++stable;

@@ -25,24 +25,24 @@ void RunExampleTrajectory() {
   bench::IntroFixture fixture = bench::MakeIntroFixture(options);
   bench::InjectPaperFeedback(fixture);
 
-  PdmsEngine& engine = *fixture.engine;
+  Pdms& pdms = fixture.pdms;
+  Session& session = pdms.session();
   const topology::ExampleEdges& e = fixture.edges;
-  engine.TrackVariable(MappingVarKey{e.m12, 0});
-  engine.TrackVariable(MappingVarKey{e.m23, 0});
-  engine.TrackVariable(MappingVarKey{e.m34, 0});
-  engine.TrackVariable(MappingVarKey{e.m41, 0});
-  engine.TrackVariable(MappingVarKey{e.m24, 0});
+  TrajectoryRecorder recorder({MappingVarKey{e.m12, 0}, MappingVarKey{e.m23, 0},
+                               MappingVarKey{e.m34, 0}, MappingVarKey{e.m41, 0},
+                               MappingVarKey{e.m24, 0}});
+  session.AddObserver(&recorder);
 
-  const ConvergenceReport report = engine.RunToConvergence(30);
+  const ConvergenceReport report = session.Converge(30);
 
   std::printf("Figure 7 — convergence of iterative message passing\n");
   std::printf("(example graph, priors 0.7, delta 0.1, feedback f1+ f2- f3-)\n\n");
   TextTable table;
   table.SetHeader({"iteration", "m12", "m23", "m34", "m41", "m24"});
-  for (size_t r = 0; r < report.trajectory.size(); ++r) {
+  const auto& trajectory = recorder.trajectory();
+  for (size_t r = 0; r < trajectory.size(); ++r) {
     std::vector<double> row{static_cast<double>(r + 1)};
-    row.insert(row.end(), report.trajectory[r].begin(),
-               report.trajectory[r].end());
+    row.insert(row.end(), trajectory[r].begin(), trajectory[r].end());
     table.AddNumericRow(row, 4);
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -51,14 +51,14 @@ void RunExampleTrajectory() {
 
   // Reference: exact marginals of the same graph.
   std::vector<MappingVarKey> vars;
-  const FactorGraph global = engine.BuildGlobalFactorGraph(&vars);
+  const FactorGraph global = pdms.BuildGlobalFactorGraph(&vars);
   std::printf("exact marginals (variable elimination):\n");
   for (VarId v = 0; v < vars.size(); ++v) {
     Result<Belief> exact = ExactMarginalVariableElimination(global, v);
     std::printf("  %-12s exact=%.4f  loopy=%.4f\n",
                 vars[v].ToString().c_str(),
                 exact.ok() ? exact->ProbabilityCorrect() : -1.0,
-                engine.Posterior(vars[v].edge, vars[v].attribute));
+                pdms.Posterior(vars[v].edge, vars[v].attribute));
   }
   std::printf("\n");
 }
@@ -86,11 +86,12 @@ void RunConvergenceSweep() {
     options.closure_limits.max_path_length = 3;
     options.tolerance = 1e-2;  // "approximate results" (Section 5.1.1)
     options.damping = 0.25;    // dense evidence graphs oscillate undamped
-    Result<std::unique_ptr<PdmsEngine>> engine =
-        PdmsEngine::FromSynthetic(synthetic, options);
-    if (!engine.ok()) continue;
-    const size_t factors = (*engine)->DiscoverClosures();
-    const ConvergenceReport report = (*engine)->RunToConvergence(100);
+    Result<Pdms> built =
+        PdmsBuilder::FromSynthetic(synthetic).WithOptions(options).Build();
+    if (!built.ok()) continue;
+    Pdms pdms = std::move(built).value();
+    const size_t factors = pdms.session().Discover();
+    const ConvergenceReport report = pdms.session().Converge(100);
     rounds_stats.Add(static_cast<double>(report.rounds));
     table.AddRow({StrFormat("%zu", graph.node_count()),
                   StrFormat("%zu", graph.edge_count()),

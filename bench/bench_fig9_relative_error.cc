@@ -30,11 +30,11 @@ void Run() {
     options.delta_override = 0.1;
     bench::IntroFixture fixture = bench::MakeIntroFixture(options, inserted);
     bench::InjectPaperFeedback(fixture);
-    PdmsEngine& engine = *fixture.engine;
-    for (int round = 0; round < 10; ++round) engine.RunRound();
+    Pdms& pdms = fixture.pdms;
+    for (int round = 0; round < 10; ++round) pdms.session().Step();
 
     std::vector<MappingVarKey> vars;
-    const FactorGraph global = engine.BuildGlobalFactorGraph(&vars);
+    const FactorGraph global = pdms.BuildGlobalFactorGraph(&vars);
     // Primary metric (the paper's): error in probability, in percentage
     // points — |P_loopy − P_exact| · 100. Relative-to-exact error is shown
     // for completeness; it blows up when the exact posterior is small.
@@ -46,7 +46,7 @@ void Run() {
       Result<Belief> exact = ExactMarginalVariableElimination(global, v);
       if (!exact.ok()) continue;
       const double truth = exact->ProbabilityCorrect();
-      const double loopy = engine.Posterior(vars[v].edge, vars[v].attribute);
+      const double loopy = pdms.Posterior(vars[v].edge, vars[v].attribute);
       const double abs_err = std::abs(loopy - truth) * 100.0;
       max_abs = std::max(max_abs, abs_err);
       sum_abs += abs_err;

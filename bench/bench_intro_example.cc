@@ -15,12 +15,12 @@
 namespace pdms {
 namespace {
 
-void LoadArtDocuments(PdmsEngine* engine) {
+void LoadArtDocuments(Pdms* pdms) {
   const std::vector<std::string> creators = {"Henry Peach Robinson",
                                              "Claude Monet", "John Constable"};
   const std::vector<std::string> keywords = {"river wells", "garden pond",
                                              "river dedham"};
-  for (PeerId p = 0; p < engine->peer_count(); ++p) {
+  for (PeerId p = 0; p < pdms->peer_count(); ++p) {
     for (uint64_t entity = 0; entity < creators.size(); ++entity) {
       std::map<AttributeId, std::string> values;
       for (AttributeId a = 0; a < bench::kIntroAttrs; ++a) {
@@ -29,7 +29,7 @@ void LoadArtDocuments(PdmsEngine* engine) {
       }
       values[0] = creators[entity];
       values[1] = keywords[entity];
-      engine->peer(p).store().Insert(entity, values);
+      pdms->peer(p).store().Insert(entity, values);
     }
   }
 }
@@ -51,11 +51,11 @@ void Run() {
   // --- Phase 0: the standard PDMS (no message passing) -----------------------
   {
     bench::IntroFixture plain = bench::MakeIntroFixture(EngineOptions{});
-    LoadArtDocuments(plain.engine.get());
+    LoadArtDocuments(&plain.pdms);
     Query query("q1");
     query.AddProjection(0);   // π Creator
     query.AddSelection(1, "river");  // σ Item LIKE %river%
-    const QueryReport report = plain.engine->IssueQuery(1, query, 3);
+    const QueryReport report = plain.pdms.session().Query(1, query, 3);
     std::printf("standard PDMS (no quality model):\n");
     std::printf("  peers reached: %zu, rows: %zu, false rows: %zu\n\n",
                 report.reached.size(), report.rows.size(),
@@ -66,9 +66,9 @@ void Run() {
   EngineOptions options;
   options.delta_override = 0.1;
   bench::IntroFixture fixture = bench::MakeIntroFixture(options);
-  LoadArtDocuments(fixture.engine.get());
-  PdmsEngine& engine = *fixture.engine;
-  const size_t factors = engine.DiscoverClosures();
+  LoadArtDocuments(&fixture.pdms);
+  Pdms& pdms = fixture.pdms;
+  const size_t factors = pdms.session().Discover();
   std::printf("probe discovery: %zu factor replicas (3 closures x %zu "
               "attributes)\n",
               factors, bench::kIntroAttrs);
@@ -79,9 +79,9 @@ void Run() {
   // --- Phase 2: inference over the paper's exact factor graph ----------------
   bench::IntroFixture paper = bench::MakeIntroFixture(options);
   bench::InjectPaperFeedback(paper);
-  paper.engine->RunToConvergence(100);
+  paper.pdms.session().Converge(100);
   std::vector<MappingVarKey> vars;
-  const FactorGraph global = paper.engine->BuildGlobalFactorGraph(&vars);
+  const FactorGraph global = paper.pdms.BuildGlobalFactorGraph(&vars);
   std::printf("posteriors on the paper's factor graph (uniform priors, "
               "delta=0.1):\n");
   TextTable table;
@@ -103,17 +103,17 @@ void Run() {
       }
     }
     table.AddRow({spec.name,
-                  StrFormat("%.4f", paper.engine->Posterior(spec.edge, 0)),
+                  StrFormat("%.4f", paper.pdms.Posterior(spec.edge, 0)),
                   StrFormat("%.4f", exact_value), spec.paper_value});
   }
   std::printf("%s\n", table.ToString().c_str());
 
   // --- Phase 3: quality-aware routing ----------------------------------------
-  engine.RunToConvergence(100);
+  pdms.session().Converge(100);
   Query query("q1");
   query.AddProjection(0);
   query.AddSelection(1, "river");
-  const QueryReport routed = engine.IssueQuery(1, query, 3);
+  const QueryReport routed = pdms.session().Query(1, query, 3);
   std::printf("quality-aware routing (theta = 0.5):\n");
   std::printf("  peers reached: %zu (route p2 -> p3 -> p4 -> p1)\n",
               routed.reached.size());
@@ -126,12 +126,12 @@ void Run() {
               CountFalseRows(routed, creators));
 
   // --- Phase 4: EM prior update ------------------------------------------------
-  paper.engine->UpdatePriors();
+  paper.pdms.UpdatePriors();
   std::printf("EM prior update (Section 4.4):\n");
   std::printf("  prior(m23) = %.3f (paper: 0.55)\n",
-              paper.engine->Prior(e.m23, 0));
+              paper.pdms.Prior(e.m23, 0));
   std::printf("  prior(m24) = %.3f (paper: 0.4)\n",
-              paper.engine->Prior(e.m24, 0));
+              paper.pdms.Prior(e.m24, 0));
 }
 
 }  // namespace

@@ -18,16 +18,16 @@
 namespace pdms {
 namespace {
 
-void PeriodicOverhead(PdmsEngine* engine, const char* label) {
-  engine->DiscoverClosures();
-  engine->RunRound();  // populate messages
+void PeriodicOverhead(Pdms* pdms, const char* label) {
+  pdms->session().Discover();
+  pdms->session().Step();  // populate messages
   std::printf("periodic schedule on %s:\n", label);
   TextTable table;
   table.SetHeader({"peer", "replicas", "bound sum(l-1)", "actual updates/round"});
   size_t total_bound = 0;
   size_t total_actual = 0;
-  for (PeerId p = 0; p < engine->peer_count(); ++p) {
-    const Peer& peer = engine->peer(p);
+  for (PeerId p = 0; p < pdms->peer_count(); ++p) {
+    const Peer& peer = pdms->peer(p);
     size_t actual = 0;
     for (const Outgoing& outgoing : peer.CollectOutgoingBeliefs()) {
       actual += std::get<BeliefMessage>(outgoing.payload).updates.size();
@@ -51,20 +51,21 @@ void LazyOverhead() {
   options.schedule = ScheduleKind::kLazy;
   options.theta = 0.45;
   bench::IntroFixture fixture = bench::MakeIntroFixture(options);
-  PdmsEngine& engine = *fixture.engine;
+  Pdms& pdms = fixture.pdms;
+  Session& session = pdms.session();
   // Documents so queries return something.
-  for (PeerId p = 0; p < engine.peer_count(); ++p) {
-    engine.peer(p).store().Insert(0, {{0, "Robinson"}, {1, "river"}});
+  for (PeerId p = 0; p < pdms.peer_count(); ++p) {
+    pdms.peer(p).store().Insert(0, {{0, "Robinson"}, {1, "river"}});
   }
-  engine.DiscoverClosures();
+  session.Discover();
   for (int i = 0; i < 40; ++i) {
     Query query("q");
     query.AddProjection(0);
     query.AddSelection(1, "river");
-    engine.IssueQuery(static_cast<PeerId>(i % 4), query, 4);
-    engine.RunRound();
+    session.Query(static_cast<PeerId>(i % 4), query, 4);
+    session.Step();
   }
-  const auto& stats = engine.network().stats();
+  const auto& stats = pdms.transport().stats();
   std::printf("lazy schedule on example graph (40 queries):\n");
   std::printf("  standalone belief messages: %llu (paper: zero overhead)\n",
               static_cast<unsigned long long>(
@@ -73,7 +74,7 @@ void LazyOverhead() {
               static_cast<unsigned long long>(
                   stats.sent[static_cast<size_t>(MessageKind::kQuery)]));
   std::printf("  faulty mapping posterior:   %.4f (< 0.5: identified)\n\n",
-              engine.Posterior(fixture.edges.m24, 0));
+              pdms.Posterior(fixture.edges.m24, 0));
 }
 
 void DiscoveryCost() {
@@ -99,10 +100,12 @@ void DiscoveryCost() {
         BuildSyntheticPdms(graph, network_options, &rng);
     EngineOptions options;
     options.probe_ttl = 5;
-    Result<std::unique_ptr<PdmsEngine>> engine =
-        PdmsEngine::FromSynthetic(synthetic, options);
-    const size_t factors = (*engine)->DiscoverClosures();
-    const auto& stats = (*engine)->network().stats();
+    Pdms pdms = PdmsBuilder::FromSynthetic(synthetic)
+                    .WithOptions(options)
+                    .Build()
+                    .value();
+    const size_t factors = pdms.session().Discover();
+    const auto& stats = pdms.transport().stats();
     table.AddRow(
         {label, StrFormat("%zu", graph.node_count()),
          StrFormat("%zu", graph.edge_count()),
@@ -122,7 +125,7 @@ void Run() {
   std::printf("Section 4.3 — communication overhead of the schedules\n\n");
   {
     bench::IntroFixture fixture = bench::MakeIntroFixture(EngineOptions{});
-    PeriodicOverhead(fixture.engine.get(), "example graph");
+    PeriodicOverhead(&fixture.pdms, "example graph");
   }
   {
     Rng rng(7);
@@ -134,9 +137,11 @@ void Run() {
         BuildSyntheticPdms(graph, network_options, &rng);
     EngineOptions options;
     options.probe_ttl = 5;
-    Result<std::unique_ptr<PdmsEngine>> engine =
-        PdmsEngine::FromSynthetic(synthetic, options);
-    PeriodicOverhead(engine->get(), "BA(30,2) scale-free network");
+    Pdms pdms = PdmsBuilder::FromSynthetic(synthetic)
+                    .WithOptions(options)
+                    .Build()
+                    .value();
+    PeriodicOverhead(&pdms, "BA(30,2) scale-free network");
   }
   LazyOverhead();
   DiscoveryCost();

@@ -6,14 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/pdms_engine.h"
 #include "factor/exact.h"
 #include "factor/factor.h"
 #include "factor/factor_graph.h"
 #include "factor/sum_product.h"
 #include "graph/closure.h"
 #include "graph/topology.h"
-#include "mapping/mapping_generator.h"
+#include "pdms/pdms.h"
 #include "schema/alignment.h"
 #include "schema/bibliographic.h"
 #include "util/rng.h"
@@ -136,13 +135,16 @@ void BM_EngineInferenceRound(benchmark::State& state) {
       BuildSyntheticPdms(graph, network_options, &rng);
   EngineOptions options;
   options.probe_ttl = 5;
-  Result<std::unique_ptr<PdmsEngine>> engine =
-      PdmsEngine::FromSynthetic(synthetic, options);
-  (*engine)->DiscoverClosures();
+  Pdms pdms = PdmsBuilder::FromSynthetic(synthetic)
+                  .WithOptions(options)
+                  .Build()
+                  .value();
+  Session& session = pdms.session();
+  session.Discover();
   for (auto _ : state) {
-    benchmark::DoNotOptimize((*engine)->RunRound());
+    benchmark::DoNotOptimize(session.Step());
   }
-  state.counters["factors"] = static_cast<double>((*engine)->UniqueFactorCount());
+  state.counters["factors"] = static_cast<double>(pdms.UniqueFactorCount());
 }
 BENCHMARK(BM_EngineInferenceRound)->Arg(10)->Arg(20)->Arg(40);
 
@@ -157,9 +159,11 @@ void BM_ProbeDiscovery(benchmark::State& state) {
   EngineOptions options;
   options.probe_ttl = 4;
   for (auto _ : state) {
-    Result<std::unique_ptr<PdmsEngine>> engine =
-        PdmsEngine::FromSynthetic(synthetic, options);
-    benchmark::DoNotOptimize((*engine)->DiscoverClosures());
+    Pdms pdms = PdmsBuilder::FromSynthetic(synthetic)
+                    .WithOptions(options)
+                    .Build()
+                    .value();
+    benchmark::DoNotOptimize(pdms.session().Discover());
   }
 }
 BENCHMARK(BM_ProbeDiscovery)->Arg(10)->Arg(20);

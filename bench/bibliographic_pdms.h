@@ -1,10 +1,9 @@
 #ifndef PDMS_BENCH_BIBLIOGRAPHIC_PDMS_H_
 #define PDMS_BENCH_BIBLIOGRAPHIC_PDMS_H_
 
-#include <memory>
 #include <vector>
 
-#include "core/pdms_engine.h"
+#include "pdms/pdms.h"
 #include "schema/alignment.h"
 #include "schema/bibliographic.h"
 #include "util/string_util.h"
@@ -17,7 +16,7 @@ namespace bench {
 /// genuine aligner errors, plus the ground truth needed to score them.
 struct BibliographicPdms {
   std::vector<Ontology> family;
-  std::unique_ptr<PdmsEngine> engine;
+  Pdms pdms;
   /// Every attribute-level mapping entry: (edge, source attribute).
   std::vector<MappingVarKey> entries;
   /// erroneous[i] == true iff entries[i] maps across different concepts.
@@ -39,14 +38,14 @@ inline BibliographicPdms MakeBibliographicPdms(EngineOptions options) {
   const size_t n = workload.family.size();
   GroundTruth truth(&workload.family);
 
-  Digraph graph(n);
-  std::vector<Schema> schemas;
+  PdmsBuilder builder;
+  builder.WithOptions(options);
   for (const Ontology& ontology : workload.family) {
-    schemas.push_back(ontology.schema);
+    builder.AddPeer(ontology.schema);
   }
+
   std::vector<SchemaMapping> mappings;
   std::vector<std::pair<size_t, size_t>> edge_pairs;
-
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
       if (i == j) continue;
@@ -62,20 +61,18 @@ inline BibliographicPdms MakeBibliographicPdms(EngineOptions options) {
           Aligner(aligner_options)
               .Align(workload.family[i].schema, workload.family[j].schema);
       if (correspondences.empty()) continue;
-      Result<EdgeId> edge = graph.AddEdge(static_cast<NodeId>(i),
-                                          static_cast<NodeId>(j));
-      mappings.push_back(SchemaMapping::FromCorrespondences(
+      SchemaMapping mapping = SchemaMapping::FromCorrespondences(
           StrFormat("m_%s_%s", workload.family[i].schema.name().c_str(),
                     workload.family[j].schema.name().c_str()),
-          workload.family[i].schema.size(), correspondences));
+          workload.family[i].schema.size(), correspondences);
+      builder.AddMapping(static_cast<PeerId>(i), static_cast<PeerId>(j),
+                         mapping);
+      mappings.push_back(std::move(mapping));
       edge_pairs.emplace_back(i, j);
-      (void)edge;
     }
   }
 
-  Result<std::unique_ptr<PdmsEngine>> engine =
-      PdmsEngine::Create(graph, std::move(schemas), mappings, options);
-  workload.engine = std::move(engine).value();
+  workload.pdms = builder.Build().value();
 
   for (EdgeId e = 0; e < mappings.size(); ++e) {
     const auto [i, j] = edge_pairs[e];

@@ -1,12 +1,10 @@
 #ifndef PDMS_BENCH_FIXTURES_H_
 #define PDMS_BENCH_FIXTURES_H_
 
-#include <memory>
 #include <vector>
 
-#include "core/pdms_engine.h"
 #include "graph/topology.h"
-#include "mapping/mapping_generator.h"
+#include "pdms/pdms.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -20,7 +18,7 @@ constexpr size_t kIntroAttrs = 11;
 struct IntroFixture {
   topology::ExampleEdges edges;
   std::vector<EdgeId> chain;  ///< p1 -> ... -> p2 chain (Figure 8 variant)
-  std::unique_ptr<PdmsEngine> engine;
+  Pdms pdms;
 };
 
 /// The running example of Figures 1/4: four peers, five mappings, all
@@ -34,7 +32,13 @@ inline IntroFixture MakeIntroFixture(EngineOptions options,
   Rng rng(seed);
   const Digraph graph =
       topology::ExampleGraphExtended(inserted, &fixture.edges, &fixture.chain);
-  std::vector<Schema> schemas;
+  options.probe_ttl =
+      std::max<uint32_t>(options.probe_ttl, 5 + static_cast<uint32_t>(inserted));
+  options.closure_limits.max_cycle_length =
+      std::max(options.closure_limits.max_cycle_length, 5 + inserted);
+
+  PdmsBuilder builder;
+  builder.WithOptions(options);
   for (NodeId p = 0; p < graph.node_count(); ++p) {
     Schema schema(StrFormat("p%u", p + 1));
     for (size_t a = 0; a < kIntroAttrs; ++a) {
@@ -42,23 +46,17 @@ inline IntroFixture MakeIntroFixture(EngineOptions options,
           schema.AddAttribute(StrFormat("p%u_a%zu", p + 1, a));
       (void)added;
     }
-    schemas.push_back(std::move(schema));
+    builder.AddPeer(std::move(schema));
   }
-  std::vector<SchemaMapping> mappings(graph.edge_capacity());
   for (EdgeId e : graph.LiveEdges()) {
     const std::vector<AttributeId> wrong =
         e == fixture.edges.m24 ? std::vector<AttributeId>{0}
                                : std::vector<AttributeId>{};
-    mappings[e] =
-        MakeConceptMapping(StrFormat("m%u", e), kIntroAttrs, wrong, &rng);
+    builder.AddMapping(
+        graph.edge(e).src, graph.edge(e).dst,
+        MakeConceptMapping(StrFormat("m%u", e), kIntroAttrs, wrong, &rng));
   }
-  options.probe_ttl =
-      std::max<uint32_t>(options.probe_ttl, 5 + static_cast<uint32_t>(inserted));
-  options.closure_limits.max_cycle_length =
-      std::max(options.closure_limits.max_cycle_length, 5 + inserted);
-  Result<std::unique_ptr<PdmsEngine>> engine = PdmsEngine::Create(
-      graph, std::move(schemas), std::move(mappings), options);
-  fixture.engine = std::move(engine).value();
+  fixture.pdms = std::move(builder.Build()).value();
   return fixture;
 }
 
@@ -67,8 +65,7 @@ inline IntroFixture MakeIntroFixture(EngineOptions options,
 ///   f1+ : chain..m23..m34..m41 (cycle)
 ///   f2− : chain..m24..m41      (cycle)
 ///   f3−⇒: m24 ‖ m23 -> m34     (parallel paths)
-inline void InjectPaperFeedback(const IntroFixture& fixture) {
-  PdmsEngine* engine = fixture.engine.get();
+inline void InjectPaperFeedback(IntroFixture& fixture) {
   const topology::ExampleEdges& e = fixture.edges;
   const std::vector<EdgeId> chain =
       fixture.chain.empty() ? std::vector<EdgeId>{e.m12} : fixture.chain;
@@ -94,7 +91,7 @@ inline void InjectPaperFeedback(const IntroFixture& fixture) {
   f1.closure = cycle(f1_edges);
   f1.delta = 0.1;
   f1.feedback = {{0, FeedbackSign::kPositive, members(f1_edges)}};
-  engine->InjectFeedback(f1);
+  fixture.pdms.InjectFeedback(f1);
 
   std::vector<EdgeId> f2_edges = chain;
   f2_edges.insert(f2_edges.end(), {e.m24, e.m41});
@@ -102,7 +99,7 @@ inline void InjectPaperFeedback(const IntroFixture& fixture) {
   f2.closure = cycle(f2_edges);
   f2.delta = 0.1;
   f2.feedback = {{0, FeedbackSign::kNegative, members(f2_edges)}};
-  engine->InjectFeedback(f2);
+  fixture.pdms.InjectFeedback(f2);
 
   FeedbackAnnouncement f3;
   f3.closure.kind = Closure::Kind::kParallelPaths;
@@ -113,7 +110,7 @@ inline void InjectPaperFeedback(const IntroFixture& fixture) {
   f3.delta = 0.1;
   f3.feedback = {
       {0, FeedbackSign::kNegative, members({e.m24, e.m23, e.m34})}};
-  engine->InjectFeedback(f3);
+  fixture.pdms.InjectFeedback(f3);
 }
 
 }  // namespace bench

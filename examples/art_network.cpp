@@ -10,8 +10,9 @@
 
 #include <cstdio>
 
-#include "core/pdms_engine.h"
 #include "graph/topology.h"
+#include "pdms/pdms.h"
+#include "util/string_util.h"
 #include "util/table.h"
 
 using namespace pdms;  // NOLINT: example brevity
@@ -67,7 +68,7 @@ SchemaMapping MakeMapping(const std::string& name, bool creator_to_created) {
   return mapping;
 }
 
-void LoadCollections(PdmsEngine* engine) {
+void LoadCollections(Pdms* pdms) {
   struct Piece {
     uint64_t entity;
     const char* creator;
@@ -82,9 +83,9 @@ void LoadCollections(PdmsEngine* engine) {
       {3, "John Constable", "river Stour dedham", "1816", "Flatford Mill"},
       {4, "Gustave Courbet", "forest stream rocks", "1865", "The Stream"},
   };
-  for (PeerId p = 0; p < engine->peer_count(); ++p) {
+  for (PeerId p = 0; p < pdms->peer_count(); ++p) {
     for (const Piece& piece : pieces) {
-      engine->peer(p).store().Insert(
+      pdms->peer(p).store().Insert(
           piece.entity, {{0, piece.creator},
                          {1, piece.subject},
                          {2, piece.created},
@@ -93,13 +94,13 @@ void LoadCollections(PdmsEngine* engine) {
   }
 }
 
-QueryReport AskForRiverArtists(PdmsEngine* engine) {
+QueryReport AskForRiverArtists(Pdms* pdms) {
   // q1 (Section 1.2): names of all artists with a piece related to a river.
-  const Schema& p2 = engine->peer(1).schema();
+  const Schema& p2 = pdms->peer(1).schema();
   Result<Query> query =
       ParseQuery("SELECT Creator WHERE Subject LIKE \"river\"", p2, "q1");
   if (!query.ok()) std::abort();
-  return engine->IssueQuery(/*origin=*/1, *query, /*ttl=*/3);
+  return pdms->session().Query(/*origin=*/1, *query, /*ttl=*/3);
 }
 
 void PrintReport(const char* label, const QueryReport& report) {
@@ -117,7 +118,7 @@ void PrintReport(const char* label, const QueryReport& report) {
     const bool entity_ok = row.entity == 1 || row.entity == 3;
     const bool ok = name_ok && entity_ok;
     if (!ok) ++false_rows;
-    table.AddRow({"p" + std::to_string(peer + 1), row.values[0],
+    table.AddRow({StrFormat("p%u", peer + 1), row.values[0],
                   ok ? "ok" : "FALSE POSITIVE"});
   }
   std::printf("%s", table.ToString().c_str());
@@ -131,43 +132,46 @@ int main() {
   const Digraph graph = topology::ExampleGraph(&edges);
 
   auto build = [&](bool with_message_passing) {
-    std::vector<SchemaMapping> mappings(graph.edge_capacity());
-    for (EdgeId e : graph.LiveEdges()) {
-      mappings[e] = MakeMapping("m" + std::to_string(e), e == edges.m24);
-    }
     EngineOptions options;
     options.probe_ttl = 5;
-    Result<std::unique_ptr<PdmsEngine>> engine =
-        PdmsEngine::Create(graph, MakeSchemas(), std::move(mappings), options);
-    if (!engine.ok()) std::abort();
-    LoadCollections(engine->get());
-    if (with_message_passing) {
-      (*engine)->DiscoverClosures();
-      (*engine)->RunToConvergence(100);
+    PdmsBuilder builder;
+    builder.WithOptions(options);
+    for (Schema& schema : MakeSchemas()) builder.AddPeer(std::move(schema));
+    for (EdgeId e : graph.LiveEdges()) {
+      builder.AddMapping(graph.edge(e).src, graph.edge(e).dst,
+                         MakeMapping(StrFormat("m%u", e), e == edges.m24));
     }
-    return std::move(engine).value();
+    Result<Pdms> built = builder.Build();
+    if (!built.ok()) std::abort();
+    Pdms pdms = std::move(built).value();
+    LoadCollections(&pdms);
+    if (with_message_passing) {
+      pdms.session().Discover();
+      pdms.session().Converge(100);
+    }
+    return pdms;
   };
 
   std::printf("=== Art network (Section 1.2) ===\n\n");
   std::printf("query q1 at photoshop_p2: SELECT Creator WHERE Subject LIKE "
               "\"river\"\n\n");
 
-  auto standard = build(/*with_message_passing=*/false);
+  Pdms standard = build(/*with_message_passing=*/false);
   PrintReport("standard PDMS (mapping quality unknown):",
-              AskForRiverArtists(standard.get()));
+              AskForRiverArtists(&standard));
 
-  auto probabilistic = build(/*with_message_passing=*/true);
+  Pdms probabilistic = build(/*with_message_passing=*/true);
   std::printf("message-passing PDMS posteriors for Creator:\n");
-  for (EdgeId e : probabilistic->graph().LiveEdges()) {
+  for (EdgeId e : probabilistic.graph().LiveEdges()) {
     std::printf("  m%u (%s -> %s): %.3f\n", e,
-                probabilistic->peer(probabilistic->graph().edge(e).src)
+                probabilistic.peer(probabilistic.graph().edge(e).src)
                     .schema().name().c_str(),
-                probabilistic->peer(probabilistic->graph().edge(e).dst)
+                probabilistic.peer(probabilistic.graph().edge(e).dst)
                     .schema().name().c_str(),
-                probabilistic->Posterior(e, 0));
+                probabilistic.Posterior(e, 0));
   }
   std::printf("\n");
   PrintReport("message-passing PDMS (theta = 0.5):",
-              AskForRiverArtists(probabilistic.get()));
+              AskForRiverArtists(&probabilistic));
   return 0;
 }

@@ -47,19 +47,19 @@ int main() {
   bench::BibliographicPdms workload = bench::MakeBibliographicPdms(options);
   std::printf("network: %zu ontologies, %zu schema mappings, %zu attribute "
               "correspondences (%zu wrong)\n",
-              workload.family.size(), workload.engine->graph().edge_count(),
+              workload.family.size(), workload.pdms.graph().edge_count(),
               workload.entries.size(), workload.ErroneousCount());
 
-  const size_t factors = workload.engine->DiscoverClosures();
-  workload.engine->RunToConvergence(100);
+  const size_t factors = workload.pdms.session().Discover();
+  workload.pdms.session().Converge(100);
   std::printf("discovered %zu feedback factors; inference done\n\n", factors);
 
   // Rank the most suspicious correspondences.
   std::vector<std::pair<double, size_t>> ranked;
   for (size_t i = 0; i < workload.entries.size(); ++i) {
     ranked.emplace_back(
-        workload.engine->Posterior(workload.entries[i].edge,
-                                   workload.entries[i].attribute),
+        workload.pdms.Posterior(workload.entries[i].edge,
+                                workload.entries[i].attribute),
         i);
   }
   std::sort(ranked.begin(), ranked.end());
@@ -70,7 +70,7 @@ int main() {
   for (size_t rank = 0; rank < 15 && rank < ranked.size(); ++rank) {
     const auto [posterior, index] = ranked[rank];
     const MappingVarKey& var = workload.entries[index];
-    const Edge& edge = workload.engine->graph().edge(var.edge);
+    const Edge& edge = workload.pdms.graph().edge(var.edge);
     table.AddRow(
         {StrFormat("%.3f", posterior),
          workload.family[edge.src].schema.name() + "->" +

@@ -5,9 +5,8 @@
 
 #include <cstdio>
 
-#include "core/pdms_engine.h"
 #include "graph/topology.h"
-#include "mapping/mapping_generator.h"
+#include "pdms/pdms.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -16,37 +15,39 @@ using namespace pdms;  // NOLINT: example brevity
 namespace {
 constexpr size_t kAttrs = 11;
 
-std::unique_ptr<PdmsEngine> BuildIntro(topology::ExampleEdges* edges) {
+Pdms BuildIntro(topology::ExampleEdges* edges) {
   Rng rng(17);
   const Digraph graph = topology::ExampleGraph(edges);
-  std::vector<Schema> schemas;
+  EngineOptions options;
+  options.probe_ttl = 5;
+  PdmsBuilder builder;
+  builder.WithOptions(options);
   for (NodeId p = 0; p < graph.node_count(); ++p) {
-    Schema schema("p" + std::to_string(p + 1));
+    Schema schema(StrFormat("p%u", p + 1));
     for (size_t a = 0; a < kAttrs; ++a) {
-      if (!schema.AddAttribute("a" + std::to_string(a)).ok()) std::abort();
+      if (!schema.AddAttribute(StrFormat("a%zu", a)).ok()) std::abort();
     }
-    schemas.push_back(std::move(schema));
+    builder.AddPeer(std::move(schema));
   }
-  std::vector<SchemaMapping> mappings(graph.edge_capacity());
   for (EdgeId e : graph.LiveEdges()) {
     const std::vector<AttributeId> wrong =
         e == edges->m24 ? std::vector<AttributeId>{0}
                         : std::vector<AttributeId>{};
-    mappings[e] = MakeConceptMapping("m" + std::to_string(e), kAttrs, wrong, &rng);
+    builder.AddMapping(graph.edge(e).src, graph.edge(e).dst,
+                       MakeConceptMapping(StrFormat("m%u", e), kAttrs, wrong,
+                                          &rng));
   }
-  EngineOptions options;
-  options.probe_ttl = 5;
-  Result<std::unique_ptr<PdmsEngine>> engine =
-      PdmsEngine::Create(graph, std::move(schemas), std::move(mappings), options);
-  if (!engine.ok()) std::abort();
-  return std::move(engine).value();
+  Result<Pdms> built = builder.Build();
+  if (!built.ok()) std::abort();
+  return std::move(built).value();
 }
 }  // namespace
 
 int main() {
   std::printf("=== Prior learning under network evolution ===\n\n");
   topology::ExampleEdges edges;
-  auto engine = BuildIntro(&edges);
+  Pdms pdms = BuildIntro(&edges);
+  Session& session = pdms.session();
 
   TextTable table;
   table.SetHeader({"epoch", "event", "prior(m23,a0)", "prior(m24,a0)",
@@ -54,35 +55,35 @@ int main() {
 
   auto snapshot = [&](const char* event) {
     table.AddRow({std::to_string(table.row_count()), event,
-                  StrFormat("%.3f", engine->Prior(edges.m23, 0)),
-                  StrFormat("%.3f", engine->Prior(edges.m24, 0)),
-                  StrFormat("%.3f", engine->Posterior(edges.m23, 0)),
-                  StrFormat("%.3f", engine->Posterior(edges.m24, 0))});
+                  StrFormat("%.3f", pdms.Prior(edges.m23, 0)),
+                  StrFormat("%.3f", pdms.Prior(edges.m24, 0)),
+                  StrFormat("%.3f", pdms.Posterior(edges.m23, 0)),
+                  StrFormat("%.3f", pdms.Posterior(edges.m24, 0))});
   };
 
   snapshot("initial (max-entropy priors)");
 
   // Epoch 1: discover closures, infer, learn priors.
-  engine->DiscoverClosures();
-  engine->RunToConvergence(100);
+  session.Discover();
+  session.Converge(100);
   snapshot("after first inference");
-  engine->UpdatePriors();
+  pdms.UpdatePriors();
   snapshot("after EM prior update #1");
 
   // Epoch 2: the network keeps running; evidence accumulates again.
-  engine->RunToConvergence(100);
-  engine->UpdatePriors();
+  session.Converge(100);
+  pdms.UpdatePriors();
   snapshot("after EM prior update #2");
 
   // Epoch 3: churn — the faulty mapping is deleted network-wide. The
   // replicas referencing it vanish; the learned priors remain.
-  if (!engine->RemoveMapping(edges.m24).ok()) std::abort();
-  engine->DiscoverClosures();
-  engine->RunToConvergence(100);
+  if (!pdms.RemoveMapping(edges.m24).ok()) std::abort();
+  session.Discover();
+  session.Converge(100);
   snapshot("after deleting m24 + re-discovery");
 
   // Epoch 4: learned priors now feed the next inference generation.
-  engine->UpdatePriors();
+  pdms.UpdatePriors();
   snapshot("after EM prior update #3");
 
   std::printf("%s\n", table.ToString().c_str());

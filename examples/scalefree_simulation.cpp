@@ -6,18 +6,17 @@
 
 #include <cstdio>
 
-#include "core/pdms_engine.h"
 #include "graph/topology.h"
-#include "mapping/mapping_generator.h"
+#include "pdms/pdms.h"
 #include "util/stats.h"
+#include "util/string_util.h"
 #include "util/table.h"
 
 using namespace pdms;  // NOLINT: example brevity
 
 namespace {
 
-std::unique_ptr<PdmsEngine> BuildEngine(const SyntheticPdms& synthetic,
-                                        ScheduleKind schedule) {
+Pdms BuildPdms(const SyntheticPdms& synthetic, ScheduleKind schedule) {
   EngineOptions options;
   options.probe_ttl = 4;
   options.closure_limits.max_cycle_length = 4;
@@ -26,15 +25,15 @@ std::unique_ptr<PdmsEngine> BuildEngine(const SyntheticPdms& synthetic,
   options.tolerance = 1e-4;
   options.schedule = schedule;
   options.theta = 0.45;
-  Result<std::unique_ptr<PdmsEngine>> engine =
-      PdmsEngine::FromSynthetic(synthetic, options);
-  if (!engine.ok()) std::abort();
-  return std::move(engine).value();
+  Result<Pdms> built =
+      PdmsBuilder::FromSynthetic(synthetic).WithOptions(options).Build();
+  if (!built.ok()) std::abort();
+  return std::move(built).value();
 }
 
 /// Mean posterior of truly-correct vs truly-erroneous mapping entries plus
 /// accuracy at theta = 0.5.
-void Score(const PdmsEngine& engine, const SyntheticPdms& synthetic) {
+void Score(const Pdms& pdms, const SyntheticPdms& synthetic) {
   OnlineStats correct_stats;
   OnlineStats wrong_stats;
   size_t right_calls = 0;
@@ -42,7 +41,7 @@ void Score(const PdmsEngine& engine, const SyntheticPdms& synthetic) {
   for (EdgeId e : synthetic.graph.LiveEdges()) {
     for (AttributeId a = 0; a < synthetic.ground_truth[e].size(); ++a) {
       if (!synthetic.mappings[e].Apply(a).has_value()) continue;
-      const double p = engine.Posterior(e, a);
+      const double p = pdms.Posterior(e, a);
       const bool truly_correct = synthetic.ground_truth[e][a];
       (truly_correct ? correct_stats : wrong_stats).Add(p);
       if ((p > 0.5) == truly_correct) ++right_calls;
@@ -79,36 +78,38 @@ int main() {
 
   // --- Periodic schedule -------------------------------------------------
   std::printf("[periodic schedule]\n");
-  auto periodic = BuildEngine(synthetic, ScheduleKind::kPeriodic);
-  const size_t factors = periodic->DiscoverClosures();
-  const ConvergenceReport report = periodic->RunToConvergence(150);
+  Pdms periodic = BuildPdms(synthetic, ScheduleKind::kPeriodic);
+  const size_t factors = periodic.session().Discover();
+  const ConvergenceReport report = periodic.session().Converge(150);
   std::printf("  feedback factors: %zu, rounds: %zu (converged=%s)\n", factors,
               report.rounds, report.converged ? "yes" : "no");
-  const auto& stats = periodic->network().stats();
+  const auto& stats = periodic.transport().stats();
   std::printf("  belief messages sent: %llu\n",
               static_cast<unsigned long long>(
                   stats.sent[static_cast<size_t>(MessageKind::kBelief)]));
-  Score(*periodic, synthetic);
+  Score(periodic, synthetic);
 
   // --- Lazy schedule -------------------------------------------------------
   std::printf("\n[lazy schedule, beliefs piggyback on query traffic]\n");
-  auto lazy = BuildEngine(synthetic, ScheduleKind::kLazy);
-  lazy->DiscoverClosures();
+  Pdms lazy = BuildPdms(synthetic, ScheduleKind::kLazy);
+  Session& lazy_session = lazy.session();
+  lazy_session.Discover();
   Rng query_rng(7);
   for (int i = 0; i < 150; ++i) {
-    Query query("q" + std::to_string(i));
+    Query query(StrFormat("q%d", i));
     query.AddProjection(static_cast<AttributeId>(query_rng.Index(10)));
-    lazy->IssueQuery(static_cast<PeerId>(query_rng.Index(graph.node_count())),
-                     query, /*ttl=*/4);
-    lazy->RunRound();
+    lazy_session.Query(
+        static_cast<PeerId>(query_rng.Index(graph.node_count())), query,
+        /*ttl=*/4);
+    lazy_session.Step();
   }
-  const auto& lazy_stats = lazy->network().stats();
+  const auto& lazy_stats = lazy.transport().stats();
   std::printf("  belief messages sent: %llu (all inference rode on %llu "
               "query messages)\n",
               static_cast<unsigned long long>(
                   lazy_stats.sent[static_cast<size_t>(MessageKind::kBelief)]),
               static_cast<unsigned long long>(
                   lazy_stats.sent[static_cast<size_t>(MessageKind::kQuery)]));
-  Score(*lazy, synthetic);
+  Score(lazy, synthetic);
   return 0;
 }

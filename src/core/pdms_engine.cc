@@ -8,14 +8,16 @@
 
 namespace pdms {
 
-PdmsEngine::PdmsEngine(Digraph graph, EngineOptions options)
+PdmsEngine::PdmsEngine(Digraph graph, EngineOptions options,
+                       std::unique_ptr<Transport> transport)
     : graph_(std::move(graph)),
       options_(options),
-      network_(graph_.node_count(), options.network) {}
+      transport_(std::move(transport)) {}
 
 Result<std::unique_ptr<PdmsEngine>> PdmsEngine::Create(
     const Digraph& graph, std::vector<Schema> schemas,
-    std::vector<SchemaMapping> mappings, const EngineOptions& options) {
+    std::vector<SchemaMapping> mappings, const EngineOptions& options,
+    std::unique_ptr<Transport> transport) {
   if (schemas.size() != graph.node_count()) {
     return Status::InvalidArgument(
         StrFormat("expected %zu schemas, got %zu", graph.node_count(),
@@ -26,7 +28,18 @@ Result<std::unique_ptr<PdmsEngine>> PdmsEngine::Create(
         StrFormat("expected %zu mappings, got %zu", graph.edge_capacity(),
                   mappings.size()));
   }
-  std::unique_ptr<PdmsEngine> engine(new PdmsEngine(graph, options));
+  if (transport == nullptr) {
+    transport = std::make_unique<SimTransport>(graph.node_count(),
+                                               options.network);
+  }
+  if (transport->peer_count() != graph.node_count()) {
+    return Status::InvalidArgument(
+        StrFormat("transport '%s' covers %zu peers, topology has %zu",
+                  std::string(transport->name()).c_str(),
+                  transport->peer_count(), graph.node_count()));
+  }
+  std::unique_ptr<PdmsEngine> engine(
+      new PdmsEngine(graph, options, std::move(transport)));
   engine->peers_.reserve(graph.node_count());
   for (PeerId p = 0; p < graph.node_count(); ++p) {
     engine->peers_.push_back(std::make_unique<Peer>(
@@ -40,21 +53,15 @@ Result<std::unique_ptr<PdmsEngine>> PdmsEngine::Create(
   return engine;
 }
 
-Result<std::unique_ptr<PdmsEngine>> PdmsEngine::FromSynthetic(
-    const SyntheticPdms& synthetic, const EngineOptions& options) {
-  return Create(synthetic.graph, synthetic.schemas, synthetic.mappings,
-                options);
-}
-
 void PdmsEngine::SendAll(PeerId from, std::vector<Outgoing> messages) {
   for (Outgoing& message : messages) {
-    network_.Send(from, message.to, message.via, std::move(message.payload));
+    transport_->Send(from, message.to, message.via, std::move(message.payload));
   }
 }
 
 void PdmsEngine::DeliverAll() {
   for (PeerId p = 0; p < peers_.size(); ++p) {
-    for (Envelope& envelope : network_.Drain(p)) {
+    for (Envelope& envelope : transport_->Drain(p)) {
       Peer& peer = *peers_[p];
       if (auto* probe = std::get_if<ProbeMessage>(&envelope.payload)) {
         SendAll(p, peer.HandleProbe(*probe));
@@ -72,20 +79,23 @@ void PdmsEngine::DeliverAll() {
         const bool first_visit = !peer.SawQuery(query->query_id);
         QueryActions actions = peer.ProcessQuery(
             *query, options_.schedule == ScheduleKind::kLazy);
-        if (query_report_ != nullptr && first_visit) {
-          query_report_->reached.push_back(p);
+        const auto report_it = active_queries_.find(query->query_id);
+        QueryReport* report =
+            report_it == active_queries_.end() ? nullptr : report_it->second;
+        if (report != nullptr && first_visit) {
+          report->reached.push_back(p);
           for (ResultRow& row : actions.rows) {
-            query_report_->rows.emplace_back(p, std::move(row));
+            report->rows.emplace_back(p, std::move(row));
           }
           for (const Outgoing& forward : actions.forwards) {
             if (forward.via.has_value()) {
-              query_report_->used_edges.push_back(*forward.via);
+              report->used_edges.push_back(*forward.via);
             }
           }
           for (EdgeId blocked : actions.blocked_edges) {
-            query_report_->blocked_edges.push_back(blocked);
+            report->blocked_edges.push_back(blocked);
           }
-          query_report_->messages += actions.forwards.size();
+          report->messages += actions.forwards.size();
         }
         SendAll(p, std::move(actions.forwards));
       }
@@ -98,8 +108,8 @@ size_t PdmsEngine::DiscoverClosures() {
     SendAll(p, peers_[p]->StartProbes());
   }
   // Probe traffic is self-limiting (TTL + simple routes): run to quiet.
-  while (network_.HasPendingMessages()) {
-    network_.AdvanceTick();
+  while (transport_->HasPendingMessages()) {
+    transport_->AdvanceTick();
     DeliverAll();
   }
   return UniqueFactorCount();
@@ -117,7 +127,7 @@ void PdmsEngine::InjectFeedback(const FeedbackAnnouncement& announcement) {
 
 RoundReport PdmsEngine::RunRound() {
   RoundReport report;
-  network_.AdvanceTick();
+  transport_->AdvanceTick();
   DeliverAll();
 
   report.max_posterior_change = 0.0;
@@ -127,7 +137,7 @@ RoundReport PdmsEngine::RunRound() {
   }
 
   if (options_.schedule == ScheduleKind::kPeriodic &&
-      network_.now() % options_.period_ticks == 0) {
+      transport_->now() % options_.period_ticks == 0) {
     for (PeerId p = 0; p < peers_.size(); ++p) {
       std::vector<Outgoing> outgoing = peers_[p]->CollectOutgoingBeliefs();
       for (const Outgoing& message : outgoing) {
@@ -141,7 +151,8 @@ RoundReport PdmsEngine::RunRound() {
   return report;
 }
 
-ConvergenceReport PdmsEngine::RunToConvergence(size_t max_rounds) {
+ConvergenceReport PdmsEngine::RunToConvergence(size_t max_rounds,
+                                               const RoundCallback& on_round) {
   ConvergenceReport report;
   size_t patience = options_.convergence_patience;
   if (patience == 0) {
@@ -155,15 +166,7 @@ ConvergenceReport PdmsEngine::RunToConvergence(size_t max_rounds) {
     const RoundReport step = RunRound();
     report.rounds = round + 1;
     report.belief_updates_sent += step.belief_updates_sent;
-    if (!tracked_.empty()) {
-      std::vector<double> snapshot;
-      snapshot.reserve(tracked_.size());
-      for (const MappingVarKey& var : tracked_) {
-        snapshot.push_back(
-            peers_[graph_.edge(var.edge).src]->Posterior(var));
-      }
-      report.trajectory.push_back(std::move(snapshot));
-    }
+    if (on_round) on_round(report.rounds, step);
     quiet = step.max_posterior_change < options_.tolerance ? quiet + 1 : 0;
     if (quiet >= patience) {
       report.converged = true;
@@ -185,21 +188,31 @@ double PdmsEngine::PosteriorCoarse(EdgeId edge) const {
 
 QueryReport PdmsEngine::IssueQuery(PeerId origin, const Query& query,
                                    uint32_t ttl) {
-  QueryReport report;
-  query_report_ = &report;
-  QueryMessage message;
-  message.query_id = next_query_id_++;
-  message.origin = origin;
-  message.ttl = ttl;
-  message.query = query;
-  network_.Send(origin, origin, std::nullopt, message);
-  ++report.messages;
-  while (network_.HasPendingMessages()) {
-    network_.AdvanceTick();
+  const QueryRequest request{origin, query, ttl};
+  return std::move(IssueQueries({&request, 1}).front());
+}
+
+std::vector<QueryReport> PdmsEngine::IssueQueries(
+    std::span<const QueryRequest> requests) {
+  std::vector<QueryReport> reports(requests.size());
+  active_queries_.clear();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    QueryMessage message;
+    message.query_id = next_query_id_++;
+    message.origin = requests[i].origin;
+    message.ttl = requests[i].ttl;
+    message.query = requests[i].query;
+    active_queries_[message.query_id] = &reports[i];
+    transport_->Send(requests[i].origin, requests[i].origin, std::nullopt,
+                     std::move(message));
+    ++reports[i].messages;
+  }
+  while (transport_->HasPendingMessages()) {
+    transport_->AdvanceTick();
     DeliverAll();
   }
-  query_report_ = nullptr;
-  return report;
+  active_queries_.clear();
+  return reports;
 }
 
 void PdmsEngine::SetPrior(EdgeId edge, AttributeId attribute, double prior) {

@@ -1,9 +1,11 @@
 #ifndef PDMS_CORE_PDMS_ENGINE_H_
 #define PDMS_CORE_PDMS_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "factor/factor_graph.h"
 #include "mapping/mapping_generator.h"
 #include "net/network.h"
+#include "pdms/transport.h"
 
 namespace pdms {
 
@@ -30,9 +33,6 @@ struct ConvergenceReport {
   size_t rounds = 0;
   bool converged = false;
   uint64_t belief_updates_sent = 0;
-  /// trajectory[r][i] = posterior of tracked variable i after round r+1
-  /// (only variables registered via TrackVariable).
-  std::vector<std::vector<double>> trajectory;
 };
 
 /// Outcome of a query issued into the network.
@@ -48,6 +48,13 @@ struct QueryReport {
   uint64_t messages = 0;
 };
 
+/// One query to issue: `query` is expressed in `origin`'s schema.
+struct QueryRequest {
+  PeerId origin = 0;
+  Query query;
+  uint32_t ttl = 3;
+};
+
 /// The paper's system: a network of peer databases that (1) discovers
 /// mapping cycles and parallel paths with TTL probes, (2) runs decentral-
 /// ized loopy sum-product message passing over the induced factor graph to
@@ -55,20 +62,27 @@ struct QueryReport {
 /// through mappings whose posterior clears the semantic threshold θ.
 ///
 /// The engine is the simulation driver: it owns the peers and the message
-/// bus and advances global ticks. All inference math happens inside the
-/// peers using only their local state — the engine never shares state
-/// across peers except through network messages.
+/// transport and advances global ticks. All inference math happens inside
+/// the peers using only their local state — the engine never shares state
+/// across peers except through transport messages.
+///
+/// This is the *internal implementation* behind the public API in
+/// `pdms/pdms.h`: applications construct a `Pdms` through `PdmsBuilder`
+/// and drive it through a `Session` rather than using this class directly.
 class PdmsEngine {
  public:
+  /// Invoked by RunToConvergence after each round (1-based round index).
+  using RoundCallback = std::function<void(size_t, const RoundReport&)>;
+
   /// Builds an engine over `graph`; `schemas[p]` is peer p's schema and
   /// `mappings[e]` the mapping for live edge e (indexed by EdgeId).
+  /// `transport` must cover `graph.node_count()` peers; when null, a
+  /// lossless discrete-tick `SimTransport` is created from
+  /// `options.network`.
   static Result<std::unique_ptr<PdmsEngine>> Create(
       const Digraph& graph, std::vector<Schema> schemas,
-      std::vector<SchemaMapping> mappings, const EngineOptions& options);
-
-  /// Convenience: builds from a generated synthetic PDMS.
-  static Result<std::unique_ptr<PdmsEngine>> FromSynthetic(
-      const SyntheticPdms& synthetic, const EngineOptions& options);
+      std::vector<SchemaMapping> mappings, const EngineOptions& options,
+      std::unique_ptr<Transport> transport = nullptr);
 
   // --- Closure discovery -----------------------------------------------------
 
@@ -89,12 +103,9 @@ class PdmsEngine {
   RoundReport RunRound();
 
   /// Rounds until posterior movement stays below tolerance (with loss-aware
-  /// patience) or `max_rounds`.
-  ConvergenceReport RunToConvergence(size_t max_rounds);
-
-  /// Registers a variable whose posterior RunToConvergence records each
-  /// round (Figure 7 trajectories).
-  void TrackVariable(const MappingVarKey& var) { tracked_.push_back(var); }
+  /// patience) or `max_rounds`. `on_round`, when set, observes every round.
+  ConvergenceReport RunToConvergence(size_t max_rounds,
+                                     const RoundCallback& on_round = nullptr);
 
   /// Posterior of (edge, attribute) as believed by the mapping's owner.
   double Posterior(EdgeId edge, AttributeId attribute) const;
@@ -105,6 +116,13 @@ class PdmsEngine {
   /// Issues `query` (expressed in `origin`'s schema) and drives the
   /// network until all query traffic quiesces.
   QueryReport IssueQuery(PeerId origin, const Query& query, uint32_t ttl);
+
+  /// Issues a batch of queries *concurrently*: all query messages enter
+  /// the network before the first tick, so their traffic interleaves (and,
+  /// under the lazy schedule, cross-pollinates belief state) the way
+  /// simultaneous real-world queries would. Reports are attributed per
+  /// query id and returned in request order.
+  std::vector<QueryReport> IssueQueries(std::span<const QueryRequest> requests);
 
   // --- Priors & churn ----------------------------------------------------------
 
@@ -124,7 +142,8 @@ class PdmsEngine {
   const Peer& peer(PeerId id) const { return *peers_[id]; }
   size_t peer_count() const { return peers_.size(); }
   const Digraph& graph() const { return graph_; }
-  const Network& network() const { return network_; }
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
   const EngineOptions& options() const { return options_; }
 
   /// Total distinct factor replicas (unique FactorKeys across peers).
@@ -137,22 +156,23 @@ class PdmsEngine {
   FactorGraph BuildGlobalFactorGraph(std::vector<MappingVarKey>* vars_out) const;
 
  private:
-  PdmsEngine(Digraph graph, EngineOptions options);
+  PdmsEngine(Digraph graph, EngineOptions options,
+             std::unique_ptr<Transport> transport);
 
   /// Delivers due messages to every peer, dispatching by payload type.
-  /// Query rows/blocks are accumulated into `query_report_` when set.
+  /// Query rows/blocks are accumulated into `active_queries_` entries.
   void DeliverAll();
 
   void SendAll(PeerId from, std::vector<Outgoing> messages);
 
   Digraph graph_;
   EngineOptions options_;
-  Network network_;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Peer>> peers_;
-  std::vector<MappingVarKey> tracked_;
   uint64_t next_query_id_ = 1;
-  /// Non-null while IssueQuery drives the network.
-  QueryReport* query_report_ = nullptr;
+  /// Per-query report accumulators, keyed by query id; populated while
+  /// IssueQueries drives the network.
+  std::map<uint64_t, QueryReport*> active_queries_;
 };
 
 }  // namespace pdms

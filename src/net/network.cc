@@ -2,31 +2,10 @@
 
 #include <cassert>
 
-#include "util/string_util.h"
-
 namespace pdms {
 
-uint64_t NetworkStats::TotalSent() const {
-  uint64_t total = 0;
-  for (uint64_t s : sent) total += s;
-  return total;
-}
-
-std::string NetworkStats::ToString() const {
-  std::string out;
-  for (size_t k = 0; k < kMessageKindCount; ++k) {
-    out += StrFormat("%s: sent=%llu dropped=%llu delivered=%llu\n",
-                     std::string(MessageKindName(static_cast<MessageKind>(k)))
-                         .c_str(),
-                     static_cast<unsigned long long>(sent[k]),
-                     static_cast<unsigned long long>(dropped[k]),
-                     static_cast<unsigned long long>(delivered[k]));
-  }
-  return out;
-}
-
-void Network::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
-                   Payload payload) {
+void SimTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+                        Payload payload) {
   assert(to < queues_.size());
   const auto kind = static_cast<size_t>(KindOf(payload));
   ++stats_.sent[kind];
@@ -46,7 +25,7 @@ void Network::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
   queues_[to].push_back(std::move(envelope));
 }
 
-std::vector<Envelope> Network::Drain(PeerId peer) {
+std::vector<Envelope> SimTransport::Drain(PeerId peer) {
   assert(peer < queues_.size());
   std::vector<Envelope> due;
   auto& queue = queues_[peer];
@@ -60,7 +39,7 @@ std::vector<Envelope> Network::Drain(PeerId peer) {
   return due;
 }
 
-bool Network::HasPendingMessages() const {
+bool SimTransport::HasPendingMessages() const {
   for (const auto& queue : queues_) {
     if (!queue.empty()) return true;
   }

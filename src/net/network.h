@@ -1,13 +1,13 @@
 #ifndef PDMS_NET_NETWORK_H_
 #define PDMS_NET_NETWORK_H_
 
-#include <array>
 #include <cstdint>
 #include <deque>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/message.h"
+#include "pdms/transport.h"
 #include "util/rng.h"
 
 namespace pdms {
@@ -28,50 +28,44 @@ struct NetworkOptions {
   bool lose_belief_messages_only = true;
 };
 
-/// Per-kind traffic counters.
-struct NetworkStats {
-  std::array<uint64_t, kMessageKindCount> sent{};
-  std::array<uint64_t, kMessageKindCount> dropped{};
-  std::array<uint64_t, kMessageKindCount> delivered{};
-
-  uint64_t TotalSent() const;
-  std::string ToString() const;
-};
-
-/// Discrete-tick simulated message bus between peers.
+/// Discrete-tick simulated message bus between peers — the default
+/// `Transport` implementation.
 ///
 /// Single-threaded by design: the PDMS engine advances the clock and
 /// drains per-peer queues in rounds. Determinism: given the same seed and
 /// send sequence, drops and deliveries are identical.
-class Network {
+class SimTransport final : public Transport {
  public:
-  Network(size_t peer_count, const NetworkOptions& options)
+  SimTransport(size_t peer_count, const NetworkOptions& options)
       : options_(options), rng_(options.seed), queues_(peer_count) {}
 
-  uint64_t now() const { return now_; }
-  void AdvanceTick() { ++now_; }
-
-  size_t peer_count() const { return queues_.size(); }
+  std::string_view name() const override { return "sim"; }
+  size_t peer_count() const override { return queues_.size(); }
+  uint64_t now() const override { return now_; }
+  void AdvanceTick() override { ++now_; }
 
   /// Enqueues a message; may drop it per `send_probability`.
-  void Send(PeerId from, PeerId to, std::optional<EdgeId> via, Payload payload);
+  void Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+            Payload payload) override;
 
   /// Removes and returns all messages deliverable to `peer` at the current
   /// tick (deliver_at <= now).
-  std::vector<Envelope> Drain(PeerId peer);
+  std::vector<Envelope> Drain(PeerId peer) override;
 
   /// True if any queue still holds messages (delivered or future).
-  bool HasPendingMessages() const;
+  bool HasPendingMessages() const override;
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  const TransportStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = TransportStats{}; }
+
+  const NetworkOptions& options() const { return options_; }
 
  private:
   NetworkOptions options_;
   Rng rng_;
   uint64_t now_ = 0;
   std::vector<std::deque<Envelope>> queues_;
-  NetworkStats stats_;
+  TransportStats stats_;
 };
 
 }  // namespace pdms

@@ -1,0 +1,53 @@
+#include "pdms/pdms.h"
+
+namespace pdms {
+
+Session& Pdms::session() {
+  if (default_session_ == nullptr) {
+    default_session_ = std::make_unique<Session>(engine_.get());
+  }
+  return *default_session_;
+}
+
+Session Pdms::NewSession() { return Session(engine_.get()); }
+
+double Pdms::Posterior(EdgeId edge, AttributeId attribute) const {
+  return engine_->Posterior(edge, attribute);
+}
+
+double Pdms::PosteriorCoarse(EdgeId edge) const {
+  return engine_->PosteriorCoarse(edge);
+}
+
+void Pdms::SetPrior(EdgeId edge, AttributeId attribute, double prior) {
+  engine_->SetPrior(edge, attribute, prior);
+}
+
+double Pdms::Prior(EdgeId edge, AttributeId attribute) const {
+  return engine_->Prior(edge, attribute);
+}
+
+void Pdms::UpdatePriors() { engine_->UpdatePriors(); }
+
+Status Pdms::RemoveMapping(EdgeId edge) { return engine_->RemoveMapping(edge); }
+
+void Pdms::InjectFeedback(const FeedbackAnnouncement& announcement) {
+  engine_->InjectFeedback(announcement);
+}
+
+Peer& Pdms::peer(PeerId id) { return engine_->peer(id); }
+const Peer& Pdms::peer(PeerId id) const { return engine_->peer(id); }
+size_t Pdms::peer_count() const { return engine_->peer_count(); }
+const Digraph& Pdms::graph() const { return engine_->graph(); }
+Transport& Pdms::transport() { return engine_->transport(); }
+const Transport& Pdms::transport() const { return engine_->transport(); }
+const EngineOptions& Pdms::options() const { return engine_->options(); }
+
+size_t Pdms::UniqueFactorCount() const { return engine_->UniqueFactorCount(); }
+
+FactorGraph Pdms::BuildGlobalFactorGraph(
+    std::vector<MappingVarKey>* vars_out) const {
+  return engine_->BuildGlobalFactorGraph(vars_out);
+}
+
+}  // namespace pdms

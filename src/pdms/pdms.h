@@ -1,0 +1,118 @@
+#ifndef PDMS_PDMS_PDMS_H_
+#define PDMS_PDMS_PDMS_H_
+
+/// \file
+/// Public entry point of the PDMS library.
+///
+/// Applications use three types, in order:
+///  * `PdmsBuilder` (pdms/builder.h) — assemble and validate a peer
+///    network: peers with schemas, directed mappings between them, a
+///    `Transport`, and `EngineOptions`.
+///  * `Pdms` (this header) — the built system: owns the peers, topology
+///    and transport; exposes introspection (posteriors, priors, stats)
+///    and churn (mapping removal, prior updates).
+///  * `Session` (pdms/session.h) — drives the lifecycle: closure
+///    discovery, embedded message-passing convergence, θ-gated queries,
+///    with `RoundObserver` hooks.
+///
+/// The message vocabulary the API speaks — `Payload`, `Envelope`,
+/// `MessageKind`, the per-message structs (`net/message.h`) and the
+/// domain ids/value types they carry (schemas, mappings, queries,
+/// beliefs) — is re-exported here and versioned with the API: custom
+/// `Transport` implementations and `RoundObserver`s depend on it.
+/// Everything else under core/, net/, factor/, … is internal
+/// implementation whose layout may change freely behind this API.
+
+#include <memory>
+#include <vector>
+
+#include "core/pdms_engine.h"
+#include "pdms/session.h"
+#include "pdms/transport.h"
+
+/// Public API version (semantic versioning of the pdms/ headers).
+#define PDMS_API_VERSION_MAJOR 1
+#define PDMS_API_VERSION_MINOR 0
+#define PDMS_API_VERSION_PATCH 0
+#define PDMS_API_VERSION_STRING "1.0.0"
+
+namespace pdms {
+
+/// A built peer data management system (see file comment for the
+/// builder / facade / session split). Move-only; the default-constructed
+/// state is empty (`valid() == false`) and only useful as a move target.
+class Pdms {
+ public:
+  Pdms() = default;
+  Pdms(Pdms&&) = default;
+  Pdms& operator=(Pdms&&) = default;
+  Pdms(const Pdms&) = delete;
+  Pdms& operator=(const Pdms&) = delete;
+
+  bool valid() const { return engine_ != nullptr; }
+
+  // --- Sessions --------------------------------------------------------------
+
+  /// The default session (created on first use). Most applications only
+  /// ever need this one.
+  Session& session();
+
+  /// An independent session: separate observers and round counter, same
+  /// underlying network state.
+  Session NewSession();
+
+  // --- Beliefs ---------------------------------------------------------------
+
+  /// Posterior P(correct) of (edge, attribute) as believed by the
+  /// mapping's owner.
+  double Posterior(EdgeId edge, AttributeId attribute) const;
+  /// Coarse-granularity posterior of the whole mapping.
+  double PosteriorCoarse(EdgeId edge) const;
+
+  void SetPrior(EdgeId edge, AttributeId attribute, double prior);
+  double Prior(EdgeId edge, AttributeId attribute) const;
+  /// EM prior update on every peer (Section 4.4).
+  void UpdatePriors();
+
+  // --- Churn & external evidence --------------------------------------------
+
+  /// Removes a mapping network-wide; closures must be re-discovered.
+  Status RemoveMapping(EdgeId edge);
+
+  /// Injects a closure with externally computed per-attribute feedback
+  /// (experiments that need the paper's exact feedback sets; churn tests).
+  void InjectFeedback(const FeedbackAnnouncement& announcement);
+
+  // --- Introspection ---------------------------------------------------------
+
+  Peer& peer(PeerId id);
+  const Peer& peer(PeerId id) const;
+  size_t peer_count() const;
+  const Digraph& graph() const;
+  Transport& transport();
+  const Transport& transport() const;
+  const EngineOptions& options() const;
+
+  /// Total distinct factor replicas (unique factor keys across peers).
+  size_t UniqueFactorCount() const;
+
+  /// Materializes the global factor graph implied by current peer states
+  /// (baseline for exact inference / validation).
+  FactorGraph BuildGlobalFactorGraph(std::vector<MappingVarKey>* vars_out) const;
+
+ private:
+  friend class PdmsBuilder;
+
+  explicit Pdms(std::unique_ptr<PdmsEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  std::unique_ptr<PdmsEngine> engine_;
+  std::unique_ptr<Session> default_session_;
+};
+
+}  // namespace pdms
+
+// Umbrella: including pdms/pdms.h brings in the whole public surface.
+#include "pdms/builder.h"
+
+#endif  // PDMS_PDMS_PDMS_H_

@@ -1,0 +1,68 @@
+#include "pdms/session.h"
+
+#include <algorithm>
+
+namespace pdms {
+
+size_t Session::Discover() { return engine_->DiscoverClosures(); }
+
+RoundReport Session::Step() {
+  const RoundReport report = engine_->RunRound();
+  Notify(report);
+  return report;
+}
+
+ConvergenceReport Session::Converge(ConvergeLimits limits) {
+  return engine_->RunToConvergence(
+      limits.max_rounds,
+      [this](size_t /*round*/, const RoundReport& report) { Notify(report); });
+}
+
+QueryReport Session::Query(PeerId origin, const ::pdms::Query& query,
+                           uint32_t ttl) {
+  return engine_->IssueQuery(origin, query, ttl);
+}
+
+std::vector<QueryReport> Session::QueryAll(
+    std::span<const QueryRequest> requests) {
+  return engine_->IssueQueries(requests);
+}
+
+void Session::AddObserver(RoundObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void Session::RemoveObserver(RoundObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+double Session::Posterior(EdgeId edge, AttributeId attribute) const {
+  return engine_->Posterior(edge, attribute);
+}
+
+double Session::PosteriorCoarse(EdgeId edge) const {
+  return engine_->PosteriorCoarse(edge);
+}
+
+void Session::Notify(const RoundReport& report) {
+  ++rounds_;
+  // Snapshot: an observer may add/remove observers (itself included) from
+  // inside OnRound without invalidating this iteration.
+  const std::vector<RoundObserver*> snapshot = observers_;
+  for (RoundObserver* observer : snapshot) {
+    observer->OnRound(rounds_, report, *this);
+  }
+}
+
+void TrajectoryRecorder::OnRound(size_t /*round*/, const RoundReport& /*report*/,
+                                 const Session& session) {
+  std::vector<double> snapshot;
+  snapshot.reserve(vars_.size());
+  for (const MappingVarKey& var : vars_) {
+    snapshot.push_back(session.Posterior(var.edge, var.attribute));
+  }
+  trajectory_.push_back(std::move(snapshot));
+}
+
+}  // namespace pdms

@@ -1,0 +1,58 @@
+#include "pdms/transport.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace pdms {
+
+uint64_t TransportStats::TotalSent() const {
+  uint64_t total = 0;
+  for (uint64_t s : sent) total += s;
+  return total;
+}
+
+std::string TransportStats::ToString() const {
+  std::string out;
+  for (size_t k = 0; k < kMessageKindCount; ++k) {
+    out += StrFormat("%s: sent=%llu dropped=%llu delivered=%llu\n",
+                     std::string(MessageKindName(static_cast<MessageKind>(k)))
+                         .c_str(),
+                     static_cast<unsigned long long>(sent[k]),
+                     static_cast<unsigned long long>(dropped[k]),
+                     static_cast<unsigned long long>(delivered[k]));
+  }
+  return out;
+}
+
+void InstantTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+                            Payload payload) {
+  assert(to < queues_.size());
+  ++stats_.sent[static_cast<size_t>(KindOf(payload))];
+  Envelope envelope;
+  envelope.from = from;
+  envelope.to = to;
+  envelope.via = via;
+  envelope.deliver_at = now_;
+  envelope.payload = std::move(payload);
+  queues_[to].push_back(std::move(envelope));
+}
+
+std::vector<Envelope> InstantTransport::Drain(PeerId peer) {
+  assert(peer < queues_.size());
+  std::vector<Envelope> due;
+  due.swap(queues_[peer]);
+  for (const Envelope& envelope : due) {
+    ++stats_.delivered[static_cast<size_t>(KindOf(envelope.payload))];
+  }
+  return due;
+}
+
+bool InstantTransport::HasPendingMessages() const {
+  for (const auto& queue : queues_) {
+    if (!queue.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace pdms

@@ -1,0 +1,101 @@
+#ifndef PDMS_PDMS_TRANSPORT_H_
+#define PDMS_PDMS_TRANSPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/message.h"
+
+namespace pdms {
+
+/// Per-kind traffic counters every `Transport` implementation maintains.
+struct TransportStats {
+  std::array<uint64_t, kMessageKindCount> sent{};
+  std::array<uint64_t, kMessageKindCount> dropped{};
+  std::array<uint64_t, kMessageKindCount> delivered{};
+
+  uint64_t TotalSent() const;
+  std::string ToString() const;
+};
+
+/// How messages move between peers — the provider side of the public API.
+///
+/// The engine computes *what* the peers exchange (probes, feedback
+/// announcements, belief updates, queries); a `Transport` decides *how*
+/// the envelopes travel: with what delay, what loss, over what substrate.
+/// Implementations ship with the library (`SimTransport`, the discrete-
+/// tick lossy simulator; `InstantTransport`, zero-delay and lossless) and
+/// can be supplied by applications through `PdmsBuilder::WithTransport`.
+///
+/// Contract (exercised by the shared conformance test):
+///  * `Send` may drop (recording `dropped`) but never reorders messages
+///    between the same (from, to) pair.
+///  * `Drain(p)` returns every envelope deliverable to `p` at the current
+///    tick, in send order, and removes them from the queue.
+///  * `HasPendingMessages()` is true iff any envelope is queued, whether
+///    deliverable now or in the future.
+///  * Ticks only move forward; `Send` after `AdvanceTick` never delivers
+///    into the past.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Short stable identifier, e.g. "sim" or "instant".
+  virtual std::string_view name() const = 0;
+
+  virtual size_t peer_count() const = 0;
+
+  /// Current discrete time.
+  virtual uint64_t now() const = 0;
+  virtual void AdvanceTick() = 0;
+
+  /// Enqueues a message from `from` to `to`; `via` names the mapping link
+  /// it logically travels through, when applicable.
+  virtual void Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+                    Payload payload) = 0;
+
+  /// Removes and returns all messages deliverable to `peer` now.
+  virtual std::vector<Envelope> Drain(PeerId peer) = 0;
+
+  /// True if any queue still holds messages (deliverable or future).
+  virtual bool HasPendingMessages() const = 0;
+
+  virtual const TransportStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+/// Zero-delay, lossless in-process transport: a message sent at tick t is
+/// deliverable at tick t. No configuration, no randomness — the fastest
+/// substrate for convergence-only workloads (discovery and inference need
+/// no tick-per-hop waiting) and the reference implementation for the
+/// Transport conformance contract.
+class InstantTransport final : public Transport {
+ public:
+  explicit InstantTransport(size_t peer_count) : queues_(peer_count) {}
+
+  std::string_view name() const override { return "instant"; }
+  size_t peer_count() const override { return queues_.size(); }
+  uint64_t now() const override { return now_; }
+  void AdvanceTick() override { ++now_; }
+
+  void Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+            Payload payload) override;
+  std::vector<Envelope> Drain(PeerId peer) override;
+  bool HasPendingMessages() const override;
+
+  const TransportStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = TransportStats{}; }
+
+ private:
+  uint64_t now_ = 0;
+  std::vector<std::vector<Envelope>> queues_;
+  TransportStats stats_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_PDMS_TRANSPORT_H_

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 
 namespace pdms {
@@ -94,6 +95,10 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// must check `ok()` first. `T` must be movable.
 template <typename T>
 class Result {
+  static_assert(!std::is_same_v<std::remove_cv_t<T>, Status>,
+                "Result<Status> is ill-formed: both constructors would "
+                "compete for a Status argument. Return Status directly.");
+
  public:
   /// Constructs a successful result (implicit by design, mirroring
   /// absl::StatusOr, so `return value;` works in factory functions).
@@ -128,6 +133,13 @@ class Result {
   /// Returns the contained value or `fallback` when failed.
   T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
 
+  /// Rvalue overload: moves the contained value out instead of copying,
+  /// so `BuildThing().value_or(default)` never copies a success value
+  /// (and never touches the disengaged optional on failure).
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
  private:
   Status status_;
   std::optional<T> value_;
@@ -141,5 +153,22 @@ class Result {
     ::pdms::Status _pdms_status = (expr);         \
     if (!_pdms_status.ok()) return _pdms_status;  \
   } while (false)
+
+/// Evaluates `rexpr` (a `Result<T>` expression); on failure returns its
+/// status from the enclosing function, otherwise moves the value into
+/// `lhs`. `lhs` may declare a new variable (`PDMS_ASSIGN_OR_RETURN(auto x,
+/// MakeX())`) or assign to an existing one. The enclosing function must
+/// return `Status` or any `Result<U>`.
+#define PDMS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  PDMS_ASSIGN_OR_RETURN_IMPL_(            \
+      PDMS_STATUS_MACRO_CONCAT_(_pdms_result_, __LINE__), lhs, rexpr)
+
+#define PDMS_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+#define PDMS_STATUS_MACRO_CONCAT_(a, b) PDMS_STATUS_MACRO_CONCAT_IMPL_(a, b)
+#define PDMS_STATUS_MACRO_CONCAT_IMPL_(a, b) a##b
 
 #endif  // PDMS_UTIL_STATUS_H_

@@ -3,11 +3,10 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pdms_engine.h"
 #include "factor/exact.h"
 #include "factor/sum_product.h"
 #include "graph/topology.h"
-#include "mapping/mapping_generator.h"
+#include "pdms/pdms.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -22,42 +21,41 @@ constexpr size_t kAttrs = 11;  // schemas of 11 attributes -> ∆ = 1/10
 /// auto-estimated ∆ is 0.1 (Section 4.5).
 struct IntroPdms {
   topology::ExampleEdges edges;
-  std::unique_ptr<PdmsEngine> engine;
+  Pdms pdms;
 };
 
 IntroPdms MakeIntro(EngineOptions options, uint64_t seed = 17) {
   IntroPdms intro;
   Rng rng(seed);
   const Digraph graph = topology::ExampleGraph(&intro.edges);
-  std::vector<Schema> schemas;
+  options.probe_ttl = 5;
+  PdmsBuilder builder;
+  builder.WithOptions(options);
   for (NodeId p = 0; p < 4; ++p) {
     Schema schema(StrFormat("p%u", p + 1));
     for (size_t a = 0; a < kAttrs; ++a) {
       EXPECT_TRUE(schema.AddAttribute(StrFormat("p%u_a%zu", p + 1, a)).ok());
     }
-    schemas.push_back(std::move(schema));
+    builder.AddPeer(std::move(schema));
   }
-  std::vector<SchemaMapping> mappings(graph.edge_capacity());
   for (EdgeId e : graph.LiveEdges()) {
     const std::vector<AttributeId> wrong =
         e == intro.edges.m24 ? std::vector<AttributeId>{0}
                              : std::vector<AttributeId>{};
-    mappings[e] = MakeConceptMapping(StrFormat("m%u", e), kAttrs, wrong, &rng);
+    builder.AddMapping(
+        graph.edge(e).src, graph.edge(e).dst,
+        MakeConceptMapping(StrFormat("m%u", e), kAttrs, wrong, &rng));
   }
-  options.probe_ttl = 5;
-  Result<std::unique_ptr<PdmsEngine>> engine =
-      PdmsEngine::Create(graph, std::move(schemas), std::move(mappings),
-                         options);
-  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
-  intro.engine = std::move(engine).value();
+  Result<Pdms> built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  intro.pdms = std::move(built).value();
   return intro;
 }
 
 /// The paper's exact Section 4.5 feedback set injected over the intro
 /// topology: f1+ (cycle m12,m23,m34,m41), f2− (cycle m12,m24,m41),
 /// f3− (parallel m24 ‖ m23,m34), all for attribute 0, ∆ = 0.1.
-void InjectPaperFeedback(PdmsEngine* engine,
-                         const topology::ExampleEdges& edges) {
+void InjectPaperFeedback(Pdms* pdms, const topology::ExampleEdges& edges) {
   auto cycle = [](std::vector<EdgeId> cycle_edges, NodeId source) {
     Closure closure;
     closure.kind = Closure::Kind::kCycle;
@@ -78,14 +76,14 @@ void InjectPaperFeedback(PdmsEngine* engine,
   f1.delta = 0.1;
   f1.feedback = {{0, FeedbackSign::kPositive,
                   members({edges.m12, edges.m23, edges.m34, edges.m41})}};
-  engine->InjectFeedback(f1);
+  pdms->InjectFeedback(f1);
 
   FeedbackAnnouncement f2;
   f2.closure = cycle({edges.m12, edges.m24, edges.m41}, 0);
   f2.delta = 0.1;
   f2.feedback = {{0, FeedbackSign::kNegative,
                   members({edges.m12, edges.m24, edges.m41})}};
-  engine->InjectFeedback(f2);
+  pdms->InjectFeedback(f2);
 
   FeedbackAnnouncement f3;
   f3.closure.kind = Closure::Kind::kParallelPaths;
@@ -96,43 +94,36 @@ void InjectPaperFeedback(PdmsEngine* engine,
   f3.delta = 0.1;
   f3.feedback = {{0, FeedbackSign::kNegative,
                   members({edges.m24, edges.m23, edges.m34})}};
-  engine->InjectFeedback(f3);
+  pdms->InjectFeedback(f3);
 }
 
 // --- Discovery ---------------------------------------------------------------
 
 TEST(EngineDiscoveryTest, FindsThePaperClosures) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  const size_t factors = intro.engine->DiscoverClosures();
+  const size_t factors = intro.pdms.session().Discover();
   // Three closures (f1, f2, f3) × 11 root attributes.
   EXPECT_EQ(factors, 3 * kAttrs);
   // Replica placement: p2 owns mappings in all three closures.
-  EXPECT_EQ(intro.engine->peer(1).replica_count(), 3 * kAttrs);
-  EXPECT_EQ(intro.engine->peer(0).replica_count(), 2 * kAttrs);  // f1, f2
-  EXPECT_EQ(intro.engine->peer(2).replica_count(), 2 * kAttrs);  // f1, f3
-  EXPECT_EQ(intro.engine->peer(3).replica_count(), 2 * kAttrs);  // f1, f2
+  EXPECT_EQ(intro.pdms.peer(1).replica_count(), 3 * kAttrs);
+  EXPECT_EQ(intro.pdms.peer(0).replica_count(), 2 * kAttrs);  // f1, f2
+  EXPECT_EQ(intro.pdms.peer(2).replica_count(), 2 * kAttrs);  // f1, f3
+  EXPECT_EQ(intro.pdms.peer(3).replica_count(), 2 * kAttrs);  // f1, f2
 }
 
 TEST(EngineDiscoveryTest, DiscoveryIsIdempotent) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  const size_t first = intro.engine->DiscoverClosures();
-  const size_t second = intro.engine->DiscoverClosures();
+  const size_t first = intro.pdms.session().Discover();
+  const size_t second = intro.pdms.session().Discover();
   EXPECT_EQ(first, second);
 }
 
-TEST(EngineDiscoveryTest, TtlLimitsDiscovery) {
-  EngineOptions options;
-  IntroPdms intro = MakeIntro(options);
-  // Override after MakeIntro set probe_ttl: rebuild with a tiny TTL.
-  EngineOptions tight;
-  tight.probe_ttl = 3;  // too short to close the length-4 cycle f1
-  IntroPdms limited = MakeIntro(tight);
-  // MakeIntro overwrites probe_ttl, so emulate by closure limits instead.
+TEST(EngineDiscoveryTest, ClosureLimitsCapDiscovery) {
   EngineOptions capped;
   capped.closure_limits.max_cycle_length = 3;
   capped.closure_limits.max_path_length = 2;
   IntroPdms capped_intro = MakeIntro(capped);
-  const size_t factors = capped_intro.engine->DiscoverClosures();
+  const size_t factors = capped_intro.pdms.session().Discover();
   // Only f2 (length 3) and f3 (paths of length 1 and 2) survive the caps.
   EXPECT_EQ(factors, 2 * kAttrs);
 }
@@ -141,19 +132,20 @@ TEST(EngineDiscoveryTest, TtlLimitsDiscovery) {
 
 TEST(EngineInferenceTest, ClassifiesTheFaultyMapping) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  intro.engine->DiscoverClosures();
-  const ConvergenceReport report = intro.engine->RunToConvergence(200);
+  Session& session = intro.pdms.session();
+  session.Discover();
+  const ConvergenceReport report = session.Converge(200);
   EXPECT_TRUE(report.converged);
   // Attribute 0: m24 garbles it; everything else preserves it.
-  EXPECT_LT(intro.engine->Posterior(intro.edges.m24, 0), 0.45);
-  EXPECT_GT(intro.engine->Posterior(intro.edges.m23, 0), 0.5);
-  EXPECT_GT(intro.engine->Posterior(intro.edges.m12, 0), 0.5);
-  EXPECT_GT(intro.engine->Posterior(intro.edges.m34, 0), 0.5);
-  EXPECT_GT(intro.engine->Posterior(intro.edges.m41, 0), 0.5);
+  EXPECT_LT(intro.pdms.Posterior(intro.edges.m24, 0), 0.45);
+  EXPECT_GT(intro.pdms.Posterior(intro.edges.m23, 0), 0.5);
+  EXPECT_GT(intro.pdms.Posterior(intro.edges.m12, 0), 0.5);
+  EXPECT_GT(intro.pdms.Posterior(intro.edges.m34, 0), 0.5);
+  EXPECT_GT(intro.pdms.Posterior(intro.edges.m41, 0), 0.5);
   // Unaffected attributes accumulate strong positive evidence.
   for (AttributeId a = 1; a < kAttrs; ++a) {
-    EXPECT_GT(intro.engine->Posterior(intro.edges.m23, a), 0.6) << "attr " << a;
-    EXPECT_GT(intro.engine->Posterior(intro.edges.m24, a), 0.6) << "attr " << a;
+    EXPECT_GT(intro.pdms.Posterior(intro.edges.m23, a), 0.6) << "attr " << a;
+    EXPECT_GT(intro.pdms.Posterior(intro.edges.m24, a), 0.6) << "attr " << a;
   }
 }
 
@@ -161,29 +153,30 @@ TEST(EngineInferenceTest, InjectedPaperGraphMatchesPaperNumbers) {
   // With the paper's exact factor graph (Section 4.5), the decentralized
   // engine must land near exact inference's 0.59 / 0.31.
   IntroPdms intro = MakeIntro(EngineOptions{});
-  InjectPaperFeedback(intro.engine.get(), intro.edges);
-  const ConvergenceReport report = intro.engine->RunToConvergence(200);
+  InjectPaperFeedback(&intro.pdms, intro.edges);
+  const ConvergenceReport report = intro.pdms.session().Converge(200);
   EXPECT_TRUE(report.converged);
-  EXPECT_NEAR(intro.engine->Posterior(intro.edges.m23, 0), 1.623 / 2.75, 0.06);
-  EXPECT_NEAR(intro.engine->Posterior(intro.edges.m24, 0), 0.841 / 2.75, 0.06);
+  EXPECT_NEAR(intro.pdms.Posterior(intro.edges.m23, 0), 1.623 / 2.75, 0.06);
+  EXPECT_NEAR(intro.pdms.Posterior(intro.edges.m24, 0), 0.841 / 2.75, 0.06);
 }
 
 TEST(EngineInferenceTest, EmbeddedMatchesCentralizedFixedPoint) {
   EngineOptions options;
   options.tolerance = 1e-12;
   IntroPdms intro = MakeIntro(options);
-  intro.engine->DiscoverClosures();
-  intro.engine->RunToConvergence(500);
+  Session& session = intro.pdms.session();
+  session.Discover();
+  session.Converge(500);
 
   std::vector<MappingVarKey> vars;
-  const FactorGraph global = intro.engine->BuildGlobalFactorGraph(&vars);
+  const FactorGraph global = intro.pdms.BuildGlobalFactorGraph(&vars);
   SumProductOptions sp;
   sp.tolerance = 1e-12;
   sp.max_iterations = 500;
   const SumProductResult central = SumProductEngine(global, sp).Run();
   ASSERT_TRUE(central.converged);
   for (VarId v = 0; v < vars.size(); ++v) {
-    EXPECT_NEAR(intro.engine->Posterior(vars[v].edge, vars[v].attribute),
+    EXPECT_NEAR(intro.pdms.Posterior(vars[v].edge, vars[v].attribute),
                 central.posteriors[v].ProbabilityCorrect(), 1e-6)
         << vars[v].ToString();
   }
@@ -191,15 +184,16 @@ TEST(EngineInferenceTest, EmbeddedMatchesCentralizedFixedPoint) {
 
 TEST(EngineInferenceTest, EmbeddedCloseToExactInference) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  intro.engine->DiscoverClosures();
-  intro.engine->RunToConvergence(200);
+  Session& session = intro.pdms.session();
+  session.Discover();
+  session.Converge(200);
 
   std::vector<MappingVarKey> vars;
-  const FactorGraph global = intro.engine->BuildGlobalFactorGraph(&vars);
+  const FactorGraph global = intro.pdms.BuildGlobalFactorGraph(&vars);
   for (VarId v = 0; v < vars.size(); ++v) {
     Result<Belief> exact = ExactMarginalVariableElimination(global, v);
     ASSERT_TRUE(exact.ok());
-    EXPECT_NEAR(intro.engine->Posterior(vars[v].edge, vars[v].attribute),
+    EXPECT_NEAR(intro.pdms.Posterior(vars[v].edge, vars[v].attribute),
                 exact->ProbabilityCorrect(), 0.06)
         << vars[v].ToString();
   }
@@ -209,43 +203,49 @@ TEST(EngineInferenceTest, ConvergesWithinAboutTenRounds) {
   // Section 5.1.1: "our embedded message passing scheme converges to
   // approximate results in ten iterations usually".
   IntroPdms intro = MakeIntro(EngineOptions{});
-  intro.engine->DiscoverClosures();
-  EngineOptions* mutable_options = nullptr;
-  (void)mutable_options;
-  ConvergenceReport report;
+  Session& session = intro.pdms.session();
+  session.Discover();
   // Count rounds until posteriors move < 1e-3 between rounds.
   size_t rounds = 0;
-  double previous = intro.engine->Posterior(intro.edges.m24, 0);
+  double previous = intro.pdms.Posterior(intro.edges.m24, 0);
   for (; rounds < 50; ++rounds) {
-    intro.engine->RunRound();
-    const double current = intro.engine->Posterior(intro.edges.m24, 0);
+    session.Step();
+    const double current = intro.pdms.Posterior(intro.edges.m24, 0);
     if (rounds > 2 && std::abs(current - previous) < 1e-3) break;
     previous = current;
   }
   EXPECT_LE(rounds, 15u);
 }
 
-TEST(EngineInferenceTest, TrajectoryIsRecorded) {
+TEST(EngineInferenceTest, ObserverRecordsTrajectory) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  intro.engine->DiscoverClosures();
-  intro.engine->TrackVariable(MappingVarKey{intro.edges.m24, 0});
-  intro.engine->TrackVariable(MappingVarKey{intro.edges.m23, 0});
-  const ConvergenceReport report = intro.engine->RunToConvergence(100);
-  ASSERT_EQ(report.trajectory.size(), report.rounds);
-  ASSERT_EQ(report.trajectory[0].size(), 2u);
+  Session& session = intro.pdms.session();
+  session.Discover();
+  TrajectoryRecorder recorder({MappingVarKey{intro.edges.m24, 0},
+                               MappingVarKey{intro.edges.m23, 0}});
+  session.AddObserver(&recorder);
+  const ConvergenceReport report = session.Converge(100);
+  ASSERT_EQ(recorder.trajectory().size(), report.rounds);
+  ASSERT_EQ(recorder.trajectory()[0].size(), 2u);
   // The faulty mapping's posterior decreases over time.
-  EXPECT_LT(report.trajectory.back()[0], report.trajectory.front()[0] + 1e-9);
+  EXPECT_LT(recorder.trajectory().back()[0],
+            recorder.trajectory().front()[0] + 1e-9);
+  // An unsubscribed observer stops recording.
+  session.RemoveObserver(&recorder);
+  const size_t frozen = recorder.trajectory().size();
+  session.Step();
+  EXPECT_EQ(recorder.trajectory().size(), frozen);
 }
 
 TEST(EngineInferenceTest, DeterministicAcrossRuns) {
   auto run = [] {
     IntroPdms intro = MakeIntro(EngineOptions{});
-    intro.engine->DiscoverClosures();
-    intro.engine->RunToConvergence(100);
+    intro.pdms.session().Discover();
+    intro.pdms.session().Converge(100);
     std::vector<double> posteriors;
-    for (EdgeId e : intro.engine->graph().LiveEdges()) {
+    for (EdgeId e : intro.pdms.graph().LiveEdges()) {
       for (AttributeId a = 0; a < kAttrs; ++a) {
-        posteriors.push_back(intro.engine->Posterior(e, a));
+        posteriors.push_back(intro.pdms.Posterior(e, a));
       }
     }
     return posteriors;
@@ -258,22 +258,22 @@ TEST(EngineInferenceTest, DeterministicAcrossRuns) {
 TEST(EngineBottomTest, UnmappedAttributeHasZeroPosterior) {
   IntroPdms intro = MakeIntro(EngineOptions{});
   // Knock out attribute 5 of m23's mapping.
-  Peer& p2 = intro.engine->peer(1);
+  Peer& p2 = intro.pdms.peer(1);
   SchemaMapping patched = *p2.mapping(intro.edges.m23);
   ASSERT_TRUE(patched.Set(5, std::nullopt).ok());
   p2.RemoveMapping(intro.edges.m23);
   ASSERT_TRUE(p2.AddMapping(intro.edges.m23, std::move(patched)).ok());
-  EXPECT_DOUBLE_EQ(intro.engine->Posterior(intro.edges.m23, 5), 0.0);
+  EXPECT_DOUBLE_EQ(intro.pdms.Posterior(intro.edges.m23, 5), 0.0);
   // Other attributes are unaffected.
-  EXPECT_GT(intro.engine->Posterior(intro.edges.m23, 1), 0.4);
+  EXPECT_GT(intro.pdms.Posterior(intro.edges.m23, 1), 0.4);
 }
 
 // --- Query routing -----------------------------------------------------------------
 
-void LoadDocuments(PdmsEngine* engine) {
+void LoadDocuments(Pdms* pdms) {
   const std::vector<std::string> keywords = {"river wells", "garden pond",
                                              "river dedham"};
-  for (PeerId p = 0; p < engine->peer_count(); ++p) {
+  for (PeerId p = 0; p < pdms->peer_count(); ++p) {
     for (uint64_t entity = 0; entity < 3; ++entity) {
       std::map<AttributeId, std::string> values;
       for (AttributeId a = 0; a < kAttrs; ++a) {
@@ -281,7 +281,7 @@ void LoadDocuments(PdmsEngine* engine) {
                               static_cast<unsigned long long>(entity), a);
       }
       values[1] = keywords[entity];
-      engine->peer(p).store().Insert(entity, values);
+      pdms->peer(p).store().Insert(entity, values);
     }
   }
 }
@@ -295,9 +295,9 @@ Query RiverQuery() {
 
 TEST(EngineQueryTest, WithoutInferenceFaultyMappingPollutesResults) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  LoadDocuments(intro.engine.get());
+  LoadDocuments(&intro.pdms);
   const QueryReport report =
-      intro.engine->IssueQuery(/*origin=*/1, RiverQuery(), /*ttl=*/3);
+      intro.pdms.session().Query(/*origin=*/1, RiverQuery(), /*ttl=*/3);
   EXPECT_EQ(report.reached.size(), 4u);
   // p4 hears the query through the faulty m24 first (one hop) and answers
   // with a wrong projection: a false positive.
@@ -312,11 +312,12 @@ TEST(EngineQueryTest, WithoutInferenceFaultyMappingPollutesResults) {
 
 TEST(EngineQueryTest, InferenceBlocksFaultyMappingAndCleansResults) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  LoadDocuments(intro.engine.get());
-  intro.engine->DiscoverClosures();
-  intro.engine->RunToConvergence(200);
+  LoadDocuments(&intro.pdms);
+  Session& session = intro.pdms.session();
+  session.Discover();
+  session.Converge(200);
   const QueryReport report =
-      intro.engine->IssueQuery(/*origin=*/1, RiverQuery(), /*ttl=*/3);
+      session.Query(/*origin=*/1, RiverQuery(), /*ttl=*/3);
   // The faulty mapping is ignored; the query still reaches every database
   // through p2 -> p3 -> p4 -> p1 (Section 4.5).
   EXPECT_EQ(report.reached.size(), 4u);
@@ -333,13 +334,13 @@ TEST(EngineQueryTest, InferenceBlocksFaultyMappingAndCleansResults) {
 
 TEST(EngineQueryTest, BottomBlocksForwardingEvenWithoutEvidence) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  LoadDocuments(intro.engine.get());
-  Peer& p2 = intro.engine->peer(1);
+  LoadDocuments(&intro.pdms);
+  Peer& p2 = intro.pdms.peer(1);
   SchemaMapping patched = *p2.mapping(intro.edges.m23);
   ASSERT_TRUE(patched.Set(0, std::nullopt).ok());  // projection attr -> ⊥
   p2.RemoveMapping(intro.edges.m23);
   ASSERT_TRUE(p2.AddMapping(intro.edges.m23, std::move(patched)).ok());
-  const QueryReport report = intro.engine->IssueQuery(1, RiverQuery(), 3);
+  const QueryReport report = intro.pdms.session().Query(1, RiverQuery(), 3);
   EXPECT_NE(std::find(report.blocked_edges.begin(), report.blocked_edges.end(),
                       intro.edges.m23),
             report.blocked_edges.end());
@@ -349,33 +350,63 @@ TEST(EngineQueryTest, ForwardWithoutEvidenceDisabledStopsColdStart) {
   EngineOptions options;
   options.forward_without_evidence = false;
   IntroPdms intro = MakeIntro(options);
-  LoadDocuments(intro.engine.get());
-  const QueryReport report = intro.engine->IssueQuery(1, RiverQuery(), 3);
+  LoadDocuments(&intro.pdms);
+  const QueryReport report = intro.pdms.session().Query(1, RiverQuery(), 3);
   EXPECT_EQ(report.reached.size(), 1u);  // only the origin answers
   EXPECT_EQ(report.rows.size(), 2u);
+}
+
+TEST(EngineQueryTest, BatchedQueriesMatchSequentialOnConvergedNetwork) {
+  IntroPdms intro = MakeIntro(EngineOptions{});
+  LoadDocuments(&intro.pdms);
+  Session& session = intro.pdms.session();
+  session.Discover();
+  session.Converge(200);
+
+  const QueryReport sequential = session.Query(1, RiverQuery(), 3);
+
+  std::vector<QueryRequest> requests;
+  for (PeerId origin = 0; origin < 4; ++origin) {
+    requests.push_back(QueryRequest{origin, RiverQuery(), 3});
+  }
+  const std::vector<QueryReport> batched = session.QueryAll(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  // The batch's report for origin 1 matches the sequential run: same rows
+  // (same peers, same values), same blocked mapping.
+  const QueryReport& from_p2 = batched[1];
+  ASSERT_EQ(from_p2.rows.size(), sequential.rows.size());
+  for (size_t i = 0; i < from_p2.rows.size(); ++i) {
+    EXPECT_EQ(from_p2.rows[i].first, sequential.rows[i].first);
+    EXPECT_EQ(from_p2.rows[i].second.values, sequential.rows[i].second.values);
+  }
+  EXPECT_EQ(from_p2.blocked_edges, sequential.blocked_edges);
+  // Every origin's query produced rows of its own.
+  for (const QueryReport& report : batched) {
+    EXPECT_FALSE(report.rows.empty());
+  }
 }
 
 // --- Prior updates (Section 4.4) --------------------------------------------------
 
 TEST(EnginePriorTest, EmUpdateMatchesPaperNumbers) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  InjectPaperFeedback(intro.engine.get(), intro.edges);
-  intro.engine->RunToConvergence(200);
-  intro.engine->UpdatePriors();
+  InjectPaperFeedback(&intro.pdms, intro.edges);
+  intro.pdms.session().Converge(200);
+  intro.pdms.UpdatePriors();
   // Section 4.5: priors move to about 0.55 and 0.4. Exact inference gives
   // (0.5 + 0.590)/2 = 0.545 and (0.5 + 0.306)/2 = 0.403; the loopy
   // fixed point sits a few hundredths below the exact m23 value.
-  EXPECT_NEAR(intro.engine->Prior(intro.edges.m23, 0), 0.55, 0.035);
-  EXPECT_NEAR(intro.engine->Prior(intro.edges.m24, 0), 0.40, 0.02);
+  EXPECT_NEAR(intro.pdms.Prior(intro.edges.m23, 0), 0.55, 0.035);
+  EXPECT_NEAR(intro.pdms.Prior(intro.edges.m24, 0), 0.40, 0.02);
 }
 
 TEST(EnginePriorTest, ExplicitPriorOverrides) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  intro.engine->SetPrior(intro.edges.m24, 0, 1.0);  // expert-validated
-  InjectPaperFeedback(intro.engine.get(), intro.edges);
-  intro.engine->RunToConvergence(200);
+  intro.pdms.SetPrior(intro.edges.m24, 0, 1.0);  // expert-validated
+  InjectPaperFeedback(&intro.pdms, intro.edges);
+  intro.pdms.session().Converge(200);
   // With a hard prior of 1 the negative feedback cannot pull m24 down.
-  EXPECT_GT(intro.engine->Posterior(intro.edges.m24, 0), 0.9);
+  EXPECT_GT(intro.pdms.Posterior(intro.edges.m24, 0), 0.9);
 }
 
 // --- Schedules -----------------------------------------------------------------------
@@ -385,34 +416,36 @@ TEST(EngineScheduleTest, LazyPiggybacksOnQueries) {
   options.schedule = ScheduleKind::kLazy;
   options.theta = 0.45;
   IntroPdms intro = MakeIntro(options);
-  LoadDocuments(intro.engine.get());
-  intro.engine->DiscoverClosures();
+  LoadDocuments(&intro.pdms);
+  Session& session = intro.pdms.session();
+  session.Discover();
   const uint64_t beliefs_before =
-      intro.engine->network().stats().sent[static_cast<size_t>(
+      intro.pdms.transport().stats().sent[static_cast<size_t>(
           MessageKind::kBelief)];
 
   // Drive convergence purely with query traffic.
   for (int i = 0; i < 40; ++i) {
-    intro.engine->IssueQuery(static_cast<PeerId>(i % 4), RiverQuery(), 4);
-    intro.engine->RunRound();
+    session.Query(static_cast<PeerId>(i % 4), RiverQuery(), 4);
+    session.Step();
   }
   // No standalone belief messages were ever sent...
-  EXPECT_EQ(intro.engine->network().stats().sent[static_cast<size_t>(
+  EXPECT_EQ(intro.pdms.transport().stats().sent[static_cast<size_t>(
                 MessageKind::kBelief)],
             beliefs_before);
   // ...yet the faulty mapping was identified.
-  EXPECT_LT(intro.engine->Posterior(intro.edges.m24, 0), 0.45);
-  EXPECT_GT(intro.engine->Posterior(intro.edges.m23, 0), 0.5);
+  EXPECT_LT(intro.pdms.Posterior(intro.edges.m24, 0), 0.45);
+  EXPECT_GT(intro.pdms.Posterior(intro.edges.m23, 0), 0.5);
 }
 
 TEST(EngineScheduleTest, PeriodicRespectsPeriod) {
   EngineOptions options;
   options.period_ticks = 3;
   IntroPdms intro = MakeIntro(options);
-  intro.engine->DiscoverClosures();
+  Session& session = intro.pdms.session();
+  session.Discover();
   uint64_t rounds_with_traffic = 0;
   for (int i = 0; i < 9; ++i) {
-    const RoundReport report = intro.engine->RunRound();
+    const RoundReport report = session.Step();
     if (report.belief_updates_sent > 0) ++rounds_with_traffic;
   }
   EXPECT_EQ(rounds_with_traffic, 3u);
@@ -423,22 +456,22 @@ TEST(EngineScheduleTest, PeriodicRespectsPeriod) {
 TEST(EngineFaultTest, ConvergesUnderMessageLoss) {
   EngineOptions reliable;
   IntroPdms baseline = MakeIntro(reliable);
-  baseline.engine->DiscoverClosures();
-  const ConvergenceReport clean = baseline.engine->RunToConvergence(400);
+  baseline.pdms.session().Discover();
+  const ConvergenceReport clean = baseline.pdms.session().Converge(400);
   ASSERT_TRUE(clean.converged);
 
   EngineOptions lossy;
   lossy.network.send_probability = 0.5;
   lossy.network.seed = 99;
   IntroPdms dropped = MakeIntro(lossy);
-  dropped.engine->DiscoverClosures();
-  const ConvergenceReport noisy = dropped.engine->RunToConvergence(2000);
+  dropped.pdms.session().Discover();
+  const ConvergenceReport noisy = dropped.pdms.session().Converge(2000);
   EXPECT_TRUE(noisy.converged);
   EXPECT_GT(noisy.rounds, clean.rounds);
-  for (EdgeId e : baseline.engine->graph().LiveEdges()) {
+  for (EdgeId e : baseline.pdms.graph().LiveEdges()) {
     for (AttributeId a = 0; a < kAttrs; ++a) {
-      EXPECT_NEAR(dropped.engine->Posterior(e, a),
-                  baseline.engine->Posterior(e, a), 1e-3);
+      EXPECT_NEAR(dropped.pdms.Posterior(e, a), baseline.pdms.Posterior(e, a),
+                  1e-3);
     }
   }
 }
@@ -447,19 +480,20 @@ TEST(EngineFaultTest, ConvergesUnderMessageLoss) {
 
 TEST(EngineChurnTest, RemovingMappingPurgesEvidence) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  intro.engine->DiscoverClosures();
-  intro.engine->RunToConvergence(200);
-  ASSERT_TRUE(intro.engine->RemoveMapping(intro.edges.m24).ok());
+  Session& session = intro.pdms.session();
+  session.Discover();
+  session.Converge(200);
+  ASSERT_TRUE(intro.pdms.RemoveMapping(intro.edges.m24).ok());
   // All replicas referencing m24 are gone network-wide: only f1 remains.
-  EXPECT_EQ(intro.engine->UniqueFactorCount(), kAttrs);
+  EXPECT_EQ(intro.pdms.UniqueFactorCount(), kAttrs);
   // Re-discovery finds nothing new (f1 closures already known).
-  intro.engine->DiscoverClosures();
-  EXPECT_EQ(intro.engine->UniqueFactorCount(), kAttrs);
-  const ConvergenceReport report = intro.engine->RunToConvergence(100);
+  session.Discover();
+  EXPECT_EQ(intro.pdms.UniqueFactorCount(), kAttrs);
+  const ConvergenceReport report = session.Converge(100);
   EXPECT_TRUE(report.converged);
   // Single positive 4-cycle, uniform priors, ∆ = 0.1:
   // P = (1 + ∆(8−4)) / (1 + ∆(8−4) + ∆(8−1)) = 1.4 / 2.1 = 2/3.
-  EXPECT_NEAR(intro.engine->Posterior(intro.edges.m23, 0), 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(intro.pdms.Posterior(intro.edges.m23, 0), 2.0 / 3.0, 1e-6);
 }
 
 // --- Coarse granularity -----------------------------------------------------------------
@@ -468,24 +502,24 @@ TEST(EngineGranularityTest, CoarseTracksWholeMappings) {
   EngineOptions options;
   options.granularity = Granularity::kCoarse;
   IntroPdms intro = MakeIntro(options);
-  const size_t factors = intro.engine->DiscoverClosures();
+  const size_t factors = intro.pdms.session().Discover();
   EXPECT_EQ(factors, 3u);  // one replica per closure, not per attribute
-  intro.engine->RunToConvergence(200);
-  EXPECT_LT(intro.engine->PosteriorCoarse(intro.edges.m24),
-            intro.engine->PosteriorCoarse(intro.edges.m23));
+  intro.pdms.session().Converge(200);
+  EXPECT_LT(intro.pdms.PosteriorCoarse(intro.edges.m24),
+            intro.pdms.PosteriorCoarse(intro.edges.m23));
   // m24 is wrong on 1 of 11 attributes; coarsening calls the whole mapping
   // into question — exactly the resolution the paper's fine mode fixes.
-  EXPECT_LT(intro.engine->PosteriorCoarse(intro.edges.m24), 0.5);
+  EXPECT_LT(intro.pdms.PosteriorCoarse(intro.edges.m24), 0.5);
 }
 
 // --- Overhead accounting (Section 4.3.1) -------------------------------------------------
 
 TEST(EngineOverheadTest, RemoteMessagesRespectPaperBound) {
   IntroPdms intro = MakeIntro(EngineOptions{});
-  intro.engine->DiscoverClosures();
-  intro.engine->RunRound();  // populate messages
+  intro.pdms.session().Discover();
+  intro.pdms.session().Step();  // populate messages
   for (PeerId p = 0; p < 4; ++p) {
-    const Peer& peer = intro.engine->peer(p);
+    const Peer& peer = intro.pdms.peer(p);
     size_t actual_updates = 0;
     for (const Outgoing& outgoing : peer.CollectOutgoingBeliefs()) {
       actual_updates += std::get<BeliefMessage>(outgoing.payload).updates.size();
@@ -512,21 +546,22 @@ TEST_P(RandomNetworkEquivalence, EmbeddedMatchesCentralized) {
   EngineOptions options;
   options.tolerance = 1e-12;
   options.probe_ttl = 5;
-  Result<std::unique_ptr<PdmsEngine>> engine =
-      PdmsEngine::FromSynthetic(synthetic, options);
-  ASSERT_TRUE(engine.ok());
-  (*engine)->DiscoverClosures();
-  (*engine)->RunToConvergence(1000);
+  Result<Pdms> built =
+      PdmsBuilder::FromSynthetic(synthetic).WithOptions(options).Build();
+  ASSERT_TRUE(built.ok());
+  Pdms pdms = std::move(built).value();
+  pdms.session().Discover();
+  pdms.session().Converge(1000);
 
   std::vector<MappingVarKey> vars;
-  const FactorGraph global = (*engine)->BuildGlobalFactorGraph(&vars);
+  const FactorGraph global = pdms.BuildGlobalFactorGraph(&vars);
   if (global.variable_count() == 0) GTEST_SKIP() << "no closures in draw";
   SumProductOptions sp;
   sp.tolerance = 1e-12;
   sp.max_iterations = 1000;
   const SumProductResult central = SumProductEngine(global, sp).Run();
   for (VarId v = 0; v < vars.size(); ++v) {
-    EXPECT_NEAR((*engine)->Posterior(vars[v].edge, vars[v].attribute),
+    EXPECT_NEAR(pdms.Posterior(vars[v].edge, vars[v].attribute),
                 central.posteriors[v].ProbabilityCorrect(), 1e-5)
         << "seed " << GetParam() << " " << vars[v].ToString();
   }

@@ -14,6 +14,7 @@
 #include "graph/digraph.h"
 #include "graph/topology.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace pdms {
 namespace {
@@ -398,7 +399,7 @@ TEST_P(RandomGraphBpAccuracy, CloseToExact) {
   FactorGraph graph;
   std::vector<VarId> var_of_edge(net.edge_capacity());
   for (EdgeId e : net.LiveEdges()) {
-    var_of_edge[e] = graph.AddVariable("m" + std::to_string(e));
+    var_of_edge[e] = graph.AddVariable(StrFormat("m%u", e));
     ASSERT_TRUE(
         graph.AddFactor(std::make_unique<PriorFactor>(var_of_edge[e], 0.6))
             .ok());

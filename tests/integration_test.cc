@@ -25,15 +25,15 @@ class BibliographicPipeline : public ::testing::Test {
     options.damping = 0.5;
     workload_ = new bench::BibliographicPdms(
         bench::MakeBibliographicPdms(options));
-    factors_ = workload_->engine->DiscoverClosures();
-    workload_->engine->RunToConvergence(60);
+    factors_ = workload_->pdms.session().Discover();
+    workload_->pdms.session().Converge(60);
     // Average out the few frustrated-loop oscillators.
     posteriors_ = new std::vector<double>(workload_->entries.size(), 0.0);
     constexpr int kWindow = 8;
     for (int round = 0; round < kWindow; ++round) {
-      workload_->engine->RunRound();
+      workload_->pdms.session().Step();
       for (size_t i = 0; i < workload_->entries.size(); ++i) {
-        (*posteriors_)[i] += workload_->engine->Posterior(
+        (*posteriors_)[i] += workload_->pdms.Posterior(
                                  workload_->entries[i].edge,
                                  workload_->entries[i].attribute) /
                              kWindow;
@@ -159,7 +159,7 @@ TEST_F(BibliographicPipeline, SystematicConsistentErrorsEvadeCycleDetection) {
   bool found = false;
   for (size_t i = 0; i < workload_->entries.size(); ++i) {
     const MappingVarKey& var = workload_->entries[i];
-    const Edge& edge = workload_->engine->graph().edge(var.edge);
+    const Edge& edge = workload_->pdms.graph().edge(var.edge);
     if (family[edge.src].schema.name() != "ref101" ||
         family[edge.dst].schema.name() != "french221") {
       continue;

@@ -54,10 +54,10 @@ TEST(FactorKeyTest, DistinguishesRootAndKind) {
   EXPECT_NE(FactorKey::Make(cycle, 0), FactorKey::Make(parallel, 0));
 }
 
-TEST(NetworkTest, DeliversAfterDelay) {
+TEST(SimTransportTest, DeliversAfterDelay) {
   NetworkOptions options;
   options.delay_ticks = 2;
-  Network network(3, options);
+  SimTransport network(3, options);
   network.Send(0, 1, std::nullopt, MakeBelief());
   EXPECT_TRUE(network.Drain(1).empty());  // tick 0
   network.AdvanceTick();
@@ -71,8 +71,8 @@ TEST(NetworkTest, DeliversAfterDelay) {
   EXPECT_FALSE(network.HasPendingMessages());
 }
 
-TEST(NetworkTest, FifoWithinPeer) {
-  Network network(2, NetworkOptions{});
+TEST(SimTransportTest, FifoWithinPeer) {
+  SimTransport network(2, NetworkOptions{});
   for (int i = 0; i < 5; ++i) {
     ProbeMessage probe;
     probe.origin = static_cast<PeerId>(i);
@@ -87,12 +87,12 @@ TEST(NetworkTest, FifoWithinPeer) {
   }
 }
 
-TEST(NetworkTest, LossDropsBeliefMessagesOnly) {
+TEST(SimTransportTest, LossDropsBeliefMessagesOnly) {
   NetworkOptions options;
   options.send_probability = 0.0;
   options.lose_belief_messages_only = true;
   options.seed = 5;
-  Network network(2, options);
+  SimTransport network(2, options);
   network.Send(0, 1, std::nullopt, MakeBelief());
   network.Send(0, 1, std::nullopt, ProbeMessage{});
   network.AdvanceTick();
@@ -103,21 +103,21 @@ TEST(NetworkTest, LossDropsBeliefMessagesOnly) {
             1u);
 }
 
-TEST(NetworkTest, LossCanAffectAllTraffic) {
+TEST(SimTransportTest, LossCanAffectAllTraffic) {
   NetworkOptions options;
   options.send_probability = 0.0;
   options.lose_belief_messages_only = false;
-  Network network(2, options);
+  SimTransport network(2, options);
   network.Send(0, 1, std::nullopt, ProbeMessage{});
   network.AdvanceTick();
   EXPECT_TRUE(network.Drain(1).empty());
 }
 
-TEST(NetworkTest, LossRateIsApproximatelyRespected) {
+TEST(SimTransportTest, LossRateIsApproximatelyRespected) {
   NetworkOptions options;
   options.send_probability = 0.3;
   options.seed = 77;
-  Network network(2, options);
+  SimTransport network(2, options);
   const int kMessages = 20000;
   for (int i = 0; i < kMessages; ++i) {
     network.Send(0, 1, std::nullopt, MakeBelief());
@@ -130,8 +130,8 @@ TEST(NetworkTest, LossRateIsApproximatelyRespected) {
   EXPECT_NEAR(delivered_fraction, 0.3, 0.02);
 }
 
-TEST(NetworkTest, StatsCountPerKind) {
-  Network network(3, NetworkOptions{});
+TEST(SimTransportTest, StatsCountPerKind) {
+  SimTransport network(3, NetworkOptions{});
   network.Send(0, 1, std::nullopt, MakeBelief());
   network.Send(1, 2, std::nullopt, ProbeMessage{});
   network.Send(2, 0, std::nullopt, QueryMessage{});
@@ -145,12 +145,12 @@ TEST(NetworkTest, StatsCountPerKind) {
   EXPECT_NE(network.stats().ToString().find("belief"), std::string::npos);
 }
 
-TEST(NetworkTest, DeterministicLossForSeed) {
+TEST(SimTransportTest, DeterministicLossForSeed) {
   auto run = [] {
     NetworkOptions options;
     options.send_probability = 0.5;
     options.seed = 9;
-    Network network(2, options);
+    SimTransport network(2, options);
     std::vector<bool> delivered;
     for (int i = 0; i < 100; ++i) {
       network.Send(0, 1, std::nullopt, MakeBelief());

@@ -1,0 +1,461 @@
+// Tests for the public API layer (pdms/): builder validation, the
+// Transport conformance contract shared by SimTransport and
+// InstantTransport, transport-equivalence of inference results, the
+// session observer hook, and the Result<T> utilities it leans on.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "pdms/pdms.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace pdms {
+namespace {
+
+constexpr size_t kAttrs = 11;
+
+Schema MakeSchema(const std::string& name, size_t attrs = kAttrs) {
+  Schema schema(name);
+  for (size_t a = 0; a < attrs; ++a) {
+    EXPECT_TRUE(schema.AddAttribute(name + "_a" + std::to_string(a)).ok());
+  }
+  return schema;
+}
+
+SchemaMapping Identity(const std::string& name, size_t attrs = kAttrs) {
+  SchemaMapping mapping(name, attrs);
+  for (AttributeId a = 0; a < attrs; ++a) {
+    EXPECT_TRUE(mapping.Set(a, a).ok());
+  }
+  return mapping;
+}
+
+/// The intro example (Figure 4) through the public builder; m24 (EdgeId 4)
+/// garbles attribute 0.
+PdmsBuilder IntroBuilder(EngineOptions options, uint64_t seed = 17) {
+  Rng rng(seed);
+  options.probe_ttl = 5;
+  PdmsBuilder builder;
+  builder.WithOptions(options);
+  for (int p = 0; p < 4; ++p) {
+    builder.AddPeer(MakeSchema(StrFormat("p%d", p + 1)));
+  }
+  const std::vector<std::pair<PeerId, PeerId>> links = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}};
+  for (EdgeId e = 0; e < links.size(); ++e) {
+    const std::vector<AttributeId> wrong =
+        e == 4 ? std::vector<AttributeId>{0} : std::vector<AttributeId>{};
+    builder.AddMapping(
+        links[e].first, links[e].second,
+        MakeConceptMapping(StrFormat("m%u", e), kAttrs, wrong, &rng));
+  }
+  return builder;
+}
+
+// --- Builder validation -------------------------------------------------------
+
+TEST(BuilderValidationTest, EmptyNetworkIsRejected) {
+  Result<Pdms> built = PdmsBuilder().Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BuilderValidationTest, DuplicateEdgeIsRejected) {
+  PdmsBuilder builder;
+  builder.AddPeer(MakeSchema("a")).AddPeer(MakeSchema("b"));
+  builder.AddMapping(0, 1, Identity("m0"));
+  builder.AddMapping(0, 1, Identity("m0_again"));
+  Result<Pdms> built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(built.status().message().find("m0_again"), std::string::npos);
+}
+
+TEST(BuilderValidationTest, OutOfRangePeerIsRejected) {
+  PdmsBuilder builder;
+  builder.AddPeer(MakeSchema("a")).AddPeer(MakeSchema("b"));
+  builder.AddMapping(0, 7, Identity("m_oor"));
+  Result<Pdms> built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(built.status().message().find("m_oor"), std::string::npos);
+}
+
+TEST(BuilderValidationTest, SelfLoopIsRejected) {
+  PdmsBuilder builder;
+  builder.AddPeer(MakeSchema("a")).AddPeer(MakeSchema("b"));
+  builder.AddMapping(1, 1, Identity("m_self"));
+  Result<Pdms> built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderValidationTest, MappingArityMismatchIsRejected) {
+  PdmsBuilder builder;
+  builder.AddPeer(MakeSchema("a", 11)).AddPeer(MakeSchema("b", 11));
+  builder.AddMapping(0, 1, Identity("m_small", 7));  // 7 != 11
+  Result<Pdms> built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("m_small"), std::string::npos);
+}
+
+TEST(BuilderValidationTest, MappingTargetOutOfSchemaIsRejected) {
+  PdmsBuilder builder;
+  builder.AddPeer(MakeSchema("a", 4)).AddPeer(MakeSchema("b", 3));
+  SchemaMapping mapping("m_target", 4);
+  ASSERT_TRUE(mapping.Set(0, 0).ok());
+  ASSERT_TRUE(mapping.Set(1, 2).ok());
+  ASSERT_TRUE(mapping.Set(2, 3).ok());  // target schema has only 3 attrs
+  Result<Pdms> built =
+      PdmsBuilder().AddPeer(MakeSchema("a", 4)).AddPeer(MakeSchema("b", 3))
+          .AddMapping(0, 1, mapping).Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("m_target"), std::string::npos);
+}
+
+TEST(BuilderValidationTest, NullTransportFactoryIsRejected) {
+  PdmsBuilder builder;
+  builder.AddPeer(MakeSchema("a")).AddPeer(MakeSchema("b"));
+  builder.AddMapping(0, 1, Identity("m0"));
+  builder.WithTransport([](size_t, const EngineOptions&) {
+    return std::unique_ptr<Transport>();
+  });
+  Result<Pdms> built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderValidationTest, HappyPathAssignsSequentialIds) {
+  Result<Pdms> built = IntroBuilder(EngineOptions{}).Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Pdms pdms = std::move(built).value();
+  EXPECT_TRUE(pdms.valid());
+  EXPECT_EQ(pdms.peer_count(), 4u);
+  EXPECT_EQ(pdms.graph().edge_count(), 5u);
+  // AddMapping order is EdgeId order: edge 4 is p2 -> p4.
+  EXPECT_EQ(pdms.graph().edge(4).src, 1u);
+  EXPECT_EQ(pdms.graph().edge(4).dst, 3u);
+  EXPECT_EQ(pdms.peer(1).schema().name(), "p2");
+}
+
+TEST(BuilderValidationTest, FromSyntheticRejectsGraphsWithRemovedEdges) {
+  Rng rng(3);
+  Digraph graph = topology::BarabasiAlbert(8, 2, &rng);
+  MappingNetworkOptions network_options;
+  network_options.attributes_per_schema = 6;
+  SyntheticPdms synthetic = BuildSyntheticPdms(graph, network_options, &rng);
+  ASSERT_TRUE(synthetic.graph.RemoveEdge(0).ok());  // tombstone a live edge
+  Result<Pdms> built = PdmsBuilder::FromSynthetic(synthetic).Build();
+  ASSERT_FALSE(built.ok());
+  // Sequential AddMapping cannot reproduce the original edge ids once a
+  // hole exists; silently renumbering would misattribute posteriors.
+  EXPECT_EQ(built.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BuilderValidationTest, FromSyntheticPreservesEdgeIds) {
+  Rng rng(3);
+  const Digraph graph = topology::BarabasiAlbert(12, 2, &rng);
+  MappingNetworkOptions network_options;
+  network_options.attributes_per_schema = 6;
+  const SyntheticPdms synthetic =
+      BuildSyntheticPdms(graph, network_options, &rng);
+  Result<Pdms> built = PdmsBuilder::FromSynthetic(synthetic).Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  for (EdgeId e : graph.LiveEdges()) {
+    EXPECT_EQ(built->graph().edge(e).src, graph.edge(e).src) << "edge " << e;
+    EXPECT_EQ(built->graph().edge(e).dst, graph.edge(e).dst) << "edge " << e;
+  }
+}
+
+// --- Transport conformance ----------------------------------------------------
+
+using TransportFactory = std::function<std::unique_ptr<Transport>(size_t)>;
+
+struct TransportCase {
+  const char* label;
+  TransportFactory make;
+};
+
+class TransportConformanceTest
+    : public ::testing::TestWithParam<TransportCase> {};
+
+BeliefMessage MakeBelief(double p) {
+  BeliefMessage message;
+  message.updates.push_back(BeliefUpdate{FactorKey{"c:e0,e1:s0@a0"},
+                                         MappingVarKey{0, 0},
+                                         Belief::FromProbability(p)});
+  return message;
+}
+
+/// Ticks until `peer` receives something or `limit` ticks pass.
+std::vector<Envelope> DrainWithin(Transport& transport, PeerId peer,
+                                  int limit = 8) {
+  for (int tick = 0; tick <= limit; ++tick) {
+    std::vector<Envelope> due = transport.Drain(peer);
+    if (!due.empty()) return due;
+    transport.AdvanceTick();
+  }
+  return {};
+}
+
+TEST_P(TransportConformanceTest, DeliversToTheRightPeerIntact) {
+  auto transport = GetParam().make(3);
+  EXPECT_EQ(transport->peer_count(), 3u);
+  EXPECT_FALSE(transport->name().empty());
+  transport->Send(0, 1, EdgeId{2}, MakeBelief(0.7));
+  EXPECT_TRUE(transport->HasPendingMessages());
+  EXPECT_TRUE(transport->Drain(2).empty());  // wrong peer gets nothing
+
+  const std::vector<Envelope> due = DrainWithin(*transport, 1);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].from, 0u);
+  EXPECT_EQ(due[0].to, 1u);
+  ASSERT_TRUE(due[0].via.has_value());
+  EXPECT_EQ(*due[0].via, 2u);
+  const auto* belief = std::get_if<BeliefMessage>(&due[0].payload);
+  ASSERT_NE(belief, nullptr);
+  ASSERT_EQ(belief->updates.size(), 1u);
+  EXPECT_NEAR(belief->updates[0].belief.ProbabilityCorrect(), 0.7, 1e-12);
+  EXPECT_FALSE(transport->HasPendingMessages());
+}
+
+TEST_P(TransportConformanceTest, PreservesSendOrderPerPeer) {
+  auto transport = GetParam().make(2);
+  for (int i = 0; i < 5; ++i) {
+    ProbeMessage probe;
+    probe.origin = static_cast<PeerId>(i);
+    transport->Send(0, 1, std::nullopt, probe);
+  }
+  const std::vector<Envelope> due = DrainWithin(*transport, 1);
+  ASSERT_EQ(due.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(std::get<ProbeMessage>(due[i].payload).origin,
+              static_cast<PeerId>(i));
+  }
+}
+
+TEST_P(TransportConformanceTest, CountsSentAndDelivered) {
+  auto transport = GetParam().make(2);
+  transport->Send(0, 1, std::nullopt, MakeBelief(0.5));
+  transport->Send(0, 1, std::nullopt, ProbeMessage{});
+  const size_t belief = static_cast<size_t>(MessageKind::kBelief);
+  const size_t probe = static_cast<size_t>(MessageKind::kProbe);
+  EXPECT_EQ(transport->stats().sent[belief], 1u);
+  EXPECT_EQ(transport->stats().sent[probe], 1u);
+  EXPECT_EQ(transport->stats().TotalSent(), 2u);
+  (void)DrainWithin(*transport, 1);
+  EXPECT_EQ(transport->stats().delivered[belief] +
+                transport->stats().dropped[belief],
+            1u);
+  transport->ResetStats();
+  EXPECT_EQ(transport->stats().TotalSent(), 0u);
+}
+
+TEST_P(TransportConformanceTest, TicksOnlyMoveForward) {
+  auto transport = GetParam().make(2);
+  const uint64_t start = transport->now();
+  transport->AdvanceTick();
+  transport->AdvanceTick();
+  EXPECT_EQ(transport->now(), start + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, TransportConformanceTest,
+    ::testing::Values(
+        TransportCase{"sim",
+                      [](size_t peers) -> std::unique_ptr<Transport> {
+                        return std::make_unique<SimTransport>(
+                            peers, NetworkOptions{});
+                      }},
+        TransportCase{"instant",
+                      [](size_t peers) -> std::unique_ptr<Transport> {
+                        return std::make_unique<InstantTransport>(peers);
+                      }}),
+    [](const ::testing::TestParamInfo<TransportCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// --- Transport equivalence ----------------------------------------------------
+
+TEST(TransportEquivalenceTest, InstantMatchesLosslessSimPosteriors) {
+  // End-to-end: discovery + convergence under the zero-delay transport
+  // must land on the same fixed point as the lossless discrete-tick
+  // simulator — the timing of message delivery cannot move the result.
+  EngineOptions options;
+  options.tolerance = 1e-12;
+
+  Pdms sim = IntroBuilder(options).Build().value();
+  sim.session().Discover();
+  ASSERT_TRUE(sim.session().Converge(2000).converged);
+
+  Pdms instant =
+      IntroBuilder(options).WithInstantTransport().Build().value();
+  EXPECT_EQ(instant.transport().name(), "instant");
+  instant.session().Discover();
+  ASSERT_TRUE(instant.session().Converge(2000).converged);
+
+  EXPECT_EQ(instant.UniqueFactorCount(), sim.UniqueFactorCount());
+  for (EdgeId e : sim.graph().LiveEdges()) {
+    for (AttributeId a = 0; a < kAttrs; ++a) {
+      EXPECT_NEAR(instant.Posterior(e, a), sim.Posterior(e, a), 1e-9)
+          << "edge " << e << " attr " << a;
+    }
+  }
+}
+
+TEST(TransportEquivalenceTest, InstantNeedsNoTickPerHopForQueries) {
+  // Same query results, and the instant transport's whole query exchange
+  // finishes without waiting a tick per hop.
+  EngineOptions options;
+  Pdms instant =
+      IntroBuilder(options).WithInstantTransport().Build().value();
+  for (PeerId p = 0; p < instant.peer_count(); ++p) {
+    instant.peer(p).store().Insert(1, {{0, "Robinson"}, {1, "river"}});
+  }
+  instant.session().Discover();
+  instant.session().Converge(200);
+  Query query("q1");
+  query.AddProjection(0);
+  query.AddSelection(1, "river");
+  const QueryReport report = instant.session().Query(1, query, 3);
+  EXPECT_EQ(report.reached.size(), 4u);
+  EXPECT_EQ(report.rows.size(), 4u);
+}
+
+// --- Session observers --------------------------------------------------------
+
+class CountingObserver final : public RoundObserver {
+ public:
+  void OnRound(size_t round, const RoundReport& report,
+               const Session& session) override {
+    ++calls;
+    last_round = round;
+    last_change = report.max_posterior_change;
+    last_m24 = session.Posterior(4, 0);
+  }
+  size_t calls = 0;
+  size_t last_round = 0;
+  double last_change = -1.0;
+  double last_m24 = -1.0;
+};
+
+TEST(SessionObserverTest, FiresOncePerRoundAcrossStepAndConverge) {
+  Pdms pdms = IntroBuilder(EngineOptions{}).Build().value();
+  Session& session = pdms.session();
+  session.Discover();
+  CountingObserver observer;
+  session.AddObserver(&observer);
+  session.Step();
+  EXPECT_EQ(observer.calls, 1u);
+  EXPECT_EQ(observer.last_round, 1u);
+  const ConvergenceReport report = session.Converge(100);
+  EXPECT_EQ(observer.calls, 1u + report.rounds);
+  EXPECT_EQ(observer.last_round, session.rounds());
+  EXPECT_GE(observer.last_change, 0.0);
+  EXPECT_LT(observer.last_m24, 0.45);  // sees through the session surface
+}
+
+class SelfRemovingObserver final : public RoundObserver {
+ public:
+  explicit SelfRemovingObserver(Session* session) : session_(session) {}
+  void OnRound(size_t, const RoundReport&, const Session&) override {
+    ++calls;
+    session_->RemoveObserver(this);  // mutates the list mid-notification
+  }
+  Session* session_;
+  size_t calls = 0;
+};
+
+TEST(SessionObserverTest, ObserverMayRemoveItselfDuringNotification) {
+  Pdms pdms = IntroBuilder(EngineOptions{}).Build().value();
+  Session& session = pdms.session();
+  session.Discover();
+  SelfRemovingObserver first(&session);
+  CountingObserver second;
+  session.AddObserver(&first);
+  session.AddObserver(&second);
+  const ConvergenceReport report = session.Converge(20);
+  ASSERT_GT(report.rounds, 1u);
+  EXPECT_EQ(first.calls, 1u);              // removal took effect next round
+  EXPECT_EQ(second.calls, report.rounds);  // later observers still notified
+}
+
+TEST(SessionObserverTest, IndependentSessionsHaveIndependentObservers) {
+  Pdms pdms = IntroBuilder(EngineOptions{}).Build().value();
+  pdms.session().Discover();
+  Session other = pdms.NewSession();
+  CountingObserver on_default;
+  CountingObserver on_other;
+  pdms.session().AddObserver(&on_default);
+  other.AddObserver(&on_other);
+  pdms.session().Step();
+  EXPECT_EQ(on_default.calls, 1u);
+  EXPECT_EQ(on_other.calls, 0u);
+  other.Step();
+  EXPECT_EQ(on_default.calls, 1u);
+  EXPECT_EQ(on_other.calls, 1u);
+}
+
+// --- Result<T> utilities ------------------------------------------------------
+
+Result<std::string> EchoOrFail(bool fail) {
+  if (fail) return Status::NotFound("no echo");
+  return std::string("echo");
+}
+
+Status UsesAssignOrReturn(bool fail, std::string* out) {
+  PDMS_ASSIGN_OR_RETURN(*out, EchoOrFail(fail));
+  return Status::Ok();
+}
+
+Result<size_t> ChainsAssignOrReturn(bool fail) {
+  PDMS_ASSIGN_OR_RETURN(const std::string echoed, EchoOrFail(fail));
+  return echoed.size();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesAndAssigns) {
+  std::string out;
+  EXPECT_TRUE(UsesAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, "echo");
+  const Status failed = UsesAssignOrReturn(true, &out);
+  EXPECT_EQ(failed.code(), StatusCode::kNotFound);
+
+  Result<size_t> chained = ChainsAssignOrReturn(false);
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(*chained, 4u);
+  EXPECT_EQ(ChainsAssignOrReturn(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrOnRvalueMovesOutTheValue) {
+  auto make = [](bool fail) -> Result<std::unique_ptr<int>> {
+    if (fail) return Status::Internal("boom");
+    return std::make_unique<int>(41);
+  };
+  // move-only payloads work through the rvalue overload...
+  std::unique_ptr<int> value = make(false).value_or(nullptr);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 41);
+  // ...and the fallback path of a failed result never touches the
+  // disengaged optional.
+  std::unique_ptr<int> fallback = make(true).value_or(std::make_unique<int>(7));
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(*fallback, 7);
+}
+
+TEST(ResultTest, CopyOfFailedResultStaysFailed) {
+  const Result<std::string> failed = Status::Unavailable("down");
+  const Result<std::string> copy = failed;  // must not touch the value slot
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(copy.value_or("fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace pdms

@@ -6,6 +6,7 @@
 #include "graph/topology.h"
 #include "mapping/mapping_generator.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace pdms {
 namespace {
@@ -20,9 +21,9 @@ class PeerTest : public ::testing::Test {
     options_.probe_ttl = 5;
     options_.delta_override = 0.1;
     for (NodeId p = 0; p < graph_.node_count(); ++p) {
-      Schema schema("p" + std::to_string(p + 1));
+      Schema schema(StrFormat("p%u", p + 1));
       for (size_t a = 0; a < kAttrs; ++a) {
-        EXPECT_TRUE(schema.AddAttribute("a" + std::to_string(a)).ok());
+        EXPECT_TRUE(schema.AddAttribute(StrFormat("a%zu", a)).ok());
       }
       peers_.push_back(std::make_unique<Peer>(p, std::move(schema), &graph_,
                                               &options_));
@@ -31,7 +32,7 @@ class PeerTest : public ::testing::Test {
     for (EdgeId e : graph_.LiveEdges()) {
       EXPECT_TRUE(peers_[graph_.edge(e).src]
                       ->AddMapping(e, MakeConceptMapping(
-                                          "m" + std::to_string(e), kAttrs,
+                                          StrFormat("m%u", e), kAttrs,
                                           {}, &rng))
                       .ok());
     }
