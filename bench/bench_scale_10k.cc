@@ -1,0 +1,282 @@
+// Streaming scale benchmark: how fast does a full inference round go as the
+// network grows, and how far does round parallelism carry it?
+//
+// Builds Barabási–Albert and Erdős–Rényi mapping networks at 1k/5k/10k
+// peers (symmetrized, so every mapping has an inverse and length-2 cycles
+// provide dense, bounded feedback evidence), discovers closures, then
+// measures rounds/sec and bytes moved at parallelism 1/2/4/8. Results are
+// emitted both as a console table and as machine-readable BENCH_scale.json,
+// so the performance trajectory of this workload is diffable across PRs.
+//
+// The run doubles as a determinism check: posteriors at every parallelism
+// level must match the serial run to 1e-12 (they are in fact bitwise
+// identical — see docs/PERFORMANCE.md for why).
+//
+// Usage:
+//   bench_scale_10k [--smoke] [--out FILE] [--peers a,b,c]
+//                   [--parallelism a,b,c] [--rounds N] [--topology ba|er]
+//
+// --smoke (CI mode) restricts to 1k peers, parallelism 1/2, 3 measured
+// rounds: fast enough for every PR, still end-to-end through discovery,
+// parallel rounds, transport accounting and the JSON writer.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/topology.h"
+#include "pdms/pdms.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace pdms {
+namespace {
+
+constexpr uint64_t kSeed = 2026;
+constexpr size_t kAttrs = 6;
+
+struct BenchResult {
+  std::string topology;
+  size_t peers = 0;
+  size_t edges = 0;
+  size_t factors = 0;
+  size_t parallelism = 0;
+  size_t rounds = 0;
+  double discover_seconds = 0.0;
+  double seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  double belief_updates_per_round = 0.0;
+  double bytes_per_round = 0.0;
+  double speedup_vs_serial = 1.0;
+  double max_posterior_diff_vs_serial = 0.0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+EngineOptions ScaleOptions(size_t parallelism) {
+  EngineOptions options;
+  // Length-2 cycles (a mapping and its inverse) are the evidence unit of
+  // this workload: probe two hops, accept 2-cycles, skip parallel paths.
+  options.probe_ttl = 2;
+  options.closure_limits.min_cycle_length = 2;
+  options.closure_limits.max_cycle_length = 2;
+  options.closure_limits.max_path_length = 1;
+  options.parallelism = parallelism;
+  return options;
+}
+
+SyntheticPdms BuildWorkload(const std::string& topology, size_t peers) {
+  Rng rng(kSeed + peers);
+  Digraph graph = topology == "ba"
+                      ? topology::BarabasiAlbert(peers, 2, &rng)
+                      : topology::ErdosRenyi(peers, 2.0 / peers, &rng);
+  topology::Symmetrize(&graph);
+  MappingNetworkOptions options;
+  options.attributes_per_schema = kAttrs;
+  options.error_rate = 0.2;
+  return BuildSyntheticPdms(graph, options, &rng);
+}
+
+/// Posterior of attribute 0 of every live mapping — the determinism probe.
+std::vector<double> SamplePosteriors(const Pdms& pdms) {
+  std::vector<double> sample;
+  const std::vector<EdgeId> live = pdms.graph().LiveEdges();
+  sample.reserve(live.size());
+  for (EdgeId e : live) sample.push_back(pdms.Posterior(e, 0));
+  return sample;
+}
+
+BenchResult RunConfig(const std::string& topology, const SyntheticPdms& workload,
+                      size_t parallelism, size_t rounds,
+                      const std::vector<double>* serial_sample,
+                      std::vector<double>* sample_out) {
+  BenchResult result;
+  result.topology = topology;
+  result.peers = workload.graph.node_count();
+  result.edges = workload.graph.edge_count();
+  result.parallelism = parallelism;
+  result.rounds = rounds;
+
+  Pdms pdms = PdmsBuilder::FromSynthetic(workload)
+                  .WithOptions(ScaleOptions(parallelism))
+                  .Build()
+                  .value();
+  Session& session = pdms.session();
+
+  const auto discover_begin = std::chrono::steady_clock::now();
+  result.factors = session.Discover();
+  result.discover_seconds =
+      Seconds(discover_begin, std::chrono::steady_clock::now());
+
+  session.Step();  // warm-up: first exchange populates remote messages
+  pdms.transport().ResetStats();
+  uint64_t updates = 0;
+  const auto begin = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < rounds; ++r) {
+    updates += session.Step().belief_updates_sent;
+  }
+  result.seconds = Seconds(begin, std::chrono::steady_clock::now());
+  result.rounds_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(rounds) / result.seconds : 0.0;
+  result.belief_updates_per_round =
+      static_cast<double>(updates) / static_cast<double>(rounds);
+  result.bytes_per_round =
+      static_cast<double>(pdms.transport().stats().bytes_sent) /
+      static_cast<double>(rounds);
+
+  *sample_out = SamplePosteriors(pdms);
+  if (serial_sample != nullptr) {
+    for (size_t i = 0; i < sample_out->size(); ++i) {
+      result.max_posterior_diff_vs_serial =
+          std::max(result.max_posterior_diff_vs_serial,
+                   std::abs((*sample_out)[i] - (*serial_sample)[i]));
+    }
+  }
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
+               bool smoke) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"scale_10k\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(out, "  \"attributes_per_schema\": %zu,\n", kAttrs);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"topology\": \"%s\", \"peers\": %zu, \"edges\": %zu, "
+        "\"factors\": %zu, \"parallelism\": %zu, \"rounds\": %zu, "
+        "\"discover_seconds\": %.6f, \"seconds\": %.6f, "
+        "\"rounds_per_sec\": %.3f, \"belief_updates_per_round\": %.1f, "
+        "\"bytes_per_round\": %.1f, \"speedup_vs_serial\": %.3f, "
+        "\"max_posterior_diff_vs_serial\": %.3e}%s\n",
+        r.topology.c_str(), r.peers, r.edges, r.factors, r.parallelism,
+        r.rounds, r.discover_seconds, r.seconds, r.rounds_per_sec,
+        r.belief_updates_per_round, r.bytes_per_round, r.speedup_vs_serial,
+        r.max_posterior_diff_vs_serial, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+std::vector<size_t> ParseSizeList(const char* text) {
+  std::vector<size_t> values;
+  size_t value = 0;
+  bool have_digit = false;
+  for (const char* c = text;; ++c) {
+    if (*c >= '0' && *c <= '9') {
+      value = value * 10 + static_cast<size_t>(*c - '0');
+      have_digit = true;
+    } else if (*c == ',' || *c == '\0') {
+      if (have_digit) values.push_back(value);
+      value = 0;
+      have_digit = false;
+      if (*c == '\0') break;
+    }
+  }
+  return values;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_scale.json";
+  std::vector<size_t> peer_counts = {1000, 5000, 10000};
+  std::vector<size_t> parallelism_levels = {1, 2, 4, 8};
+  std::vector<std::string> topologies = {"ba", "er"};
+  size_t rounds = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--peers") {
+      peer_counts = ParseSizeList(next());
+    } else if (arg == "--parallelism") {
+      parallelism_levels = ParseSizeList(next());
+    } else if (arg == "--rounds") {
+      rounds = ParseSizeList(next()).at(0);
+    } else if (arg == "--topology") {
+      topologies = {next()};
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (smoke) {
+    peer_counts = {1000};
+    parallelism_levels = {1, 2};
+    rounds = 3;
+  }
+
+  std::printf("scale bench: peers up to %zu, %zu measured rounds per config\n\n",
+              peer_counts.back(), rounds);
+  std::vector<BenchResult> results;
+  bool deterministic = true;
+  for (const std::string& topology : topologies) {
+    for (size_t peers : peer_counts) {
+      const SyntheticPdms workload = BuildWorkload(topology, peers);
+      std::vector<double> serial_sample;
+      double serial_rate = 0.0;
+      for (size_t parallelism : parallelism_levels) {
+        std::vector<double> sample;
+        BenchResult result = RunConfig(
+            topology, workload, parallelism, rounds,
+            parallelism == parallelism_levels.front() ? nullptr
+                                                      : &serial_sample,
+            &sample);
+        if (parallelism == parallelism_levels.front()) {
+          serial_sample = std::move(sample);
+          serial_rate = result.rounds_per_sec;
+        }
+        result.speedup_vs_serial =
+            serial_rate > 0.0 ? result.rounds_per_sec / serial_rate : 1.0;
+        if (result.max_posterior_diff_vs_serial > 1e-12) deterministic = false;
+        std::printf(
+            "%s n=%-6zu edges=%-6zu factors=%-7zu p=%zu  %8.2f rounds/s  "
+            "(x%.2f vs serial)  %.1f MB/round  max|Δposterior|=%.1e\n",
+            topology.c_str(), result.peers, result.edges, result.factors,
+            result.parallelism, result.rounds_per_sec,
+            result.speedup_vs_serial, result.bytes_per_round / 1e6,
+            result.max_posterior_diff_vs_serial);
+        results.push_back(std::move(result));
+      }
+    }
+  }
+
+  WriteJson(out_path, results, smoke);
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: parallel posteriors diverged from serial (> 1e-12)\n");
+    return 1;
+  }
+  std::printf("determinism: all parallel runs matched serial posteriors "
+              "(<= 1e-12)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdms
+
+int main(int argc, char** argv) { return pdms::Main(argc, argv); }

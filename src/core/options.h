@@ -54,6 +54,14 @@ struct EngineOptions {
   /// Remote-message period τ in ticks (periodic schedule).
   uint64_t period_ticks = 1;
 
+  /// Worker threads used to execute inference rounds (per-peer
+  /// `ComputeRound` and belief-bundle construction fan out across them).
+  /// 1 = fully serial (no thread pool is created); 0 = one worker per
+  /// hardware thread. Results are identical at every setting: peers only
+  /// touch their own state during a round, and the engine issues all
+  /// transport sends in canonical peer order.
+  size_t parallelism = 1;
+
   Granularity granularity = Granularity::kFine;
 
   /// Convergence: max posterior change per round below `tolerance` for

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <thread>
 
 #include "util/string_util.h"
 
@@ -40,6 +41,13 @@ Result<std::unique_ptr<PdmsEngine>> PdmsEngine::Create(
   }
   std::unique_ptr<PdmsEngine> engine(
       new PdmsEngine(graph, options, std::move(transport)));
+  const size_t parallelism =
+      options.parallelism == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : options.parallelism;
+  if (parallelism > 1) {
+    engine->pool_ = std::make_unique<ThreadPool>(parallelism - 1);
+  }
   engine->peers_.reserve(graph.node_count());
   for (PeerId p = 0; p < graph.node_count(); ++p) {
     engine->peers_.push_back(std::make_unique<Peer>(
@@ -59,47 +67,99 @@ void PdmsEngine::SendAll(PeerId from, std::vector<Outgoing> messages) {
   }
 }
 
+void PdmsEngine::DispatchEnvelope(PeerId to, Envelope& envelope) {
+  Peer& peer = *peers_[to];
+  if (auto* probe = std::get_if<ProbeMessage>(&envelope.payload)) {
+    SendAll(to, peer.HandleProbe(*probe));
+  } else if (auto* feedback =
+                 std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
+    peer.IngestFeedback(*feedback);
+  } else if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
+    for (const BeliefUpdate& update : beliefs->updates) {
+      peer.AbsorbBeliefUpdate(update);
+    }
+  } else if (auto* query = std::get_if<QueryMessage>(&envelope.payload)) {
+    for (const BeliefUpdate& update : query->piggyback) {
+      peer.AbsorbBeliefUpdate(update);
+    }
+    const bool first_visit = !peer.SawQuery(query->query_id);
+    QueryActions actions = peer.ProcessQuery(
+        *query, options_.schedule == ScheduleKind::kLazy);
+    const auto report_it = active_queries_.find(query->query_id);
+    QueryReport* report =
+        report_it == active_queries_.end() ? nullptr : report_it->second;
+    if (report != nullptr && first_visit) {
+      report->reached.push_back(to);
+      for (ResultRow& row : actions.rows) {
+        report->rows.emplace_back(to, std::move(row));
+      }
+      for (const Outgoing& forward : actions.forwards) {
+        if (forward.via.has_value()) {
+          report->used_edges.push_back(*forward.via);
+        }
+      }
+      for (EdgeId blocked : actions.blocked_edges) {
+        report->blocked_edges.push_back(blocked);
+      }
+      report->messages += actions.forwards.size();
+    }
+    SendAll(to, std::move(actions.forwards));
+  }
+}
+
 void PdmsEngine::DeliverAll() {
   for (PeerId p = 0; p < peers_.size(); ++p) {
     for (Envelope& envelope : transport_->Drain(p)) {
-      Peer& peer = *peers_[p];
-      if (auto* probe = std::get_if<ProbeMessage>(&envelope.payload)) {
-        SendAll(p, peer.HandleProbe(*probe));
-      } else if (auto* feedback =
-                     std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
-        peer.IngestFeedback(*feedback);
-      } else if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
+      DispatchEnvelope(p, envelope);
+    }
+  }
+}
+
+void PdmsEngine::ForEachPeer(const std::function<void(size_t)>& fn) {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(0, peers_.size(), fn);
+  } else {
+    for (size_t p = 0; p < peers_.size(); ++p) fn(p);
+  }
+}
+
+void PdmsEngine::DeliverRoundMessages() {
+  const size_t n = peers_.size();
+  round_batches_.resize(n);
+  ForEachPeer([this](size_t p) {
+    std::vector<Envelope> batch = transport_->Drain(static_cast<PeerId>(p));
+    bool peer_local = true;
+    for (const Envelope& envelope : batch) {
+      const MessageKind kind = KindOf(envelope.payload);
+      if (kind != MessageKind::kBelief && kind != MessageKind::kFeedback) {
+        peer_local = false;
+        break;
+      }
+    }
+    if (!peer_local) {
+      // Probe / query traffic sends onward and touches shared query
+      // reports: preserve within-batch order and hand the whole batch to
+      // the serial phase below.
+      round_batches_[p] = std::move(batch);
+      return;
+    }
+    Peer& peer = *peers_[p];
+    for (Envelope& envelope : batch) {
+      if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
         for (const BeliefUpdate& update : beliefs->updates) {
           peer.AbsorbBeliefUpdate(update);
         }
-      } else if (auto* query = std::get_if<QueryMessage>(&envelope.payload)) {
-        for (const BeliefUpdate& update : query->piggyback) {
-          peer.AbsorbBeliefUpdate(update);
-        }
-        const bool first_visit = !peer.SawQuery(query->query_id);
-        QueryActions actions = peer.ProcessQuery(
-            *query, options_.schedule == ScheduleKind::kLazy);
-        const auto report_it = active_queries_.find(query->query_id);
-        QueryReport* report =
-            report_it == active_queries_.end() ? nullptr : report_it->second;
-        if (report != nullptr && first_visit) {
-          report->reached.push_back(p);
-          for (ResultRow& row : actions.rows) {
-            report->rows.emplace_back(p, std::move(row));
-          }
-          for (const Outgoing& forward : actions.forwards) {
-            if (forward.via.has_value()) {
-              report->used_edges.push_back(*forward.via);
-            }
-          }
-          for (EdgeId blocked : actions.blocked_edges) {
-            report->blocked_edges.push_back(blocked);
-          }
-          report->messages += actions.forwards.size();
-        }
-        SendAll(p, std::move(actions.forwards));
+      } else if (auto* feedback =
+                     std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
+        peer.IngestFeedback(*feedback);
       }
     }
+  });
+  for (PeerId p = 0; p < n; ++p) {
+    for (Envelope& envelope : round_batches_[p]) {
+      DispatchEnvelope(p, envelope);
+    }
+    round_batches_[p].clear();
   }
 }
 
@@ -128,24 +188,38 @@ void PdmsEngine::InjectFeedback(const FeedbackAnnouncement& announcement) {
 RoundReport PdmsEngine::RunRound() {
   RoundReport report;
   transport_->AdvanceTick();
-  DeliverAll();
+  DeliverRoundMessages();
 
+  // Peers compute their rounds independently by design (Section 4.1): fan
+  // the loop out across the pool and reduce the residual afterwards.
+  const size_t n = peers_.size();
+  round_changes_.assign(n, 0.0);
+  ForEachPeer([this](size_t p) {
+    round_changes_[p] = peers_[p]->ComputeRound();
+  });
   report.max_posterior_change = 0.0;
-  for (auto& peer : peers_) {
-    report.max_posterior_change =
-        std::max(report.max_posterior_change, peer->ComputeRound());
+  for (double change : round_changes_) {
+    report.max_posterior_change = std::max(report.max_posterior_change, change);
   }
 
   if (options_.schedule == ScheduleKind::kPeriodic &&
       transport_->now() % options_.period_ticks == 0) {
-    for (PeerId p = 0; p < peers_.size(); ++p) {
-      std::vector<Outgoing> outgoing = peers_[p]->CollectOutgoingBeliefs();
-      for (const Outgoing& message : outgoing) {
+    // Bundle construction is the expensive half of the fan-out and is
+    // peer-local: parallelize it. The actual sends stay in canonical peer
+    // order so lossy transports draw their drop decisions in the same
+    // sequence at every parallelism level (the determinism guarantee).
+    round_outgoing_.resize(n);
+    ForEachPeer([this](size_t p) {
+      round_outgoing_[p] = peers_[p]->CollectOutgoingBeliefs();
+    });
+    for (PeerId p = 0; p < n; ++p) {
+      for (const Outgoing& message : round_outgoing_[p]) {
         const auto& bundle = std::get<BeliefMessage>(message.payload);
         report.belief_updates_sent += bundle.updates.size();
         ++report.belief_envelopes_sent;
       }
-      SendAll(p, std::move(outgoing));
+      SendAll(p, std::move(round_outgoing_[p]));
+      round_outgoing_[p].clear();
     }
   }
   return report;

@@ -15,6 +15,7 @@
 #include "mapping/mapping_generator.h"
 #include "net/network.h"
 #include "pdms/transport.h"
+#include "util/thread_pool.h"
 
 namespace pdms {
 
@@ -163,16 +164,38 @@ class PdmsEngine {
   /// Query rows/blocks are accumulated into `active_queries_` entries.
   void DeliverAll();
 
+  /// Round-path delivery: drains all peers up front (in parallel when a
+  /// pool exists) and processes peer-local payloads — beliefs, feedback —
+  /// on the draining thread. Batches containing probe or query traffic
+  /// (which send and touch shared query reports) fall back to serial
+  /// dispatch in canonical peer order.
+  void DeliverRoundMessages();
+
+  /// Processes one delivered envelope on the engine thread (probe /
+  /// feedback / belief / query dispatch).
+  void DispatchEnvelope(PeerId to, Envelope& envelope);
+
   void SendAll(PeerId from, std::vector<Outgoing> messages);
+
+  /// Runs `fn(p)` for every peer, on the pool when configured, inline
+  /// otherwise. `fn` must only touch peer p's state (plus the transport,
+  /// which is thread-safe).
+  void ForEachPeer(const std::function<void(size_t)>& fn);
 
   Digraph graph_;
   EngineOptions options_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Peer>> peers_;
+  /// Round-execution workers (parallelism − 1 threads; null when serial).
+  std::unique_ptr<ThreadPool> pool_;
   uint64_t next_query_id_ = 1;
   /// Per-query report accumulators, keyed by query id; populated while
   /// IssueQueries drives the network.
   std::map<uint64_t, QueryReport*> active_queries_;
+  /// Round scratch, reused to keep the round path allocation-stable.
+  std::vector<double> round_changes_;
+  std::vector<std::vector<Outgoing>> round_outgoing_;
+  std::vector<std::vector<Envelope>> round_batches_;
 };
 
 }  // namespace pdms

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 
 #include "util/string_util.h"
 
@@ -15,7 +16,10 @@ Peer::Peer(PeerId id, Schema schema, const Digraph* graph,
 // --- Mappings ---------------------------------------------------------------
 
 Status Peer::AddMapping(EdgeId edge, SchemaMapping mapping) {
-  if (mappings_.count(edge) > 0) {
+  const auto it = std::lower_bound(
+      mappings_.begin(), mappings_.end(), edge,
+      [](const auto& entry, EdgeId e) { return entry.first < e; });
+  if (it != mappings_.end() && it->first == edge) {
     return Status::AlreadyExists(StrFormat("peer %u already maps edge %u", id_,
                                            edge));
   }
@@ -23,32 +27,42 @@ Status Peer::AddMapping(EdgeId edge, SchemaMapping mapping) {
     return Status::InvalidArgument(
         StrFormat("edge %u does not start at peer %u", edge, id_));
   }
-  mappings_.emplace(edge, std::move(mapping));
+  mappings_.emplace(it, edge, std::move(mapping));
   return Status::Ok();
 }
 
 void Peer::RemoveMapping(EdgeId edge) {
-  mappings_.erase(edge);
-  // Drop every replica referencing the edge, then rebuild the var index.
-  for (auto it = replicas_.begin(); it != replicas_.end();) {
+  const auto it = std::lower_bound(
+      mappings_.begin(), mappings_.end(), edge,
+      [](const auto& entry, EdgeId e) { return entry.first < e; });
+  if (it != mappings_.end() && it->first == edge) mappings_.erase(it);
+
+  // Drop every replica referencing the edge, then rebuild the indexes and
+  // per-variable slot lists. Churn is rare; rounds are hot.
+  std::vector<Replica> kept;
+  kept.reserve(replicas_.size());
+  for (Replica& replica : replicas_) {
     const bool touches = std::any_of(
-        it->second.members.begin(), it->second.members.end(),
+        replica.members.begin(), replica.members.end(),
         [edge](const MappingVarKey& var) { return var.edge == edge; });
-    it = touches ? replicas_.erase(it) : std::next(it);
+    if (!touches) kept.push_back(std::move(replica));
   }
-  factors_of_var_.clear();
-  for (const auto& [key, replica] : replicas_) {
-    for (size_t i = 0; i < replica.members.size(); ++i) {
-      if (replica.owner_of_member[i] == id_) {
-        factors_of_var_[replica.members[i]].push_back(key);
-      }
+  replicas_ = std::move(kept);
+  replica_index_.clear();
+  for (VarState& var : vars_) var.slots.clear();
+  for (uint32_t r = 0; r < replicas_.size(); ++r) {
+    replica_index_.emplace(replicas_[r].key.value, r);
+    for (uint32_t pos : replicas_[r].owned_positions) {
+      vars_[InternVar(replicas_[r].members[pos])].slots.emplace_back(r, pos);
     }
   }
 }
 
 const SchemaMapping* Peer::mapping(EdgeId edge) const {
-  const auto it = mappings_.find(edge);
-  return it == mappings_.end() ? nullptr : &it->second;
+  const auto it = std::lower_bound(
+      mappings_.begin(), mappings_.end(), edge,
+      [](const auto& entry, EdgeId e) { return entry.first < e; });
+  return it != mappings_.end() && it->first == edge ? &it->second : nullptr;
 }
 
 std::vector<EdgeId> Peer::OutgoingEdges() const {
@@ -60,19 +74,41 @@ std::vector<EdgeId> Peer::OutgoingEdges() const {
 
 // --- Priors & posteriors ------------------------------------------------------
 
+uint32_t Peer::InternVar(const MappingVarKey& var) {
+  const auto [it, inserted] =
+      var_index_.emplace(var.Packed(), static_cast<uint32_t>(vars_.size()));
+  if (inserted) {
+    VarState state;
+    state.key = var;
+    vars_.push_back(std::move(state));
+  }
+  return it->second;
+}
+
+const Peer::VarState* Peer::FindVar(const MappingVarKey& var) const {
+  const auto it = var_index_.find(var.Packed());
+  return it == var_index_.end() ? nullptr : &vars_[it->second];
+}
+
 void Peer::SetPrior(const MappingVarKey& var, double prior) {
-  priors_[var] = prior;
-  evidence_.erase(var);
+  VarState& state = vars_[InternVar(var)];
+  state.prior = prior;
+  state.has_explicit_prior = true;
+  state.evidence_count = 0;
+  state.evidence_sum = 0.0;
+  state.has_evidence_acc = false;
 }
 
 double Peer::Prior(const MappingVarKey& var) const {
-  const auto it = priors_.find(var);
-  return it == priors_.end() ? options_->default_prior : it->second;
+  const VarState* state = FindVar(var);
+  return state != nullptr && state->has_explicit_prior
+             ? state->prior
+             : options_->default_prior;
 }
 
 bool Peer::HasEvidence(const MappingVarKey& var) const {
-  const auto it = factors_of_var_.find(var);
-  return it != factors_of_var_.end() && !it->second.empty();
+  const VarState* state = FindVar(var);
+  return state != nullptr && !state->slots.empty();
 }
 
 Belief Peer::PosteriorBelief(const MappingVarKey& var) const {
@@ -85,13 +121,9 @@ Belief Peer::PosteriorBelief(const MappingVarKey& var) const {
     }
   }
   Belief posterior = Belief::FromProbability(Prior(var));
-  const auto it = factors_of_var_.find(var);
-  if (it != factors_of_var_.end()) {
-    for (const FactorKey& key : it->second) {
-      const Replica& replica = replicas_.at(key);
-      for (size_t i = 0; i < replica.members.size(); ++i) {
-        if (replica.members[i] == var) posterior *= replica.factor_to_var[i];
-      }
+  if (const VarState* state = FindVar(var)) {
+    for (const auto& [replica, position] : state->slots) {
+      posterior *= replicas_[replica].factor_to_var[position];
     }
   }
   return posterior.Normalized();
@@ -102,13 +134,18 @@ double Peer::Posterior(const MappingVarKey& var) const {
 }
 
 void Peer::UpdatePriorsFromPosteriors() {
-  for (const auto& [var, keys] : factors_of_var_) {
-    if (keys.empty()) continue;
-    auto [it, inserted] = evidence_.try_emplace(var, 1, Prior(var));
-    auto& [count, sum] = it->second;
-    ++count;
-    sum += Posterior(var);
-    priors_[var] = sum / static_cast<double>(count);
+  for (VarState& state : vars_) {
+    if (state.slots.empty()) continue;
+    if (!state.has_evidence_acc) {
+      state.has_evidence_acc = true;
+      state.evidence_count = 1;
+      state.evidence_sum = Prior(state.key);
+    }
+    ++state.evidence_count;
+    state.evidence_sum += Posterior(state.key);
+    state.prior =
+        state.evidence_sum / static_cast<double>(state.evidence_count);
+    state.has_explicit_prior = true;
   }
 }
 
@@ -123,9 +160,9 @@ double Peer::EffectiveDelta() const {
 void Peer::IngestFeedback(const FeedbackAnnouncement& announcement) {
   for (const AttributeFeedback& feedback : announcement.feedback) {
     if (feedback.sign == FeedbackSign::kNeutral) continue;
-    const FactorKey key =
-        FactorKey::Make(announcement.closure, feedback.root_attribute);
-    if (replicas_.count(key) > 0) continue;  // idempotent
+    FactorKey key = FactorKey::Make(announcement.closure,
+                                    feedback.root_attribute);
+    if (replica_index_.count(key.value) > 0) continue;  // idempotent
     const bool owns_member = std::any_of(
         feedback.members.begin(), feedback.members.end(),
         [this](const MappingVarKey& var) {
@@ -135,6 +172,7 @@ void Peer::IngestFeedback(const FeedbackAnnouncement& announcement) {
     if (!owns_member) continue;
 
     Replica replica;
+    replica.key = key;
     replica.closure = announcement.closure;
     replica.sign = feedback.sign;
     replica.members = feedback.members;
@@ -154,22 +192,30 @@ void Peer::IngestFeedback(const FeedbackAnnouncement& announcement) {
         // unit message; remote ones stay unit until heard from.
         replica.var_to_factor[i] =
             Belief::FromProbability(Prior(replica.members[i]));
+        replica.owned_positions.push_back(static_cast<uint32_t>(i));
+      } else {
+        replica.other_owners.push_back(replica.owner_of_member[i]);
       }
     }
-    auto [it, inserted] = replicas_.emplace(key, std::move(replica));
-    assert(inserted);
-    for (size_t i = 0; i < n; ++i) {
-      if (it->second.owner_of_member[i] == id_) {
-        factors_of_var_[it->second.members[i]].push_back(key);
-      }
+    std::sort(replica.other_owners.begin(), replica.other_owners.end());
+    replica.other_owners.erase(
+        std::unique(replica.other_owners.begin(), replica.other_owners.end()),
+        replica.other_owners.end());
+
+    const auto index = static_cast<uint32_t>(replicas_.size());
+    replicas_.push_back(std::move(replica));
+    replica_index_.emplace(std::move(key.value), index);
+    for (uint32_t pos : replicas_[index].owned_positions) {
+      vars_[InternVar(replicas_[index].members[pos])].slots.emplace_back(index,
+                                                                         pos);
     }
   }
 }
 
 void Peer::AbsorbBeliefUpdate(const BeliefUpdate& update) {
-  const auto it = replicas_.find(update.factor);
-  if (it == replicas_.end()) return;  // closure unknown here: ignore
-  Replica& replica = it->second;
+  const auto it = replica_index_.find(update.factor.value);
+  if (it == replica_index_.end()) return;  // closure unknown here: ignore
+  Replica& replica = replicas_[it->second];
   for (size_t i = 0; i < replica.members.size(); ++i) {
     if (replica.members[i] == update.var && replica.owner_of_member[i] != id_) {
       replica.var_to_factor[i] = update.belief;
@@ -180,68 +226,71 @@ void Peer::AbsorbBeliefUpdate(const BeliefUpdate& update) {
 double Peer::ComputeRound() {
   // Phase 1: factor -> variable messages for owned members, from the
   // var -> factor state of the previous round (synchronous flooding).
-  for (auto& [key, replica] : replicas_) {
-    for (size_t i = 0; i < replica.members.size(); ++i) {
-      if (replica.owner_of_member[i] != id_) continue;
+  const bool damped = options_->damping > 0.0;
+  for (Replica& replica : replicas_) {
+    for (uint32_t pos : replica.owned_positions) {
       Belief computed =
-          replica.factor->MessageTo(i, replica.var_to_factor).Rescaled();
-      if (options_->damping > 0.0) {
-        computed = replica.factor_to_var[i].DampedToward(
+          replica.factor->MessageTo(pos, replica.var_to_factor).Rescaled();
+      if (damped) {
+        computed = replica.factor_to_var[pos].DampedToward(
             computed, 1.0 - options_->damping);
       }
-      replica.factor_to_var[i] = computed;
+      replica.factor_to_var[pos] = computed;
     }
   }
   // Phase 2: variable -> factor messages for owned variables:
-  // µ_{v->f} = prior(v) · Π_{f' ∋ v, f' ≠ f} µ_{f'->v}.
-  for (auto& [var, keys] : factors_of_var_) {
-    for (const FactorKey& target : keys) {
-      Belief message = Belief::FromProbability(Prior(var));
-      for (const FactorKey& other : keys) {
-        if (other == target) continue;
-        const Replica& source = replicas_.at(other);
-        for (size_t i = 0; i < source.members.size(); ++i) {
-          if (source.members[i] == var) message *= source.factor_to_var[i];
-        }
-      }
-      Replica& replica = replicas_.at(target);
-      for (size_t i = 0; i < replica.members.size(); ++i) {
-        if (replica.members[i] == var) {
-          replica.var_to_factor[i] = message.Rescaled();
-        }
-      }
-    }
-  }
-  // Convergence metric: max posterior change over owned variables.
+  // µ_{v->f} = prior(v) · Π_{f' ∋ v, f' ≠ f} µ_{f'->v}, computed for all
+  // adjacent factors at once via prefix/suffix products (O(deg) per
+  // variable instead of O(deg²)). The full product also yields the new
+  // posterior, so the convergence residual comes out of the same pass
+  // instead of a separate Posterior() sweep.
   double max_change = 0.0;
-  for (const auto& [var, keys] : factors_of_var_) {
-    const double now = Posterior(var);
-    const auto it = last_posteriors_.find(var);
-    if (it != last_posteriors_.end()) {
-      max_change = std::max(max_change, std::abs(now - it->second));
+  for (VarState& var : vars_) {
+    const size_t k = var.slots.size();
+    if (k == 0) continue;
+    const Belief prior = Belief::FromProbability(Prior(var.key));
+    ExclusivePrefixSuffixProducts(
+        k,
+        [&](size_t j) -> const Belief& {
+          return replicas_[var.slots[j].first]
+              .factor_to_var[var.slots[j].second];
+        },
+        &prefix_scratch_, &suffix_scratch_);
+    for (size_t j = 0; j < k; ++j) {
+      const Belief message =
+          (prior * prefix_scratch_[j] * suffix_scratch_[j + 1]).Rescaled();
+      replicas_[var.slots[j].first].var_to_factor[var.slots[j].second] =
+          message;
+    }
+    // Convergence metric: posterior change over owned variables, with the
+    // ⊥ rule applied exactly as in PosteriorBelief.
+    double now = (prior * prefix_scratch_[k]).Normalized().correct;
+    if (var.key.attribute != MappingVarKey::kWholeMapping) {
+      const SchemaMapping* m = mapping(var.key.edge);
+      if (m == nullptr || !m->Apply(var.key.attribute).has_value()) now = 0.0;
+    }
+    if (var.has_last_posterior) {
+      max_change = std::max(max_change, std::abs(now - var.last_posterior));
     } else {
       max_change = 1.0;  // first round with evidence: not converged
     }
-    last_posteriors_[var] = now;
+    var.last_posterior = now;
+    var.has_last_posterior = true;
   }
   return max_change;
 }
 
 std::vector<Outgoing> Peer::CollectOutgoingBeliefs() const {
+  // Ordered bundles: recipients in ascending PeerId keeps the engine's
+  // send sequence canonical (the determinism anchor for lossy transports).
   std::map<PeerId, BeliefMessage> bundles;
-  for (const auto& [key, replica] : replicas_) {
-    for (size_t i = 0; i < replica.members.size(); ++i) {
-      if (replica.owner_of_member[i] != id_) continue;
-      // Send µ_{v -> f} to every *other* owner peer of the factor.
-      std::set<PeerId> recipients;
-      for (size_t j = 0; j < replica.members.size(); ++j) {
-        if (replica.owner_of_member[j] != id_) {
-          recipients.insert(replica.owner_of_member[j]);
-        }
-      }
-      for (PeerId peer : recipients) {
-        bundles[peer].updates.push_back(
-            BeliefUpdate{key, replica.members[i], replica.var_to_factor[i]});
+  for (const Replica& replica : replicas_) {
+    if (replica.owned_positions.empty()) continue;
+    for (PeerId peer : replica.other_owners) {
+      BeliefMessage& bundle = bundles[peer];
+      for (uint32_t pos : replica.owned_positions) {
+        bundle.updates.push_back(BeliefUpdate{
+            replica.key, replica.members[pos], replica.var_to_factor[pos]});
       }
     }
   }
@@ -255,15 +304,11 @@ std::vector<Outgoing> Peer::CollectOutgoingBeliefs() const {
 
 std::vector<BeliefUpdate> Peer::PiggybackUpdatesFor(EdgeId edge) const {
   std::vector<BeliefUpdate> updates;
-  for (const auto& [var, keys] : factors_of_var_) {
-    if (var.edge != edge) continue;
-    for (const FactorKey& key : keys) {
-      const Replica& replica = replicas_.at(key);
-      for (size_t i = 0; i < replica.members.size(); ++i) {
-        if (replica.members[i] == var) {
-          updates.push_back(BeliefUpdate{key, var, replica.var_to_factor[i]});
-        }
-      }
+  for (const VarState& var : vars_) {
+    if (var.key.edge != edge) continue;
+    for (const auto& [replica, position] : var.slots) {
+      updates.push_back(BeliefUpdate{replicas_[replica].key, var.key,
+                                     replicas_[replica].var_to_factor[position]});
     }
   }
   return updates;
@@ -272,8 +317,8 @@ std::vector<BeliefUpdate> Peer::PiggybackUpdatesFor(EdgeId edge) const {
 std::vector<Peer::ReplicaView> Peer::ReplicaViews() const {
   std::vector<ReplicaView> views;
   views.reserve(replicas_.size());
-  for (const auto& [key, replica] : replicas_) {
-    views.push_back(ReplicaView{key, replica.sign, replica.members,
+  for (const Replica& replica : replicas_) {
+    views.push_back(ReplicaView{replica.key, replica.sign, replica.members,
                                 replica.delta, replica.closure.kind});
   }
   return views;
@@ -281,12 +326,8 @@ std::vector<Peer::ReplicaView> Peer::ReplicaViews() const {
 
 size_t Peer::RemoteMessageBound() const {
   size_t bound = 0;
-  for (const auto& [key, replica] : replicas_) {
-    size_t own = 0;
-    for (PeerId owner : replica.owner_of_member) {
-      if (owner == id_) ++own;
-    }
-    bound += own * (replica.members.size() - 1);
+  for (const Replica& replica : replicas_) {
+    bound += replica.owned_positions.size() * (replica.members.size() - 1);
   }
   return bound;
 }
@@ -423,10 +464,12 @@ std::vector<AttributeFeedback> Peer::CoarsenFeedback(
 
 void Peer::AnnounceToOwners(const FeedbackAnnouncement& announcement,
                             std::vector<Outgoing>* out) const {
-  std::set<PeerId> owners;
+  std::vector<PeerId> owners;
   for (EdgeId edge : announcement.closure.edges) {
-    if (graph_->edge_alive(edge)) owners.insert(graph_->edge(edge).src);
+    if (graph_->edge_alive(edge)) owners.push_back(graph_->edge(edge).src);
   }
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
   for (PeerId owner : owners) {
     out->push_back(Outgoing{owner, std::nullopt, announcement});
   }

@@ -1,11 +1,12 @@
 #ifndef PDMS_CORE_PEER_H_
 #define PDMS_CORE_PEER_H_
 
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/options.h"
@@ -41,7 +42,15 @@ struct QueryActions {
 /// pair touching any of its outgoing mappings, together with the last
 /// var->factor message received from each foreign variable. Everything the
 /// peer computes uses only this local state plus incoming messages — the
-/// decentralization claim of the paper, made literal.
+/// decentralization claim of the paper, made literal. Because rounds are
+/// strictly peer-local, the engine may execute `ComputeRound` for distinct
+/// peers on distinct threads; a single `Peer` is not itself thread-safe.
+///
+/// Hot-path layout: replicas and mapping variables are interned into dense
+/// arrays (`replicas_`, `vars_`) with hashed indexes, and each variable
+/// keeps its (replica, position) slots so a round touches contiguous state
+/// instead of walking ordered maps — `ComputeRound` performs no heap
+/// allocation after the first round with a given evidence set.
 class Peer {
  public:
   /// `graph` is the shared topology (used only to resolve edge endpoints,
@@ -157,6 +166,7 @@ class Peer {
  private:
   /// One replicated feedback factor (Section 4.1 local factor graph).
   struct Replica {
+    FactorKey key;
     Closure closure;
     FeedbackSign sign = FeedbackSign::kNeutral;
     std::vector<MappingVarKey> members;
@@ -168,7 +178,30 @@ class Peer {
     std::vector<Belief> var_to_factor;
     /// µ_{factor -> member}, maintained for *owned* members.
     std::vector<Belief> factor_to_var;
+    /// Member positions owned by this peer, ascending.
+    std::vector<uint32_t> owned_positions;
+    /// Distinct owners of foreign members, ascending (belief recipients).
+    std::vector<PeerId> other_owners;
   };
+
+  /// Everything this peer tracks about one mapping variable: explicit
+  /// prior, EM evidence accumulator, previous-round posterior, and the
+  /// (replica, member position) slots of every factor that scopes it.
+  struct VarState {
+    MappingVarKey key;
+    double prior = 0.5;
+    bool has_explicit_prior = false;
+    uint64_t evidence_count = 0;
+    double evidence_sum = 0.0;
+    bool has_evidence_acc = false;
+    double last_posterior = 0.0;
+    bool has_last_posterior = false;
+    std::vector<std::pair<uint32_t, uint32_t>> slots;
+  };
+
+  /// Index of `var` in `vars_`, creating the entry on first sight.
+  uint32_t InternVar(const MappingVarKey& var);
+  const VarState* FindVar(const MappingVarKey& var) const;
 
   /// ∆ used by this peer when announcing feedback.
   double EffectiveDelta() const;
@@ -205,22 +238,30 @@ class Peer {
   const EngineOptions* options_;
   DocumentStore store_;
 
-  std::map<EdgeId, SchemaMapping> mappings_;
-  std::map<MappingVarKey, double> priors_;
-  /// EM evidence accumulators: (count, sum) per variable.
-  std::map<MappingVarKey, std::pair<uint64_t, double>> evidence_;
+  /// Outgoing mappings, flat and sorted by EdgeId (few per peer; binary
+  /// search beats a node-based map and iteration stays in EdgeId order,
+  /// which probe/query forwarding depends on for determinism).
+  std::vector<std::pair<EdgeId, SchemaMapping>> mappings_;
 
-  std::map<FactorKey, Replica> replicas_;
-  /// Replica keys per owned variable.
-  std::map<MappingVarKey, std::vector<FactorKey>> factors_of_var_;
-  /// Posteriors at the end of the previous round (for convergence).
-  std::map<MappingVarKey, double> last_posteriors_;
+  /// Dense replica store + hashed index by factor key. Insertion order is
+  /// announcement arrival order (deterministic under the engine's serial
+  /// message dispatch).
+  std::vector<Replica> replicas_;
+  std::unordered_map<std::string, uint32_t> replica_index_;
+
+  /// Dense per-variable state + hashed index by packed (edge, attribute).
+  std::vector<VarState> vars_;
+  std::unordered_map<uint64_t, uint32_t> var_index_;
+
+  /// Round scratch (prefix/suffix message products), reused across rounds.
+  std::vector<Belief> prefix_scratch_;
+  std::vector<Belief> suffix_scratch_;
 
   /// Closures this peer has already announced (dedup).
-  std::set<std::string> announced_;
+  std::unordered_set<std::string> announced_;
   /// Cached foreign probes per origin for parallel detection.
-  std::map<PeerId, std::vector<ProbeMessage>> probe_cache_;
-  std::set<uint64_t> seen_queries_;
+  std::unordered_map<PeerId, std::vector<ProbeMessage>> probe_cache_;
+  std::unordered_set<uint64_t> seen_queries_;
 };
 
 }  // namespace pdms

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 namespace pdms {
 
@@ -68,6 +70,34 @@ struct Belief {
 
   std::string ToString() const;
 };
+
+/// Fills running products of the k messages yielded by `message(j)`:
+/// afterwards prefix[j] = µ_0·…·µ_{j-1} and suffix[j] = µ_j·…·µ_{k-1}
+/// (prefix[0] and suffix[k] are the unit), so prefix[j] * suffix[j+1] is
+/// the product of every message except µ_j — the O(k) exclusion products
+/// sum-product needs per variable — and prefix[k] the product of all of
+/// them (the posterior's evidence term). The scratch vectors are grown but
+/// never shrunk, so reuse across calls stays allocation-free. This is the
+/// shared kernel of the decentralized (`Peer::ComputeRound`) and
+/// centralized (`SumProductEngine`) variable→factor stages; both engines'
+/// bitwise-determinism guarantees ride on its multiplication order.
+template <typename MessageAt>
+void ExclusivePrefixSuffixProducts(size_t k, const MessageAt& message,
+                                   std::vector<Belief>* prefix,
+                                   std::vector<Belief>* suffix) {
+  if (prefix->size() < k + 1) {
+    prefix->resize(k + 1);
+    suffix->resize(k + 1);
+  }
+  (*prefix)[0] = Belief::Unit();
+  (*suffix)[k] = Belief::Unit();
+  for (size_t j = 0; j < k; ++j) {
+    (*prefix)[j + 1] = (*prefix)[j] * message(j);
+  }
+  for (size_t j = k; j-- > 0;) {
+    (*suffix)[j] = message(j) * (*suffix)[j + 1];
+  }
+}
 
 }  // namespace pdms
 

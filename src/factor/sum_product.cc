@@ -18,27 +18,59 @@ SumProductEngine::SumProductEngine(const FactorGraph& graph,
     to_var_[f].assign(graph_.factor(f).arity(), Belief::Unit());
   }
   staged_ = to_var_;
+  var_to_factor_cache_ = to_var_;
+
+  var_slots_.resize(graph_.variable_count());
+  for (FactorId f = 0; f < graph_.factor_count(); ++f) {
+    const auto& vars = graph_.factor(f).variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      var_slots_[vars[i]].emplace_back(f, static_cast<uint32_t>(i));
+    }
+  }
+
+  posteriors_.resize(graph_.variable_count());
+  for (VarId v = 0; v < graph_.variable_count(); ++v) {
+    posteriors_[v] = Posterior(v);
+  }
 }
 
 Belief SumProductEngine::VariableToFactor(FactorId f, size_t position) const {
   const VarId v = graph_.factor(f).variables()[position];
   Belief message = Belief::Unit();
-  for (FactorId g : graph_.factors_of(v)) {
+  for (const auto& [g, i] : var_slots_[v]) {
     if (g == f) continue;
-    const auto& vars = graph_.factor(g).variables();
-    for (size_t i = 0; i < vars.size(); ++i) {
-      if (vars[i] == v) message *= to_var_[g][i];
-    }
+    message *= to_var_[g][i];
   }
   return message.Rescaled();
+}
+
+void SumProductEngine::RefreshVariableToFactorCache() {
+  for (VarId v = 0; v < graph_.variable_count(); ++v) {
+    const auto& slots = var_slots_[v];
+    const size_t k = slots.size();
+    if (k == 0) continue;
+    ExclusivePrefixSuffixProducts(
+        k,
+        [&](size_t j) -> const Belief& {
+          return to_var_[slots[j].first][slots[j].second];
+        },
+        &prefix_scratch_, &suffix_scratch_);
+    for (size_t j = 0; j < k; ++j) {
+      var_to_factor_cache_[slots[j].first][slots[j].second] =
+          (prefix_scratch_[j] * suffix_scratch_[j + 1]).Rescaled();
+    }
+  }
 }
 
 void SumProductEngine::UpdateFactorMessages(FactorId f, bool synchronous_stage) {
   const Factor& factor = graph_.factor(f);
   const size_t n = factor.arity();
-  std::vector<Belief> incoming(n);
+  incoming_scratch_.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    incoming[i] = VariableToFactor(f, i);
+    // Flooding reads the pre-iteration state, which the refreshed cache
+    // holds; serial schedules must see mid-sweep updates and compute live.
+    incoming_scratch_[i] = synchronous_stage ? var_to_factor_cache_[f][i]
+                                             : VariableToFactor(f, i);
     ++message_updates_;
   }
   auto& target = synchronous_stage ? staged_[f] : to_var_[f];
@@ -48,7 +80,7 @@ void SumProductEngine::UpdateFactorMessages(FactorId f, bool synchronous_stage) 
       target[i] = to_var_[f][i];  // Message lost: recipient keeps stale value.
       continue;
     }
-    Belief computed = factor.MessageTo(i, incoming).Rescaled();
+    Belief computed = factor.MessageTo(i, incoming_scratch_).Rescaled();
     if (options_.damping > 0.0) {
       computed = to_var_[f][i].DampedToward(computed, 1.0 - options_.damping);
     }
@@ -58,10 +90,9 @@ void SumProductEngine::UpdateFactorMessages(FactorId f, bool synchronous_stage) 
 }
 
 double SumProductEngine::Step() {
-  std::vector<Belief> before = Posteriors();
-
   switch (options_.schedule) {
     case SumProductSchedule::kFlooding: {
+      RefreshVariableToFactorCache();
       for (FactorId f = 0; f < graph_.factor_count(); ++f) {
         UpdateFactorMessages(f, /*synchronous_stage=*/true);
       }
@@ -85,30 +116,33 @@ double SumProductEngine::Step() {
     }
   }
 
+  // Residual: one pass over the new messages against the cached posteriors
+  // of the previous step — no full before/after posterior materialization.
   double max_change = 0.0;
   for (VarId v = 0; v < graph_.variable_count(); ++v) {
-    max_change = std::max(max_change, before[v].NormalizedDistance(Posterior(v)));
+    Belief posterior = Belief::Unit();
+    for (const auto& [g, i] : var_slots_[v]) {
+      posterior *= to_var_[g][i];
+    }
+    posterior = posterior.Normalized();
+    max_change = std::max(max_change, posteriors_[v].NormalizedDistance(posterior));
+    posteriors_[v] = posterior;
   }
   return max_change;
 }
 
 Belief SumProductEngine::Posterior(VarId v) const {
   Belief posterior = Belief::Unit();
-  for (FactorId f : graph_.factors_of(v)) {
-    const auto& vars = graph_.factor(f).variables();
-    for (size_t i = 0; i < vars.size(); ++i) {
-      if (vars[i] == v) posterior *= to_var_[f][i];
-    }
+  for (const auto& [g, i] : var_slots_[v]) {
+    posterior *= to_var_[g][i];
   }
   return posterior.Normalized();
 }
 
 std::vector<Belief> SumProductEngine::Posteriors() const {
-  std::vector<Belief> posteriors(graph_.variable_count());
-  for (VarId v = 0; v < graph_.variable_count(); ++v) {
-    posteriors[v] = Posterior(v);
-  }
-  return posteriors;
+  // Valid whether or not a step ran: the constructor primes the cache and
+  // every Step refreshes it.
+  return posteriors_;
 }
 
 SumProductResult SumProductEngine::Run() {
@@ -127,7 +161,7 @@ SumProductResult SumProductEngine::Run() {
     if (options_.record_trajectory) {
       std::vector<double> snapshot(graph_.variable_count());
       for (VarId v = 0; v < graph_.variable_count(); ++v) {
-        snapshot[v] = Posterior(v).correct;
+        snapshot[v] = posteriors_[v].correct;
       }
       result.trajectory.push_back(std::move(snapshot));
     }
@@ -137,7 +171,7 @@ SumProductResult SumProductEngine::Run() {
       break;
     }
   }
-  result.posteriors = Posteriors();
+  result.posteriors = posteriors_;
   result.message_updates = message_updates_;
   return result;
 }

@@ -88,9 +88,16 @@ class SumProductEngine {
   uint64_t message_updates() const { return message_updates_; }
 
  private:
-  /// µ_{v->f} for the factor's argument `position`, computed from current
-  /// factor->variable messages, excluding the recipient factor.
+  /// µ_{v->f} for the factor's argument `position`, computed live from
+  /// current factor->variable messages, excluding the recipient factor.
+  /// Used by the serial schedules, whose messages take effect mid-sweep.
   Belief VariableToFactor(FactorId f, size_t position) const;
+
+  /// Flooding-schedule fast path: recomputes every µ_{v->f} for the
+  /// iteration in one O(edges) pass using per-variable prefix/suffix
+  /// products (valid because flooding reads only previous-iteration
+  /// state). Replaces the O(deg²)-per-variable live computation.
+  void RefreshVariableToFactorCache();
 
   void UpdateFactorMessages(FactorId f, bool synchronous_stage);
 
@@ -101,6 +108,21 @@ class SumProductEngine {
   std::vector<std::vector<Belief>> to_var_;
   /// Staging buffer for the flooding schedule.
   std::vector<std::vector<Belief>> staged_;
+  /// var_slots_[v] = every (factor, position) with variables(f)[pos] == v —
+  /// the message slots adjacent to v, in factor order.
+  std::vector<std::vector<std::pair<FactorId, uint32_t>>> var_slots_;
+  /// µ_{v->f} per slot for the current flooding iteration (indexed like
+  /// `to_var_`), filled by RefreshVariableToFactorCache.
+  std::vector<std::vector<Belief>> var_to_factor_cache_;
+  /// Normalized posterior per variable after the last Step (initialized
+  /// from the unit messages). Residuals are tracked against this cache
+  /// instead of materializing full before/after posterior sets per Step.
+  std::vector<Belief> posteriors_;
+  /// Reused scratch: incoming messages of the factor being updated, and
+  /// prefix/suffix products of the cache refresh.
+  std::vector<Belief> incoming_scratch_;
+  std::vector<Belief> prefix_scratch_;
+  std::vector<Belief> suffix_scratch_;
   uint64_t message_updates_ = 0;
 };
 

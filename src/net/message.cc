@@ -1,6 +1,7 @@
 #include "net/message.h"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "util/string_util.h"
 
@@ -48,6 +49,63 @@ std::string_view MessageKindName(MessageKind kind) {
 
 MessageKind KindOf(const Payload& payload) {
   return static_cast<MessageKind>(payload.index());
+}
+
+namespace {
+
+/// Belief update on the wire: factor key string + (edge, attribute) +
+/// two doubles.
+size_t WireSize(const BeliefUpdate& update) {
+  return update.factor.value.size() + sizeof(MappingVarKey) + 2 * sizeof(double);
+}
+
+size_t WireSize(const Closure& closure) {
+  return sizeof(closure.kind) + sizeof(closure.split) + sizeof(closure.source) +
+         sizeof(closure.sink) + closure.edges.size() * sizeof(EdgeId);
+}
+
+}  // namespace
+
+size_t ApproximateWireSize(const Payload& payload) {
+  return std::visit(
+      [](const auto& message) -> size_t {
+        using T = std::decay_t<decltype(message)>;
+        if constexpr (std::is_same_v<T, ProbeMessage>) {
+          size_t size = sizeof(message.origin) + sizeof(message.ttl) +
+                        message.route.size() * sizeof(EdgeId);
+          for (const auto& hop : message.trail) {
+            // One attribute id (⊥ encoded in-band) per attribute per hop.
+            size += hop.size() * sizeof(AttributeId);
+          }
+          return size;
+        } else if constexpr (std::is_same_v<T, FeedbackAnnouncement>) {
+          size_t size = WireSize(message.closure) + sizeof(message.delta);
+          for (const AttributeFeedback& entry : message.feedback) {
+            size += sizeof(entry.root_attribute) + sizeof(entry.sign) +
+                    entry.members.size() * sizeof(MappingVarKey);
+          }
+          return size;
+        } else if constexpr (std::is_same_v<T, BeliefMessage>) {
+          size_t size = 0;
+          for (const BeliefUpdate& update : message.updates) {
+            size += WireSize(update);
+          }
+          return size;
+        } else {
+          static_assert(std::is_same_v<T, QueryMessage>);
+          size_t size = sizeof(message.query_id) + sizeof(message.origin) +
+                        sizeof(message.ttl) +
+                        message.visited.size() * sizeof(PeerId);
+          for (const Operation& op : message.query.operations()) {
+            size += sizeof(op.kind) + sizeof(op.attribute) + op.literal.size();
+          }
+          for (const BeliefUpdate& update : message.piggyback) {
+            size += WireSize(update);
+          }
+          return size;
+        }
+      },
+      payload);
 }
 
 }  // namespace pdms

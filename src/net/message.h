@@ -30,6 +30,12 @@ struct MappingVarKey {
   /// Sentinel attribute for coarse (per-mapping) granularity.
   static constexpr AttributeId kWholeMapping = static_cast<AttributeId>(-1);
 
+  /// Bijective 64-bit packing (edge in the high word), used as the hash key
+  /// of the peers' flat variable tables.
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(edge) << 32) | static_cast<uint64_t>(attribute);
+  }
+
   auto operator<=>(const MappingVarKey&) const = default;
   std::string ToString() const;
 };
@@ -127,6 +133,12 @@ constexpr size_t kMessageKindCount = 4;
 
 std::string_view MessageKindName(MessageKind kind);
 MessageKind KindOf(const Payload& payload);
+
+/// Estimated size of `payload` on a byte-oriented wire: fixed header fields
+/// plus the dynamic content (routes, trails, belief bundles, query terms).
+/// Used by transports to account bytes moved; it tracks a compact binary
+/// encoding, not the in-memory layout.
+size_t ApproximateWireSize(const Payload& payload);
 
 /// A payload in flight.
 struct Envelope {

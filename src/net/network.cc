@@ -6,44 +6,69 @@ namespace pdms {
 
 void SimTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
                         Payload payload) {
-  assert(to < queues_.size());
-  const auto kind = static_cast<size_t>(KindOf(payload));
-  ++stats_.sent[kind];
+  assert(to < mailboxes_.size());
+  const MessageKind kind = KindOf(payload);
+  counters_.CountSent(kind, ApproximateWireSize(payload));
   const bool lossy_kind = !options_.lose_belief_messages_only ||
-                          KindOf(payload) == MessageKind::kBelief;
-  if (lossy_kind && options_.send_probability < 1.0 &&
-      !rng_.Bernoulli(options_.send_probability)) {
-    ++stats_.dropped[kind];
-    return;
+                          kind == MessageKind::kBelief;
+  if (lossy_kind && options_.send_probability < 1.0) {
+    bool dropped;
+    {
+      std::lock_guard<std::mutex> lock(rng_mutex_);
+      dropped = !rng_.Bernoulli(options_.send_probability);
+    }
+    if (dropped) {
+      counters_.CountDropped(kind);
+      return;
+    }
   }
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;
   envelope.via = via;
-  envelope.deliver_at = now_ + options_.delay_ticks;
+  envelope.deliver_at = now() + options_.delay_ticks;
   envelope.payload = std::move(payload);
-  queues_[to].push_back(std::move(envelope));
+  // Count before enqueueing: a concurrent Drain may pop the envelope the
+  // moment the lock is released, and its decrement must never observe the
+  // counter without this increment (transient underflow would make
+  // HasPendingMessages report phantom traffic on an empty transport).
+  in_flight_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mailboxes_[to].mutex);
+    mailboxes_[to].queue.push_back(std::move(envelope));
+  }
 }
 
 std::vector<Envelope> SimTransport::Drain(PeerId peer) {
-  assert(peer < queues_.size());
+  assert(peer < mailboxes_.size());
+  const uint64_t current = now();
   std::vector<Envelope> due;
-  auto& queue = queues_[peer];
-  // Constant per-message delay keeps queues ordered by deliver_at, so the
-  // due prefix can be split off directly.
-  while (!queue.empty() && queue.front().deliver_at <= now_) {
-    ++stats_.delivered[static_cast<size_t>(KindOf(queue.front().payload))];
-    due.push_back(std::move(queue.front()));
-    queue.pop_front();
+  {
+    std::lock_guard<std::mutex> lock(mailboxes_[peer].mutex);
+    auto& queue = mailboxes_[peer].queue;
+    // Constant per-message delay keeps queues ordered by deliver_at, so the
+    // due prefix can be split off directly.
+    while (!queue.empty() && queue.front().deliver_at <= current) {
+      due.push_back(std::move(queue.front()));
+      queue.pop_front();
+    }
   }
+  for (const Envelope& envelope : due) {
+    counters_.CountDelivered(KindOf(envelope.payload));
+  }
+  in_flight_.fetch_sub(due.size(), std::memory_order_release);
   return due;
 }
 
 bool SimTransport::HasPendingMessages() const {
-  for (const auto& queue : queues_) {
-    if (!queue.empty()) return true;
-  }
-  return false;
+  return in_flight_.load(std::memory_order_acquire) > 0;
 }
+
+const TransportStats& SimTransport::stats() const {
+  counters_.SnapshotTo(&stats_snapshot_);
+  return stats_snapshot_;
+}
+
+void SimTransport::ResetStats() { counters_.Reset(); }
 
 }  // namespace pdms

@@ -23,6 +23,11 @@ PdmsBuilder& PdmsBuilder::WithOptions(const EngineOptions& options) {
   return *this;
 }
 
+PdmsBuilder& PdmsBuilder::WithParallelism(size_t parallelism) {
+  parallelism_ = parallelism;
+  return *this;
+}
+
 PdmsBuilder& PdmsBuilder::WithTransport(TransportFactory factory) {
   transport_factory_ = std::move(factory);
   return *this;
@@ -66,6 +71,9 @@ PdmsBuilder PdmsBuilder::FromSynthetic(const SyntheticPdms& synthetic) {
 Result<Pdms> PdmsBuilder::Build() {
   if (!deferred_error_.ok()) {
     return deferred_error_;
+  }
+  if (parallelism_.has_value()) {
+    options_.parallelism = *parallelism_;
   }
   if (schemas_.empty()) {
     return Status::FailedPrecondition("a PDMS needs at least one peer");

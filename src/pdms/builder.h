@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "mapping/mapping_generator.h"
@@ -48,6 +49,11 @@ class PdmsBuilder {
 
   PdmsBuilder& WithOptions(const EngineOptions& options);
 
+  /// Worker threads for round execution (`EngineOptions::parallelism`):
+  /// 1 = serial, 0 = one per hardware thread. Applied at `Build()` time on
+  /// top of whatever `WithOptions` supplied, so call order does not matter.
+  PdmsBuilder& WithParallelism(size_t parallelism);
+
   /// Supplies a custom transport. The factory runs at `Build()` time with
   /// the final peer count.
   PdmsBuilder& WithTransport(TransportFactory factory);
@@ -84,6 +90,7 @@ class PdmsBuilder {
   std::vector<Schema> schemas_;
   std::vector<PendingMapping> mappings_;
   EngineOptions options_;
+  std::optional<size_t> parallelism_;
   TransportFactory transport_factory_;
   /// First unsatisfiable request recorded while assembling (e.g. a
   /// FromSynthetic source whose edge ids cannot be reproduced);

@@ -22,37 +22,73 @@ std::string TransportStats::ToString() const {
                      static_cast<unsigned long long>(dropped[k]),
                      static_cast<unsigned long long>(delivered[k]));
   }
+  out += StrFormat("bytes_sent=%llu\n",
+                   static_cast<unsigned long long>(bytes_sent));
   return out;
+}
+
+void AtomicTransportStats::SnapshotTo(TransportStats* out) const {
+  for (size_t k = 0; k < kMessageKindCount; ++k) {
+    out->sent[k] = sent[k].load(std::memory_order_relaxed);
+    out->dropped[k] = dropped[k].load(std::memory_order_relaxed);
+    out->delivered[k] = delivered[k].load(std::memory_order_relaxed);
+  }
+  out->bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+}
+
+void AtomicTransportStats::Reset() {
+  for (size_t k = 0; k < kMessageKindCount; ++k) {
+    sent[k].store(0, std::memory_order_relaxed);
+    dropped[k].store(0, std::memory_order_relaxed);
+    delivered[k].store(0, std::memory_order_relaxed);
+  }
+  bytes_sent.store(0, std::memory_order_relaxed);
 }
 
 void InstantTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
                             Payload payload) {
-  assert(to < queues_.size());
-  ++stats_.sent[static_cast<size_t>(KindOf(payload))];
+  assert(to < mailboxes_.size());
+  counters_.CountSent(KindOf(payload), ApproximateWireSize(payload));
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;
   envelope.via = via;
-  envelope.deliver_at = now_;
+  envelope.deliver_at = now();
   envelope.payload = std::move(payload);
-  queues_[to].push_back(std::move(envelope));
+  // Count before enqueueing: a concurrent Drain may pop the envelope the
+  // moment the lock is released, and its decrement must never observe the
+  // counter without this increment (transient underflow would make
+  // HasPendingMessages report phantom traffic on an empty transport).
+  in_flight_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mailboxes_[to].mutex);
+    mailboxes_[to].queue.push_back(std::move(envelope));
+  }
 }
 
 std::vector<Envelope> InstantTransport::Drain(PeerId peer) {
-  assert(peer < queues_.size());
+  assert(peer < mailboxes_.size());
   std::vector<Envelope> due;
-  due.swap(queues_[peer]);
-  for (const Envelope& envelope : due) {
-    ++stats_.delivered[static_cast<size_t>(KindOf(envelope.payload))];
+  {
+    std::lock_guard<std::mutex> lock(mailboxes_[peer].mutex);
+    due.swap(mailboxes_[peer].queue);
   }
+  for (const Envelope& envelope : due) {
+    counters_.CountDelivered(KindOf(envelope.payload));
+  }
+  in_flight_.fetch_sub(due.size(), std::memory_order_release);
   return due;
 }
 
 bool InstantTransport::HasPendingMessages() const {
-  for (const auto& queue : queues_) {
-    if (!queue.empty()) return true;
-  }
-  return false;
+  return in_flight_.load(std::memory_order_acquire) > 0;
 }
+
+const TransportStats& InstantTransport::stats() const {
+  counters_.SnapshotTo(&stats_snapshot_);
+  return stats_snapshot_;
+}
+
+void InstantTransport::ResetStats() { counters_.Reset(); }
 
 }  // namespace pdms

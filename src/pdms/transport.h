@@ -2,7 +2,9 @@
 #define PDMS_PDMS_TRANSPORT_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,9 +19,38 @@ struct TransportStats {
   std::array<uint64_t, kMessageKindCount> sent{};
   std::array<uint64_t, kMessageKindCount> dropped{};
   std::array<uint64_t, kMessageKindCount> delivered{};
+  /// Estimated payload bytes accepted for delivery (drops excluded), per
+  /// `ApproximateWireSize` — the "bytes moved" of the scale benchmarks.
+  uint64_t bytes_sent = 0;
 
   uint64_t TotalSent() const;
   std::string ToString() const;
+};
+
+/// Internal: lock-free counter block behind `TransportStats`, shared by the
+/// library transports so concurrent `Send`/`Drain` calls never race on the
+/// accounting. Counters use relaxed atomics — they are statistics, not
+/// synchronization.
+struct AtomicTransportStats {
+  std::array<std::atomic<uint64_t>, kMessageKindCount> sent{};
+  std::array<std::atomic<uint64_t>, kMessageKindCount> dropped{};
+  std::array<std::atomic<uint64_t>, kMessageKindCount> delivered{};
+  std::atomic<uint64_t> bytes_sent{0};
+
+  void CountSent(MessageKind kind, size_t bytes) {
+    sent[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+    bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void CountDropped(MessageKind kind) {
+    dropped[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountDelivered(MessageKind kind) {
+    delivered[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Relaxed snapshot into `out`; exact when the transport is quiescent.
+  void SnapshotTo(TransportStats* out) const;
+  void Reset();
 };
 
 /// How messages move between peers — the provider side of the public API.
@@ -40,6 +71,15 @@ struct TransportStats {
 ///    deliverable now or in the future.
 ///  * Ticks only move forward; `Send` after `AdvanceTick` never delivers
 ///    into the past.
+///
+/// Thread-safety contract (required since round execution went parallel):
+///  * `Send` may be called concurrently from any number of threads.
+///  * `Drain` may be called concurrently for *distinct* peers, and
+///    concurrently with `Send` (a concurrently sent message lands either in
+///    this drain or a later one, never nowhere).
+///  * `AdvanceTick`, `stats()` and `ResetStats` are driver-side: callers
+///    must not overlap them with `Send`/`Drain`. The engine only invokes
+///    them between parallel phases.
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -73,27 +113,44 @@ class Transport {
 /// substrate for convergence-only workloads (discovery and inference need
 /// no tick-per-hop waiting) and the reference implementation for the
 /// Transport conformance contract.
+///
+/// Mailboxes are sharded per destination peer, each behind its own mutex,
+/// so concurrent sends to different peers never contend and concurrent
+/// drains of distinct peers proceed independently.
 class InstantTransport final : public Transport {
  public:
-  explicit InstantTransport(size_t peer_count) : queues_(peer_count) {}
+  explicit InstantTransport(size_t peer_count)
+      : mailboxes_(peer_count) {}
 
   std::string_view name() const override { return "instant"; }
-  size_t peer_count() const override { return queues_.size(); }
-  uint64_t now() const override { return now_; }
-  void AdvanceTick() override { ++now_; }
+  size_t peer_count() const override { return mailboxes_.size(); }
+  uint64_t now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceTick() override {
+    now_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   void Send(PeerId from, PeerId to, std::optional<EdgeId> via,
             Payload payload) override;
   std::vector<Envelope> Drain(PeerId peer) override;
   bool HasPendingMessages() const override;
 
-  const TransportStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = TransportStats{}; }
+  const TransportStats& stats() const override;
+  void ResetStats() override;
 
  private:
-  uint64_t now_ = 0;
-  std::vector<std::vector<Envelope>> queues_;
-  TransportStats stats_;
+  struct Mailbox {
+    std::mutex mutex;
+    std::vector<Envelope> queue;
+  };
+
+  std::atomic<uint64_t> now_{0};
+  /// Messages enqueued and not yet drained; O(1) HasPendingMessages.
+  std::atomic<uint64_t> in_flight_{0};
+  std::vector<Mailbox> mailboxes_;
+  AtomicTransportStats counters_;
+  mutable TransportStats stats_snapshot_;
 };
 
 }  // namespace pdms

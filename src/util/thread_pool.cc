@@ -1,0 +1,150 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pdms {
+
+ThreadPool::ThreadPool(size_t thread_count) {
+  deques_.reserve(thread_count);
+  for (size_t i = 0; i < thread_count; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(thread_count);
+  for (size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (deques_.empty()) {
+    task();
+    return;
+  }
+  const size_t target =
+      next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  {
+    std::lock_guard<std::mutex> lock(deques_[target]->mutex);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Touching the sleep mutex orders this publish against the workers'
+  // predicate check: a worker either sees pending_ > 0 before blocking or
+  // is already blocked when the notify fires. Without it the notify could
+  // land between a worker's failed predicate evaluation and its block,
+  // stranding the task until the next submit.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopLocal(size_t self, std::function<void()>* task) {
+  Deque& deque = *deques_[self];
+  std::lock_guard<std::mutex> lock(deque.mutex);
+  if (deque.tasks.empty()) return false;
+  *task = std::move(deque.tasks.front());
+  deque.tasks.pop_front();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::Steal(size_t self, std::function<void()>* task) {
+  const size_t n = deques_.size();
+  for (size_t offset = 1; offset < n; ++offset) {
+    Deque& victim = *deques_[(self + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    *task = std::move(victim.tasks.back());
+    victim.tasks.pop_back();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (PopLocal(self, &task) || Steal(self, &task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  if (deques_.empty() || total == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Shared chunked index dispenser. Chunks keep the atomic off the per-item
+  // path; 4 chunks per participant keeps load balanced when item costs are
+  // skewed (hub peers) without degenerating into per-item handout.
+  struct ForState {
+    std::atomic<size_t> next;
+    size_t end;
+    size_t chunk;
+    const std::function<void(size_t)>* fn;
+    std::atomic<size_t> done{0};
+    size_t total;
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<ForState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->chunk =
+      std::max<size_t>(1, total / ((workers_.size() + 1) * 4));
+  state->fn = &fn;
+  state->total = total;
+
+  auto drain = [](ForState& s) {
+    for (;;) {
+      const size_t chunk_begin =
+          s.next.fetch_add(s.chunk, std::memory_order_relaxed);
+      if (chunk_begin >= s.end) return;
+      const size_t chunk_end = std::min(s.end, chunk_begin + s.chunk);
+      for (size_t i = chunk_begin; i < chunk_end; ++i) (*s.fn)(i);
+      if (s.done.fetch_add(chunk_end - chunk_begin,
+                           std::memory_order_acq_rel) +
+              (chunk_end - chunk_begin) ==
+          s.total) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.all_done.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), total - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state, drain] { drain(*state); });
+  }
+  drain(*state);
+
+  // All indices are handed out once the caller's drain returns, but helper
+  // threads may still be inside their last fn call.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
+}
+
+}  // namespace pdms

@@ -1,0 +1,80 @@
+#ifndef PDMS_UTIL_THREAD_POOL_H_
+#define PDMS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdms {
+
+/// Work-stealing thread pool.
+///
+/// Each worker owns a deque of tasks: it pops from the front of its own
+/// deque and, when empty, steals from the back of a sibling's — the classic
+/// arrangement that keeps hot tasks local while idle workers drain the
+/// longest backlogs. `ParallelFor` is the primitive the engine uses to fan
+/// a round out across peers: the calling thread participates, indices are
+/// handed out in dynamically-sized chunks (so a few heavyweight peers do
+/// not straggle the round), and the call blocks until every index ran.
+///
+/// Tasks must not throw: a worker thread has nowhere to propagate an
+/// exception to, so tasks are invoked under `noexcept` expectations.
+/// The pool is itself thread-safe; `ParallelFor` calls, however, must not
+/// be nested from inside a pool task.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (0 is allowed: every operation then
+  /// runs inline on the calling thread).
+  explicit ThreadPool(size_t thread_count);
+
+  /// Finishes queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues one fire-and-forget task onto the least recently targeted
+  /// deque. Use `ParallelFor` for joinable batch work.
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` once for every i in [begin, end), spread across the
+  /// workers and the calling thread, and returns when all calls finished.
+  /// `fn` must be safe to invoke concurrently for distinct indices; each
+  /// individual index runs exactly once, on exactly one thread.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  /// One worker's deque. Guarded by its own mutex: contention is rare
+  /// (owner and thieves touch opposite ends, and critical sections are a
+  /// couple of pointer moves).
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  bool PopLocal(size_t self, std::function<void()>* task);
+  bool Steal(size_t self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+  /// Tasks queued but not yet popped; the sleep/wake predicate.
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_deque_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;  // guarded by sleep_mutex_
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_UTIL_THREAD_POOL_H_

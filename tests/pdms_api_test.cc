@@ -329,6 +329,74 @@ TEST(TransportEquivalenceTest, InstantNeedsNoTickPerHopForQueries) {
   EXPECT_EQ(report.rows.size(), 4u);
 }
 
+// --- Parallel round execution ---------------------------------------------------
+
+/// Discovery + convergence on a symmetrized scale-free synthetic network,
+/// returning every (edge, attribute) posterior. `parallelism` must not
+/// change the result: peers only touch their own state during a round and
+/// the engine issues transport sends in canonical peer order, so even the
+/// lossy simulator draws the same drop sequence.
+std::vector<double> ConvergedPosteriors(size_t parallelism,
+                                        double send_probability) {
+  constexpr size_t kNetAttrs = 6;
+  Rng rng(123);
+  Digraph graph = topology::BarabasiAlbert(24, 2, &rng);
+  topology::Symmetrize(&graph);
+  MappingNetworkOptions network_options;
+  network_options.attributes_per_schema = kNetAttrs;
+  const SyntheticPdms synthetic =
+      BuildSyntheticPdms(graph, network_options, &rng);
+
+  EngineOptions options;
+  options.probe_ttl = 3;
+  options.closure_limits.min_cycle_length = 2;
+  options.closure_limits.max_cycle_length = 3;
+  options.network.send_probability = send_probability;
+  options.network.seed = 7;
+  options.parallelism = parallelism;
+  Pdms pdms =
+      PdmsBuilder::FromSynthetic(synthetic).WithOptions(options).Build().value();
+  EXPECT_GT(pdms.session().Discover(), 0u);
+  pdms.session().Converge(60);
+
+  std::vector<double> posteriors;
+  for (EdgeId e : pdms.graph().LiveEdges()) {
+    for (AttributeId a = 0; a < kNetAttrs; ++a) {
+      posteriors.push_back(pdms.Posterior(e, a));
+    }
+  }
+  return posteriors;
+}
+
+TEST(ParallelDeterminismTest, ParallelPosteriorsMatchSerialTo1e12) {
+  for (const double send_probability : {1.0, 0.6}) {
+    const std::vector<double> serial =
+        ConvergedPosteriors(1, send_probability);
+    ASSERT_FALSE(serial.empty());
+    for (const size_t parallelism : {2, 4, 8}) {
+      const std::vector<double> parallel =
+          ConvergedPosteriors(parallelism, send_probability);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_NEAR(parallel[i], serial[i], 1e-12)
+            << "posterior " << i << " at parallelism " << parallelism
+            << ", P(send)=" << send_probability;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, BuilderParallelismKnobIsAppliedAtBuildTime) {
+  EngineOptions options;
+  Pdms pdms = IntroBuilder(options).WithParallelism(4).Build().value();
+  EXPECT_EQ(pdms.options().parallelism, 4u);
+  // Order with WithOptions must not matter.
+  PdmsBuilder builder = IntroBuilder(options);
+  builder.WithParallelism(2).WithOptions(options);
+  Pdms reordered = builder.Build().value();
+  EXPECT_EQ(reordered.options().parallelism, 2u);
+}
+
 // --- Session observers --------------------------------------------------------
 
 class CountingObserver final : public RoundObserver {
