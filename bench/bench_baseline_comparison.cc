@@ -21,11 +21,11 @@ namespace pdms {
 namespace {
 
 std::vector<ClosureEvidence> EvidenceFromPdms(const Pdms& pdms) {
-  std::set<std::string> seen;
+  std::set<FactorId> seen;
   std::vector<ClosureEvidence> evidence;
   for (PeerId p = 0; p < pdms.peer_count(); ++p) {
     for (const Peer::ReplicaView& view : pdms.peer(p).ReplicaViews()) {
-      if (!seen.insert(view.key.value).second) continue;
+      if (!seen.insert(view.id).second) continue;
       evidence.push_back(ClosureEvidence{view.members, view.sign});
     }
   }

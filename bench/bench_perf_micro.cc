@@ -62,7 +62,7 @@ FactorGraph MakeLoopyGraph(size_t cycles, size_t vars_per_cycle) {
   for (size_t i = 0; i < total_vars; ++i) {
     const VarId v = graph.AddVariable("m");
     vars.push_back(v);
-    Result<FactorId> prior =
+    Result<FactorIndex> prior =
         graph.AddFactor(std::make_unique<PriorFactor>(v, 0.6));
     (void)prior;
   }
@@ -71,7 +71,7 @@ FactorGraph MakeLoopyGraph(size_t cycles, size_t vars_per_cycle) {
     for (size_t i = 0; i < vars_per_cycle; ++i) {
       scope.push_back(vars[(c + i) % vars.size()]);
     }
-    Result<FactorId> factor = graph.AddFactor(
+    Result<FactorIndex> factor = graph.AddFactor(
         std::make_unique<CycleFeedbackFactor>(scope, rng.Bernoulli(0.7), 0.1));
     (void)factor;
   }

@@ -20,9 +20,11 @@
 // rounds: fast enough for every PR, still end-to-end through discovery,
 // parallel rounds, transport accounting and the JSON writer.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -51,9 +53,21 @@ struct BenchResult {
   double rounds_per_sec = 0.0;
   double belief_updates_per_round = 0.0;
   double bytes_per_round = 0.0;
+  double key_bytes_per_round = 0.0;
+  double round_seconds_p50 = 0.0;
+  double round_seconds_p95 = 0.0;
   double speedup_vs_serial = 1.0;
   double max_posterior_diff_vs_serial = 0.0;
 };
+
+/// Nearest-rank percentile of the (unsorted) per-round wall times.
+double Percentile(std::vector<double> values, double fraction) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
 
 double Seconds(std::chrono::steady_clock::time_point begin,
                std::chrono::steady_clock::time_point end) {
@@ -118,9 +132,14 @@ BenchResult RunConfig(const std::string& topology, const SyntheticPdms& workload
   session.Step();  // warm-up: first exchange populates remote messages
   pdms.transport().ResetStats();
   uint64_t updates = 0;
+  std::vector<double> round_seconds;
+  round_seconds.reserve(rounds);
   const auto begin = std::chrono::steady_clock::now();
   for (size_t r = 0; r < rounds; ++r) {
+    const auto round_begin = std::chrono::steady_clock::now();
     updates += session.Step().belief_updates_sent;
+    round_seconds.push_back(
+        Seconds(round_begin, std::chrono::steady_clock::now()));
   }
   result.seconds = Seconds(begin, std::chrono::steady_clock::now());
   result.rounds_per_sec =
@@ -130,6 +149,11 @@ BenchResult RunConfig(const std::string& topology, const SyntheticPdms& workload
   result.bytes_per_round =
       static_cast<double>(pdms.transport().stats().bytes_sent) /
       static_cast<double>(rounds);
+  result.key_bytes_per_round =
+      static_cast<double>(pdms.transport().stats().key_bytes_sent) /
+      static_cast<double>(rounds);
+  result.round_seconds_p50 = Percentile(round_seconds, 0.50);
+  result.round_seconds_p95 = Percentile(round_seconds, 0.95);
 
   *sample_out = SamplePosteriors(pdms);
   if (serial_sample != nullptr) {
@@ -151,7 +175,9 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"scale_10k\",\n");
-  std::fprintf(out, "  \"schema_version\": 1,\n");
+  // v2: + key_bytes_per_round (FactorId fingerprint bytes on the wire)
+  //     + round_seconds_p50 / round_seconds_p95 per-round latency.
+  std::fprintf(out, "  \"schema_version\": 2,\n");
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
@@ -165,11 +191,14 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
         "\"factors\": %zu, \"parallelism\": %zu, \"rounds\": %zu, "
         "\"discover_seconds\": %.6f, \"seconds\": %.6f, "
         "\"rounds_per_sec\": %.3f, \"belief_updates_per_round\": %.1f, "
-        "\"bytes_per_round\": %.1f, \"speedup_vs_serial\": %.3f, "
+        "\"bytes_per_round\": %.1f, \"key_bytes_per_round\": %.1f, "
+        "\"round_seconds_p50\": %.6f, \"round_seconds_p95\": %.6f, "
+        "\"speedup_vs_serial\": %.3f, "
         "\"max_posterior_diff_vs_serial\": %.3e}%s\n",
         r.topology.c_str(), r.peers, r.edges, r.factors, r.parallelism,
         r.rounds, r.discover_seconds, r.seconds, r.rounds_per_sec,
-        r.belief_updates_per_round, r.bytes_per_round, r.speedup_vs_serial,
+        r.belief_updates_per_round, r.bytes_per_round, r.key_bytes_per_round,
+        r.round_seconds_p50, r.round_seconds_p95, r.speedup_vs_serial,
         r.max_posterior_diff_vs_serial, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -207,16 +236,26 @@ int Main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : "";
     };
+    // Rejects flags whose value is missing or contains no digits instead
+    // of crashing on an empty list downstream.
+    auto next_list = [&](const char* flag) {
+      const std::vector<size_t> values = ParseSizeList(next());
+      if (values.empty()) {
+        std::fprintf(stderr, "%s needs a comma-separated number list\n", flag);
+        std::exit(2);
+      }
+      return values;
+    };
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--peers") {
-      peer_counts = ParseSizeList(next());
+      peer_counts = next_list("--peers");
     } else if (arg == "--parallelism") {
-      parallelism_levels = ParseSizeList(next());
+      parallelism_levels = next_list("--parallelism");
     } else if (arg == "--rounds") {
-      rounds = ParseSizeList(next()).at(0);
+      rounds = next_list("--rounds").front();
     } else if (arg == "--topology") {
       topologies = {next()};
     } else {
@@ -255,10 +294,15 @@ int Main(int argc, char** argv) {
         if (result.max_posterior_diff_vs_serial > 1e-12) deterministic = false;
         std::printf(
             "%s n=%-6zu edges=%-6zu factors=%-7zu p=%zu  %8.2f rounds/s  "
-            "(x%.2f vs serial)  %.1f MB/round  max|Δposterior|=%.1e\n",
+            "(x%.2f vs serial)  %.1f MB/round (%.1f%% key)  "
+            "p50/p95=%.1f/%.1f ms  max|Δposterior|=%.1e\n",
             topology.c_str(), result.peers, result.edges, result.factors,
             result.parallelism, result.rounds_per_sec,
             result.speedup_vs_serial, result.bytes_per_round / 1e6,
+            result.bytes_per_round > 0.0
+                ? 100.0 * result.key_bytes_per_round / result.bytes_per_round
+                : 0.0,
+            result.round_seconds_p50 * 1e3, result.round_seconds_p95 * 1e3,
             result.max_posterior_diff_vs_serial);
         results.push_back(std::move(result));
       }

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <thread>
+#include <unordered_set>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace pdms {
@@ -73,7 +75,8 @@ void PdmsEngine::DispatchEnvelope(PeerId to, Envelope& envelope) {
     SendAll(to, peer.HandleProbe(*probe));
   } else if (auto* feedback =
                  std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
-    peer.IngestFeedback(*feedback);
+    const Status status = peer.IngestFeedback(*feedback);
+    if (!status.ok()) PDMS_LOG_WARNING << status.message();
   } else if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
     for (const BeliefUpdate& update : beliefs->updates) {
       peer.AbsorbBeliefUpdate(update);
@@ -151,7 +154,8 @@ void PdmsEngine::DeliverRoundMessages() {
         }
       } else if (auto* feedback =
                      std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
-        peer.IngestFeedback(*feedback);
+        const Status status = peer.IngestFeedback(*feedback);
+        if (!status.ok()) PDMS_LOG_WARNING << status.message();
       }
     }
   });
@@ -181,7 +185,8 @@ void PdmsEngine::InjectFeedback(const FeedbackAnnouncement& announcement) {
     if (graph_.edge_alive(edge)) owners.insert(graph_.edge(edge).src);
   }
   for (PeerId owner : owners) {
-    peers_[owner]->IngestFeedback(announcement);
+    const Status status = peers_[owner]->IngestFeedback(announcement);
+    if (!status.ok()) PDMS_LOG_WARNING << status.message();
   }
 }
 
@@ -210,15 +215,19 @@ RoundReport PdmsEngine::RunRound() {
     // sequence at every parallelism level (the determinism guarantee).
     round_outgoing_.resize(n);
     ForEachPeer([this](size_t p) {
-      round_outgoing_[p] = peers_[p]->CollectOutgoingBeliefs();
+      peers_[p]->CollectOutgoingBeliefs(&round_outgoing_[p]);
     });
     for (PeerId p = 0; p < n; ++p) {
-      for (const Outgoing& message : round_outgoing_[p]) {
+      // Send in place (moving only the payloads) so each peer's collected
+      // vector keeps its capacity — the arena CollectOutgoingBeliefs
+      // refills next round.
+      for (Outgoing& message : round_outgoing_[p]) {
         const auto& bundle = std::get<BeliefMessage>(message.payload);
         report.belief_updates_sent += bundle.updates.size();
         ++report.belief_envelopes_sent;
+        transport_->Send(p, message.to, message.via,
+                         std::move(message.payload));
       }
-      SendAll(p, std::move(round_outgoing_[p]));
       round_outgoing_[p].clear();
     }
   }
@@ -311,13 +320,13 @@ Status PdmsEngine::RemoveMapping(EdgeId edge) {
 }
 
 size_t PdmsEngine::UniqueFactorCount() const {
-  std::set<FactorKey> keys;
+  std::unordered_set<FactorId, FactorIdHash> ids;
   for (const auto& peer : peers_) {
     for (const Peer::ReplicaView& view : peer->ReplicaViews()) {
-      keys.insert(view.key);
+      ids.insert(view.id);
     }
   }
-  return keys.size();
+  return ids.size();
 }
 
 FactorGraph PdmsEngine::BuildGlobalFactorGraph(
@@ -325,7 +334,7 @@ FactorGraph PdmsEngine::BuildGlobalFactorGraph(
   FactorGraph graph;
   std::map<MappingVarKey, VarId> var_ids;
   std::vector<MappingVarKey> vars;
-  std::set<FactorKey> added_factors;
+  std::unordered_set<FactorId, FactorIdHash> added_factors;
 
   auto var_id = [&](const MappingVarKey& key) {
     const auto it = var_ids.find(key);
@@ -335,7 +344,7 @@ FactorGraph PdmsEngine::BuildGlobalFactorGraph(
     vars.push_back(key);
     // Prior factor from the owner's belief.
     const PeerId owner = graph_.edge(key.edge).src;
-    Result<FactorId> prior = graph.AddFactor(
+    Result<FactorIndex> prior = graph.AddFactor(
         std::make_unique<PriorFactor>(id, peers_[owner]->Prior(key)));
     assert(prior.ok());
     (void)prior;
@@ -344,13 +353,13 @@ FactorGraph PdmsEngine::BuildGlobalFactorGraph(
 
   for (const auto& peer : peers_) {
     for (const Peer::ReplicaView& view : peer->ReplicaViews()) {
-      if (!added_factors.insert(view.key).second) continue;
+      if (!added_factors.insert(view.id).second) continue;
       std::vector<VarId> scope;
       scope.reserve(view.members.size());
       for (const MappingVarKey& member : view.members) {
         scope.push_back(var_id(member));
       }
-      Result<FactorId> factor =
+      Result<FactorIndex> factor =
           graph.AddFactor(std::make_unique<CycleFeedbackFactor>(
               scope, view.sign == FeedbackSign::kPositive, view.delta));
       assert(factor.ok());

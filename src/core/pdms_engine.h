@@ -147,7 +147,7 @@ class PdmsEngine {
   const Transport& transport() const { return *transport_; }
   const EngineOptions& options() const { return options_; }
 
-  /// Total distinct factor replicas (unique FactorKeys across peers).
+  /// Total distinct factor replicas (unique FactorIds across peers).
   size_t UniqueFactorCount() const;
 
   /// Materializes the *global* factor graph implied by the current peer

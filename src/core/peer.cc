@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <map>
+#include <span>
 
 #include "util/string_util.h"
 
@@ -37,24 +37,43 @@ void Peer::RemoveMapping(EdgeId edge) {
       [](const auto& entry, EdgeId e) { return entry.first < e; });
   if (it != mappings_.end() && it->first == edge) mappings_.erase(it);
 
-  // Drop every replica referencing the edge, then rebuild the indexes and
-  // per-variable slot lists. Churn is rare; rounds are hot.
+  // Drop every replica referencing the edge, then rebuild the indexes,
+  // recompact the message pools, and rebuild the per-variable slot lists
+  // and belief routing tables. Churn is rare; rounds are hot.
+  const std::vector<Belief> old_var_to_factor = std::move(var_to_factor_pool_);
+  const std::vector<Belief> old_factor_to_var = std::move(factor_to_var_pool_);
+  var_to_factor_pool_.clear();
+  factor_to_var_pool_.clear();
   std::vector<Replica> kept;
   kept.reserve(replicas_.size());
   for (Replica& replica : replicas_) {
     const bool touches = std::any_of(
         replica.members.begin(), replica.members.end(),
         [edge](const MappingVarKey& var) { return var.edge == edge; });
-    if (!touches) kept.push_back(std::move(replica));
+    if (touches) continue;
+    const uint32_t old_base = replica.msg_base;
+    const size_t n = replica.members.size();
+    replica.msg_base = static_cast<uint32_t>(var_to_factor_pool_.size());
+    var_to_factor_pool_.insert(var_to_factor_pool_.end(),
+                               old_var_to_factor.begin() + old_base,
+                               old_var_to_factor.begin() + old_base + n);
+    factor_to_var_pool_.insert(factor_to_var_pool_.end(),
+                               old_factor_to_var.begin() + old_base,
+                               old_factor_to_var.begin() + old_base + n);
+    kept.push_back(std::move(replica));
   }
   replicas_ = std::move(kept);
   replica_index_.clear();
+  replica_msg_base_.clear();
+  belief_routes_.clear();
   for (VarState& var : vars_) var.slots.clear();
   for (uint32_t r = 0; r < replicas_.size(); ++r) {
-    replica_index_.emplace(replicas_[r].key.value, r);
+    replica_index_.emplace(replicas_[r].id, r);
+    replica_msg_base_.push_back(replicas_[r].msg_base);
     for (uint32_t pos : replicas_[r].owned_positions) {
       vars_[InternVar(replicas_[r].members[pos])].slots.emplace_back(r, pos);
     }
+    AddReplicaToRoutes(r);
   }
 }
 
@@ -80,6 +99,9 @@ uint32_t Peer::InternVar(const MappingVarKey& var) {
   if (inserted) {
     VarState state;
     state.key = var;
+    // Interning appends, so each edge's index list stays ascending — the
+    // iteration order PiggybackUpdatesFor depends on for determinism.
+    edge_vars_[var.edge].push_back(it->second);
     vars_.push_back(std::move(state));
   }
   return it->second;
@@ -123,7 +145,7 @@ Belief Peer::PosteriorBelief(const MappingVarKey& var) const {
   Belief posterior = Belief::FromProbability(Prior(var));
   if (const VarState* state = FindVar(var)) {
     for (const auto& [replica, position] : state->slots) {
-      posterior *= replicas_[replica].factor_to_var[position];
+      posterior *= factor_to_var_pool_[replica_msg_base_[replica] + position];
     }
   }
   return posterior.Normalized();
@@ -157,85 +179,159 @@ double Peer::EffectiveDelta() const {
   return s > 1 ? 1.0 / static_cast<double>(s - 1) : 0.5;
 }
 
-void Peer::IngestFeedback(const FeedbackAnnouncement& announcement) {
+namespace {
+
+/// True when the two (closure, root attribute) pairs describe the same
+/// factor content — the equality `FactorId::Make` fingerprints.
+bool SameFactorContent(const Closure& a, AttributeId a_root, const Closure& b,
+                       AttributeId b_root) {
+  if (a_root != b_root || a.kind != b.kind || a.source != b.source) {
+    return false;
+  }
+  if (a.kind == Closure::Kind::kParallelPaths &&
+      (a.sink != b.sink || a.split != b.split)) {
+    return false;
+  }
+  if (a.edges.size() != b.edges.size()) return false;
+  std::vector<EdgeId> a_sorted = a.edges;
+  std::vector<EdgeId> b_sorted = b.edges;
+  std::sort(a_sorted.begin(), a_sorted.end());
+  std::sort(b_sorted.begin(), b_sorted.end());
+  return a_sorted == b_sorted;
+}
+
+}  // namespace
+
+Status Peer::IngestFeedback(const FeedbackAnnouncement& announcement) {
+  Status status = Status::Ok();
   for (const AttributeFeedback& feedback : announcement.feedback) {
     if (feedback.sign == FeedbackSign::kNeutral) continue;
-    FactorKey key = FactorKey::Make(announcement.closure,
-                                    feedback.root_attribute);
-    if (replica_index_.count(key.value) > 0) continue;  // idempotent
-    const bool owns_member = std::any_of(
-        feedback.members.begin(), feedback.members.end(),
-        [this](const MappingVarKey& var) {
-          return graph_->edge_alive(var.edge) &&
-                 graph_->edge(var.edge).src == id_;
-        });
-    if (!owns_member) continue;
+    Status entry = IngestFactor(
+        FactorId::Make(announcement.closure, feedback.root_attribute),
+        announcement.closure, feedback, announcement.delta);
+    if (!entry.ok() && status.ok()) status = std::move(entry);
+  }
+  return status;
+}
 
-    Replica replica;
-    replica.key = key;
-    replica.closure = announcement.closure;
-    replica.sign = feedback.sign;
-    replica.members = feedback.members;
-    replica.delta = announcement.delta;
-    const size_t n = replica.members.size();
-    std::vector<VarId> positions(n);
-    for (size_t i = 0; i < n; ++i) positions[i] = static_cast<VarId>(i);
-    replica.factor = std::make_unique<CycleFeedbackFactor>(
-        positions, feedback.sign == FeedbackSign::kPositive, replica.delta);
-    replica.var_to_factor.assign(n, Belief::Unit());
-    replica.factor_to_var.assign(n, Belief::Unit());
-    replica.owner_of_member.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      replica.owner_of_member[i] = graph_->edge(replica.members[i].edge).src;
-      if (replica.owner_of_member[i] == id_) {
-        // Own variables start from the locally-known prior instead of the
-        // unit message; remote ones stay unit until heard from.
-        replica.var_to_factor[i] =
-            Belief::FromProbability(Prior(replica.members[i]));
-        replica.owned_positions.push_back(static_cast<uint32_t>(i));
-      } else {
-        replica.other_owners.push_back(replica.owner_of_member[i]);
-      }
+Status Peer::IngestFactor(const FactorId& id, const Closure& closure,
+                          const AttributeFeedback& feedback, double delta) {
+  const auto existing = replica_index_.find(id);
+  if (existing != replica_index_.end()) {
+    const Replica& stored = replicas_[existing->second];
+    // Position-based update addressing makes the member *sequence*
+    // load-bearing across replicas, so content equality requires it
+    // verbatim, on top of the closure structure the id fingerprints. A
+    // same-id announcement with permuted or substituted members would
+    // silently cross-wire remote µ-messages if accepted.
+    if (SameFactorContent(stored.closure, stored.root_attribute, closure,
+                          feedback.root_attribute) &&
+        stored.members == feedback.members) {
+      // Same factor identity: idempotent. Sign/∆ deliberately do not
+      // participate — they are observations, and a re-observation keeps
+      // the first value (first-wins, as the string-key path always did).
+      return Status::Ok();
     }
-    std::sort(replica.other_owners.begin(), replica.other_owners.end());
-    replica.other_owners.erase(
-        std::unique(replica.other_owners.begin(), replica.other_owners.end()),
-        replica.other_owners.end());
+    // Distinct factor content under the same 128-bit id: reject loudly
+    // instead of storing it.
+    return Status::FailedPrecondition(
+        StrFormat("factor fingerprint collision on %s at peer %u",
+                  id.ToString().c_str(), id_));
+  }
+  const bool owns_member = std::any_of(
+      feedback.members.begin(), feedback.members.end(),
+      [this](const MappingVarKey& var) {
+        return graph_->edge_alive(var.edge) && graph_->edge(var.edge).src == id_;
+      });
+  if (!owns_member) return Status::Ok();
 
-    const auto index = static_cast<uint32_t>(replicas_.size());
-    replicas_.push_back(std::move(replica));
-    replica_index_.emplace(std::move(key.value), index);
-    for (uint32_t pos : replicas_[index].owned_positions) {
-      vars_[InternVar(replicas_[index].members[pos])].slots.emplace_back(index,
-                                                                         pos);
+  Replica replica;
+  replica.id = id;
+  replica.closure = closure;
+  replica.root_attribute = feedback.root_attribute;
+  replica.sign = feedback.sign;
+  replica.members = feedback.members;
+  replica.delta = delta;
+  const size_t n = replica.members.size();
+  std::vector<VarId> positions(n);
+  for (size_t i = 0; i < n; ++i) positions[i] = static_cast<VarId>(i);
+  replica.factor = std::make_unique<CycleFeedbackFactor>(
+      positions, feedback.sign == FeedbackSign::kPositive, replica.delta);
+  replica.msg_base = static_cast<uint32_t>(var_to_factor_pool_.size());
+  var_to_factor_pool_.resize(replica.msg_base + n, Belief::Unit());
+  factor_to_var_pool_.resize(replica.msg_base + n, Belief::Unit());
+  replica.owner_of_member.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    replica.owner_of_member[i] = graph_->edge(replica.members[i].edge).src;
+    if (replica.owner_of_member[i] == id_) {
+      // Own variables start from the locally-known prior instead of the
+      // unit message; remote ones stay unit until heard from.
+      var_to_factor_pool_[replica.msg_base + i] =
+          Belief::FromProbability(Prior(replica.members[i]));
+      replica.owned_positions.push_back(static_cast<uint32_t>(i));
+    } else {
+      replica.other_owners.push_back(replica.owner_of_member[i]);
+    }
+  }
+  std::sort(replica.other_owners.begin(), replica.other_owners.end());
+  replica.other_owners.erase(
+      std::unique(replica.other_owners.begin(), replica.other_owners.end()),
+      replica.other_owners.end());
+
+  const auto index = static_cast<uint32_t>(replicas_.size());
+  replicas_.push_back(std::move(replica));
+  replica_index_.emplace(id, index);
+  replica_msg_base_.push_back(replicas_[index].msg_base);
+  for (uint32_t pos : replicas_[index].owned_positions) {
+    vars_[InternVar(replicas_[index].members[pos])].slots.emplace_back(index,
+                                                                       pos);
+  }
+  AddReplicaToRoutes(index);
+  return Status::Ok();
+}
+
+void Peer::AddReplicaToRoutes(uint32_t r) {
+  const Replica& replica = replicas_[r];
+  if (replica.owned_positions.empty()) return;
+  for (PeerId peer : replica.other_owners) {
+    auto it = std::lower_bound(
+        belief_routes_.begin(), belief_routes_.end(), peer,
+        [](const BeliefRoute& route, PeerId p) { return route.to < p; });
+    if (it == belief_routes_.end() || it->to != peer) {
+      it = belief_routes_.insert(it, BeliefRoute{peer, {}});
+    }
+    // Replicas register in ascending index order, so each route's slot
+    // list stays sorted by (replica, position) — the canonical emission
+    // order the determinism guarantee rides on.
+    for (uint32_t pos : replica.owned_positions) {
+      it->slots.emplace_back(r, pos);
     }
   }
 }
 
 void Peer::AbsorbBeliefUpdate(const BeliefUpdate& update) {
-  const auto it = replica_index_.find(update.factor.value);
+  const auto it = replica_index_.find(update.factor);
   if (it == replica_index_.end()) return;  // closure unknown here: ignore
-  Replica& replica = replicas_[it->second];
-  for (size_t i = 0; i < replica.members.size(); ++i) {
-    if (replica.members[i] == update.var && replica.owner_of_member[i] != id_) {
-      replica.var_to_factor[i] = update.belief;
-    }
-  }
+  const Replica& replica = replicas_[it->second];
+  if (update.position >= replica.members.size()) return;  // malformed
+  if (replica.owner_of_member[update.position] == id_) return;  // forged
+  var_to_factor_pool_[replica.msg_base + update.position] = update.belief;
 }
 
 double Peer::ComputeRound() {
   // Phase 1: factor -> variable messages for owned members, from the
   // var -> factor state of the previous round (synchronous flooding).
   const bool damped = options_->damping > 0.0;
-  for (Replica& replica : replicas_) {
+  for (const Replica& replica : replicas_) {
+    const std::span<const Belief> incoming(
+        var_to_factor_pool_.data() + replica.msg_base, replica.members.size());
     for (uint32_t pos : replica.owned_positions) {
-      Belief computed =
-          replica.factor->MessageTo(pos, replica.var_to_factor).Rescaled();
+      Belief& target = factor_to_var_pool_[replica.msg_base + pos];
+      Belief computed = replica.factor->MessageTo(pos, incoming).Rescaled();
       if (damped) {
-        computed = replica.factor_to_var[pos].DampedToward(
-            computed, 1.0 - options_->damping);
+        computed = target.DampedToward(computed, 1.0 - options_->damping);
       }
-      replica.factor_to_var[pos] = computed;
+      target = computed;
     }
   }
   // Phase 2: variable -> factor messages for owned variables:
@@ -252,15 +348,15 @@ double Peer::ComputeRound() {
     ExclusivePrefixSuffixProducts(
         k,
         [&](size_t j) -> const Belief& {
-          return replicas_[var.slots[j].first]
-              .factor_to_var[var.slots[j].second];
+          return factor_to_var_pool_[replica_msg_base_[var.slots[j].first] +
+                                     var.slots[j].second];
         },
         &prefix_scratch_, &suffix_scratch_);
     for (size_t j = 0; j < k; ++j) {
       const Belief message =
           (prior * prefix_scratch_[j] * suffix_scratch_[j + 1]).Rescaled();
-      replicas_[var.slots[j].first].var_to_factor[var.slots[j].second] =
-          message;
+      var_to_factor_pool_[replica_msg_base_[var.slots[j].first] +
+                          var.slots[j].second] = message;
     }
     // Convergence metric: posterior change over owned variables, with the
     // ⊥ rule applied exactly as in PosteriorBelief.
@@ -280,35 +376,39 @@ double Peer::ComputeRound() {
   return max_change;
 }
 
-std::vector<Outgoing> Peer::CollectOutgoingBeliefs() const {
-  // Ordered bundles: recipients in ascending PeerId keeps the engine's
-  // send sequence canonical (the determinism anchor for lossy transports).
-  std::map<PeerId, BeliefMessage> bundles;
-  for (const Replica& replica : replicas_) {
-    if (replica.owned_positions.empty()) continue;
-    for (PeerId peer : replica.other_owners) {
-      BeliefMessage& bundle = bundles[peer];
-      for (uint32_t pos : replica.owned_positions) {
-        bundle.updates.push_back(BeliefUpdate{
-            replica.key, replica.members[pos], replica.var_to_factor[pos]});
-      }
+void Peer::CollectOutgoingBeliefs(std::vector<Outgoing>* out) const {
+  // The routing tables already hold recipients in ascending PeerId — the
+  // determinism anchor for lossy transports — and every slot to emit, so
+  // this is a straight pour: no per-round map, no re-bucketing.
+  out->clear();
+  out->reserve(belief_routes_.size());
+  for (const BeliefRoute& route : belief_routes_) {
+    BeliefMessage bundle;
+    bundle.updates.reserve(route.slots.size());
+    for (const auto& [replica, pos] : route.slots) {
+      bundle.updates.push_back(
+          BeliefUpdate{replicas_[replica].id, pos,
+                       var_to_factor_pool_[replica_msg_base_[replica] + pos]});
     }
+    out->push_back(Outgoing{route.to, std::nullopt, std::move(bundle)});
   }
+}
+
+std::vector<Outgoing> Peer::CollectOutgoingBeliefs() const {
   std::vector<Outgoing> out;
-  out.reserve(bundles.size());
-  for (auto& [peer, bundle] : bundles) {
-    out.push_back(Outgoing{peer, std::nullopt, std::move(bundle)});
-  }
+  CollectOutgoingBeliefs(&out);
   return out;
 }
 
 std::vector<BeliefUpdate> Peer::PiggybackUpdatesFor(EdgeId edge) const {
   std::vector<BeliefUpdate> updates;
-  for (const VarState& var : vars_) {
-    if (var.key.edge != edge) continue;
-    for (const auto& [replica, position] : var.slots) {
-      updates.push_back(BeliefUpdate{replicas_[replica].key, var.key,
-                                     replicas_[replica].var_to_factor[position]});
+  const auto it = edge_vars_.find(edge);
+  if (it == edge_vars_.end()) return updates;
+  for (uint32_t v : it->second) {
+    for (const auto& [replica, position] : vars_[v].slots) {
+      updates.push_back(BeliefUpdate{
+          replicas_[replica].id, position,
+          var_to_factor_pool_[replica_msg_base_[replica] + position]});
     }
   }
   return updates;
@@ -318,8 +418,9 @@ std::vector<Peer::ReplicaView> Peer::ReplicaViews() const {
   std::vector<ReplicaView> views;
   views.reserve(replicas_.size());
   for (const Replica& replica : replicas_) {
-    views.push_back(ReplicaView{replica.key, replica.sign, replica.members,
-                                replica.delta, replica.closure.kind});
+    views.push_back(ReplicaView{replica.id, replica.root_attribute,
+                                replica.sign, replica.members, replica.delta,
+                                replica.closure.kind});
   }
   return views;
 }
@@ -496,8 +597,8 @@ std::vector<Outgoing> Peer::HandleProbe(const ProbeMessage& probe) {
       closure.split = probe.route.size();
       closure.source = id_;
       closure.sink = id_;
-      const FactorKey base = FactorKey::Make(closure, 0);
-      if (announced_.insert(base.value).second) {
+      const FactorId base = FactorId::Make(closure, 0);
+      if (announced_.insert(base).second) {
         FeedbackAnnouncement announcement;
         announcement.closure = std::move(closure);
         announcement.delta = EffectiveDelta();
@@ -532,8 +633,8 @@ std::vector<Outgoing> Peer::HandleProbe(const ProbeMessage& probe) {
       closure.split = first->route.size();
       closure.source = probe.origin;
       closure.sink = id_;
-      const FactorKey base = FactorKey::Make(closure, 0);
-      if (!announced_.insert(base.value).second) continue;
+      const FactorId base = FactorId::Make(closure, 0);
+      if (!announced_.insert(base).second) continue;
       FeedbackAnnouncement announcement;
       announcement.closure = std::move(closure);
       announcement.delta = EffectiveDelta();

@@ -47,10 +47,15 @@ struct QueryActions {
 /// peers on distinct threads; a single `Peer` is not itself thread-safe.
 ///
 /// Hot-path layout: replicas and mapping variables are interned into dense
-/// arrays (`replicas_`, `vars_`) with hashed indexes, and each variable
-/// keeps its (replica, position) slots so a round touches contiguous state
-/// instead of walking ordered maps — `ComputeRound` performs no heap
-/// allocation after the first round with a given evidence set.
+/// arrays (`replicas_`, `vars_`) indexed by 128-bit `FactorId` fingerprints
+/// (identity-hashed — no string keys anywhere past ingest), and each
+/// variable keeps its (replica, position) slots. Replica message state
+/// lives in two contiguous structure-of-arrays pools shared by all
+/// replicas (`var_to_factor_pool_`, `factor_to_var_pool_`, slot =
+/// `msg_base + position`), so `ComputeRound` streams cache lines instead
+/// of chasing per-replica vectors and performs no heap allocation after
+/// the first round with a given evidence set. Outgoing belief bundles are
+/// emitted from per-recipient routing tables precomputed at ingest.
 class Peer {
  public:
   /// `graph` is the shared topology (used only to resolve edge endpoints,
@@ -101,9 +106,26 @@ class Peer {
   // --- Embedded message passing ----------------------------------------------
 
   /// Ingests an announced closure + feedback (creates factor replicas).
-  void IngestFeedback(const FeedbackAnnouncement& announcement);
+  /// Returns the first fingerprint-collision error encountered, if any;
+  /// non-colliding entries of the announcement are still ingested.
+  Status IngestFeedback(const FeedbackAnnouncement& announcement);
 
-  /// Stores a remote var->factor message.
+  /// Registers one factor replica under an explicit id. The normal path
+  /// (`IngestFeedback`) derives the id from the closure content; this
+  /// entry point is the seam for wire-level replay and for exercising the
+  /// collision check directly. Fails with `FailedPrecondition` when `id`
+  /// is already bound to a replica with *different* factor identity
+  /// (closure structure, root attribute, or member sequence — a
+  /// fingerprint collision); re-ingesting the same identity is an
+  /// idempotent no-op. Sign and ∆ are *observations*, not identity: a
+  /// re-announcement of a known factor with a different sign or ∆ keeps
+  /// the first observation (first-wins, matching the pre-fingerprint
+  /// behavior) rather than being treated as a collision.
+  Status IngestFactor(const FactorId& id, const Closure& closure,
+                      const AttributeFeedback& feedback, double delta);
+
+  /// Stores a remote var->factor message. O(1): the update addresses the
+  /// factor by fingerprint and the variable by member position.
   void AbsorbBeliefUpdate(const BeliefUpdate& update);
 
   /// Executes one local inference round: recomputes factor->var messages
@@ -112,7 +134,13 @@ class Peer {
   double ComputeRound();
 
   /// Remote messages to the other owners of this peer's factor replicas,
-  /// bundled per recipient (the Section 4.3.1 periodic payload).
+  /// bundled per recipient in ascending-PeerId order (the Section 4.3.1
+  /// periodic payload). Bundles are emitted straight from the precomputed
+  /// routing tables into `*out`, which is cleared first and may be reused
+  /// across rounds as an arena — per-bundle sizes are known up front, so
+  /// the only allocations are the exact-size update vectors handed to the
+  /// transport.
+  void CollectOutgoingBeliefs(std::vector<Outgoing>* out) const;
   std::vector<Outgoing> CollectOutgoingBeliefs() const;
 
   /// Belief updates pertaining to mapping `edge` (for lazy piggybacking,
@@ -125,7 +153,8 @@ class Peer {
   /// Read-only summary of one stored factor replica (engine introspection:
   /// global-factor-graph reconstruction, baselines, debugging).
   struct ReplicaView {
-    FactorKey key;
+    FactorId id;
+    AttributeId root_attribute = 0;
     FeedbackSign sign = FeedbackSign::kNeutral;
     std::vector<MappingVarKey> members;
     double delta = 0.1;
@@ -164,24 +193,33 @@ class Peer {
   }
 
  private:
-  /// One replicated feedback factor (Section 4.1 local factor graph).
+  /// One replicated feedback factor (Section 4.1 local factor graph). The
+  /// per-member message state lives in the peer-level SoA pools at
+  /// [msg_base, msg_base + members.size()); the replica itself carries
+  /// only cold metadata.
   struct Replica {
-    FactorKey key;
+    FactorId id;
     Closure closure;
+    AttributeId root_attribute = 0;
     FeedbackSign sign = FeedbackSign::kNeutral;
     std::vector<MappingVarKey> members;
     std::vector<PeerId> owner_of_member;
     double delta = 0.1;
     /// The factor function (variables are member positions).
     std::unique_ptr<CycleFeedbackFactor> factor;
-    /// Last µ_{member -> factor} per member (unit until heard otherwise).
-    std::vector<Belief> var_to_factor;
-    /// µ_{factor -> member}, maintained for *owned* members.
-    std::vector<Belief> factor_to_var;
+    /// First slot of this replica's message state in the message pools.
+    uint32_t msg_base = 0;
     /// Member positions owned by this peer, ascending.
     std::vector<uint32_t> owned_positions;
     /// Distinct owners of foreign members, ascending (belief recipients).
     std::vector<PeerId> other_owners;
+  };
+
+  /// Precomputed outgoing-belief route: every (replica, owned position)
+  /// message slot destined for one recipient, in emission order.
+  struct BeliefRoute {
+    PeerId to = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> slots;
   };
 
   /// Everything this peer tracks about one mapping variable: explicit
@@ -202,6 +240,9 @@ class Peer {
   /// Index of `var` in `vars_`, creating the entry on first sight.
   uint32_t InternVar(const MappingVarKey& var);
   const VarState* FindVar(const MappingVarKey& var) const;
+
+  /// Registers replica `r` with the per-recipient belief routing tables.
+  void AddReplicaToRoutes(uint32_t r);
 
   /// ∆ used by this peer when announcing feedback.
   double EffectiveDelta() const;
@@ -243,22 +284,38 @@ class Peer {
   /// which probe/query forwarding depends on for determinism).
   std::vector<std::pair<EdgeId, SchemaMapping>> mappings_;
 
-  /// Dense replica store + hashed index by factor key. Insertion order is
-  /// announcement arrival order (deterministic under the engine's serial
-  /// message dispatch).
+  /// Dense replica store + identity-hashed index by factor fingerprint.
+  /// Insertion order is announcement arrival order (deterministic under
+  /// the engine's serial message dispatch).
   std::vector<Replica> replicas_;
-  std::unordered_map<std::string, uint32_t> replica_index_;
+  std::unordered_map<FactorId, uint32_t, FactorIdHash> replica_index_;
+  /// replica_msg_base_[r] == replicas_[r].msg_base, kept as a flat array
+  /// so hot loops resolve pool slots without touching the replica struct.
+  std::vector<uint32_t> replica_msg_base_;
+
+  /// SoA message pools, indexed by replica msg_base + member position:
+  /// last µ_{member -> factor} per member (unit until heard otherwise),
+  /// and µ_{factor -> member}, maintained for *owned* members.
+  std::vector<Belief> var_to_factor_pool_;
+  std::vector<Belief> factor_to_var_pool_;
+
+  /// Per-recipient outgoing-belief routes, ascending by recipient; built
+  /// incrementally at ingest, rebuilt on mapping removal.
+  std::vector<BeliefRoute> belief_routes_;
 
   /// Dense per-variable state + hashed index by packed (edge, attribute).
   std::vector<VarState> vars_;
   std::unordered_map<uint64_t, uint32_t> var_index_;
+  /// Indexes of `vars_` entries per mapping edge, ascending (lazy-schedule
+  /// piggybacking looks variables up by edge, not by full key).
+  std::unordered_map<EdgeId, std::vector<uint32_t>> edge_vars_;
 
   /// Round scratch (prefix/suffix message products), reused across rounds.
   std::vector<Belief> prefix_scratch_;
   std::vector<Belief> suffix_scratch_;
 
   /// Closures this peer has already announced (dedup).
-  std::unordered_set<std::string> announced_;
+  std::unordered_set<FactorId, FactorIdHash> announced_;
   /// Cached foreign probes per origin for parallel detection.
   std::unordered_map<PeerId, std::vector<ProbeMessage>> probe_cache_;
   std::unordered_set<uint64_t> seen_queries_;

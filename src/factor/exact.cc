@@ -20,13 +20,13 @@ Result<std::vector<Belief>> ExactMarginalsBruteForce(const FactorGraph& graph) {
   // Pre-extract scopes to avoid virtual dispatch in the hot loop where
   // possible; Evaluate is still virtual but cheap.
   std::vector<std::vector<bool>> scratch(graph.factor_count());
-  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+  for (FactorIndex f = 0; f < graph.factor_count(); ++f) {
     scratch[f].resize(graph.factor(f).arity());
   }
 
   for (size_t assignment = 0; assignment < (size_t{1} << n); ++assignment) {
     double weight = 1.0;
-    for (FactorId f = 0; f < graph.factor_count() && weight > 0.0; ++f) {
+    for (FactorIndex f = 0; f < graph.factor_count() && weight > 0.0; ++f) {
       const auto& vars = graph.factor(f).variables();
       for (size_t i = 0; i < vars.size(); ++i) {
         scratch[f][i] = (assignment >> vars[i]) & 1;
@@ -56,7 +56,7 @@ Result<double> ExactPartitionFunction(const FactorGraph& graph) {
   std::vector<bool> scratch;
   for (size_t assignment = 0; assignment < (size_t{1} << n); ++assignment) {
     double weight = 1.0;
-    for (FactorId f = 0; f < graph.factor_count() && weight > 0.0; ++f) {
+    for (FactorIndex f = 0; f < graph.factor_count() && weight > 0.0; ++f) {
       const auto& vars = graph.factor(f).variables();
       scratch.assign(vars.size(), false);
       for (size_t i = 0; i < vars.size(); ++i) {
@@ -174,7 +174,7 @@ Result<Belief> ExactMarginalVariableElimination(const FactorGraph& graph,
     return Status::InvalidArgument(StrFormat("unknown variable %u", target));
   }
   std::list<DenseFactor> pool;
-  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+  for (FactorIndex f = 0; f < graph.factor_count(); ++f) {
     pool.push_back(DenseFactor::FromGraphFactor(graph.factor(f)));
   }
   // Variables lacking any factor contribute a free factor of 2 to Z but do

@@ -44,7 +44,7 @@ double CycleFeedbackFactor::Evaluate(const std::vector<bool>& correct) const {
 }
 
 Belief CycleFeedbackFactor::MessageTo(size_t position,
-                                      const std::vector<Belief>& incoming) const {
+                                      std::span<const Belief> incoming) const {
   assert(incoming.size() == arity());
   // The factor value depends only on the number of incorrect mappings, with
   // three regimes (0 / 1 / >=2 incorrect). Over the *other* variables,
@@ -128,7 +128,7 @@ double TableFactor::Evaluate(const std::vector<bool>& correct) const {
 }
 
 Belief TableFactor::MessageTo(size_t position,
-                              const std::vector<Belief>& incoming) const {
+                              std::span<const Belief> incoming) const {
   assert(incoming.size() == arity());
   Belief message{0.0, 0.0};
   const size_t n = arity();

@@ -2,6 +2,7 @@
 #define PDMS_FACTOR_FACTOR_H_
 
 #include <cstdint>
+#include <span>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,8 +14,9 @@ namespace pdms {
 
 /// Index of a variable node in a `FactorGraph`.
 using VarId = uint32_t;
-/// Index of a factor node in a `FactorGraph`.
-using FactorId = uint32_t;
+/// Index of a factor node in a `FactorGraph` (graph-local; the global
+/// wire identity of a feedback factor is `FactorId` in net/message.h).
+using FactorIndex = uint32_t;
 
 /// A non-negative local function over a subset of binary variables — one
 /// node of the bipartite factor graph (Section 3.1 of the paper).
@@ -43,7 +45,7 @@ class Factor {
   /// Sum-product message to `variables()[position]`. `incoming[i]` is
   /// µ_{variables()[i] -> f}; `incoming[position]` is ignored.
   virtual Belief MessageTo(size_t position,
-                           const std::vector<Belief>& incoming) const = 0;
+                           std::span<const Belief> incoming) const = 0;
 
   /// Short type tag for debugging ("prior", "cycle+", ...).
   virtual std::string Describe() const = 0;
@@ -66,7 +68,7 @@ class PriorFactor : public Factor {
   }
 
   Belief MessageTo(size_t /*position*/,
-                   const std::vector<Belief>& /*incoming*/) const override {
+                   std::span<const Belief> /*incoming*/) const override {
     return Belief::FromProbability(prior_);
   }
 
@@ -99,7 +101,7 @@ class CycleFeedbackFactor : public Factor {
 
   double Evaluate(const std::vector<bool>& correct) const override;
   Belief MessageTo(size_t position,
-                   const std::vector<Belief>& incoming) const override;
+                   std::span<const Belief> incoming) const override;
   std::string Describe() const override;
 
   /// The conditional probability P(feedback-sign | k incorrect mappings).
@@ -125,7 +127,7 @@ class TableFactor : public Factor {
 
   double Evaluate(const std::vector<bool>& correct) const override;
   Belief MessageTo(size_t position,
-                   const std::vector<Belief>& incoming) const override;
+                   std::span<const Belief> incoming) const override;
   std::string Describe() const override;
 
   const std::vector<double>& table() const { return table_; }

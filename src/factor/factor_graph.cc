@@ -10,14 +10,14 @@ VarId FactorGraph::AddVariable(std::string name) {
   return static_cast<VarId>(variable_names_.size() - 1);
 }
 
-Result<FactorId> FactorGraph::AddFactor(std::unique_ptr<Factor> factor) {
+Result<FactorIndex> FactorGraph::AddFactor(std::unique_ptr<Factor> factor) {
   for (VarId v : factor->variables()) {
     if (v >= variable_count()) {
       return Status::InvalidArgument(
           StrFormat("factor references unknown variable %u", v));
     }
   }
-  const auto id = static_cast<FactorId>(factors_.size());
+  const auto id = static_cast<FactorIndex>(factors_.size());
   for (VarId v : factor->variables()) {
     var_factors_[v].push_back(id);
     ++edge_count_;
@@ -29,7 +29,7 @@ Result<FactorId> FactorGraph::AddFactor(std::unique_ptr<Factor> factor) {
 std::string FactorGraph::ToString() const {
   std::string out = StrFormat("FactorGraph(%zu variables, %zu factors)\n",
                               variable_count(), factor_count());
-  for (FactorId f = 0; f < factors_.size(); ++f) {
+  for (FactorIndex f = 0; f < factors_.size(); ++f) {
     out += StrFormat("  f%u = %s over {", f, factors_[f]->Describe().c_str());
     const auto& vars = factors_[f]->variables();
     for (size_t i = 0; i < vars.size(); ++i) {

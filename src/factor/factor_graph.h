@@ -26,16 +26,16 @@ class FactorGraph {
   VarId AddVariable(std::string name);
 
   /// Adds a factor; all its variables must already exist.
-  Result<FactorId> AddFactor(std::unique_ptr<Factor> factor);
+  Result<FactorIndex> AddFactor(std::unique_ptr<Factor> factor);
 
   size_t variable_count() const { return variable_names_.size(); }
   size_t factor_count() const { return factors_.size(); }
 
   const std::string& variable_name(VarId v) const { return variable_names_[v]; }
-  const Factor& factor(FactorId f) const { return *factors_[f]; }
+  const Factor& factor(FactorIndex f) const { return *factors_[f]; }
 
   /// Factors adjacent to variable `v`.
-  const std::vector<FactorId>& factors_of(VarId v) const {
+  const std::vector<FactorIndex>& factors_of(VarId v) const {
     return var_factors_[v];
   }
 
@@ -48,7 +48,7 @@ class FactorGraph {
  private:
   std::vector<std::string> variable_names_;
   std::vector<std::unique_ptr<Factor>> factors_;
-  std::vector<std::vector<FactorId>> var_factors_;
+  std::vector<std::vector<FactorIndex>> var_factors_;
   size_t edge_count_ = 0;
 };
 

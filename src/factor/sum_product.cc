@@ -11,7 +11,7 @@ SumProductEngine::SumProductEngine(const FactorGraph& graph,
                                    SumProductOptions options)
     : graph_(graph), options_(options), rng_(options.seed) {
   to_var_.resize(graph_.factor_count());
-  for (FactorId f = 0; f < graph_.factor_count(); ++f) {
+  for (FactorIndex f = 0; f < graph_.factor_count(); ++f) {
     // "All peers virtually received a unit message from all other peers
     // prior to starting the algorithm" (Section 4.3): initialize every
     // message to the unit function.
@@ -21,7 +21,7 @@ SumProductEngine::SumProductEngine(const FactorGraph& graph,
   var_to_factor_cache_ = to_var_;
 
   var_slots_.resize(graph_.variable_count());
-  for (FactorId f = 0; f < graph_.factor_count(); ++f) {
+  for (FactorIndex f = 0; f < graph_.factor_count(); ++f) {
     const auto& vars = graph_.factor(f).variables();
     for (size_t i = 0; i < vars.size(); ++i) {
       var_slots_[vars[i]].emplace_back(f, static_cast<uint32_t>(i));
@@ -34,7 +34,7 @@ SumProductEngine::SumProductEngine(const FactorGraph& graph,
   }
 }
 
-Belief SumProductEngine::VariableToFactor(FactorId f, size_t position) const {
+Belief SumProductEngine::VariableToFactor(FactorIndex f, size_t position) const {
   const VarId v = graph_.factor(f).variables()[position];
   Belief message = Belief::Unit();
   for (const auto& [g, i] : var_slots_[v]) {
@@ -62,7 +62,7 @@ void SumProductEngine::RefreshVariableToFactorCache() {
   }
 }
 
-void SumProductEngine::UpdateFactorMessages(FactorId f, bool synchronous_stage) {
+void SumProductEngine::UpdateFactorMessages(FactorIndex f, bool synchronous_stage) {
   const Factor& factor = graph_.factor(f);
   const size_t n = factor.arity();
   incoming_scratch_.resize(n);
@@ -93,23 +93,23 @@ double SumProductEngine::Step() {
   switch (options_.schedule) {
     case SumProductSchedule::kFlooding: {
       RefreshVariableToFactorCache();
-      for (FactorId f = 0; f < graph_.factor_count(); ++f) {
+      for (FactorIndex f = 0; f < graph_.factor_count(); ++f) {
         UpdateFactorMessages(f, /*synchronous_stage=*/true);
       }
       to_var_ = staged_;
       break;
     }
     case SumProductSchedule::kSerial: {
-      for (FactorId f = 0; f < graph_.factor_count(); ++f) {
+      for (FactorIndex f = 0; f < graph_.factor_count(); ++f) {
         UpdateFactorMessages(f, /*synchronous_stage=*/false);
       }
       break;
     }
     case SumProductSchedule::kRandomSerial: {
-      std::vector<FactorId> order(graph_.factor_count());
+      std::vector<FactorIndex> order(graph_.factor_count());
       std::iota(order.begin(), order.end(), 0);
       rng_.Shuffle(&order);
-      for (FactorId f : order) {
+      for (FactorIndex f : order) {
         UpdateFactorMessages(f, /*synchronous_stage=*/false);
       }
       break;

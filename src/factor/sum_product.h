@@ -91,7 +91,7 @@ class SumProductEngine {
   /// µ_{v->f} for the factor's argument `position`, computed live from
   /// current factor->variable messages, excluding the recipient factor.
   /// Used by the serial schedules, whose messages take effect mid-sweep.
-  Belief VariableToFactor(FactorId f, size_t position) const;
+  Belief VariableToFactor(FactorIndex f, size_t position) const;
 
   /// Flooding-schedule fast path: recomputes every µ_{v->f} for the
   /// iteration in one O(edges) pass using per-variable prefix/suffix
@@ -99,7 +99,7 @@ class SumProductEngine {
   /// state). Replaces the O(deg²)-per-variable live computation.
   void RefreshVariableToFactorCache();
 
-  void UpdateFactorMessages(FactorId f, bool synchronous_stage);
+  void UpdateFactorMessages(FactorIndex f, bool synchronous_stage);
 
   const FactorGraph& graph_;
   SumProductOptions options_;
@@ -110,7 +110,7 @@ class SumProductEngine {
   std::vector<std::vector<Belief>> staged_;
   /// var_slots_[v] = every (factor, position) with variables(f)[pos] == v —
   /// the message slots adjacent to v, in factor order.
-  std::vector<std::vector<std::pair<FactorId, uint32_t>>> var_slots_;
+  std::vector<std::vector<std::pair<FactorIndex, uint32_t>>> var_slots_;
   /// µ_{v->f} per slot for the current flooding iteration (indexed like
   /// `to_var_`), filled by RefreshVariableToFactorCache.
   std::vector<std::vector<Belief>> var_to_factor_cache_;

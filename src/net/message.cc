@@ -12,25 +12,57 @@ std::string MappingVarKey::ToString() const {
   return StrFormat("m(e%u,a%u)", edge, attribute);
 }
 
-FactorKey FactorKey::Make(const Closure& closure, AttributeId root_attribute) {
-  // Canonical form: kind prefix + sorted member edges + root peer (cycles
-  // are announced only by their minimum-id member, so source is canonical)
-  // + sink/split for parallel paths + root attribute. The key must identify
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Two independent 64-bit mixing lanes absorbed word by word. The lanes
+/// start from distinct constants and perturb each word differently, so the
+/// combined 128-bit state avalanches on every input bit. Deterministic
+/// across platforms and runs — the fingerprint is a wire identity, never a
+/// per-process hash.
+struct Fingerprint128 {
+  uint64_t hi = 0x13198a2e03707344ull;  // pi fractional digits
+  uint64_t lo = 0x243f6a8885a308d3ull;
+
+  void Absorb(uint64_t word) {
+    lo = Mix64(lo ^ word);
+    hi = Mix64(hi + (word ^ 0xa4093822299f31d0ull));
+  }
+};
+
+}  // namespace
+
+FactorId FactorId::Make(const Closure& closure, AttributeId root_attribute) {
+  // Canonical content: kind + sorted member edges + root peer (cycles are
+  // announced only by their minimum-id member, so source is canonical) +
+  // sink/split for parallel paths + root attribute. The id must identify
   // the factor *content*: the same edge set rooted at a different peer
   // induces a different attribute chain and therefore a different factor.
   std::vector<EdgeId> sorted = closure.edges;
   std::sort(sorted.begin(), sorted.end());
-  std::string value = closure.kind == Closure::Kind::kCycle ? "c:" : "p:";
-  for (size_t i = 0; i < sorted.size(); ++i) {
-    if (i > 0) value += ',';
-    value += StrFormat("e%u", sorted[i]);
-  }
-  value += StrFormat(":s%u", closure.source);
+  Fingerprint128 fp;
+  fp.Absorb(closure.kind == Closure::Kind::kCycle ? 'c' : 'p');
+  fp.Absorb(sorted.size());
+  for (EdgeId edge : sorted) fp.Absorb(edge);
+  fp.Absorb(closure.source);
   if (closure.kind == Closure::Kind::kParallelPaths) {
-    value += StrFormat(":t%u:k%zu", closure.sink, closure.split);
+    fp.Absorb(closure.sink);
+    fp.Absorb(closure.split);
   }
-  value += StrFormat("@a%u", root_attribute);
-  return FactorKey{std::move(value)};
+  fp.Absorb(root_attribute);
+  return FactorId{fp.hi, fp.lo};
+}
+
+std::string FactorId::ToString() const {
+  return StrFormat("%016llx:%016llx", static_cast<unsigned long long>(hi),
+                   static_cast<unsigned long long>(lo));
 }
 
 std::string_view MessageKindName(MessageKind kind) {
@@ -53,10 +85,12 @@ MessageKind KindOf(const Payload& payload) {
 
 namespace {
 
-/// Belief update on the wire: factor key string + (edge, attribute) +
-/// two doubles.
+/// Belief update on the wire: 128-bit factor fingerprint + member position
+/// (uint16 suffices: closure lengths are bounded far below 2^16 by
+/// `ClosureFinderOptions`) + two doubles.
 size_t WireSize(const BeliefUpdate& update) {
-  return update.factor.value.size() + sizeof(MappingVarKey) + 2 * sizeof(double);
+  (void)update;
+  return sizeof(FactorId) + sizeof(uint16_t) + 2 * sizeof(double);
 }
 
 size_t WireSize(const Closure& closure) {
@@ -106,6 +140,16 @@ size_t ApproximateWireSize(const Payload& payload) {
         }
       },
       payload);
+}
+
+size_t FactorIdWireBytes(const Payload& payload) {
+  if (const auto* beliefs = std::get_if<BeliefMessage>(&payload)) {
+    return beliefs->updates.size() * sizeof(FactorId);
+  }
+  if (const auto* query = std::get_if<QueryMessage>(&payload)) {
+    return query->piggyback.size() * sizeof(FactorId);
+  }
+  return 0;
 }
 
 }  // namespace pdms

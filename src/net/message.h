@@ -40,23 +40,51 @@ struct MappingVarKey {
   std::string ToString() const;
 };
 
-/// Canonical identity of a feedback factor: the closure structure plus the
-/// root attribute whose transformation chain it scores. All peers derive
-/// the same key for the same closure, so remote messages can be routed to
-/// the right factor replica without central coordination.
-struct FactorKey {
-  std::string value;
+/// Canonical identity of a feedback factor: a 128-bit content fingerprint
+/// of the closure structure plus the root attribute whose transformation
+/// chain it scores. All peers derive the same id for the same closure
+/// (edge order is canonicalized before hashing), so remote messages can be
+/// routed to the right factor replica without central coordination — and
+/// without ever putting a string key on the wire or in a hot hash table.
+///
+/// 128 bits make accidental collisions astronomically unlikely (~2^-64 at
+/// a billion factors), but they are still *checked*: ingest compares the
+/// announced closure content against any replica already stored under the
+/// same id and surfaces a Status on mismatch (see `Peer::IngestFactor`).
+struct FactorId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
 
-  static FactorKey Make(const Closure& closure, AttributeId root_attribute);
+  static FactorId Make(const Closure& closure, AttributeId root_attribute);
 
-  auto operator<=>(const FactorKey&) const = default;
+  bool IsNil() const { return hi == 0 && lo == 0; }
+
+  auto operator<=>(const FactorId&) const = default;
+  /// Fixed-width hex rendering ("hhhhhhhhhhhhhhhh:llllllllllllllll").
+  std::string ToString() const;
+};
+
+/// Trivial identity hasher for `FactorId` keys: the fingerprint is already
+/// uniformly distributed, so hashing it again would only burn cycles.
+struct FactorIdHash {
+  size_t operator()(const FactorId& id) const noexcept {
+    return static_cast<size_t>(id.lo);
+  }
 };
 
 /// One remote sum-product message µ_{var -> factor} (Section 4.3,
-/// "remote message for factor fak from peer p0 to peer pj").
+/// "remote message for factor fak from peer p0 to peer pj"). The variable
+/// is addressed by its *member position* in the factor's scope: every
+/// replica of a factor stores the member order of the announcement that
+/// created it (one broadcast per canonicalized closure, so all owners see
+/// the same sequence, and ingest rejects a same-id announcement whose
+/// member sequence differs — see `Peer::IngestFactor`). A position thus
+/// resolves in O(1) at the receiver — no key comparison, no per-update
+/// member scan — and costs two bytes on the wire instead of an
+/// (edge, attribute) pair.
 struct BeliefUpdate {
-  FactorKey factor;
-  MappingVarKey var;
+  FactorId factor;
+  uint32_t position = 0;
   Belief belief;
 };
 
@@ -139,6 +167,12 @@ MessageKind KindOf(const Payload& payload);
 /// Used by transports to account bytes moved; it tracks a compact binary
 /// encoding, not the in-memory layout.
 size_t ApproximateWireSize(const Payload& payload);
+
+/// The factor-identity bytes inside `payload` under the same encoding: one
+/// `FactorId` fingerprint per belief update (bundled or piggybacked), zero
+/// for identity-free traffic. Transports account these separately so the
+/// scale benchmarks can report how much of the wire is key overhead.
+size_t FactorIdWireBytes(const Payload& payload);
 
 /// A payload in flight.
 struct Envelope {

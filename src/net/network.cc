@@ -8,7 +8,7 @@ void SimTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
                         Payload payload) {
   assert(to < mailboxes_.size());
   const MessageKind kind = KindOf(payload);
-  counters_.CountSent(kind, ApproximateWireSize(payload));
+  counters_.CountSendAttempt(kind);
   const bool lossy_kind = !options_.lose_belief_messages_only ||
                           kind == MessageKind::kBelief;
   if (lossy_kind && options_.send_probability < 1.0) {
@@ -22,6 +22,9 @@ void SimTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
       return;
     }
   }
+  // Bytes account only what was accepted for delivery (drops excluded).
+  counters_.CountPayloadBytes(ApproximateWireSize(payload),
+                              FactorIdWireBytes(payload));
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;

@@ -22,8 +22,9 @@ std::string TransportStats::ToString() const {
                      static_cast<unsigned long long>(dropped[k]),
                      static_cast<unsigned long long>(delivered[k]));
   }
-  out += StrFormat("bytes_sent=%llu\n",
-                   static_cast<unsigned long long>(bytes_sent));
+  out += StrFormat("bytes_sent=%llu key_bytes_sent=%llu\n",
+                   static_cast<unsigned long long>(bytes_sent),
+                   static_cast<unsigned long long>(key_bytes_sent));
   return out;
 }
 
@@ -34,6 +35,7 @@ void AtomicTransportStats::SnapshotTo(TransportStats* out) const {
     out->delivered[k] = delivered[k].load(std::memory_order_relaxed);
   }
   out->bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+  out->key_bytes_sent = key_bytes_sent.load(std::memory_order_relaxed);
 }
 
 void AtomicTransportStats::Reset() {
@@ -43,12 +45,14 @@ void AtomicTransportStats::Reset() {
     delivered[k].store(0, std::memory_order_relaxed);
   }
   bytes_sent.store(0, std::memory_order_relaxed);
+  key_bytes_sent.store(0, std::memory_order_relaxed);
 }
 
 void InstantTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
                             Payload payload) {
   assert(to < mailboxes_.size());
-  counters_.CountSent(KindOf(payload), ApproximateWireSize(payload));
+  counters_.CountSent(KindOf(payload), ApproximateWireSize(payload),
+                      FactorIdWireBytes(payload));
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;

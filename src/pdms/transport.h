@@ -22,6 +22,9 @@ struct TransportStats {
   /// Estimated payload bytes accepted for delivery (drops excluded), per
   /// `ApproximateWireSize` — the "bytes moved" of the scale benchmarks.
   uint64_t bytes_sent = 0;
+  /// The subset of `bytes_sent` spent on factor-identity fingerprints
+  /// (`FactorIdWireBytes`) — the key overhead the scale benchmarks track.
+  uint64_t key_bytes_sent = 0;
 
   uint64_t TotalSent() const;
   std::string ToString() const;
@@ -36,10 +39,24 @@ struct AtomicTransportStats {
   std::array<std::atomic<uint64_t>, kMessageKindCount> dropped{};
   std::array<std::atomic<uint64_t>, kMessageKindCount> delivered{};
   std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> key_bytes_sent{0};
 
-  void CountSent(MessageKind kind, size_t bytes) {
+  /// Counts one send attempt of `kind` (drops included — `sent` tracks
+  /// attempts; pair with CountDropped for the loss ledger).
+  void CountSendAttempt(MessageKind kind) {
     sent[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Accounts payload bytes *accepted for delivery* — lossy transports
+  /// must call this only after the drop decision, per the documented
+  /// `TransportStats::bytes_sent` semantics.
+  void CountPayloadBytes(size_t bytes, size_t key_bytes) {
     bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    key_bytes_sent.fetch_add(key_bytes, std::memory_order_relaxed);
+  }
+  /// Attempt + bytes in one call, for transports that never drop.
+  void CountSent(MessageKind kind, size_t bytes, size_t key_bytes) {
+    CountSendAttempt(kind);
+    CountPayloadBytes(bytes, key_bytes);
   }
   void CountDropped(MessageKind kind) {
     dropped[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);

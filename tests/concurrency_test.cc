@@ -192,8 +192,8 @@ TEST_P(ConcurrentTransportTest, ConcurrentSendsAccountEveryMessage) {
     senders.emplace_back([&, s] {
       for (size_t i = 0; i < kPerSender; ++i) {
         BeliefMessage message;
-        message.updates.push_back(BeliefUpdate{
-            FactorKey{"c:e0,e1:s0@a0"}, MappingVarKey{0, 0}, Belief::Unit()});
+        message.updates.push_back(
+            BeliefUpdate{FactorId{0x1, 0x2}, 0, Belief::Unit()});
         transport->Send(static_cast<PeerId>(s % kPeers),
                         static_cast<PeerId>((s + i) % kPeers), std::nullopt,
                         std::move(message));

@@ -132,7 +132,8 @@ TEST(TableFactorTest, EvaluateUsesBitOrder) {
 
 TEST(PriorFactorTest, MessageIsPrior) {
   PriorFactor factor(0, 0.7);
-  const Belief message = factor.MessageTo(0, {Belief::Unit()});
+  const std::vector<Belief> unit = {Belief::Unit()};
+  const Belief message = factor.MessageTo(0, unit);
   EXPECT_DOUBLE_EQ(message.correct, 0.7);
   EXPECT_DOUBLE_EQ(message.incorrect, 0.3);
   EXPECT_DOUBLE_EQ(factor.Evaluate({true}), 0.7);
@@ -146,7 +147,7 @@ TEST(FactorGraphTest, AddAndQuery) {
   const VarId a = graph.AddVariable("m12");
   const VarId b = graph.AddVariable("m23");
   ASSERT_TRUE(graph.AddFactor(std::make_unique<PriorFactor>(a, 0.5)).ok());
-  Result<FactorId> f = graph.AddFactor(std::make_unique<CycleFeedbackFactor>(
+  Result<FactorIndex> f = graph.AddFactor(std::make_unique<CycleFeedbackFactor>(
       std::vector<VarId>{a, b}, true, 0.1));
   ASSERT_TRUE(f.ok());
   EXPECT_EQ(graph.variable_count(), 2u);

@@ -8,9 +8,8 @@ namespace {
 
 BeliefMessage MakeBelief() {
   BeliefMessage message;
-  message.updates.push_back(
-      BeliefUpdate{FactorKey{"c:e0,e1:s0@a0"}, MappingVarKey{0, 0},
-                   Belief::FromProbability(0.7)});
+  message.updates.push_back(BeliefUpdate{FactorId{0x1, 0x2}, 0,
+                                         Belief::FromProbability(0.7)});
   return message;
 }
 
@@ -25,7 +24,9 @@ TEST(MappingVarKeyTest, OrderingAndNaming) {
   EXPECT_EQ(coarse.ToString(), "m(e4)");
 }
 
-TEST(FactorKeyTest, CanonicalAcrossEdgeOrderings) {
+TEST(FactorIdTest, CanonicalAcrossEdgeOrderings) {
+  // The fingerprint must depend on the edge *set*, not the order probes
+  // happened to discover it in: any permutation yields the same id.
   Closure first;
   first.kind = Closure::Kind::kCycle;
   first.edges = {3, 1, 2};
@@ -33,11 +34,14 @@ TEST(FactorKeyTest, CanonicalAcrossEdgeOrderings) {
   first.sink = 1;
   Closure second = first;
   second.edges = {1, 2, 3};
-  EXPECT_EQ(FactorKey::Make(first, 5), FactorKey::Make(second, 5));
-  EXPECT_NE(FactorKey::Make(first, 5), FactorKey::Make(second, 6));
+  Closure third = first;
+  third.edges = {2, 3, 1};
+  EXPECT_EQ(FactorId::Make(first, 5), FactorId::Make(second, 5));
+  EXPECT_EQ(FactorId::Make(first, 5), FactorId::Make(third, 5));
+  EXPECT_NE(FactorId::Make(first, 5), FactorId::Make(second, 6));
 }
 
-TEST(FactorKeyTest, DistinguishesRootAndKind) {
+TEST(FactorIdTest, DistinguishesRootAndKind) {
   Closure cycle;
   cycle.kind = Closure::Kind::kCycle;
   cycle.edges = {1, 2};
@@ -45,13 +49,48 @@ TEST(FactorKeyTest, DistinguishesRootAndKind) {
   cycle.sink = 0;
   Closure other_root = cycle;
   other_root.source = 1;
-  EXPECT_NE(FactorKey::Make(cycle, 0), FactorKey::Make(other_root, 0));
+  EXPECT_NE(FactorId::Make(cycle, 0), FactorId::Make(other_root, 0));
 
   Closure parallel = cycle;
   parallel.kind = Closure::Kind::kParallelPaths;
   parallel.split = 1;
   parallel.sink = 3;
-  EXPECT_NE(FactorKey::Make(cycle, 0), FactorKey::Make(parallel, 0));
+  EXPECT_NE(FactorId::Make(cycle, 0), FactorId::Make(parallel, 0));
+}
+
+TEST(FactorIdTest, DistinguishesNearbyEdgeSets) {
+  // Adjacent ids and swapped members must not alias: the two mixing lanes
+  // have to avalanche on single-bit input differences.
+  Closure base;
+  base.kind = Closure::Kind::kCycle;
+  base.edges = {10, 11};
+  base.source = 0;
+  base.sink = 0;
+  Closure shifted = base;
+  shifted.edges = {11, 12};
+  Closure longer = base;
+  longer.edges = {10, 11, 12};
+  const FactorId a = FactorId::Make(base, 0);
+  EXPECT_NE(a, FactorId::Make(shifted, 0));
+  EXPECT_NE(a, FactorId::Make(longer, 0));
+  EXPECT_FALSE(a.IsNil());
+  // Identity hashing feeds `lo` straight into the hash table: the two
+  // halves must differ from each other and across inputs.
+  EXPECT_NE(a.hi, a.lo);
+  EXPECT_NE(a.lo, FactorId::Make(shifted, 0).lo);
+}
+
+TEST(FactorIdTest, StableRendering) {
+  Closure cycle;
+  cycle.kind = Closure::Kind::kCycle;
+  cycle.edges = {1, 2};
+  cycle.source = 0;
+  cycle.sink = 0;
+  const FactorId id = FactorId::Make(cycle, 0);
+  // Same content, same process-independent fingerprint: rendering is a
+  // pure function of the two words.
+  EXPECT_EQ(id.ToString(), FactorId::Make(cycle, 0).ToString());
+  EXPECT_EQ(id.ToString().size(), 33u);  // 16 hex + ':' + 16 hex
 }
 
 TEST(SimTransportTest, DeliversAfterDelay) {
@@ -101,6 +140,10 @@ TEST(SimTransportTest, LossDropsBeliefMessagesOnly) {
   EXPECT_TRUE(std::holds_alternative<ProbeMessage>(due[0].payload));
   EXPECT_EQ(network.stats().dropped[static_cast<size_t>(MessageKind::kBelief)],
             1u);
+  // Byte accounting excludes dropped envelopes: only the probe's bytes
+  // (and none of the belief bundle's fingerprint bytes) are recorded.
+  EXPECT_EQ(network.stats().bytes_sent, ApproximateWireSize(ProbeMessage{}));
+  EXPECT_EQ(network.stats().key_bytes_sent, 0u);
 }
 
 TEST(SimTransportTest, LossCanAffectAllTraffic) {

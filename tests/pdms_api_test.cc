@@ -188,9 +188,8 @@ class TransportConformanceTest
 
 BeliefMessage MakeBelief(double p) {
   BeliefMessage message;
-  message.updates.push_back(BeliefUpdate{FactorKey{"c:e0,e1:s0@a0"},
-                                         MappingVarKey{0, 0},
-                                         Belief::FromProbability(p)});
+  message.updates.push_back(
+      BeliefUpdate{FactorId{0x1, 0x2}, 0, Belief::FromProbability(p)});
   return message;
 }
 

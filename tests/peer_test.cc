@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -121,10 +122,11 @@ TEST_F(PeerTest, AbsorbBeliefUpdateAffectsFactorMessages) {
   // A remote peer reports strong belief that m23 is INCORRECT; under a
   // positive cycle factor this pulls m12 upward (if the cycle still
   // composed to the identity, somebody else's error must compensate) —
-  // or at least changes the message.
+  // or at least changes the message. m23 is member position 1 of the f1
+  // closure (m12, m23, m34, m41).
   BeliefUpdate update;
-  update.factor = FactorKey::Make(F1Announcement().closure, 0);
-  update.var = MappingVarKey{edges_.m23, 0};
+  update.factor = FactorId::Make(F1Announcement().closure, 0);
+  update.position = 1;
   update.belief = Belief{0.05, 0.95};
   peers_[0]->AbsorbBeliefUpdate(update);
   peers_[0]->ComputeRound();
@@ -137,17 +139,25 @@ TEST_F(PeerTest, AbsorbIgnoresUnknownFactorAndOwnVariables) {
   const double before = peers_[0]->Posterior(MappingVarKey{edges_.m12, 0});
 
   BeliefUpdate unknown;
-  unknown.factor = FactorKey{"c:e9@a0"};
-  unknown.var = MappingVarKey{edges_.m23, 0};
+  unknown.factor = FactorId{0x9, 0x9};
+  unknown.position = 1;
   unknown.belief = Belief{0.0, 1.0};
   peers_[0]->AbsorbBeliefUpdate(unknown);
 
-  // A forged update about the peer's OWN variable must be ignored.
+  // A forged update about the peer's OWN variable (m12 = position 0) must
+  // be ignored.
   BeliefUpdate forged;
-  forged.factor = FactorKey::Make(F1Announcement().closure, 0);
-  forged.var = MappingVarKey{edges_.m12, 0};
+  forged.factor = FactorId::Make(F1Announcement().closure, 0);
+  forged.position = 0;
   forged.belief = Belief{0.0, 1.0};
   peers_[0]->AbsorbBeliefUpdate(forged);
+
+  // As must an update whose position lies outside the factor's scope.
+  BeliefUpdate out_of_range;
+  out_of_range.factor = FactorId::Make(F1Announcement().closure, 0);
+  out_of_range.position = 99;
+  out_of_range.belief = Belief{0.0, 1.0};
+  peers_[0]->AbsorbBeliefUpdate(out_of_range);
 
   peers_[0]->ComputeRound();
   EXPECT_NEAR(peers_[0]->Posterior(MappingVarKey{edges_.m12, 0}), before,
@@ -165,7 +175,10 @@ TEST_F(PeerTest, CollectOutgoingBeliefsTargetsOtherOwners) {
     recipients.insert(message.to);
     const auto& bundle = std::get<BeliefMessage>(message.payload);
     ASSERT_EQ(bundle.updates.size(), 1u);
-    EXPECT_EQ(bundle.updates[0].var, (MappingVarKey{edges_.m12, 0}));
+    // The update addresses m12 by its member position (0) in f1's scope.
+    EXPECT_EQ(bundle.updates[0].factor,
+              FactorId::Make(F1Announcement().closure, 0));
+    EXPECT_EQ(bundle.updates[0].position, 0u);
   }
   EXPECT_EQ(recipients, (std::set<PeerId>{1, 2, 3}));
 }
@@ -300,6 +313,85 @@ TEST_F(PeerTest, ReplicaViewsExposeStoredFactors) {
   EXPECT_EQ(views[0].members.size(), 4u);
   EXPECT_DOUBLE_EQ(views[0].delta, 0.1);
   EXPECT_EQ(views[0].kind, Closure::Kind::kCycle);
+}
+
+TEST_F(PeerTest, FingerprintStableAcrossPeersAndDiscoveryOrder) {
+  // Every member owner derives the identical FactorId for the same
+  // announced closure — that is what routes remote µ-messages without
+  // central coordination.
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[1]->IngestFeedback(F1Announcement());
+  const auto views0 = peers_[0]->ReplicaViews();
+  const auto views1 = peers_[1]->ReplicaViews();
+  ASSERT_EQ(views0.size(), 1u);
+  ASSERT_EQ(views1.size(), 1u);
+  EXPECT_EQ(views0[0].id, views1[0].id);
+  EXPECT_EQ(views0[0].root_attribute, 0u);
+
+  // A peer that saw the closure's edge list in a different permutation
+  // (e.g. announced from a different discovery round) still derives the
+  // same fingerprint: the id hashes the canonicalized edge set.
+  FeedbackAnnouncement rotated = F1Announcement();
+  std::rotate(rotated.closure.edges.begin(),
+              rotated.closure.edges.begin() + 2, rotated.closure.edges.end());
+  EXPECT_EQ(FactorId::Make(rotated.closure, 0),
+            FactorId::Make(F1Announcement().closure, 0));
+  // Re-ingesting under the permuted edge order is recognized as the same
+  // content (idempotent), not flagged as a collision.
+  EXPECT_TRUE(peers_[0]->IngestFeedback(rotated).ok());
+  EXPECT_EQ(peers_[0]->replica_count(), 1u);
+}
+
+TEST_F(PeerTest, ForcedFingerprintCollisionSurfacesStatus) {
+  // Bind an id to the f1 closure through the explicit-id seam, then try
+  // to bind *different* closure content to the same id — the ingest-time
+  // collision check must reject it instead of cross-wiring messages.
+  const FeedbackAnnouncement announcement = F1Announcement();
+  const FactorId id = FactorId::Make(announcement.closure, 0);
+  ASSERT_TRUE(peers_[0]
+                  ->IngestFactor(id, announcement.closure,
+                                 announcement.feedback[0], 0.1)
+                  .ok());
+  EXPECT_EQ(peers_[0]->replica_count(), 1u);
+
+  Closure different = announcement.closure;
+  different.edges = {edges_.m12, edges_.m24};  // not f1's edge set
+  AttributeFeedback feedback = announcement.feedback[0];
+  feedback.members = {MappingVarKey{edges_.m12, 0}, MappingVarKey{edges_.m24, 0}};
+  const Status collision =
+      peers_[0]->IngestFactor(id, different, feedback, 0.1);
+  EXPECT_EQ(collision.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(collision.message().find("collision"), std::string::npos);
+  EXPECT_EQ(peers_[0]->replica_count(), 1u);  // nothing was stored
+
+  // Same id and closure but a permuted member sequence: position-based
+  // addressing would cross-wire µ-messages, so this too must be rejected.
+  AttributeFeedback permuted = announcement.feedback[0];
+  std::swap(permuted.members[0], permuted.members[1]);
+  EXPECT_EQ(peers_[0]
+                ->IngestFactor(id, announcement.closure, permuted, 0.1)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(peers_[0]->replica_count(), 1u);
+
+  // Same id, same content: idempotent, still fine.
+  EXPECT_TRUE(peers_[0]
+                  ->IngestFactor(id, announcement.closure,
+                                 announcement.feedback[0], 0.1)
+                  .ok());
+  EXPECT_EQ(peers_[0]->replica_count(), 1u);
+
+  // Sign and ∆ are observations, not identity: a re-announcement with a
+  // flipped sign is not a collision, and the first observation wins
+  // (exactly the pre-fingerprint first-wins semantics).
+  AttributeFeedback flipped = announcement.feedback[0];
+  flipped.sign = FeedbackSign::kNegative;
+  EXPECT_TRUE(
+      peers_[0]->IngestFactor(id, announcement.closure, flipped, 0.4).ok());
+  const auto views = peers_[0]->ReplicaViews();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].sign, FeedbackSign::kPositive);
+  EXPECT_DOUBLE_EQ(views[0].delta, 0.1);
 }
 
 TEST_F(PeerTest, ProcessQueryDeduplicatesByQueryId) {

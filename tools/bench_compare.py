@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_scale.json files and fail on metric regressions.
+
+Usage:
+  tools/bench_compare.py BASELINE CURRENT [--metric bytes_per_round]
+                         [--tolerance 0.10] [--peers 1000]
+
+Configs are matched on (topology, peers, parallelism); rows present in only
+one file are ignored (the CI smoke run covers a subset of the checked-in
+sweep). For each matched pair the relative increase of `--metric` over the
+baseline is computed; any increase above `--tolerance` fails the run with a
+per-config report. Lower is better for every supported metric.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_configs(path, peers_filter):
+    with open(path) as f:
+        data = json.load(f)
+    configs = {}
+    for row in data.get("configs", []):
+        if peers_filter is not None and row["peers"] != peers_filter:
+            continue
+        configs[(row["topology"], row["peers"], row["parallelism"])] = row
+    return data.get("schema_version"), configs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--metric", default="bytes_per_round")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max allowed relative increase (0.10 = +10%%)")
+    parser.add_argument("--peers", type=int, default=None,
+                        help="only compare configs with this peer count")
+    args = parser.parse_args()
+
+    base_version, baseline = load_configs(args.baseline, args.peers)
+    cur_version, current = load_configs(args.current, args.peers)
+    if base_version != cur_version:
+        print(f"note: schema_version differs (baseline v{base_version}, "
+              f"current v{cur_version}); comparing shared fields")
+
+    matched = sorted(set(baseline) & set(current))
+    if not matched:
+        print("error: no matching (topology, peers, parallelism) configs")
+        return 2
+
+    failures = 0
+    for key in matched:
+        base_row, cur_row = baseline[key], current[key]
+        if args.metric not in base_row or args.metric not in cur_row:
+            print(f"error: metric '{args.metric}' missing for {key}")
+            return 2
+        base_value, cur_value = base_row[args.metric], cur_row[args.metric]
+        delta = (cur_value - base_value) / base_value if base_value else 0.0
+        verdict = "FAIL" if delta > args.tolerance else "ok"
+        if verdict == "FAIL":
+            failures += 1
+        topology, peers, parallelism = key
+        print(f"[{verdict}] {topology} n={peers} p={parallelism} "
+              f"{args.metric}: {base_value:.1f} -> {cur_value:.1f} "
+              f"({delta:+.1%}, tolerance +{args.tolerance:.0%})")
+
+    if failures:
+        print(f"{failures}/{len(matched)} configs regressed on "
+              f"'{args.metric}'")
+        return 1
+    print(f"all {len(matched)} matched configs within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
