@@ -30,7 +30,7 @@ void PeriodicOverhead(Pdms* pdms, const char* label) {
     const Peer& peer = pdms->peer(p);
     size_t actual = 0;
     for (const Outgoing& outgoing : peer.CollectOutgoingBeliefs()) {
-      actual += std::get<BeliefMessage>(outgoing.payload).updates.size();
+      actual += std::get<BeliefMessage>(outgoing.payload).update_count();
     }
     total_bound += peer.RemoteMessageBound();
     total_actual += actual;

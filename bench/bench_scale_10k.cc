@@ -54,6 +54,7 @@ struct BenchResult {
   double belief_updates_per_round = 0.0;
   double bytes_per_round = 0.0;
   double key_bytes_per_round = 0.0;
+  double alias_bytes_per_round = 0.0;
   double round_seconds_p50 = 0.0;
   double round_seconds_p95 = 0.0;
   double speedup_vs_serial = 1.0;
@@ -76,6 +77,10 @@ double Seconds(std::chrono::steady_clock::time_point begin,
 
 EngineOptions ScaleOptions(size_t parallelism) {
   EngineOptions options;
+  // Deliberately keeps the default min_peers_per_lane: the bench measures
+  // the engine as shipped, so parallelism-p rows below the fan-out
+  // threshold (1k peers at any p, 5k at p=8) run the inline path — their
+  // speedup_vs_serial ~= 1.0 is the small-scale fix, not a pool number.
   // Length-2 cycles (a mapping and its inverse) are the evidence unit of
   // this workload: probe two hops, accept 2-cycles, skip parallel paths.
   options.probe_ttl = 2;
@@ -129,7 +134,10 @@ BenchResult RunConfig(const std::string& topology, const SyntheticPdms& workload
   result.discover_seconds =
       Seconds(discover_begin, std::chrono::steady_clock::now());
 
-  session.Step();  // warm-up: first exchange populates remote messages
+  // Warm-up: the first exchange populates remote messages, and the next
+  // two complete the alias negotiation (binding -> ack -> bare-alias), so
+  // the measured rounds reflect the steady-state wire format.
+  for (int warm = 0; warm < 3; ++warm) session.Step();
   pdms.transport().ResetStats();
   uint64_t updates = 0;
   std::vector<double> round_seconds;
@@ -151,6 +159,9 @@ BenchResult RunConfig(const std::string& topology, const SyntheticPdms& workload
       static_cast<double>(rounds);
   result.key_bytes_per_round =
       static_cast<double>(pdms.transport().stats().key_bytes_sent) /
+      static_cast<double>(rounds);
+  result.alias_bytes_per_round =
+      static_cast<double>(pdms.transport().stats().alias_bytes_sent) /
       static_cast<double>(rounds);
   result.round_seconds_p50 = Percentile(round_seconds, 0.50);
   result.round_seconds_p95 = Percentile(round_seconds, 0.95);
@@ -175,9 +186,13 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"scale_10k\",\n");
+  // v3: + alias_bytes_per_round (belief-bundle alias/header overhead);
+  //     key_bytes_per_round now counts only unacked binding declarations
+  //     (the session-alias wire format), and measured rounds start after
+  //     the 3-step negotiation warm-up.
   // v2: + key_bytes_per_round (FactorId fingerprint bytes on the wire)
   //     + round_seconds_p50 / round_seconds_p95 per-round latency.
-  std::fprintf(out, "  \"schema_version\": 2,\n");
+  std::fprintf(out, "  \"schema_version\": 3,\n");
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
@@ -192,14 +207,16 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
         "\"discover_seconds\": %.6f, \"seconds\": %.6f, "
         "\"rounds_per_sec\": %.3f, \"belief_updates_per_round\": %.1f, "
         "\"bytes_per_round\": %.1f, \"key_bytes_per_round\": %.1f, "
+        "\"alias_bytes_per_round\": %.1f, "
         "\"round_seconds_p50\": %.6f, \"round_seconds_p95\": %.6f, "
         "\"speedup_vs_serial\": %.3f, "
         "\"max_posterior_diff_vs_serial\": %.3e}%s\n",
         r.topology.c_str(), r.peers, r.edges, r.factors, r.parallelism,
         r.rounds, r.discover_seconds, r.seconds, r.rounds_per_sec,
         r.belief_updates_per_round, r.bytes_per_round, r.key_bytes_per_round,
-        r.round_seconds_p50, r.round_seconds_p95, r.speedup_vs_serial,
-        r.max_posterior_diff_vs_serial, i + 1 < results.size() ? "," : "");
+        r.alias_bytes_per_round, r.round_seconds_p50, r.round_seconds_p95,
+        r.speedup_vs_serial, r.max_posterior_diff_vs_serial,
+        i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -294,13 +311,16 @@ int Main(int argc, char** argv) {
         if (result.max_posterior_diff_vs_serial > 1e-12) deterministic = false;
         std::printf(
             "%s n=%-6zu edges=%-6zu factors=%-7zu p=%zu  %8.2f rounds/s  "
-            "(x%.2f vs serial)  %.1f MB/round (%.1f%% key)  "
+            "(x%.2f vs serial)  %.1f MB/round (%.1f%% key, %.1f%% alias hdr)  "
             "p50/p95=%.1f/%.1f ms  max|Δposterior|=%.1e\n",
             topology.c_str(), result.peers, result.edges, result.factors,
             result.parallelism, result.rounds_per_sec,
             result.speedup_vs_serial, result.bytes_per_round / 1e6,
             result.bytes_per_round > 0.0
                 ? 100.0 * result.key_bytes_per_round / result.bytes_per_round
+                : 0.0,
+            result.bytes_per_round > 0.0
+                ? 100.0 * result.alias_bytes_per_round / result.bytes_per_round
                 : 0.0,
             result.round_seconds_p50 * 1e3, result.round_seconds_p95 * 1e3,
             result.max_posterior_diff_vs_serial);

@@ -78,9 +78,8 @@ void PdmsEngine::DispatchEnvelope(PeerId to, Envelope& envelope) {
     const Status status = peer.IngestFeedback(*feedback);
     if (!status.ok()) PDMS_LOG_WARNING << status.message();
   } else if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
-    for (const BeliefUpdate& update : beliefs->updates) {
-      peer.AbsorbBeliefUpdate(update);
-    }
+    const Status status = peer.AbsorbBeliefBundle(envelope.from, *beliefs);
+    if (!status.ok()) PDMS_LOG_WARNING << status.message();
   } else if (auto* query = std::get_if<QueryMessage>(&envelope.payload)) {
     for (const BeliefUpdate& update : query->piggyback) {
       peer.AbsorbBeliefUpdate(update);
@@ -118,12 +117,21 @@ void PdmsEngine::DeliverAll() {
   }
 }
 
+bool PdmsEngine::UsePool() const {
+  // Fan out only when every lane gets a meaningful chunk of peers: below
+  // the threshold the pool's wake/steal/join overhead exceeds the round
+  // itself (1k-peer configs measured *slower* in parallel).
+  if (pool_ == nullptr) return false;
+  const size_t lanes = pool_->thread_count() + 1;
+  return peers_.size() >= options_.min_peers_per_lane * lanes;
+}
+
 void PdmsEngine::ForEachPeer(const std::function<void(size_t)>& fn) {
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(0, peers_.size(), fn);
-  } else {
+  if (!UsePool()) {
     for (size_t p = 0; p < peers_.size(); ++p) fn(p);
+    return;
   }
+  pool_->ParallelFor(0, peers_.size(), fn);
 }
 
 void PdmsEngine::DeliverRoundMessages() {
@@ -149,9 +157,9 @@ void PdmsEngine::DeliverRoundMessages() {
     Peer& peer = *peers_[p];
     for (Envelope& envelope : batch) {
       if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
-        for (const BeliefUpdate& update : beliefs->updates) {
-          peer.AbsorbBeliefUpdate(update);
-        }
+        const Status status =
+            peer.AbsorbBeliefBundle(envelope.from, *beliefs);
+        if (!status.ok()) PDMS_LOG_WARNING << status.message();
       } else if (auto* feedback =
                      std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
         const Status status = peer.IngestFeedback(*feedback);
@@ -214,21 +222,32 @@ RoundReport PdmsEngine::RunRound() {
     // order so lossy transports draw their drop decisions in the same
     // sequence at every parallelism level (the determinism guarantee).
     round_outgoing_.resize(n);
-    ForEachPeer([this](size_t p) {
-      peers_[p]->CollectOutgoingBeliefs(&round_outgoing_[p]);
-    });
-    for (PeerId p = 0; p < n; ++p) {
-      // Send in place (moving only the payloads) so each peer's collected
-      // vector keeps its capacity — the arena CollectOutgoingBeliefs
-      // refills next round.
+    // Send in place (moving only the payloads) so each peer's collected
+    // vector keeps its capacity — the arena CollectOutgoingBeliefs
+    // refills next round.
+    const auto send_peer = [&](PeerId p) {
       for (Outgoing& message : round_outgoing_[p]) {
         const auto& bundle = std::get<BeliefMessage>(message.payload);
-        report.belief_updates_sent += bundle.updates.size();
+        report.belief_updates_sent += bundle.update_count();
         ++report.belief_envelopes_sent;
         transport_->Send(p, message.to, message.via,
                          std::move(message.payload));
       }
       round_outgoing_[p].clear();
+    };
+    if (UsePool()) {
+      ForEachPeer([this](size_t p) {
+        peers_[p]->CollectOutgoingBeliefs(&round_outgoing_[p]);
+      });
+      for (PeerId p = 0; p < n; ++p) send_peer(p);
+    } else {
+      // Inline mode: fuse collect and send per peer — identical send
+      // order, but the transport's wire-size accounting walks each bundle
+      // while it is still cache-hot from construction.
+      for (PeerId p = 0; p < n; ++p) {
+        peers_[p]->CollectOutgoingBeliefs(&round_outgoing_[p]);
+        send_peer(p);
+      }
     }
   }
   return report;

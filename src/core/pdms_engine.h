@@ -177,7 +177,13 @@ class PdmsEngine {
 
   void SendAll(PeerId from, std::vector<Outgoing> messages);
 
-  /// Runs `fn(p)` for every peer, on the pool when configured, inline
+  /// Whether round phases fan out to the pool: requires a pool *and*
+  /// enough peers per lane to amortize its wake/steal/join overhead
+  /// (`EngineOptions::min_peers_per_lane`). Purely a scheduling decision —
+  /// results are identical either way.
+  bool UsePool() const;
+
+  /// Runs `fn(p)` for every peer, on the pool when `UsePool()`, inline
   /// otherwise. `fn` must only touch peer p's state (plus the transport,
   /// which is thread-safe).
   void ForEachPeer(const std::function<void(size_t)>& fn);

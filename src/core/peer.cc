@@ -38,40 +38,69 @@ void Peer::RemoveMapping(EdgeId edge) {
   if (it != mappings_.end() && it->first == edge) mappings_.erase(it);
 
   // Drop every replica referencing the edge, then rebuild the indexes,
-  // recompact the message pools, and rebuild the per-variable slot lists
-  // and belief routing tables. Churn is rare; rounds are hot.
+  // recompact the SoA pools, and rebuild the per-variable slot lists and
+  // belief routing tables. Churn is rare; rounds are hot.
   const std::vector<Belief> old_var_to_factor = std::move(var_to_factor_pool_);
   const std::vector<Belief> old_factor_to_var = std::move(factor_to_var_pool_);
+  const std::vector<MappingVarKey> old_members = std::move(member_pool_);
+  const std::vector<PeerId> old_owners = std::move(member_owner_pool_);
+  const std::vector<uint32_t> old_owned = std::move(owned_pos_pool_);
+  const std::vector<ReplicaHot> old_hot = std::move(replica_hot_);
   var_to_factor_pool_.clear();
   factor_to_var_pool_.clear();
+  member_pool_.clear();
+  member_owner_pool_.clear();
+  owned_pos_pool_.clear();
+  replica_hot_.clear();
   std::vector<Replica> kept;
   kept.reserve(replicas_.size());
-  for (Replica& replica : replicas_) {
+  for (uint32_t r = 0; r < replicas_.size(); ++r) {
+    const ReplicaHot& hot = old_hot[r];
+    const auto member_begin = old_members.begin() + hot.msg_base;
+    const auto member_end = member_begin + hot.member_count;
     const bool touches = std::any_of(
-        replica.members.begin(), replica.members.end(),
+        member_begin, member_end,
         [edge](const MappingVarKey& var) { return var.edge == edge; });
     if (touches) continue;
-    const uint32_t old_base = replica.msg_base;
-    const size_t n = replica.members.size();
-    replica.msg_base = static_cast<uint32_t>(var_to_factor_pool_.size());
-    var_to_factor_pool_.insert(var_to_factor_pool_.end(),
-                               old_var_to_factor.begin() + old_base,
-                               old_var_to_factor.begin() + old_base + n);
-    factor_to_var_pool_.insert(factor_to_var_pool_.end(),
-                               old_factor_to_var.begin() + old_base,
-                               old_factor_to_var.begin() + old_base + n);
-    kept.push_back(std::move(replica));
+    ReplicaHot compacted = hot;
+    compacted.msg_base = static_cast<uint32_t>(var_to_factor_pool_.size());
+    compacted.owned_base = static_cast<uint32_t>(owned_pos_pool_.size());
+    var_to_factor_pool_.insert(
+        var_to_factor_pool_.end(), old_var_to_factor.begin() + hot.msg_base,
+        old_var_to_factor.begin() + hot.msg_base + hot.member_count);
+    factor_to_var_pool_.insert(
+        factor_to_var_pool_.end(), old_factor_to_var.begin() + hot.msg_base,
+        old_factor_to_var.begin() + hot.msg_base + hot.member_count);
+    member_pool_.insert(member_pool_.end(), member_begin, member_end);
+    member_owner_pool_.insert(
+        member_owner_pool_.end(), old_owners.begin() + hot.msg_base,
+        old_owners.begin() + hot.msg_base + hot.member_count);
+    owned_pos_pool_.insert(
+        owned_pos_pool_.end(), old_owned.begin() + hot.owned_base,
+        old_owned.begin() + hot.owned_base + hot.owned_count);
+    replica_hot_.push_back(compacted);
+    kept.push_back(std::move(replicas_[r]));
   }
   replicas_ = std::move(kept);
   replica_index_.clear();
-  replica_msg_base_.clear();
   belief_routes_.clear();
+  // The replica set (and with it every route) changed, so the link-local
+  // alias numbering is void: clear both session directions and bump the
+  // epoch. Every peer of the network processes the same removal, so the
+  // sender's new numbering and the receivers' fresh tables stay in
+  // lockstep, and in-flight bundles from the old numbering are rejected
+  // by their stale epoch rather than misrouted.
+  alias_links_.clear();
+  alias_link_index_.clear();
+  ++alias_epoch_;
   for (VarState& var : vars_) var.slots.clear();
   for (uint32_t r = 0; r < replicas_.size(); ++r) {
     replica_index_.emplace(replicas_[r].id, r);
-    replica_msg_base_.push_back(replicas_[r].msg_base);
-    for (uint32_t pos : replicas_[r].owned_positions) {
-      vars_[InternVar(replicas_[r].members[pos])].slots.emplace_back(r, pos);
+    const ReplicaHot& hot = replica_hot_[r];
+    for (uint32_t i = 0; i < hot.owned_count; ++i) {
+      const uint32_t pos = owned_pos_pool_[hot.owned_base + i];
+      vars_[InternVar(member_pool_[hot.msg_base + pos])].slots.emplace_back(
+          r, pos);
     }
     AddReplicaToRoutes(r);
   }
@@ -145,7 +174,7 @@ Belief Peer::PosteriorBelief(const MappingVarKey& var) const {
   Belief posterior = Belief::FromProbability(Prior(var));
   if (const VarState* state = FindVar(var)) {
     for (const auto& [replica, position] : state->slots) {
-      posterior *= factor_to_var_pool_[replica_msg_base_[replica] + position];
+      posterior *= factor_to_var_pool_[replica_hot_[replica].msg_base + position];
     }
   }
   return posterior.Normalized();
@@ -219,6 +248,8 @@ Status Peer::IngestFactor(const FactorId& id, const Closure& closure,
   const auto existing = replica_index_.find(id);
   if (existing != replica_index_.end()) {
     const Replica& stored = replicas_[existing->second];
+    const std::span<const MappingVarKey> stored_members =
+        Members(existing->second);
     // Position-based update addressing makes the member *sequence*
     // load-bearing across replicas, so content equality requires it
     // verbatim, on top of the closure structure the id fingerprints. A
@@ -226,7 +257,8 @@ Status Peer::IngestFactor(const FactorId& id, const Closure& closure,
     // silently cross-wire remote µ-messages if accepted.
     if (SameFactorContent(stored.closure, stored.root_attribute, closure,
                           feedback.root_attribute) &&
-        stored.members == feedback.members) {
+        std::equal(stored_members.begin(), stored_members.end(),
+                   feedback.members.begin(), feedback.members.end())) {
       // Same factor identity: idempotent. Sign/∆ deliberately do not
       // participate — they are observations, and a re-observation keeps
       // the first value (first-wins, as the string-key path always did).
@@ -250,27 +282,30 @@ Status Peer::IngestFactor(const FactorId& id, const Closure& closure,
   replica.closure = closure;
   replica.root_attribute = feedback.root_attribute;
   replica.sign = feedback.sign;
-  replica.members = feedback.members;
   replica.delta = delta;
-  const size_t n = replica.members.size();
-  std::vector<VarId> positions(n);
-  for (size_t i = 0; i < n; ++i) positions[i] = static_cast<VarId>(i);
-  replica.factor = std::make_unique<CycleFeedbackFactor>(
-      positions, feedback.sign == FeedbackSign::kPositive, replica.delta);
-  replica.msg_base = static_cast<uint32_t>(var_to_factor_pool_.size());
-  var_to_factor_pool_.resize(replica.msg_base + n, Belief::Unit());
-  factor_to_var_pool_.resize(replica.msg_base + n, Belief::Unit());
-  replica.owner_of_member.resize(n);
+  const size_t n = feedback.members.size();
+  ReplicaHot hot;
+  hot.msg_base = static_cast<uint32_t>(var_to_factor_pool_.size());
+  hot.member_count = static_cast<uint32_t>(n);
+  hot.owned_base = static_cast<uint32_t>(owned_pos_pool_.size());
+  hot.delta = delta;
+  hot.positive = feedback.sign == FeedbackSign::kPositive;
+  var_to_factor_pool_.resize(hot.msg_base + n, Belief::Unit());
+  factor_to_var_pool_.resize(hot.msg_base + n, Belief::Unit());
+  member_pool_.insert(member_pool_.end(), feedback.members.begin(),
+                      feedback.members.end());
   for (size_t i = 0; i < n; ++i) {
-    replica.owner_of_member[i] = graph_->edge(replica.members[i].edge).src;
-    if (replica.owner_of_member[i] == id_) {
+    const PeerId owner = graph_->edge(feedback.members[i].edge).src;
+    member_owner_pool_.push_back(owner);
+    if (owner == id_) {
       // Own variables start from the locally-known prior instead of the
       // unit message; remote ones stay unit until heard from.
-      var_to_factor_pool_[replica.msg_base + i] =
-          Belief::FromProbability(Prior(replica.members[i]));
-      replica.owned_positions.push_back(static_cast<uint32_t>(i));
+      var_to_factor_pool_[hot.msg_base + i] =
+          Belief::FromProbability(Prior(feedback.members[i]));
+      owned_pos_pool_.push_back(static_cast<uint32_t>(i));
+      ++hot.owned_count;
     } else {
-      replica.other_owners.push_back(replica.owner_of_member[i]);
+      replica.other_owners.push_back(owner);
     }
   }
   std::sort(replica.other_owners.begin(), replica.other_owners.end());
@@ -280,54 +315,173 @@ Status Peer::IngestFactor(const FactorId& id, const Closure& closure,
 
   const auto index = static_cast<uint32_t>(replicas_.size());
   replicas_.push_back(std::move(replica));
+  replica_hot_.push_back(hot);
   replica_index_.emplace(id, index);
-  replica_msg_base_.push_back(replicas_[index].msg_base);
-  for (uint32_t pos : replicas_[index].owned_positions) {
-    vars_[InternVar(replicas_[index].members[pos])].slots.emplace_back(index,
-                                                                       pos);
+  for (uint32_t i = 0; i < hot.owned_count; ++i) {
+    const uint32_t pos = owned_pos_pool_[hot.owned_base + i];
+    vars_[InternVar(member_pool_[hot.msg_base + pos])].slots.emplace_back(
+        index, pos);
   }
   AddReplicaToRoutes(index);
   return Status::Ok();
 }
 
+uint32_t Peer::InternAliasLink(PeerId peer) {
+  const auto it = std::lower_bound(
+      alias_link_index_.begin(), alias_link_index_.end(), peer,
+      [](const auto& entry, PeerId p) { return entry.first < p; });
+  if (it != alias_link_index_.end() && it->first == peer) return it->second;
+  const auto index = static_cast<uint32_t>(alias_links_.size());
+  alias_links_.emplace_back();
+  alias_link_index_.emplace(it, peer, index);
+  return index;
+}
+
 void Peer::AddReplicaToRoutes(uint32_t r) {
   const Replica& replica = replicas_[r];
-  if (replica.owned_positions.empty()) return;
+  if (replica_hot_[r].owned_count == 0) return;
   for (PeerId peer : replica.other_owners) {
+    // First mention of this factor over the (this -> peer) link: negotiate
+    // the session alias the route will emit under. Replicas register in
+    // ascending index order, so aliases ascend with replica index and
+    // each route's group list stays in canonical emission order — the
+    // order the determinism guarantee rides on.
+    const uint32_t link = InternAliasLink(peer);
+    const uint32_t alias = alias_links_[link].session.tx.Assign(replica.id);
     auto it = std::lower_bound(
         belief_routes_.begin(), belief_routes_.end(), peer,
         [](const BeliefRoute& route, PeerId p) { return route.to < p; });
     if (it == belief_routes_.end() || it->to != peer) {
-      it = belief_routes_.insert(it, BeliefRoute{peer, {}});
+      it = belief_routes_.insert(it, BeliefRoute{peer, link, 0, {}});
     }
-    // Replicas register in ascending index order, so each route's slot
-    // list stays sorted by (replica, position) — the canonical emission
-    // order the determinism guarantee rides on.
-    for (uint32_t pos : replica.owned_positions) {
-      it->slots.emplace_back(r, pos);
-    }
+    it->entry_total += replica_hot_[r].owned_count;
+    it->groups.emplace_back(r, alias);
   }
+}
+
+void Peer::AbsorbResolved(uint32_t r, uint32_t position, const Belief& belief) {
+  const ReplicaHot& hot = replica_hot_[r];
+  if (position >= hot.member_count) return;                    // malformed
+  if (member_owner_pool_[hot.msg_base + position] == id_) return;  // forged
+  var_to_factor_pool_[hot.msg_base + position] = belief;
 }
 
 void Peer::AbsorbBeliefUpdate(const BeliefUpdate& update) {
   const auto it = replica_index_.find(update.factor);
   if (it == replica_index_.end()) return;  // closure unknown here: ignore
-  const Replica& replica = replicas_[it->second];
-  if (update.position >= replica.members.size()) return;  // malformed
-  if (replica.owner_of_member[update.position] == id_) return;  // forged
-  var_to_factor_pool_[replica.msg_base + update.position] = update.belief;
+  AbsorbResolved(it->second, update.position, update.belief);
+}
+
+Status Peer::AbsorbBeliefBundle(PeerId from, const BeliefMessage& message) {
+  // Everything in a stale-epoch bundle refers to the pre-rebuild
+  // numbering — including its ack. Applying such an ack to the fresh
+  // transmit session would mark bindings as established that the new
+  // receive tables never saw, silencing the full-id fallback for good,
+  // so the whole bundle is rejected up front.
+  if (message.epoch != alias_epoch_) {
+    return Status::FailedPrecondition(StrFormat(
+        "belief bundle from peer %u carries alias epoch %u, peer %u is at %u",
+        from, message.epoch, id_, alias_epoch_));
+  }
+  PeerLink& link = alias_links_[InternAliasLink(from)];
+  AliasSessionTx& tx = link.session.tx;
+  // The bundle's ack acknowledges *our* transmit session toward the
+  // sender. Latest-wins, not max: an honest receiver's ack is monotone
+  // and bundles arrive per-sender FIFO, so overwriting never loses
+  // ground — while a *forged* high ack is corrected by the next genuine
+  // bundle instead of permanently silencing the full-fingerprint
+  // fallback (max would ratchet the forgery in forever). Clamping to
+  // next_alias keeps never-declared aliases out either way.
+  tx.acked_prefix = std::min(message.ack, tx.next_alias);
+  AliasSessionRx& rx = link.session.rx;
+  Status status = Status::Ok();
+  for (const BeliefGroup& group : message.groups) {
+    // Entry ranges are untrusted input like everything else in a bundle:
+    // a range outside the flat array is rejected, not clamped-and-used.
+    if (static_cast<uint64_t>(group.entry_begin) + group.entry_count >
+        message.entries.size()) {
+      if (status.ok()) {
+        status = Status::InvalidArgument(StrFormat(
+            "belief group for alias %u addresses entries [%u, %u) beyond "
+            "the bundle's %zu",
+            group.alias, group.entry_begin,
+            group.entry_begin + group.entry_count, message.entries.size()));
+      }
+      continue;
+    }
+    // Steady state first: a *bare* alias whose factor is already resolved
+    // costs one 4-byte load — no fingerprint hash lookup per update. A
+    // group that carries a fingerprint must take the slow path even when
+    // cached, so a conflicting rebind is detected instead of silently
+    // absorbed under the original binding.
+    uint32_t replica = group.id.IsNil() &&
+                               group.alias < link.replica_of_alias.size()
+                           ? link.replica_of_alias[group.alias]
+                           : kNoReplica;
+    if (replica == kNoReplica) {
+      FactorId id = group.id;
+      if (!id.IsNil()) {
+        // Binding declaration (first mention / loss refallback). Recorded
+        // even when no replica exists here yet — the announcement may
+        // still be in flight, and acking the binding is what lets the
+        // sender drop the fingerprint once we can use the updates.
+        Status bound = rx.Bind(group.alias, id);
+        if (!bound.ok()) {
+          const StatusCode bound_code = bound.code();
+          if (status.ok()) status = std::move(bound);
+          // Past the per-session alias cap the binding cannot be stored,
+          // but the fingerprint in the group is still a complete, valid
+          // address — absorb through it (degrading to PR 3 full-id
+          // semantics for the overflow tail; the binding stays unacked,
+          // so the sender keeps declaring it). A *conflicting* rebind, by
+          // contrast, is dropped outright, mirroring the collision
+          // policy: neither identity can be trusted.
+          if (bound_code != StatusCode::kOutOfRange) continue;
+          const auto overflow = replica_index_.find(id);
+          if (overflow != replica_index_.end()) {
+            for (const BeliefEntry& entry : message.EntriesOf(group)) {
+              AbsorbResolved(overflow->second, entry.position, entry.belief);
+            }
+          }
+          continue;
+        }
+      } else if (group.alias < rx.id_of.size() &&
+                 !rx.id_of[group.alias].IsNil()) {
+        id = rx.id_of[group.alias];
+      } else {
+        if (status.ok()) status = rx.Resolve(group.alias).status();
+        continue;
+      }
+      const auto it = replica_index_.find(id);
+      if (it == replica_index_.end()) continue;  // closure unknown: ignore
+      replica = it->second;
+      if (group.alias >= link.replica_of_alias.size()) {
+        link.replica_of_alias.resize(group.alias + 1, kNoReplica);
+      }
+      link.replica_of_alias[group.alias] = replica;
+    }
+    for (const BeliefEntry& entry : message.EntriesOf(group)) {
+      AbsorbResolved(replica, entry.position, entry.belief);
+    }
+  }
+  return status;
 }
 
 double Peer::ComputeRound() {
   // Phase 1: factor -> variable messages for owned members, from the
   // var -> factor state of the previous round (synchronous flooding).
+  // Streams only the flat hot array and the SoA pools: no cold replica
+  // struct, no per-replica heap vector, no virtual factor dispatch.
   const bool damped = options_->damping > 0.0;
-  for (const Replica& replica : replicas_) {
+  for (const ReplicaHot& hot : replica_hot_) {
     const std::span<const Belief> incoming(
-        var_to_factor_pool_.data() + replica.msg_base, replica.members.size());
-    for (uint32_t pos : replica.owned_positions) {
-      Belief& target = factor_to_var_pool_[replica.msg_base + pos];
-      Belief computed = replica.factor->MessageTo(pos, incoming).Rescaled();
+        var_to_factor_pool_.data() + hot.msg_base, hot.member_count);
+    for (uint32_t i = 0; i < hot.owned_count; ++i) {
+      const uint32_t pos = owned_pos_pool_[hot.owned_base + i];
+      Belief& target = factor_to_var_pool_[hot.msg_base + pos];
+      Belief computed =
+          CycleFeedbackMessage(pos, incoming, hot.positive, hot.delta)
+              .Rescaled();
       if (damped) {
         computed = target.DampedToward(computed, 1.0 - options_->damping);
       }
@@ -348,14 +502,14 @@ double Peer::ComputeRound() {
     ExclusivePrefixSuffixProducts(
         k,
         [&](size_t j) -> const Belief& {
-          return factor_to_var_pool_[replica_msg_base_[var.slots[j].first] +
+          return factor_to_var_pool_[replica_hot_[var.slots[j].first].msg_base +
                                      var.slots[j].second];
         },
         &prefix_scratch_, &suffix_scratch_);
     for (size_t j = 0; j < k; ++j) {
       const Belief message =
           (prior * prefix_scratch_[j] * suffix_scratch_[j + 1]).Rescaled();
-      var_to_factor_pool_[replica_msg_base_[var.slots[j].first] +
+      var_to_factor_pool_[replica_hot_[var.slots[j].first].msg_base +
                           var.slots[j].second] = message;
     }
     // Convergence metric: posterior change over owned variables, with the
@@ -378,19 +532,41 @@ double Peer::ComputeRound() {
 
 void Peer::CollectOutgoingBeliefs(std::vector<Outgoing>* out) const {
   // The routing tables already hold recipients in ascending PeerId — the
-  // determinism anchor for lossy transports — and every slot to emit, so
-  // this is a straight pour: no per-round map, no re-bucketing.
+  // determinism anchor for lossy transports — and every group to emit, so
+  // this is a straight pour: no per-round map, no re-bucketing, no alias
+  // lookup (the alias was negotiated when the route was built).
   out->clear();
   out->reserve(belief_routes_.size());
   for (const BeliefRoute& route : belief_routes_) {
+    const AliasLink& session = alias_links_[route.link].session;
+    const AliasSessionTx& tx = session.tx;
     BeliefMessage bundle;
-    bundle.updates.reserve(route.slots.size());
-    for (const auto& [replica, pos] : route.slots) {
-      bundle.updates.push_back(
-          BeliefUpdate{replicas_[replica].id, pos,
-                       var_to_factor_pool_[replica_msg_base_[replica] + pos]});
+    bundle.epoch = alias_epoch_;
+    // Piggybacked ack for the reverse session: how much of the sender's
+    // numbering *we* have bound (0 until they have sent us anything).
+    bundle.ack = session.rx.known_prefix;
+    bundle.groups.reserve(route.groups.size());
+    bundle.entries.reserve(route.entry_total);
+    for (const auto& [replica, alias] : route.groups) {
+      const ReplicaHot& hot = replica_hot_[replica];
+      BeliefGroup group;
+      group.alias = alias;
+      group.entry_begin = static_cast<uint32_t>(bundle.entries.size());
+      group.entry_count = hot.owned_count;
+      // Unacknowledged binding: keep declaring the full fingerprint so a
+      // dropped first mention degrades to full-id traffic, never to an
+      // unknown alias at the receiver.
+      if (alias >= tx.acked_prefix) group.id = replicas_[replica].id;
+      for (uint32_t i = 0; i < hot.owned_count; ++i) {
+        const uint32_t pos = owned_pos_pool_[hot.owned_base + i];
+        bundle.entries.push_back(
+            BeliefEntry{pos, var_to_factor_pool_[hot.msg_base + pos]});
+      }
+      bundle.groups.push_back(group);
     }
-    out->push_back(Outgoing{route.to, std::nullopt, std::move(bundle)});
+    Outgoing& outgoing = out->emplace_back();
+    outgoing.to = route.to;
+    outgoing.payload = std::move(bundle);
   }
 }
 
@@ -408,7 +584,7 @@ std::vector<BeliefUpdate> Peer::PiggybackUpdatesFor(EdgeId edge) const {
     for (const auto& [replica, position] : vars_[v].slots) {
       updates.push_back(BeliefUpdate{
           replicas_[replica].id, position,
-          var_to_factor_pool_[replica_msg_base_[replica] + position]});
+          var_to_factor_pool_[replica_hot_[replica].msg_base + position]});
     }
   }
   return updates;
@@ -417,18 +593,21 @@ std::vector<BeliefUpdate> Peer::PiggybackUpdatesFor(EdgeId edge) const {
 std::vector<Peer::ReplicaView> Peer::ReplicaViews() const {
   std::vector<ReplicaView> views;
   views.reserve(replicas_.size());
-  for (const Replica& replica : replicas_) {
-    views.push_back(ReplicaView{replica.id, replica.root_attribute,
-                                replica.sign, replica.members, replica.delta,
-                                replica.closure.kind});
+  for (uint32_t r = 0; r < replicas_.size(); ++r) {
+    const Replica& replica = replicas_[r];
+    const std::span<const MappingVarKey> members = Members(r);
+    views.push_back(ReplicaView{
+        replica.id, replica.root_attribute, replica.sign,
+        std::vector<MappingVarKey>(members.begin(), members.end()),
+        replica.delta, replica.closure.kind});
   }
   return views;
 }
 
 size_t Peer::RemoteMessageBound() const {
   size_t bound = 0;
-  for (const Replica& replica : replicas_) {
-    bound += replica.owned_positions.size() * (replica.members.size() - 1);
+  for (const ReplicaHot& hot : replica_hot_) {
+    bound += hot.owned_count * (hot.member_count - 1);
   }
   return bound;
 }

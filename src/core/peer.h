@@ -1,8 +1,8 @@
 #ifndef PDMS_CORE_PEER_H_
 #define PDMS_CORE_PEER_H_
 
-#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -49,13 +49,19 @@ struct QueryActions {
 /// Hot-path layout: replicas and mapping variables are interned into dense
 /// arrays (`replicas_`, `vars_`) indexed by 128-bit `FactorId` fingerprints
 /// (identity-hashed — no string keys anywhere past ingest), and each
-/// variable keeps its (replica, position) slots. Replica message state
-/// lives in two contiguous structure-of-arrays pools shared by all
-/// replicas (`var_to_factor_pool_`, `factor_to_var_pool_`, slot =
-/// `msg_base + position`), so `ComputeRound` streams cache lines instead
-/// of chasing per-replica vectors and performs no heap allocation after
-/// the first round with a given evidence set. Outgoing belief bundles are
-/// emitted from per-recipient routing tables precomputed at ingest.
+/// variable keeps its (replica, position) slots. *All* per-replica hot
+/// state lives in contiguous structure-of-arrays pools addressed by
+/// base/length offsets from the flat `ReplicaHot` array: the message pools
+/// (`var_to_factor_pool_`, `factor_to_var_pool_`, slot = `msg_base +
+/// position`), the member scope and its owners (`member_pool_`,
+/// `member_owner_pool_`, same slots), and the owned positions
+/// (`owned_pos_pool_`). `ComputeRound` and `AbsorbBeliefUpdate` therefore
+/// touch no per-replica heap vectors at all — the cold `Replica` structs
+/// exist only for ingest, introspection and rebuilds — and perform no heap
+/// allocation after the first round with a given evidence set. Outgoing
+/// belief bundles are emitted from per-recipient routing tables
+/// precomputed at ingest, with factor identity compressed to link-local
+/// session aliases (`AliasSessionTx`/`AliasSessionRx` in net/message.h).
 class Peer {
  public:
   /// `graph` is the shared topology (used only to resolve edge endpoints,
@@ -125,8 +131,22 @@ class Peer {
                       const AttributeFeedback& feedback, double delta);
 
   /// Stores a remote var->factor message. O(1): the update addresses the
-  /// factor by fingerprint and the variable by member position.
+  /// factor by fingerprint and the variable by member position. This is
+  /// the piggyback (full-fingerprint) path; bundled belief traffic goes
+  /// through `AbsorbBeliefBundle`.
   void AbsorbBeliefUpdate(const BeliefUpdate& update);
+
+  /// Absorbs one alias-grouped belief bundle from `from`, maintaining the
+  /// receive side of the (from -> this) alias session: binding
+  /// declarations are recorded, bare aliases resolved, and the bundle's
+  /// `ack` advances the transmit session toward `from`. Returns the first
+  /// protocol error — stale epoch, unknown or out-of-range alias, alias
+  /// rebind — while still absorbing the remaining well-formed groups
+  /// (mirroring `IngestFeedback`'s collision policy; the engine logs and
+  /// drops). Updates for factors this peer has no replica of (announcement
+  /// lost or not yet delivered) are silently ignored, exactly like the
+  /// full-fingerprint path.
+  Status AbsorbBeliefBundle(PeerId from, const BeliefMessage& message);
 
   /// Executes one local inference round: recomputes factor->var messages
   /// from stored var->factor state, then var->factor messages for owned
@@ -138,8 +158,10 @@ class Peer {
   /// periodic payload). Bundles are emitted straight from the precomputed
   /// routing tables into `*out`, which is cleared first and may be reused
   /// across rounds as an arena — per-bundle sizes are known up front, so
-  /// the only allocations are the exact-size update vectors handed to the
-  /// transport.
+  /// the only allocations are the exact-size group/entry vectors handed to
+  /// the transport. Factor identity is carried as the session alias; the
+  /// full fingerprint rides along only while the recipient's ack does not
+  /// yet cover the alias (first mention, or refallback after loss).
   void CollectOutgoingBeliefs(std::vector<Outgoing>* out) const;
   std::vector<Outgoing> CollectOutgoingBeliefs() const;
 
@@ -193,33 +215,50 @@ class Peer {
   }
 
  private:
-  /// One replicated feedback factor (Section 4.1 local factor graph). The
-  /// per-member message state lives in the peer-level SoA pools at
-  /// [msg_base, msg_base + members.size()); the replica itself carries
-  /// only cold metadata.
+  /// One replicated feedback factor (Section 4.1 local factor graph) —
+  /// cold metadata only, touched at ingest, rebuild and introspection
+  /// time. Everything a round needs lives in the SoA pools, addressed
+  /// through the parallel `ReplicaHot` entry: members and their owners at
+  /// [msg_base, msg_base + member_count) of the member pools (the same
+  /// slots as the message pools), owned positions at [owned_base,
+  /// owned_base + owned_count) of `owned_pos_pool_`.
   struct Replica {
     FactorId id;
     Closure closure;
     AttributeId root_attribute = 0;
     FeedbackSign sign = FeedbackSign::kNeutral;
-    std::vector<MappingVarKey> members;
-    std::vector<PeerId> owner_of_member;
     double delta = 0.1;
-    /// The factor function (variables are member positions).
-    std::unique_ptr<CycleFeedbackFactor> factor;
-    /// First slot of this replica's message state in the message pools.
-    uint32_t msg_base = 0;
-    /// Member positions owned by this peer, ascending.
-    std::vector<uint32_t> owned_positions;
     /// Distinct owners of foreign members, ascending (belief recipients).
     std::vector<PeerId> other_owners;
   };
 
-  /// Precomputed outgoing-belief route: every (replica, owned position)
-  /// message slot destined for one recipient, in emission order.
+  /// Flat per-replica hot state: every field `ComputeRound` /
+  /// `AbsorbBeliefUpdate` needs, in one cache-friendly array — pool
+  /// offsets plus the factor function's two parameters (the message math
+  /// itself is the free kernel `CycleFeedbackMessage`).
+  struct ReplicaHot {
+    uint32_t msg_base = 0;
+    uint32_t member_count = 0;
+    uint32_t owned_base = 0;
+    uint32_t owned_count = 0;
+    double delta = 0.1;
+    bool positive = false;
+  };
+
+  /// Precomputed outgoing-belief route: one wire group per replica whose
+  /// updates this recipient receives, in emission order. The group's
+  /// entries are always the replica's full owned-position set, so only the
+  /// replica index and the negotiated session alias are stored.
   struct BeliefRoute {
     PeerId to = 0;
-    std::vector<std::pair<uint32_t, uint32_t>> slots;
+    /// Index of the recipient's session in `alias_links_`.
+    uint32_t link = 0;
+    /// Total entries across `groups` (Σ owned_count), so collect reserves
+    /// the bundle's flat entry array without a counting pre-pass.
+    uint32_t entry_total = 0;
+    /// (replica index, session alias), ascending by replica index — the
+    /// canonical emission order the determinism guarantee rides on.
+    std::vector<std::pair<uint32_t, uint32_t>> groups;
   };
 
   /// Everything this peer tracks about one mapping variable: explicit
@@ -241,8 +280,19 @@ class Peer {
   uint32_t InternVar(const MappingVarKey& var);
   const VarState* FindVar(const MappingVarKey& var) const;
 
-  /// Registers replica `r` with the per-recipient belief routing tables.
+  /// Registers replica `r` with the per-recipient belief routing tables,
+  /// negotiating a session alias per (recipient, factor) on the way.
   void AddReplicaToRoutes(uint32_t r);
+
+  /// The replica's member scope, as a view into the member pool.
+  std::span<const MappingVarKey> Members(uint32_t r) const {
+    const ReplicaHot& hot = replica_hot_[r];
+    return {member_pool_.data() + hot.msg_base, hot.member_count};
+  }
+
+  /// Writes `belief` into the var->factor slot (replica `r`, `position`)
+  /// unless the update is malformed or claims a variable this peer owns.
+  void AbsorbResolved(uint32_t r, uint32_t position, const Belief& belief);
 
   /// ∆ used by this peer when announcing feedback.
   double EffectiveDelta() const;
@@ -289,19 +339,50 @@ class Peer {
   /// the engine's serial message dispatch).
   std::vector<Replica> replicas_;
   std::unordered_map<FactorId, uint32_t, FactorIdHash> replica_index_;
-  /// replica_msg_base_[r] == replicas_[r].msg_base, kept as a flat array
-  /// so hot loops resolve pool slots without touching the replica struct.
-  std::vector<uint32_t> replica_msg_base_;
+  /// Flat hot state parallel to `replicas_` (see `ReplicaHot`).
+  std::vector<ReplicaHot> replica_hot_;
 
   /// SoA message pools, indexed by replica msg_base + member position:
   /// last µ_{member -> factor} per member (unit until heard otherwise),
   /// and µ_{factor -> member}, maintained for *owned* members.
   std::vector<Belief> var_to_factor_pool_;
   std::vector<Belief> factor_to_var_pool_;
+  /// Member scope + member owners, sharing the message pools' slots.
+  std::vector<MappingVarKey> member_pool_;
+  std::vector<PeerId> member_owner_pool_;
+  /// Owned member positions (ascending per replica), at owned_base.
+  std::vector<uint32_t> owned_pos_pool_;
 
   /// Per-recipient outgoing-belief routes, ascending by recipient; built
   /// incrementally at ingest, rebuilt on mapping removal.
   std::vector<BeliefRoute> belief_routes_;
+
+  /// Sentinel in `PeerLink::replica_of_alias`: binding known but factor
+  /// not (yet) ingested here, or alias not yet resolved.
+  static constexpr uint32_t kNoReplica = static_cast<uint32_t>(-1);
+
+  /// One neighbor's alias state: the wire session (both directions) plus
+  /// a receive-side alias -> replica-index cache, so steady-state
+  /// absorption is a single 4-byte load per group instead of a
+  /// fingerprint hash lookup per update.
+  struct PeerLink {
+    AliasLink session;
+    std::vector<uint32_t> replica_of_alias;
+  };
+
+  /// Alias sessions, one per neighbor: dense storage indexed through
+  /// `alias_link_index_` and `BeliefRoute::link`, so the round path does
+  /// one lookup per bundle. The index is a flat sorted array — a peer has
+  /// few belief neighbors, so binary search touches one cache line where
+  /// a hash map chases nodes. Cleared and renegotiated under a bumped
+  /// epoch on `RemoveMapping` (the engine removes mappings network-wide,
+  /// so both endpoints of every session bump in lockstep).
+  std::vector<PeerLink> alias_links_;
+  std::vector<std::pair<PeerId, uint32_t>> alias_link_index_;
+  uint32_t alias_epoch_ = 0;
+
+  /// Index of the alias link for `peer`, creating it on first sight.
+  uint32_t InternAliasLink(PeerId peer);
 
   /// Dense per-variable state + hashed index by packed (edge, attribute).
   std::vector<VarState> vars_;

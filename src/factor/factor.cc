@@ -43,9 +43,8 @@ double CycleFeedbackFactor::Evaluate(const std::vector<bool>& correct) const {
   return ValueForIncorrectCount(incorrect_count);
 }
 
-Belief CycleFeedbackFactor::MessageTo(size_t position,
-                                      std::span<const Belief> incoming) const {
-  assert(incoming.size() == arity());
+Belief CycleFeedbackMessage(size_t position, std::span<const Belief> incoming,
+                            bool positive, double delta) {
   // The factor value depends only on the number of incorrect mappings, with
   // three regimes (0 / 1 / >=2 incorrect). Over the *other* variables,
   // accumulate:
@@ -67,9 +66,9 @@ Belief CycleFeedbackFactor::MessageTo(size_t position,
   const double at_least_two = std::max(0.0, total - p0 - p1);
   const double at_least_one = std::max(0.0, total - p0);
 
-  const double g0 = ValueForIncorrectCount(0);
-  const double g1 = ValueForIncorrectCount(1);
-  const double g2 = ValueForIncorrectCount(2);
+  const double g0 = positive ? 1.0 : 0.0;
+  const double g1 = positive ? 0.0 : 1.0;
+  const double g2 = positive ? delta : 1.0 - delta;
 
   Belief message;
   // Recipient correct: total incorrect count == count among others.
@@ -77,6 +76,12 @@ Belief CycleFeedbackFactor::MessageTo(size_t position,
   // Recipient incorrect: total count == count among others + 1.
   message.incorrect = g1 * p0 + g2 * at_least_one;
   return message;
+}
+
+Belief CycleFeedbackFactor::MessageTo(size_t position,
+                                      std::span<const Belief> incoming) const {
+  assert(incoming.size() == arity());
+  return CycleFeedbackMessage(position, incoming, positive_, delta_);
 }
 
 std::string CycleFeedbackFactor::Describe() const {

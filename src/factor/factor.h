@@ -78,6 +78,16 @@ class PriorFactor : public Factor {
   double prior_;
 };
 
+/// The sum-product message µ_{f->x} of a cycle/parallel-path feedback
+/// factor, as a free kernel: `positive` selects the f+ slice, `delta` is ∆,
+/// `incoming[j]` is µ_{member j -> f} and `incoming[position]` is ignored.
+/// O(arity) via count-based dynamic programming. This is the whole math of
+/// `CycleFeedbackFactor::MessageTo`, factored out so the peers' hot path
+/// can stream pooled replica state (sign + ∆ live in a flat array) without
+/// a per-replica heap factor object or a virtual dispatch.
+Belief CycleFeedbackMessage(size_t position, std::span<const Belief> incoming,
+                            bool positive, double delta);
+
 /// The paper's feedback factor: the conditional probability of observing
 /// the given feedback sign on a cycle / parallel-path closure, as a
 /// function of how many member mappings are incorrect (Section 3.2.1):

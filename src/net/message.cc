@@ -65,6 +65,52 @@ std::string FactorId::ToString() const {
                    static_cast<unsigned long long>(lo));
 }
 
+uint32_t AliasSessionTx::Assign(const FactorId& id) {
+  const auto [it, inserted] = alias_of.emplace(id, next_alias);
+  if (inserted) ++next_alias;
+  return it->second;
+}
+
+Status AliasSessionRx::Bind(uint32_t alias, const FactorId& id) {
+  if (alias >= kMaxAliasesPerSession) {
+    return Status::OutOfRange(
+        StrFormat("belief alias %u exceeds the per-session bound", alias));
+  }
+  if (alias >= id_of.size()) id_of.resize(alias + 1);  // holes stay nil
+  FactorId& slot = id_of[alias];
+  if (slot.IsNil()) {
+    slot = id;
+    // Advance the contiguous acked prefix over any holes this filled.
+    while (known_prefix < id_of.size() && !id_of[known_prefix].IsNil()) {
+      ++known_prefix;
+    }
+    return Status::Ok();
+  }
+  if (slot == id) return Status::Ok();  // re-declared binding: idempotent
+  return Status::FailedPrecondition(
+      StrFormat("belief alias %u rebound to a different factor (%s vs %s)",
+                alias, id.ToString().c_str(), slot.ToString().c_str()));
+}
+
+Result<FactorId> AliasSessionRx::Resolve(uint32_t alias) const {
+  if (alias >= id_of.size() || id_of[alias].IsNil()) {
+    return Status::NotFound(
+        StrFormat("belief alias %u has no binding in this session", alias));
+  }
+  return id_of[alias];
+}
+
+void BeliefMessage::AddGroup(uint32_t alias, const FactorId& id,
+                             std::initializer_list<BeliefEntry> group_entries) {
+  BeliefGroup group;
+  group.alias = alias;
+  group.id = id;
+  group.entry_begin = static_cast<uint32_t>(entries.size());
+  group.entry_count = static_cast<uint32_t>(group_entries.size());
+  entries.insert(entries.end(), group_entries.begin(), group_entries.end());
+  groups.push_back(group);
+}
+
 std::string_view MessageKindName(MessageKind kind) {
   switch (kind) {
     case MessageKind::kProbe:
@@ -83,11 +129,30 @@ MessageKind KindOf(const Payload& payload) {
   return static_cast<MessageKind>(payload.index());
 }
 
+size_t VarintWireSize(uint64_t value) {
+  size_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
 namespace {
 
-/// Belief update on the wire: 128-bit factor fingerprint + member position
-/// (uint16 suffices: closure lengths are bounded far below 2^16 by
-/// `ClosureFinderOptions`) + two doubles.
+/// Zigzag mapping of a signed delta onto the unsigned varint domain
+/// (0, -1, 1, -2, … -> 0, 1, 2, 3, …): ascending sequences with small
+/// steps encode in one byte, and an out-of-order group or position is
+/// merely larger, never wrong.
+uint64_t ZigZag(int64_t delta) {
+  return (static_cast<uint64_t>(delta) << 1) ^
+         static_cast<uint64_t>(delta >> 63);
+}
+
+/// Piggybacked belief update on the wire: 128-bit factor fingerprint +
+/// member position (uint16 suffices: closure lengths are bounded far below
+/// 2^16 by `ClosureFinderOptions`) + two doubles. Piggybacks travel over
+/// multiple links, so they cannot use link-local aliases.
 size_t WireSize(const BeliefUpdate& update) {
   (void)update;
   return sizeof(FactorId) + sizeof(uint16_t) + 2 * sizeof(double);
@@ -96,6 +161,40 @@ size_t WireSize(const BeliefUpdate& update) {
 size_t WireSize(const Closure& closure) {
   return sizeof(closure.kind) + sizeof(closure.split) + sizeof(closure.source) +
          sizeof(closure.sink) + closure.edges.size() * sizeof(EdgeId);
+}
+
+/// All byte accounts of a bundle in one walk: alias headers (epoch + ack +
+/// counts + alias tokens), fingerprints (16 per unacknowledged group), and
+/// the delta-encoded entries; `bytes` is their sum.
+WireBreakdown BundleBreakdown(const BeliefMessage& message) {
+  WireBreakdown breakdown;
+  breakdown.alias_bytes = VarintWireSize(message.epoch) +
+                          VarintWireSize(message.ack) +
+                          VarintWireSize(message.groups.size());
+  size_t entry_bytes = 0;
+  uint32_t previous_alias = 0;
+  for (const BeliefGroup& group : message.groups) {
+    const bool has_id = !group.id.IsNil();
+    const uint64_t token =
+        (ZigZag(static_cast<int64_t>(group.alias) -
+                static_cast<int64_t>(previous_alias))
+         << 1) |
+        (has_id ? 1 : 0);
+    breakdown.alias_bytes +=
+        VarintWireSize(token) + VarintWireSize(group.entry_count);
+    if (has_id) breakdown.key_bytes += sizeof(FactorId);
+    previous_alias = group.alias;
+    uint32_t previous_position = 0;
+    for (const BeliefEntry& entry : message.EntriesOf(group)) {
+      entry_bytes +=
+          VarintWireSize(ZigZag(static_cast<int64_t>(entry.position) -
+                                static_cast<int64_t>(previous_position))) +
+          2 * sizeof(double);
+      previous_position = entry.position;
+    }
+  }
+  breakdown.bytes = breakdown.alias_bytes + breakdown.key_bytes + entry_bytes;
+  return breakdown;
 }
 
 }  // namespace
@@ -120,11 +219,7 @@ size_t ApproximateWireSize(const Payload& payload) {
           }
           return size;
         } else if constexpr (std::is_same_v<T, BeliefMessage>) {
-          size_t size = 0;
-          for (const BeliefUpdate& update : message.updates) {
-            size += WireSize(update);
-          }
-          return size;
+          return BundleBreakdown(message).bytes;
         } else {
           static_assert(std::is_same_v<T, QueryMessage>);
           size_t size = sizeof(message.query_id) + sizeof(message.origin) +
@@ -144,12 +239,31 @@ size_t ApproximateWireSize(const Payload& payload) {
 
 size_t FactorIdWireBytes(const Payload& payload) {
   if (const auto* beliefs = std::get_if<BeliefMessage>(&payload)) {
-    return beliefs->updates.size() * sizeof(FactorId);
+    return BundleBreakdown(*beliefs).key_bytes;
   }
   if (const auto* query = std::get_if<QueryMessage>(&payload)) {
     return query->piggyback.size() * sizeof(FactorId);
   }
   return 0;
+}
+
+size_t AliasWireBytes(const Payload& payload) {
+  if (const auto* beliefs = std::get_if<BeliefMessage>(&payload)) {
+    return BundleBreakdown(*beliefs).alias_bytes;
+  }
+  return 0;
+}
+
+WireBreakdown PayloadWireBreakdown(const Payload& payload) {
+  // Belief bundles — the per-round hot case — are broken down in a single
+  // walk; everything else has no alias bytes and cheap key accounting.
+  if (const auto* beliefs = std::get_if<BeliefMessage>(&payload)) {
+    return BundleBreakdown(*beliefs);
+  }
+  WireBreakdown breakdown;
+  breakdown.bytes = ApproximateWireSize(payload);
+  breakdown.key_bytes = FactorIdWireBytes(payload);
+  return breakdown;
 }
 
 }  // namespace pdms

@@ -1,10 +1,14 @@
 #ifndef PDMS_NET_MESSAGE_H_
 #define PDMS_NET_MESSAGE_H_
 
+#include <algorithm>
 #include <compare>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -14,6 +18,7 @@
 #include "mapping/mapping.h"
 #include "query/query.h"
 #include "schema/schema.h"
+#include "util/status.h"
 
 namespace pdms {
 
@@ -82,10 +87,90 @@ struct FactorIdHash {
 /// resolves in O(1) at the receiver — no key comparison, no per-update
 /// member scan — and costs two bytes on the wire instead of an
 /// (edge, attribute) pair.
+///
+/// Carried individually only where updates cross multiple links (lazy
+/// piggybacking on query traffic), where a link-local alias cannot
+/// survive relay; direct belief bundles group updates per factor and
+/// compress the identity via session aliases instead (`BeliefGroup`).
 struct BeliefUpdate {
   FactorId factor;
   uint32_t position = 0;
   Belief belief;
+};
+
+// --- Link-local factor-id aliasing --------------------------------------------
+//
+// A 128-bit fingerprint identifies a factor globally, but between two fixed
+// peers the set of factors they exchange beliefs about is tiny — so each
+// directed (sender -> recipient) belief session negotiates small-int
+// *aliases* for the fingerprints, the way DHT-style P2P databases avoid
+// shipping full keys per hop. The protocol is loss-tolerant and needs no
+// side channel:
+//
+//  * The sender assigns aliases densely (0, 1, 2, …) when it first routes a
+//    factor toward that recipient, and declares the binding on the wire by
+//    sending the full fingerprint *alongside* the alias (`BeliefGroup::id`).
+//  * The recipient records bindings and acknowledges the longest contiguous
+//    bound prefix on its own reverse bundles (`BeliefMessage::ack`; belief
+//    routing is symmetric, so a reverse bundle always exists under the
+//    periodic schedule).
+//  * Until an alias is covered by the acked prefix, the sender keeps
+//    re-declaring the binding — a dropped first mention therefore degrades
+//    to full-fingerprint traffic, never to misrouting. Once acked, the
+//    group carries the bare alias (1–2 varint bytes instead of 16).
+//  * A bare alias the recipient has no binding for, an alias beyond the
+//    session bound, or a bundle from a stale epoch is rejected with a
+//    `Status` (surfaced like PR 3's fingerprint-collision policy), never
+//    guessed at.
+//
+// Tables are rebuilt deterministically from replica order after
+// `Peer::RemoveMapping`, which bumps the session epoch on both sides (the
+// engine removes a mapping network-wide), invalidating in-flight bundles
+// that still reference the old numbering.
+
+/// Hard bound on aliases per directed session: rejects absurd aliases from
+/// forged traffic before they can grow the binding table.
+inline constexpr uint32_t kMaxAliasesPerSession = 1u << 20;
+
+/// Sender side of one directed belief session (this peer -> recipient).
+struct AliasSessionTx {
+  /// Alias assigned to each fingerprint first-mentioned on this link.
+  std::unordered_map<FactorId, uint32_t, FactorIdHash> alias_of;
+  uint32_t next_alias = 0;
+  /// Aliases below this are acknowledged by the recipient and are emitted
+  /// bare; everything at or above keeps the full-fingerprint fallback.
+  uint32_t acked_prefix = 0;
+
+  /// Returns the alias for `id`, assigning the next free one on first
+  /// sight (idempotent afterwards).
+  uint32_t Assign(const FactorId& id);
+};
+
+/// Receiver side of one directed belief session (sender -> this peer).
+/// Peers store one `AliasLink` (tx + rx) per neighbor so the round path
+/// resolves both directions with a single index lookup.
+struct AliasSessionRx {
+  /// alias -> fingerprint; nil entries are holes (binding not yet seen).
+  std::vector<FactorId> id_of;
+  /// Longest contiguous bound prefix — the value acked back to the sender.
+  uint32_t known_prefix = 0;
+
+  /// Records a binding declared on the wire. Fails with `OutOfRange` for
+  /// aliases beyond `kMaxAliasesPerSession` and `FailedPrecondition` when
+  /// the alias is already bound to a *different* fingerprint (re-declaring
+  /// the same binding is an idempotent no-op).
+  Status Bind(uint32_t alias, const FactorId& id);
+
+  /// Resolves a bare alias; `NotFound` when no binding is recorded.
+  Result<FactorId> Resolve(uint32_t alias) const;
+};
+
+/// Both directions of one peer-to-peer belief session: what we send them
+/// (`tx`) and what we have learned from them (`rx`, whose `known_prefix`
+/// is the ack we piggyback back). One hot-path lookup covers both.
+struct AliasLink {
+  AliasSessionTx tx;
+  AliasSessionRx rx;
 };
 
 /// A TTL-bounded probe flooded to discover cycles and parallel paths
@@ -127,9 +212,60 @@ struct FeedbackAnnouncement {
   double delta = 0.1;
 };
 
-/// A bundle of remote belief messages (periodic schedule, Section 4.3.1).
+/// One position/value entry inside a `BeliefGroup`: the member position
+/// (delta-encoded varint on the wire; entries are emitted in ascending
+/// position order) and the µ value itself.
+struct BeliefEntry {
+  uint32_t position = 0;
+  Belief belief;
+};
+
+/// All updates of one factor inside a bundle: one alias header + N
+/// position/value entries, instead of repeating 16 fingerprint bytes per
+/// update. The entries live in the bundle's shared flat array at
+/// [entry_begin, entry_begin + entry_count) — one allocation per bundle,
+/// not one per factor — and `id` is non-nil while the binding is
+/// unacknowledged (first mention, or refallback after loss), nil once the
+/// recipient's ack covers the alias and the group travels alias-only.
+struct BeliefGroup {
+  uint32_t alias = 0;
+  uint32_t entry_begin = 0;
+  uint32_t entry_count = 0;
+  FactorId id;  ///< nil = bare alias (binding already acknowledged)
+};
+
+/// A bundle of remote belief messages (periodic schedule, Section 4.3.1),
+/// grouped per factor and addressed through the link-local alias session
+/// (see "Link-local factor-id aliasing" above). `epoch` stamps the alias
+/// numbering generation; `ack` acknowledges the reverse session's bound
+/// prefix (piggybacked negotiation — no dedicated ack traffic).
 struct BeliefMessage {
-  std::vector<BeliefUpdate> updates;
+  uint32_t epoch = 0;
+  uint32_t ack = 0;
+  std::vector<BeliefGroup> groups;
+  /// All groups' entries, concatenated in group order.
+  std::vector<BeliefEntry> entries;
+
+  /// Appends one group with its entries (test/tooling convenience; the
+  /// peers' hot path writes the flat arrays directly).
+  void AddGroup(uint32_t alias, const FactorId& id,
+                std::initializer_list<BeliefEntry> group_entries);
+
+  /// The entries of `group`, as a view into the flat array. The range is
+  /// clamped to the array bounds, so a malformed group (forged traffic, a
+  /// buggy deserializer) yields a truncated or empty view instead of an
+  /// out-of-bounds read; receivers additionally reject such groups with a
+  /// Status (see `Peer::AbsorbBeliefBundle`).
+  std::span<const BeliefEntry> EntriesOf(const BeliefGroup& group) const {
+    const size_t begin = std::min<size_t>(group.entry_begin, entries.size());
+    const size_t count =
+        std::min<size_t>(group.entry_count, entries.size() - begin);
+    return {entries.data() + begin, count};
+  }
+
+  /// Individual µ updates carried (the unit the paper's Σ(l−1) bound
+  /// counts).
+  size_t update_count() const { return entries.size(); }
 };
 
 /// A query being propagated through the network (Section 2). The query is
@@ -162,17 +298,45 @@ constexpr size_t kMessageKindCount = 4;
 std::string_view MessageKindName(MessageKind kind);
 MessageKind KindOf(const Payload& payload);
 
+/// Bytes of `value` as a LEB128-style varint (1 byte per 7 payload bits) —
+/// the integer encoding the belief-bundle wire model assumes.
+size_t VarintWireSize(uint64_t value);
+
 /// Estimated size of `payload` on a byte-oriented wire: fixed header fields
 /// plus the dynamic content (routes, trails, belief bundles, query terms).
 /// Used by transports to account bytes moved; it tracks a compact binary
-/// encoding, not the in-memory layout.
+/// encoding, not the in-memory layout. Belief bundles are modeled as
+/// varint(epoch) + varint(ack) + varint(#groups), then per group a varint
+/// alias token (zigzag alias delta vs the previous group, low bit = "full
+/// id present"), the optional 16-byte fingerprint, varint(#entries), and
+/// per entry a zigzag position-delta varint plus the two message doubles.
 size_t ApproximateWireSize(const Payload& payload);
 
 /// The factor-identity bytes inside `payload` under the same encoding: one
-/// `FactorId` fingerprint per belief update (bundled or piggybacked), zero
-/// for identity-free traffic. Transports account these separately so the
-/// scale benchmarks can report how much of the wire is key overhead.
+/// `FactorId` fingerprint per *unacknowledged* belief group (alias binding
+/// declarations / loss refallback) and per piggybacked update, zero for
+/// identity-free traffic. Transports account these separately so the scale
+/// benchmarks can report how much of the wire is key overhead.
 size_t FactorIdWireBytes(const Payload& payload);
+
+/// The alias/header overhead inside `payload` under the same encoding:
+/// epoch + ack + group count varints plus each group's alias token and
+/// entry-count varints. This is the price of the session-alias scheme
+/// (the bytes that replace the fingerprints `FactorIdWireBytes` counts);
+/// the scale benchmarks report it as `alias_bytes_per_round`.
+size_t AliasWireBytes(const Payload& payload);
+
+/// All three byte accounts of a payload in one traversal — what the
+/// transports call per send, so the hot path walks a belief bundle once
+/// instead of once per metric. `bytes` always equals
+/// `ApproximateWireSize`, `key_bytes` `FactorIdWireBytes`, and
+/// `alias_bytes` `AliasWireBytes`.
+struct WireBreakdown {
+  size_t bytes = 0;
+  size_t key_bytes = 0;
+  size_t alias_bytes = 0;
+};
+WireBreakdown PayloadWireBreakdown(const Payload& payload);
 
 /// A payload in flight.
 struct Envelope {

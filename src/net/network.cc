@@ -23,8 +23,8 @@ void SimTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
     }
   }
   // Bytes account only what was accepted for delivery (drops excluded).
-  counters_.CountPayloadBytes(ApproximateWireSize(payload),
-                              FactorIdWireBytes(payload));
+  const WireBreakdown wire = PayloadWireBreakdown(payload);
+  counters_.CountPayloadBytes(wire.bytes, wire.key_bytes, wire.alias_bytes);
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;

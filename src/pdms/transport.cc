@@ -22,9 +22,10 @@ std::string TransportStats::ToString() const {
                      static_cast<unsigned long long>(dropped[k]),
                      static_cast<unsigned long long>(delivered[k]));
   }
-  out += StrFormat("bytes_sent=%llu key_bytes_sent=%llu\n",
+  out += StrFormat("bytes_sent=%llu key_bytes_sent=%llu alias_bytes_sent=%llu\n",
                    static_cast<unsigned long long>(bytes_sent),
-                   static_cast<unsigned long long>(key_bytes_sent));
+                   static_cast<unsigned long long>(key_bytes_sent),
+                   static_cast<unsigned long long>(alias_bytes_sent));
   return out;
 }
 
@@ -36,6 +37,7 @@ void AtomicTransportStats::SnapshotTo(TransportStats* out) const {
   }
   out->bytes_sent = bytes_sent.load(std::memory_order_relaxed);
   out->key_bytes_sent = key_bytes_sent.load(std::memory_order_relaxed);
+  out->alias_bytes_sent = alias_bytes_sent.load(std::memory_order_relaxed);
 }
 
 void AtomicTransportStats::Reset() {
@@ -46,13 +48,15 @@ void AtomicTransportStats::Reset() {
   }
   bytes_sent.store(0, std::memory_order_relaxed);
   key_bytes_sent.store(0, std::memory_order_relaxed);
+  alias_bytes_sent.store(0, std::memory_order_relaxed);
 }
 
 void InstantTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
                             Payload payload) {
   assert(to < mailboxes_.size());
-  counters_.CountSent(KindOf(payload), ApproximateWireSize(payload),
-                      FactorIdWireBytes(payload));
+  const WireBreakdown wire = PayloadWireBreakdown(payload);
+  counters_.CountSent(KindOf(payload), wire.bytes, wire.key_bytes,
+                      wire.alias_bytes);
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;

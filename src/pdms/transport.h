@@ -24,7 +24,12 @@ struct TransportStats {
   uint64_t bytes_sent = 0;
   /// The subset of `bytes_sent` spent on factor-identity fingerprints
   /// (`FactorIdWireBytes`) — the key overhead the scale benchmarks track.
+  /// With session aliasing this decays to ~0 once bindings are acked.
   uint64_t key_bytes_sent = 0;
+  /// The subset of `bytes_sent` spent on belief-bundle alias headers
+  /// (`AliasWireBytes`) — what the alias scheme pays to *replace* the
+  /// fingerprints; reported as `alias_bytes_per_round` by the benchmarks.
+  uint64_t alias_bytes_sent = 0;
 
   uint64_t TotalSent() const;
   std::string ToString() const;
@@ -40,6 +45,7 @@ struct AtomicTransportStats {
   std::array<std::atomic<uint64_t>, kMessageKindCount> delivered{};
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> key_bytes_sent{0};
+  std::atomic<uint64_t> alias_bytes_sent{0};
 
   /// Counts one send attempt of `kind` (drops included — `sent` tracks
   /// attempts; pair with CountDropped for the loss ledger).
@@ -49,14 +55,16 @@ struct AtomicTransportStats {
   /// Accounts payload bytes *accepted for delivery* — lossy transports
   /// must call this only after the drop decision, per the documented
   /// `TransportStats::bytes_sent` semantics.
-  void CountPayloadBytes(size_t bytes, size_t key_bytes) {
+  void CountPayloadBytes(size_t bytes, size_t key_bytes, size_t alias_bytes) {
     bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
     key_bytes_sent.fetch_add(key_bytes, std::memory_order_relaxed);
+    alias_bytes_sent.fetch_add(alias_bytes, std::memory_order_relaxed);
   }
   /// Attempt + bytes in one call, for transports that never drop.
-  void CountSent(MessageKind kind, size_t bytes, size_t key_bytes) {
+  void CountSent(MessageKind kind, size_t bytes, size_t key_bytes,
+                 size_t alias_bytes) {
     CountSendAttempt(kind);
-    CountPayloadBytes(bytes, key_bytes);
+    CountPayloadBytes(bytes, key_bytes, alias_bytes);
   }
   void CountDropped(MessageKind kind) {
     dropped[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);

@@ -192,8 +192,7 @@ TEST_P(ConcurrentTransportTest, ConcurrentSendsAccountEveryMessage) {
     senders.emplace_back([&, s] {
       for (size_t i = 0; i < kPerSender; ++i) {
         BeliefMessage message;
-        message.updates.push_back(
-            BeliefUpdate{FactorId{0x1, 0x2}, 0, Belief::Unit()});
+        message.AddGroup(0, FactorId{0x1, 0x2}, {BeliefEntry{0, Belief::Unit()}});
         transport->Send(static_cast<PeerId>(s % kPeers),
                         static_cast<PeerId>((s + i) % kPeers), std::nullopt,
                         std::move(message));

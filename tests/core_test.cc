@@ -522,7 +522,7 @@ TEST(EngineOverheadTest, RemoteMessagesRespectPaperBound) {
     const Peer& peer = intro.pdms.peer(p);
     size_t actual_updates = 0;
     for (const Outgoing& outgoing : peer.CollectOutgoingBeliefs()) {
-      actual_updates += std::get<BeliefMessage>(outgoing.payload).updates.size();
+      actual_updates += std::get<BeliefMessage>(outgoing.payload).update_count();
     }
     EXPECT_LE(actual_updates, peer.RemoteMessageBound())
         << "peer " << p;

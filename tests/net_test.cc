@@ -8,8 +8,8 @@ namespace {
 
 BeliefMessage MakeBelief() {
   BeliefMessage message;
-  message.updates.push_back(BeliefUpdate{FactorId{0x1, 0x2}, 0,
-                                         Belief::FromProbability(0.7)});
+  message.AddGroup(0, FactorId{0x1, 0x2},
+                   {BeliefEntry{0, Belief::FromProbability(0.7)}});
   return message;
 }
 
@@ -91,6 +91,88 @@ TEST(FactorIdTest, StableRendering) {
   // pure function of the two words.
   EXPECT_EQ(id.ToString(), FactorId::Make(cycle, 0).ToString());
   EXPECT_EQ(id.ToString().size(), 33u);  // 16 hex + ':' + 16 hex
+}
+
+TEST(VarintTest, WireSizeGrowsEverySevenBits) {
+  EXPECT_EQ(VarintWireSize(0), 1u);
+  EXPECT_EQ(VarintWireSize(127), 1u);
+  EXPECT_EQ(VarintWireSize(128), 2u);
+  EXPECT_EQ(VarintWireSize((1u << 14) - 1), 2u);
+  EXPECT_EQ(VarintWireSize(1u << 14), 3u);
+  EXPECT_EQ(VarintWireSize(~0ull), 10u);
+}
+
+TEST(AliasSessionTest, TxAssignsDenselyAndIdempotently) {
+  AliasSessionTx tx;
+  EXPECT_EQ(tx.Assign(FactorId{1, 1}), 0u);
+  EXPECT_EQ(tx.Assign(FactorId{2, 2}), 1u);
+  EXPECT_EQ(tx.Assign(FactorId{1, 1}), 0u);  // first mention wins
+  EXPECT_EQ(tx.next_alias, 2u);
+}
+
+TEST(AliasSessionTest, RxBindingsAdvanceContiguousPrefixOverHoles) {
+  AliasSessionRx rx;
+  EXPECT_TRUE(rx.Bind(0, FactorId{1, 1}).ok());
+  EXPECT_EQ(rx.known_prefix, 1u);
+  // Alias 2 arrives before 1 (its binding bundle was dropped): the acked
+  // prefix must not claim the hole.
+  EXPECT_TRUE(rx.Bind(2, FactorId{3, 3}).ok());
+  EXPECT_EQ(rx.known_prefix, 1u);
+  EXPECT_TRUE(rx.Bind(1, FactorId{2, 2}).ok());
+  EXPECT_EQ(rx.known_prefix, 3u);  // hole filled: prefix jumps past both
+
+  // Idempotent re-declaration vs. conflicting rebind vs. absurd alias.
+  EXPECT_TRUE(rx.Bind(1, FactorId{2, 2}).ok());
+  EXPECT_EQ(rx.Bind(1, FactorId{9, 9}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rx.Bind(kMaxAliasesPerSession, FactorId{4, 4}).code(),
+            StatusCode::kOutOfRange);
+
+  // Resolution: bound aliases resolve, holes and out-of-range do not.
+  ASSERT_TRUE(rx.Resolve(2).ok());
+  EXPECT_EQ(*rx.Resolve(2), (FactorId{3, 3}));
+  EXPECT_EQ(rx.Resolve(3).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rx.Resolve(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BeliefWireFormatTest, BareAliasGroupsBeatTheFingerprintEncoding) {
+  // Binding declaration (first mention): epoch(1) + ack(1) + #groups(1) +
+  // alias token(1) + fingerprint(16) + #entries(1) + position(1) + 16.
+  const BeliefMessage first = MakeBelief();
+  EXPECT_EQ(ApproximateWireSize(Payload{first}), 38u);
+  EXPECT_EQ(FactorIdWireBytes(Payload{first}), 16u);
+  EXPECT_EQ(AliasWireBytes(Payload{first}), 5u);
+
+  // Steady state (acked binding): the fingerprint is gone and the same
+  // update costs 22 bytes against 34 under the pre-alias encoding — the
+  // worst case (singleton group); multi-update groups amortize further.
+  BeliefMessage steady;
+  steady.AddGroup(0, FactorId{}, {BeliefEntry{0, Belief::FromProbability(0.7)}});
+  EXPECT_EQ(ApproximateWireSize(Payload{steady}), 22u);
+  EXPECT_EQ(FactorIdWireBytes(Payload{steady}), 0u);
+  EXPECT_EQ(AliasWireBytes(Payload{steady}), 5u);
+
+  // One alias header amortized over three delta-encoded entries.
+  BeliefMessage grouped;
+  grouped.AddGroup(3, FactorId{},
+                   {BeliefEntry{0, Belief::Unit()}, BeliefEntry{1, Belief::Unit()},
+                    BeliefEntry{2, Belief::Unit()}});
+  EXPECT_EQ(ApproximateWireSize(Payload{grouped}), 3u + 2u + 3u * 17u);
+
+  // The one-pass transport breakdown agrees with the per-metric functions.
+  for (const BeliefMessage& message : {first, steady, grouped}) {
+    const WireBreakdown breakdown = PayloadWireBreakdown(Payload{message});
+    EXPECT_EQ(breakdown.bytes, ApproximateWireSize(Payload{message}));
+    EXPECT_EQ(breakdown.key_bytes, FactorIdWireBytes(Payload{message}));
+    EXPECT_EQ(breakdown.alias_bytes, AliasWireBytes(Payload{message}));
+  }
+
+  // Positions past the one-byte varint range cost exact zigzag-delta
+  // varints (two bytes each here).
+  BeliefMessage wide;
+  wide.AddGroup(0, FactorId{},
+                {BeliefEntry{64, Belief::Unit()}, BeliefEntry{200, Belief::Unit()}});
+  EXPECT_EQ(ApproximateWireSize(Payload{wide}), 3u + 2u + (2u + 16u) + (2u + 16u));
 }
 
 TEST(SimTransportTest, DeliversAfterDelay) {

@@ -188,8 +188,8 @@ class TransportConformanceTest
 
 BeliefMessage MakeBelief(double p) {
   BeliefMessage message;
-  message.updates.push_back(
-      BeliefUpdate{FactorId{0x1, 0x2}, 0, Belief::FromProbability(p)});
+  message.AddGroup(0, FactorId{0x1, 0x2},
+                   {BeliefEntry{0, Belief::FromProbability(p)}});
   return message;
 }
 
@@ -220,8 +220,8 @@ TEST_P(TransportConformanceTest, DeliversToTheRightPeerIntact) {
   EXPECT_EQ(*due[0].via, 2u);
   const auto* belief = std::get_if<BeliefMessage>(&due[0].payload);
   ASSERT_NE(belief, nullptr);
-  ASSERT_EQ(belief->updates.size(), 1u);
-  EXPECT_NEAR(belief->updates[0].belief.ProbabilityCorrect(), 0.7, 1e-12);
+  ASSERT_EQ(belief->update_count(), 1u);
+  EXPECT_NEAR(belief->entries[0].belief.ProbabilityCorrect(), 0.7, 1e-12);
   EXPECT_FALSE(transport->HasPendingMessages());
 }
 
@@ -353,6 +353,10 @@ std::vector<double> ConvergedPosteriors(size_t parallelism,
   options.network.send_probability = send_probability;
   options.network.seed = 7;
   options.parallelism = parallelism;
+  // 24 peers would fall below the fan-out threshold and silently run
+  // inline — force the pool so this test keeps exercising the actual
+  // parallel round path (and TSan keeps seeing it).
+  options.min_peers_per_lane = 1;
   Pdms pdms =
       PdmsBuilder::FromSynthetic(synthetic).WithOptions(options).Build().value();
   EXPECT_GT(pdms.session().Discover(), 0u);
@@ -367,7 +371,12 @@ std::vector<double> ConvergedPosteriors(size_t parallelism,
   return posteriors;
 }
 
-TEST(ParallelDeterminismTest, ParallelPosteriorsMatchSerialTo1e12) {
+TEST(ParallelDeterminismTest, ParallelPosteriorsMatchSerialBitwise) {
+  // Bitwise, not approximate: peers only touch their own state during a
+  // round and sends are issued in canonical order, so the alias-grouped
+  // encoding must produce value-identical posteriors at every parallelism
+  // level — including under lossy transport, where the drop draws depend
+  // only on the (canonical) send sequence.
   for (const double send_probability : {1.0, 0.6}) {
     const std::vector<double> serial =
         ConvergedPosteriors(1, send_probability);
@@ -377,7 +386,7 @@ TEST(ParallelDeterminismTest, ParallelPosteriorsMatchSerialTo1e12) {
           ConvergedPosteriors(parallelism, send_probability);
       ASSERT_EQ(parallel.size(), serial.size());
       for (size_t i = 0; i < serial.size(); ++i) {
-        ASSERT_NEAR(parallel[i], serial[i], 1e-12)
+        ASSERT_EQ(parallel[i], serial[i])
             << "posterior " << i << " at parallelism " << parallelism
             << ", P(send)=" << send_probability;
       }

@@ -174,13 +174,222 @@ TEST_F(PeerTest, CollectOutgoingBeliefsTargetsOtherOwners) {
   for (const Outgoing& message : outgoing) {
     recipients.insert(message.to);
     const auto& bundle = std::get<BeliefMessage>(message.payload);
-    ASSERT_EQ(bundle.updates.size(), 1u);
-    // The update addresses m12 by its member position (0) in f1's scope.
-    EXPECT_EQ(bundle.updates[0].factor,
-              FactorId::Make(F1Announcement().closure, 0));
-    EXPECT_EQ(bundle.updates[0].position, 0u);
+    ASSERT_EQ(bundle.groups.size(), 1u);
+    ASSERT_EQ(bundle.update_count(), 1u);
+    // First mention on every link: the alias binding declares the full
+    // fingerprint, and the entry addresses m12 by its member position (0)
+    // in f1's scope.
+    EXPECT_EQ(bundle.groups[0].alias, 0u);
+    ASSERT_FALSE(bundle.groups[0].id.IsNil());
+    EXPECT_EQ(bundle.groups[0].id, FactorId::Make(F1Announcement().closure, 0));
+    EXPECT_EQ(bundle.entries[0].position, 0u);
   }
   EXPECT_EQ(recipients, (std::set<PeerId>{1, 2, 3}));
+}
+
+/// The bundle peers_[from] would send to `to`, or a default-constructed
+/// message when no route exists.
+BeliefMessage BundleFromTo(Peer& from, PeerId to) {
+  for (const Outgoing& message : from.CollectOutgoingBeliefs()) {
+    if (message.to == to) return std::get<BeliefMessage>(message.payload);
+  }
+  return BeliefMessage{};
+}
+
+TEST_F(PeerTest, AliasNegotiationReachesBareAliasesAfterAck) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[1]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  peers_[1]->ComputeRound();
+
+  // First mention p0 -> p1: the binding declares the full fingerprint.
+  BeliefMessage first = BundleFromTo(*peers_[0], 1);
+  ASSERT_EQ(first.groups.size(), 1u);
+  EXPECT_FALSE(first.groups[0].id.IsNil());
+  EXPECT_EQ(first.ack, 0u);  // p0 has heard nothing from p1 yet
+
+  // p1 records the binding; its reverse bundle acks the bound prefix.
+  ASSERT_TRUE(peers_[1]->AbsorbBeliefBundle(0, first).ok());
+  BeliefMessage reverse = BundleFromTo(*peers_[1], 0);
+  EXPECT_EQ(reverse.ack, 1u);
+  EXPECT_FALSE(reverse.groups[0].id.IsNil());  // p1's own binding unacked
+
+  // Once the ack lands, p0 emits the bare alias — 1 varint byte on the
+  // wire where 16 fingerprint bytes used to be.
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, reverse).ok());
+  BeliefMessage steady = BundleFromTo(*peers_[0], 1);
+  ASSERT_EQ(steady.groups.size(), 1u);
+  EXPECT_TRUE(steady.groups[0].id.IsNil());
+  EXPECT_EQ(steady.groups[0].alias, first.groups[0].alias);
+  EXPECT_LT(ApproximateWireSize(Payload{steady}),
+            ApproximateWireSize(Payload{first}));
+
+  // The bare-alias bundle still routes to the right factor slot.
+  ASSERT_TRUE(peers_[1]->AbsorbBeliefBundle(0, steady).ok());
+}
+
+TEST_F(PeerTest, FirstMentionDropRefallsBackToFullId) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[1]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+
+  // The first mention is lost in transit (never absorbed by p1). With no
+  // ack, every subsequent bundle re-declares the full fingerprint — the
+  // encoding degrades to full-id traffic under loss, never to an alias
+  // the receiver cannot resolve.
+  const BeliefMessage dropped = BundleFromTo(*peers_[0], 1);
+  ASSERT_FALSE(dropped.groups[0].id.IsNil());
+  const BeliefMessage retry = BundleFromTo(*peers_[0], 1);
+  ASSERT_FALSE(retry.groups[0].id.IsNil());
+
+  // The retry is self-contained: p1 can absorb it without ever having
+  // seen the dropped first mention.
+  ASSERT_TRUE(peers_[1]->AbsorbBeliefBundle(0, retry).ok());
+  EXPECT_EQ(BundleFromTo(*peers_[1], 0).ack, 1u);
+}
+
+TEST_F(PeerTest, UnknownAliasStaleEpochAndOverflowRejectedWithStatus) {
+  peers_[1]->IngestFeedback(F1Announcement());
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+
+  // Bare alias without a prior binding declaration: rejected, not guessed.
+  BeliefMessage unknown;
+  unknown.AddGroup(5, FactorId{}, {BeliefEntry{1, Belief{0.1, 0.9}}});
+  EXPECT_EQ(peers_[1]->AbsorbBeliefBundle(0, unknown).code(),
+            StatusCode::kNotFound);
+
+  // Alias beyond the per-session bound: surfaced as OutOfRange and never
+  // stored in the binding table — but the group's full fingerprint is
+  // still a valid address, so its updates are absorbed anyway (overflow
+  // tail degrades to full-id semantics instead of losing beliefs).
+  peers_[1]->ComputeRound();
+  const double before_overflow =
+      peers_[1]->Posterior(MappingVarKey{edges_.m23, 0});
+  BeliefMessage absurd;
+  absurd.AddGroup(kMaxAliasesPerSession, id, {BeliefEntry{0, Belief{0.01, 0.99}}});
+  EXPECT_EQ(peers_[1]->AbsorbBeliefBundle(0, absurd).code(),
+            StatusCode::kOutOfRange);
+  peers_[1]->ComputeRound();
+  EXPECT_NE(peers_[1]->Posterior(MappingVarKey{edges_.m23, 0}),
+            before_overflow);
+  EXPECT_EQ(BundleFromTo(*peers_[1], 0).ack, 0u);  // binding not recorded
+
+  // Wrong epoch: the whole bundle refers to a dead numbering.
+  BeliefMessage stale;
+  stale.epoch = 7;
+  stale.AddGroup(0, id, {BeliefEntry{1, Belief{0.1, 0.9}}});
+  EXPECT_EQ(peers_[1]->AbsorbBeliefBundle(0, stale).code(),
+            StatusCode::kFailedPrecondition);
+
+  // A bad group does not poison the rest of the bundle: the valid binding
+  // after it is still absorbed (first-error-wins Status, like ingest).
+  BeliefMessage mixed;
+  mixed.AddGroup(5, FactorId{}, {BeliefEntry{1, Belief{0.1, 0.9}}});
+  mixed.AddGroup(0, id, {BeliefEntry{0, Belief{0.2, 0.8}}});
+  EXPECT_EQ(peers_[1]->AbsorbBeliefBundle(0, mixed).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(BundleFromTo(*peers_[1], 0).ack, 1u);  // alias 0 got bound
+
+  // A rebind of an established alias to a different factor is rejected.
+  BeliefMessage rebind;
+  rebind.AddGroup(0, FactorId{0xdead, 0xbeef}, {BeliefEntry{1, Belief{0.1, 0.9}}});
+  EXPECT_EQ(peers_[1]->AbsorbBeliefBundle(0, rebind).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PeerTest, ForgedAckIsCorrectedByTheNextGenuineBundle) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[1]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  peers_[1]->ComputeRound();
+  ASSERT_FALSE(BundleFromTo(*peers_[0], 1).groups[0].id.IsNil());
+
+  // An attacker claiming to be p1 acks a binding p1 never saw: p0 stops
+  // declaring the fingerprint for one exchange...
+  BeliefMessage forged_ack;
+  forged_ack.ack = 1;
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, forged_ack).ok());
+  EXPECT_TRUE(BundleFromTo(*peers_[0], 1).groups[0].id.IsNil());
+
+  // ...but the next genuine bundle from p1 carries its real ack (0), and
+  // latest-wins restores the full-id fallback instead of ratcheting the
+  // forgery in forever.
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, BundleFromTo(*peers_[1], 0)).ok());
+  EXPECT_FALSE(BundleFromTo(*peers_[0], 1).groups[0].id.IsNil());
+}
+
+TEST_F(PeerTest, OutOfBoundsEntryRangeRejectedWithStatus) {
+  peers_[1]->IngestFeedback(F1Announcement());
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+
+  // A group whose entry range lies outside the bundle's flat array is
+  // untrusted input like everything else: rejected with a Status, and the
+  // well-formed group after it still absorbed.
+  BeliefMessage forged;
+  forged.AddGroup(0, id, {BeliefEntry{0, Belief{0.2, 0.8}}});
+  forged.groups[0].entry_begin = 0xffffffffu;
+  forged.AddGroup(1, FactorId{0x7, 0x7}, {BeliefEntry{0, Belief{0.3, 0.7}}});
+  EXPECT_EQ(peers_[1]->AbsorbBeliefBundle(0, forged).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BundleFromTo(*peers_[1], 0).ack, 0u);  // alias 0 never bound
+
+  BeliefMessage overflow;
+  overflow.AddGroup(0, id, {BeliefEntry{0, Belief{0.2, 0.8}}});
+  overflow.groups[0].entry_count = 0xffffffffu;  // begin + count overflows
+  EXPECT_EQ(peers_[1]->AbsorbBeliefBundle(0, overflow).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PeerTest, BundleEntriesRespectForgedAndMalformedRules) {
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const double before = peers_[0]->Posterior(MappingVarKey{edges_.m12, 0});
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+
+  // Position 0 is p0's own variable (forged) and 99 is out of range: both
+  // entries are ignored even though the group itself is well-formed.
+  BeliefMessage bundle;
+  bundle.AddGroup(0, id,
+                  {BeliefEntry{0, Belief{0.0, 1.0}}, BeliefEntry{99, Belief{0.0, 1.0}}});
+  EXPECT_TRUE(peers_[0]->AbsorbBeliefBundle(3, bundle).ok());
+  peers_[0]->ComputeRound();
+  EXPECT_NEAR(peers_[0]->Posterior(MappingVarKey{edges_.m12, 0}), before,
+              1e-12);
+}
+
+TEST_F(PeerTest, AliasTablesRebuildAfterRemoveMapping) {
+  // Establish a fully-acked session between p0 and p1 over f1.
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[1]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  peers_[1]->ComputeRound();
+  ASSERT_TRUE(peers_[1]->AbsorbBeliefBundle(0, BundleFromTo(*peers_[0], 1)).ok());
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, BundleFromTo(*peers_[1], 0)).ok());
+  const BeliefMessage steady = BundleFromTo(*peers_[0], 1);
+  ASSERT_TRUE(steady.groups[0].id.IsNil());
+  ASSERT_EQ(steady.epoch, 0u);
+
+  // Network-wide removal of m24 (not an f1 member): the engine calls
+  // RemoveMapping on every peer, so both endpoints bump their epoch and
+  // rebuild their tables even though the f1 replica survives.
+  peers_[0]->RemoveMapping(edges_.m24);
+  peers_[1]->RemoveMapping(edges_.m24);
+  EXPECT_EQ(peers_[0]->replica_count(), 1u);
+
+  // An in-flight bundle from the old numbering is rejected, not misrouted.
+  EXPECT_EQ(peers_[1]->AbsorbBeliefBundle(0, steady).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The fresh session renegotiates deterministically: new epoch, alias
+  // re-assigned from replica order, full fingerprint declared again.
+  const BeliefMessage fresh = BundleFromTo(*peers_[0], 1);
+  EXPECT_EQ(fresh.epoch, 1u);
+  ASSERT_EQ(fresh.groups.size(), 1u);
+  EXPECT_EQ(fresh.groups[0].alias, 0u);
+  EXPECT_FALSE(fresh.groups[0].id.IsNil());
+  ASSERT_TRUE(peers_[1]->AbsorbBeliefBundle(0, fresh).ok());
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, BundleFromTo(*peers_[1], 0)).ok());
+  EXPECT_TRUE(BundleFromTo(*peers_[0], 1).groups[0].id.IsNil());
 }
 
 TEST_F(PeerTest, PiggybackUpdatesFilteredByEdge) {

@@ -4,28 +4,55 @@
 Usage:
   tools/bench_compare.py BASELINE CURRENT [--metric bytes_per_round]
                          [--tolerance 0.10] [--peers 1000]
+                         [--parallelism 1]
 
 Configs are matched on (topology, peers, parallelism); rows present in only
 one file are ignored (the CI smoke run covers a subset of the checked-in
-sweep). For each matched pair the relative increase of `--metric` over the
-baseline is computed; any increase above `--tolerance` fails the run with a
-per-config report. Lower is better for every supported metric.
+sweep). For each matched pair the relative *regression* of `--metric` over
+the baseline is computed — an increase for lower-is-better metrics
+(bytes_per_round, key_bytes_per_round, ...), a decrease for
+higher-is-better ones (rounds_per_sec, speedup_vs_serial) — and any
+regression above `--tolerance` fails the run with a per-config report.
+
+A zero baseline (e.g. key_bytes_per_round once alias negotiation settles)
+is a hard floor: any nonzero current value counts as an unbounded
+regression rather than being silently skipped.
 """
 
 import argparse
 import json
 import sys
 
+# Metrics where bigger numbers are good; everything else is lower-is-better.
+HIGHER_IS_BETTER = {"rounds_per_sec", "speedup_vs_serial"}
 
-def load_configs(path, peers_filter):
+
+def load_configs(path, peers_filter, parallelism_filter):
     with open(path) as f:
         data = json.load(f)
     configs = {}
     for row in data.get("configs", []):
         if peers_filter is not None and row["peers"] != peers_filter:
             continue
+        if (parallelism_filter is not None
+                and row["parallelism"] != parallelism_filter):
+            continue
         configs[(row["topology"], row["peers"], row["parallelism"])] = row
     return data.get("schema_version"), configs
+
+
+def regression(metric, base_value, cur_value):
+    """Relative regression of `cur_value` vs `base_value` (positive = worse)."""
+    if base_value == 0:
+        # Lower-is-better from a zero baseline is a hard floor: any nonzero
+        # value is an unbounded regression. Higher-is-better from zero can
+        # only improve or stay put.
+        if metric in HIGHER_IS_BETTER:
+            return 0.0
+        return float("inf") if cur_value > 0 else 0.0
+    if metric in HIGHER_IS_BETTER:
+        return (base_value - cur_value) / base_value
+    return (cur_value - base_value) / base_value
 
 
 def main():
@@ -34,13 +61,17 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--metric", default="bytes_per_round")
     parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="max allowed relative increase (0.10 = +10%%)")
+                        help="max allowed relative regression (0.10 = 10%%)")
     parser.add_argument("--peers", type=int, default=None,
                         help="only compare configs with this peer count")
+    parser.add_argument("--parallelism", type=int, default=None,
+                        help="only compare configs with this parallelism")
     args = parser.parse_args()
 
-    base_version, baseline = load_configs(args.baseline, args.peers)
-    cur_version, current = load_configs(args.current, args.peers)
+    base_version, baseline = load_configs(args.baseline, args.peers,
+                                          args.parallelism)
+    cur_version, current = load_configs(args.current, args.peers,
+                                        args.parallelism)
     if base_version != cur_version:
         print(f"note: schema_version differs (baseline v{base_version}, "
               f"current v{cur_version}); comparing shared fields")
@@ -50,6 +81,7 @@ def main():
         print("error: no matching (topology, peers, parallelism) configs")
         return 2
 
+    direction = "higher" if args.metric in HIGHER_IS_BETTER else "lower"
     failures = 0
     for key in matched:
         base_row, cur_row = baseline[key], current[key]
@@ -57,14 +89,15 @@ def main():
             print(f"error: metric '{args.metric}' missing for {key}")
             return 2
         base_value, cur_value = base_row[args.metric], cur_row[args.metric]
-        delta = (cur_value - base_value) / base_value if base_value else 0.0
+        delta = regression(args.metric, base_value, cur_value)
         verdict = "FAIL" if delta > args.tolerance else "ok"
         if verdict == "FAIL":
             failures += 1
         topology, peers, parallelism = key
         print(f"[{verdict}] {topology} n={peers} p={parallelism} "
-              f"{args.metric}: {base_value:.1f} -> {cur_value:.1f} "
-              f"({delta:+.1%}, tolerance +{args.tolerance:.0%})")
+              f"{args.metric} ({direction} is better): "
+              f"{base_value:.1f} -> {cur_value:.1f} "
+              f"(regression {delta:+.1%}, tolerance +{args.tolerance:.0%})")
 
     if failures:
         print(f"{failures}/{len(matched)} configs regressed on "
