@@ -32,7 +32,9 @@ struct BibliographicPdms {
 /// Aligns every ordered ontology pair — alternating between the combined
 /// (dictionary-backed) and plain edit-distance techniques, as contest
 /// participants' tools did — and assembles the resulting PDMS.
-inline BibliographicPdms MakeBibliographicPdms(EngineOptions options) {
+inline BibliographicPdms MakeBibliographicPdms(
+    EngineOptions options,
+    PdmsBuilder::TransportFactory transport_factory = nullptr) {
   BibliographicPdms workload;
   workload.family = MakeBibliographicOntologies();
   const size_t n = workload.family.size();
@@ -40,6 +42,7 @@ inline BibliographicPdms MakeBibliographicPdms(EngineOptions options) {
 
   PdmsBuilder builder;
   builder.WithOptions(options);
+  if (transport_factory) builder.WithTransport(std::move(transport_factory));
   for (const Ontology& ontology : workload.family) {
     builder.AddPeer(ontology.schema);
   }

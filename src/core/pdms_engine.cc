@@ -111,10 +111,35 @@ void PdmsEngine::DispatchEnvelope(PeerId to, Envelope& envelope) {
 
 void PdmsEngine::DeliverAll() {
   for (PeerId p = 0; p < peers_.size(); ++p) {
+    if (!IsLocalPeer(p)) continue;
     for (Envelope& envelope : transport_->Drain(p)) {
       DispatchEnvelope(p, envelope);
     }
   }
+}
+
+Status PdmsEngine::RestrictToLocalPeers(std::vector<bool> is_local) {
+  if (is_local.size() != peers_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("shard mask covers %zu peers, network has %zu",
+                  is_local.size(), peers_.size()));
+  }
+  if (std::find(is_local.begin(), is_local.end(), true) == is_local.end()) {
+    return Status::InvalidArgument("shard mask marks no peer local");
+  }
+  is_local_ = std::move(is_local);
+  return Status::Ok();
+}
+
+void PdmsEngine::StartLocalProbes() {
+  for (PeerId p = 0; p < peers_.size(); ++p) {
+    if (IsLocalPeer(p)) SendAll(p, peers_[p]->StartProbes());
+  }
+}
+
+void PdmsEngine::DeliverTick() {
+  transport_->AdvanceTick();
+  DeliverAll();
 }
 
 bool PdmsEngine::UsePool() const {
@@ -138,6 +163,7 @@ void PdmsEngine::DeliverRoundMessages() {
   const size_t n = peers_.size();
   round_batches_.resize(n);
   ForEachPeer([this](size_t p) {
+    if (!IsLocalPeer(static_cast<PeerId>(p))) return;
     std::vector<Envelope> batch = transport_->Drain(static_cast<PeerId>(p));
     bool peer_local = true;
     for (const Envelope& envelope : batch) {
@@ -176,9 +202,7 @@ void PdmsEngine::DeliverRoundMessages() {
 }
 
 size_t PdmsEngine::DiscoverClosures() {
-  for (PeerId p = 0; p < peers_.size(); ++p) {
-    SendAll(p, peers_[p]->StartProbes());
-  }
+  StartLocalProbes();
   // Probe traffic is self-limiting (TTL + simple routes): run to quiet.
   while (transport_->HasPendingMessages()) {
     transport_->AdvanceTick();
@@ -208,6 +232,7 @@ RoundReport PdmsEngine::RunRound() {
   const size_t n = peers_.size();
   round_changes_.assign(n, 0.0);
   ForEachPeer([this](size_t p) {
+    if (!IsLocalPeer(static_cast<PeerId>(p))) return;
     round_changes_[p] = peers_[p]->ComputeRound();
   });
   report.max_posterior_change = 0.0;
@@ -237,6 +262,7 @@ RoundReport PdmsEngine::RunRound() {
     };
     if (UsePool()) {
       ForEachPeer([this](size_t p) {
+        if (!IsLocalPeer(static_cast<PeerId>(p))) return;
         peers_[p]->CollectOutgoingBeliefs(&round_outgoing_[p]);
       });
       for (PeerId p = 0; p < n; ++p) send_peer(p);
@@ -245,6 +271,7 @@ RoundReport PdmsEngine::RunRound() {
       // order, but the transport's wire-size accounting walks each bundle
       // while it is still cache-hot from construction.
       for (PeerId p = 0; p < n; ++p) {
+        if (!IsLocalPeer(p)) continue;
         peers_[p]->CollectOutgoingBeliefs(&round_outgoing_[p]);
         send_peer(p);
       }

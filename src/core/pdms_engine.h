@@ -125,6 +125,30 @@ class PdmsEngine {
   /// query id and returned in request order.
   std::vector<QueryReport> IssueQueries(std::span<const QueryRequest> requests);
 
+  // --- Sharded execution (node daemons) ----------------------------------------
+
+  /// Restricts execution to the peers marked in `is_local` (one entry per
+  /// peer). Non-local peers stay materialized for topology and schema
+  /// lookups, but they never compute rounds, send, or drain — a node
+  /// daemon hosts one shard of the network and reaches the rest through
+  /// the transport. An empty mask (the default) means every peer is
+  /// local, i.e. ordinary single-process execution.
+  Status RestrictToLocalPeers(std::vector<bool> is_local);
+  bool IsLocalPeer(PeerId peer) const {
+    return is_local_.empty() || is_local_[peer];
+  }
+
+  /// Emits the initial discovery probes of the local peers — the sharded
+  /// counterpart of `DiscoverClosures`' first phase. The daemons
+  /// coordinate quiescence across shards with mark frames instead of the
+  /// transport-wide `HasPendingMessages` loop.
+  void StartLocalProbes();
+
+  /// One discovery step: advances the transport clock and dispatches all
+  /// deliverable traffic of the local peers (probe forwards and feedback
+  /// announcements go back out through the transport).
+  void DeliverTick();
+
   // --- Priors & churn ----------------------------------------------------------
 
   void SetPrior(EdgeId edge, AttributeId attribute, double prior);
@@ -190,6 +214,8 @@ class PdmsEngine {
 
   Digraph graph_;
   EngineOptions options_;
+  /// Sharding mask (see RestrictToLocalPeers); empty = all peers local.
+  std::vector<bool> is_local_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Peer>> peers_;
   /// Round-execution workers (parallelism − 1 threads; null when serial).

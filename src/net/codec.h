@@ -1,0 +1,161 @@
+#ifndef PDMS_NET_CODEC_H_
+#define PDMS_NET_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/message.h"
+#include "util/status.h"
+
+namespace pdms {
+
+// --- Payload codec -------------------------------------------------------------
+//
+// The exact binary realization of the wire model `ApproximateWireSize` has
+// been accounting since PR 3: LEB128 varints for counts and headers, zigzag
+// deltas for belief aliases and member positions, raw little-endian doubles
+// for message values, and 16-byte fingerprints only where a binding is
+// declared. The encoder is the single source of truth for payload byte
+// counts — `ApproximateWireSize` now derives from it (the belief fast path
+// keeps its one-pass model and is cross-checked against the encoder in
+// debug builds), so the bench gates measure real bytes.
+//
+// Decoding is strict: truncated input, overlong or non-minimal varints,
+// counts exceeding the bytes that could back them, aliases beyond
+// `kMaxAliasesPerSession`, unknown enum values and trailing garbage are all
+// rejected with a `Status` — forged traffic can be refused, never crash the
+// receiver. Doubles are transparent (any 8-byte pattern round-trips
+// bitwise): the transport must not perturb belief values, the factor layer
+// owns their numeric hygiene.
+
+/// Version byte carried by every frame; bumped on incompatible changes.
+inline constexpr uint8_t kWireFormatVersion = 1;
+
+/// Sentinel encoding ⊥ (nullopt) in probe trails. Schema attribute images
+/// are dense small ids, so the all-ones pattern is never a real attribute.
+inline constexpr uint32_t kNullAttributeWire = 0xffffffffu;
+
+/// Exact encoded size of `payload`, by a counting pass of the encoder.
+size_t EncodedPayloadSize(const Payload& payload);
+
+/// Appends the encoding of `payload` to `out`. In debug builds, asserts
+/// that the bytes produced equal `PayloadWireBreakdown(payload).bytes`.
+void EncodePayload(const Payload& payload, std::vector<uint8_t>* out);
+
+/// Decodes a payload of `kind` from exactly `bytes` (trailing bytes are an
+/// error). The result re-encodes byte-identically.
+Result<Payload> DecodePayload(MessageKind kind, std::span<const uint8_t> bytes);
+
+// --- Frame codec ---------------------------------------------------------------
+//
+// Stream framing for the socket transport: every frame is a 4-byte
+// little-endian body length followed by the body, whose first two bytes
+// are `kWireFormatVersion` and the `FrameType`. Data frames carry one
+// routed payload; the remaining types are the node daemons' control plane
+// (session hello, round/discovery barrier marks, client query RPCs).
+
+/// Upper bound on one frame body; a length prefix beyond this is treated
+/// as a malformed or hostile stream and the connection is dropped.
+inline constexpr size_t kMaxFrameBytes = 1u << 26;  // 64 MiB
+
+/// Bytes of the length prefix preceding every frame body.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class FrameType : uint8_t {
+  kData = 0,          ///< one Envelope-equivalent routed payload
+  kHello = 1,         ///< connection handshake (shard identity + topology)
+  kMark = 2,          ///< per-tick / per-round barrier marker between shards
+  kQueryRequest = 3,  ///< client -> node: run a θ-gated query
+  kQueryResponse = 4, ///< node -> client: rendered result rows
+};
+
+/// One routed payload on the wire. `seq` is a per-sender monotonically
+/// increasing counter: together with (deliver_at, from) it gives receivers
+/// a total order that reproduces the simulator's per-mailbox arrival order,
+/// which is what keeps posteriors bitwise-identical across transports.
+struct DataFrame {
+  PeerId from = 0;
+  PeerId to = 0;
+  std::optional<EdgeId> via;
+  uint64_t deliver_at = 0;
+  uint64_t seq = 0;
+  Payload payload;
+};
+
+/// First frame on every inter-shard connection, in both directions.
+struct HelloFrame {
+  uint32_t shard = 0;
+  uint32_t shard_count = 0;
+  uint64_t peer_count = 0;
+};
+
+/// Barrier marker: "shard `shard` has finished sending for step `index` of
+/// `phase`". TCP preserves per-connection order, so receiving a mark
+/// implies every data frame the shard sent before it has arrived too —
+/// the mark exchange doubles as the flush barrier between rounds.
+struct MarkFrame {
+  uint32_t shard = 0;
+  uint32_t phase = 0;  ///< 0 = discovery ticks, 1 = inference rounds
+  uint64_t index = 0;
+  uint64_t frames_sent = 0;   ///< data frames this shard sent in this step
+  uint64_t updates_sent = 0;  ///< belief updates this shard sent in this step
+  double max_change = 0.0;    ///< shard-local max posterior change
+  bool pending = false;       ///< shard still holds undelivered messages
+};
+
+struct QueryRequestFrame {
+  uint64_t request_id = 0;
+  PeerId origin = 0;
+  uint32_t ttl = 0;
+  /// Query text in the origin peer's schema (see `ParseQuery`).
+  std::string text;
+};
+
+struct QueryResponseFrame {
+  uint64_t request_id = 0;
+  bool ok = true;
+  std::string error;       ///< non-empty iff !ok
+  uint64_t reached = 0;    ///< peers whose stores were evaluated
+  std::vector<std::string> rows;  ///< rendered result rows
+};
+
+using Frame = std::variant<DataFrame, HelloFrame, MarkFrame, QueryRequestFrame,
+                           QueryResponseFrame>;
+
+FrameType FrameTypeOf(const Frame& frame);
+
+/// Appends length prefix + body of `frame` to `out`.
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+/// Decodes one frame body (the bytes after the length prefix). Strict:
+/// version mismatch, unknown type, malformed content and trailing bytes
+/// all fail with a `Status`.
+Result<Frame> DecodeFrameBody(std::span<const uint8_t> body);
+
+/// Incremental stream reassembler: feed raw socket bytes in, pull complete
+/// frames out. A decode error is fatal for the stream (framing can no
+/// longer be trusted) — the caller should drop the connection.
+class FrameAssembler {
+ public:
+  /// Appends raw bytes received from the stream.
+  void Feed(std::span<const uint8_t> data);
+
+  /// Returns the next complete frame, std::nullopt when more bytes are
+  /// needed, or an error when the stream is malformed (oversized length
+  /// prefix, undecodable body).
+  Result<std::optional<Frame>> Next();
+
+  size_t buffered_bytes() const { return buffer_.size() - offset_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t offset_ = 0;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_NET_CODEC_H_

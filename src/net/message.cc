@@ -1,8 +1,10 @@
 #include "net/message.h"
 
 #include <algorithm>
+#include <cassert>
 #include <type_traits>
 
+#include "net/codec.h"
 #include "util/string_util.h"
 
 namespace pdms {
@@ -149,20 +151,6 @@ uint64_t ZigZag(int64_t delta) {
          static_cast<uint64_t>(delta >> 63);
 }
 
-/// Piggybacked belief update on the wire: 128-bit factor fingerprint +
-/// member position (uint16 suffices: closure lengths are bounded far below
-/// 2^16 by `ClosureFinderOptions`) + two doubles. Piggybacks travel over
-/// multiple links, so they cannot use link-local aliases.
-size_t WireSize(const BeliefUpdate& update) {
-  (void)update;
-  return sizeof(FactorId) + sizeof(uint16_t) + 2 * sizeof(double);
-}
-
-size_t WireSize(const Closure& closure) {
-  return sizeof(closure.kind) + sizeof(closure.split) + sizeof(closure.source) +
-         sizeof(closure.sink) + closure.edges.size() * sizeof(EdgeId);
-}
-
 /// All byte accounts of a bundle in one walk: alias headers (epoch + ack +
 /// counts + alias tokens), fingerprints (16 per unacknowledged group), and
 /// the delta-encoded entries; `bytes` is their sum.
@@ -200,41 +188,18 @@ WireBreakdown BundleBreakdown(const BeliefMessage& message) {
 }  // namespace
 
 size_t ApproximateWireSize(const Payload& payload) {
-  return std::visit(
-      [](const auto& message) -> size_t {
-        using T = std::decay_t<decltype(message)>;
-        if constexpr (std::is_same_v<T, ProbeMessage>) {
-          size_t size = sizeof(message.origin) + sizeof(message.ttl) +
-                        message.route.size() * sizeof(EdgeId);
-          for (const auto& hop : message.trail) {
-            // One attribute id (⊥ encoded in-band) per attribute per hop.
-            size += hop.size() * sizeof(AttributeId);
-          }
-          return size;
-        } else if constexpr (std::is_same_v<T, FeedbackAnnouncement>) {
-          size_t size = WireSize(message.closure) + sizeof(message.delta);
-          for (const AttributeFeedback& entry : message.feedback) {
-            size += sizeof(entry.root_attribute) + sizeof(entry.sign) +
-                    entry.members.size() * sizeof(MappingVarKey);
-          }
-          return size;
-        } else if constexpr (std::is_same_v<T, BeliefMessage>) {
-          return BundleBreakdown(message).bytes;
-        } else {
-          static_assert(std::is_same_v<T, QueryMessage>);
-          size_t size = sizeof(message.query_id) + sizeof(message.origin) +
-                        sizeof(message.ttl) +
-                        message.visited.size() * sizeof(PeerId);
-          for (const Operation& op : message.query.operations()) {
-            size += sizeof(op.kind) + sizeof(op.attribute) + op.literal.size();
-          }
-          for (const BeliefUpdate& update : message.piggyback) {
-            size += WireSize(update);
-          }
-          return size;
-        }
-      },
-      payload);
+  // Sizes come from the real encoder (`src/net/codec.cc`), so the bytes
+  // the bench gates account can never drift from the bytes a socket
+  // actually moves. Belief bundles — the per-round hot case — keep the
+  // one-pass `BundleBreakdown` model; debug builds cross-check it against
+  // a counting pass of the encoder.
+  if (const auto* beliefs = std::get_if<BeliefMessage>(&payload)) {
+    const size_t modeled = BundleBreakdown(*beliefs).bytes;
+    assert(modeled == EncodedPayloadSize(payload) &&
+           "belief wire model diverged from the encoder");
+    return modeled;
+  }
+  return EncodedPayloadSize(payload);
 }
 
 size_t FactorIdWireBytes(const Payload& payload) {

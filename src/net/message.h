@@ -302,10 +302,10 @@ MessageKind KindOf(const Payload& payload);
 /// the integer encoding the belief-bundle wire model assumes.
 size_t VarintWireSize(uint64_t value);
 
-/// Estimated size of `payload` on a byte-oriented wire: fixed header fields
-/// plus the dynamic content (routes, trails, belief bundles, query terms).
-/// Used by transports to account bytes moved; it tracks a compact binary
-/// encoding, not the in-memory layout. Belief bundles are modeled as
+/// Exact size of `payload` on the wire: the byte count `EncodePayload`
+/// (src/net/codec.h) produces. Used by transports to account bytes moved.
+/// Belief bundles keep a one-pass analytic model (cross-checked against
+/// the encoder in debug builds); the model is
 /// varint(epoch) + varint(ack) + varint(#groups), then per group a varint
 /// alias token (zigzag alias delta vs the previous group, low bit = "full
 /// id present"), the optional 16-byte fingerprint, varint(#entries), and

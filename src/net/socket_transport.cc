@@ -1,0 +1,777 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pdms {
+namespace {
+
+/// epoll user-data sentinels for the two non-connection descriptors.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = ~0ull;
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status ParseAddress(const std::string& address, sockaddr_in* out) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("address '%s' is not ip:port", address.c_str()));
+  }
+  const std::string host = address.substr(0, colon);
+  const std::string port = address.substr(colon + 1);
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("address '%s' has no valid IPv4 host", address.c_str()));
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(port.c_str(), &end, 10);
+  if (end == port.c_str() || *end != '\0' || value > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("address '%s' has no valid port", address.c_str()));
+  }
+  out->sin_port = htons(static_cast<uint16_t>(value));
+  return Status::Ok();
+}
+
+std::string RenderAddress(const sockaddr_in& addr) {
+  char host[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host));
+  return StrFormat("%s:%u", host, static_cast<unsigned>(ntohs(addr.sin_port)));
+}
+
+}  // namespace
+
+// --- Construction --------------------------------------------------------------
+
+SocketTransport::SocketTransport(SocketTransportOptions options)
+    : options_(std::move(options)),
+      inboxes_(options_.peer_count),
+      send_seq_(new std::atomic<uint64_t>[options_.peer_count]) {
+  for (size_t i = 0; i < options_.peer_count; ++i) {
+    send_seq_[i].store(0, std::memory_order_relaxed);
+  }
+  links_.reserve(options_.shard_addresses.size());
+  for (size_t i = 0; i < options_.shard_addresses.size(); ++i) {
+    links_.push_back(std::make_unique<Link>());
+    links_.back()->shard = static_cast<uint32_t>(i);
+    links_.back()->conn_id = next_conn_id_.fetch_add(1);
+  }
+}
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Create(
+    SocketTransportOptions options) {
+  if (options.peer_count == 0) {
+    return Status::InvalidArgument("socket transport needs at least one peer");
+  }
+  if (options.shard_addresses.empty()) {
+    return Status::InvalidArgument("socket transport needs shard addresses");
+  }
+  if (options.local_shard >= options.shard_addresses.size()) {
+    return Status::OutOfRange(
+        StrFormat("local shard %u beyond the %zu configured shards",
+                  options.local_shard, options.shard_addresses.size()));
+  }
+  if (!options.shard_of.empty()) {
+    if (options.shard_of.size() != options.peer_count) {
+      return Status::InvalidArgument(
+          "shard_of must assign every peer (or be empty)");
+    }
+    for (uint32_t shard : options.shard_of) {
+      if (shard >= options.shard_addresses.size()) {
+        return Status::OutOfRange(
+            StrFormat("peer assigned to unknown shard %u", shard));
+      }
+    }
+  }
+  if (options.delay_ticks == 0) {
+    return Status::InvalidArgument(
+        "socket transport needs delay_ticks >= 1 (same-tick delivery "
+        "cannot be flushed through a real wire)");
+  }
+  std::unique_ptr<SocketTransport> transport(
+      new SocketTransport(std::move(options)));
+  PDMS_RETURN_IF_ERROR(transport->Initialize());
+  return transport;
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::CreateLoopback(
+    size_t peer_count) {
+  SocketTransportOptions options;
+  options.peer_count = peer_count;
+  options.shard_addresses = {"127.0.0.1:0"};
+  auto created = Create(std::move(options));
+  if (!created.ok()) {
+    PDMS_LOG_ERROR << "loopback socket transport failed: "
+                   << created.status().ToString();
+    return nullptr;
+  }
+  return std::move(created).value();
+}
+
+Status SocketTransport::Initialize() {
+  sockaddr_in bind_addr{};
+  PDMS_RETURN_IF_ERROR(
+      ParseAddress(options_.shard_addresses[options_.local_shard], &bind_addr));
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&bind_addr),
+           sizeof(bind_addr)) < 0) {
+    return Status::Unavailable(
+        StrFormat("bind(%s): %s",
+                  options_.shard_addresses[options_.local_shard].c_str(),
+                  std::strerror(errno)));
+  }
+  if (listen(listen_fd_, 64) < 0) {
+    return Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  local_address_ = RenderAddress(bound);
+  options_.shard_addresses[options_.local_shard] = local_address_;
+
+  epoll_fd_ = epoll_create1(0);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::Internal(
+        StrFormat("epoll/eventfd: %s", std::strerror(errno)));
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = kListenTag;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event);
+  event.data.u64 = kWakeTag;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+
+  loop_ = std::thread([this] { LoopMain(); });
+  return Status::Ok();
+}
+
+SocketTransport::~SocketTransport() {
+  stop_.store(true, std::memory_order_release);
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+  for (const auto& link : links_) {
+    if (link->fd >= 0) close(link->fd);
+  }
+  for (const auto& connection : connections_) {
+    if (connection->fd >= 0) close(connection->fd);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+// --- Driver-side API -----------------------------------------------------------
+
+void SocketTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+                           Payload payload) {
+  const MessageKind kind = KindOf(payload);
+  const WireBreakdown breakdown = PayloadWireBreakdown(payload);
+  counters_.CountSent(kind, breakdown.bytes, breakdown.key_bytes,
+                      breakdown.alias_bytes);
+
+  DataFrame frame;
+  frame.from = from;
+  frame.to = to;
+  frame.via = via;
+  frame.deliver_at = now() + options_.delay_ticks;
+  frame.seq = send_seq_[from].fetch_add(1, std::memory_order_relaxed);
+  frame.payload = std::move(payload);
+
+  std::vector<uint8_t> bytes;
+  EncodeFrame(Frame{std::move(frame)}, &bytes);
+  frame_bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  data_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t shard = shard_of(to);
+  if (shard == options_.local_shard) {
+    loopback_sent_.fetch_add(1, std::memory_order_release);
+  }
+  StageOnLink(shard, bytes);
+  WakeLoop();
+}
+
+std::vector<Envelope> SocketTransport::Drain(PeerId peer) {
+  if (peer >= inboxes_.size()) return {};
+  const uint64_t current = now();
+  std::vector<Received> due;
+  {
+    Inbox& inbox = inboxes_[peer];
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    auto& queue = inbox.queue;
+    size_t kept = 0;
+    for (size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].deliver_at <= current) {
+        due.push_back(std::move(queue[i]));
+      } else {
+        if (kept != i) queue[kept] = std::move(queue[i]);
+        ++kept;
+      }
+    }
+    queue.resize(kept);
+  }
+  if (due.empty()) return {};
+  inbox_count_.fetch_sub(due.size(), std::memory_order_release);
+  // The deterministic delivery order: ticks, then sender, then the
+  // sender's own sequence. Within one engine tick this reproduces the
+  // lossless simulator's mailbox order exactly (see class comment).
+  std::sort(due.begin(), due.end(), [](const Received& a, const Received& b) {
+    if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+    if (a.from != b.from) return a.from < b.from;
+    return a.seq < b.seq;
+  });
+  std::vector<Envelope> envelopes;
+  envelopes.reserve(due.size());
+  for (Received& received : due) {
+    counters_.CountDelivered(KindOf(received.envelope.payload));
+    envelopes.push_back(std::move(received.envelope));
+  }
+  return envelopes;
+}
+
+bool SocketTransport::BarrierSatisfied() const {
+  return bytes_enqueued_.load(std::memory_order_acquire) ==
+             bytes_flushed_.load(std::memory_order_acquire) &&
+         loopback_sent_.load(std::memory_order_acquire) ==
+             loopback_received_.load(std::memory_order_acquire);
+}
+
+void SocketTransport::AdvanceTick() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const bool quiesced = barrier_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.barrier_timeout_ms), [this] {
+        return loop_failed_.load(std::memory_order_acquire) ||
+               BarrierSatisfied();
+      });
+  if (!quiesced) {
+    PDMS_LOG_WARNING << "socket transport tick barrier timed out after "
+                     << options_.barrier_timeout_ms << "ms ("
+                     << (bytes_enqueued_.load() - bytes_flushed_.load())
+                     << " bytes unflushed)";
+  }
+  now_.fetch_add(1, std::memory_order_release);
+}
+
+bool SocketTransport::HasPendingMessages() const {
+  return inbox_count_.load(std::memory_order_acquire) > 0 ||
+         !BarrierSatisfied();
+}
+
+const TransportStats& SocketTransport::stats() const {
+  counters_.SnapshotTo(&stats_snapshot_);
+  return stats_snapshot_;
+}
+
+void SocketTransport::ResetStats() { counters_.Reset(); }
+
+Status SocketTransport::SetShardAddress(uint32_t shard, std::string address) {
+  if (shard >= links_.size()) {
+    return Status::OutOfRange(StrFormat("unknown shard %u", shard));
+  }
+  Link& link = *links_[shard];
+  if (link.connected.load(std::memory_order_acquire) ||
+      link.dial_requested.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        StrFormat("shard %u link already dialing", shard));
+  }
+  sockaddr_in parsed{};
+  PDMS_RETURN_IF_ERROR(ParseAddress(address, &parsed));
+  std::lock_guard<std::mutex> lock(address_mutex_);
+  options_.shard_addresses[shard] = std::move(address);
+  return Status::Ok();
+}
+
+Status SocketTransport::ConnectAll() {
+  for (const auto& link : links_) {
+    link->dial_requested.store(true, std::memory_order_release);
+  }
+  WakeLoop();
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const bool connected = barrier_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.connect_timeout_ms), [this] {
+        if (loop_failed_.load(std::memory_order_acquire)) return true;
+        for (const auto& link : links_) {
+          if (!link->connected.load(std::memory_order_acquire)) return false;
+        }
+        return true;
+      });
+  if (loop_failed_.load(std::memory_order_acquire)) return loop_error();
+  if (!connected) {
+    return Status::Unavailable(
+        StrFormat("not all shards reachable within %dms",
+                  options_.connect_timeout_ms));
+  }
+  return Status::Ok();
+}
+
+Status SocketTransport::loop_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return error_;
+}
+
+void SocketTransport::SetControlHandler(ControlHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mutex_);
+  handler_ = std::move(handler);
+}
+
+Status SocketTransport::SendControl(uint32_t shard, const Frame& frame) {
+  if (shard >= links_.size()) {
+    return Status::OutOfRange(StrFormat("unknown shard %u", shard));
+  }
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  frame_bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  StageOnLink(shard, bytes);
+  WakeLoop();
+  return Status::Ok();
+}
+
+Status SocketTransport::SendOnConnection(uint64_t connection,
+                                         const Frame& frame) {
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  frame_bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  bytes_enqueued_.fetch_add(bytes.size(), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(control_outbox_mutex_);
+    control_outbox_.emplace_back(connection, std::move(bytes));
+  }
+  WakeLoop();
+  return Status::Ok();
+}
+
+void SocketTransport::StageOnLink(uint32_t shard,
+                                  const std::vector<uint8_t>& bytes) {
+  bytes_enqueued_.fetch_add(bytes.size(), std::memory_order_release);
+  Link& link = *links_[shard];
+  std::lock_guard<std::mutex> lock(link.mutex);
+  link.pending.insert(link.pending.end(), bytes.begin(), bytes.end());
+}
+
+void SocketTransport::WakeLoop() {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void SocketTransport::NotifyBarrier() {
+  // Lock/unlock pairs the notification with any waiter's predicate check,
+  // so a wakeup between check and wait cannot be lost.
+  { std::lock_guard<std::mutex> lock(barrier_mutex_); }
+  barrier_cv_.notify_all();
+}
+
+void SocketTransport::FailLoop(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (error_.ok()) error_ = status;
+  }
+  loop_failed_.store(true, std::memory_order_release);
+  PDMS_LOG_ERROR << "socket transport event loop: " << status.ToString();
+  NotifyBarrier();
+}
+
+// --- Event loop ----------------------------------------------------------------
+
+void SocketTransport::LoopMain() {
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    LoopStartDials();
+    LoopDrainControlOutbox();
+    for (const auto& link : links_) {
+      if (link->fd >= 0 && !link->connect_in_progress) LoopFlushLink(*link);
+    }
+    const int count = epoll_wait(epoll_fd_, events, 64, 10);
+    for (int i = 0; i < count; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t n =
+            read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (tag == kListenTag) {
+        LoopHandleListen();
+        continue;
+      }
+      bool handled = false;
+      for (const auto& link : links_) {
+        if (link->conn_id == tag) {
+          LoopHandleLinkEvent(*link, events[i].events);
+          handled = true;
+          break;
+        }
+      }
+      if (handled) continue;
+      for (size_t c = 0; c < connections_.size(); ++c) {
+        if (connections_[c]->conn_id == tag) {
+          LoopHandleConnectionEvent(c, events[i].events);
+          break;
+        }
+      }
+    }
+    NotifyBarrier();
+  }
+}
+
+void SocketTransport::LoopStartDials() {
+  if (loop_failed_.load(std::memory_order_acquire)) return;
+  const auto now_time = std::chrono::steady_clock::now();
+  for (size_t shard = 0; shard < links_.size(); ++shard) {
+    Link& link = *links_[shard];
+    if (link.fd >= 0) continue;
+    bool wants_dial = link.dial_requested.load(std::memory_order_acquire);
+    if (!wants_dial) {
+      std::lock_guard<std::mutex> lock(link.mutex);
+      wants_dial = !link.pending.empty();
+    }
+    if (!wants_dial || now_time < link.next_attempt) continue;
+
+    if (!link.dial_deadline_set) {
+      link.dial_deadline =
+          now_time + std::chrono::milliseconds(options_.connect_timeout_ms);
+      link.dial_deadline_set = true;
+    } else if (now_time > link.dial_deadline) {
+      FailLoop(Status::Unavailable(
+          StrFormat("shard %zu unreachable after %dms", shard,
+                    options_.connect_timeout_ms)));
+      return;
+    }
+
+    sockaddr_in addr{};
+    {
+      std::lock_guard<std::mutex> lock(address_mutex_);
+      const std::string& target =
+          shard == options_.local_shard ? local_address_
+                                        : options_.shard_addresses[shard];
+      const Status parsed = ParseAddress(target, &addr);
+      if (!parsed.ok() || addr.sin_port == 0) {
+        // Address not yet announced (ephemeral remote): retry shortly.
+        link.next_attempt = now_time + std::chrono::milliseconds(50);
+        continue;
+      }
+    }
+    const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+      link.next_attempt = now_time + std::chrono::milliseconds(100);
+      continue;
+    }
+    const int rc =
+        connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0 || errno == EINPROGRESS) {
+      link.fd = fd;
+      link.connect_in_progress = true;
+      epoll_event event{};
+      event.events = EPOLLIN | EPOLLOUT;
+      event.data.u64 = link.conn_id;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+    } else {
+      close(fd);
+      link.next_attempt = now_time + std::chrono::milliseconds(100);
+    }
+  }
+}
+
+void SocketTransport::CloseLink(Link& link) {
+  if (link.fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr);
+    close(link.fd);
+  }
+  link.fd = -1;
+  link.connect_in_progress = false;
+  link.connected.store(false, std::memory_order_release);
+  link.next_attempt =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+}
+
+void SocketTransport::LoopHandleLinkEvent(Link& link, uint32_t events) {
+  if (link.connect_in_progress) {
+    int error = 0;
+    socklen_t len = sizeof(error);
+    getsockopt(link.fd, SOL_SOCKET, SO_ERROR, &error, &len);
+    if (error != 0 || (events & (EPOLLERR | EPOLLHUP))) {
+      CloseLink(link);
+      return;
+    }
+    link.connect_in_progress = false;
+    SetNoDelay(link.fd);
+    // Hello travels first on every link; nothing has been written yet, so
+    // prepending is safe.
+    std::vector<uint8_t> hello;
+    EncodeFrame(Frame{HelloFrame{options_.local_shard, shard_count(),
+                                 options_.peer_count}},
+                &hello);
+    bytes_enqueued_.fetch_add(hello.size(), std::memory_order_release);
+    frame_bytes_sent_.fetch_add(hello.size(), std::memory_order_relaxed);
+    link.out.insert(link.out.begin(), hello.begin(), hello.end());
+    link.connected.store(true, std::memory_order_release);
+    LoopFlushLink(link);
+    NotifyBarrier();
+    return;
+  }
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    if (!stop_.load(std::memory_order_acquire)) {
+      FailLoop(Status::Unavailable("shard link reset"));
+    }
+    CloseLink(link);
+    return;
+  }
+  if (events & EPOLLIN) {
+    uint8_t buffer[65536];
+    for (;;) {
+      const ssize_t n = recv(link.fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        link.assembler.Feed(std::span<const uint8_t>(buffer, n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (!stop_.load(std::memory_order_acquire)) {
+        FailLoop(Status::Unavailable("shard link closed"));
+      }
+      CloseLink(link);
+      return;
+    }
+    // Frames arriving on our outbound link come from the shard we dialed.
+    uint32_t remote = link.shard;
+    if (!LoopDispatchFrames(link.assembler, link.conn_id, &remote)) {
+      FailLoop(Status::InvalidArgument("malformed frame on shard link"));
+      CloseLink(link);
+      return;
+    }
+  }
+  if (events & EPOLLOUT) LoopFlushLink(link);
+}
+
+void SocketTransport::LoopFlushLink(Link& link) {
+  {
+    std::lock_guard<std::mutex> lock(link.mutex);
+    if (!link.pending.empty()) {
+      link.out.insert(link.out.end(), link.pending.begin(),
+                      link.pending.end());
+      link.pending.clear();
+    }
+  }
+  if (!link.connected.load(std::memory_order_relaxed)) return;
+  bool wrote = false;
+  while (link.out_offset < link.out.size()) {
+    const ssize_t n =
+        ::send(link.fd, link.out.data() + link.out_offset,
+               link.out.size() - link.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      link.out_offset += static_cast<size_t>(n);
+      bytes_flushed_.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_release);
+      wrote = true;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (!stop_.load(std::memory_order_acquire)) {
+      FailLoop(Status::Unavailable(
+          StrFormat("shard link write: %s", std::strerror(errno))));
+    }
+    CloseLink(link);
+    return;
+  }
+  if (link.out_offset == link.out.size()) {
+    link.out.clear();
+    link.out_offset = 0;
+  }
+  if (wrote) NotifyBarrier();
+}
+
+void SocketTransport::LoopHandleListen() {
+  for (;;) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;
+    SetNoDelay(fd);
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    connection->conn_id = next_conn_id_.fetch_add(1);
+    connection->remote_shard = shard_count();  // unknown until hello
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = connection->conn_id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void SocketTransport::LoopHandleConnectionEvent(size_t index, uint32_t events) {
+  Connection& connection = *connections_[index];
+  bool close_connection = false;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    close_connection = true;
+  } else if (events & EPOLLIN) {
+    uint8_t buffer[65536];
+    for (;;) {
+      const ssize_t n = recv(connection.fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        connection.assembler.Feed(std::span<const uint8_t>(buffer, n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_connection = true;  // orderly close or error
+      break;
+    }
+    if (!LoopDispatchFrames(connection.assembler, connection.conn_id,
+                            &connection.remote_shard)) {
+      PDMS_LOG_WARNING << "dropping connection with malformed frames";
+      close_connection = true;
+    }
+  }
+  if (!close_connection && (events & EPOLLOUT)) {
+    while (connection.out_offset < connection.out.size()) {
+      const ssize_t n = ::send(connection.fd,
+                               connection.out.data() + connection.out_offset,
+                               connection.out.size() - connection.out_offset,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        connection.out_offset += static_cast<size_t>(n);
+        bytes_flushed_.fetch_add(static_cast<uint64_t>(n),
+                                 std::memory_order_release);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_connection = true;
+      break;
+    }
+    if (connection.out_offset == connection.out.size()) {
+      connection.out.clear();
+      connection.out_offset = 0;
+      epoll_event event{};
+      event.events = EPOLLIN;
+      event.data.u64 = connection.conn_id;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, connection.fd, &event);
+    }
+    NotifyBarrier();
+  }
+  if (close_connection) {
+    // Unflushed reply bytes will never be written; keep the barrier sane.
+    const size_t unwritten = connection.out.size() - connection.out_offset;
+    if (unwritten > 0) {
+      bytes_flushed_.fetch_add(unwritten, std::memory_order_release);
+    }
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, connection.fd, nullptr);
+    close(connection.fd);
+    connections_.erase(connections_.begin() + static_cast<long>(index));
+    NotifyBarrier();
+  }
+}
+
+void SocketTransport::LoopDrainControlOutbox() {
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> staged;
+  {
+    std::lock_guard<std::mutex> lock(control_outbox_mutex_);
+    staged.swap(control_outbox_);
+  }
+  for (auto& [conn_id, bytes] : staged) {
+    Connection* target = nullptr;
+    for (const auto& connection : connections_) {
+      if (connection->conn_id == conn_id) {
+        target = connection.get();
+        break;
+      }
+    }
+    if (target == nullptr) {
+      // Recipient hung up; balance the barrier accounting.
+      bytes_flushed_.fetch_add(bytes.size(), std::memory_order_release);
+      continue;
+    }
+    const bool was_empty = target->out.empty();
+    target->out.insert(target->out.end(), bytes.begin(), bytes.end());
+    if (was_empty) {
+      epoll_event event{};
+      event.events = EPOLLIN | EPOLLOUT;
+      event.data.u64 = target->conn_id;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, target->fd, &event);
+    }
+  }
+}
+
+bool SocketTransport::LoopDispatchFrames(FrameAssembler& assembler,
+                                         uint64_t conn_id,
+                                         uint32_t* remote_shard) {
+  for (;;) {
+    auto next = assembler.Next();
+    if (!next.ok()) {
+      PDMS_LOG_WARNING << "frame decode: " << next.status().ToString();
+      return false;
+    }
+    if (!next->has_value()) return true;
+    LoopDispatchFrame(std::move(**next), conn_id, remote_shard);
+  }
+}
+
+void SocketTransport::LoopDispatchFrame(Frame frame, uint64_t conn_id,
+                                        uint32_t* remote_shard) {
+  if (const auto* hello = std::get_if<HelloFrame>(&frame)) {
+    // The hello is the first frame on every link: it tags the connection
+    // with the dialing shard before any data frame on it is dispatched,
+    // which is what keeps the loopback barrier accounting exact.
+    if (hello->peer_count != options_.peer_count ||
+        hello->shard_count != shard_count()) {
+      PDMS_LOG_WARNING << "hello topology mismatch: remote has "
+                       << hello->peer_count << " peers across "
+                       << hello->shard_count << " shards";
+    }
+    if (hello->shard < shard_count()) *remote_shard = hello->shard;
+  }
+  if (auto* data = std::get_if<DataFrame>(&frame)) {
+    if (data->to >= options_.peer_count || !IsLocalPeer(data->to)) {
+      PDMS_LOG_WARNING << "dropping data frame for non-local peer "
+                       << data->to;
+      return;
+    }
+    Received received;
+    received.deliver_at = data->deliver_at;
+    received.from = data->from;
+    received.seq = data->seq;
+    received.envelope.from = data->from;
+    received.envelope.to = data->to;
+    received.envelope.via = data->via;
+    received.envelope.deliver_at = data->deliver_at;
+    received.envelope.payload = std::move(data->payload);
+    {
+      Inbox& inbox = inboxes_[data->to];
+      std::lock_guard<std::mutex> lock(inbox.mutex);
+      inbox.queue.push_back(std::move(received));
+    }
+    inbox_count_.fetch_add(1, std::memory_order_release);
+    if (*remote_shard == options_.local_shard) {
+      loopback_received_.fetch_add(1, std::memory_order_release);
+    }
+    NotifyBarrier();
+    return;
+  }
+  ControlHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(handler_mutex_);
+    handler = handler_;
+  }
+  if (handler) handler(std::move(frame), conn_id);
+}
+
+}  // namespace pdms

@@ -1,0 +1,285 @@
+#ifndef PDMS_NET_SOCKET_TRANSPORT_H_
+#define PDMS_NET_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/message.h"
+#include "pdms/transport.h"
+#include "util/status.h"
+
+namespace pdms {
+
+/// Configuration of one `SocketTransport` instance — one *shard* of the
+/// peer network, exchanging real framed TCP traffic with the other shards.
+struct SocketTransportOptions {
+  /// Total peers across all shards (the engine's node count).
+  size_t peer_count = 0;
+
+  /// Which shard this instance hosts.
+  uint32_t local_shard = 0;
+
+  /// Listen address of every shard, "ip:port"; index == shard id. The
+  /// local entry may use port 0 (ephemeral) — the bound address is
+  /// reported by `local_address()` and remote entries can be filled in
+  /// later via `SetShardAddress` (before traffic starts).
+  std::vector<std::string> shard_addresses = {"127.0.0.1:0"};
+
+  /// shard_of[p] = owning shard of peer p. Empty = every peer is local
+  /// (single-shard loopback).
+  std::vector<uint32_t> shard_of;
+
+  /// Ticks between send and deliverability, mirroring
+  /// `NetworkOptions::delay_ticks` (1 = deliverable next tick).
+  uint64_t delay_ticks = 1;
+
+  /// How long a dial may retry before the transport reports failure.
+  int connect_timeout_ms = 15000;
+
+  /// Upper bound on the `AdvanceTick` flush barrier (see below); a
+  /// timeout logs a warning instead of deadlocking the driver.
+  int barrier_timeout_ms = 120000;
+};
+
+/// Async socket-backed `Transport`: length-prefixed frames (src/net/codec.h)
+/// over TCP, an epoll event loop on a dedicated thread, and per-shard
+/// outgoing links. Single-shard "loopback" mode routes every envelope
+/// through a real self-connection and is a drop-in replacement for
+/// `SimTransport` in lossless configurations.
+///
+/// Determinism: the engine's posteriors must be bitwise-identical no matter
+/// which transport carries the traffic. Two mechanisms provide that:
+///  * every send is stamped with a per-sender sequence number, and
+///  * `Drain` sorts deliverable envelopes by (deliver_at, from, seq).
+/// Within one tick the engine issues sends in ascending-peer order, so this
+/// sort key reproduces exactly the per-mailbox arrival order of the
+/// lossless simulator (per-sender order is program order; cross-sender
+/// order is ascending peer id) — see `tests/pdms_api_test.cc`'s
+/// SocketMatchesSimPosteriorsBitwise.
+///
+/// Tick semantics: `AdvanceTick` is a *flush barrier* — it waits until the
+/// event loop has written every staged byte to the kernel and every
+/// self-addressed frame has come back through the loopback connection,
+/// then advances the clock. Inter-shard arrival is synchronized one level
+/// up by the node daemons' mark exchange (`MarkFrame`), not by the tick.
+///
+/// Thread-safety matches the `Transport` contract: `Send` from any thread,
+/// `Drain` concurrently for distinct peers and with `Send`; `AdvanceTick`,
+/// `stats()`, `ResetStats` are driver-side. The control-plane entry points
+/// (`SendControl`, `SendOnConnection`) are safe from any thread; the
+/// control handler runs on the event-loop thread and must not block.
+class SocketTransport final : public Transport {
+ public:
+  static Result<std::unique_ptr<SocketTransport>> Create(
+      SocketTransportOptions options);
+
+  /// Single-shard loopback instance on an ephemeral port; nullptr when
+  /// socket setup fails (no loopback interface).
+  static std::unique_ptr<SocketTransport> CreateLoopback(size_t peer_count);
+
+  ~SocketTransport() override;
+
+  std::string_view name() const override { return "socket"; }
+  size_t peer_count() const override { return options_.peer_count; }
+  uint64_t now() const override { return now_.load(std::memory_order_acquire); }
+  void AdvanceTick() override;
+  void Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+            Payload payload) override;
+  std::vector<Envelope> Drain(PeerId peer) override;
+  bool HasPendingMessages() const override;
+  const TransportStats& stats() const override;
+  void ResetStats() override;
+
+  // --- Shard topology ---------------------------------------------------------
+
+  uint32_t local_shard() const { return options_.local_shard; }
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(options_.shard_addresses.size());
+  }
+  uint32_t shard_of(PeerId peer) const {
+    return options_.shard_of.empty() ? options_.local_shard
+                                     : options_.shard_of[peer];
+  }
+  bool IsLocalPeer(PeerId peer) const {
+    return shard_of(peer) == options_.local_shard;
+  }
+
+  /// The bound listen address ("ip:port", port resolved when 0 was asked).
+  const std::string& local_address() const { return local_address_; }
+
+  /// Replaces a remote shard's address. Only valid before any traffic has
+  /// been staged toward that shard.
+  Status SetShardAddress(uint32_t shard, std::string address);
+
+  /// Eagerly dials every shard (including self) and waits until all links
+  /// are established or `connect_timeout_ms` passes.
+  Status ConnectAll();
+
+  /// First fatal event-loop error (dial timeout, listen failure), or OK.
+  Status loop_error() const;
+
+  // --- Control plane (node daemons) -------------------------------------------
+
+  /// Handler for non-data frames (hello, marks, query RPCs), invoked on
+  /// the event-loop thread with the originating connection's id. Set it
+  /// before traffic starts; it must not block.
+  using ControlHandler = std::function<void(Frame frame, uint64_t connection)>;
+  void SetControlHandler(ControlHandler handler);
+
+  /// Enqueues a control frame on the link to `shard` (ordered with data
+  /// frames staged before it — the property the mark barrier relies on).
+  Status SendControl(uint32_t shard, const Frame& frame);
+
+  /// Enqueues a frame on an accepted connection (query responses).
+  Status SendOnConnection(uint64_t connection, const Frame& frame);
+
+  // --- Introspection ----------------------------------------------------------
+
+  /// Total framed bytes staged for the wire (length prefixes and frame
+  /// headers included) — the measured frame overhead vs payload-only
+  /// accounting in `stats().bytes_sent`.
+  uint64_t frame_bytes_sent() const {
+    return frame_bytes_sent_.load(std::memory_order_relaxed);
+  }
+  /// Data frames sent since construction (control frames excluded); the
+  /// node daemons difference this per step for the mark exchange.
+  uint64_t data_frames_sent() const {
+    return data_frames_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One received data frame, held until its tick comes up. `seq` is the
+  /// per-sender stamp `Drain` sorts on.
+  struct Received {
+    uint64_t deliver_at = 0;
+    PeerId from = 0;
+    uint64_t seq = 0;
+    Envelope envelope;
+  };
+
+  struct Inbox {
+    std::mutex mutex;
+    std::vector<Received> queue;
+  };
+
+  /// Outbound link to one shard. `pending` is the cross-thread staging
+  /// buffer; everything else belongs to the event loop.
+  struct Link {
+    uint32_t shard = 0;  ///< destination shard of this link
+    std::mutex mutex;
+    std::vector<uint8_t> pending;
+    std::atomic<bool> dial_requested{false};
+    std::atomic<bool> connected{false};
+
+    // Event-loop-owned state.
+    int fd = -1;
+    uint64_t conn_id = 0;
+    bool connect_in_progress = false;
+    std::vector<uint8_t> out;
+    size_t out_offset = 0;
+    FrameAssembler assembler;
+    std::chrono::steady_clock::time_point next_attempt{};
+    std::chrono::steady_clock::time_point dial_deadline{};
+    bool dial_deadline_set = false;
+  };
+
+  /// Accepted inbound connection (a remote shard's link, or a client).
+  struct Connection {
+    int fd = -1;
+    uint64_t conn_id = 0;
+    FrameAssembler assembler;
+    std::vector<uint8_t> out;
+    size_t out_offset = 0;
+    /// Shard announced by the hello frame; shard_count() = unknown
+    /// (e.g. a query client).
+    uint32_t remote_shard = 0;
+    bool greeted = false;
+  };
+
+  explicit SocketTransport(SocketTransportOptions options);
+  Status Initialize();
+
+  void LoopMain();
+  void WakeLoop();
+  bool BarrierSatisfied() const;
+  void NotifyBarrier();
+  void FailLoop(Status status);
+
+  // Event-loop internals (definitions in the .cc).
+  void LoopStartDials();
+  void LoopFlushLink(Link& link);
+  void LoopHandleListen();
+  void LoopHandleLinkEvent(Link& link, uint32_t events);
+  void LoopHandleConnectionEvent(size_t index, uint32_t events);
+  void LoopDrainControlOutbox();
+  bool LoopDispatchFrames(FrameAssembler& assembler, uint64_t conn_id,
+                          uint32_t* remote_shard);
+  void LoopDispatchFrame(Frame frame, uint64_t conn_id,
+                         uint32_t* remote_shard);
+  void CloseLink(Link& link);
+
+  void StageOnLink(uint32_t shard, const std::vector<uint8_t>& bytes);
+
+  SocketTransportOptions options_;
+  std::string local_address_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // loop-owned
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  std::vector<Inbox> inboxes_;
+  std::unique_ptr<std::atomic<uint64_t>[]> send_seq_;
+
+  // Flush-barrier accounting. `enqueued`/`flushed` count staged vs
+  // kernel-accepted bytes; the loopback pair counts self-addressed data
+  // frames staged vs re-received through the self connection.
+  std::atomic<uint64_t> bytes_enqueued_{0};
+  std::atomic<uint64_t> bytes_flushed_{0};
+  std::atomic<uint64_t> loopback_sent_{0};
+  std::atomic<uint64_t> loopback_received_{0};
+  std::atomic<uint64_t> inbox_count_{0};
+
+  std::atomic<uint64_t> now_{0};
+  std::atomic<uint64_t> frame_bytes_sent_{0};
+  std::atomic<uint64_t> data_frames_sent_{0};
+
+  AtomicTransportStats counters_;
+  mutable TransportStats stats_snapshot_;
+
+  mutable std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+
+  mutable std::mutex error_mutex_;
+  Status error_;
+  std::atomic<bool> loop_failed_{false};
+
+  std::mutex handler_mutex_;
+  ControlHandler handler_;
+
+  std::mutex control_outbox_mutex_;
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> control_outbox_;
+
+  std::mutex address_mutex_;  // guards options_.shard_addresses updates
+
+  std::atomic<bool> stop_{false};
+  std::thread loop_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_NET_SOCKET_TRANSPORT_H_

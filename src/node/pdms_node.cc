@@ -1,0 +1,435 @@
+#include "node/pdms_node.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_set>
+
+#include "query/query.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pdms {
+
+PdmsNode::PdmsNode(Pdms pdms, SocketTransport* transport, NodeOptions options)
+    : pdms_(std::move(pdms)),
+      transport_(transport),
+      options_(options),
+      snapshot_(std::make_shared<const Snapshot>()) {}
+
+PdmsNode::~PdmsNode() {
+  // The event loop invokes the control handler; detach it before members
+  // (snapshot, queues) start going away.
+  if (transport_ != nullptr) transport_->SetControlHandler(nullptr);
+}
+
+Result<std::unique_ptr<PdmsNode>> PdmsNode::Create(Pdms pdms,
+                                                   NodeOptions options) {
+  if (!pdms.valid()) {
+    return Status::InvalidArgument("node needs a built Pdms");
+  }
+  auto* transport = dynamic_cast<SocketTransport*>(&pdms.transport());
+  if (transport == nullptr) {
+    return Status::InvalidArgument(
+        "node needs a Pdms built over a SocketTransport");
+  }
+  if (pdms.options().schedule != ScheduleKind::kPeriodic ||
+      pdms.options().period_ticks != 1) {
+    // Discovery may cost the shards a different tick count than a
+    // single-process run, so round schedules only stay aligned when every
+    // tick is a send tick.
+    return Status::FailedPrecondition(
+        "node mode requires the periodic schedule with period_ticks == 1");
+  }
+  std::vector<bool> is_local(pdms.peer_count(), false);
+  for (PeerId p = 0; p < pdms.peer_count(); ++p) {
+    is_local[p] = transport->IsLocalPeer(p);
+  }
+  PDMS_RETURN_IF_ERROR(
+      pdms.engine().RestrictToLocalPeers(std::move(is_local)));
+
+  std::unique_ptr<PdmsNode> node(
+      new PdmsNode(std::move(pdms), transport, options));
+  transport->SetControlHandler(
+      [raw = node.get()](Frame frame, uint64_t connection) {
+        raw->HandleControlFrame(std::move(frame), connection);
+      });
+  return node;
+}
+
+// --- Mark protocol --------------------------------------------------------------
+
+void PdmsNode::BroadcastMark(const MarkFrame& mark) {
+  for (uint32_t shard = 0; shard < transport_->shard_count(); ++shard) {
+    if (shard == transport_->local_shard()) continue;
+    const Status status = transport_->SendControl(shard, Frame{mark});
+    if (!status.ok()) PDMS_LOG_WARNING << status.message();
+  }
+}
+
+Result<std::vector<MarkFrame>> PdmsNode::AwaitMarks(uint32_t phase,
+                                                    uint64_t index) {
+  const size_t expected = transport_->shard_count() - 1;
+  std::vector<MarkFrame> collected;
+  if (expected == 0) return collected;
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  const bool arrived = control_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.mark_timeout_ms), [&] {
+        if (!transport_->loop_error().ok()) return true;
+        size_t matching = 0;
+        for (const MarkFrame& mark : marks_) {
+          if (mark.phase == phase && mark.index == index) ++matching;
+        }
+        return matching >= expected;
+      });
+  PDMS_RETURN_IF_ERROR(transport_->loop_error());
+  if (!arrived) {
+    return Status::Unavailable(
+        StrFormat("no marks for step %llu after %dms — peer shard gone?",
+                  static_cast<unsigned long long>(index),
+                  options_.mark_timeout_ms));
+  }
+  auto keep = marks_.begin();
+  for (auto it = marks_.begin(); it != marks_.end(); ++it) {
+    if (it->phase == phase && it->index == index) {
+      collected.push_back(*it);
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  marks_.erase(keep, marks_.end());
+  return collected;
+}
+
+void PdmsNode::HandleControlFrame(Frame frame, uint64_t connection) {
+  if (const auto* mark = std::get_if<MarkFrame>(&frame)) {
+    {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      marks_.push_back(*mark);
+    }
+    control_cv_.notify_all();
+    return;
+  }
+  if (const auto* request = std::get_if<QueryRequestFrame>(&frame)) {
+    // Served right here on the event-loop thread: the snapshot BFS only
+    // reads immutable structure (graph, mappings, stores) plus the
+    // mutex-guarded snapshot, so it is safe concurrent with rounds.
+    const QueryResponseFrame response = ExecuteSnapshotQuery(*request);
+    const Status status =
+        transport_->SendOnConnection(connection, Frame{response});
+    if (!status.ok()) PDMS_LOG_WARNING << status.message();
+    return;
+  }
+  // Hellos and stray responses need no action.
+}
+
+// --- Discovery ------------------------------------------------------------------
+
+Result<size_t> PdmsNode::RunDiscovery() {
+  uint64_t frames_before = transport_->data_frames_sent();
+  pdms_.engine().StartLocalProbes();
+  for (uint64_t step = 0;; ++step) {
+    const uint64_t frames_now = transport_->data_frames_sent();
+    const uint64_t sent_this_step = frames_now - frames_before;
+    frames_before = frames_now;
+    const bool pending = transport_->HasPendingMessages();
+
+    MarkFrame mark;
+    mark.shard = transport_->local_shard();
+    mark.phase = 0;
+    mark.index = step;
+    mark.frames_sent = sent_this_step;
+    mark.pending = pending;
+    BroadcastMark(mark);
+    PDMS_ASSIGN_OR_RETURN(const std::vector<MarkFrame> marks,
+                          AwaitMarks(0, step));
+
+    // Every shard evaluates the same symmetric expression over the same
+    // shared samples, so all of them tick (or stop) together.
+    bool traffic = sent_this_step > 0 || pending;
+    for (const MarkFrame& remote : marks) {
+      traffic = traffic || remote.frames_sent > 0 || remote.pending;
+    }
+    if (!traffic) break;
+    pdms_.engine().DeliverTick();
+  }
+  RebuildSnapshot();
+
+  size_t local_replicas = 0;
+  std::unordered_set<uint64_t> seen;
+  for (PeerId p = 0; p < pdms_.peer_count(); ++p) {
+    if (!transport_->IsLocalPeer(p)) continue;
+    for (const Peer::ReplicaView& view : pdms_.peer(p).ReplicaViews()) {
+      if (seen.insert(view.id.lo ^ view.id.hi).second) ++local_replicas;
+    }
+  }
+  return local_replicas;
+}
+
+// --- Rounds ---------------------------------------------------------------------
+
+Result<ConvergenceReport> PdmsNode::RunRounds() {
+  const EngineOptions& engine_options = pdms_.options();
+  // The socket wire is lossless, so the auto patience rule resolves to 1
+  // exactly like the lossless simulator's.
+  const size_t patience = engine_options.convergence_patience == 0
+                              ? 1
+                              : engine_options.convergence_patience;
+  ConvergenceReport report;
+  size_t quiet = 0;
+  double previous_change = 1.0;
+  uint64_t round = 0;
+  RebuildSnapshot();
+  for (;;) {
+    MarkFrame mark;
+    mark.shard = transport_->local_shard();
+    mark.phase = 1;
+    mark.index = round;
+    mark.max_change = previous_change;
+    BroadcastMark(mark);
+    PDMS_ASSIGN_OR_RETURN(const std::vector<MarkFrame> marks,
+                          AwaitMarks(1, round));
+    if (round > 0) {
+      double global_change = previous_change;
+      for (const MarkFrame& remote : marks) {
+        global_change = std::max(global_change, remote.max_change);
+      }
+      quiet = global_change < engine_options.tolerance ? quiet + 1 : 0;
+      if (quiet >= patience) {
+        report.converged = true;
+        break;
+      }
+    }
+    if (round == options_.max_rounds) break;
+    const RoundReport step = pdms_.engine().RunRound();
+    ++round;
+    report.rounds = round;
+    report.belief_updates_sent += step.belief_updates_sent;
+    previous_change = step.max_posterior_change;
+    RebuildSnapshot();
+    if (options_.round_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.round_delay_ms));
+    }
+  }
+  return report;
+}
+
+// --- Posterior snapshots & queries ----------------------------------------------
+
+void PdmsNode::RebuildSnapshot() {
+  auto snapshot = std::make_shared<Snapshot>();
+  const Digraph& graph = pdms_.graph();
+  for (EdgeId e : graph.LiveEdges()) {
+    const PeerId owner = graph.edge(e).src;
+    if (!transport_->IsLocalPeer(owner)) continue;
+    const Peer& peer = pdms_.peer(owner);
+    const SchemaMapping* mapping = peer.mapping(e);
+    if (mapping == nullptr) continue;
+    const size_t attrs = peer.schema().size();
+    for (AttributeId a = 0; a < attrs; ++a) {
+      const MappingVarKey var{e, a};
+      if (peer.HasEvidence(var)) {
+        snapshot->posteriors.emplace(var.Packed(), peer.Posterior(var));
+      }
+    }
+    const MappingVarKey coarse{e, MappingVarKey::kWholeMapping};
+    if (peer.HasEvidence(coarse)) {
+      snapshot->posteriors.emplace(coarse.Packed(), peer.Posterior(coarse));
+    }
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
+}
+
+std::shared_ptr<const PdmsNode::Snapshot> PdmsNode::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+bool PdmsNode::GateAllows(const Peer& owner, EdgeId edge,
+                          AttributeId attribute,
+                          const Snapshot& snapshot) const {
+  // Mirrors Peer::GateAllows, reading the frozen snapshot instead of the
+  // live (round-mutated) posterior state.
+  const SchemaMapping* mapping = owner.mapping(edge);
+  if (mapping == nullptr || !mapping->Apply(attribute).has_value()) {
+    return false;
+  }
+  const EngineOptions& engine_options = pdms_.options();
+  const MappingVarKey var =
+      engine_options.granularity == Granularity::kCoarse
+          ? MappingVarKey{edge, MappingVarKey::kWholeMapping}
+          : MappingVarKey{edge, attribute};
+  const auto it = snapshot.posteriors.find(var.Packed());
+  if (it == snapshot.posteriors.end()) {
+    return engine_options.forward_without_evidence;
+  }
+  return it->second > engine_options.theta;
+}
+
+QueryResponseFrame PdmsNode::ExecuteSnapshotQuery(
+    const QueryRequestFrame& request) const {
+  QueryResponseFrame response;
+  response.request_id = request.request_id;
+  if (request.origin >= pdms_.peer_count() ||
+      !transport_->IsLocalPeer(request.origin)) {
+    response.ok = false;
+    response.error =
+        StrFormat("origin peer %u is not hosted by this node", request.origin);
+    return response;
+  }
+  Result<Query> parsed =
+      ParseQuery(request.text, pdms_.peer(request.origin).schema());
+  if (!parsed.ok()) {
+    response.ok = false;
+    response.error = parsed.status().ToString();
+    return response;
+  }
+  const std::shared_ptr<const Snapshot> snapshot = CurrentSnapshot();
+  const Digraph& graph = pdms_.graph();
+
+  struct Visit {
+    PeerId peer;
+    Query query;
+    uint32_t ttl;
+    std::vector<PeerId> path;  ///< visited list carried by the message
+  };
+  std::deque<Visit> frontier;
+  frontier.push_back(Visit{request.origin, std::move(parsed).value(),
+                           request.ttl, {}});
+  std::unordered_set<PeerId> processed;
+  while (!frontier.empty()) {
+    Visit visit = std::move(frontier.front());
+    frontier.pop_front();
+    if (!processed.insert(visit.peer).second) continue;
+    const Peer& peer = pdms_.peer(visit.peer);
+    for (const ResultRow& row : peer.store().Execute(visit.query)) {
+      std::string rendered = StrFormat("peer=%u doc=%llu", visit.peer,
+                                       static_cast<unsigned long long>(row.document));
+      for (const std::string& value : row.values) {
+        rendered += '|';
+        rendered += value;
+      }
+      response.rows.push_back(std::move(rendered));
+    }
+    ++response.reached;
+    if (visit.ttl == 0) continue;
+    for (EdgeId edge : graph.out_edges(visit.peer)) {
+      if (!graph.edge_alive(edge)) continue;
+      const PeerId next = graph.edge(edge).dst;
+      // Shard-local serving: edges leaving the shard are out of this
+      // node's jurisdiction (a distributed query fabric would forward).
+      if (!transport_->IsLocalPeer(next)) continue;
+      if (std::find(visit.path.begin(), visit.path.end(), next) !=
+          visit.path.end()) {
+        continue;
+      }
+      bool allowed = true;
+      for (AttributeId attribute : visit.query.Attributes()) {
+        if (!GateAllows(peer, edge, attribute, *snapshot)) {
+          allowed = false;
+          break;
+        }
+      }
+      if (!allowed) continue;
+      const SchemaMapping* mapping = peer.mapping(edge);
+      Result<Query> translated = visit.query.Translate(*mapping);
+      if (!translated.ok()) continue;  // ⊥ slipped through: blocked
+      Visit forward;
+      forward.peer = next;
+      forward.query = std::move(translated).value();
+      forward.ttl = visit.ttl - 1;
+      forward.path = visit.path;
+      forward.path.push_back(visit.peer);
+      frontier.push_back(std::move(forward));
+    }
+  }
+  return response;
+}
+
+// --- Query client ---------------------------------------------------------------
+
+Result<QueryResponseFrame> PdmsNode::QueryNode(
+    const std::string& address, const QueryRequestFrame& request,
+    int timeout_ms) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("address '%s' is not ip:port", address.c_str()));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (inet_pton(AF_INET, address.substr(0, colon).c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument(
+        StrFormat("address '%s' has no valid IPv4 host", address.c_str()));
+  }
+  addr.sin_port =
+      htons(static_cast<uint16_t>(std::stoul(address.substr(colon + 1))));
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return Status::Unavailable(
+        StrFormat("connect(%s): %s", address.c_str(), std::strerror(errno)));
+  }
+
+  std::vector<uint8_t> bytes;
+  EncodeFrame(Frame{request}, &bytes);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return Status::Unavailable(
+          StrFormat("send: %s", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  FrameAssembler assembler;
+  for (;;) {
+    uint8_t buffer[4096];
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      close(fd);
+      return Status::Unavailable(
+          StrFormat("no response within %dms", timeout_ms));
+    }
+    assembler.Feed(std::span<const uint8_t>(buffer, n));
+    auto next = assembler.Next();
+    if (!next.ok()) {
+      close(fd);
+      return next.status();
+    }
+    if (!next->has_value()) continue;
+    close(fd);
+    if (auto* reply = std::get_if<QueryResponseFrame>(&**next)) {
+      return std::move(*reply);
+    }
+    return Status::Internal("node answered with an unexpected frame type");
+  }
+}
+
+}  // namespace pdms

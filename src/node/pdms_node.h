@@ -1,0 +1,153 @@
+#ifndef PDMS_NODE_PDMS_NODE_H_
+#define PDMS_NODE_PDMS_NODE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/socket_transport.h"
+#include "pdms/pdms.h"
+#include "util/status.h"
+
+namespace pdms {
+
+/// Knobs of one `PdmsNode` daemon. The network topology itself — which
+/// shard this process is, where the others listen, which peers are local —
+/// lives in the `SocketTransport` the node is built over.
+struct NodeOptions {
+  /// Convergence bound handed to `RunRounds` (the sharded counterpart of
+  /// `Session::Converge(max_rounds)`).
+  size_t max_rounds = 200;
+
+  /// Artificial hold after each round, in milliseconds. Test hook: keeps
+  /// the round loop open long enough for a client to query mid-run.
+  int round_delay_ms = 0;
+
+  /// How long to wait for the other shards' mark frames before giving up
+  /// on a step (a vanished peer process surfaces as Unavailable here).
+  int mark_timeout_ms = 120000;
+};
+
+/// One process of a partitioned PDMS deployment: owns the shard of peers
+/// its `SocketTransport` marks local, exchanges probe / feedback / belief
+/// traffic with the other shards over framed TCP, and serves θ-gated
+/// queries from read-only posterior snapshots while rounds are running.
+///
+/// Lifecycle: `Create` (over a `Pdms` built with a sharded socket
+/// transport) → `SetShardAddress`/`Connect` → `RunDiscovery` →
+/// `RunRounds` → read posteriors / keep serving queries.
+///
+/// Cross-shard synchronization is the mark protocol (`MarkFrame`): each
+/// step a shard broadcasts a mark carrying what it sent and whether it
+/// still holds undelivered traffic, then waits for everyone else's mark of
+/// the same step. TCP preserves per-connection order, so receiving a mark
+/// implies every data frame the sender staged before it has already been
+/// dispatched locally — the exchange doubles as the cross-shard flush
+/// barrier, and all shards advance their transport clocks in lockstep.
+/// With the lossless wire and the transport's deterministic
+/// (deliver_at, from, seq) drain order, a partitioned run lands on
+/// posteriors bitwise-identical to the single-process engine
+/// (tests/node_test.cc).
+class PdmsNode {
+ public:
+  /// Wraps a built `Pdms` whose transport is a `SocketTransport`. Requires
+  /// the periodic schedule with `period_ticks == 1`: shards advance ticks
+  /// in lockstep but discovery may cost a different tick count than the
+  /// single-process run, so every tick must be a send tick for the round
+  /// schedules to agree.
+  static Result<std::unique_ptr<PdmsNode>> Create(Pdms pdms,
+                                                  NodeOptions options);
+
+  ~PdmsNode();
+
+  /// The transport's bound listen address ("ip:port").
+  const std::string& local_address() const {
+    return transport_->local_address();
+  }
+
+  /// Announces where a remote shard listens (before `Connect`).
+  Status SetShardAddress(uint32_t shard, std::string address) {
+    return transport_->SetShardAddress(shard, std::move(address));
+  }
+
+  /// Dials every shard and waits for the links to establish.
+  Status Connect() { return transport_->ConnectAll(); }
+
+  /// Distributed closure discovery: floods the local peers' probes and
+  /// tick-steps with per-step mark exchange until every shard reports a
+  /// quiet step. Returns the number of distinct factor replicas held by
+  /// the *local* peers afterwards.
+  Result<size_t> RunDiscovery();
+
+  /// Mark-synchronized inference rounds until the *global* posterior
+  /// movement (max over all shards) stays below tolerance, with the same
+  /// patience semantics as `PdmsEngine::RunToConvergence` — a partitioned
+  /// run executes exactly as many rounds as the single-process one. The
+  /// posterior snapshot queries are served from is refreshed after every
+  /// round.
+  Result<ConvergenceReport> RunRounds();
+
+  /// Executes a query request against the current posterior snapshot —
+  /// the same path the control plane uses for remote clients, exposed for
+  /// in-process callers and tests. Shard-local: θ-gated BFS over edges
+  /// whose both endpoints are local.
+  QueryResponseFrame ExecuteSnapshotQuery(
+      const QueryRequestFrame& request) const;
+
+  Pdms& pdms() { return pdms_; }
+  const Pdms& pdms() const { return pdms_; }
+  SocketTransport& transport() { return *transport_; }
+
+  /// Blocking client helper: connects to a node's listen address, sends
+  /// one query request frame and waits for the response. Independent of
+  /// any transport instance — this is what an external client does.
+  static Result<QueryResponseFrame> QueryNode(const std::string& address,
+                                              const QueryRequestFrame& request,
+                                              int timeout_ms = 30000);
+
+ private:
+  /// Read-only posterior view rebuilt after every round: Packed
+  /// MappingVarKey → posterior, an entry existing iff the owner has
+  /// evidence for the variable (the gate's forward_without_evidence rule
+  /// keys off absence).
+  struct Snapshot {
+    std::unordered_map<uint64_t, double> posteriors;
+  };
+
+  PdmsNode(Pdms pdms, SocketTransport* transport, NodeOptions options);
+
+  /// Control-plane dispatch, invoked on the transport's event-loop
+  /// thread: marks feed `AwaitMarks`, query requests are answered from
+  /// the snapshot right here.
+  void HandleControlFrame(Frame frame, uint64_t connection);
+
+  void BroadcastMark(const MarkFrame& mark);
+  /// Collects the other shards' marks for (phase, index).
+  Result<std::vector<MarkFrame>> AwaitMarks(uint32_t phase, uint64_t index);
+
+  void RebuildSnapshot();
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const;
+
+  bool GateAllows(const Peer& owner, EdgeId edge, AttributeId attribute,
+                  const Snapshot& snapshot) const;
+
+  Pdms pdms_;
+  SocketTransport* transport_;  // owned by the engine inside pdms_
+  NodeOptions options_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+
+  std::mutex control_mutex_;
+  std::condition_variable control_cv_;
+  std::vector<MarkFrame> marks_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_NODE_PDMS_NODE_H_

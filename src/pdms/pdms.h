@@ -100,6 +100,11 @@ class Pdms {
   /// (baseline for exact inference / validation).
   FactorGraph BuildGlobalFactorGraph(std::vector<MappingVarKey>* vars_out) const;
 
+  /// Internal: the underlying engine. Node daemons (node/pdms_node.h)
+  /// drive sharded execution through it; applications should stick to
+  /// `session()`.
+  PdmsEngine& engine() { return *engine_; }
+
  private:
   friend class PdmsBuilder;
 

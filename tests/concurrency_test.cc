@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.h"
+#include "net/socket_transport.h"
 #include "pdms/transport.h"
 #include "util/thread_pool.h"
 
@@ -232,6 +233,13 @@ INSTANTIATE_TEST_SUITE_P(
                                options.seed = 11;
                                return std::make_unique<SimTransport>(peers,
                                                                      options);
+                             }},
+        TransportFactoryCase{"socket",
+                             [](size_t peers) -> std::unique_ptr<Transport> {
+                               auto transport =
+                                   SocketTransport::CreateLoopback(peers);
+                               EXPECT_NE(transport, nullptr);
+                               return transport;
                              }}),
     [](const ::testing::TestParamInfo<TransportFactoryCase>& info) {
       return std::string(info.param.label);

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/topology.h"
+#include "net/socket_transport.h"
 #include "pdms/pdms.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -276,6 +277,13 @@ INSTANTIATE_TEST_SUITE_P(
         TransportCase{"instant",
                       [](size_t peers) -> std::unique_ptr<Transport> {
                         return std::make_unique<InstantTransport>(peers);
+                      }},
+        TransportCase{"socket",
+                      [](size_t peers) -> std::unique_ptr<Transport> {
+                        auto transport =
+                            SocketTransport::CreateLoopback(peers);
+                        EXPECT_NE(transport, nullptr);
+                        return transport;
                       }}),
     [](const ::testing::TestParamInfo<TransportCase>& info) {
       return std::string(info.param.label);
@@ -335,8 +343,9 @@ TEST(TransportEquivalenceTest, InstantNeedsNoTickPerHopForQueries) {
 /// change the result: peers only touch their own state during a round and
 /// the engine issues transport sends in canonical peer order, so even the
 /// lossy simulator draws the same drop sequence.
-std::vector<double> ConvergedPosteriors(size_t parallelism,
-                                        double send_probability) {
+std::vector<double> ConvergedPosteriorsOn(
+    size_t parallelism, double send_probability,
+    PdmsBuilder::TransportFactory transport_factory) {
   constexpr size_t kNetAttrs = 6;
   Rng rng(123);
   Digraph graph = topology::BarabasiAlbert(24, 2, &rng);
@@ -357,8 +366,10 @@ std::vector<double> ConvergedPosteriors(size_t parallelism,
   // inline — force the pool so this test keeps exercising the actual
   // parallel round path (and TSan keeps seeing it).
   options.min_peers_per_lane = 1;
-  Pdms pdms =
-      PdmsBuilder::FromSynthetic(synthetic).WithOptions(options).Build().value();
+  PdmsBuilder builder = PdmsBuilder::FromSynthetic(synthetic);
+  builder.WithOptions(options);
+  if (transport_factory) builder.WithTransport(std::move(transport_factory));
+  Pdms pdms = builder.Build().value();
   EXPECT_GT(pdms.session().Discover(), 0u);
   pdms.session().Converge(60);
 
@@ -369,6 +380,11 @@ std::vector<double> ConvergedPosteriors(size_t parallelism,
     }
   }
   return posteriors;
+}
+
+std::vector<double> ConvergedPosteriors(size_t parallelism,
+                                        double send_probability) {
+  return ConvergedPosteriorsOn(parallelism, send_probability, nullptr);
 }
 
 TEST(ParallelDeterminismTest, ParallelPosteriorsMatchSerialBitwise) {
@@ -390,6 +406,30 @@ TEST(ParallelDeterminismTest, ParallelPosteriorsMatchSerialBitwise) {
             << "posterior " << i << " at parallelism " << parallelism
             << ", P(send)=" << send_probability;
       }
+    }
+  }
+}
+
+TEST(TransportEquivalenceTest, SocketMatchesSimPosteriorsBitwise) {
+  // The socket loopback transport routes every envelope through a real
+  // framed TCP self-connection: encode, kernel, decode, deterministic
+  // (deliver_at, from, seq) drain order. Against the lossless simulator
+  // the posteriors must come back bitwise-identical at every parallelism
+  // level — any codec round-trip wobble or delivery reordering shows up
+  // here as a hard failure.
+  const std::vector<double> reference = ConvergedPosteriors(1, 1.0);
+  ASSERT_FALSE(reference.empty());
+  for (const size_t parallelism : {1, 2, 4, 8}) {
+    const std::vector<double> socket = ConvergedPosteriorsOn(
+        parallelism, 1.0,
+        [](size_t peers, const EngineOptions&) -> std::unique_ptr<Transport> {
+          return SocketTransport::CreateLoopback(peers);
+        });
+    ASSERT_EQ(socket.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(socket[i], reference[i])
+          << "posterior " << i << " over sockets at parallelism "
+          << parallelism;
     }
   }
 }

@@ -1,0 +1,263 @@
+// pdms_node — one shard of a partitioned PDMS as a standalone process.
+//
+// Runs the Section 5.2 bibliographic workload (six ontologies, automatic
+// alignment) across N cooperating processes that exchange probe, feedback
+// and belief traffic over framed TCP, then prints the posteriors of the
+// locally owned mappings as hex floats (bitwise-comparable against the
+// single-process `reference` mode).
+//
+//   pdms_node serve --shard=0 --shards=2 --announce-dir=/tmp/run1
+//       [--max-rounds=100] [--round-delay-ms=0] [--serve-ms=0]
+//   pdms_node reference [--max-rounds=100]
+//   pdms_node query --addr=127.0.0.1:PORT --origin=0 --ttl=3
+//       --text='SELECT <attr>'
+//
+// Shards discover each other through --announce-dir: every serve process
+// writes its bound address to <dir>/shard-<k>.addr and polls for the
+// others, so no ports need to be agreed on in advance.
+//
+// Output lines: `P <edge> <attr> <posterior-as-%a>` for every attribute of
+// the mapping's source schema. Each mapping is owned by exactly one shard,
+// so concatenating the shards' outputs yields every line of the reference
+// output exactly once.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bibliographic_pdms.h"
+#include "node/pdms_node.h"
+
+using namespace pdms;  // NOLINT: tool brevity
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+EngineOptions WorkloadOptions() {
+  // Mirrors examples/bibliographic_alignment.cpp; period_ticks stays 1
+  // (required by node mode) and the wire is lossless in both modes.
+  EngineOptions options;
+  options.delta_override = 0.1;
+  options.probe_ttl = 4;
+  options.closure_limits.max_cycle_length = 4;
+  options.closure_limits.max_path_length = 3;
+  options.damping = 0.5;
+  return options;
+}
+
+void PrintOwnedPosteriors(const Pdms& pdms,
+                          const std::vector<Ontology>& family,
+                          const SocketTransport* transport) {
+  const Digraph& graph = pdms.graph();
+  for (EdgeId e : graph.LiveEdges()) {
+    const PeerId owner = graph.edge(e).src;
+    if (transport != nullptr && !transport->IsLocalPeer(owner)) continue;
+    const size_t attrs = family[owner].schema.size();
+    for (AttributeId a = 0; a < attrs; ++a) {
+      std::printf("P %u %u %a\n", e, a, pdms.Posterior(e, a));
+    }
+  }
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "pdms_node: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunReference(int argc, char** argv) {
+  const size_t max_rounds =
+      std::strtoul(FlagValue(argc, argv, "max-rounds", "100").c_str(),
+                   nullptr, 10);
+  bench::BibliographicPdms workload =
+      bench::MakeBibliographicPdms(WorkloadOptions());
+  workload.pdms.session().Discover();
+  workload.pdms.session().Converge(max_rounds);
+  PrintOwnedPosteriors(workload.pdms, workload.family, nullptr);
+  return 0;
+}
+
+int RunServe(int argc, char** argv) {
+  const uint32_t shard = static_cast<uint32_t>(
+      std::strtoul(FlagValue(argc, argv, "shard", "0").c_str(), nullptr, 10));
+  const uint32_t shards = static_cast<uint32_t>(
+      std::strtoul(FlagValue(argc, argv, "shards", "1").c_str(), nullptr, 10));
+  const std::string announce_dir =
+      FlagValue(argc, argv, "announce-dir", "");
+  const size_t max_rounds =
+      std::strtoul(FlagValue(argc, argv, "max-rounds", "100").c_str(),
+                   nullptr, 10);
+  const int round_delay_ms = static_cast<int>(
+      std::strtol(FlagValue(argc, argv, "round-delay-ms", "0").c_str(),
+                  nullptr, 10));
+  const int serve_ms = static_cast<int>(
+      std::strtol(FlagValue(argc, argv, "serve-ms", "0").c_str(), nullptr,
+                  10));
+  if (shards == 0 || shard >= shards) {
+    std::fprintf(stderr, "pdms_node: need 0 <= --shard < --shards\n");
+    return 1;
+  }
+  if (shards > 1 && announce_dir.empty()) {
+    std::fprintf(stderr, "pdms_node: multi-shard runs need --announce-dir\n");
+    return 1;
+  }
+
+  // All processes build the identical workload deterministically; only
+  // the shard assignment below decides which peers this one runs.
+  constexpr size_t kPeers = 6;  // the bibliographic family size
+  SocketTransport* transport = nullptr;
+  bench::BibliographicPdms workload = bench::MakeBibliographicPdms(
+      WorkloadOptions(),
+      [&](size_t peer_count, const EngineOptions&)
+          -> std::unique_ptr<Transport> {
+        SocketTransportOptions transport_options;
+        transport_options.peer_count = peer_count;
+        transport_options.local_shard = shard;
+        transport_options.shard_addresses.assign(shards, "127.0.0.1:0");
+        transport_options.shard_of.resize(peer_count);
+        for (PeerId p = 0; p < peer_count; ++p) {
+          transport_options.shard_of[p] = p % shards;  // round-robin
+        }
+        auto created = SocketTransport::Create(std::move(transport_options));
+        if (!created.ok()) {
+          std::fprintf(stderr, "pdms_node: %s\n",
+                       created.status().ToString().c_str());
+          return nullptr;
+        }
+        transport = created->get();
+        return std::move(created).value();
+      });
+  if (transport == nullptr || workload.pdms.peer_count() != kPeers) {
+    std::fprintf(stderr, "pdms_node: workload construction failed\n");
+    return 1;
+  }
+
+  NodeOptions node_options;
+  node_options.max_rounds = max_rounds;
+  node_options.round_delay_ms = round_delay_ms;
+  Result<std::unique_ptr<PdmsNode>> node =
+      PdmsNode::Create(std::move(workload.pdms), node_options);
+  if (!node.ok()) return Fail(node.status());
+
+  if (shards > 1) {
+    // Announce our bound address, then poll for every other shard's.
+    const std::string mine =
+        announce_dir + "/shard-" + std::to_string(shard) + ".addr";
+    const std::string tmp = mine + ".tmp";
+    FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "pdms_node: cannot write %s\n", tmp.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", (*node)->local_address().c_str());
+    std::fclose(f);
+    std::rename(tmp.c_str(), mine.c_str());
+
+    for (uint32_t s = 0; s < shards; ++s) {
+      if (s == shard) continue;
+      const std::string theirs =
+          announce_dir + "/shard-" + std::to_string(s) + ".addr";
+      std::string address;
+      for (int attempt = 0; attempt < 600; ++attempt) {  // up to ~60s
+        FILE* in = std::fopen(theirs.c_str(), "r");
+        if (in != nullptr) {
+          char buffer[128] = {};
+          if (std::fgets(buffer, sizeof(buffer), in) != nullptr) {
+            address = buffer;
+            while (!address.empty() &&
+                   (address.back() == '\n' || address.back() == '\r')) {
+              address.pop_back();
+            }
+          }
+          std::fclose(in);
+          if (!address.empty()) break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (address.empty()) {
+        std::fprintf(stderr, "pdms_node: shard %u never announced\n", s);
+        return 1;
+      }
+      const Status status = (*node)->SetShardAddress(s, address);
+      if (!status.ok()) return Fail(status);
+    }
+  }
+
+  Status status = (*node)->Connect();
+  if (!status.ok()) return Fail(status);
+  Result<size_t> factors = (*node)->RunDiscovery();
+  if (!factors.ok()) return Fail(factors.status());
+  std::fprintf(stderr, "pdms_node: shard %u discovered %zu local replicas\n",
+               shard, *factors);
+  Result<ConvergenceReport> converged = (*node)->RunRounds();
+  if (!converged.ok()) return Fail(converged.status());
+  std::fprintf(stderr, "pdms_node: shard %u ran %zu rounds (converged=%d)\n",
+               shard, converged->rounds, converged->converged ? 1 : 0);
+
+  PrintOwnedPosteriors((*node)->pdms(), workload.family,
+                       &(*node)->transport());
+  std::fflush(stdout);
+
+  if (serve_ms > 0) {
+    // Keep answering queries (and keep the listen socket alive) a while.
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+  }
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  QueryRequestFrame request;
+  request.request_id = 1;
+  request.origin = static_cast<PeerId>(
+      std::strtoul(FlagValue(argc, argv, "origin", "0").c_str(), nullptr, 10));
+  request.ttl = static_cast<uint32_t>(
+      std::strtoul(FlagValue(argc, argv, "ttl", "3").c_str(), nullptr, 10));
+  request.text = FlagValue(argc, argv, "text", "");
+  const std::string address = FlagValue(argc, argv, "addr", "");
+  if (address.empty() || request.text.empty()) {
+    std::fprintf(stderr, "pdms_node: query mode needs --addr and --text\n");
+    return 1;
+  }
+  Result<QueryResponseFrame> response =
+      PdmsNode::QueryNode(address, request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->ok) {
+    std::fprintf(stderr, "pdms_node: query failed: %s\n",
+                 response->error.c_str());
+    return 1;
+  }
+  std::printf("reached %llu peers, %zu rows\n",
+              static_cast<unsigned long long>(response->reached),
+              response->rows.size());
+  for (const std::string& row : response->rows) {
+    std::printf("%s\n", row.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "serve") return RunServe(argc, argv);
+  if (mode == "reference") return RunReference(argc, argv);
+  if (mode == "query") return RunQuery(argc, argv);
+  std::fprintf(stderr,
+               "usage: pdms_node <serve|reference|query> [--flags]\n"
+               "  serve      run one shard (see file comment)\n"
+               "  reference  single-process run, same workload\n"
+               "  query      client: --addr --origin --ttl --text\n");
+  return 2;
+}
