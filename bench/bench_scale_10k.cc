@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "graph/topology.h"
+#include "net/fault_injection.h"
+#include "net/network.h"
 #include "pdms/pdms.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -59,6 +61,23 @@ struct BenchResult {
   double round_seconds_p95 = 0.0;
   double speedup_vs_serial = 1.0;
   double max_posterior_diff_vs_serial = 0.0;
+};
+
+/// One point on the robustness curve: a `FaultPlan` applied to the belief
+/// rounds (discovery runs fault-free, mirroring Figure 11's setup where
+/// only belief messages are lossy), with convergence cost and posterior
+/// error vs the fault-free run.
+struct FaultRun {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  size_t rounds = 0;
+  bool converged = false;
+  double max_posterior_error = 0.0;
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
 };
 
 /// Nearest-rank percentile of the (unsorted) per-round wall times.
@@ -177,8 +196,106 @@ BenchResult RunConfig(const std::string& topology, const SyntheticPdms& workload
   return result;
 }
 
+FaultRun RunFaultConfig(const SyntheticPdms& workload, const FaultPlan& plan,
+                        size_t max_rounds,
+                        const std::vector<double>* reference,
+                        std::vector<double>* sample_out) {
+  // Serial rounds: the decorator's draws are keyed on arrival order at the
+  // Send() entry point, which is scheduler-dependent under parallel sends.
+  Pdms pdms = PdmsBuilder::FromSynthetic(workload)
+                  .WithOptions(ScaleOptions(1))
+                  .WithTransport([](size_t peer_count, const EngineOptions&) {
+                    return std::make_unique<FaultInjectingTransport>(
+                        std::make_unique<SimTransport>(peer_count,
+                                                       NetworkOptions{}),
+                        FaultPlan{});
+                  })
+                  .Build()
+                  .value();
+  auto& faulty = static_cast<FaultInjectingTransport&>(pdms.transport());
+  Session& session = pdms.session();
+  session.Discover();
+
+  // Faults arm right after discovery — every belief round runs under fire,
+  // so the rounds column is the full convergence cost of the fault mix.
+  faulty.set_plan(plan);
+  const ConvergenceReport report = session.Converge(max_rounds);
+
+  FaultRun run;
+  run.drop_rate = plan.drop_rate;
+  run.duplicate_rate = plan.duplicate_rate;
+  run.reorder_rate = plan.reorder_rate;
+  run.rounds = report.rounds;
+  run.converged = report.converged;
+  const FaultStats stats = faulty.fault_stats();
+  run.events = stats.events;
+  run.dropped = stats.dropped;
+  run.duplicated = stats.duplicated;
+  run.reordered = stats.reordered;
+
+  const std::vector<double> sample = SamplePosteriors(pdms);
+  if (reference != nullptr) {
+    for (size_t i = 0; i < sample.size(); ++i) {
+      run.max_posterior_error = std::max(
+          run.max_posterior_error, std::abs(sample[i] - (*reference)[i]));
+    }
+  }
+  if (sample_out != nullptr) *sample_out = sample;
+  return run;
+}
+
+/// Figure-11-style sweep: drop × duplicate × reorder over a small BA
+/// network. Faults here are engine-visible (a dropped belief is gone), so
+/// the curve measures convergence cost and residual posterior error — the
+/// complement of the socket layer's bitwise-identical guarantee.
+std::vector<FaultRun> RunFaultSweep(bool smoke) {
+  constexpr size_t kFaultPeers = 200;
+  constexpr size_t kFaultMaxRounds = 400;
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.3}
+            : std::vector<double>{0.0, 0.15, 0.3};
+
+  const SyntheticPdms workload = BuildWorkload("ba", kFaultPeers);
+  std::vector<double> reference;
+  std::vector<FaultRun> runs;
+  uint64_t index = 0;
+  std::printf("\nfault sweep (ba n=%zu, faults on belief rounds only):\n",
+              kFaultPeers);
+  TextTable table;
+  table.SetHeader({"drop", "dup", "reorder", "rounds", "converged",
+                   "max |err| vs clean", "injected"});
+  for (double drop : rates) {
+    for (double duplicate : rates) {
+      for (double reorder : rates) {
+        FaultPlan plan;
+        plan.seed = kSeed * 1000 + index++;
+        plan.drop_rate = drop;
+        plan.duplicate_rate = duplicate;
+        plan.reorder_rate = reorder;
+        const bool is_clean = !plan.Enabled();
+        FaultRun run = RunFaultConfig(workload, plan, kFaultMaxRounds,
+                                      is_clean ? nullptr : &reference,
+                                      is_clean ? &reference : nullptr);
+        table.AddRow(
+            {StrFormat("%.2f", run.drop_rate),
+             StrFormat("%.2f", run.duplicate_rate),
+             StrFormat("%.2f", run.reorder_rate),
+             StrFormat("%zu", run.rounds), run.converged ? "yes" : "no",
+             StrFormat("%.2e", run.max_posterior_error),
+             StrFormat("%llu/%llu/%llu",
+                       static_cast<unsigned long long>(run.dropped),
+                       static_cast<unsigned long long>(run.duplicated),
+                       static_cast<unsigned long long>(run.reordered))});
+        runs.push_back(run);
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return runs;
+}
+
 void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
-               bool smoke) {
+               const std::vector<FaultRun>& fault_runs, bool smoke) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -186,13 +303,16 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"scale_10k\",\n");
+  // v4: + fault_runs — drop × duplicate × reorder robustness sweep
+  //     (engine-visible faults on belief rounds; convergence cost and
+  //     residual posterior error vs the fault-free run).
   // v3: + alias_bytes_per_round (belief-bundle alias/header overhead);
   //     key_bytes_per_round now counts only unacked binding declarations
   //     (the session-alias wire format), and measured rounds start after
   //     the 3-step negotiation warm-up.
   // v2: + key_bytes_per_round (FactorId fingerprint bytes on the wire)
   //     + round_seconds_p50 / round_seconds_p95 per-round latency.
-  std::fprintf(out, "  \"schema_version\": 3,\n");
+  std::fprintf(out, "  \"schema_version\": 4,\n");
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
@@ -217,6 +337,24 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
         r.alias_bytes_per_round, r.round_seconds_p50, r.round_seconds_p95,
         r.speedup_vs_serial, r.max_posterior_diff_vs_serial,
         i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"fault_runs\": [\n");
+  for (size_t i = 0; i < fault_runs.size(); ++i) {
+    const FaultRun& r = fault_runs[i];
+    std::fprintf(
+        out,
+        "    {\"drop_rate\": %.2f, \"duplicate_rate\": %.2f, "
+        "\"reorder_rate\": %.2f, \"rounds\": %zu, \"converged\": %s, "
+        "\"max_posterior_error\": %.3e, \"events\": %llu, "
+        "\"dropped\": %llu, \"duplicated\": %llu, \"reordered\": %llu}%s\n",
+        r.drop_rate, r.duplicate_rate, r.reorder_rate, r.rounds,
+        r.converged ? "true" : "false", r.max_posterior_error,
+        static_cast<unsigned long long>(r.events),
+        static_cast<unsigned long long>(r.dropped),
+        static_cast<unsigned long long>(r.duplicated),
+        static_cast<unsigned long long>(r.reordered),
+        i + 1 < fault_runs.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -329,7 +467,8 @@ int Main(int argc, char** argv) {
     }
   }
 
-  WriteJson(out_path, results, smoke);
+  const std::vector<FaultRun> fault_runs = RunFaultSweep(smoke);
+  WriteJson(out_path, results, fault_runs, smoke);
   if (!deterministic) {
     std::fprintf(stderr,
                  "FAIL: parallel posteriors diverged from serial (> 1e-12)\n");

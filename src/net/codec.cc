@@ -582,6 +582,33 @@ Result<Payload> DecodePayload(MessageKind kind,
 
 // --- Frame codec ---------------------------------------------------------------
 
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  constexpr Crc32Table() : entries{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32Table kCrc32Table;
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  uint32_t crc = 0xffffffffu;
+  for (uint8_t byte : data) {
+    crc = (crc >> 8) ^ kCrc32Table.entries[(crc ^ byte) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
 FrameType FrameTypeOf(const Frame& frame) {
   return static_cast<FrameType>(frame.index());
 }
@@ -608,6 +635,8 @@ void EncodeFrameBodyTo(const Frame& frame, Sink& sink) {
           PutVarint(sink, f.shard);
           PutVarint(sink, f.shard_count);
           PutVarint(sink, f.peer_count);
+          PutFixed64(sink, f.session_id);
+          PutVarint(sink, f.next_seq);
         } else if constexpr (std::is_same_v<T, MarkFrame>) {
           PutVarint(sink, f.shard);
           PutVarint(sink, f.phase);
@@ -621,14 +650,18 @@ void EncodeFrameBodyTo(const Frame& frame, Sink& sink) {
           PutVarint(sink, f.origin);
           PutVarint(sink, f.ttl);
           PutString(sink, f.text);
-        } else {
-          static_assert(std::is_same_v<T, QueryResponseFrame>);
+        } else if constexpr (std::is_same_v<T, QueryResponseFrame>) {
           PutVarint(sink, f.request_id);
           sink.Byte(f.ok ? 1 : 0);
           PutString(sink, f.error);
           PutVarint(sink, f.reached);
           PutVarint(sink, f.rows.size());
           for (const std::string& row : f.rows) PutString(sink, row);
+        } else {
+          static_assert(std::is_same_v<T, LinkAckFrame>);
+          PutVarint(sink, f.shard);
+          PutFixed64(sink, f.session_id);
+          PutVarint(sink, f.next_expected);
         }
       },
       frame);
@@ -647,13 +680,29 @@ Status ReadBool(Reader& reader, bool* out, const char* what) {
 
 }  // namespace
 
-void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+void EncodeFrame(const Frame& frame, uint64_t link_seq,
+                 std::vector<uint8_t>* out) {
   CountingSink counter;
+  PutVarint(counter, link_seq);
   EncodeFrameBodyTo(frame, counter);
   assert(counter.size <= kMaxFrameBytes && "frame exceeds kMaxFrameBytes");
   AppendSink sink{out};
   PutFixed32(sink, static_cast<uint32_t>(counter.size));
+  const size_t crc_at = out->size();
+  PutFixed32(sink, 0);  // checksum backpatched below
+  const size_t covered_at = out->size();
+  PutVarint(sink, link_seq);
   EncodeFrameBodyTo(frame, sink);
+  const uint32_t crc = Crc32(
+      std::span<const uint8_t>(out->data() + covered_at,
+                               out->size() - covered_at));
+  for (int i = 0; i < 4; ++i) {
+    (*out)[crc_at + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+}
+
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  EncodeFrame(frame, 0, out);
 }
 
 Result<Frame> DecodeFrameBody(std::span<const uint8_t> body) {
@@ -702,6 +751,8 @@ Result<Frame> DecodeFrameBody(std::span<const uint8_t> body) {
       PDMS_RETURN_IF_ERROR(
           reader.ReadVarint32(&hello.shard_count, "hello shard count"));
       PDMS_RETURN_IF_ERROR(reader.ReadVarint(&hello.peer_count));
+      PDMS_RETURN_IF_ERROR(reader.ReadFixed64(&hello.session_id));
+      PDMS_RETURN_IF_ERROR(reader.ReadVarint(&hello.next_seq));
       frame = hello;
       break;
     }
@@ -742,6 +793,14 @@ Result<Frame> DecodeFrameBody(std::span<const uint8_t> body) {
       frame = std::move(response);
       break;
     }
+    case FrameType::kLinkAck: {
+      LinkAckFrame ack;
+      PDMS_RETURN_IF_ERROR(reader.ReadVarint32(&ack.shard, "ack shard"));
+      PDMS_RETURN_IF_ERROR(reader.ReadFixed64(&ack.session_id));
+      PDMS_RETURN_IF_ERROR(reader.ReadVarint(&ack.next_expected));
+      frame = ack;
+      break;
+    }
     default:
       return Status::InvalidArgument(
           StrFormat("unknown frame type %u", type));
@@ -765,12 +824,15 @@ Result<std::optional<Frame>> FrameAssembler::Next() {
   const size_t available = buffer_.size() - offset_;
   if (available < kFrameHeaderBytes) return std::optional<Frame>();
   uint32_t length = 0;
+  uint32_t expected_crc = 0;
   for (int i = 0; i < 4; ++i) {
     length |= static_cast<uint32_t>(buffer_[offset_ + i]) << (8 * i);
+    expected_crc |= static_cast<uint32_t>(buffer_[offset_ + 4 + i]) << (8 * i);
   }
-  if (length < 2) {
+  if (length < 3) {
     return Status::InvalidArgument(
-        StrFormat("frame length %u below the version+type header", length));
+        StrFormat("frame length %u below the seq+version+type header",
+                  length));
   }
   if (length > kMaxFrameBytes) {
     return Status::OutOfRange(
@@ -778,9 +840,21 @@ Result<std::optional<Frame>> FrameAssembler::Next() {
                   kMaxFrameBytes));
   }
   if (available < kFrameHeaderBytes + length) return std::optional<Frame>();
-  const std::span<const uint8_t> body(
+  const std::span<const uint8_t> covered(
       buffer_.data() + offset_ + kFrameHeaderBytes, length);
-  PDMS_ASSIGN_OR_RETURN(Frame frame, DecodeFrameBody(body));
+  const uint32_t actual_crc = Crc32(covered);
+  if (actual_crc != expected_crc) {
+    return Status::DataLoss(
+        StrFormat("frame checksum mismatch (%08x != %08x) — corrupt stream",
+                  actual_crc, expected_crc));
+  }
+  Reader seq_reader(covered);
+  uint64_t link_seq = 0;
+  PDMS_RETURN_IF_ERROR(seq_reader.ReadVarint(&link_seq));
+  PDMS_ASSIGN_OR_RETURN(Frame frame,
+                        DecodeFrameBody(covered.subspan(
+                            covered.size() - seq_reader.remaining())));
+  last_seq_ = link_seq;
   offset_ += kFrameHeaderBytes + length;
   if (offset_ == buffer_.size()) {
     buffer_.clear();

@@ -33,7 +33,8 @@ namespace pdms {
 // owns their numeric hygiene.
 
 /// Version byte carried by every frame; bumped on incompatible changes.
-inline constexpr uint8_t kWireFormatVersion = 1;
+/// v2: CRC32 frame checksum, per-link sequence numbers, session handshake.
+inline constexpr uint8_t kWireFormatVersion = 2;
 
 /// Sentinel encoding ⊥ (nullopt) in probe trails. Schema attribute images
 /// are dense small ids, so the all-ones pattern is never a real attribute.
@@ -53,24 +54,34 @@ Result<Payload> DecodePayload(MessageKind kind, std::span<const uint8_t> bytes);
 // --- Frame codec ---------------------------------------------------------------
 //
 // Stream framing for the socket transport: every frame is a 4-byte
-// little-endian body length followed by the body, whose first two bytes
-// are `kWireFormatVersion` and the `FrameType`. Data frames carry one
-// routed payload; the remaining types are the node daemons' control plane
-// (session hello, round/discovery barrier marks, client query RPCs).
+// little-endian length, a 4-byte little-endian CRC32 of everything the
+// length covers, a varint link-sequence number, then the body, whose first
+// two bytes are `kWireFormatVersion` and the `FrameType`. The checksum
+// turns any wire corruption into a detected stream error (the connection
+// is dropped and the reliability layer retransmits); the link sequence is
+// the transport's exactly-once delivery cursor — 0 marks session-control
+// frames (hello / link ack) that sit outside the retransmit ring. Data
+// frames carry one routed payload; the remaining types are the node
+// daemons' control plane (session hello, link acks, round/discovery
+// barrier marks, client query RPCs).
 
 /// Upper bound on one frame body; a length prefix beyond this is treated
 /// as a malformed or hostile stream and the connection is dropped.
 inline constexpr size_t kMaxFrameBytes = 1u << 26;  // 64 MiB
 
-/// Bytes of the length prefix preceding every frame body.
-inline constexpr size_t kFrameHeaderBytes = 4;
+/// Bytes preceding every frame's checksummed region: length + CRC32.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `data`.
+uint32_t Crc32(std::span<const uint8_t> data);
 
 enum class FrameType : uint8_t {
   kData = 0,          ///< one Envelope-equivalent routed payload
-  kHello = 1,         ///< connection handshake (shard identity + topology)
+  kHello = 1,         ///< connection handshake (shard identity + session)
   kMark = 2,          ///< per-tick / per-round barrier marker between shards
   kQueryRequest = 3,  ///< client -> node: run a θ-gated query
   kQueryResponse = 4, ///< node -> client: rendered result rows
+  kLinkAck = 5,       ///< receiver -> sender: cumulative delivery ack
 };
 
 /// One routed payload on the wire. `seq` is a per-sender monotonically
@@ -86,11 +97,17 @@ struct DataFrame {
   Payload payload;
 };
 
-/// First frame on every inter-shard connection, in both directions.
+/// First frame on every inter-shard connection. `session_id` identifies
+/// the sending transport's lifetime (a restarted process presents a new
+/// one, telling the receiver to reset its delivery cursor); `next_seq` is
+/// the base of the sender's unacked retransmit ring — everything below it
+/// has been acknowledged and will never be sent again.
 struct HelloFrame {
   uint32_t shard = 0;
   uint32_t shard_count = 0;
   uint64_t peer_count = 0;
+  uint64_t session_id = 0;
+  uint64_t next_seq = 0;
 };
 
 /// Barrier marker: "shard `shard` has finished sending for step `index` of
@@ -123,12 +140,27 @@ struct QueryResponseFrame {
   std::vector<std::string> rows;  ///< rendered result rows
 };
 
+/// Cumulative delivery acknowledgement, sent by the accepting side of a
+/// link: every frame with link sequence < `next_expected` has been
+/// dispatched exactly once and may leave the sender's retransmit ring.
+/// Replied to a hello (completing the handshake) and after dispatch
+/// batches thereafter.
+struct LinkAckFrame {
+  uint32_t shard = 0;          ///< the acking shard
+  uint64_t session_id = 0;     ///< echo of the dialer's session (stale guard)
+  uint64_t next_expected = 0;  ///< receiver's delivery cursor
+};
+
 using Frame = std::variant<DataFrame, HelloFrame, MarkFrame, QueryRequestFrame,
-                           QueryResponseFrame>;
+                           QueryResponseFrame, LinkAckFrame>;
 
 FrameType FrameTypeOf(const Frame& frame);
 
-/// Appends length prefix + body of `frame` to `out`.
+/// Appends length prefix + checksum + link sequence + body of `frame` to
+/// `out`. The two-argument overload stamps sequence 0 (session-control /
+/// client traffic outside any retransmit ring).
+void EncodeFrame(const Frame& frame, uint64_t link_seq,
+                 std::vector<uint8_t>* out);
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
 
 /// Decodes one frame body (the bytes after the length prefix). Strict:
@@ -138,7 +170,8 @@ Result<Frame> DecodeFrameBody(std::span<const uint8_t> body);
 
 /// Incremental stream reassembler: feed raw socket bytes in, pull complete
 /// frames out. A decode error is fatal for the stream (framing can no
-/// longer be trusted) — the caller should drop the connection.
+/// longer be trusted) — the caller should drop the connection; with the
+/// reliability layer above, that turns corruption into a retransmit.
 class FrameAssembler {
  public:
   /// Appends raw bytes received from the stream.
@@ -146,14 +179,19 @@ class FrameAssembler {
 
   /// Returns the next complete frame, std::nullopt when more bytes are
   /// needed, or an error when the stream is malformed (oversized length
-  /// prefix, undecodable body).
+  /// prefix, checksum mismatch, undecodable body).
   Result<std::optional<Frame>> Next();
+
+  /// Link sequence number of the frame the last successful `Next()`
+  /// returned (0 for session-control frames).
+  uint64_t last_seq() const { return last_seq_; }
 
   size_t buffered_bytes() const { return buffer_.size() - offset_; }
 
  private:
   std::vector<uint8_t> buffer_;
   size_t offset_ = 0;
+  uint64_t last_seq_ = 0;
 };
 
 }  // namespace pdms

@@ -1,0 +1,195 @@
+#include "net/fault_injection.h"
+
+#include <utility>
+
+#include "net/codec.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace pdms {
+namespace {
+
+/// Distinct salt per fault dimension so the draws are independent.
+enum FaultSalt : uint64_t {
+  kDropSalt = 0x64726f70u,
+  kDuplicateSalt = 0x64757065u,
+  kReorderSalt = 0x72656f72u,
+  kCorruptSalt = 0x636f7272u,
+  kKillSalt = 0x6b696c6cu,
+  kDelaySalt = 0x64656c61u,
+  kEntropySalt = 0x656e7472u,
+};
+
+uint64_t MixDraw(const FaultPlan& plan, uint64_t stream, uint64_t seq,
+                 uint32_t attempt, uint64_t salt) {
+  uint64_t h = SplitMix64(plan.seed ^ (salt * 0x9e3779b97f4a7c15ull)).Next();
+  h = SplitMix64(h ^ (stream * 0xa24baed4963ee407ull)).Next();
+  h = SplitMix64(h ^ (seq * 0x9fb21c651e98df25ull)).Next();
+  h = SplitMix64(h ^ (static_cast<uint64_t>(attempt) * 0xd6e8feb86659fd93ull))
+          .Next();
+  return h;
+}
+
+bool Bernoulli(const FaultPlan& plan, double rate, uint64_t stream,
+               uint64_t seq, uint32_t attempt, uint64_t salt) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const uint64_t h = MixDraw(plan, stream, seq, attempt, salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+}
+
+}  // namespace
+
+FaultDecision DrawFaults(const FaultPlan& plan, uint64_t stream, uint64_t seq,
+                         uint32_t attempt) {
+  FaultDecision decision;
+  if (!plan.Enabled()) return decision;
+  decision.drop =
+      Bernoulli(plan, plan.drop_rate, stream, seq, attempt, kDropSalt);
+  decision.duplicate = Bernoulli(plan, plan.duplicate_rate, stream, seq,
+                                 attempt, kDuplicateSalt);
+  decision.reorder =
+      Bernoulli(plan, plan.reorder_rate, stream, seq, attempt, kReorderSalt);
+  decision.corrupt =
+      Bernoulli(plan, plan.corrupt_rate, stream, seq, attempt, kCorruptSalt);
+  decision.kill_link =
+      Bernoulli(plan, plan.link_kill_rate, stream, seq, attempt, kKillSalt);
+  if (plan.delay_ticks_max > 0 &&
+      Bernoulli(plan, 0.5, stream, seq, attempt, kDelaySalt)) {
+    decision.delay_ticks =
+        1 + MixDraw(plan, stream, seq, attempt, kDelaySalt ^ kEntropySalt) %
+                plan.delay_ticks_max;
+  }
+  decision.corrupt_entropy = MixDraw(plan, stream, seq, attempt, kEntropySalt);
+  return decision;
+}
+
+// --- FaultInjectingTransport ----------------------------------------------------
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan) {}
+
+FaultInjectingTransport::~FaultInjectingTransport() = default;
+
+void FaultInjectingTransport::ForwardLocked(PeerId from, PeerId to,
+                                            std::optional<EdgeId> via,
+                                            Payload payload) {
+  inner_->Send(from, to, via, std::move(payload));
+}
+
+void FaultInjectingTransport::FlushReorderSlotLocked() {
+  if (!reorder_slot_.has_value()) return;
+  Held held = std::move(*reorder_slot_);
+  reorder_slot_.reset();
+  ForwardLocked(held.from, held.to, held.via, std::move(held.payload));
+}
+
+void FaultInjectingTransport::Send(PeerId from, PeerId to,
+                                   std::optional<EdgeId> via,
+                                   Payload payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!plan_.Enabled()) {
+    ForwardLocked(from, to, via, std::move(payload));
+    return;
+  }
+  const uint64_t seq = event_seq_++;
+  const uint64_t stream = (static_cast<uint64_t>(from) << 32) | to;
+  const FaultDecision decision = DrawFaults(plan_, stream, seq, 0);
+  ++fault_stats_.events;
+
+  if (decision.drop) {
+    ++fault_stats_.dropped;
+    FlushReorderSlotLocked();
+    return;
+  }
+  if (decision.corrupt) {
+    // Round-trip the payload through the exact codec with one bit flipped:
+    // surviving flips reach the engine as plausible-but-wrong messages,
+    // rejected flips model the codec refusing the frame (a drop).
+    const MessageKind kind = KindOf(payload);
+    std::vector<uint8_t> bytes;
+    EncodePayload(payload, &bytes);
+    if (bytes.empty()) {
+      ++fault_stats_.corrupt_rejected;
+      FlushReorderSlotLocked();
+      return;
+    }
+    const uint64_t bit = decision.corrupt_entropy % (bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    Result<Payload> decoded =
+        DecodePayload(kind, std::span<const uint8_t>(bytes));
+    if (!decoded.ok()) {
+      ++fault_stats_.corrupt_rejected;
+      FlushReorderSlotLocked();
+      return;
+    }
+    payload = std::move(decoded).value();
+    ++fault_stats_.corrupted;
+  }
+  if (decision.reorder) {
+    // Hold this envelope back one event: the next send (or the tick
+    // boundary) overtakes it — an adjacent swap in the arrival order.
+    FlushReorderSlotLocked();
+    reorder_slot_ = Held{from, to, via, std::move(payload), 0};
+    ++fault_stats_.reordered;
+    return;
+  }
+  if (decision.delay_ticks > 0) {
+    delayed_.push_back(Held{from, to, via, std::move(payload),
+                            decision.delay_ticks});
+    ++fault_stats_.delayed;
+    FlushReorderSlotLocked();
+    return;
+  }
+  if (decision.duplicate) {
+    Payload copy = payload;
+    ForwardLocked(from, to, via, std::move(payload));
+    ForwardLocked(from, to, via, std::move(copy));
+    ++fault_stats_.duplicated;
+  } else {
+    ForwardLocked(from, to, via, std::move(payload));
+  }
+  FlushReorderSlotLocked();
+}
+
+void FaultInjectingTransport::AdvanceTick() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Everything held must land before the clock moves: a reordered or
+    // delayed envelope is late, never lost.
+    FlushReorderSlotLocked();
+    size_t kept = 0;
+    for (size_t i = 0; i < delayed_.size(); ++i) {
+      if (--delayed_[i].release_in == 0) {
+        Held held = std::move(delayed_[i]);
+        ForwardLocked(held.from, held.to, held.via, std::move(held.payload));
+      } else {
+        if (kept != i) delayed_[kept] = std::move(delayed_[i]);
+        ++kept;
+      }
+    }
+    delayed_.resize(kept);
+  }
+  inner_->AdvanceTick();
+}
+
+bool FaultInjectingTransport::HasPendingMessages() const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (reorder_slot_.has_value() || !delayed_.empty()) return true;
+  }
+  return inner_->HasPendingMessages();
+}
+
+FaultStats FaultInjectingTransport::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_stats_;
+}
+
+void FaultInjectingTransport::set_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+}
+
+}  // namespace pdms

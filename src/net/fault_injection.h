@@ -1,0 +1,159 @@
+#ifndef PDMS_NET_FAULT_INJECTION_H_
+#define PDMS_NET_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/message.h"
+#include "pdms/transport.h"
+
+namespace pdms {
+
+// --- Fault plans ----------------------------------------------------------------
+//
+// One declarative description of how a network should misbehave, shared by
+// the two injection points:
+//  * `FaultInjectingTransport` (below) — an envelope-level decorator over
+//    any `Transport`, for robustness benches and engine tests; injected
+//    faults are *visible* to the engine (a dropped envelope is gone), so
+//    runs measure convergence quality, not bitwise equality.
+//  * `SocketTransportOptions::link_fault_plan` — frame-level injection on
+//    the real TCP links, *below* the retransmission layer; every fault is
+//    masked by recovery, so posteriors stay bitwise-identical to the
+//    fault-free run (the PR's standing invariant under fire).
+//
+// All draws are pure functions of (seed, stream, seq, attempt): re-running
+// the same plan over the same traffic produces the same faults, and a
+// retransmitted frame (attempt+1) gets a fresh draw, so drop_rate < 1
+// always lets a frame through eventually.
+
+struct FaultPlan {
+  uint64_t seed = 0;
+
+  /// Per-event probabilities in [0, 1].
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  double corrupt_rate = 0.0;  ///< flip one bit (socket: always detected by CRC)
+
+  /// Socket links only: probability of severing the TCP connection after
+  /// a write (the reliability layer reconnects and resumes).
+  double link_kill_rate = 0.0;
+
+  /// Envelope decorator only: delayed envelopes are held up to this many
+  /// extra ticks (0 disables delays).
+  uint64_t delay_ticks_max = 0;
+
+  bool Enabled() const {
+    return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
+           corrupt_rate > 0 || link_kill_rate > 0 || delay_ticks_max > 0;
+  }
+};
+
+/// The deterministic verdict for one transmission event. Fields are drawn
+/// independently; consumers decide precedence (e.g. a dropped frame is
+/// never also duplicated).
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  bool corrupt = false;
+  bool kill_link = false;
+  uint64_t delay_ticks = 0;      ///< 0 = none, else in [1, delay_ticks_max]
+  uint64_t corrupt_entropy = 0;  ///< bit-position source for the corruptor
+};
+
+/// Draws the faults for event `seq` of `stream` on transmission `attempt`.
+/// `stream` namespaces independent fault sequences (e.g. one per link);
+/// `attempt` distinguishes retransmissions of the same frame.
+FaultDecision DrawFaults(const FaultPlan& plan, uint64_t stream, uint64_t seq,
+                         uint32_t attempt);
+
+/// Ledger of injected faults, separate from `TransportStats` (which only
+/// see the traffic that survived injection).
+struct FaultStats {
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t corrupted = 0;
+  uint64_t corrupt_rejected = 0;  ///< corruption the codec refused → dropped
+  uint64_t delayed = 0;
+  uint64_t links_killed = 0;
+};
+
+// --- Envelope-level decorator ---------------------------------------------------
+
+/// Wraps any `Transport` and perturbs the envelope stream per a
+/// `FaultPlan`: drops, duplicates, adjacent-swap reorders, delays (held
+/// envelopes re-enter just before the next tick) and bit-corruptions
+/// (payload is encoded, one bit flipped, then strictly re-decoded — a flip
+/// the codec rejects becomes a drop, mirroring how the framed wire treats
+/// corruption).
+///
+/// Determinism: decisions are keyed on a per-instance event counter, so a
+/// serially-driven run (parallelism 1) replays exactly for a given seed.
+/// Under parallel sends the arrival order of events at the decorator is
+/// scheduler-dependent, so use serial rounds when comparing runs.
+///
+/// `stats()` forwards the inner transport's counters; injected faults are
+/// accounted in `fault_stats()` instead (a dropped envelope never reaches
+/// the inner transport at all).
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner, FaultPlan plan);
+  ~FaultInjectingTransport() override;
+
+  std::string_view name() const override { return "fault"; }
+  size_t peer_count() const override { return inner_->peer_count(); }
+  uint64_t now() const override { return inner_->now(); }
+  void AdvanceTick() override;
+  void Send(PeerId from, PeerId to, std::optional<EdgeId> via,
+            Payload payload) override;
+  std::vector<Envelope> Drain(PeerId peer) override {
+    return inner_->Drain(peer);
+  }
+  bool HasPendingMessages() const override;
+  const TransportStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+  Transport& inner() { return *inner_; }
+  const FaultPlan& plan() const { return plan_; }
+  FaultStats fault_stats() const;
+
+  /// Swaps the active plan mid-run. Lets a bench run discovery fault-free
+  /// and then arm faults for the belief rounds alone, mirroring the
+  /// paper's Figure 11 setup (only belief messages are lossy).
+  void set_plan(const FaultPlan& plan);
+
+ private:
+  struct Held {
+    PeerId from = 0;
+    PeerId to = 0;
+    std::optional<EdgeId> via;
+    Payload payload;
+    uint64_t release_in = 0;  ///< ticks until forwarding
+  };
+
+  /// Must hold `mutex_`.
+  void ForwardLocked(PeerId from, PeerId to, std::optional<EdgeId> via,
+                     Payload payload);
+  void FlushReorderSlotLocked();
+
+  std::unique_ptr<Transport> inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mutex_;
+  uint64_t event_seq_ = 0;
+  std::optional<Held> reorder_slot_;
+  std::vector<Held> delayed_;
+  FaultStats fault_stats_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_NET_FAULT_INJECTION_H_

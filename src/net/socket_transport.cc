@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 
 namespace pdms {
@@ -23,47 +24,108 @@ namespace {
 constexpr uint64_t kListenTag = 0;
 constexpr uint64_t kWakeTag = ~0ull;
 
+/// Cap on bytes staged into a link's write buffer per flush pass, so a
+/// large retransmit ring never balloons the buffer.
+constexpr size_t kMaxStagedOutBytes = 1 << 20;
+
 void SetNoDelay(int fd) {
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-Status ParseAddress(const std::string& address, sockaddr_in* out) {
+Status ParsePort(const std::string& address, const std::string& port,
+                 uint16_t* out) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(port.c_str(), &end, 10);
+  if (port.empty() || end == port.c_str() || *end != '\0' || value > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("address '%s' has no valid port", address.c_str()));
+  }
+  *out = static_cast<uint16_t>(value);
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- Address helpers ------------------------------------------------------------
+
+Status ParseSocketAddress(const std::string& address, sockaddr_storage* out,
+                          socklen_t* out_len) {
+  std::memset(out, 0, sizeof(*out));
+  if (!address.empty() && address.front() == '[') {
+    const size_t close = address.find("]:");
+    if (close == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("address '%s' is not [ipv6]:port", address.c_str()));
+    }
+    const std::string host = address.substr(1, close - 1);
+    uint16_t port = 0;
+    PDMS_RETURN_IF_ERROR(ParsePort(address, address.substr(close + 2), &port));
+    auto* v6 = reinterpret_cast<sockaddr_in6*>(out);
+    v6->sin6_family = AF_INET6;
+    if (inet_pton(AF_INET6, host.c_str(), &v6->sin6_addr) != 1) {
+      return Status::InvalidArgument(
+          StrFormat("address '%s' has no valid IPv6 host", address.c_str()));
+    }
+    v6->sin6_port = htons(port);
+    *out_len = sizeof(sockaddr_in6);
+    return Status::Ok();
+  }
   const size_t colon = address.rfind(':');
   if (colon == std::string::npos) {
     return Status::InvalidArgument(
         StrFormat("address '%s' is not ip:port", address.c_str()));
   }
   const std::string host = address.substr(0, colon);
-  const std::string port = address.substr(colon + 1);
-  std::memset(out, 0, sizeof(*out));
-  out->sin_family = AF_INET;
-  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+  if (host.find(':') != std::string::npos) {
+    return Status::InvalidArgument(StrFormat(
+        "address '%s': IPv6 hosts must be bracketed, [host]:port",
+        address.c_str()));
+  }
+  uint16_t port = 0;
+  PDMS_RETURN_IF_ERROR(ParsePort(address, address.substr(colon + 1), &port));
+  auto* v4 = reinterpret_cast<sockaddr_in*>(out);
+  v4->sin_family = AF_INET;
+  if (inet_pton(AF_INET, host.c_str(), &v4->sin_addr) != 1) {
     return Status::InvalidArgument(
         StrFormat("address '%s' has no valid IPv4 host", address.c_str()));
   }
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(port.c_str(), &end, 10);
-  if (end == port.c_str() || *end != '\0' || value > 65535) {
-    return Status::InvalidArgument(
-        StrFormat("address '%s' has no valid port", address.c_str()));
-  }
-  out->sin_port = htons(static_cast<uint16_t>(value));
+  v4->sin_port = htons(port);
+  *out_len = sizeof(sockaddr_in);
   return Status::Ok();
 }
 
-std::string RenderAddress(const sockaddr_in& addr) {
+std::string RenderSocketAddress(const sockaddr_storage& addr) {
+  if (addr.ss_family == AF_INET6) {
+    const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+    char host[INET6_ADDRSTRLEN] = {};
+    inet_ntop(AF_INET6, &v6->sin6_addr, host, sizeof(host));
+    return StrFormat("[%s]:%u", host,
+                     static_cast<unsigned>(ntohs(v6->sin6_port)));
+  }
+  const auto* v4 = reinterpret_cast<const sockaddr_in*>(&addr);
   char host[INET_ADDRSTRLEN] = {};
-  inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host));
-  return StrFormat("%s:%u", host, static_cast<unsigned>(ntohs(addr.sin_port)));
+  inet_ntop(AF_INET, &v4->sin_addr, host, sizeof(host));
+  return StrFormat("%s:%u", host, static_cast<unsigned>(ntohs(v4->sin_port)));
 }
 
-}  // namespace
+uint16_t SocketAddressPort(const sockaddr_storage& addr) {
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  return 0;
+}
 
 // --- Construction --------------------------------------------------------------
 
 SocketTransport::SocketTransport(SocketTransportOptions options)
     : options_(std::move(options)),
+      rx_session_(options_.shard_addresses.size(), 0),
+      rx_next_expected_(options_.shard_addresses.size(), 1),
+      rx_acked_(options_.shard_addresses.size(), 0),
       inboxes_(options_.peer_count),
       send_seq_(new std::atomic<uint64_t>[options_.peer_count]) {
   for (size_t i = 0; i < options_.peer_count; ++i) {
@@ -107,6 +169,13 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Create(
         "socket transport needs delay_ticks >= 1 (same-tick delivery "
         "cannot be flushed through a real wire)");
   }
+  if (options.retransmit_timeout_ms <= 0 ||
+      options.reconnect_backoff_initial_ms <= 0 ||
+      options.reconnect_backoff_max_ms <
+          options.reconnect_backoff_initial_ms) {
+    return Status::InvalidArgument(
+        "retransmit/backoff windows must be positive and ordered");
+  }
   std::unique_ptr<SocketTransport> transport(
       new SocketTransport(std::move(options)));
   PDMS_RETURN_IF_ERROR(transport->Initialize());
@@ -128,18 +197,25 @@ std::unique_ptr<SocketTransport> SocketTransport::CreateLoopback(
 }
 
 Status SocketTransport::Initialize() {
-  sockaddr_in bind_addr{};
-  PDMS_RETURN_IF_ERROR(
-      ParseAddress(options_.shard_addresses[options_.local_shard], &bind_addr));
+  sockaddr_storage bind_addr{};
+  socklen_t bind_len = 0;
+  PDMS_RETURN_IF_ERROR(ParseSocketAddress(
+      options_.shard_addresses[options_.local_shard], &bind_addr, &bind_len));
 
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  listen_fd_ = socket(bind_addr.ss_family, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
     return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
   }
   const int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&bind_addr),
-           sizeof(bind_addr)) < 0) {
+  if (bind_addr.ss_family == AF_INET6) {
+    // Dual-stack: an IPv6 listener also accepts IPv4 dialers (as
+    // v4-mapped addresses).
+    const int off = 0;
+    setsockopt(listen_fd_, IPPROTO_IPV6, IPV6_V6ONLY, &off, sizeof(off));
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&bind_addr), bind_len) <
+      0) {
     return Status::Unavailable(
         StrFormat("bind(%s): %s",
                   options_.shard_addresses[options_.local_shard].c_str(),
@@ -148,11 +224,23 @@ Status SocketTransport::Initialize() {
   if (listen(listen_fd_, 64) < 0) {
     return Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
   }
-  sockaddr_in bound{};
+  sockaddr_storage bound{};
   socklen_t bound_len = sizeof(bound);
   getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  local_address_ = RenderAddress(bound);
+  local_address_ = RenderSocketAddress(bound);
   options_.shard_addresses[options_.local_shard] = local_address_;
+
+  // A fresh session id per transport incarnation: the handshake uses it to
+  // distinguish "same peer reconnecting" (keep the receive cursor) from
+  // "peer restarted" (adopt its announced cursor).
+  static std::atomic<uint64_t> incarnation{0};
+  const uint64_t entropy =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      ((incarnation.fetch_add(1) + 1) * 0x9e3779b97f4a7c15ull) ^
+      reinterpret_cast<uintptr_t>(this);
+  session_id_ = SplitMix64(entropy).Next();
+  if (session_id_ == 0) session_id_ = 1;
 
   epoll_fd_ = epoll_create1(0);
   wake_fd_ = eventfd(0, EFD_NONBLOCK);
@@ -172,6 +260,19 @@ Status SocketTransport::Initialize() {
 }
 
 SocketTransport::~SocketTransport() {
+  // Linger briefly so frames staged just before shutdown — a node's final
+  // round mark, say — survive an in-flight retransmit cycle. Without this a
+  // faulted final frame dies with the process and the peer waits out its
+  // full mark timeout instead of finishing. The loop thread keeps
+  // retransmitting while we wait; peers ack at the transport layer, so the
+  // drain does not depend on anyone consuming the frames upstream.
+  if (!loop_failed_.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.wait_for(lock, std::chrono::milliseconds(2000), [this] {
+      return loop_failed_.load(std::memory_order_acquire) ||
+             unacked_frames_.load(std::memory_order_acquire) == 0;
+    });
+  }
   stop_.store(true, std::memory_order_release);
   WakeLoop();
   if (loop_.joinable()) loop_.join();
@@ -203,15 +304,12 @@ void SocketTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
   frame.seq = send_seq_[from].fetch_add(1, std::memory_order_relaxed);
   frame.payload = std::move(payload);
 
-  std::vector<uint8_t> bytes;
-  EncodeFrame(Frame{std::move(frame)}, &bytes);
-  frame_bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
-  data_frames_sent_.fetch_add(1, std::memory_order_relaxed);
   const uint32_t shard = shard_of(to);
   if (shard == options_.local_shard) {
     loopback_sent_.fetch_add(1, std::memory_order_release);
   }
-  StageOnLink(shard, bytes);
+  data_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  StageFrameOnLink(shard, Frame{std::move(frame)}, /*is_data=*/true);
   WakeLoop();
 }
 
@@ -254,30 +352,55 @@ std::vector<Envelope> SocketTransport::Drain(PeerId peer) {
 }
 
 bool SocketTransport::BarrierSatisfied() const {
-  return bytes_enqueued_.load(std::memory_order_acquire) ==
-             bytes_flushed_.load(std::memory_order_acquire) &&
-         loopback_sent_.load(std::memory_order_acquire) ==
-             loopback_received_.load(std::memory_order_acquire);
+  return loopback_sent_.load(std::memory_order_acquire) ==
+         loopback_received_.load(std::memory_order_acquire);
+}
+
+Status SocketTransport::AdvanceTickWithStatus() {
+  Status result;
+  {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    const bool quiesced = barrier_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.barrier_timeout_ms), [this] {
+          return loop_failed_.load(std::memory_order_acquire) ||
+                 BarrierSatisfied();
+        });
+    if (loop_failed_.load(std::memory_order_acquire)) {
+      result = loop_error();
+    } else if (!quiesced) {
+      result = Status::DeadlineExceeded(StrFormat(
+          "tick barrier: %llu self-addressed frames undelivered after %dms",
+          static_cast<unsigned long long>(
+              loopback_sent_.load(std::memory_order_acquire) -
+              loopback_received_.load(std::memory_order_acquire)),
+          options_.barrier_timeout_ms));
+    }
+  }
+  if (!result.ok()) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (barrier_status_.ok()) barrier_status_ = result;
+  }
+  // The clock advances regardless: a degraded caller may prefer limping on
+  // over deadlock, and the sticky status records what happened.
+  now_.fetch_add(1, std::memory_order_release);
+  return result;
 }
 
 void SocketTransport::AdvanceTick() {
-  std::unique_lock<std::mutex> lock(barrier_mutex_);
-  const bool quiesced = barrier_cv_.wait_for(
-      lock, std::chrono::milliseconds(options_.barrier_timeout_ms), [this] {
-        return loop_failed_.load(std::memory_order_acquire) ||
-               BarrierSatisfied();
-      });
-  if (!quiesced) {
-    PDMS_LOG_WARNING << "socket transport tick barrier timed out after "
-                     << options_.barrier_timeout_ms << "ms ("
-                     << (bytes_enqueued_.load() - bytes_flushed_.load())
-                     << " bytes unflushed)";
+  const Status status = AdvanceTickWithStatus();
+  if (!status.ok()) {
+    PDMS_LOG_WARNING << "socket transport tick: " << status.ToString();
   }
-  now_.fetch_add(1, std::memory_order_release);
+}
+
+Status SocketTransport::barrier_status() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return barrier_status_;
 }
 
 bool SocketTransport::HasPendingMessages() const {
   return inbox_count_.load(std::memory_order_acquire) > 0 ||
+         outstanding_data_.load(std::memory_order_acquire) > 0 ||
          !BarrierSatisfied();
 }
 
@@ -298,8 +421,9 @@ Status SocketTransport::SetShardAddress(uint32_t shard, std::string address) {
     return Status::FailedPrecondition(
         StrFormat("shard %u link already dialing", shard));
   }
-  sockaddr_in parsed{};
-  PDMS_RETURN_IF_ERROR(ParseAddress(address, &parsed));
+  sockaddr_storage parsed{};
+  socklen_t parsed_len = 0;
+  PDMS_RETURN_IF_ERROR(ParseSocketAddress(address, &parsed, &parsed_len));
   std::lock_guard<std::mutex> lock(address_mutex_);
   options_.shard_addresses[shard] = std::move(address);
   return Status::Ok();
@@ -315,7 +439,10 @@ Status SocketTransport::ConnectAll() {
       lock, std::chrono::milliseconds(options_.connect_timeout_ms), [this] {
         if (loop_failed_.load(std::memory_order_acquire)) return true;
         for (const auto& link : links_) {
-          if (!link->connected.load(std::memory_order_acquire)) return false;
+          if (!link->connected.load(std::memory_order_acquire) &&
+              !link->abandoned.load(std::memory_order_acquire)) {
+            return false;
+          }
         }
         return true;
       });
@@ -333,6 +460,23 @@ Status SocketTransport::loop_error() const {
   return error_;
 }
 
+Status SocketTransport::AbandonShard(uint32_t shard) {
+  if (shard >= links_.size()) {
+    return Status::OutOfRange(StrFormat("unknown shard %u", shard));
+  }
+  if (shard == options_.local_shard) {
+    return Status::InvalidArgument("cannot abandon the local shard");
+  }
+  links_[shard]->abandoned.store(true, std::memory_order_release);
+  WakeLoop();
+  return Status::Ok();
+}
+
+bool SocketTransport::IsAbandoned(uint32_t shard) const {
+  return shard < links_.size() &&
+         links_[shard]->abandoned.load(std::memory_order_acquire);
+}
+
 void SocketTransport::SetControlHandler(ControlHandler handler) {
   std::lock_guard<std::mutex> lock(handler_mutex_);
   handler_ = std::move(handler);
@@ -342,10 +486,7 @@ Status SocketTransport::SendControl(uint32_t shard, const Frame& frame) {
   if (shard >= links_.size()) {
     return Status::OutOfRange(StrFormat("unknown shard %u", shard));
   }
-  std::vector<uint8_t> bytes;
-  EncodeFrame(frame, &bytes);
-  frame_bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
-  StageOnLink(shard, bytes);
+  StageFrameOnLink(shard, frame, /*is_data=*/false);
   WakeLoop();
   return Status::Ok();
 }
@@ -355,7 +496,6 @@ Status SocketTransport::SendOnConnection(uint64_t connection,
   std::vector<uint8_t> bytes;
   EncodeFrame(frame, &bytes);
   frame_bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
-  bytes_enqueued_.fetch_add(bytes.size(), std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(control_outbox_mutex_);
     control_outbox_.emplace_back(connection, std::move(bytes));
@@ -364,12 +504,31 @@ Status SocketTransport::SendOnConnection(uint64_t connection,
   return Status::Ok();
 }
 
-void SocketTransport::StageOnLink(uint32_t shard,
-                                  const std::vector<uint8_t>& bytes) {
-  bytes_enqueued_.fetch_add(bytes.size(), std::memory_order_release);
+FaultStats SocketTransport::link_fault_stats() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return link_fault_stats_;
+}
+
+void SocketTransport::StageFrameOnLink(uint32_t shard, const Frame& frame,
+                                       bool is_data) {
   Link& link = *links_[shard];
+  if (link.abandoned.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(link.mutex);
-  link.pending.insert(link.pending.end(), bytes.begin(), bytes.end());
+  TxEntry entry;
+  entry.is_data = is_data;
+  // Sequence assignment and staging share the lock so ring order is
+  // ascending-seq by construction.
+  entry.seq = link.tx_next_seq++;
+  EncodeFrame(frame, entry.seq, &entry.bytes);
+  frame_bytes_sent_.fetch_add(entry.bytes.size(), std::memory_order_relaxed);
+  // Self-link data is excluded: loopback delivery is tracked exactly by the
+  // loopback_sent_/received_ barrier, and waiting for our own acks would
+  // keep HasPendingMessages true after every message was already drained.
+  if (is_data && shard != options_.local_shard) {
+    outstanding_data_.fetch_add(1, std::memory_order_release);
+  }
+  unacked_frames_.fetch_add(1, std::memory_order_release);
+  link.pending.push_back(std::move(entry));
 }
 
 void SocketTransport::WakeLoop() {
@@ -404,6 +563,7 @@ void SocketTransport::LoopMain() {
     for (const auto& link : links_) {
       if (link->fd >= 0 && !link->connect_in_progress) LoopFlushLink(*link);
     }
+    LoopCheckRetransmitTimers();
     const int count = epoll_wait(epoll_fd_, events, 64, 10);
     for (int i = 0; i < count; ++i) {
       const uint64_t tag = events[i].data.u64;
@@ -419,7 +579,7 @@ void SocketTransport::LoopMain() {
       }
       bool handled = false;
       for (const auto& link : links_) {
-        if (link->conn_id == tag) {
+        if (link->conn_id == tag && link->fd >= 0) {
           LoopHandleLinkEvent(*link, events[i].events);
           handled = true;
           break;
@@ -442,45 +602,57 @@ void SocketTransport::LoopStartDials() {
   const auto now_time = std::chrono::steady_clock::now();
   for (size_t shard = 0; shard < links_.size(); ++shard) {
     Link& link = *links_[shard];
+    if (link.abandoned.load(std::memory_order_acquire)) {
+      LoopPurgeAbandoned(link);
+      continue;
+    }
     if (link.fd >= 0) continue;
-    bool wants_dial = link.dial_requested.load(std::memory_order_acquire);
+    bool wants_dial =
+        link.dial_requested.load(std::memory_order_acquire) ||
+        !link.ring.empty();
     if (!wants_dial) {
       std::lock_guard<std::mutex> lock(link.mutex);
       wants_dial = !link.pending.empty();
     }
     if (!wants_dial || now_time < link.next_attempt) continue;
 
-    if (!link.dial_deadline_set) {
-      link.dial_deadline =
-          now_time + std::chrono::milliseconds(options_.connect_timeout_ms);
-      link.dial_deadline_set = true;
-    } else if (now_time > link.dial_deadline) {
-      FailLoop(Status::Unavailable(
-          StrFormat("shard %zu unreachable after %dms", shard,
-                    options_.connect_timeout_ms)));
-      return;
+    // Only the *first* connection is deadline-bound: a shard that was
+    // reachable once is assumed to be restarting, and the link retries
+    // with backoff until it returns (or is abandoned).
+    if (!link.ever_connected) {
+      if (!link.dial_deadline_set) {
+        link.dial_deadline =
+            now_time + std::chrono::milliseconds(options_.connect_timeout_ms);
+        link.dial_deadline_set = true;
+      } else if (now_time > link.dial_deadline) {
+        FailLoop(Status::Unavailable(
+            StrFormat("shard %zu unreachable after %dms", shard,
+                      options_.connect_timeout_ms)));
+        return;
+      }
     }
 
-    sockaddr_in addr{};
+    sockaddr_storage addr{};
+    socklen_t addr_len = 0;
     {
       std::lock_guard<std::mutex> lock(address_mutex_);
       const std::string& target =
           shard == options_.local_shard ? local_address_
                                         : options_.shard_addresses[shard];
-      const Status parsed = ParseAddress(target, &addr);
-      if (!parsed.ok() || addr.sin_port == 0) {
+      const Status parsed = ParseSocketAddress(target, &addr, &addr_len);
+      if (!parsed.ok() || SocketAddressPort(addr) == 0) {
         // Address not yet announced (ephemeral remote): retry shortly.
         link.next_attempt = now_time + std::chrono::milliseconds(50);
         continue;
       }
     }
-    const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    const int fd = socket(addr.ss_family, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (fd < 0) {
       link.next_attempt = now_time + std::chrono::milliseconds(100);
       continue;
     }
     const int rc =
-        connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+        connect(fd, reinterpret_cast<sockaddr*>(&addr), addr_len);
     if (rc == 0 || errno == EINPROGRESS) {
       link.fd = fd;
       link.connect_in_progress = true;
@@ -495,16 +667,212 @@ void SocketTransport::LoopStartDials() {
   }
 }
 
-void SocketTransport::CloseLink(Link& link) {
+void SocketTransport::LoopCheckRetransmitTimers() {
+  const auto now_time = std::chrono::steady_clock::now();
+  for (const auto& link_ptr : links_) {
+    Link& link = *link_ptr;
+    if (link.fd < 0 || link.connect_in_progress) continue;
+    if (!link.awaiting_ack && link.ring.empty()) continue;
+    if (now_time > link.progress_deadline) {
+      LoopScheduleReconnect(link, "no ack progress");
+    }
+  }
+}
+
+void SocketTransport::LoopPurgeAbandoned(Link& link) {
+  uint64_t data_dropped = 0;
+  uint64_t total_dropped = 0;
+  const bool counted = link.shard != options_.local_shard;
   if (link.fd >= 0) {
     epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr);
     close(link.fd);
+    link.fd = -1;
   }
-  link.fd = -1;
   link.connect_in_progress = false;
+  link.awaiting_ack = false;
+  link.kill_after_flush = false;
   link.connected.store(false, std::memory_order_release);
-  link.next_attempt =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+  for (const TxEntry& entry : link.ring) {
+    if (entry.is_data && counted) ++data_dropped;
+    ++total_dropped;
+  }
+  link.ring.clear();
+  link.out.clear();
+  link.out_offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(link.mutex);
+    for (const TxEntry& entry : link.pending) {
+      if (entry.is_data && counted) ++data_dropped;
+      ++total_dropped;
+    }
+    link.pending.clear();
+  }
+  if (data_dropped > 0) {
+    outstanding_data_.fetch_sub(data_dropped, std::memory_order_release);
+  }
+  if (total_dropped > 0) {
+    unacked_frames_.fetch_sub(total_dropped, std::memory_order_release);
+  }
+  if (data_dropped > 0 || total_dropped > 0) {
+    NotifyBarrier();
+  }
+}
+
+void SocketTransport::LoopScheduleReconnect(Link& link, const char* reason) {
+  if (link.fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr);
+    close(link.fd);
+    link.fd = -1;
+  }
+  link.connect_in_progress = false;
+  link.awaiting_ack = false;
+  link.kill_after_flush = false;
+  link.connected.store(false, std::memory_order_release);
+  link.out.clear();
+  link.out_offset = 0;
+  link.assembler = FrameAssembler();
+  // Rewind to the ring base: everything unacked goes out again after the
+  // next handshake; the receiver's cursor discards what it already has.
+  if (!link.ring.empty()) link.cursor_seq = link.ring.front().seq;
+
+  link.backoff_ms =
+      link.backoff_ms == 0
+          ? options_.reconnect_backoff_initial_ms
+          : std::min(link.backoff_ms * 2, options_.reconnect_backoff_max_ms);
+  // Deterministic jitter (up to +50%) de-synchronizes competing redials.
+  const uint64_t draw =
+      SplitMix64(session_id_ ^
+                 (static_cast<uint64_t>(link.shard) * 0xa24baed4963ee407ull) ^
+                 (++link.redials * 0x9fb21c651e98df25ull))
+          .Next();
+  const int jitter =
+      link.backoff_ms > 1 ? static_cast<int>(draw % (link.backoff_ms / 2 + 1))
+                          : 0;
+  link.next_attempt = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(link.backoff_ms + jitter);
+  if (link.ever_connected) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    PDMS_LOG_WARNING << "shard " << link.shard << " link down (" << reason
+                     << "); redialing in " << link.backoff_ms << "ms";
+  }
+  NotifyBarrier();
+}
+
+void SocketTransport::LoopFlushLink(Link& link) {
+  // Adopt staged frames into the retransmit ring (ascending seq).
+  {
+    std::lock_guard<std::mutex> lock(link.mutex);
+    if (!link.pending.empty()) {
+      if (link.ring.empty()) link.cursor_seq = link.pending.front().seq;
+      for (TxEntry& entry : link.pending) {
+        link.ring.push_back(std::move(entry));
+      }
+      link.pending.clear();
+    }
+  }
+  if (link.fd < 0 || link.connect_in_progress) return;
+  if (!link.awaiting_ack) LoopPullRingIntoOut(link);
+  while (link.out_offset < link.out.size()) {
+    const ssize_t n =
+        ::send(link.fd, link.out.data() + link.out_offset,
+               link.out.size() - link.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      link.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    LoopScheduleReconnect(link, std::strerror(errno));
+    return;
+  }
+  const bool backlogged = link.out_offset < link.out.size();
+  if (!backlogged) {
+    link.out.clear();
+    link.out_offset = 0;
+    if (link.kill_after_flush) {
+      link.kill_after_flush = false;
+      LoopScheduleReconnect(link, "injected link kill");
+      return;
+    }
+  }
+  epoll_event event{};
+  event.events = EPOLLIN | (backlogged ? EPOLLOUT : 0u);
+  event.data.u64 = link.conn_id;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, link.fd, &event);
+}
+
+void SocketTransport::LoopPullRingIntoOut(Link& link) {
+  if (link.ring.empty()) return;
+  const FaultPlan& plan = options_.link_fault_plan;
+  const uint64_t stream =
+      (static_cast<uint64_t>(options_.local_shard) << 32) | link.shard;
+  bool advanced = false;
+  auto append = [&link](const std::vector<uint8_t>& bytes) {
+    link.out.insert(link.out.end(), bytes.begin(), bytes.end());
+  };
+  while (link.cursor_seq <= link.ring.back().seq &&
+         link.out.size() < kMaxStagedOutBytes) {
+    TxEntry& entry = link.ring[link.cursor_seq - link.ring.front().seq];
+    const uint32_t attempt = entry.tries++;
+    if (attempt > 0) {
+      frames_retransmitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    advanced = true;
+    if (plan.Enabled()) {
+      const FaultDecision decision =
+          DrawFaults(plan, stream, entry.seq, attempt);
+      std::lock_guard<std::mutex> lock(fault_mutex_);
+      ++link_fault_stats_.events;
+      if (decision.kill_link) {
+        link.kill_after_flush = true;
+        ++link_fault_stats_.links_killed;
+      }
+      if (decision.reorder && link.cursor_seq < link.ring.back().seq) {
+        // Adjacent swap: the next frame overtakes this one on the wire;
+        // the receiver sees a gap, drops the early frame and recovers
+        // both by retransmission.
+        TxEntry& next =
+            link.ring[link.cursor_seq + 1 - link.ring.front().seq];
+        ++next.tries;
+        append(next.bytes);
+        append(entry.bytes);
+        ++link_fault_stats_.reordered;
+        link.cursor_seq += 2;
+        continue;
+      }
+      if (decision.drop) {
+        ++link_fault_stats_.dropped;
+        link.cursor_seq += 1;
+        continue;
+      }
+      if (decision.corrupt) {
+        // Flip one bit past the length prefix: framing survives, the CRC
+        // (or the seq/body it covers) is provably violated, and the
+        // receiver turns the frame into a reconnect + retransmit.
+        std::vector<uint8_t> mangled = entry.bytes;
+        const uint64_t bit =
+            32 + decision.corrupt_entropy % ((mangled.size() - 4) * 8);
+        mangled[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        append(mangled);
+        ++link_fault_stats_.corrupted;
+        link.cursor_seq += 1;
+        continue;
+      }
+      if (decision.duplicate) {
+        append(entry.bytes);
+        append(entry.bytes);
+        ++link_fault_stats_.duplicated;
+        link.cursor_seq += 1;
+        continue;
+      }
+    }
+    append(entry.bytes);
+    link.cursor_seq += 1;
+  }
+  if (advanced) {
+    link.progress_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.retransmit_timeout_ms);
+  }
 }
 
 void SocketTransport::LoopHandleLinkEvent(Link& link, uint32_t events) {
@@ -513,30 +881,34 @@ void SocketTransport::LoopHandleLinkEvent(Link& link, uint32_t events) {
     socklen_t len = sizeof(error);
     getsockopt(link.fd, SOL_SOCKET, SO_ERROR, &error, &len);
     if (error != 0 || (events & (EPOLLERR | EPOLLHUP))) {
-      CloseLink(link);
+      LoopScheduleReconnect(link, "connect failed");
       return;
     }
     link.connect_in_progress = false;
     SetNoDelay(link.fd);
-    // Hello travels first on every link; nothing has been written yet, so
-    // prepending is safe.
-    std::vector<uint8_t> hello;
-    EncodeFrame(Frame{HelloFrame{options_.local_shard, shard_count(),
-                                 options_.peer_count}},
-                &hello);
-    bytes_enqueued_.fetch_add(hello.size(), std::memory_order_release);
-    frame_bytes_sent_.fetch_add(hello.size(), std::memory_order_relaxed);
-    link.out.insert(link.out.begin(), hello.begin(), hello.end());
-    link.connected.store(true, std::memory_order_release);
+    // Handshake: announce our session and where the retransmit ring
+    // resumes. The link is usable once the peer's ack arrives.
+    HelloFrame hello;
+    hello.shard = options_.local_shard;
+    hello.shard_count = shard_count();
+    hello.peer_count = options_.peer_count;
+    hello.session_id = session_id_;
+    hello.next_seq =
+        link.ring.empty() ? link.cursor_seq : link.ring.front().seq;
+    std::vector<uint8_t> bytes;
+    EncodeFrame(Frame{hello}, /*link_seq=*/0, &bytes);
+    frame_bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    link.out.assign(bytes.begin(), bytes.end());
+    link.out_offset = 0;
+    link.awaiting_ack = true;
+    link.progress_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.retransmit_timeout_ms);
     LoopFlushLink(link);
-    NotifyBarrier();
     return;
   }
   if (events & (EPOLLERR | EPOLLHUP)) {
-    if (!stop_.load(std::memory_order_acquire)) {
-      FailLoop(Status::Unavailable("shard link reset"));
-    }
-    CloseLink(link);
+    LoopScheduleReconnect(link, "link reset");
     return;
   }
   if (events & EPOLLIN) {
@@ -548,58 +920,69 @@ void SocketTransport::LoopHandleLinkEvent(Link& link, uint32_t events) {
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      if (!stop_.load(std::memory_order_acquire)) {
-        FailLoop(Status::Unavailable("shard link closed"));
-      }
-      CloseLink(link);
+      LoopScheduleReconnect(link, "link closed");
       return;
     }
-    // Frames arriving on our outbound link come from the shard we dialed.
-    uint32_t remote = link.shard;
-    if (!LoopDispatchFrames(link.assembler, link.conn_id, &remote)) {
-      FailLoop(Status::InvalidArgument("malformed frame on shard link"));
-      CloseLink(link);
-      return;
+    // The dialer side of a link only ever receives acks.
+    for (;;) {
+      auto next = link.assembler.Next();
+      if (!next.ok()) {
+        LoopScheduleReconnect(link, "corrupt ack stream");
+        return;
+      }
+      if (!next->has_value()) break;
+      if (const auto* ack = std::get_if<LinkAckFrame>(&**next)) {
+        LoopHandleAck(link, *ack);
+        if (link.fd < 0) return;  // reconnect scheduled mid-parse
+      }
     }
   }
   if (events & EPOLLOUT) LoopFlushLink(link);
 }
 
-void SocketTransport::LoopFlushLink(Link& link) {
-  {
-    std::lock_guard<std::mutex> lock(link.mutex);
-    if (!link.pending.empty()) {
-      link.out.insert(link.out.end(), link.pending.begin(),
-                      link.pending.end());
-      link.pending.clear();
-    }
-  }
-  if (!link.connected.load(std::memory_order_relaxed)) return;
-  bool wrote = false;
-  while (link.out_offset < link.out.size()) {
-    const ssize_t n =
-        ::send(link.fd, link.out.data() + link.out_offset,
-               link.out.size() - link.out_offset, MSG_NOSIGNAL);
-    if (n > 0) {
-      link.out_offset += static_cast<size_t>(n);
-      bytes_flushed_.fetch_add(static_cast<uint64_t>(n),
-                               std::memory_order_release);
-      wrote = true;
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (!stop_.load(std::memory_order_acquire)) {
-      FailLoop(Status::Unavailable(
-          StrFormat("shard link write: %s", std::strerror(errno))));
-    }
-    CloseLink(link);
+void SocketTransport::LoopHandleAck(Link& link, const LinkAckFrame& ack) {
+  if (ack.session_id != session_id_) return;  // stale incarnation
+  const uint64_t base =
+      link.ring.empty() ? link.cursor_seq : link.ring.front().seq;
+  const uint64_t upper = base + link.ring.size();
+  if (ack.next_expected < base || ack.next_expected > upper) {
+    LoopScheduleReconnect(link, "implausible ack");
     return;
   }
-  if (link.out_offset == link.out.size()) {
-    link.out.clear();
-    link.out_offset = 0;
+  uint64_t trimmed_data = 0;
+  uint64_t trimmed_total = 0;
+  bool progressed = ack.next_expected > base;
+  while (!link.ring.empty() && link.ring.front().seq < ack.next_expected) {
+    if (link.ring.front().is_data && link.shard != options_.local_shard) {
+      ++trimmed_data;
+    }
+    ++trimmed_total;
+    link.ring.pop_front();
   }
-  if (wrote) NotifyBarrier();
+  if (link.cursor_seq < ack.next_expected) {
+    link.cursor_seq = ack.next_expected;
+  }
+  if (link.awaiting_ack) {
+    // Handshake complete; the peer told us where to resume.
+    link.awaiting_ack = false;
+    link.ever_connected = true;
+    link.backoff_ms = 0;
+    link.connected.store(true, std::memory_order_release);
+    progressed = true;
+  }
+  if (progressed) {
+    link.progress_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.retransmit_timeout_ms);
+  }
+  if (trimmed_data > 0) {
+    outstanding_data_.fetch_sub(trimmed_data, std::memory_order_release);
+  }
+  if (trimmed_total > 0) {
+    unacked_frames_.fetch_sub(trimmed_total, std::memory_order_release);
+  }
+  NotifyBarrier();
+  LoopFlushLink(link);
 }
 
 void SocketTransport::LoopHandleListen() {
@@ -619,7 +1002,139 @@ void SocketTransport::LoopHandleListen() {
   }
 }
 
-void SocketTransport::LoopHandleConnectionEvent(size_t index, uint32_t events) {
+void SocketTransport::LoopHandleHello(Connection& connection,
+                                      const HelloFrame& hello) {
+  if (hello.peer_count != options_.peer_count ||
+      hello.shard_count != shard_count()) {
+    PDMS_LOG_WARNING << "hello topology mismatch: remote has "
+                     << hello.peer_count << " peers across "
+                     << hello.shard_count << " shards";
+  }
+  if (hello.shard >= shard_count()) return;  // client connection
+  connection.remote_shard = hello.shard;
+  connection.greeted = true;
+  const uint32_t shard = hello.shard;
+  if (rx_session_[shard] != hello.session_id) {
+    // A new peer incarnation: adopt its announced cursor. (A reconnect of
+    // the same session keeps ours — that is what makes redelivery of
+    // already-accepted frames a skip instead of a double-apply.)
+    rx_session_[shard] = hello.session_id;
+    rx_next_expected_[shard] = hello.next_seq;
+  } else if (hello.next_seq > rx_next_expected_[shard]) {
+    rx_next_expected_[shard] = hello.next_seq;
+  }
+  rx_acked_[shard] = 0;  // force a fresh ack on this connection
+  LoopStageAck(connection);
+}
+
+void SocketTransport::LoopStageAck(Connection& connection) {
+  if (!connection.greeted) return;
+  const uint32_t shard = connection.remote_shard;
+  if (rx_acked_[shard] == rx_next_expected_[shard]) return;
+  LinkAckFrame ack;
+  ack.shard = options_.local_shard;
+  ack.session_id = rx_session_[shard];
+  ack.next_expected = rx_next_expected_[shard];
+  std::vector<uint8_t> bytes;
+  EncodeFrame(Frame{ack}, /*link_seq=*/0, &bytes);
+  frame_bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  connection.out.insert(connection.out.end(), bytes.begin(), bytes.end());
+  rx_acked_[shard] = rx_next_expected_[shard];
+}
+
+bool SocketTransport::LoopDispatchSequenced(Connection& connection,
+                                            Frame frame, uint64_t seq) {
+  const uint32_t shard = connection.remote_shard;
+  uint64_t& expected = rx_next_expected_[shard];
+  if (seq < expected) {
+    // Redelivery of an already-accepted frame (duplicate or retransmit
+    // overlap): skip, the periodic ack re-educates the sender.
+    duplicate_frames_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (seq > expected) {
+    PDMS_LOG_WARNING << "sequence gap from shard " << shard << " (got " << seq
+                     << ", expected " << expected
+                     << "); dropping connection for retransmit";
+    return false;
+  }
+  expected = seq + 1;
+  if (shard < links_.size() &&
+      links_[shard]->abandoned.load(std::memory_order_acquire)) {
+    // Quarantined shard: keep acking so its transport does not spin on
+    // retransmits, but deliver nothing.
+    return true;
+  }
+  if (auto* data = std::get_if<DataFrame>(&frame)) {
+    LoopDeliverData(std::move(*data), shard);
+    return true;
+  }
+  if (std::holds_alternative<LinkAckFrame>(frame) ||
+      std::holds_alternative<HelloFrame>(frame)) {
+    return true;  // session frames are never sequenced; ignore defensively
+  }
+  // Invoked under the lock so SetControlHandler(nullptr) doubles as a
+  // barrier: once it returns, no invocation is in flight and the owner's
+  // state (condition variables included) is safe to destroy.
+  std::lock_guard<std::mutex> lock(handler_mutex_);
+  if (handler_) handler_(std::move(frame), connection.conn_id, shard);
+  return true;
+}
+
+void SocketTransport::LoopDeliverData(DataFrame data, uint32_t remote_shard) {
+  if (data.to >= options_.peer_count || !IsLocalPeer(data.to)) {
+    PDMS_LOG_WARNING << "dropping data frame for non-local peer " << data.to;
+    return;
+  }
+  Received received;
+  received.deliver_at = data.deliver_at;
+  received.from = data.from;
+  received.seq = data.seq;
+  received.envelope.from = data.from;
+  received.envelope.to = data.to;
+  received.envelope.via = data.via;
+  received.envelope.deliver_at = data.deliver_at;
+  received.envelope.payload = std::move(data.payload);
+  {
+    Inbox& inbox = inboxes_[data.to];
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.queue.push_back(std::move(received));
+  }
+  inbox_count_.fetch_add(1, std::memory_order_release);
+  if (remote_shard == options_.local_shard) {
+    loopback_received_.fetch_add(1, std::memory_order_release);
+  }
+  NotifyBarrier();
+}
+
+void SocketTransport::LoopFlushConnection(Connection& connection,
+                                          bool* close_connection) {
+  while (connection.out_offset < connection.out.size()) {
+    const ssize_t n = ::send(connection.fd,
+                             connection.out.data() + connection.out_offset,
+                             connection.out.size() - connection.out_offset,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    *close_connection = true;
+    return;
+  }
+  const bool backlogged = connection.out_offset < connection.out.size();
+  if (!backlogged) {
+    connection.out.clear();
+    connection.out_offset = 0;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN | (backlogged ? EPOLLOUT : 0u);
+  event.data.u64 = connection.conn_id;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, connection.fd, &event);
+}
+
+void SocketTransport::LoopHandleConnectionEvent(size_t index,
+                                                uint32_t events) {
   Connection& connection = *connections_[index];
   bool close_connection = false;
   if (events & (EPOLLERR | EPOLLHUP)) {
@@ -636,44 +1151,61 @@ void SocketTransport::LoopHandleConnectionEvent(size_t index, uint32_t events) {
       close_connection = true;  // orderly close or error
       break;
     }
-    if (!LoopDispatchFrames(connection.assembler, connection.conn_id,
-                            &connection.remote_shard)) {
-      PDMS_LOG_WARNING << "dropping connection with malformed frames";
-      close_connection = true;
-    }
-  }
-  if (!close_connection && (events & EPOLLOUT)) {
-    while (connection.out_offset < connection.out.size()) {
-      const ssize_t n = ::send(connection.fd,
-                               connection.out.data() + connection.out_offset,
-                               connection.out.size() - connection.out_offset,
-                               MSG_NOSIGNAL);
-      if (n > 0) {
-        connection.out_offset += static_cast<size_t>(n);
-        bytes_flushed_.fetch_add(static_cast<uint64_t>(n),
-                                 std::memory_order_release);
+    for (;;) {
+      auto next = connection.assembler.Next();
+      if (!next.ok()) {
+        // Corrupt or malformed stream: drop the connection. A shard link
+        // behind it will reconnect and retransmit; a client just failed.
+        PDMS_LOG_WARNING << "closing connection: "
+                         << next.status().ToString();
+        close_connection = true;
+        break;
+      }
+      if (!next->has_value()) break;
+      Frame frame = std::move(**next);
+      const uint64_t seq = connection.assembler.last_seq();
+      if (const auto* hello = std::get_if<HelloFrame>(&frame)) {
+        LoopHandleHello(connection, *hello);
         continue;
       }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      close_connection = true;
-      break;
+      if (seq == 0) {
+        // Session-control lane: query RPCs from clients (and, on shard
+        // links, nothing else we care about).
+        if (std::holds_alternative<DataFrame>(frame) ||
+            std::holds_alternative<LinkAckFrame>(frame)) {
+          continue;
+        }
+        ControlHandler handler;
+        {
+          std::lock_guard<std::mutex> lock(handler_mutex_);
+          handler = handler_;
+        }
+        if (handler) {
+          handler(std::move(frame), connection.conn_id,
+                  connection.greeted ? connection.remote_shard
+                                     : shard_count());
+        }
+        continue;
+      }
+      if (!connection.greeted) {
+        PDMS_LOG_WARNING << "sequenced frame before hello; dropping "
+                            "connection";
+        close_connection = true;
+        break;
+      }
+      if (!LoopDispatchSequenced(connection, std::move(frame), seq)) {
+        close_connection = true;
+        break;
+      }
     }
-    if (connection.out_offset == connection.out.size()) {
-      connection.out.clear();
-      connection.out_offset = 0;
-      epoll_event event{};
-      event.events = EPOLLIN;
-      event.data.u64 = connection.conn_id;
-      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, connection.fd, &event);
-    }
-    NotifyBarrier();
+    if (!close_connection) LoopStageAck(connection);
+  }
+  if (!close_connection &&
+      ((events & EPOLLOUT) != 0 ||
+       connection.out_offset < connection.out.size())) {
+    LoopFlushConnection(connection, &close_connection);
   }
   if (close_connection) {
-    // Unflushed reply bytes will never be written; keep the barrier sane.
-    const size_t unwritten = connection.out.size() - connection.out_offset;
-    if (unwritten > 0) {
-      bytes_flushed_.fetch_add(unwritten, std::memory_order_release);
-    }
     epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, connection.fd, nullptr);
     close(connection.fd);
     connections_.erase(connections_.begin() + static_cast<long>(index));
@@ -695,83 +1227,13 @@ void SocketTransport::LoopDrainControlOutbox() {
         break;
       }
     }
-    if (target == nullptr) {
-      // Recipient hung up; balance the barrier accounting.
-      bytes_flushed_.fetch_add(bytes.size(), std::memory_order_release);
-      continue;
-    }
-    const bool was_empty = target->out.empty();
+    if (target == nullptr) continue;  // recipient hung up; best-effort lane
     target->out.insert(target->out.end(), bytes.begin(), bytes.end());
-    if (was_empty) {
-      epoll_event event{};
-      event.events = EPOLLIN | EPOLLOUT;
-      event.data.u64 = target->conn_id;
-      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, target->fd, &event);
-    }
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLOUT;
+    event.data.u64 = target->conn_id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, target->fd, &event);
   }
-}
-
-bool SocketTransport::LoopDispatchFrames(FrameAssembler& assembler,
-                                         uint64_t conn_id,
-                                         uint32_t* remote_shard) {
-  for (;;) {
-    auto next = assembler.Next();
-    if (!next.ok()) {
-      PDMS_LOG_WARNING << "frame decode: " << next.status().ToString();
-      return false;
-    }
-    if (!next->has_value()) return true;
-    LoopDispatchFrame(std::move(**next), conn_id, remote_shard);
-  }
-}
-
-void SocketTransport::LoopDispatchFrame(Frame frame, uint64_t conn_id,
-                                        uint32_t* remote_shard) {
-  if (const auto* hello = std::get_if<HelloFrame>(&frame)) {
-    // The hello is the first frame on every link: it tags the connection
-    // with the dialing shard before any data frame on it is dispatched,
-    // which is what keeps the loopback barrier accounting exact.
-    if (hello->peer_count != options_.peer_count ||
-        hello->shard_count != shard_count()) {
-      PDMS_LOG_WARNING << "hello topology mismatch: remote has "
-                       << hello->peer_count << " peers across "
-                       << hello->shard_count << " shards";
-    }
-    if (hello->shard < shard_count()) *remote_shard = hello->shard;
-  }
-  if (auto* data = std::get_if<DataFrame>(&frame)) {
-    if (data->to >= options_.peer_count || !IsLocalPeer(data->to)) {
-      PDMS_LOG_WARNING << "dropping data frame for non-local peer "
-                       << data->to;
-      return;
-    }
-    Received received;
-    received.deliver_at = data->deliver_at;
-    received.from = data->from;
-    received.seq = data->seq;
-    received.envelope.from = data->from;
-    received.envelope.to = data->to;
-    received.envelope.via = data->via;
-    received.envelope.deliver_at = data->deliver_at;
-    received.envelope.payload = std::move(data->payload);
-    {
-      Inbox& inbox = inboxes_[data->to];
-      std::lock_guard<std::mutex> lock(inbox.mutex);
-      inbox.queue.push_back(std::move(received));
-    }
-    inbox_count_.fetch_add(1, std::memory_order_release);
-    if (*remote_shard == options_.local_shard) {
-      loopback_received_.fetch_add(1, std::memory_order_release);
-    }
-    NotifyBarrier();
-    return;
-  }
-  ControlHandler handler;
-  {
-    std::lock_guard<std::mutex> lock(handler_mutex_);
-    handler = handler_;
-  }
-  if (handler) handler(std::move(frame), conn_id);
 }
 
 }  // namespace pdms

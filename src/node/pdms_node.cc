@@ -22,10 +22,19 @@ namespace pdms {
 PdmsNode::PdmsNode(Pdms pdms, SocketTransport* transport, NodeOptions options)
     : pdms_(std::move(pdms)),
       transport_(transport),
-      options_(options),
-      snapshot_(std::make_shared<const Snapshot>()) {}
+      options_(std::move(options)),
+      snapshot_(std::make_shared<const Snapshot>()),
+      active_(transport->shard_count(), true),
+      last_heard_(transport->shard_count(), std::chrono::steady_clock::now()) {
+}
 
 PdmsNode::~PdmsNode() {
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    heartbeat_stop_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
   // The event loop invokes the control handler; detach it before members
   // (snapshot, queues) start going away.
   if (transport_ != nullptr) transport_->SetControlHandler(nullptr);
@@ -57,11 +66,15 @@ Result<std::unique_ptr<PdmsNode>> PdmsNode::Create(Pdms pdms,
       pdms.engine().RestrictToLocalPeers(std::move(is_local)));
 
   std::unique_ptr<PdmsNode> node(
-      new PdmsNode(std::move(pdms), transport, options));
+      new PdmsNode(std::move(pdms), transport, std::move(options)));
   transport->SetControlHandler(
-      [raw = node.get()](Frame frame, uint64_t connection) {
-        raw->HandleControlFrame(std::move(frame), connection);
+      [raw = node.get()](Frame frame, uint64_t connection,
+                         uint32_t remote_shard) {
+        raw->HandleControlFrame(std::move(frame), connection, remote_shard);
       });
+  if (node->options_.heartbeat_interval_ms > 0) {
+    node->heartbeat_ = std::thread([raw = node.get()] { raw->HeartbeatMain(); });
+  }
   return node;
 }
 
@@ -77,45 +90,124 @@ void PdmsNode::BroadcastMark(const MarkFrame& mark) {
 
 Result<std::vector<MarkFrame>> PdmsNode::AwaitMarks(uint32_t phase,
                                                     uint64_t index) {
-  const size_t expected = transport_->shard_count() - 1;
-  std::vector<MarkFrame> collected;
-  if (expected == 0) return collected;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.mark_timeout_ms);
   std::unique_lock<std::mutex> lock(control_mutex_);
-  const bool arrived = control_cv_.wait_for(
-      lock, std::chrono::milliseconds(options_.mark_timeout_ms), [&] {
-        if (!transport_->loop_error().ok()) return true;
-        size_t matching = 0;
-        for (const MarkFrame& mark : marks_) {
-          if (mark.phase == phase && mark.index == index) ++matching;
+  for (;;) {
+    PDMS_RETURN_IF_ERROR(transport_->loop_error());
+    // The barrier is a distinct count over *live* shards: AdmitMarkLocked
+    // authenticated every queued mark against the link it arrived on and
+    // already rejected duplicates, and quarantine may shrink `expected`
+    // while we wait.
+    size_t expected = 0;
+    for (uint32_t shard = 0; shard < transport_->shard_count(); ++shard) {
+      if (shard != transport_->local_shard() && active_[shard]) ++expected;
+    }
+    std::vector<bool> seen(transport_->shard_count(), false);
+    size_t have = 0;
+    for (const MarkFrame& mark : marks_) {
+      if (mark.phase == phase && mark.index == index && active_[mark.shard] &&
+          !seen[mark.shard]) {
+        seen[mark.shard] = true;
+        ++have;
+      }
+    }
+    if (have >= expected) break;
+
+    if (options_.quarantine_after_ms > 0) {
+      // A shard whose mark is missing and from which nothing — mark or
+      // heartbeat — has been heard past the deadline is dead, not slow.
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<uint32_t> dead;
+      for (uint32_t shard = 0; shard < transport_->shard_count(); ++shard) {
+        if (shard == transport_->local_shard() || !active_[shard] ||
+            seen[shard]) {
+          continue;
         }
-        return matching >= expected;
-      });
-  PDMS_RETURN_IF_ERROR(transport_->loop_error());
-  if (!arrived) {
-    return Status::Unavailable(
-        StrFormat("no marks for step %llu after %dms — peer shard gone?",
-                  static_cast<unsigned long long>(index),
-                  options_.mark_timeout_ms));
+        if (now - last_heard_[shard] >
+            std::chrono::milliseconds(options_.quarantine_after_ms)) {
+          dead.push_back(shard);
+        }
+      }
+      if (!dead.empty()) {
+        for (uint32_t shard : dead) {
+          active_[shard] = false;
+          // Whatever it queued will never be awaited again.
+          marks_.erase(std::remove_if(marks_.begin(), marks_.end(),
+                                      [shard](const MarkFrame& m) {
+                                        return m.shard == shard;
+                                      }),
+                       marks_.end());
+        }
+        // QuarantineShard takes the engine's locks and the transport's;
+        // never hold control_mutex_ across it.
+        lock.unlock();
+        for (uint32_t shard : dead) QuarantineShard(shard);
+        lock.lock();
+        continue;
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable(
+          StrFormat("no marks for step %llu after %dms — peer shard gone?",
+                    static_cast<unsigned long long>(index),
+                    options_.mark_timeout_ms));
+    }
+    control_cv_.wait_for(lock, std::chrono::milliseconds(50));
   }
+  std::vector<MarkFrame> collected;
   auto keep = marks_.begin();
   for (auto it = marks_.begin(); it != marks_.end(); ++it) {
     if (it->phase == phase && it->index == index) {
-      collected.push_back(*it);
+      // Marks from a shard quarantined mid-wait are consumed but dropped.
+      if (active_[it->shard]) collected.push_back(*it);
     } else {
       if (keep != it) *keep = std::move(*it);
       ++keep;
     }
   }
   marks_.erase(keep, marks_.end());
+  if (phase < 2) consumed_low_[phase] = index + 1;
   return collected;
 }
 
-void PdmsNode::HandleControlFrame(Frame frame, uint64_t connection) {
+bool PdmsNode::AdmitMarkLocked(const MarkFrame& mark, uint32_t remote_shard) {
+  const uint32_t shards = transport_->shard_count();
+  // `remote_shard` is the identity the link's hello handshake established
+  // (== shard_count for ungreeted/client connections): a mark must claim
+  // exactly the shard that sent it.
+  const bool authentic = remote_shard < shards && mark.shard == remote_shard &&
+                         mark.shard != transport_->local_shard();
+  if (!authentic || mark.phase > 2) {
+    rejected_marks_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!active_[mark.shard]) return false;  // quarantined: ignore, not hostile
+  last_heard_[mark.shard] = std::chrono::steady_clock::now();
+  if (mark.phase == 2) return false;  // heartbeat: liveness only, never queued
+  if (mark.index < consumed_low_[mark.phase]) {
+    rejected_marks_.fetch_add(1, std::memory_order_relaxed);
+    return false;  // replay of a step already consumed
+  }
+  for (const MarkFrame& queued : marks_) {
+    if (queued.shard == mark.shard && queued.phase == mark.phase &&
+        queued.index == mark.index) {
+      rejected_marks_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // duplicate
+    }
+  }
+  return true;
+}
+
+void PdmsNode::HandleControlFrame(Frame frame, uint64_t connection,
+                                  uint32_t remote_shard) {
   if (const auto* mark = std::get_if<MarkFrame>(&frame)) {
     {
       std::lock_guard<std::mutex> lock(control_mutex_);
-      marks_.push_back(*mark);
+      if (AdmitMarkLocked(*mark, remote_shard)) marks_.push_back(*mark);
     }
+    // Heartbeats woke nobody's predicate but refreshing the waiters is
+    // harmless; admitted marks must wake AwaitMarks.
     control_cv_.notify_all();
     return;
   }
@@ -130,6 +222,60 @@ void PdmsNode::HandleControlFrame(Frame frame, uint64_t connection) {
     return;
   }
   // Hellos and stray responses need no action.
+}
+
+// --- Degradation ----------------------------------------------------------------
+
+void PdmsNode::QuarantineShard(uint32_t shard) {
+  PDMS_LOG_WARNING << "shard " << shard
+                   << " missed the failure deadline; quarantining and "
+                      "degrading to the surviving shards";
+  const Status abandoned = transport_->AbandonShard(shard);
+  if (!abandoned.ok()) PDMS_LOG_WARNING << abandoned.message();
+  // Churn out every mapping with an endpoint the dead shard owns — the
+  // survivors keep a consistent, smaller semantic network and the belief
+  // network stops waiting on messages that will never come.
+  const Digraph& graph = pdms_.graph();
+  std::vector<EdgeId> doomed;
+  for (EdgeId e : graph.LiveEdges()) {
+    const PeerId src = graph.edge(e).src;
+    const PeerId dst = graph.edge(e).dst;
+    if (transport_->shard_of(src) == shard ||
+        transport_->shard_of(dst) == shard) {
+      doomed.push_back(e);
+    }
+  }
+  for (EdgeId e : doomed) {
+    const Status removed = pdms_.RemoveMapping(e);
+    if (!removed.ok()) PDMS_LOG_WARNING << removed.message();
+  }
+  RebuildSnapshot();
+}
+
+std::vector<uint32_t> PdmsNode::quarantined() const {
+  std::vector<uint32_t> result;
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  for (uint32_t shard = 0; shard < static_cast<uint32_t>(active_.size());
+       ++shard) {
+    if (!active_[shard]) result.push_back(shard);
+  }
+  return result;
+}
+
+void PdmsNode::HeartbeatMain() {
+  std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+  while (!heartbeat_stop_) {
+    heartbeat_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.heartbeat_interval_ms));
+    if (heartbeat_stop_) break;
+    MarkFrame beat;
+    beat.shard = transport_->local_shard();
+    beat.phase = 2;
+    beat.index = heartbeat_index_++;
+    lock.unlock();
+    BroadcastMark(beat);
+    lock.lock();
+  }
 }
 
 // --- Discovery ------------------------------------------------------------------
@@ -161,6 +307,9 @@ Result<size_t> PdmsNode::RunDiscovery() {
     }
     if (!traffic) break;
     pdms_.engine().DeliverTick();
+    // A tick barrier that timed out (or a dead event loop) must surface
+    // here, not as a silently short discovery.
+    PDMS_RETURN_IF_ERROR(transport_->barrier_status());
   }
   RebuildSnapshot();
 
@@ -211,11 +360,13 @@ Result<ConvergenceReport> PdmsNode::RunRounds() {
     }
     if (round == options_.max_rounds) break;
     const RoundReport step = pdms_.engine().RunRound();
+    PDMS_RETURN_IF_ERROR(transport_->barrier_status());
     ++round;
     report.rounds = round;
     report.belief_updates_sent += step.belief_updates_sent;
     previous_change = step.max_posterior_change;
     RebuildSnapshot();
+    if (options_.round_hook) options_.round_hook(round);
     if (options_.round_delay_ms > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options_.round_delay_ms));
@@ -362,22 +513,11 @@ QueryResponseFrame PdmsNode::ExecuteSnapshotQuery(
 Result<QueryResponseFrame> PdmsNode::QueryNode(
     const std::string& address, const QueryRequestFrame& request,
     int timeout_ms) {
-  const size_t colon = address.rfind(':');
-  if (colon == std::string::npos) {
-    return Status::InvalidArgument(
-        StrFormat("address '%s' is not ip:port", address.c_str()));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  if (inet_pton(AF_INET, address.substr(0, colon).c_str(), &addr.sin_addr) !=
-      1) {
-    return Status::InvalidArgument(
-        StrFormat("address '%s' has no valid IPv4 host", address.c_str()));
-  }
-  addr.sin_port =
-      htons(static_cast<uint16_t>(std::stoul(address.substr(colon + 1))));
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  PDMS_RETURN_IF_ERROR(ParseSocketAddress(address, &addr, &addr_len));
 
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = socket(addr.ss_family, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
   }
@@ -388,7 +528,7 @@ Result<QueryResponseFrame> PdmsNode::QueryNode(
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), addr_len) < 0) {
     close(fd);
     return Status::Unavailable(
         StrFormat("connect(%s): %s", address.c_str(), std::strerror(errno)));

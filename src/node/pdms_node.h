@@ -1,11 +1,15 @@
 #ifndef PDMS_NODE_PDMS_NODE_H_
 #define PDMS_NODE_PDMS_NODE_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -29,8 +33,27 @@ struct NodeOptions {
   int round_delay_ms = 0;
 
   /// How long to wait for the other shards' mark frames before giving up
-  /// on a step (a vanished peer process surfaces as Unavailable here).
+  /// on a step (a vanished peer process surfaces as Unavailable here —
+  /// unless quarantine, below, degrades around it first).
   int mark_timeout_ms = 120000;
+
+  /// Heartbeat period. While a node waits between rounds (or holds in
+  /// `round_delay_ms`), a background thread broadcasts liveness marks
+  /// (phase 2) so peers can tell "slow" from "dead". 0 = disabled.
+  int heartbeat_interval_ms = 0;
+
+  /// Failure detector: a shard whose mark is awaited and from which
+  /// *nothing* (mark or heartbeat) has been heard for this long is
+  /// quarantined — its link is abandoned, every mapping with an endpoint
+  /// it owns is removed, and the surviving shards finish the run without
+  /// it. 0 = disabled (a vanished peer then ends the run with
+  /// Unavailable after `mark_timeout_ms`).
+  int quarantine_after_ms = 0;
+
+  /// Invoked after every completed inference round with the round number.
+  /// Chaos hook: the node-chaos CI job uses it to SIGKILL a shard
+  /// mid-run.
+  std::function<void(uint64_t round)> round_hook;
 };
 
 /// One process of a partitioned PDMS deployment: owns the shard of peers
@@ -45,14 +68,20 @@ struct NodeOptions {
 /// Cross-shard synchronization is the mark protocol (`MarkFrame`): each
 /// step a shard broadcasts a mark carrying what it sent and whether it
 /// still holds undelivered traffic, then waits for everyone else's mark of
-/// the same step. TCP preserves per-connection order, so receiving a mark
-/// implies every data frame the sender staged before it has already been
-/// dispatched locally — the exchange doubles as the cross-shard flush
+/// the same step. The transport's sequenced links deliver marks (and the
+/// data frames staged before them) exactly once and in order even across
+/// faults and reconnects, so the exchange doubles as the cross-shard flush
 /// barrier, and all shards advance their transport clocks in lockstep.
-/// With the lossless wire and the transport's deterministic
+/// With the reliable wire and the transport's deterministic
 /// (deliver_at, from, seq) drain order, a partitioned run lands on
-/// posteriors bitwise-identical to the single-process engine
-/// (tests/node_test.cc).
+/// posteriors bitwise-identical to the single-process engine — including
+/// under injected link faults (tests/node_test.cc, tests/fault_test.cc).
+///
+/// Degradation: marks are validated (origin shard must match the link the
+/// mark arrived on; replays and forgeries are rejected), heartbeats keep
+/// liveness observable between steps, and a silent shard past the
+/// quarantine deadline is churned out via the engine's mapping-removal
+/// path while the survivors keep serving queries.
 class PdmsNode {
  public:
   /// Wraps a built `Pdms` whose transport is a `SocketTransport`. Requires
@@ -85,11 +114,11 @@ class PdmsNode {
   Result<size_t> RunDiscovery();
 
   /// Mark-synchronized inference rounds until the *global* posterior
-  /// movement (max over all shards) stays below tolerance, with the same
-  /// patience semantics as `PdmsEngine::RunToConvergence` — a partitioned
-  /// run executes exactly as many rounds as the single-process one. The
-  /// posterior snapshot queries are served from is refreshed after every
-  /// round.
+  /// movement (max over all live shards) stays below tolerance, with the
+  /// same patience semantics as `PdmsEngine::RunToConvergence` — a
+  /// partitioned run executes exactly as many rounds as the
+  /// single-process one. The posterior snapshot queries are served from
+  /// is refreshed after every round.
   Result<ConvergenceReport> RunRounds();
 
   /// Executes a query request against the current posterior snapshot —
@@ -98,6 +127,15 @@ class PdmsNode {
   /// whose both endpoints are local.
   QueryResponseFrame ExecuteSnapshotQuery(
       const QueryRequestFrame& request) const;
+
+  /// Shards quarantined so far (ascending).
+  std::vector<uint32_t> quarantined() const;
+
+  /// Mark frames rejected by validation (forged origin, replayed index,
+  /// unknown shard).
+  uint64_t rejected_marks() const {
+    return rejected_marks_.load(std::memory_order_relaxed);
+  }
 
   Pdms& pdms() { return pdms_; }
   const Pdms& pdms() const { return pdms_; }
@@ -122,13 +160,28 @@ class PdmsNode {
   PdmsNode(Pdms pdms, SocketTransport* transport, NodeOptions options);
 
   /// Control-plane dispatch, invoked on the transport's event-loop
-  /// thread: marks feed `AwaitMarks`, query requests are answered from
-  /// the snapshot right here.
-  void HandleControlFrame(Frame frame, uint64_t connection);
+  /// thread: validated marks feed `AwaitMarks`, heartbeats refresh
+  /// liveness, query requests are answered from the snapshot right here.
+  void HandleControlFrame(Frame frame, uint64_t connection,
+                          uint32_t remote_shard);
+
+  /// Mark validation against the authenticated link shard; must hold
+  /// `control_mutex_`. Returns false for marks that must not enter the
+  /// barrier queue (and counts them in `rejected_marks_` when hostile).
+  bool AdmitMarkLocked(const MarkFrame& mark, uint32_t remote_shard);
 
   void BroadcastMark(const MarkFrame& mark);
-  /// Collects the other shards' marks for (phase, index).
+  /// Collects the other live shards' marks for (phase, index),
+  /// quarantining shards that miss the failure-detection deadline along
+  /// the way.
   Result<std::vector<MarkFrame>> AwaitMarks(uint32_t phase, uint64_t index);
+
+  /// Degrades around a dead shard: abandons its link and removes every
+  /// mapping with an endpoint it owns. Runs on the driver thread with
+  /// `control_mutex_` *not* held.
+  void QuarantineShard(uint32_t shard);
+
+  void HeartbeatMain();
 
   void RebuildSnapshot();
   std::shared_ptr<const Snapshot> CurrentSnapshot() const;
@@ -143,9 +196,24 @@ class PdmsNode {
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const Snapshot> snapshot_;
 
-  std::mutex control_mutex_;
+  mutable std::mutex control_mutex_;
   std::condition_variable control_cv_;
   std::vector<MarkFrame> marks_;
+  /// Liveness per shard, guarded by `control_mutex_`. `active_[s]` flips
+  /// to false exactly once, on quarantine.
+  std::vector<bool> active_;
+  std::vector<std::chrono::steady_clock::time_point> last_heard_;
+  /// Replay low-water per barrier phase: marks for steps already consumed
+  /// are rejected.
+  uint64_t consumed_low_[2] = {0, 0};
+
+  std::atomic<uint64_t> rejected_marks_{0};
+
+  std::mutex heartbeat_mutex_;
+  std::condition_variable heartbeat_cv_;
+  bool heartbeat_stop_ = false;
+  uint64_t heartbeat_index_ = 0;
+  std::thread heartbeat_;
 };
 
 }  // namespace pdms

@@ -27,6 +27,8 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 6,
   kInternal = 7,
   kUnavailable = 8,
+  kDataLoss = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable, human-readable name for a status code (e.g. "NotFound").
@@ -69,6 +71,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -500,8 +500,9 @@ TEST(FrameCodecTest, EveryFrameTypeRoundTripsThroughTheAssembler) {
   response.rows = {"peer=0 entity=1 values=Defoe", "peer=2 entity=1 values=Defoe"};
 
   const std::vector<Frame> frames = {
-      Frame{data}, Frame{HelloFrame{0, 2, 24}}, Frame{mark},
-      Frame{QueryRequestFrame{5, 1, 4, "SELECT author"}}, Frame{response}};
+      Frame{data}, Frame{HelloFrame{0, 2, 24, 0x1122334455667788ull, 41}},
+      Frame{mark}, Frame{QueryRequestFrame{5, 1, 4, "SELECT author"}},
+      Frame{response}, Frame{LinkAckFrame{1, 0x1122334455667788ull, 42}}};
 
   // Feed the whole stream one byte at a time: the assembler must hold
   // partial frames and release each one exactly once, in order.
@@ -530,31 +531,74 @@ TEST(FrameCodecTest, EveryFrameTypeRoundTripsThroughTheAssembler) {
   EXPECT_EQ(assembler.buffered_bytes(), 0u);
 }
 
+/// Recomputes a framed buffer's CRC32 after the test mutated the body —
+/// so the mutation surfaces as the targeted decode error, not DataLoss.
+void PatchCrc(std::vector<uint8_t>* bytes) {
+  const uint32_t crc = Crc32(std::span<const uint8_t>(
+      bytes->data() + kFrameHeaderBytes, bytes->size() - kFrameHeaderBytes));
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+}
+
 TEST(FrameCodecTest, RejectsOversizedAndUndersizedLengthPrefixes) {
   FrameAssembler oversized;
-  const std::vector<uint8_t> huge = {0xff, 0xff, 0xff, 0xff};
+  const std::vector<uint8_t> huge = {0xff, 0xff, 0xff, 0xff,
+                                     0x00, 0x00, 0x00, 0x00};
   oversized.Feed(huge);
   EXPECT_EQ(oversized.Next().status().code(), StatusCode::kOutOfRange);
 
+  // Length 1 cannot even hold the seq varint + version + type.
   FrameAssembler undersized;
-  const std::vector<uint8_t> tiny = {0x01, 0x00, 0x00, 0x00, 0x01};
+  const std::vector<uint8_t> tiny = {0x01, 0x00, 0x00, 0x00,
+                                     0x00, 0x00, 0x00, 0x00, 0x00};
   undersized.Feed(tiny);
   EXPECT_EQ(undersized.Next().status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(FrameCodecTest, RejectsVersionMismatchAndUnknownType) {
+  // The checksummed region starts with the (single-byte, seq-0) link
+  // sequence varint; version and type follow it.
   std::vector<uint8_t> bytes = EncodedFrame(Frame{HelloFrame{0, 1, 4}});
-  bytes[kFrameHeaderBytes] = kWireFormatVersion + 1;
+  bytes[kFrameHeaderBytes + 1] = kWireFormatVersion + 1;
+  PatchCrc(&bytes);
   FrameAssembler wrong_version;
   wrong_version.Feed(bytes);
   EXPECT_EQ(wrong_version.Next().status().code(),
             StatusCode::kFailedPrecondition);
 
   bytes = EncodedFrame(Frame{HelloFrame{0, 1, 4}});
-  bytes[kFrameHeaderBytes + 1] = 0x77;  // frame type
+  bytes[kFrameHeaderBytes + 2] = 0x77;  // frame type
+  PatchCrc(&bytes);
   FrameAssembler unknown_type;
   unknown_type.Feed(bytes);
   EXPECT_EQ(unknown_type.Next().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameCodecTest, FlagsChecksumMismatchAsDataLoss) {
+  std::vector<uint8_t> bytes = EncodedFrame(Frame{HelloFrame{0, 1, 4}});
+  bytes.back() ^= 0x40;  // corrupt the body without touching the framing
+  FrameAssembler assembler;
+  assembler.Feed(bytes);
+  EXPECT_EQ(assembler.Next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, ReportsTheLinkSequenceOfEveryDeliveredFrame) {
+  MarkFrame mark;
+  mark.shard = 1;
+  std::vector<uint8_t> stream;
+  EncodeFrame(Frame{HelloFrame{3, 4, 9, 77, 12}}, 0, &stream);
+  EncodeFrame(Frame{mark}, 12, &stream);
+  EncodeFrame(Frame{mark}, 300, &stream);  // multi-byte varint
+  FrameAssembler assembler;
+  assembler.Feed(stream);
+  const uint64_t expected[] = {0, 12, 300};
+  for (uint64_t seq : expected) {
+    auto next = assembler.Next();
+    ASSERT_TRUE(next.ok()) << next.status();
+    ASSERT_TRUE(next->has_value());
+    EXPECT_EQ(assembler.last_seq(), seq);
+  }
 }
 
 TEST(FrameCodecTest, DataFramePayloadConsumesTheBodyExactly) {

@@ -8,9 +8,19 @@
 //
 //   pdms_node serve --shard=0 --shards=2 --announce-dir=/tmp/run1
 //       [--max-rounds=100] [--round-delay-ms=0] [--serve-ms=0]
+//       [--heartbeat-ms=0] [--quarantine-ms=0]
+//       [--chaos-seed=0 --chaos-drop=0 --chaos-duplicate=0 --chaos-reorder=0
+//        --chaos-corrupt=0 --chaos-link-kill=0] [--kill-after-round=0]
 //   pdms_node reference [--max-rounds=100]
 //   pdms_node query --addr=127.0.0.1:PORT --origin=0 --ttl=3
 //       --text='SELECT <attr>'
+//
+// Chaos knobs (CI's node-chaos job): the --chaos-* rates inject seeded
+// frame-level faults on the TCP links — all masked by the retransmission
+// layer, so posteriors stay bitwise-identical to the fault-free run.
+// --kill-after-round=K SIGKILLs this process right after round K (a real
+// crash, exit 137); peers with --heartbeat-ms/--quarantine-ms set detect
+// the silence, quarantine the dead shard and finish the run degraded.
 //
 // Shards discover each other through --announce-dir: every serve process
 // writes its bound address to <dir>/shard-<k>.addr and polls for the
@@ -21,6 +31,7 @@
 // so concatenating the shards' outputs yields every line of the reference
 // output exactly once.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -105,6 +116,27 @@ int RunServe(int argc, char** argv) {
   const int serve_ms = static_cast<int>(
       std::strtol(FlagValue(argc, argv, "serve-ms", "0").c_str(), nullptr,
                   10));
+  const int heartbeat_ms = static_cast<int>(
+      std::strtol(FlagValue(argc, argv, "heartbeat-ms", "0").c_str(), nullptr,
+                  10));
+  const int quarantine_ms = static_cast<int>(
+      std::strtol(FlagValue(argc, argv, "quarantine-ms", "0").c_str(), nullptr,
+                  10));
+  const uint64_t kill_after_round = std::strtoull(
+      FlagValue(argc, argv, "kill-after-round", "0").c_str(), nullptr, 10);
+  FaultPlan chaos;
+  chaos.seed = std::strtoull(FlagValue(argc, argv, "chaos-seed", "0").c_str(),
+                             nullptr, 10);
+  chaos.drop_rate =
+      std::strtod(FlagValue(argc, argv, "chaos-drop", "0").c_str(), nullptr);
+  chaos.duplicate_rate = std::strtod(
+      FlagValue(argc, argv, "chaos-duplicate", "0").c_str(), nullptr);
+  chaos.reorder_rate = std::strtod(
+      FlagValue(argc, argv, "chaos-reorder", "0").c_str(), nullptr);
+  chaos.corrupt_rate = std::strtod(
+      FlagValue(argc, argv, "chaos-corrupt", "0").c_str(), nullptr);
+  chaos.link_kill_rate = std::strtod(
+      FlagValue(argc, argv, "chaos-link-kill", "0").c_str(), nullptr);
   if (shards == 0 || shard >= shards) {
     std::fprintf(stderr, "pdms_node: need 0 <= --shard < --shards\n");
     return 1;
@@ -130,6 +162,14 @@ int RunServe(int argc, char** argv) {
         for (PeerId p = 0; p < peer_count; ++p) {
           transport_options.shard_of[p] = p % shards;  // round-robin
         }
+        transport_options.link_fault_plan = chaos;
+        if (chaos.Enabled()) {
+          // Tight recovery timers keep chaos runs fast: a dropped tail
+          // frame stalls its barrier step only until the retransmit timer.
+          transport_options.retransmit_timeout_ms = 50;
+          transport_options.reconnect_backoff_initial_ms = 5;
+          transport_options.reconnect_backoff_max_ms = 100;
+        }
         auto created = SocketTransport::Create(std::move(transport_options));
         if (!created.ok()) {
           std::fprintf(stderr, "pdms_node: %s\n",
@@ -147,8 +187,21 @@ int RunServe(int argc, char** argv) {
   NodeOptions node_options;
   node_options.max_rounds = max_rounds;
   node_options.round_delay_ms = round_delay_ms;
+  node_options.heartbeat_interval_ms = heartbeat_ms;
+  node_options.quarantine_after_ms = quarantine_ms;
+  if (kill_after_round > 0) {
+    node_options.round_hook = [kill_after_round, shard](uint64_t round) {
+      if (round == kill_after_round) {
+        std::fprintf(stderr,
+                     "pdms_node: shard %u self-SIGKILL after round %llu\n",
+                     shard, static_cast<unsigned long long>(round));
+        std::fflush(stderr);
+        raise(SIGKILL);  // a real crash: no destructors, no goodbyes
+      }
+    };
+  }
   Result<std::unique_ptr<PdmsNode>> node =
-      PdmsNode::Create(std::move(workload.pdms), node_options);
+      PdmsNode::Create(std::move(workload.pdms), std::move(node_options));
   if (!node.ok()) return Fail(node.status());
 
   if (shards > 1) {
