@@ -365,6 +365,35 @@ Status PdmsEngine::RemoveMapping(EdgeId edge) {
   return graph_.RemoveEdge(edge);
 }
 
+// --- Durable state --------------------------------------------------------------
+
+PdmsEngine::EngineImage PdmsEngine::CaptureImage() const {
+  EngineImage image;
+  image.edge_alive = graph_.alive_flags();
+  image.peers.reserve(peers_.size());
+  for (const auto& peer : peers_) image.peers.push_back(peer->CaptureImage());
+  image.next_query_id = next_query_id_;
+  return image;
+}
+
+Status PdmsEngine::RestoreImage(const EngineImage& image) {
+  return RestoreImage(EngineImage(image));
+}
+
+Status PdmsEngine::RestoreImage(EngineImage&& image) {
+  if (image.peers.size() != peers_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("image holds %zu peers, engine has %zu", image.peers.size(),
+                  peers_.size()));
+  }
+  PDMS_RETURN_IF_ERROR(graph_.RestoreEdges(image.edge_alive));
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    peers_[p]->RestoreImage(std::move(image.peers[p]));
+  }
+  next_query_id_ = image.next_query_id;
+  return Status::Ok();
+}
+
 size_t PdmsEngine::UniqueFactorCount() const {
   std::unordered_set<FactorId, FactorIdHash> ids;
   for (const auto& peer : peers_) {

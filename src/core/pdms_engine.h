@@ -1,6 +1,7 @@
 #ifndef PDMS_CORE_PDMS_ENGINE_H_
 #define PDMS_CORE_PDMS_ENGINE_H_
 
+#include <cassert>
 #include <functional>
 #include <map>
 #include <memory>
@@ -161,6 +162,31 @@ class PdmsEngine {
   /// Closures must be re-discovered afterwards.
   Status RemoveMapping(EdgeId edge);
 
+  // --- Durable state ------------------------------------------------------------
+
+  /// A complete copy of the engine's mutable inference state in canonical
+  /// form: every peer's `Peer::Image` plus the topology liveness flags.
+  /// This is the unit `UndoSession` copies and the snapshot layer
+  /// (src/store) serializes. Transport state (in-flight frames, clocks) is
+  /// deliberately *not* here — the node layer captures it separately at
+  /// quiesced barriers, where it is well-defined.
+  struct EngineImage {
+    std::vector<bool> edge_alive;
+    std::vector<Peer::Image> peers;
+    uint64_t next_query_id = 1;
+  };
+
+  /// Captures all peers (sharded engines still materialize every peer, and
+  /// network-wide operations like `RemoveMapping` touch all of them).
+  EngineImage CaptureImage() const;
+
+  /// Restores a previously captured image. Peer count must match (the
+  /// image is a rollback target for the same deployment, not a migration
+  /// vehicle); the topology may have gained edges since the capture — they
+  /// roll back to tombstones.
+  Status RestoreImage(const EngineImage& image);
+  Status RestoreImage(EngineImage&& image);
+
   // --- Introspection ------------------------------------------------------------
 
   Peer& peer(PeerId id) { return *peers_[id]; }
@@ -228,6 +254,62 @@ class PdmsEngine {
   std::vector<double> round_changes_;
   std::vector<std::vector<Outgoing>> round_outgoing_;
   std::vector<std::vector<Envelope>> round_batches_;
+};
+
+/// Chainbase-style undo scope over the engine's inference state. Capture
+/// at construction; unless `Commit()` is called, destruction (or an
+/// explicit `Rollback()`) restores the capture — pools, routing tables,
+/// alias sessions, variable state and topology revert *together*, so a
+/// speculative `InjectFeedback`/`RemoveMapping` sequence that turns out to
+/// be inconsistent cannot leave derived state behind.
+///
+/// Move-only RAII; sessions may nest (inner sessions roll back first, as
+/// plain scoping already guarantees). Driver-thread only, like every other
+/// engine mutation: do not roll back while rounds are executing on the
+/// pool.
+class UndoSession {
+ public:
+  explicit UndoSession(PdmsEngine* engine)
+      : engine_(engine), image_(engine->CaptureImage()) {}
+  ~UndoSession() { Rollback(); }
+
+  UndoSession(UndoSession&& other) noexcept
+      : engine_(other.engine_), image_(std::move(other.image_)) {
+    other.engine_ = nullptr;
+  }
+  UndoSession& operator=(UndoSession&& other) noexcept {
+    if (this != &other) {
+      Rollback();
+      engine_ = other.engine_;
+      image_ = std::move(other.image_);
+      other.engine_ = nullptr;
+    }
+    return *this;
+  }
+  UndoSession(const UndoSession&) = delete;
+  UndoSession& operator=(const UndoSession&) = delete;
+
+  /// Keeps every mutation made since construction; the session becomes
+  /// inert.
+  void Commit() { engine_ = nullptr; }
+
+  /// Restores the state captured at construction. Idempotent; implied by
+  /// destruction when `Commit()` was never called.
+  void Rollback() {
+    if (engine_ == nullptr) return;
+    PdmsEngine* engine = engine_;
+    engine_ = nullptr;
+    const Status restored = engine->RestoreImage(std::move(image_));
+    assert(restored.ok());  // same deployment: peer count cannot mismatch
+    (void)restored;
+  }
+
+  /// False once committed or rolled back.
+  bool armed() const { return engine_ != nullptr; }
+
+ private:
+  PdmsEngine* engine_;
+  PdmsEngine::EngineImage image_;
 };
 
 }  // namespace pdms

@@ -231,44 +231,76 @@ bool SameFactorContent(const Closure& a, AttributeId a_root, const Closure& b,
 
 }  // namespace
 
+Status Peer::ValidateFactorContent(const FactorId& id, const Closure& closure,
+                                   const AttributeFeedback& feedback) const {
+  const auto existing = replica_index_.find(id);
+  if (existing == replica_index_.end()) return Status::Ok();
+  const Replica& stored = replicas_[existing->second];
+  const std::span<const MappingVarKey> stored_members =
+      Members(existing->second);
+  // Position-based update addressing makes the member *sequence*
+  // load-bearing across replicas, so content equality requires it
+  // verbatim, on top of the closure structure the id fingerprints. A
+  // same-id announcement with permuted or substituted members would
+  // silently cross-wire remote µ-messages if accepted.
+  if (SameFactorContent(stored.closure, stored.root_attribute, closure,
+                        feedback.root_attribute) &&
+      std::equal(stored_members.begin(), stored_members.end(),
+                 feedback.members.begin(), feedback.members.end())) {
+    return Status::Ok();
+  }
+  // Distinct factor content under the same 128-bit id: reject loudly
+  // instead of storing it.
+  return Status::FailedPrecondition(
+      StrFormat("factor fingerprint collision on %s at peer %u",
+                id.ToString().c_str(), id_));
+}
+
 Status Peer::IngestFeedback(const FeedbackAnnouncement& announcement) {
-  Status status = Status::Ok();
+  // Validate-then-apply, so a collision anywhere in the announcement
+  // leaves the peer untouched. The apply phase below cannot fail: fresh
+  // ids always ingest, validated existing ids are idempotent no-ops, and
+  // entries owning no local member are skipped inside IngestFactor.
+  std::vector<std::pair<FactorId, const AttributeFeedback*>> pending;
   for (const AttributeFeedback& feedback : announcement.feedback) {
     if (feedback.sign == FeedbackSign::kNeutral) continue;
-    Status entry = IngestFactor(
-        FactorId::Make(announcement.closure, feedback.root_attribute),
-        announcement.closure, feedback, announcement.delta);
-    if (!entry.ok() && status.ok()) status = std::move(entry);
+    const FactorId id =
+        FactorId::Make(announcement.closure, feedback.root_attribute);
+    PDMS_RETURN_IF_ERROR(
+        ValidateFactorContent(id, announcement.closure, feedback));
+    // Also validate against the announcement's own earlier entries: two
+    // same-id entries with diverging content would otherwise pass the
+    // stored-state check, then collide against each other mid-apply.
+    for (const auto& [seen_id, seen] : pending) {
+      if (seen_id != id) continue;
+      if (seen->root_attribute == feedback.root_attribute &&
+          std::equal(seen->members.begin(), seen->members.end(),
+                     feedback.members.begin(), feedback.members.end())) {
+        continue;
+      }
+      return Status::FailedPrecondition(
+          StrFormat("factor fingerprint collision on %s within one "
+                    "announcement at peer %u",
+                    id.ToString().c_str(), id_));
+    }
+    pending.emplace_back(id, &feedback);
   }
-  return status;
+  for (const auto& [id, feedback] : pending) {
+    const Status applied =
+        IngestFactor(id, announcement.closure, *feedback, announcement.delta);
+    assert(applied.ok());
+    (void)applied;
+  }
+  return Status::Ok();
 }
 
 Status Peer::IngestFactor(const FactorId& id, const Closure& closure,
                           const AttributeFeedback& feedback, double delta) {
-  const auto existing = replica_index_.find(id);
-  if (existing != replica_index_.end()) {
-    const Replica& stored = replicas_[existing->second];
-    const std::span<const MappingVarKey> stored_members =
-        Members(existing->second);
-    // Position-based update addressing makes the member *sequence*
-    // load-bearing across replicas, so content equality requires it
-    // verbatim, on top of the closure structure the id fingerprints. A
-    // same-id announcement with permuted or substituted members would
-    // silently cross-wire remote µ-messages if accepted.
-    if (SameFactorContent(stored.closure, stored.root_attribute, closure,
-                          feedback.root_attribute) &&
-        std::equal(stored_members.begin(), stored_members.end(),
-                   feedback.members.begin(), feedback.members.end())) {
-      // Same factor identity: idempotent. Sign/∆ deliberately do not
-      // participate — they are observations, and a re-observation keeps
-      // the first value (first-wins, as the string-key path always did).
-      return Status::Ok();
-    }
-    // Distinct factor content under the same 128-bit id: reject loudly
-    // instead of storing it.
-    return Status::FailedPrecondition(
-        StrFormat("factor fingerprint collision on %s at peer %u",
-                  id.ToString().c_str(), id_));
+  if (replica_index_.count(id) > 0) {
+    // Existing id: either the same factor identity (idempotent no-op;
+    // sign/∆ deliberately do not participate — they are observations, and
+    // a re-observation keeps the first value) or a collision.
+    return ValidateFactorContent(id, closure, feedback);
   }
   const bool owns_member = std::any_of(
       feedback.members.begin(), feedback.members.end(),
@@ -612,6 +644,108 @@ size_t Peer::RemoteMessageBound() const {
   return bound;
 }
 
+// --- Durable state --------------------------------------------------------------
+
+Peer::Image Peer::CaptureImage() const {
+  Image image;
+  image.mappings = mappings_;
+  image.replicas = replicas_;
+  image.replica_hot = replica_hot_;
+  image.var_to_factor_pool = var_to_factor_pool_;
+  image.factor_to_var_pool = factor_to_var_pool_;
+  image.member_pool = member_pool_;
+  image.member_owner_pool = member_owner_pool_;
+  image.owned_pos_pool = owned_pos_pool_;
+  image.belief_routes = belief_routes_;
+  image.links.resize(alias_links_.size());
+  for (const auto& [peer, index] : alias_link_index_) {
+    image.links[index].peer = peer;
+  }
+  for (size_t i = 0; i < alias_links_.size(); ++i) {
+    const PeerLink& link = alias_links_[i];
+    LinkImage& out = image.links[i];
+    // Aliases are assigned densely, so inverting the transmit map into an
+    // alias-indexed vector is lossless.
+    out.tx_id_by_alias.assign(link.session.tx.next_alias, FactorId{});
+    for (const auto& [id, alias] : link.session.tx.alias_of) {
+      out.tx_id_by_alias[alias] = id;
+    }
+    out.tx_acked_prefix = link.session.tx.acked_prefix;
+    out.rx_id_of = link.session.rx.id_of;
+    out.rx_known_prefix = link.session.rx.known_prefix;
+    out.replica_of_alias = link.replica_of_alias;
+  }
+  image.alias_epoch = alias_epoch_;
+  image.vars = vars_;
+  image.announced.assign(announced_.begin(), announced_.end());
+  std::sort(image.announced.begin(), image.announced.end());
+  image.seen_queries.assign(seen_queries_.begin(), seen_queries_.end());
+  std::sort(image.seen_queries.begin(), image.seen_queries.end());
+  image.probe_cache.reserve(probe_cache_.size());
+  for (const auto& [origin, probes] : probe_cache_) {
+    image.probe_cache.emplace_back(origin, probes);
+  }
+  std::sort(image.probe_cache.begin(), image.probe_cache.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return image;
+}
+
+void Peer::RestoreImage(const Image& image) { RestoreImage(Image(image)); }
+
+void Peer::RestoreImage(Image&& image) {
+  mappings_ = std::move(image.mappings);
+  replicas_ = std::move(image.replicas);
+  replica_hot_ = std::move(image.replica_hot);
+  var_to_factor_pool_ = std::move(image.var_to_factor_pool);
+  factor_to_var_pool_ = std::move(image.factor_to_var_pool);
+  member_pool_ = std::move(image.member_pool);
+  member_owner_pool_ = std::move(image.member_owner_pool);
+  owned_pos_pool_ = std::move(image.owned_pos_pool);
+  belief_routes_ = std::move(image.belief_routes);
+  alias_links_.clear();
+  alias_links_.resize(image.links.size());
+  alias_link_index_.clear();
+  alias_link_index_.reserve(image.links.size());
+  for (size_t i = 0; i < image.links.size(); ++i) {
+    LinkImage& in = image.links[i];
+    PeerLink& link = alias_links_[i];
+    link.session.tx.next_alias = static_cast<uint32_t>(in.tx_id_by_alias.size());
+    link.session.tx.acked_prefix = in.tx_acked_prefix;
+    for (uint32_t alias = 0; alias < in.tx_id_by_alias.size(); ++alias) {
+      if (!in.tx_id_by_alias[alias].IsNil()) {
+        link.session.tx.alias_of.emplace(in.tx_id_by_alias[alias], alias);
+      }
+    }
+    link.session.rx.id_of = std::move(in.rx_id_of);
+    link.session.rx.known_prefix = in.rx_known_prefix;
+    link.replica_of_alias = std::move(in.replica_of_alias);
+    alias_link_index_.emplace_back(in.peer, static_cast<uint32_t>(i));
+  }
+  std::sort(alias_link_index_.begin(), alias_link_index_.end());
+  alias_epoch_ = image.alias_epoch;
+  vars_ = std::move(image.vars);
+  var_index_.clear();
+  edge_vars_.clear();
+  // Re-intern in stored order, reproducing the original `InternVar`
+  // sequence bit for bit (each edge's index list stays ascending).
+  for (uint32_t v = 0; v < vars_.size(); ++v) {
+    var_index_.emplace(vars_[v].key.Packed(), v);
+    edge_vars_[vars_[v].key.edge].push_back(v);
+  }
+  replica_index_.clear();
+  for (uint32_t r = 0; r < replicas_.size(); ++r) {
+    replica_index_.emplace(replicas_[r].id, r);
+  }
+  announced_.clear();
+  announced_.insert(image.announced.begin(), image.announced.end());
+  seen_queries_.clear();
+  seen_queries_.insert(image.seen_queries.begin(), image.seen_queries.end());
+  probe_cache_.clear();
+  for (auto& [origin, probes] : image.probe_cache) {
+    probe_cache_.emplace(origin, std::move(probes));
+  }
+}
+
 // --- Probes & discovery --------------------------------------------------------
 
 std::vector<Outgoing> Peer::StartProbes() const {
@@ -627,7 +761,10 @@ std::vector<Outgoing> Peer::StartProbes() const {
       images[a] = mapping.Apply(a);
     }
     probe.trail = {std::move(images)};
-    out.push_back(Outgoing{graph_->edge(edge).dst, edge, std::move(probe)});
+    Outgoing& outgoing = out.emplace_back();
+    outgoing.to = graph_->edge(edge).dst;
+    outgoing.via = edge;
+    outgoing.payload = std::move(probe);
   }
   return out;
 }

@@ -112,8 +112,11 @@ class Peer {
   // --- Embedded message passing ----------------------------------------------
 
   /// Ingests an announced closure + feedback (creates factor replicas).
-  /// Returns the first fingerprint-collision error encountered, if any;
-  /// non-colliding entries of the announcement are still ingested.
+  /// Atomic: every entry is validated against the stored replicas (and the
+  /// announcement's own earlier entries) before anything is applied, so a
+  /// fingerprint-collision error leaves the peer exactly as it was — no
+  /// partially-ingested announcement, no routing tables rebuilt for a
+  /// dropped factor.
   Status IngestFeedback(const FeedbackAnnouncement& announcement);
 
   /// Registers one factor replica under an explicit id. The normal path
@@ -142,8 +145,9 @@ class Peer {
   /// `ack` advances the transmit session toward `from`. Returns the first
   /// protocol error — stale epoch, unknown or out-of-range alias, alias
   /// rebind — while still absorbing the remaining well-formed groups
-  /// (mirroring `IngestFeedback`'s collision policy; the engine logs and
-  /// drops). Updates for factors this peer has no replica of (announcement
+  /// (the engine logs and drops; unlike `IngestFeedback`, belief traffic
+  /// is idempotent state, so partial absorption cannot corrupt anything).
+  /// Updates for factors this peer has no replica of (announcement
   /// lost or not yet delivered) are silently ignored, exactly like the
   /// full-fingerprint path.
   Status AbsorbBeliefBundle(PeerId from, const BeliefMessage& message);
@@ -214,7 +218,8 @@ class Peer {
     return seen_queries_.count(query_id) > 0;
   }
 
- private:
+  // --- Durable state ------------------------------------------------------------
+
   /// One replicated feedback factor (Section 4.1 local factor graph) —
   /// cold metadata only, touched at ingest, rebuild and introspection
   /// time. Everything a round needs lives in the SoA pools, addressed
@@ -276,9 +281,75 @@ class Peer {
     std::vector<std::pair<uint32_t, uint32_t>> slots;
   };
 
+  /// One neighbor's alias state in canonical (serializable) form: both
+  /// session directions flattened to dense alias-indexed vectors. The
+  /// transmit map `AliasSessionTx::alias_of` is stored inverted
+  /// (`tx_id_by_alias[alias] = id`); aliases are assigned densely, so the
+  /// inversion is lossless and order-free.
+  struct LinkImage {
+    PeerId peer = 0;
+    std::vector<FactorId> tx_id_by_alias;
+    uint32_t tx_acked_prefix = 0;
+    std::vector<FactorId> rx_id_of;
+    uint32_t rx_known_prefix = 0;
+    std::vector<uint32_t> replica_of_alias;
+  };
+
+  /// A complete, self-contained copy of this peer's mutable state in
+  /// canonical form: dense arrays only, no hash tables, no pointers — the
+  /// unit the undo sessions copy and the snapshot layer serializes. All
+  /// derived indexes (`replica_index_`, `var_index_`, `edge_vars_`, the
+  /// alias maps) are rebuilt deterministically by `RestoreImage`, so two
+  /// peers restored from equal images are behaviorally identical, bit for
+  /// bit. The document store is intentionally excluded: it is configured
+  /// at deployment time and never mutated by the protocol.
+  struct Image {
+    std::vector<std::pair<EdgeId, SchemaMapping>> mappings;
+    std::vector<Replica> replicas;
+    std::vector<ReplicaHot> replica_hot;
+    std::vector<Belief> var_to_factor_pool;
+    std::vector<Belief> factor_to_var_pool;
+    std::vector<MappingVarKey> member_pool;
+    std::vector<PeerId> member_owner_pool;
+    std::vector<uint32_t> owned_pos_pool;
+    std::vector<BeliefRoute> belief_routes;
+    /// In alias-link creation order (deterministic: it follows replica
+    /// ingest order), so `BeliefRoute::link` indexes into it unchanged.
+    std::vector<LinkImage> links;
+    uint32_t alias_epoch = 0;
+    /// In intern order — restoring re-interns in the same order, so the
+    /// rebuilt `var_index_` / `edge_vars_` iterate identically.
+    std::vector<VarState> vars;
+    std::vector<FactorId> announced;       ///< sorted
+    std::vector<uint64_t> seen_queries;    ///< sorted
+    /// Sorted by origin; each origin's probes in arrival order.
+    std::vector<std::pair<PeerId, std::vector<ProbeMessage>>> probe_cache;
+  };
+
+  /// Copies the peer's mutable state into canonical form. O(state); no
+  /// effect on the peer.
+  Image CaptureImage() const;
+
+  /// Replaces the peer's mutable state with `image`, rebuilding every
+  /// derived index. Restoring a capture of the same peer is exact: rounds,
+  /// bundles, probes and queries behave bitwise-identically to the peer
+  /// that was captured.
+  void RestoreImage(const Image& image);
+
+  /// Restores from a capture, moving the bulk arrays instead of copying.
+  void RestoreImage(Image&& image);
+
+ private:
   /// Index of `var` in `vars_`, creating the entry on first sight.
   uint32_t InternVar(const MappingVarKey& var);
   const VarState* FindVar(const MappingVarKey& var) const;
+
+  /// Ok when no replica is stored under `id`, or the stored replica has
+  /// exactly the announced factor content (closure structure, root
+  /// attribute, member sequence); `FailedPrecondition` on a fingerprint
+  /// collision. Pure check — never mutates.
+  Status ValidateFactorContent(const FactorId& id, const Closure& closure,
+                               const AttributeFeedback& feedback) const;
 
   /// Registers replica `r` with the per-recipient belief routing tables,
   /// negotiating a session alias per (recipient, factor) on the way.

@@ -47,6 +47,26 @@ Status Digraph::RemoveEdge(EdgeId id) {
   return Status::Ok();
 }
 
+Status Digraph::RestoreEdges(const std::vector<bool>& alive) {
+  if (alive.size() > edges_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("liveness snapshot covers %zu edges, graph has %zu",
+                  alive.size(), edges_.size()));
+  }
+  alive_.assign(edges_.size(), false);
+  std::copy(alive.begin(), alive.end(), alive_.begin());
+  for (auto& list : out_) list.clear();
+  for (auto& list : in_) list.clear();
+  live_edges_ = 0;
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    if (!alive_[id]) continue;
+    out_[edges_[id].src].push_back(id);
+    in_[edges_[id].dst].push_back(id);
+    ++live_edges_;
+  }
+  return Status::Ok();
+}
+
 bool Digraph::HasEdge(NodeId src, NodeId dst) const {
   for (EdgeId id : out_[src]) {
     if (edges_[id].dst == dst) return true;

@@ -47,6 +47,20 @@ class Digraph {
   /// out of range.
   Status RemoveEdge(EdgeId id);
 
+  /// Snapshot of the liveness flags, one per edge ever added (the EdgeId
+  /// space). Together with the stable edge records this is the graph's
+  /// entire mutable state.
+  const std::vector<bool>& alive_flags() const { return alive_; }
+
+  /// Restores the liveness flags to a previously captured snapshot,
+  /// rebuilding the adjacency lists (edges are iterated in id order, so
+  /// the rebuilt lists are ascending — exactly the order incremental
+  /// `AddEdge` calls produce). Edges added *after* the capture become
+  /// tombstones (ids are never reused, so rolling them back is exactly
+  /// removal). Fails with `InvalidArgument` when `alive` is longer than
+  /// the current EdgeId space.
+  Status RestoreEdges(const std::vector<bool>& alive);
+
   size_t node_count() const { return out_.size(); }
   /// Total edges ever added, including removed ones (the EdgeId space).
   size_t edge_capacity() const { return edges_.size(); }

@@ -657,11 +657,21 @@ void EncodeFrameBodyTo(const Frame& frame, Sink& sink) {
           PutVarint(sink, f.reached);
           PutVarint(sink, f.rows.size());
           for (const std::string& row : f.rows) PutString(sink, row);
-        } else {
-          static_assert(std::is_same_v<T, LinkAckFrame>);
+        } else if constexpr (std::is_same_v<T, LinkAckFrame>) {
           PutVarint(sink, f.shard);
           PutFixed64(sink, f.session_id);
           PutVarint(sink, f.next_expected);
+        } else if constexpr (std::is_same_v<T, RejoinFrame>) {
+          PutVarint(sink, f.shard);
+          PutFixed64(sink, f.state_epoch);
+          PutVarint(sink, f.round);
+          PutString(sink, f.address);
+        } else {
+          static_assert(std::is_same_v<T, RejoinAckFrame>);
+          PutVarint(sink, f.shard);
+          PutVarint(sink, f.round);
+          sink.Byte(f.accepted ? 1 : 0);
+          PutString(sink, f.reason);
         }
       },
       frame);
@@ -799,6 +809,24 @@ Result<Frame> DecodeFrameBody(std::span<const uint8_t> body) {
       PDMS_RETURN_IF_ERROR(reader.ReadFixed64(&ack.session_id));
       PDMS_RETURN_IF_ERROR(reader.ReadVarint(&ack.next_expected));
       frame = ack;
+      break;
+    }
+    case FrameType::kRejoin: {
+      RejoinFrame rejoin;
+      PDMS_RETURN_IF_ERROR(reader.ReadVarint32(&rejoin.shard, "rejoin shard"));
+      PDMS_RETURN_IF_ERROR(reader.ReadFixed64(&rejoin.state_epoch));
+      PDMS_RETURN_IF_ERROR(reader.ReadVarint(&rejoin.round));
+      PDMS_RETURN_IF_ERROR(reader.ReadString(&rejoin.address, "rejoin address"));
+      frame = std::move(rejoin);
+      break;
+    }
+    case FrameType::kRejoinAck: {
+      RejoinAckFrame ack;
+      PDMS_RETURN_IF_ERROR(reader.ReadVarint32(&ack.shard, "rejoin-ack shard"));
+      PDMS_RETURN_IF_ERROR(reader.ReadVarint(&ack.round));
+      PDMS_RETURN_IF_ERROR(ReadBool(reader, &ack.accepted, "rejoin-ack accepted"));
+      PDMS_RETURN_IF_ERROR(reader.ReadString(&ack.reason, "rejoin-ack reason"));
+      frame = std::move(ack);
       break;
     }
     default:

@@ -34,7 +34,8 @@ namespace pdms {
 
 /// Version byte carried by every frame; bumped on incompatible changes.
 /// v2: CRC32 frame checksum, per-link sequence numbers, session handshake.
-inline constexpr uint8_t kWireFormatVersion = 2;
+/// v3: rejoin / rejoin-ack control frames (snapshot-restart re-admission).
+inline constexpr uint8_t kWireFormatVersion = 3;
 
 /// Sentinel encoding ⊥ (nullopt) in probe trails. Schema attribute images
 /// are dense small ids, so the all-ones pattern is never a real attribute.
@@ -82,6 +83,8 @@ enum class FrameType : uint8_t {
   kQueryRequest = 3,  ///< client -> node: run a θ-gated query
   kQueryResponse = 4, ///< node -> client: rendered result rows
   kLinkAck = 5,       ///< receiver -> sender: cumulative delivery ack
+  kRejoin = 6,        ///< restarted shard -> survivors: re-admission request
+  kRejoinAck = 7,     ///< survivor -> restarted shard: re-admission verdict
 };
 
 /// One routed payload on the wire. `seq` is a per-sender monotonically
@@ -151,8 +154,36 @@ struct LinkAckFrame {
   uint64_t next_expected = 0;  ///< receiver's delivery cursor
 };
 
+/// Re-admission request from a shard restarted off a snapshot: "I hold a
+/// consistent cut of deployment `state_epoch` at `round`; readmit me and
+/// roll back to that cut". `address` is the restarted process's *new*
+/// listen endpoint (the ephemeral port changed across the restart), which
+/// survivors adopt before redialing. Sent as an ordinary sequenced
+/// control frame; it is the one frame type a receiver dispatches even
+/// from a quarantined shard (everything else from an abandoned sender is
+/// acked but dropped), which is what lets a restart cross the quarantine.
+struct RejoinFrame {
+  uint32_t shard = 0;
+  uint64_t state_epoch = 0;
+  uint64_t round = 0;       ///< rounds fully executed at the snapshot cut
+  std::string address;      ///< host:port the restarted shard listens on
+};
+
+/// Survivor's verdict on a rejoin request. `accepted` means the survivor
+/// rolled its own state back to the requested cut and re-admitted the
+/// shard; the restarted shard resumes the round loop only after every
+/// survivor accepted. A rejection (epoch mismatch, cut no longer held)
+/// carries a diagnostic `reason` and leaves the quarantine in place.
+struct RejoinAckFrame {
+  uint32_t shard = 0;       ///< the acking survivor
+  uint64_t round = 0;       ///< echo of the requested cut
+  bool accepted = false;
+  std::string reason;       ///< non-empty iff !accepted
+};
+
 using Frame = std::variant<DataFrame, HelloFrame, MarkFrame, QueryRequestFrame,
-                           QueryResponseFrame, LinkAckFrame>;
+                           QueryResponseFrame, LinkAckFrame, RejoinFrame,
+                           RejoinAckFrame>;
 
 FrameType FrameTypeOf(const Frame& frame);
 

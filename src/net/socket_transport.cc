@@ -176,6 +176,9 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Create(
     return Status::InvalidArgument(
         "retransmit/backoff windows must be positive and ordered");
   }
+  if (options.shutdown_drain_ms < 0) {
+    return Status::InvalidArgument("shutdown_drain_ms must be >= 0");
+  }
   std::unique_ptr<SocketTransport> transport(
       new SocketTransport(std::move(options)));
   PDMS_RETURN_IF_ERROR(transport->Initialize());
@@ -259,7 +262,9 @@ Status SocketTransport::Initialize() {
   return Status::Ok();
 }
 
-SocketTransport::~SocketTransport() {
+void SocketTransport::Shutdown() {
+  bool expected = false;
+  if (!shutdown_started_.compare_exchange_strong(expected, true)) return;
   // Linger briefly so frames staged just before shutdown — a node's final
   // round mark, say — survive an in-flight retransmit cycle. Without this a
   // faulted final frame dies with the process and the peer waits out its
@@ -268,14 +273,27 @@ SocketTransport::~SocketTransport() {
   // drain does not depend on anyone consuming the frames upstream.
   if (!loop_failed_.load(std::memory_order_acquire)) {
     std::unique_lock<std::mutex> lock(barrier_mutex_);
-    barrier_cv_.wait_for(lock, std::chrono::milliseconds(2000), [this] {
-      return loop_failed_.load(std::memory_order_acquire) ||
-             unacked_frames_.load(std::memory_order_acquire) == 0;
-    });
+    barrier_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.shutdown_drain_ms), [this] {
+          return loop_failed_.load(std::memory_order_acquire) ||
+                 unacked_frames_.load(std::memory_order_acquire) == 0;
+        });
+  }
+  const uint64_t undrained = unacked_frames_.load(std::memory_order_acquire);
+  if (undrained > 0) {
+    counters_.frames_dropped_at_shutdown.fetch_add(undrained,
+                                                   std::memory_order_relaxed);
+    PDMS_LOG_WARNING << "shutdown drain deadline ("
+                     << options_.shutdown_drain_ms << "ms) expired with "
+                     << undrained << " frames unacked";
   }
   stop_.store(true, std::memory_order_release);
   WakeLoop();
   if (loop_.joinable()) loop_.join();
+}
+
+SocketTransport::~SocketTransport() {
+  Shutdown();
   for (const auto& link : links_) {
     if (link->fd >= 0) close(link->fd);
   }
@@ -477,6 +495,99 @@ bool SocketTransport::IsAbandoned(uint32_t shard) const {
          links_[shard]->abandoned.load(std::memory_order_acquire);
 }
 
+Status SocketTransport::ReadmitShard(uint32_t shard, std::string address) {
+  if (shard >= links_.size()) {
+    return Status::OutOfRange(StrFormat("unknown shard %u", shard));
+  }
+  if (shard == options_.local_shard) {
+    return Status::InvalidArgument("cannot readmit the local shard");
+  }
+  Link& link = *links_[shard];
+  if (!link.abandoned.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        StrFormat("shard %u is not quarantined", shard));
+  }
+  sockaddr_storage parsed{};
+  socklen_t parsed_len = 0;
+  PDMS_RETURN_IF_ERROR(ParseSocketAddress(address, &parsed, &parsed_len));
+  {
+    std::lock_guard<std::mutex> lock(address_mutex_);
+    options_.shard_addresses[shard] = std::move(address);
+  }
+  link.readmit_requested.store(true, std::memory_order_release);
+  WakeLoop();
+  // Block until the loop lifts the quarantine: frames staged to a shard
+  // whose `abandoned` flag is still set are silently dropped, and callers
+  // stage the re-admission handshake right after this returns.
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const bool cleared = barrier_cv_.wait_for(
+      lock, std::chrono::milliseconds(5000), [this, &link] {
+        return loop_failed_.load(std::memory_order_acquire) ||
+               !link.abandoned.load(std::memory_order_acquire);
+      });
+  if (loop_failed_.load(std::memory_order_acquire)) {
+    return loop_error();
+  }
+  if (!cleared) {
+    return Status::DeadlineExceeded(
+        StrFormat("event loop did not readmit shard %u in time", shard));
+  }
+  return Status::Ok();
+}
+
+std::vector<CapturedFrame> SocketTransport::CaptureInboxes() {
+  std::vector<CapturedFrame> frames;
+  for (Inbox& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    for (const Received& received : inbox.queue) {
+      CapturedFrame frame;
+      frame.seq = received.seq;
+      frame.envelope = received.envelope;
+      frames.push_back(std::move(frame));
+    }
+  }
+  return frames;
+}
+
+Status SocketTransport::RestoreInboxes(std::vector<CapturedFrame> frames) {
+  for (const CapturedFrame& frame : frames) {
+    if (frame.envelope.to >= inboxes_.size()) {
+      return Status::OutOfRange(
+          StrFormat("captured frame addressed to unknown peer %u",
+                    frame.envelope.to));
+    }
+  }
+  uint64_t discarded = 0;
+  for (Inbox& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    discarded += inbox.queue.size();
+    inbox.queue.clear();
+  }
+  const uint64_t restored = frames.size();
+  for (CapturedFrame& frame : frames) {
+    Received received;
+    received.deliver_at = frame.envelope.deliver_at;
+    received.from = frame.envelope.from;
+    received.seq = frame.seq;
+    const PeerId to = frame.envelope.to;
+    received.envelope = std::move(frame.envelope);
+    Inbox& inbox = inboxes_[to];
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.queue.push_back(std::move(received));
+  }
+  if (restored >= discarded) {
+    inbox_count_.fetch_add(restored - discarded, std::memory_order_release);
+  } else {
+    inbox_count_.fetch_sub(discarded - restored, std::memory_order_release);
+  }
+  NotifyBarrier();
+  return Status::Ok();
+}
+
+void SocketTransport::SetNow(uint64_t tick) {
+  now_.store(tick, std::memory_order_release);
+}
+
 void SocketTransport::SetControlHandler(ControlHandler handler) {
   std::lock_guard<std::mutex> lock(handler_mutex_);
   handler_ = std::move(handler);
@@ -603,8 +714,19 @@ void SocketTransport::LoopStartDials() {
   for (size_t shard = 0; shard < links_.size(); ++shard) {
     Link& link = *links_[shard];
     if (link.abandoned.load(std::memory_order_acquire)) {
+      // Discard anything staged before (or during) the quarantine; a
+      // pending readmission then lifts the flag with a clean slate and
+      // falls through to the ordinary dial path below.
       LoopPurgeAbandoned(link);
-      continue;
+      if (!link.readmit_requested.load(std::memory_order_acquire)) continue;
+      link.readmit_requested.store(false, std::memory_order_release);
+      link.backoff_ms = 0;
+      link.next_attempt = {};
+      link.dial_deadline_set = false;
+      link.abandoned.store(false, std::memory_order_release);
+      link.dial_requested.store(true, std::memory_order_release);
+      // ReadmitShard blocks on this transition.
+      NotifyBarrier();
     }
     if (link.fd >= 0) continue;
     bool wants_dial =
@@ -706,6 +828,11 @@ void SocketTransport::LoopPurgeAbandoned(Link& link) {
       ++total_dropped;
     }
     link.pending.clear();
+    // The purged sequences are gone for good. Advance the resume cursor
+    // past them so the hello after a readmission announces where traffic
+    // actually restarts, instead of a base the receiver would wait on
+    // forever (costing it a gap-drop + reconnect to re-learn).
+    link.cursor_seq = link.tx_next_seq;
   }
   if (data_dropped > 0) {
     outstanding_data_.fetch_sub(data_dropped, std::memory_order_release);
@@ -1060,9 +1187,12 @@ bool SocketTransport::LoopDispatchSequenced(Connection& connection,
   }
   expected = seq + 1;
   if (shard < links_.size() &&
-      links_[shard]->abandoned.load(std::memory_order_acquire)) {
+      links_[shard]->abandoned.load(std::memory_order_acquire) &&
+      !std::holds_alternative<RejoinFrame>(frame)) {
     // Quarantined shard: keep acking so its transport does not spin on
-    // retransmits, but deliver nothing.
+    // retransmits, but deliver nothing. A rejoin request is the one
+    // exception — it is precisely how a restarted shard asks the
+    // quarantine to be lifted, so it still reaches the control handler.
     return true;
   }
   if (auto* data = std::get_if<DataFrame>(&frame)) {

@@ -81,6 +81,12 @@ struct SocketTransportOptions {
   int reconnect_backoff_initial_ms = 20;
   int reconnect_backoff_max_ms = 1000;
 
+  /// How long `Shutdown` (and the destructor) lingers for unacked frames
+  /// to drain before giving up on them. Frames still unacked when the
+  /// deadline expires are counted in
+  /// `TransportStats::frames_dropped_at_shutdown`. 0 = no linger.
+  int shutdown_drain_ms = 2000;
+
   /// Frame-level fault injection on outbound link traffic, applied *below*
   /// the retransmission layer: every injected drop/corruption/kill is
   /// repaired by recovery, so delivered traffic — and the engine's
@@ -194,13 +200,48 @@ class SocketTransport final : public Transport {
   /// Quarantines a remote shard: closes its link, discards every staged
   /// and unacked frame toward it, stops redialing it, silently drops any
   /// frame staged for it afterwards, and ignores (while still acking) data
-  /// frames arriving from it. Used by the node layer when a shard misses
-  /// its failure-detection deadline. Irreversible for this transport
-  /// instance; the local shard cannot be abandoned.
+  /// frames arriving from it — except `RejoinFrame`s, which still reach
+  /// the control handler so a restarted shard can ask back in. Used by
+  /// the node layer when a shard misses its failure-detection deadline;
+  /// reversed by `ReadmitShard`. The local shard cannot be abandoned.
   Status AbandonShard(uint32_t shard);
 
-  /// True when `AbandonShard(shard)` was called.
+  /// True when `AbandonShard(shard)` was called (and no `ReadmitShard`
+  /// has lifted it yet).
   bool IsAbandoned(uint32_t shard) const;
+
+  /// Lifts a quarantine: adopts `address` as the shard's new listen
+  /// endpoint (a restarted process binds a fresh ephemeral port), clears
+  /// the abandoned flag and redials. The restarted peer presents a new
+  /// session id, so both delivery cursors resynchronize through the
+  /// ordinary hello handshake — no sequence surgery. Frames staged for
+  /// the shard after this call flow normally.
+  Status ReadmitShard(uint32_t shard, std::string address);
+
+  // --- Snapshot support (node layer) -------------------------------------------
+
+  /// Copies every undrained inbox entry — the in-flight half of a
+  /// consistent cut. Driver-side: call only at a quiesced barrier (no
+  /// concurrent `Send`/`Drain`; the event loop may run, its deliveries
+  /// land before or after the whole capture, never mid-entry).
+  std::vector<CapturedFrame> CaptureInboxes();
+
+  /// Replaces all inbox contents with `frames` (routing each by
+  /// `envelope.to`), adjusting the pending-message accounting. Driver-side
+  /// at a quiesced barrier, same as `CaptureInboxes`; restoring a capture
+  /// taken at the same cut reproduces the exact drain schedule.
+  Status RestoreInboxes(std::vector<CapturedFrame> frames);
+
+  /// Forces the transport clock — a snapshot restore must resume at the
+  /// captured tick or restored `deliver_at` stamps would sit in the
+  /// future forever. Driver-side, before traffic resumes.
+  void SetNow(uint64_t tick);
+
+  /// Drains unacked frames (bounded by `shutdown_drain_ms`), then stops
+  /// and joins the event loop. Idempotent; the destructor calls it.
+  /// Frames still unacked at the deadline are counted in
+  /// `stats().frames_dropped_at_shutdown`.
+  void Shutdown();
 
   // --- Control plane (node daemons) -------------------------------------------
 
@@ -294,6 +335,9 @@ class SocketTransport final : public Transport {
     std::atomic<bool> dial_requested{false};
     std::atomic<bool> connected{false};  ///< handshake complete
     std::atomic<bool> abandoned{false};
+    /// Set by `ReadmitShard`; the event loop clears `abandoned`, resets
+    /// the backoff state and redials at the (updated) address.
+    std::atomic<bool> readmit_requested{false};
 
     // Event-loop-owned state.
     int fd = -1;
@@ -425,6 +469,7 @@ class SocketTransport final : public Transport {
   std::mutex address_mutex_;  // guards options_.shard_addresses updates
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> shutdown_started_{false};
   std::thread loop_;
 };
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <thread>
@@ -50,6 +51,9 @@ Result<std::unique_ptr<PdmsNode>> PdmsNode::Create(Pdms pdms,
     return Status::InvalidArgument(
         "node needs a Pdms built over a SocketTransport");
   }
+  if (options.rejoin_grace_ms < 0) {
+    return Status::InvalidArgument("rejoin_grace_ms must be >= 0");
+  }
   if (pdms.options().schedule != ScheduleKind::kPeriodic ||
       pdms.options().period_ticks != 1) {
     // Discovery may cost the shards a different tick count than a
@@ -67,6 +71,21 @@ Result<std::unique_ptr<PdmsNode>> PdmsNode::Create(Pdms pdms,
 
   std::unique_ptr<PdmsNode> node(
       new PdmsNode(std::move(pdms), transport, std::move(options)));
+  {
+    // Everything a snapshot must agree on to be loadable here: topology,
+    // shard assignment, and the inference-relevant engine options.
+    std::vector<uint32_t> shard_of(node->pdms_.peer_count(), 0);
+    for (PeerId p = 0; p < node->pdms_.peer_count(); ++p) {
+      shard_of[p] = transport->shard_of(p);
+    }
+    node->state_epoch_ =
+        ComputeStateEpoch(node->pdms_.graph(), shard_of,
+                          transport->shard_count(), node->pdms_.options());
+  }
+  if (!node->options_.state_dir.empty()) {
+    node->store_ = std::make_unique<SnapshotStore>(node->options_.state_dir,
+                                                   transport->local_shard());
+  }
   transport->SetControlHandler(
       [raw = node.get()](Frame frame, uint64_t connection,
                          uint32_t remote_shard) {
@@ -112,9 +131,15 @@ Result<std::vector<MarkFrame>> PdmsNode::AwaitMarks(uint32_t phase,
         ++have;
       }
     }
-    if (have >= expected) break;
-
-    if (options_.quarantine_after_ms > 0) {
+    if (have >= expected) {
+      if (phase != 1 || !GraceActiveLocked(std::chrono::steady_clock::now())) {
+        break;
+      }
+      // Barrier satisfied only because quarantine shrank it, and the
+      // rejoin grace window is still open: hold the round here instead of
+      // degrading past the cut the restarted shard would need. Nothing is
+      // consumed while parked, so a rollback re-awaits the queued marks.
+    } else if (options_.quarantine_after_ms > 0) {
       // A shard whose mark is missing and from which nothing — mark or
       // heartbeat — has been heard past the deadline is dead, not slow.
       const auto now = std::chrono::steady_clock::now();
@@ -130,6 +155,14 @@ Result<std::vector<MarkFrame>> PdmsNode::AwaitMarks(uint32_t phase,
         }
       }
       if (!dead.empty()) {
+        if (phase == 1 && options_.rejoin_grace_ms > 0) {
+          // Recovery enabled: keep the round barrier open for a while so
+          // a restart of the dead shard can roll us back instead of the
+          // run degrading permanently.
+          grace_armed_ = true;
+          grace_deadline_ =
+              now + std::chrono::milliseconds(options_.rejoin_grace_ms);
+        }
         for (uint32_t shard : dead) {
           active_[shard] = false;
           // Whatever it queued will never be awaited again.
@@ -147,11 +180,18 @@ Result<std::vector<MarkFrame>> PdmsNode::AwaitMarks(uint32_t phase,
         continue;
       }
     }
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (have < expected && std::chrono::steady_clock::now() >= deadline) {
       return Status::Unavailable(
           StrFormat("no marks for step %llu after %dms — peer shard gone?",
                     static_cast<unsigned long long>(index),
                     options_.mark_timeout_ms));
+    }
+    if (phase == 1 && pending_rejoin_.has_value()) {
+      // A restarted shard is asking back in. Serving it means rolling the
+      // engine back, which restarts the whole round loop — hand control
+      // back to RunRounds without consuming anything.
+      rejoin_interrupt_ = true;
+      return std::vector<MarkFrame>{};
     }
     control_cv_.wait_for(lock, std::chrono::milliseconds(50));
   }
@@ -204,7 +244,19 @@ void PdmsNode::HandleControlFrame(Frame frame, uint64_t connection,
   if (const auto* mark = std::get_if<MarkFrame>(&frame)) {
     {
       std::lock_guard<std::mutex> lock(control_mutex_);
-      if (AdmitMarkLocked(*mark, remote_shard)) marks_.push_back(*mark);
+      if (mark->phase == 3) {
+        // Rejoin commit: the restarted shard has collected every
+        // survivor's ack — all rollbacks are complete, resume sending.
+        if (remote_shard < transport_->shard_count() &&
+            mark->shard == remote_shard &&
+            mark->shard != transport_->local_shard()) {
+          rejoin_commit_ = mark->index;
+        } else {
+          rejected_marks_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (AdmitMarkLocked(*mark, remote_shard)) {
+        marks_.push_back(*mark);
+      }
     }
     // Heartbeats woke nobody's predicate but refreshing the waiters is
     // harmless; admitted marks must wake AwaitMarks.
@@ -219,6 +271,36 @@ void PdmsNode::HandleControlFrame(Frame frame, uint64_t connection,
     const Status status =
         transport_->SendOnConnection(connection, Frame{response});
     if (!status.ok()) PDMS_LOG_WARNING << status.message();
+    return;
+  }
+  if (const auto* rejoin = std::get_if<RejoinFrame>(&frame)) {
+    // Authenticate against the link identity (same rule as marks), then
+    // queue for the driver thread: rolling the engine back cannot happen
+    // on the event loop, and the cut ring is driver-owned anyway.
+    if (remote_shard < transport_->shard_count() &&
+        rejoin->shard == remote_shard &&
+        rejoin->shard != transport_->local_shard()) {
+      {
+        std::lock_guard<std::mutex> lock(control_mutex_);
+        pending_rejoin_ = *rejoin;
+      }
+      control_cv_.notify_all();
+    } else {
+      rejected_marks_.fetch_add(1, std::memory_order_relaxed);
+      PDMS_LOG_WARNING << "rejoin frame claiming shard " << rejoin->shard
+                       << " arrived on link " << remote_shard << "; dropped";
+    }
+    return;
+  }
+  if (const auto* ack = std::get_if<RejoinAckFrame>(&frame)) {
+    if (remote_shard < transport_->shard_count() &&
+        ack->shard == remote_shard) {
+      {
+        std::lock_guard<std::mutex> lock(control_mutex_);
+        rejoin_acks_[ack->shard] = *ack;
+      }
+      control_cv_.notify_all();
+    }
     return;
   }
   // Hellos and stray responses need no action.
@@ -250,6 +332,15 @@ void PdmsNode::QuarantineShard(uint32_t shard) {
     if (!removed.ok()) PDMS_LOG_WARNING << removed.message();
   }
   RebuildSnapshot();
+}
+
+bool PdmsNode::GraceActiveLocked(std::chrono::steady_clock::time_point now) {
+  if (!grace_armed_) return false;
+  if (now < grace_deadline_) return true;
+  grace_armed_ = false;
+  PDMS_LOG_WARNING << "rejoin grace window (" << options_.rejoin_grace_ms
+                   << "ms) expired; continuing without the quarantined shard";
+  return false;
 }
 
 std::vector<uint32_t> PdmsNode::quarantined() const {
@@ -337,34 +428,90 @@ Result<ConvergenceReport> PdmsNode::RunRounds() {
   size_t quiet = 0;
   double previous_change = 1.0;
   uint64_t round = 0;
+  // Resuming from a restored or rolled-back cut: engine, inboxes and the
+  // transport clock were already applied; pick up the loop scalars and
+  // skip the barrier the cut already crossed.
+  bool skip_barrier = false;
+  if (resume_.has_value()) {
+    round = resume_->round;
+    quiet = static_cast<size_t>(resume_->quiet);
+    previous_change = resume_->previous_change;
+    report.rounds = round;
+    report.belief_updates_sent = resume_->report_updates;
+    resume_.reset();
+    skip_barrier = true;
+  }
   RebuildSnapshot();
   for (;;) {
-    MarkFrame mark;
-    mark.shard = transport_->local_shard();
-    mark.phase = 1;
-    mark.index = round;
-    mark.max_change = previous_change;
-    BroadcastMark(mark);
-    PDMS_ASSIGN_OR_RETURN(const std::vector<MarkFrame> marks,
-                          AwaitMarks(1, round));
-    if (round > 0) {
-      double global_change = previous_change;
-      for (const MarkFrame& remote : marks) {
-        global_change = std::max(global_change, remote.max_change);
+    if (!skip_barrier) {
+      MarkFrame mark;
+      mark.shard = transport_->local_shard();
+      mark.phase = 1;
+      mark.index = round;
+      mark.max_change = previous_change;
+      BroadcastMark(mark);
+      PDMS_ASSIGN_OR_RETURN(const std::vector<MarkFrame> marks,
+                            AwaitMarks(1, round));
+      if (rejoin_interrupt_) {
+        // A restarted shard asked back in; the barrier consumed nothing.
+        rejoin_interrupt_ = false;
+        std::optional<RejoinFrame> rejoin;
+        {
+          std::lock_guard<std::mutex> lock(control_mutex_);
+          rejoin.swap(pending_rejoin_);
+        }
+        if (rejoin.has_value()) {
+          const Status served = ServeRejoin(*rejoin);
+          if (!served.ok()) {
+            PDMS_LOG_WARNING << "rejoin of shard " << rejoin->shard
+                             << " not served: " << served.message();
+          }
+          if (resume_.has_value()) {
+            round = resume_->round;
+            quiet = static_cast<size_t>(resume_->quiet);
+            previous_change = resume_->previous_change;
+            report.rounds = round;
+            report.belief_updates_sent = resume_->report_updates;
+            resume_.reset();
+            skip_barrier = true;
+          }
+        }
+        // Either restart from the rolled-back cut or retry this barrier
+        // (the re-broadcast mark is a duplicate peers reject harmlessly).
+        continue;
       }
-      quiet = global_change < engine_options.tolerance ? quiet + 1 : 0;
-      if (quiet >= patience) {
-        report.converged = true;
-        break;
+      if (round > 0) {
+        double global_change = previous_change;
+        for (const MarkFrame& remote : marks) {
+          global_change = std::max(global_change, remote.max_change);
+        }
+        quiet = global_change < engine_options.tolerance ? quiet + 1 : 0;
+        if (quiet >= patience) {
+          report.converged = true;
+          break;
+        }
       }
+      if (round == options_.max_rounds) break;
     }
-    if (round == options_.max_rounds) break;
+    skip_barrier = false;
+    // This is the consistent cut "rounds 1..`round` executed everywhere,
+    // round-`round` traffic sitting in the inboxes": every shard has
+    // crossed the round-`round` barrier and nothing else is in flight.
+    CaptureCut(round, quiet, previous_change, report);
     const RoundReport step = pdms_.engine().RunRound();
     PDMS_RETURN_IF_ERROR(transport_->barrier_status());
     ++round;
     report.rounds = round;
     report.belief_updates_sent += step.belief_updates_sent;
     previous_change = step.max_posterior_change;
+    if (Logger::Get().Enabled(LogLevel::kDebug)) {
+      char change_hex[32];
+      std::snprintf(change_hex, sizeof(change_hex), "%a",
+                    step.max_posterior_change);
+      PDMS_LOG_DEBUG << "round " << round << ": updates "
+                     << step.belief_updates_sent << ", max_change "
+                     << change_hex << ", tick " << transport_->now();
+    }
     RebuildSnapshot();
     if (options_.round_hook) options_.round_hook(round);
     if (options_.round_delay_ms > 0) {
@@ -373,6 +520,257 @@ Result<ConvergenceReport> PdmsNode::RunRounds() {
     }
   }
   return report;
+}
+
+// --- Durable state & re-admission -----------------------------------------------
+
+void PdmsNode::CaptureCut(uint64_t round, uint64_t quiet,
+                          double previous_change,
+                          const ConvergenceReport& report) {
+  const bool ring = options_.rejoin_grace_ms > 0;
+  if (store_ == nullptr && !ring) return;
+  NodeSnapshot cut;
+  cut.state_epoch = state_epoch_;
+  cut.round = round;
+  cut.tick = transport_->now();
+  cut.quiet = quiet;
+  cut.previous_change = previous_change;
+  cut.report_updates = report.belief_updates_sent;
+  cut.engine = pdms_.engine().CaptureImage();
+  cut.inbox = transport_->CaptureInboxes();
+  // The barrier is not a wall-clock rendezvous: a shard that crossed it
+  // first may already be executing the next round, and its frames can land
+  // in our inboxes before the capture. This cut's own round-`round` traffic
+  // is stamped `tick + 1` (RunRound advances the clock before delivering);
+  // anything later belongs to a round a faster shard is already running and
+  // is not part of the cut — after a rollback its sender re-executes that
+  // round and sends it again.
+  const uint64_t cut_horizon = cut.tick + 1;
+  const size_t captured = cut.inbox.size();
+  cut.inbox.erase(std::remove_if(cut.inbox.begin(), cut.inbox.end(),
+                                 [cut_horizon](const CapturedFrame& frame) {
+                                   return frame.envelope.deliver_at > cut_horizon;
+                                 }),
+                  cut.inbox.end());
+  if (Logger::Get().Enabled(LogLevel::kDebug)) {
+    PDMS_LOG_DEBUG << "cut " << round << ": tick " << cut.tick << ", inbox "
+                   << cut.inbox.size() << " (" << (captured - cut.inbox.size())
+                   << " ahead-of-cut filtered)";
+  }
+  if (store_ != nullptr) {
+    const Status saved = store_->Save(cut);
+    if (!saved.ok()) {
+      // Snapshotting is best-effort: a failing disk degrades recovery,
+      // never the run itself.
+      PDMS_LOG_WARNING << "snapshot for round " << round
+                       << " not persisted: " << saved.message();
+    }
+  }
+  // After a rollback the restored cut comes through here again; the ring
+  // already holds it.
+  if (ring && (cut_ring_.empty() || cut_ring_.back().round < round)) {
+    cut_ring_.push_back(std::move(cut));
+    while (cut_ring_.size() > kCutRingDepth) cut_ring_.pop_front();
+  }
+}
+
+Result<uint64_t> PdmsNode::TryRestoreFromState() {
+  if (store_ == nullptr) {
+    return Status::NotFound("no state directory configured");
+  }
+  auto loaded = store_->Load(state_epoch_);
+  if (!loaded.ok()) return loaded.status();
+  NodeSnapshot snapshot = std::move(loaded).value();
+  const uint64_t round = snapshot.round;
+  PDMS_RETURN_IF_ERROR(pdms_.engine().RestoreImage(std::move(snapshot.engine)));
+  PDMS_RETURN_IF_ERROR(transport_->RestoreInboxes(std::move(snapshot.inbox)));
+  transport_->SetNow(snapshot.tick);
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    // Marks below the restored cut are history; the next barrier this
+    // process joins is round + 1.
+    consumed_low_[1] = round + 1;
+  }
+  snapshot.engine = PdmsEngine::EngineImage{};
+  snapshot.inbox.clear();
+  resume_ = std::move(snapshot);
+  RebuildSnapshot();
+  PDMS_LOG_INFO << "restored from snapshot: round " << round << ", epoch "
+                << state_epoch_;
+  return round;
+}
+
+Status PdmsNode::PerformRejoin() {
+  if (!resume_.has_value()) {
+    return Status::FailedPrecondition(
+        "PerformRejoin requires a successful TryRestoreFromState");
+  }
+  const uint64_t round = resume_->round;
+  if (transport_->shard_count() <= 1) return Status::Ok();
+  RejoinFrame rejoin;
+  rejoin.shard = transport_->local_shard();
+  rejoin.state_epoch = state_epoch_;
+  rejoin.round = round;
+  rejoin.address = transport_->local_address();
+  for (uint32_t shard = 0; shard < transport_->shard_count(); ++shard) {
+    if (shard == transport_->local_shard()) continue;
+    const Status sent = transport_->SendControl(shard, Frame{rejoin});
+    if (!sent.ok()) PDMS_LOG_WARNING << sent.message();
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.mark_timeout_ms);
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  for (;;) {
+    PDMS_RETURN_IF_ERROR(transport_->loop_error());
+    for (const auto& [shard, ack] : rejoin_acks_) {
+      if (!ack.accepted) {
+        return Status::FailedPrecondition(StrFormat(
+            "shard %u rejected rejoin: %s", shard, ack.reason.c_str()));
+      }
+    }
+    std::vector<uint32_t> missing;
+    for (uint32_t shard = 0; shard < transport_->shard_count(); ++shard) {
+      if (shard == transport_->local_shard() || !active_[shard]) continue;
+      if (rejoin_acks_.find(shard) == rejoin_acks_.end()) {
+        missing.push_back(shard);
+      }
+    }
+    if (missing.empty()) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // A survivor that never answered is as gone as a shard that missed
+      // the failure deadline: quarantine it and resume without it.
+      for (uint32_t shard : missing) active_[shard] = false;
+      lock.unlock();
+      for (uint32_t shard : missing) QuarantineShard(shard);
+      lock.lock();
+      break;
+    }
+    control_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  rejoin_acks_.clear();
+  lock.unlock();
+  // Every survivor has rolled back (their acks prove it) and is holding its
+  // round loop for this commit. Only now may anyone send round traffic
+  // again: a re-executed frame arriving before a slower survivor's
+  // rollback would be wiped by its inbox restore and never re-sent.
+  MarkFrame commit;
+  commit.shard = transport_->local_shard();
+  commit.phase = 3;
+  commit.index = round;
+  BroadcastMark(commit);
+  PDMS_LOG_INFO << "readmitted at round " << round;
+  return Status::Ok();
+}
+
+void PdmsNode::SendRejoinVerdict(uint32_t shard, uint64_t round, bool accepted,
+                                 std::string reason) {
+  RejoinAckFrame ack;
+  ack.shard = transport_->local_shard();
+  ack.round = round;
+  ack.accepted = accepted;
+  ack.reason = std::move(reason);
+  const Status status = transport_->SendControl(shard, Frame{ack});
+  if (!status.ok()) PDMS_LOG_WARNING << status.message();
+}
+
+Status PdmsNode::ServeRejoin(const RejoinFrame& rejoin) {
+  const uint32_t shards = transport_->shard_count();
+  if (rejoin.shard >= shards || rejoin.shard == transport_->local_shard()) {
+    return Status::InvalidArgument(
+        StrFormat("rejoin from impossible shard %u", rejoin.shard));
+  }
+  // Rejection verdicts are best-effort: they only reach a shard whose link
+  // is still live (the fast-restart case); a quarantined requester times
+  // out on the missing ack instead.
+  if (rejoin.state_epoch != state_epoch_) {
+    SendRejoinVerdict(rejoin.shard, rejoin.round, false,
+                      "state epoch mismatch — topology or options diverged");
+    return Status::FailedPrecondition(
+        StrFormat("shard %u rejoined with state epoch %llx, ours is %llx",
+                  rejoin.shard,
+                  static_cast<unsigned long long>(rejoin.state_epoch),
+                  static_cast<unsigned long long>(state_epoch_)));
+  }
+  const NodeSnapshot* cut = nullptr;
+  for (const NodeSnapshot& entry : cut_ring_) {
+    if (entry.round == rejoin.round) {
+      cut = &entry;
+      break;
+    }
+  }
+  if (cut == nullptr) {
+    SendRejoinVerdict(
+        rejoin.shard, rejoin.round, false,
+        StrFormat("cut for round %llu is no longer held",
+                  static_cast<unsigned long long>(rejoin.round)));
+    return Status::NotFound(
+        StrFormat("no ring entry for round %llu",
+                  static_cast<unsigned long long>(rejoin.round)));
+  }
+  PDMS_LOG_INFO << "shard " << rejoin.shard << " rejoining at round "
+                << rejoin.round << "; rolling back to that cut";
+  // Roll everything back to the requested cut. The ring entry is restored
+  // by copy: it stays valid for a repeat attempt.
+  PDMS_RETURN_IF_ERROR(pdms_.engine().RestoreImage(cut->engine));
+  PDMS_RETURN_IF_ERROR(transport_->RestoreInboxes(cut->inbox));
+  transport_->SetNow(cut->tick);
+  if (!transport_->IsAbandoned(rejoin.shard)) {
+    // Fast restart: the shard came back before the failure detector fired.
+    // Tear the stale link down so re-admission dials the new incarnation.
+    PDMS_RETURN_IF_ERROR(transport_->AbandonShard(rejoin.shard));
+  }
+  // Readmit *before* acking: frames staged toward an abandoned shard are
+  // silently dropped, and the verdict below must reach it.
+  PDMS_RETURN_IF_ERROR(transport_->ReadmitShard(rejoin.shard, rejoin.address));
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    active_[rejoin.shard] = true;
+    last_heard_[rejoin.shard] = std::chrono::steady_clock::now();
+    consumed_low_[1] = rejoin.round + 1;
+    grace_armed_ = false;
+    rejoin_commit_.reset();
+    // Queued round marks are all from the execution being rolled back:
+    // indexes at or below the cut are spent, and later ones describe
+    // rounds every shard is about to re-run and re-announce. Letting a
+    // stale mark satisfy the re-run's barrier would break the invariant
+    // that a mark flushes its round's data frames — the re-sent data
+    // travels long after the original mark did.
+    marks_.erase(std::remove_if(
+                     marks_.begin(), marks_.end(),
+                     [](const MarkFrame& mark) { return mark.phase == 1; }),
+                 marks_.end());
+  }
+  SendRejoinVerdict(rejoin.shard, rejoin.round, true, "");
+  NodeSnapshot resume;
+  resume.state_epoch = state_epoch_;
+  resume.round = cut->round;
+  resume.tick = cut->tick;
+  resume.quiet = cut->quiet;
+  resume.previous_change = cut->previous_change;
+  resume.report_updates = cut->report_updates;
+  resume_ = std::move(resume);
+  RebuildSnapshot();
+  // Hold here until the restarted shard confirms every survivor rolled
+  // back. Resuming earlier would race a slower survivor's inbox restore:
+  // our re-executed round traffic could land just before the wipe and
+  // vanish from the run for good.
+  {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.mark_timeout_ms);
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    while (!rejoin_commit_.has_value()) {
+      PDMS_RETURN_IF_ERROR(transport_->loop_error());
+      if (std::chrono::steady_clock::now() >= deadline) {
+        PDMS_LOG_WARNING << "no rejoin commit from shard " << rejoin.shard
+                         << " after " << options_.mark_timeout_ms
+                         << "ms; resuming anyway";
+        break;
+      }
+      control_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+    rejoin_commit_.reset();
+  }
+  return Status::Ok();
 }
 
 // --- Posterior snapshots & queries ----------------------------------------------

@@ -5,9 +5,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -16,6 +18,7 @@
 #include "net/codec.h"
 #include "net/socket_transport.h"
 #include "pdms/pdms.h"
+#include "store/snapshot.h"
 #include "util/status.h"
 
 namespace pdms {
@@ -54,6 +57,23 @@ struct NodeOptions {
   /// Chaos hook: the node-chaos CI job uses it to SIGKILL a shard
   /// mid-run.
   std::function<void(uint64_t round)> round_hook;
+
+  /// Directory for crash-consistent snapshots (see src/store/snapshot.h).
+  /// Non-empty = after every round barrier the node checkpoints its
+  /// engine state and in-flight traffic there (double-buffered, fsynced),
+  /// and `TryRestoreFromState` can resume from the newest valid cut
+  /// without re-running discovery. Empty = no persistence.
+  std::string state_dir;
+
+  /// After quarantining a shard mid-rounds, how long the survivors hold
+  /// the round barrier open for that shard's `RejoinFrame` before
+  /// degrading without it. While the grace window is open each survivor
+  /// keeps an in-memory ring of recent round cuts; a valid rejoin rolls
+  /// everyone back to the restarted shard's snapshot round and the run
+  /// resumes in lockstep — converging on the same fixpoint as an
+  /// uninterrupted run, with zero re-discovery. 0 = no grace: a
+  /// quarantined shard stays out (the pre-recovery behaviour).
+  int rejoin_grace_ms = 0;
 };
 
 /// One process of a partitioned PDMS deployment: owns the shard of peers
@@ -112,6 +132,26 @@ class PdmsNode {
   /// quiet step. Returns the number of distinct factor replicas held by
   /// the *local* peers afterwards.
   Result<size_t> RunDiscovery();
+
+  /// Restores engine state, in-flight traffic and the transport clock from
+  /// the newest valid snapshot in `NodeOptions::state_dir`, making
+  /// `RunDiscovery` unnecessary — the restored cut already holds every
+  /// replica and routing table. Returns the restored round on success;
+  /// NotFound when no loadable snapshot exists (torn, CRC-corrupt or
+  /// epoch-mismatched files are skipped) — the caller cold-starts through
+  /// `RunDiscovery` instead. Call after `Connect`, before `PerformRejoin`.
+  Result<uint64_t> TryRestoreFromState();
+
+  /// After a successful `TryRestoreFromState`: broadcasts a `RejoinFrame`
+  /// announcing the restored cut and this process's new listen address,
+  /// then blocks until every live shard acknowledged re-admission. A shard
+  /// that rejects the rejoin fails the call; one that stays silent past
+  /// `mark_timeout_ms` is quarantined and the run proceeds without it.
+  Status PerformRejoin();
+
+  /// Fingerprint of everything that must match for a snapshot to be
+  /// loadable into this deployment (topology, sharding, engine options).
+  uint64_t state_epoch() const { return state_epoch_; }
 
   /// Mark-synchronized inference rounds until the *global* posterior
   /// movement (max over all live shards) stays below tolerance, with the
@@ -181,6 +221,31 @@ class PdmsNode {
   /// `control_mutex_` *not* held.
   void QuarantineShard(uint32_t shard);
 
+  /// Whether the rejoin grace window is open: a shard was quarantined
+  /// mid-rounds, recovery is enabled, and the deadline has not passed.
+  /// Must hold `control_mutex_`. Disarms (and logs) on expiry.
+  bool GraceActiveLocked(std::chrono::steady_clock::time_point now);
+
+  /// Checkpoints the consistent cut "rounds 1..`round` executed
+  /// everywhere, round-`round` traffic in the inboxes": saves it to the
+  /// snapshot store (when configured) and pushes it onto the in-memory
+  /// cut ring (when the rejoin grace window is enabled). Driver thread,
+  /// called between the round barrier and the next `RunRound`.
+  void CaptureCut(uint64_t round, uint64_t quiet, double previous_change,
+                  const ConvergenceReport& report);
+
+  /// Survivor side of re-admission, on the driver thread: validates the
+  /// request against the cut ring, rolls engine + inboxes + clock back to
+  /// the requested round, re-admits the shard's link (before acking —
+  /// frames staged to an abandoned shard are dropped), then sends the
+  /// verdict. On success `resume_` is set and the round loop restarts
+  /// from the rolled-back cut.
+  Status ServeRejoin(const RejoinFrame& rejoin);
+
+  /// Sends a rejoin verdict to `shard` (best-effort).
+  void SendRejoinVerdict(uint32_t shard, uint64_t round, bool accepted,
+                         std::string reason);
+
   void HeartbeatMain();
 
   void RebuildSnapshot();
@@ -208,6 +273,37 @@ class PdmsNode {
   uint64_t consumed_low_[2] = {0, 0};
 
   std::atomic<uint64_t> rejected_marks_{0};
+
+  // --- Durable-state / re-admission machinery ---------------------------
+  /// Deployment fingerprint (ComputeStateEpoch), fixed at Create.
+  uint64_t state_epoch_ = 0;
+  /// Non-null iff `NodeOptions::state_dir` is set.
+  std::unique_ptr<SnapshotStore> store_;
+  /// Recent round cuts, oldest first, driver-thread only. Bounded depth;
+  /// only maintained while the rejoin grace window is enabled.
+  static constexpr size_t kCutRingDepth = 4;
+  std::deque<NodeSnapshot> cut_ring_;
+  /// Cut to resume the round loop from (engine/inboxes already applied;
+  /// only the scalars are read). Set by `TryRestoreFromState` and
+  /// `ServeRejoin`, consumed by `RunRounds`. Driver thread only.
+  std::optional<NodeSnapshot> resume_;
+  /// Rejoin request queued by the control thread for the driver to serve,
+  /// and the acks a restarted shard collects. Guarded by `control_mutex_`.
+  std::optional<RejoinFrame> pending_rejoin_;
+  std::unordered_map<uint32_t, RejoinAckFrame> rejoin_acks_;
+  /// Rejoin commit barrier (guarded by `control_mutex_`): set when the
+  /// restarted shard announces every survivor has rolled back (phase-3
+  /// mark). A survivor holds after its own rollback until this arrives, so
+  /// no re-executed traffic can land before a slower survivor's rollback
+  /// wipes its inboxes.
+  std::optional<uint64_t> rejoin_commit_;
+  /// Grace window (guarded by `control_mutex_`): armed when a shard is
+  /// quarantined mid-rounds with `rejoin_grace_ms > 0`.
+  bool grace_armed_ = false;
+  std::chrono::steady_clock::time_point grace_deadline_{};
+  /// Set by `AwaitMarks` when it returned early (nothing consumed) because
+  /// a rejoin request is pending. Driver thread only.
+  bool rejoin_interrupt_ = false;
 
   std::mutex heartbeat_mutex_;
   std::condition_variable heartbeat_cv_;

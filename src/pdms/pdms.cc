@@ -35,6 +35,8 @@ void Pdms::InjectFeedback(const FeedbackAnnouncement& announcement) {
   engine_->InjectFeedback(announcement);
 }
 
+UndoSession Pdms::StartUndoSession() { return UndoSession(engine_.get()); }
+
 Peer& Pdms::peer(PeerId id) { return engine_->peer(id); }
 const Peer& Pdms::peer(PeerId id) const { return engine_->peer(id); }
 size_t Pdms::peer_count() const { return engine_->peer_count(); }

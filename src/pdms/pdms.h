@@ -83,6 +83,13 @@ class Pdms {
   /// (experiments that need the paper's exact feedback sets; churn tests).
   void InjectFeedback(const FeedbackAnnouncement& announcement);
 
+  /// Opens a chainbase-style undo scope over the network's inference
+  /// state: unless the returned session is committed, destroying it rolls
+  /// back every mutation made since — `InjectFeedback`, `RemoveMapping`,
+  /// prior updates and rounds revert atomically (pools, routing tables and
+  /// alias sessions together). Driver-thread only; see `UndoSession`.
+  UndoSession StartUndoSession();
+
   // --- Introspection ---------------------------------------------------------
 
   Peer& peer(PeerId id);

@@ -26,6 +26,11 @@ std::string TransportStats::ToString() const {
                    static_cast<unsigned long long>(bytes_sent),
                    static_cast<unsigned long long>(key_bytes_sent),
                    static_cast<unsigned long long>(alias_bytes_sent));
+  if (frames_dropped_at_shutdown > 0) {
+    out += StrFormat(
+        "frames_dropped_at_shutdown=%llu\n",
+        static_cast<unsigned long long>(frames_dropped_at_shutdown));
+  }
   return out;
 }
 
@@ -38,6 +43,8 @@ void AtomicTransportStats::SnapshotTo(TransportStats* out) const {
   out->bytes_sent = bytes_sent.load(std::memory_order_relaxed);
   out->key_bytes_sent = key_bytes_sent.load(std::memory_order_relaxed);
   out->alias_bytes_sent = alias_bytes_sent.load(std::memory_order_relaxed);
+  out->frames_dropped_at_shutdown =
+      frames_dropped_at_shutdown.load(std::memory_order_relaxed);
 }
 
 void AtomicTransportStats::Reset() {
@@ -49,6 +56,7 @@ void AtomicTransportStats::Reset() {
   bytes_sent.store(0, std::memory_order_relaxed);
   key_bytes_sent.store(0, std::memory_order_relaxed);
   alias_bytes_sent.store(0, std::memory_order_relaxed);
+  frames_dropped_at_shutdown.store(0, std::memory_order_relaxed);
 }
 
 void InstantTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,

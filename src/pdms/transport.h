@@ -30,6 +30,11 @@ struct TransportStats {
   /// (`AliasWireBytes`) — what the alias scheme pays to *replace* the
   /// fingerprints; reported as `alias_bytes_per_round` by the benchmarks.
   uint64_t alias_bytes_sent = 0;
+  /// Frames still unacknowledged when the transport shut down and stopped
+  /// retransmitting (they may or may not have reached the receiver). Zero
+  /// on a clean drain; non-zero means the shutdown deadline
+  /// (`SocketTransportOptions::shutdown_drain_ms`) expired first.
+  uint64_t frames_dropped_at_shutdown = 0;
 
   uint64_t TotalSent() const;
   std::string ToString() const;
@@ -46,6 +51,7 @@ struct AtomicTransportStats {
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> key_bytes_sent{0};
   std::atomic<uint64_t> alias_bytes_sent{0};
+  std::atomic<uint64_t> frames_dropped_at_shutdown{0};
 
   /// Counts one send attempt of `kind` (drops included — `sent` tracks
   /// attempts; pair with CountDropped for the loss ledger).
@@ -76,6 +82,17 @@ struct AtomicTransportStats {
   /// Relaxed snapshot into `out`; exact when the transport is quiescent.
   void SnapshotTo(TransportStats* out) const;
   void Reset();
+};
+
+/// One in-flight message captured from a transport inbox at a quiesced
+/// barrier: the routed envelope plus the per-sender sequence number the
+/// deterministic drain order sorts on. The unit `SocketTransport`'s
+/// inbox capture/restore moves and the snapshot layer (src/store)
+/// persists — restoring the captured frames alongside the engine image
+/// reproduces the exact delivery schedule of the original run.
+struct CapturedFrame {
+  uint64_t seq = 0;
+  Envelope envelope;
 };
 
 /// How messages move between peers — the provider side of the public API.

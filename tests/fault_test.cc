@@ -463,5 +463,81 @@ TEST(SocketFaultToleranceTest, SurvivorQuarantinesDeadShardAndKeepsServing) {
   EXPECT_TRUE(found);
 }
 
+TEST(SocketFaultToleranceTest, ShutdownDrainDeadlineBoundsAndCountsDrops) {
+  const auto make = [](uint32_t shard, int drain_ms) {
+    SocketTransportOptions options;
+    options.peer_count = 2;
+    options.local_shard = shard;
+    options.shard_addresses = {"127.0.0.1:0", "127.0.0.1:0"};
+    options.shard_of = {0, 1};
+    options.retransmit_timeout_ms = 20;
+    options.reconnect_backoff_initial_ms = 5;
+    options.reconnect_backoff_max_ms = 20;
+    options.shutdown_drain_ms = drain_ms;
+    return SocketTransport::Create(std::move(options));
+  };
+
+  // A negative drain deadline is a configuration error, caught at Create.
+  {
+    auto bad = make(0, /*drain_ms=*/-1);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  auto made0 = make(0, /*drain_ms=*/200);
+  auto made1 = make(1, /*drain_ms=*/200);
+  ASSERT_TRUE(made0.ok()) << made0.status().ToString();
+  ASSERT_TRUE(made1.ok()) << made1.status().ToString();
+  SocketTransport& sender = **made0;
+  ASSERT_TRUE(sender.SetShardAddress(1, (*made1)->local_address()).ok());
+  ASSERT_TRUE((*made1)->SetShardAddress(0, sender.local_address()).ok());
+  ASSERT_TRUE(sender.ConnectAll().ok());
+  ASSERT_TRUE((*made1)->ConnectAll().ok());
+
+  // Kill the receiving end, then stage frames that can never be acked: the
+  // sender's shutdown must give up after the drain deadline and account
+  // every undrained frame instead of hanging on the dead link.
+  made1->reset();
+  constexpr int kStranded = 10;
+  for (int i = 0; i < kStranded; ++i) {
+    ProbeMessage probe;
+    probe.origin = static_cast<PeerId>(i);
+    sender.Send(0, 1, std::nullopt, probe);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const steady_clock::time_point before = steady_clock::now();
+  sender.Shutdown();
+  EXPECT_LT(steady_clock::now() - before, std::chrono::seconds(5));
+  EXPECT_GT(sender.stats().frames_dropped_at_shutdown, 0u);
+  EXPECT_LE(sender.stats().frames_dropped_at_shutdown,
+            static_cast<uint64_t>(kStranded));
+}
+
+TEST(SocketFaultToleranceTest, CleanShutdownDropsNothing) {
+  FaultPlan plan;  // healthy links
+  auto made0 = MakeShardTransport(0, plan);
+  auto made1 = MakeShardTransport(1, plan);
+  ASSERT_TRUE(made0.ok()) << made0.status().ToString();
+  ASSERT_TRUE(made1.ok()) << made1.status().ToString();
+  SocketTransport& sender = **made0;
+  SocketTransport& receiver = **made1;
+  ASSERT_TRUE(sender.SetShardAddress(1, receiver.local_address()).ok());
+  ASSERT_TRUE(receiver.SetShardAddress(0, sender.local_address()).ok());
+  ASSERT_TRUE(sender.ConnectAll().ok());
+  ASSERT_TRUE(receiver.ConnectAll().ok());
+
+  for (int i = 0; i < 20; ++i) {
+    ProbeMessage probe;
+    probe.origin = static_cast<PeerId>(i);
+    sender.Send(0, 1, std::nullopt, probe);
+  }
+  // A live peer acks everything well inside the default drain window.
+  sender.Shutdown();
+  EXPECT_EQ(sender.stats().frames_dropped_at_shutdown, 0u);
+  receiver.Shutdown();
+  EXPECT_EQ(receiver.stats().frames_dropped_at_shutdown, 0u);
+}
+
 }  // namespace
 }  // namespace pdms

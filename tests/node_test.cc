@@ -215,6 +215,79 @@ TEST(PdmsNodeTest, ServesSnapshotQueriesWhileRoundsRun) {
   EXPECT_FALSE(rejected->ok);
 }
 
+TEST(PdmsNodeTest, ResumesFromSnapshotWithoutRediscovery) {
+  char dir_template[] = "/tmp/pdms_node_state_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  const std::string state_dir = dir_template;
+
+  // Single-shard node over the loopback socket transport, checkpointing
+  // every round into `state_dir`.
+  const auto make_node = [&state_dir]() -> std::unique_ptr<PdmsNode> {
+    bench::BibliographicPdms workload = bench::MakeBibliographicPdms(
+        WorkloadOptions(),
+        [&](size_t peer_count, const EngineOptions&)
+            -> std::unique_ptr<Transport> {
+          return SocketTransport::CreateLoopback(peer_count);
+        });
+    NodeOptions node_options;
+    node_options.max_rounds = kRounds;
+    node_options.state_dir = state_dir;
+    Result<std::unique_ptr<PdmsNode>> node =
+        PdmsNode::Create(std::move(workload.pdms), node_options);
+    EXPECT_TRUE(node.ok()) << node.status().ToString();
+    if (!node.ok()) return nullptr;
+    return std::move(node).value();
+  };
+
+  const auto all_posteriors = [](const PdmsNode& node) {
+    std::vector<double> posteriors;
+    const Digraph& graph = node.pdms().graph();
+    for (EdgeId e : graph.LiveEdges()) {
+      // Attribute count varies per schema; probe until out of range is not
+      // possible here, so walk the owner's schema size.
+      const PeerId owner = graph.edge(e).src;
+      const size_t attrs = node.pdms().peer(owner).schema().size();
+      for (AttributeId a = 0; a < attrs; ++a) {
+        posteriors.push_back(node.pdms().Posterior(e, a));
+      }
+    }
+    return posteriors;
+  };
+
+  // First life: an uninterrupted run, leaving snapshots behind.
+  std::unique_ptr<PdmsNode> first = make_node();
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(first->Connect().ok());
+  // An empty state dir is a cold start, not an error to retry around.
+  EXPECT_EQ(first->TryRestoreFromState().status().code(),
+            StatusCode::kNotFound);
+  Result<size_t> replicas = first->RunDiscovery();
+  ASSERT_TRUE(replicas.ok()) << replicas.status().ToString();
+  ASSERT_GT(*replicas, 0u);
+  Result<ConvergenceReport> full = first->RunRounds();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  const std::vector<double> reference = all_posteriors(*first);
+  first.reset();
+
+  // Second life: restore the newest cut instead of re-discovering, finish
+  // the remaining rounds, and land on the identical fixpoint.
+  std::unique_ptr<PdmsNode> second = make_node();
+  ASSERT_NE(second, nullptr);
+  ASSERT_TRUE(second->Connect().ok());
+  Result<uint64_t> restored = second->TryRestoreFromState();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_GT(*restored, 0u);
+  EXPECT_LT(*restored, static_cast<uint64_t>(kRounds));
+  // The restored image already holds every replica discovery would find.
+  EXPECT_GT(second->pdms().peer(0).replica_count(), 0u);
+  ASSERT_TRUE(second->PerformRejoin().ok());  // single shard: trivial
+  Result<ConvergenceReport> resumed = second->RunRounds();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(all_posteriors(*second), reference);
+
+  std::system(("rm -rf " + state_dir).c_str());
+}
+
 // --- Two real processes ---------------------------------------------------------
 
 /// Parses `P <edge> <attr> <hex-float>` lines into (edge, attr) → text.

@@ -1,0 +1,328 @@
+// Tests for the durable peer state layer (store/): snapshot
+// encode/decode round-trips over a real converged engine image,
+// rejection of torn / truncated / corrupt input, the double-buffered
+// SnapshotStore with its fallback-to-older-slot behavior, and the
+// deployment state-epoch fingerprint.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "graph/topology.h"
+#include "mapping/mapping_generator.h"
+#include "pdms/pdms.h"
+#include "store/snapshot.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace pdms {
+namespace {
+
+constexpr size_t kAttrs = 11;
+
+Schema MakeSchema(const std::string& name, size_t attrs = kAttrs) {
+  Schema schema(name);
+  for (size_t a = 0; a < attrs; ++a) {
+    EXPECT_TRUE(schema.AddAttribute(name + "_a" + std::to_string(a)).ok());
+  }
+  return schema;
+}
+
+/// The intro example (Figure 4) through the public builder; m24 (EdgeId 4)
+/// garbles attribute 0.
+Pdms MakeIntroPdms(EngineOptions options = {}, uint64_t seed = 17) {
+  Rng rng(seed);
+  options.probe_ttl = 5;
+  PdmsBuilder builder;
+  builder.WithOptions(options).WithInstantTransport();
+  for (int p = 0; p < 4; ++p) {
+    builder.AddPeer(MakeSchema(StrFormat("p%d", p + 1)));
+  }
+  const std::vector<std::pair<PeerId, PeerId>> links = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}};
+  for (EdgeId e = 0; e < links.size(); ++e) {
+    const std::vector<AttributeId> wrong =
+        e == 4 ? std::vector<AttributeId>{0} : std::vector<AttributeId>{};
+    builder.AddMapping(
+        links[e].first, links[e].second,
+        MakeConceptMapping(StrFormat("m%u", e), kAttrs, wrong, &rng));
+  }
+  Result<Pdms> built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status().message();
+  return std::move(built).value();
+}
+
+/// A snapshot with every field populated: a converged engine image plus a
+/// synthetic in-flight inbox covering two payload kinds.
+NodeSnapshot MakeSnapshot(Pdms& pdms) {
+  pdms.session().Discover();
+  pdms.session().Converge(10);
+
+  NodeSnapshot snapshot;
+  snapshot.state_epoch = 0x0123456789abcdefull;
+  snapshot.round = 7;
+  snapshot.tick = 41;
+  snapshot.quiet = 2;
+  snapshot.previous_change = 0.1254321;
+  snapshot.report_updates = 991;
+  snapshot.engine = pdms.engine().CaptureImage();
+
+  CapturedFrame probe;
+  probe.seq = 12;
+  probe.envelope.from = 1;
+  probe.envelope.to = 2;
+  probe.envelope.via = EdgeId{1};
+  probe.envelope.deliver_at = 42;
+  ProbeMessage message;
+  message.origin = 1;
+  message.ttl = 3;
+  message.route = {1, 2};
+  message.trail = {{AttributeId{0}, std::nullopt}, {std::nullopt, AttributeId{4}}};
+  probe.envelope.payload = message;
+  snapshot.inbox.push_back(probe);
+
+  CapturedFrame feedback;
+  feedback.seq = 13;
+  feedback.envelope.from = 3;
+  feedback.envelope.to = 0;
+  feedback.envelope.deliver_at = 42;
+  FeedbackAnnouncement announcement;
+  announcement.closure.kind = Closure::Kind::kCycle;
+  announcement.closure.edges = {0, 1, 2, 3};
+  announcement.closure.split = 4;
+  announcement.closure.source = 0;
+  announcement.closure.sink = 0;
+  announcement.delta = 0.1;
+  announcement.feedback = {{0,
+                            FeedbackSign::kPositive,
+                            {{0, 0}, {1, 0}, {2, 0}, {3, 0}}}};
+  feedback.envelope.payload = announcement;
+  snapshot.inbox.push_back(feedback);
+  return snapshot;
+}
+
+std::string MakeTempDir() {
+  char templ[] = "/tmp/pdms_store_test_XXXXXX";
+  const char* dir = mkdtemp(templ);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+// --- Wire format -------------------------------------------------------------
+
+TEST(SnapshotCodecTest, EncodeDecodeRoundTripsBitwise) {
+  Pdms pdms = MakeIntroPdms();
+  const NodeSnapshot snapshot = MakeSnapshot(pdms);
+  const std::vector<uint8_t> bytes = EncodeSnapshot(snapshot);
+  ASSERT_FALSE(bytes.empty());
+
+  Result<NodeSnapshot> decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded.value().state_epoch, snapshot.state_epoch);
+  EXPECT_EQ(decoded.value().round, snapshot.round);
+  EXPECT_EQ(decoded.value().tick, snapshot.tick);
+  EXPECT_EQ(decoded.value().quiet, snapshot.quiet);
+  EXPECT_EQ(decoded.value().previous_change, snapshot.previous_change);
+  EXPECT_EQ(decoded.value().report_updates, snapshot.report_updates);
+  EXPECT_EQ(decoded.value().engine.peers.size(), snapshot.engine.peers.size());
+  EXPECT_EQ(decoded.value().inbox.size(), snapshot.inbox.size());
+
+  // Decoding is lossless and encoding deterministic, so re-encoding the
+  // decoded snapshot must reproduce the exact byte stream.
+  EXPECT_EQ(EncodeSnapshot(decoded.value()), bytes);
+}
+
+TEST(SnapshotCodecTest, RestoredImageReproducesPosteriors) {
+  Pdms pdms = MakeIntroPdms();
+  NodeSnapshot snapshot = MakeSnapshot(pdms);
+
+  std::vector<double> before;
+  for (EdgeId e : pdms.graph().LiveEdges()) {
+    for (AttributeId a = 0; a < kAttrs; ++a) {
+      before.push_back(pdms.Posterior(e, a));
+    }
+  }
+
+  // Perturb the live engine, then restore through the wire format.
+  pdms.session().Step();
+  Result<NodeSnapshot> decoded = DecodeSnapshot(EncodeSnapshot(snapshot));
+  ASSERT_TRUE(decoded.ok());
+  pdms.engine().RestoreImage(std::move(decoded.value().engine));
+
+  std::vector<double> after;
+  for (EdgeId e : pdms.graph().LiveEdges()) {
+    for (AttributeId a = 0; a < kAttrs; ++a) {
+      after.push_back(pdms.Posterior(e, a));
+    }
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST(SnapshotCodecTest, RejectsTruncatedInput) {
+  Pdms pdms = MakeIntroPdms();
+  const std::vector<uint8_t> bytes = EncodeSnapshot(MakeSnapshot(pdms));
+
+  for (const size_t keep :
+       {size_t{0}, size_t{4}, size_t{7}, bytes.size() / 2, bytes.size() - 1}) {
+    const std::vector<uint8_t> torn(bytes.begin(), bytes.begin() + keep);
+    Result<NodeSnapshot> decoded = DecodeSnapshot(torn);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << keep << " bytes accepted";
+  }
+}
+
+TEST(SnapshotCodecTest, RejectsBadMagicAndVersion) {
+  Pdms pdms = MakeIntroPdms();
+  std::vector<uint8_t> bytes = EncodeSnapshot(MakeSnapshot(pdms));
+
+  std::vector<uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(DecodeSnapshot(bad_magic).ok());
+
+  // The format version follows the 8-byte magic.
+  std::vector<uint8_t> bad_version = bytes;
+  bad_version[8] ^= 0xff;
+  EXPECT_FALSE(DecodeSnapshot(bad_version).ok());
+}
+
+TEST(SnapshotCodecTest, RejectsPayloadCorruption) {
+  Pdms pdms = MakeIntroPdms();
+  std::vector<uint8_t> bytes = EncodeSnapshot(MakeSnapshot(pdms));
+
+  // A single flipped payload bit must trip the CRC.
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  Result<NodeSnapshot> decoded = DecodeSnapshot(corrupt);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeSnapshot(trailing).ok());
+}
+
+// --- SnapshotStore -----------------------------------------------------------
+
+TEST(SnapshotStoreTest, LoadsHighestRoundAcrossSlots) {
+  Pdms pdms = MakeIntroPdms();
+  NodeSnapshot snapshot = MakeSnapshot(pdms);
+  const std::string dir = MakeTempDir();
+  const SnapshotStore store(dir, /*shard=*/0);
+
+  snapshot.round = 4;
+  ASSERT_TRUE(store.Save(snapshot).ok());  // slot 0
+  snapshot.round = 5;
+  snapshot.tick = 57;
+  ASSERT_TRUE(store.Save(snapshot).ok());  // slot 1
+
+  Result<NodeSnapshot> loaded = store.Load(snapshot.state_epoch);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().round, 5u);
+  EXPECT_EQ(loaded.value().tick, 57u);
+}
+
+TEST(SnapshotStoreTest, FallsBackWhenNewerSlotIsCorrupt) {
+  Pdms pdms = MakeIntroPdms();
+  NodeSnapshot snapshot = MakeSnapshot(pdms);
+  const std::string dir = MakeTempDir();
+  const SnapshotStore store(dir, /*shard=*/0);
+
+  snapshot.round = 4;
+  ASSERT_TRUE(store.Save(snapshot).ok());
+  snapshot.round = 5;
+  ASSERT_TRUE(store.Save(snapshot).ok());
+
+  // Tear the round-5 slot as a crash mid-write would: keep a prefix only.
+  const std::string newer = store.SlotPath(5 % 2);
+  std::ifstream in(newer, std::ios::binary);
+  std::vector<char> contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(newer, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 3));
+  out.close();
+
+  Result<NodeSnapshot> loaded = store.Load(snapshot.state_epoch);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().round, 4u);
+
+  // Destroy the older slot too: nothing left, the caller cold-starts.
+  std::ofstream(store.SlotPath(4 % 2), std::ios::binary | std::ios::trunc)
+      << "garbage";
+  Result<NodeSnapshot> none = store.Load(snapshot.state_epoch);
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotStoreTest, RejectsForeignEpochAndEmptyDir) {
+  Pdms pdms = MakeIntroPdms();
+  NodeSnapshot snapshot = MakeSnapshot(pdms);
+  const std::string dir = MakeTempDir();
+  const SnapshotStore store(dir, /*shard=*/2);
+
+  EXPECT_EQ(store.Load(snapshot.state_epoch).status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(store.Save(snapshot).ok());
+  EXPECT_TRUE(store.Load(snapshot.state_epoch).ok());
+  // A snapshot from another deployment must never be resumed.
+  EXPECT_EQ(store.Load(snapshot.state_epoch + 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotStoreTest, ShardsDoNotShareSlots) {
+  Pdms pdms = MakeIntroPdms();
+  NodeSnapshot snapshot = MakeSnapshot(pdms);
+  const std::string dir = MakeTempDir();
+  const SnapshotStore store0(dir, /*shard=*/0);
+  const SnapshotStore store1(dir, /*shard=*/1);
+
+  ASSERT_TRUE(store0.Save(snapshot).ok());
+  EXPECT_NE(store0.SlotPath(0), store1.SlotPath(0));
+  EXPECT_EQ(store1.Load(snapshot.state_epoch).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- State epoch -------------------------------------------------------------
+
+TEST(StateEpochTest, StableForEqualInputsSensitiveToDeploymentChanges) {
+  Pdms pdms = MakeIntroPdms();
+  const Digraph& graph = pdms.graph();
+  const std::vector<uint32_t> shard_of = {0, 1, 0, 1};
+  const EngineOptions options = pdms.options();
+
+  const uint64_t epoch = ComputeStateEpoch(graph, shard_of, 2, options);
+  EXPECT_EQ(epoch, ComputeStateEpoch(graph, shard_of, 2, options));
+
+  // Shard layout, shard count and inference options all re-key the epoch.
+  const std::vector<uint32_t> other_layout = {0, 1, 1, 0};
+  EXPECT_NE(epoch, ComputeStateEpoch(graph, other_layout, 2, options));
+  EXPECT_NE(epoch, ComputeStateEpoch(graph, shard_of, 4, options));
+  EngineOptions other_options = options;
+  other_options.damping += 0.125;
+  EXPECT_NE(epoch, ComputeStateEpoch(graph, shard_of, 2, other_options));
+  EngineOptions other_ttl = options;
+  other_ttl.probe_ttl += 1;
+  EXPECT_NE(epoch, ComputeStateEpoch(graph, shard_of, 2, other_ttl));
+}
+
+TEST(StateEpochTest, ScheduleKnobsDoNotReKeyTheEpoch) {
+  Pdms pdms = MakeIntroPdms();
+  const std::vector<uint32_t> shard_of = {0, 0, 1, 1};
+  const EngineOptions options = pdms.options();
+  const uint64_t epoch = ComputeStateEpoch(pdms.graph(), shard_of, 2, options);
+
+  // Parallelism is a scheduling choice: results — and therefore snapshots —
+  // are interchangeable across it.
+  EngineOptions parallel = options;
+  parallel.parallelism = 8;
+  EXPECT_EQ(epoch, ComputeStateEpoch(pdms.graph(), shard_of, 2, parallel));
+}
+
+}  // namespace
+}  // namespace pdms

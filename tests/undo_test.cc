@@ -1,0 +1,214 @@
+// Tests for UndoSession: RAII rollback restores engine state bitwise,
+// Commit keeps mutations, sessions nest in reverse order, move semantics
+// transfer the armed rollback, and a multi-step mutation that fails
+// mid-way rolls back atomically.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "mapping/mapping_generator.h"
+#include "pdms/pdms.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace pdms {
+namespace {
+
+constexpr size_t kAttrs = 11;
+
+Schema MakeSchema(const std::string& name, size_t attrs = kAttrs) {
+  Schema schema(name);
+  for (size_t a = 0; a < attrs; ++a) {
+    EXPECT_TRUE(schema.AddAttribute(name + "_a" + std::to_string(a)).ok());
+  }
+  return schema;
+}
+
+/// The intro example (Figure 4) through the public builder; m24 (EdgeId 4)
+/// garbles attribute 0.
+Pdms MakeIntroPdms(EngineOptions options = {}, uint64_t seed = 17) {
+  Rng rng(seed);
+  options.probe_ttl = 5;
+  PdmsBuilder builder;
+  builder.WithOptions(options).WithInstantTransport();
+  for (int p = 0; p < 4; ++p) {
+    builder.AddPeer(MakeSchema(StrFormat("p%d", p + 1)));
+  }
+  const std::vector<std::pair<PeerId, PeerId>> links = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}};
+  for (EdgeId e = 0; e < links.size(); ++e) {
+    const std::vector<AttributeId> wrong =
+        e == 4 ? std::vector<AttributeId>{0} : std::vector<AttributeId>{};
+    builder.AddMapping(
+        links[e].first, links[e].second,
+        MakeConceptMapping(StrFormat("m%u", e), kAttrs, wrong, &rng));
+  }
+  Result<Pdms> built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status().message();
+  return std::move(built).value();
+}
+
+/// Posteriors of every (live edge, attribute), in a fixed order — the
+/// observable state the sessions must restore bitwise.
+std::vector<double> AllPosteriors(const Pdms& pdms) {
+  std::vector<double> posteriors;
+  for (EdgeId e : pdms.graph().LiveEdges()) {
+    for (AttributeId a = 0; a < kAttrs; ++a) {
+      posteriors.push_back(pdms.Posterior(e, a));
+    }
+  }
+  return posteriors;
+}
+
+FeedbackAnnouncement NegativeCycleFeedback() {
+  FeedbackAnnouncement announcement;
+  announcement.closure.kind = Closure::Kind::kCycle;
+  announcement.closure.edges = {0, 1, 2, 3};
+  announcement.closure.split = 4;
+  announcement.closure.source = 0;
+  announcement.closure.sink = 0;
+  announcement.delta = 0.1;
+  announcement.feedback = {{1,
+                            FeedbackSign::kNegative,
+                            {{0, 1}, {1, 1}, {2, 1}, {3, 1}}}};
+  return announcement;
+}
+
+TEST(UndoSessionTest, RollbackRestoresPosteriorsBitwise) {
+  Pdms pdms = MakeIntroPdms();
+  pdms.session().Discover();
+  pdms.session().Converge(25);
+  const std::vector<double> baseline = AllPosteriors(pdms);
+  const size_t live_edges = pdms.graph().LiveEdges().size();
+
+  {
+    UndoSession undo = pdms.StartUndoSession();
+    EXPECT_TRUE(undo.armed());
+    ASSERT_TRUE(pdms.RemoveMapping(4).ok());
+    pdms.InjectFeedback(NegativeCycleFeedback());
+    pdms.session().Converge(10);
+    EXPECT_NE(AllPosteriors(pdms), baseline);
+    EXPECT_EQ(pdms.graph().LiveEdges().size(), live_edges - 1);
+    // Session leaves scope un-committed: everything rolls back.
+  }
+
+  EXPECT_EQ(pdms.graph().LiveEdges().size(), live_edges);
+  EXPECT_EQ(AllPosteriors(pdms), baseline);
+  // The restored engine keeps running as if nothing happened.
+  pdms.session().Step();
+}
+
+TEST(UndoSessionTest, CommitKeepsMutations) {
+  Pdms pdms = MakeIntroPdms();
+  pdms.session().Discover();
+  pdms.session().Converge(25);
+  const std::vector<double> baseline = AllPosteriors(pdms);
+
+  std::vector<double> mutated;
+  {
+    UndoSession undo = pdms.StartUndoSession();
+    ASSERT_TRUE(pdms.RemoveMapping(4).ok());
+    pdms.session().Converge(10);
+    mutated = AllPosteriors(pdms);
+    undo.Commit();
+    EXPECT_FALSE(undo.armed());
+  }
+
+  EXPECT_NE(mutated, baseline);
+  EXPECT_EQ(AllPosteriors(pdms), mutated);
+}
+
+TEST(UndoSessionTest, NestedSessionsRollBackInReverseOrder) {
+  Pdms pdms = MakeIntroPdms();
+  pdms.session().Discover();
+  pdms.session().Converge(25);
+  const std::vector<double> baseline = AllPosteriors(pdms);
+
+  UndoSession outer = pdms.StartUndoSession();
+  ASSERT_TRUE(pdms.RemoveMapping(4).ok());
+  pdms.session().Converge(5);
+  const std::vector<double> after_outer = AllPosteriors(pdms);
+
+  {
+    UndoSession inner = pdms.StartUndoSession();
+    ASSERT_TRUE(pdms.RemoveMapping(0).ok());
+    pdms.session().Converge(5);
+    EXPECT_NE(AllPosteriors(pdms), after_outer);
+    // Inner rolls back first...
+  }
+  EXPECT_EQ(AllPosteriors(pdms), after_outer);
+
+  // ...then the outer session unwinds to the original state.
+  outer.Rollback();
+  EXPECT_FALSE(outer.armed());
+  EXPECT_EQ(AllPosteriors(pdms), baseline);
+}
+
+TEST(UndoSessionTest, MoveTransfersTheArmedRollback) {
+  Pdms pdms = MakeIntroPdms();
+  pdms.session().Discover();
+  pdms.session().Converge(25);
+  const std::vector<double> baseline = AllPosteriors(pdms);
+
+  UndoSession first = pdms.StartUndoSession();
+  ASSERT_TRUE(pdms.RemoveMapping(0).ok());
+
+  UndoSession second = std::move(first);
+  EXPECT_FALSE(first.armed());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(second.armed());
+
+  {
+    UndoSession third = std::move(second);
+    EXPECT_TRUE(third.armed());
+    // `third` now owns the rollback and fires it on scope exit.
+  }
+  EXPECT_EQ(AllPosteriors(pdms), baseline);
+}
+
+TEST(UndoSessionTest, FailedMultiStepMutationRollsBackAtomically) {
+  Pdms pdms = MakeIntroPdms();
+  pdms.session().Discover();
+  pdms.session().Converge(25);
+  const std::vector<double> baseline = AllPosteriors(pdms);
+
+  // A batch of mutations where a later step fails: the session guarantees
+  // the earlier steps do not survive partially applied.
+  const auto apply_batch = [&pdms]() -> Status {
+    UndoSession undo = pdms.StartUndoSession();
+    pdms.InjectFeedback(NegativeCycleFeedback());
+    PDMS_RETURN_IF_ERROR(pdms.RemoveMapping(2));
+    PDMS_RETURN_IF_ERROR(pdms.RemoveMapping(2));  // already removed: fails
+    undo.Commit();
+    return Status::Ok();
+  };
+
+  const Status status = apply_batch();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(AllPosteriors(pdms), baseline);
+  EXPECT_EQ(pdms.graph().LiveEdges().size(), 5u);
+}
+
+TEST(UndoSessionTest, RollbackCoversDiscoveryState) {
+  // A session opened before discovery restores the pre-discovery world:
+  // replicas vanish, and a second discovery finds the same factors.
+  Pdms pdms = MakeIntroPdms();
+
+  size_t discovered = 0;
+  {
+    UndoSession undo = pdms.StartUndoSession();
+    discovered = pdms.session().Discover();
+    EXPECT_GT(discovered, 0u);
+    EXPECT_GT(pdms.peer(1).replica_count(), 0u);
+  }
+  EXPECT_EQ(pdms.peer(1).replica_count(), 0u);
+
+  EXPECT_EQ(pdms.session().Discover(), discovered);
+  pdms.session().Converge(10);
+}
+
+}  // namespace
+}  // namespace pdms

@@ -9,6 +9,7 @@
 //   pdms_node serve --shard=0 --shards=2 --announce-dir=/tmp/run1
 //       [--max-rounds=100] [--round-delay-ms=0] [--serve-ms=0]
 //       [--heartbeat-ms=0] [--quarantine-ms=0]
+//       [--state-dir=/tmp/run1/state] [--rejoin-grace-ms=0]
 //       [--chaos-seed=0 --chaos-drop=0 --chaos-duplicate=0 --chaos-reorder=0
 //        --chaos-corrupt=0 --chaos-link-kill=0] [--kill-after-round=0]
 //   pdms_node reference [--max-rounds=100]
@@ -22,6 +23,15 @@
 // crash, exit 137); peers with --heartbeat-ms/--quarantine-ms set detect
 // the silence, quarantine the dead shard and finish the run degraded.
 //
+// Recovery knobs (CI's node-recovery job): --state-dir makes the shard
+// checkpoint a crash-consistent snapshot after every round barrier, and
+// on startup restore from it — skipping discovery entirely — then rejoin
+// the cluster with a rejoin handshake. Survivors started with
+// --rejoin-grace-ms=G hold the round barrier open for up to G ms after
+// quarantining a shard, roll back to the restarted shard's snapshot round
+// when it asks back in, and the run resumes in lockstep: final posteriors
+// stay bitwise-identical to an uninterrupted run.
+//
 // Shards discover each other through --announce-dir: every serve process
 // writes its bound address to <dir>/shard-<k>.addr and polls for the
 // others, so no ports need to be agreed on in advance.
@@ -31,16 +41,21 @@
 // so concatenating the shards' outputs yields every line of the reference
 // output exactly once.
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bibliographic_pdms.h"
 #include "node/pdms_node.h"
+#include "util/logging.h"
 
 using namespace pdms;  // NOLINT: tool brevity
 
@@ -55,6 +70,60 @@ std::string FlagValue(int argc, char** argv, const char* name,
     }
   }
   return fallback;
+}
+
+// --- Validated flag parsing ------------------------------------------------
+//
+// Every numeric flag is parsed strictly: the whole value must be a number,
+// negatives are rejected where they make no sense, and rates must lie in
+// [0, 1]. A bad value is a usage error (exit 2), never a silent default.
+
+bool ParseWholeUint(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+int UsageError(const char* flag, const char* expected) {
+  std::fprintf(stderr, "pdms_node: invalid value for --%s (expected %s)\n",
+               flag, expected);
+  std::fprintf(stderr, "usage: pdms_node <serve|reference|query> [--flags]\n");
+  return 2;
+}
+
+/// Non-negative integer flag bounded to int range; returns -1 and reports
+/// a usage error on malformed input.
+bool ParseIntFlag(int argc, char** argv, const char* name, const char* fallback,
+                  int* out) {
+  uint64_t value = 0;
+  if (!ParseWholeUint(FlagValue(argc, argv, name, fallback), &value) ||
+      value > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseU64Flag(int argc, char** argv, const char* name,
+                  const char* fallback, uint64_t* out) {
+  return ParseWholeUint(FlagValue(argc, argv, name, fallback), out);
+}
+
+/// Probability flag: a double in [0, 1].
+bool ParseRateFlag(int argc, char** argv, const char* name, double* out) {
+  const std::string text = FlagValue(argc, argv, name, "0");
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  *out = value;
+  return true;
 }
 
 EngineOptions WorkloadOptions() {
@@ -89,9 +158,10 @@ int Fail(const Status& status) {
 }
 
 int RunReference(int argc, char** argv) {
-  const size_t max_rounds =
-      std::strtoul(FlagValue(argc, argv, "max-rounds", "100").c_str(),
-                   nullptr, 10);
+  uint64_t max_rounds = 0;
+  if (!ParseU64Flag(argc, argv, "max-rounds", "100", &max_rounds)) {
+    return UsageError("max-rounds", "a non-negative integer");
+  }
   bench::BibliographicPdms workload =
       bench::MakeBibliographicPdms(WorkloadOptions());
   workload.pdms.session().Discover();
@@ -101,49 +171,83 @@ int RunReference(int argc, char** argv) {
 }
 
 int RunServe(int argc, char** argv) {
-  const uint32_t shard = static_cast<uint32_t>(
-      std::strtoul(FlagValue(argc, argv, "shard", "0").c_str(), nullptr, 10));
-  const uint32_t shards = static_cast<uint32_t>(
-      std::strtoul(FlagValue(argc, argv, "shards", "1").c_str(), nullptr, 10));
-  const std::string announce_dir =
-      FlagValue(argc, argv, "announce-dir", "");
-  const size_t max_rounds =
-      std::strtoul(FlagValue(argc, argv, "max-rounds", "100").c_str(),
-                   nullptr, 10);
-  const int round_delay_ms = static_cast<int>(
-      std::strtol(FlagValue(argc, argv, "round-delay-ms", "0").c_str(),
-                  nullptr, 10));
-  const int serve_ms = static_cast<int>(
-      std::strtol(FlagValue(argc, argv, "serve-ms", "0").c_str(), nullptr,
-                  10));
-  const int heartbeat_ms = static_cast<int>(
-      std::strtol(FlagValue(argc, argv, "heartbeat-ms", "0").c_str(), nullptr,
-                  10));
-  const int quarantine_ms = static_cast<int>(
-      std::strtol(FlagValue(argc, argv, "quarantine-ms", "0").c_str(), nullptr,
-                  10));
-  const uint64_t kill_after_round = std::strtoull(
-      FlagValue(argc, argv, "kill-after-round", "0").c_str(), nullptr, 10);
+  uint64_t shard64 = 0;
+  uint64_t shards64 = 0;
+  uint64_t max_rounds = 0;
+  uint64_t kill_after_round = 0;
+  int round_delay_ms = 0;
+  int serve_ms = 0;
+  int heartbeat_ms = 0;
+  int quarantine_ms = 0;
+  int rejoin_grace_ms = 0;
+  if (!ParseU64Flag(argc, argv, "shard", "0", &shard64) ||
+      shard64 > std::numeric_limits<uint32_t>::max()) {
+    return UsageError("shard", "a non-negative integer");
+  }
+  if (!ParseU64Flag(argc, argv, "shards", "1", &shards64) ||
+      shards64 > std::numeric_limits<uint32_t>::max()) {
+    return UsageError("shards", "a positive integer");
+  }
+  if (!ParseU64Flag(argc, argv, "max-rounds", "100", &max_rounds)) {
+    return UsageError("max-rounds", "a non-negative integer");
+  }
+  if (!ParseIntFlag(argc, argv, "round-delay-ms", "0", &round_delay_ms)) {
+    return UsageError("round-delay-ms", "a non-negative integer");
+  }
+  if (!ParseIntFlag(argc, argv, "serve-ms", "0", &serve_ms)) {
+    return UsageError("serve-ms", "a non-negative integer");
+  }
+  if (!ParseIntFlag(argc, argv, "heartbeat-ms", "0", &heartbeat_ms)) {
+    return UsageError("heartbeat-ms", "a non-negative integer");
+  }
+  if (!ParseIntFlag(argc, argv, "quarantine-ms", "0", &quarantine_ms)) {
+    return UsageError("quarantine-ms", "a non-negative integer");
+  }
+  if (!ParseIntFlag(argc, argv, "rejoin-grace-ms", "0", &rejoin_grace_ms)) {
+    return UsageError("rejoin-grace-ms", "a non-negative integer");
+  }
+  if (!ParseU64Flag(argc, argv, "kill-after-round", "0", &kill_after_round)) {
+    return UsageError("kill-after-round", "a non-negative integer");
+  }
+  const uint32_t shard = static_cast<uint32_t>(shard64);
+  const uint32_t shards = static_cast<uint32_t>(shards64);
+  const std::string announce_dir = FlagValue(argc, argv, "announce-dir", "");
+  const std::string state_dir = FlagValue(argc, argv, "state-dir", "");
   FaultPlan chaos;
-  chaos.seed = std::strtoull(FlagValue(argc, argv, "chaos-seed", "0").c_str(),
-                             nullptr, 10);
-  chaos.drop_rate =
-      std::strtod(FlagValue(argc, argv, "chaos-drop", "0").c_str(), nullptr);
-  chaos.duplicate_rate = std::strtod(
-      FlagValue(argc, argv, "chaos-duplicate", "0").c_str(), nullptr);
-  chaos.reorder_rate = std::strtod(
-      FlagValue(argc, argv, "chaos-reorder", "0").c_str(), nullptr);
-  chaos.corrupt_rate = std::strtod(
-      FlagValue(argc, argv, "chaos-corrupt", "0").c_str(), nullptr);
-  chaos.link_kill_rate = std::strtod(
-      FlagValue(argc, argv, "chaos-link-kill", "0").c_str(), nullptr);
+  if (!ParseU64Flag(argc, argv, "chaos-seed", "0", &chaos.seed)) {
+    return UsageError("chaos-seed", "a non-negative integer");
+  }
+  if (!ParseRateFlag(argc, argv, "chaos-drop", &chaos.drop_rate)) {
+    return UsageError("chaos-drop", "a probability in [0, 1]");
+  }
+  if (!ParseRateFlag(argc, argv, "chaos-duplicate", &chaos.duplicate_rate)) {
+    return UsageError("chaos-duplicate", "a probability in [0, 1]");
+  }
+  if (!ParseRateFlag(argc, argv, "chaos-reorder", &chaos.reorder_rate)) {
+    return UsageError("chaos-reorder", "a probability in [0, 1]");
+  }
+  if (!ParseRateFlag(argc, argv, "chaos-corrupt", &chaos.corrupt_rate)) {
+    return UsageError("chaos-corrupt", "a probability in [0, 1]");
+  }
+  if (!ParseRateFlag(argc, argv, "chaos-link-kill", &chaos.link_kill_rate)) {
+    return UsageError("chaos-link-kill", "a probability in [0, 1]");
+  }
   if (shards == 0 || shard >= shards) {
     std::fprintf(stderr, "pdms_node: need 0 <= --shard < --shards\n");
-    return 1;
+    return 2;
   }
   if (shards > 1 && announce_dir.empty()) {
     std::fprintf(stderr, "pdms_node: multi-shard runs need --announce-dir\n");
-    return 1;
+    return 2;
+  }
+  if (!state_dir.empty()) {
+    // Create the snapshot directory up front so a typo'd path fails here,
+    // not silently round after round.
+    if (mkdir(state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "pdms_node: cannot create --state-dir %s: %s\n",
+                   state_dir.c_str(), std::strerror(errno));
+      return 2;
+    }
   }
 
   // All processes build the identical workload deterministically; only
@@ -189,6 +293,8 @@ int RunServe(int argc, char** argv) {
   node_options.round_delay_ms = round_delay_ms;
   node_options.heartbeat_interval_ms = heartbeat_ms;
   node_options.quarantine_after_ms = quarantine_ms;
+  node_options.state_dir = state_dir;
+  node_options.rejoin_grace_ms = rejoin_grace_ms;
   if (kill_after_round > 0) {
     node_options.round_hook = [kill_after_round, shard](uint64_t round) {
       if (round == kill_after_round) {
@@ -250,10 +356,33 @@ int RunServe(int argc, char** argv) {
 
   Status status = (*node)->Connect();
   if (!status.ok()) return Fail(status);
-  Result<size_t> factors = (*node)->RunDiscovery();
-  if (!factors.ok()) return Fail(factors.status());
-  std::fprintf(stderr, "pdms_node: shard %u discovered %zu local replicas\n",
-               shard, *factors);
+  bool restored = false;
+  if (!state_dir.empty()) {
+    const Result<uint64_t> round = (*node)->TryRestoreFromState();
+    if (round.ok()) {
+      std::fprintf(stderr,
+                   "pdms_node: shard %u restored from snapshot at round %llu\n",
+                   shard, static_cast<unsigned long long>(*round));
+      const Status rejoined = (*node)->PerformRejoin();
+      if (!rejoined.ok()) return Fail(rejoined);
+      restored = true;
+    } else if (round.status().code() == StatusCode::kNotFound) {
+      std::fprintf(stderr, "pdms_node: shard %u has no snapshot; cold start\n",
+                   shard);
+    } else {
+      // Torn / corrupt snapshots are rejected, surfaced, and fall back to
+      // a cold start rather than resuming from bad state.
+      std::fprintf(stderr, "pdms_node: shard %u snapshot rejected (%s); "
+                           "cold start\n",
+                   shard, round.status().ToString().c_str());
+    }
+  }
+  if (!restored) {
+    Result<size_t> factors = (*node)->RunDiscovery();
+    if (!factors.ok()) return Fail(factors.status());
+    std::fprintf(stderr, "pdms_node: shard %u discovered %zu local replicas\n",
+                 shard, *factors);
+  }
   Result<ConvergenceReport> converged = (*node)->RunRounds();
   if (!converged.ok()) return Fail(converged.status());
   std::fprintf(stderr, "pdms_node: shard %u ran %zu rounds (converged=%d)\n",
@@ -273,10 +402,18 @@ int RunServe(int argc, char** argv) {
 int RunQuery(int argc, char** argv) {
   QueryRequestFrame request;
   request.request_id = 1;
-  request.origin = static_cast<PeerId>(
-      std::strtoul(FlagValue(argc, argv, "origin", "0").c_str(), nullptr, 10));
-  request.ttl = static_cast<uint32_t>(
-      std::strtoul(FlagValue(argc, argv, "ttl", "3").c_str(), nullptr, 10));
+  uint64_t origin = 0;
+  uint64_t ttl = 0;
+  if (!ParseU64Flag(argc, argv, "origin", "0", &origin) ||
+      origin > std::numeric_limits<uint32_t>::max()) {
+    return UsageError("origin", "a peer id");
+  }
+  if (!ParseU64Flag(argc, argv, "ttl", "3", &ttl) ||
+      ttl > std::numeric_limits<uint32_t>::max()) {
+    return UsageError("ttl", "a non-negative integer");
+  }
+  request.origin = static_cast<PeerId>(origin);
+  request.ttl = static_cast<uint32_t>(ttl);
   request.text = FlagValue(argc, argv, "text", "");
   const std::string address = FlagValue(argc, argv, "addr", "");
   if (address.empty() || request.text.empty()) {
@@ -303,6 +440,24 @@ int RunQuery(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // PDMS_LOG_LEVEL=debug|info|warning|error raises or lowers the stderr
+  // log threshold; the default (warning) keeps posterior output clean.
+  if (const char* level = std::getenv("PDMS_LOG_LEVEL")) {
+    const std::string name = level;
+    if (name == "debug") {
+      Logger::Get().set_min_level(LogLevel::kDebug);
+    } else if (name == "info") {
+      Logger::Get().set_min_level(LogLevel::kInfo);
+    } else if (name == "warning") {
+      Logger::Get().set_min_level(LogLevel::kWarning);
+    } else if (name == "error") {
+      Logger::Get().set_min_level(LogLevel::kError);
+    } else {
+      std::fprintf(stderr, "pdms_node: unknown PDMS_LOG_LEVEL '%s'\n",
+                   level);
+      return 2;
+    }
+  }
   const std::string mode = argc > 1 ? argv[1] : "";
   if (mode == "serve") return RunServe(argc, argv);
   if (mode == "reference") return RunReference(argc, argv);
