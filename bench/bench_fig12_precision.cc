@@ -19,7 +19,7 @@
 namespace pdms {
 namespace {
 
-void Run() {
+EngineOptions Fig12Options(double value_budget) {
   EngineOptions options;
   options.default_prior = 0.5;
   options.delta_override = 0.1;
@@ -28,6 +28,12 @@ void Run() {
   options.closure_limits.max_path_length = 3;
   options.tolerance = 1e-4;
   options.damping = 0.5;  // dense evidence graph: damp loopy oscillation
+  options.value_precision.error_budget = value_budget;
+  return options;
+}
+
+void Run() {
+  EngineOptions options = Fig12Options(0.0);
 
   bench::BibliographicPdms workload = bench::MakeBibliographicPdms(options);
   Pdms& pdms = workload.pdms;
@@ -106,10 +112,85 @@ void Run() {
       "the random-guess precision.\n");
 }
 
+/// One full detection pipeline (discover, converge, stabilization window)
+/// at the given value-error budget. `final_posteriors` are the post-window
+/// posteriors; `stable[i]` marks variables whose window average agrees
+/// with the final value (the same criterion Run() reports).
+struct DetectionRun {
+  std::vector<double> final_posteriors;
+  std::vector<bool> stable;
+  size_t stable_count = 0;
+};
+
+DetectionRun RunDetection(double value_budget) {
+  bench::BibliographicPdms workload =
+      bench::MakeBibliographicPdms(Fig12Options(value_budget));
+  Pdms& pdms = workload.pdms;
+  Session& session = pdms.session();
+  session.Discover();
+  session.Converge(100);
+
+  constexpr size_t kWindow = 10;
+  const size_t total = workload.entries.size();
+  std::vector<double> averaged(total, 0.0);
+  for (size_t round = 0; round < kWindow; ++round) {
+    session.Step();
+    for (size_t i = 0; i < total; ++i) {
+      averaged[i] += pdms.Posterior(workload.entries[i].edge,
+                                    workload.entries[i].attribute);
+    }
+  }
+  DetectionRun run;
+  run.final_posteriors.resize(total);
+  run.stable.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    run.final_posteriors[i] = pdms.Posterior(workload.entries[i].edge,
+                                             workload.entries[i].attribute);
+    run.stable[i] = std::abs(averaged[i] / static_cast<double>(kWindow) -
+                             run.final_posteriors[i]) < 1e-3;
+    if (run.stable[i]) ++run.stable_count;
+  }
+  return run;
+}
+
+/// Quantized rerun of the detection workload per precision tier. Settled
+/// posteriors must stay within the error budget of the exact-wire run;
+/// variables oscillating on frustrated loops (in either run) are excluded,
+/// but quantization must not destabilize the workload — at least 95% of
+/// the variables have to remain comparable.
+int RunQuantizedTiers() {
+  const DetectionRun exact = RunDetection(0.0);
+  const size_t total = exact.final_posteriors.size();
+  std::printf("\nquantized value encoding — settled posteriors vs exact "
+              "wire values:\n");
+  TextTable table;
+  table.SetHeader({"error budget", "compared", "max |delta|", "within budget"});
+  bool ok = true;
+  for (double budget : {1e-2, 1e-3, 1e-4}) {
+    const DetectionRun quantized = RunDetection(budget);
+    size_t compared = 0;
+    double worst = 0.0;
+    for (size_t i = 0; i < total; ++i) {
+      if (!exact.stable[i] || !quantized.stable[i]) continue;
+      ++compared;
+      worst = std::max(worst, std::abs(quantized.final_posteriors[i] -
+                                       exact.final_posteriors[i]));
+    }
+    const bool within = worst <= budget && compared * 100 >= total * 95;
+    ok = ok && within;
+    table.AddRow({StrFormat("%.0e", budget),
+                  StrFormat("%zu/%zu", compared, total),
+                  StrFormat("%.2e", worst), within ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (!ok) std::fprintf(stderr, "FAIL: quantized posteriors broke budget\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace pdms
 
 int main() {
   pdms::Run();
-  return 0;
+  return pdms::RunQuantizedTiers();
 }

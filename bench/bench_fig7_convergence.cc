@@ -6,6 +6,8 @@
 // iteration, plus a sweep over random scale-free networks backing the
 // Section 5.1.1 claim that convergence takes about ten iterations.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "bench/fixtures.h"
@@ -63,6 +65,55 @@ void RunExampleTrajectory() {
   std::printf("\n");
 }
 
+/// Quantized rerun: the same Figure 7 trajectory per precision tier. The
+/// adaptive fixed-point log-odds encoding promises converged posteriors
+/// within the per-value error budget of the exact run; this asserts it.
+int RunQuantizedTiers() {
+  auto converged_posteriors = [](double budget) {
+    EngineOptions options;
+    options.default_prior = 0.7;
+    options.delta_override = 0.1;
+    // A wire carrying budget-eps values cannot certify a residual finer
+    // than its quantization step (coarse budgets settle into a one-quantum
+    // limit cycle instead of a 1e-7 fixed point); the accuracy guarantee
+    // is on the converged posteriors, asserted below.
+    options.tolerance = std::max(1e-7, budget / 8.0);
+    options.value_precision.error_budget = budget;
+    bench::IntroFixture fixture = bench::MakeIntroFixture(options);
+    bench::InjectPaperFeedback(fixture);
+    const ConvergenceReport report = fixture.pdms.session().Converge(60);
+    const topology::ExampleEdges& e = fixture.edges;
+    std::vector<double> posteriors;
+    for (EdgeId m : {e.m12, e.m23, e.m34, e.m41, e.m24}) {
+      posteriors.push_back(fixture.pdms.Posterior(m, 0));
+    }
+    posteriors.push_back(report.converged ? 1.0 : 0.0);
+    return posteriors;
+  };
+
+  const std::vector<double> exact = converged_posteriors(0.0);
+  std::printf("quantized value encoding — converged posteriors vs exact "
+              "wire values:\n");
+  TextTable table;
+  table.SetHeader({"error budget", "converged", "max |delta|", "within budget"});
+  bool ok = true;
+  for (double budget : {1e-2, 1e-3, 1e-4}) {
+    const std::vector<double> quantized = converged_posteriors(budget);
+    double worst = 0.0;
+    for (size_t i = 0; i + 1 < exact.size(); ++i) {
+      worst = std::max(worst, std::abs(quantized[i] - exact[i]));
+    }
+    const bool converged = quantized.back() == 1.0;
+    const bool within = converged && worst <= budget;
+    ok = ok && within;
+    table.AddRow({StrFormat("%.0e", budget), converged ? "yes" : "no",
+                  StrFormat("%.2e", worst), within ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (!ok) std::fprintf(stderr, "FAIL: quantized posteriors broke budget\n");
+  return ok ? 0 : 1;
+}
+
 void RunConvergenceSweep() {
   std::printf(
       "Section 5.1.1 — iterations to convergence on random scale-free "
@@ -110,5 +161,5 @@ void RunConvergenceSweep() {
 int main() {
   pdms::RunExampleTrajectory();
   pdms::RunConvergenceSweep();
-  return 0;
+  return pdms::RunQuantizedTiers();
 }

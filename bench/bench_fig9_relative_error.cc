@@ -7,8 +7,10 @@
 // f1+, f2−, f3−, 10 iterations of the embedded algorithm. The paper
 // reports the error biggest for very short cycles and never above 6%.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench/fixtures.h"
 #include "factor/exact.h"
@@ -63,10 +65,63 @@ void Run() {
   std::printf("paper: error largest for short cycles, never above 6%%\n");
 }
 
+/// The 10-iteration loopy posteriors of the Figure 8 construction, with
+/// belief values optionally quantized to the given error budget.
+std::vector<double> LoopyPosteriors(size_t inserted, double budget) {
+  EngineOptions options;
+  options.default_prior = 0.8;
+  options.delta_override = 0.1;
+  options.value_precision.error_budget = budget;
+  bench::IntroFixture fixture = bench::MakeIntroFixture(options, inserted);
+  bench::InjectPaperFeedback(fixture);
+  for (int round = 0; round < 10; ++round) fixture.pdms.session().Step();
+  std::vector<MappingVarKey> vars;
+  fixture.pdms.BuildGlobalFactorGraph(&vars);
+  std::vector<double> posteriors;
+  posteriors.reserve(vars.size());
+  for (const MappingVarKey& v : vars) {
+    posteriors.push_back(fixture.pdms.Posterior(v.edge, v.attribute));
+  }
+  return posteriors;
+}
+
+/// Quantized rerun of the whole Figure 9 sweep per precision tier: the
+/// mid-trajectory posteriors after 10 iterations must stay within the
+/// error budget of the raw-double run at every cycle length.
+int RunQuantizedTiers() {
+  constexpr size_t kMaxInserted = 8;
+  std::printf("\nquantized value encoding — 10-iteration posteriors vs "
+              "exact wire values\n(worst over inserted = 0..%zu):\n",
+              kMaxInserted);
+  std::vector<std::vector<double>> exact;
+  for (size_t inserted = 0; inserted <= kMaxInserted; ++inserted) {
+    exact.push_back(LoopyPosteriors(inserted, 0.0));
+  }
+  TextTable table;
+  table.SetHeader({"error budget", "max |delta|", "within budget"});
+  bool ok = true;
+  for (double budget : {1e-2, 1e-3, 1e-4}) {
+    double worst = 0.0;
+    for (size_t inserted = 0; inserted <= kMaxInserted; ++inserted) {
+      const std::vector<double> quantized = LoopyPosteriors(inserted, budget);
+      for (size_t i = 0; i < quantized.size(); ++i) {
+        worst = std::max(worst, std::abs(quantized[i] - exact[inserted][i]));
+      }
+    }
+    const bool within = worst <= budget;
+    ok = ok && within;
+    table.AddRow({StrFormat("%.0e", budget), StrFormat("%.2e", worst),
+                  within ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (!ok) std::fprintf(stderr, "FAIL: quantized posteriors broke budget\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace pdms
 
 int main() {
   pdms::Run();
-  return 0;
+  return pdms::RunQuantizedTiers();
 }

@@ -12,13 +12,25 @@
 // level must match the serial run to 1e-12 (they are in fact bitwise
 // identical — see docs/PERFORMANCE.md for why).
 //
+// Each (topology, peers) cell is additionally rerun serially with the
+// default adaptive value-error budget (--value-budget, 1e-3 unless
+// overridden) so the quantized wire format's bytes/round and posterior
+// accuracy delta land in the same JSON; at 10k peers the run fails unless
+// quantization cuts bytes/round by at least 4x.
+//
 // Usage:
 //   bench_scale_10k [--smoke] [--out FILE] [--peers a,b,c]
 //                   [--parallelism a,b,c] [--rounds N] [--topology ba|er]
+//                   [--value-budget EPS] [--no-faults]
+//                   [--require-cores=N] [--require-speedup=P:X]
 //
 // --smoke (CI mode) restricts to 1k peers, parallelism 1/2, 3 measured
 // rounds: fast enough for every PR, still end-to-end through discovery,
 // parallel rounds, transport accounting and the JSON writer.
+// --require-cores=N exits 3 up front when the host has fewer than N
+// hardware threads (CI guard for the multi-core perf job);
+// --require-speedup=P:X fails the run unless the best exact parallelism-P
+// row reaches a speedup of at least X over serial.
 
 #include <algorithm>
 #include <chrono>
@@ -27,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/topology.h"
@@ -50,6 +63,10 @@ struct BenchResult {
   size_t factors = 0;
   size_t parallelism = 0;
   size_t rounds = 0;
+  /// Per-value error budget of this row (0 = exact raw doubles). Quantized
+  /// rows reuse max_posterior_diff_vs_serial as "vs the exact serial run"
+  /// and are held to the budget instead of the 1e-12 determinism bar.
+  double value_budget = 0.0;
   double discover_seconds = 0.0;
   double seconds = 0.0;
   double rounds_per_sec = 0.0;
@@ -57,6 +74,8 @@ struct BenchResult {
   double bytes_per_round = 0.0;
   double key_bytes_per_round = 0.0;
   double alias_bytes_per_round = 0.0;
+  double value_bytes_per_round = 0.0;
+  double header_bytes_per_round = 0.0;
   double round_seconds_p50 = 0.0;
   double round_seconds_p95 = 0.0;
   double speedup_vs_serial = 1.0;
@@ -134,16 +153,19 @@ std::vector<double> SamplePosteriors(const Pdms& pdms) {
 BenchResult RunConfig(const std::string& topology, const SyntheticPdms& workload,
                       size_t parallelism, size_t rounds,
                       const std::vector<double>* serial_sample,
-                      std::vector<double>* sample_out) {
+                      std::vector<double>* sample_out,
+                      double value_budget = 0.0) {
   BenchResult result;
   result.topology = topology;
   result.peers = workload.graph.node_count();
   result.edges = workload.graph.edge_count();
   result.parallelism = parallelism;
   result.rounds = rounds;
+  result.value_budget = value_budget;
 
   Pdms pdms = PdmsBuilder::FromSynthetic(workload)
                   .WithOptions(ScaleOptions(parallelism))
+                  .WithValueErrorBudget(value_budget)
                   .Build()
                   .value();
   Session& session = pdms.session();
@@ -181,6 +203,12 @@ BenchResult RunConfig(const std::string& topology, const SyntheticPdms& workload
       static_cast<double>(rounds);
   result.alias_bytes_per_round =
       static_cast<double>(pdms.transport().stats().alias_bytes_sent) /
+      static_cast<double>(rounds);
+  result.value_bytes_per_round =
+      static_cast<double>(pdms.transport().stats().value_bytes_sent) /
+      static_cast<double>(rounds);
+  result.header_bytes_per_round =
+      static_cast<double>(pdms.transport().stats().header_bytes_sent) /
       static_cast<double>(rounds);
   result.round_seconds_p50 = Percentile(round_seconds, 0.50);
   result.round_seconds_p95 = Percentile(round_seconds, 0.95);
@@ -303,6 +331,10 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"scale_10k\",\n");
+  // v5: + value_budget / value_bytes_per_round / header_bytes_per_round —
+  //     quantized config rows (value_budget > 0) carry adaptive fixed-point
+  //     log-odds values; their max_posterior_diff_vs_serial is measured
+  //     against the exact serial run instead of the determinism bar.
   // v4: + fault_runs — drop × duplicate × reorder robustness sweep
   //     (engine-visible faults on belief rounds; convergence cost and
   //     residual posterior error vs the fault-free run).
@@ -312,7 +344,7 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
   //     the 3-step negotiation warm-up.
   // v2: + key_bytes_per_round (FactorId fingerprint bytes on the wire)
   //     + round_seconds_p50 / round_seconds_p95 per-round latency.
-  std::fprintf(out, "  \"schema_version\": 4,\n");
+  std::fprintf(out, "  \"schema_version\": 5,\n");
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
@@ -324,19 +356,22 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
         out,
         "    {\"topology\": \"%s\", \"peers\": %zu, \"edges\": %zu, "
         "\"factors\": %zu, \"parallelism\": %zu, \"rounds\": %zu, "
+        "\"value_budget\": %.1e, "
         "\"discover_seconds\": %.6f, \"seconds\": %.6f, "
         "\"rounds_per_sec\": %.3f, \"belief_updates_per_round\": %.1f, "
         "\"bytes_per_round\": %.1f, \"key_bytes_per_round\": %.1f, "
-        "\"alias_bytes_per_round\": %.1f, "
+        "\"alias_bytes_per_round\": %.1f, \"value_bytes_per_round\": %.1f, "
+        "\"header_bytes_per_round\": %.1f, "
         "\"round_seconds_p50\": %.6f, \"round_seconds_p95\": %.6f, "
         "\"speedup_vs_serial\": %.3f, "
         "\"max_posterior_diff_vs_serial\": %.3e}%s\n",
         r.topology.c_str(), r.peers, r.edges, r.factors, r.parallelism,
-        r.rounds, r.discover_seconds, r.seconds, r.rounds_per_sec,
-        r.belief_updates_per_round, r.bytes_per_round, r.key_bytes_per_round,
-        r.alias_bytes_per_round, r.round_seconds_p50, r.round_seconds_p95,
-        r.speedup_vs_serial, r.max_posterior_diff_vs_serial,
-        i + 1 < results.size() ? "," : "");
+        r.rounds, r.value_budget, r.discover_seconds, r.seconds,
+        r.rounds_per_sec, r.belief_updates_per_round, r.bytes_per_round,
+        r.key_bytes_per_round, r.alias_bytes_per_round,
+        r.value_bytes_per_round, r.header_bytes_per_round,
+        r.round_seconds_p50, r.round_seconds_p95, r.speedup_vs_serial,
+        r.max_posterior_diff_vs_serial, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"fault_runs\": [\n");
@@ -386,6 +421,11 @@ int Main(int argc, char** argv) {
   std::vector<size_t> parallelism_levels = {1, 2, 4, 8};
   std::vector<std::string> topologies = {"ba", "er"};
   size_t rounds = 10;
+  bool run_faults = true;
+  size_t require_cores = 0;
+  size_t speedup_parallelism = 0;
+  double speedup_floor = 0.0;
+  double value_budget = 1e-3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -403,6 +443,8 @@ int Main(int argc, char** argv) {
     };
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--no-faults") {
+      run_faults = false;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--peers") {
@@ -413,9 +455,41 @@ int Main(int argc, char** argv) {
       rounds = next_list("--rounds").front();
     } else if (arg == "--topology") {
       topologies = {next()};
+    } else if (arg.rfind("--require-cores=", 0) == 0) {
+      require_cores = ParseSizeList(arg.c_str() + 16).front();
+    } else if (arg == "--require-cores") {
+      require_cores = next_list("--require-cores").front();
+    } else if (arg.rfind("--require-speedup=", 0) == 0 ||
+               arg == "--require-speedup") {
+      // P:X — the best parallelism-P row must reach a speedup of at least X.
+      const std::string spec =
+          arg[17] == '=' ? arg.substr(18) : std::string(next());
+      const size_t colon = spec.find(':');
+      if (colon != std::string::npos) {
+        const std::vector<size_t> par =
+            ParseSizeList(spec.substr(0, colon).c_str());
+        if (!par.empty()) speedup_parallelism = par.front();
+        speedup_floor = std::strtod(spec.c_str() + colon + 1, nullptr);
+      }
+      if (speedup_parallelism == 0 || speedup_floor <= 0.0) {
+        std::fprintf(stderr, "--require-speedup needs P:X (e.g. 4:1.2)\n");
+        return 2;
+      }
+    } else if (arg.rfind("--value-budget=", 0) == 0) {
+      value_budget = std::strtod(arg.c_str() + 15, nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
+    }
+  }
+  if (require_cores > 0) {
+    const size_t cores = std::thread::hardware_concurrency();
+    if (cores < require_cores) {
+      std::fprintf(stderr,
+                   "FAIL: need %zu hardware threads for a meaningful "
+                   "multi-core run, found %zu\n",
+                   require_cores, cores);
+      return 3;
     }
   }
   if (smoke) {
@@ -428,11 +502,13 @@ int Main(int argc, char** argv) {
               peer_counts.back(), rounds);
   std::vector<BenchResult> results;
   bool deterministic = true;
+  bool wire_reduction_ok = true;
   for (const std::string& topology : topologies) {
     for (size_t peers : peer_counts) {
       const SyntheticPdms workload = BuildWorkload(topology, peers);
       std::vector<double> serial_sample;
       double serial_rate = 0.0;
+      double serial_bytes = 0.0;
       for (size_t parallelism : parallelism_levels) {
         std::vector<double> sample;
         BenchResult result = RunConfig(
@@ -443,6 +519,7 @@ int Main(int argc, char** argv) {
         if (parallelism == parallelism_levels.front()) {
           serial_sample = std::move(sample);
           serial_rate = result.rounds_per_sec;
+          serial_bytes = result.bytes_per_round;
         }
         result.speedup_vs_serial =
             serial_rate > 0.0 ? result.rounds_per_sec / serial_rate : 1.0;
@@ -464,10 +541,47 @@ int Main(int argc, char** argv) {
             result.max_posterior_diff_vs_serial);
         results.push_back(std::move(result));
       }
+
+      // Quantized rerun: same workload and round budget, serial, with the
+      // default adaptive error budget. Its posterior diff is measured
+      // against the exact serial run (an accuracy delta, not a determinism
+      // check); the wire reduction is gated at full scale.
+      if (value_budget > 0.0) {
+        std::vector<double> quantized_sample;
+        BenchResult quantized = RunConfig(topology, workload, 1, rounds,
+                                          &serial_sample, &quantized_sample,
+                                          value_budget);
+        quantized.speedup_vs_serial =
+            serial_rate > 0.0 ? quantized.rounds_per_sec / serial_rate : 1.0;
+        const double reduction =
+            quantized.bytes_per_round > 0.0
+                ? serial_bytes / quantized.bytes_per_round
+                : 0.0;
+        std::printf(
+            "%s n=%-6zu quantized eps=%.0e p=1  %8.2f rounds/s  "
+            "%.1f MB/round (%.1f%% values)  x%.2f wire reduction  "
+            "max|Δposterior|=%.1e\n",
+            topology.c_str(), quantized.peers, quantized.value_budget,
+            quantized.rounds_per_sec, quantized.bytes_per_round / 1e6,
+            quantized.bytes_per_round > 0.0
+                ? 100.0 * quantized.value_bytes_per_round /
+                      quantized.bytes_per_round
+                : 0.0,
+            reduction, quantized.max_posterior_diff_vs_serial);
+        if (peers >= 10000 && reduction < 4.0) {
+          std::fprintf(stderr,
+                       "FAIL: %s n=%zu quantized wire reduction x%.2f "
+                       "< x4.00 target\n",
+                       topology.c_str(), peers, reduction);
+          wire_reduction_ok = false;
+        }
+        results.push_back(std::move(quantized));
+      }
     }
   }
 
-  const std::vector<FaultRun> fault_runs = RunFaultSweep(smoke);
+  const std::vector<FaultRun> fault_runs =
+      run_faults ? RunFaultSweep(smoke) : std::vector<FaultRun>{};
   WriteJson(out_path, results, fault_runs, smoke);
   if (!deterministic) {
     std::fprintf(stderr,
@@ -476,6 +590,23 @@ int Main(int argc, char** argv) {
   }
   std::printf("determinism: all parallel runs matched serial posteriors "
               "(<= 1e-12)\n");
+  if (!wire_reduction_ok) return 1;
+  if (speedup_parallelism > 0) {
+    double best = 0.0;
+    for (const BenchResult& r : results) {
+      if (r.parallelism == speedup_parallelism && r.value_budget == 0.0) {
+        best = std::max(best, r.speedup_vs_serial);
+      }
+    }
+    if (best < speedup_floor) {
+      std::fprintf(stderr,
+                   "FAIL: best parallelism-%zu speedup x%.2f < x%.2f floor\n",
+                   speedup_parallelism, best, speedup_floor);
+      return 1;
+    }
+    std::printf("speedup guard: parallelism-%zu reached x%.2f (floor x%.2f)\n",
+                speedup_parallelism, best, speedup_floor);
+  }
   return 0;
 }
 

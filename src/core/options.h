@@ -27,6 +27,28 @@ enum class Granularity : uint8_t {
   kCoarse = 1,  ///< one variable per mapping
 };
 
+/// Quantized belief wire values (wire format v4): ship each remote µ as a
+/// fixed-point log-odds quantum instead of two raw doubles, trading a
+/// bounded per-value error for a multiple-times smaller steady-state
+/// wire footprint. Off by default — posteriors stay bitwise-identical to
+/// the unquantized engine unless a budget is set.
+struct ValuePrecisionOptions {
+  /// Maximum tolerated per-value log-odds error ε. 0 (default) disables
+  /// quantization entirely (raw IEEE doubles on the wire). The finest
+  /// adaptive tier uses `ValueBitsForBudget(ε)` fractional bits, i.e. a
+  /// quantization step of at most ε/8.
+  double error_budget = 0.0;
+  /// Adapt precision to convergence: links start coarse (budget-relative
+  /// step of ~8ε while residuals exceed 64ε) and step up monotonically to
+  /// the fine tier as the peer's residual shrinks. When false, every
+  /// bundle uses the fine tier from the first round.
+  bool adaptive = true;
+  /// Step converged links (residual below `EngineOptions::tolerance`) all
+  /// the way back to exact raw doubles, spending wire bytes to pin the
+  /// fixpoint once traffic is cheap.
+  bool exact_at_convergence = false;
+};
+
 /// Configuration of a `PdmsEngine`.
 struct EngineOptions {
   /// Prior P(m = correct) for mappings without explicit prior information
@@ -85,6 +107,11 @@ struct EngineOptions {
   /// without moving the fixed point. 0 disables (the paper's plain
   /// schedule).
   double damping = 0.0;
+
+  /// Quantized belief wire values (wire format v4); see
+  /// `ValuePrecisionOptions`. Participates in `ComputeStateEpoch`: a
+  /// snapshot taken under one budget cannot restore under another.
+  ValuePrecisionOptions value_precision;
 
   NetworkOptions network;
 };

@@ -9,6 +9,29 @@
 
 namespace pdms {
 
+uint32_t ValueRankBits(const ValuePrecisionOptions& precision, uint32_t rank) {
+  if (rank >= kValueRankExact && precision.exact_at_convergence) return 0;
+  const uint32_t fine = ValueBitsForBudget(precision.error_budget);
+  if (fine == 0) return 0;  // budget off: raw doubles everywhere
+  if (!precision.adaptive || rank >= 2) return fine;
+  // Coarse/mid tiers drop 6/3 fractional bits: an 8x/2x larger step
+  // while residuals dwarf the budget anyway.
+  const uint32_t drop = rank == 0 ? 6 : 3;
+  return fine > drop + 2 ? fine - drop : 2;
+}
+
+uint32_t ValueRankTarget(const ValuePrecisionOptions& precision,
+                         double residual, double tolerance) {
+  if (precision.exact_at_convergence && residual < tolerance) {
+    return kValueRankExact;
+  }
+  if (!precision.adaptive) return 2;
+  const double eps = precision.error_budget;
+  if (residual > 64.0 * eps) return 0;
+  if (residual > 8.0 * eps) return 1;
+  return 2;
+}
+
 Peer::Peer(PeerId id, Schema schema, const Digraph* graph,
            const EngineOptions* options)
     : id_(id), schema_(std::move(schema)), graph_(graph), options_(options) {}
@@ -405,6 +428,13 @@ void Peer::AbsorbBeliefUpdate(const BeliefUpdate& update) {
 }
 
 Status Peer::AbsorbBeliefBundle(PeerId from, const BeliefMessage& message) {
+  // Quantized bundles (value_bits != 0) arrive with every entry's
+  // `belief` already holding the dequantized realization of its wire
+  // quantum: the codec materializes it on decode, and senders write it at
+  // construction (`BeliefMessage::QuantizeValues`) so in-memory
+  // transports deliver the same values a socket would. Absorption
+  // therefore reads `entry.belief` uniformly for both formats.
+  //
   // Everything in a stale-epoch bundle refers to the pre-rebuild
   // numbering — including its ack. Applying such an ack to the fresh
   // transmit session would mark bindings as established that the new
@@ -559,6 +589,19 @@ double Peer::ComputeRound() {
     var.last_posterior = now;
     var.has_last_posterior = true;
   }
+  // Residual-driven precision step-up (quantized wire values): every
+  // outgoing link ratchets toward the tier this round's residual calls
+  // for — monotone, so a peer restored from a snapshot continues the
+  // same precision trajectory an uninterrupted run would have taken.
+  if (options_->value_precision.error_budget > 0.0) {
+    const uint32_t target = ValueRankTarget(
+        options_->value_precision, max_change, options_->tolerance);
+    for (PeerLink& link : alias_links_) {
+      if (link.value_rank < target) {
+        link.value_rank = static_cast<uint8_t>(target);
+      }
+    }
+  }
   return max_change;
 }
 
@@ -569,8 +612,10 @@ void Peer::CollectOutgoingBeliefs(std::vector<Outgoing>* out) const {
   // lookup (the alias was negotiated when the route was built).
   out->clear();
   out->reserve(belief_routes_.size());
+  const bool quantize = options_->value_precision.error_budget > 0.0;
   for (const BeliefRoute& route : belief_routes_) {
-    const AliasLink& session = alias_links_[route.link].session;
+    const PeerLink& link = alias_links_[route.link];
+    const AliasLink& session = link.session;
     const AliasSessionTx& tx = session.tx;
     BeliefMessage bundle;
     bundle.epoch = alias_epoch_;
@@ -595,6 +640,15 @@ void Peer::CollectOutgoingBeliefs(std::vector<Outgoing>* out) const {
             BeliefEntry{pos, var_to_factor_pool_[hot.msg_base + pos]});
       }
       bundle.groups.push_back(group);
+    }
+    // Quantize at construction, at the link's current precision tier:
+    // every entry gets its wire quantum and the dequantized value the
+    // receiver will observe — identically whether the bundle crosses a
+    // socket (codec ships the quantum) or an in-memory transport (the
+    // struct already carries the dequantized belief).
+    if (quantize) {
+      bundle.QuantizeValues(
+          ValueRankBits(options_->value_precision, link.value_rank));
     }
     Outgoing& outgoing = out->emplace_back();
     outgoing.to = route.to;
@@ -674,6 +728,7 @@ Peer::Image Peer::CaptureImage() const {
     out.rx_id_of = link.session.rx.id_of;
     out.rx_known_prefix = link.session.rx.known_prefix;
     out.replica_of_alias = link.replica_of_alias;
+    out.value_rank = link.value_rank;
   }
   image.alias_epoch = alias_epoch_;
   image.vars = vars_;
@@ -719,6 +774,7 @@ void Peer::RestoreImage(Image&& image) {
     link.session.rx.id_of = std::move(in.rx_id_of);
     link.session.rx.known_prefix = in.rx_known_prefix;
     link.replica_of_alias = std::move(in.replica_of_alias);
+    link.value_rank = static_cast<uint8_t>(in.value_rank);
     alias_link_index_.emplace_back(in.peer, static_cast<uint32_t>(i));
   }
   std::sort(alias_link_index_.begin(), alias_link_index_.end());

@@ -35,6 +35,33 @@ struct QueryActions {
   std::vector<EdgeId> blocked_edges;
 };
 
+// --- Adaptive value-precision tiers --------------------------------------------
+//
+// Under a value error budget (EngineOptions::value_precision) every belief
+// link carries a monotone precision tier: coarse quanta while the sending
+// peer's residual is large, stepping to fine — and optionally back to
+// exact raw doubles — as convergence nears. The tier is transmit-side
+// state only (bundles are self-describing), so step-ups survive loss and
+// mixed-precision traffic trivially.
+
+/// Number of value-precision tiers (coarse, mid, fine, exact).
+inline constexpr uint32_t kValueRankCount = 4;
+/// The tier whose bundles return to raw doubles.
+inline constexpr uint32_t kValueRankExact = 3;
+
+/// Fractional log-odds bits a bundle at `rank` uses under `precision`:
+/// fine = ValueBitsForBudget(budget), mid/coarse = 3/6 fewer bits
+/// (clamped at 2), exact = 0 (raw doubles). With `adaptive` false, every
+/// rank below exact collapses to the fine tier.
+uint32_t ValueRankBits(const ValuePrecisionOptions& precision, uint32_t rank);
+
+/// Target tier for a peer whose last round's max posterior change was
+/// `residual`: coarse above 64ε, mid above 8ε, fine below — and exact
+/// once the residual clears `tolerance`, when `exact_at_convergence` is
+/// set. Links only ever step toward this target, never back.
+uint32_t ValueRankTarget(const ValuePrecisionOptions& precision,
+                         double residual, double tolerance);
+
 /// One autonomous peer database: schema, documents, outgoing mappings, and
 /// the peer's fragment of the global factor graph (Section 4.1).
 ///
@@ -293,6 +320,8 @@ class Peer {
     std::vector<FactorId> rx_id_of;
     uint32_t rx_known_prefix = 0;
     std::vector<uint32_t> replica_of_alias;
+    /// Transmit-side value-precision tier (see `PeerLink::value_rank`).
+    uint32_t value_rank = 0;
   };
 
   /// A complete, self-contained copy of this peer's mutable state in
@@ -439,6 +468,13 @@ class Peer {
   struct PeerLink {
     AliasLink session;
     std::vector<uint32_t> replica_of_alias;
+    /// Transmit-side precision tier under a value error budget: 0 coarse,
+    /// 1 mid, 2 fine, 3 exact (raw doubles again). Stepped up — never
+    /// down — at the end of `ComputeRound` from the peer's residual, so a
+    /// link's precision trajectory is monotone and a peer restored from a
+    /// snapshot continues it identically. Unused when quantization is
+    /// off.
+    uint8_t value_rank = 0;
   };
 
   /// Alias sessions, one per neighbor: dense storage indexed through

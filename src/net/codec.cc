@@ -124,12 +124,16 @@ void EncodeFeedback(const FeedbackAnnouncement& message, Sink& sink) {
 template <typename Sink>
 void EncodeBelief(const BeliefMessage& message, Sink& sink) {
   // Byte-for-byte the model `BundleBreakdown` (message.cc) accounts:
-  // varint(epoch) + varint(ack) + varint(#groups); per group the zigzag
-  // alias-delta token (low bit = "full id present"), the optional 16-byte
-  // fingerprint, varint(#entries); per entry a zigzag position-delta varint
-  // plus the two raw doubles.
+  // varint(epoch) + varint(ack) + varint(value_bits) + varint(#groups);
+  // per group the zigzag alias-delta token (low bit = "full id present"),
+  // the optional 16-byte fingerprint, varint(#entries); per entry a
+  // zigzag position-delta varint plus the value — two raw doubles under
+  // value_bits == 0, else the entry's quantum as one `QuantWireToken`
+  // varint.
+  const bool quantized = message.value_bits != 0;
   PutVarint(sink, message.epoch);
   PutVarint(sink, message.ack);
+  PutVarint(sink, message.value_bits);
   PutVarint(sink, message.groups.size());
   uint32_t previous_alias = 0;
   for (const BeliefGroup& group : message.groups) {
@@ -154,8 +158,12 @@ void EncodeBelief(const BeliefMessage& message, Sink& sink) {
       PutVarint(sink, ZigZag(static_cast<int64_t>(entry.position) -
                              static_cast<int64_t>(previous_position)));
       previous_position = entry.position;
-      PutDouble(sink, entry.belief.correct);
-      PutDouble(sink, entry.belief.incorrect);
+      if (quantized) {
+        PutVarint(sink, QuantWireToken(entry.quant));
+      } else {
+        PutDouble(sink, entry.belief.correct);
+        PutDouble(sink, entry.belief.incorrect);
+      }
     }
   }
 }
@@ -418,6 +426,18 @@ Status DecodeFeedback(Reader& reader, FeedbackAnnouncement* message) {
 Status DecodeBelief(Reader& reader, BeliefMessage* message) {
   PDMS_RETURN_IF_ERROR(reader.ReadVarint32(&message->epoch, "belief epoch"));
   PDMS_RETURN_IF_ERROR(reader.ReadVarint32(&message->ack, "belief ack"));
+  PDMS_RETURN_IF_ERROR(
+      reader.ReadVarint32(&message->value_bits, "belief value format"));
+  if (message->value_bits != 0 &&
+      (message->value_bits < 2 ||
+       message->value_bits > kMaxValuePrecisionBits)) {
+    return Status::InvalidArgument(
+        StrFormat("belief value format %u outside [2, %u] (0 = raw doubles)",
+                  message->value_bits, kMaxValuePrecisionBits));
+  }
+  const bool quantized = message->value_bits != 0;
+  const int64_t quant_bound =
+      quantized ? QuantBound(message->value_bits) : 0;
   size_t group_count = 0;
   // Min per group: alias token varint + entry-count varint.
   PDMS_RETURN_IF_ERROR(reader.ReadCount(2, &group_count, "belief group"));
@@ -447,8 +467,10 @@ Status DecodeBelief(Reader& reader, BeliefMessage* message) {
       group.id = FactorId{};
     }
     size_t entry_count = 0;
-    // Min per entry: position-delta varint + two 8-byte doubles.
-    PDMS_RETURN_IF_ERROR(reader.ReadCount(17, &entry_count, "belief entry"));
+    // Min per entry: position-delta varint + two 8-byte doubles, or one
+    // quantum varint under the quantized format.
+    PDMS_RETURN_IF_ERROR(
+        reader.ReadCount(quantized ? 2 : 17, &entry_count, "belief entry"));
     group.entry_begin = static_cast<uint32_t>(message->entries.size());
     group.entry_count = static_cast<uint32_t>(entry_count);
     int64_t previous_position = 0;
@@ -465,8 +487,22 @@ Status DecodeBelief(Reader& reader, BeliefMessage* message) {
       previous_position = position;
       BeliefEntry entry;
       entry.position = static_cast<uint32_t>(position);
-      PDMS_RETURN_IF_ERROR(reader.ReadDouble(&entry.belief.correct));
-      PDMS_RETURN_IF_ERROR(reader.ReadDouble(&entry.belief.incorrect));
+      if (quantized) {
+        uint64_t token = 0;
+        PDMS_RETURN_IF_ERROR(reader.ReadVarint(&token));
+        const int64_t quant = QuantFromWireToken(token);
+        if (quant != kQuantPosInf && quant != kQuantNegInf &&
+            (quant > quant_bound || quant < -quant_bound)) {
+          return Status::OutOfRange(StrFormat(
+              "belief quantum %lld outside the %u-bit precision bound",
+              static_cast<long long>(quant), message->value_bits));
+        }
+        entry.quant = quant;
+        entry.belief = DequantizeLogOdds(quant, message->value_bits);
+      } else {
+        PDMS_RETURN_IF_ERROR(reader.ReadDouble(&entry.belief.correct));
+        PDMS_RETURN_IF_ERROR(reader.ReadDouble(&entry.belief.incorrect));
+      }
       message->entries.push_back(entry);
     }
   }

@@ -35,7 +35,13 @@ namespace pdms {
 /// Version byte carried by every frame; bumped on incompatible changes.
 /// v2: CRC32 frame checksum, per-link sequence numbers, session handshake.
 /// v3: rejoin / rejoin-ack control frames (snapshot-restart re-admission).
-inline constexpr uint8_t kWireFormatVersion = 3;
+/// v4: quantized belief values — every belief bundle declares its value
+///     format (`BeliefMessage::value_bits`: 0 = legacy raw doubles, else
+///     fixed-point log-odds quanta at that many fractional bits), and
+///     quantized entries carry one zigzag quantum varint instead of two
+///     doubles. Quanta outside the declared precision's bound are
+///     rejected as forged (OutOfRange).
+inline constexpr uint8_t kWireFormatVersion = 4;
 
 /// Sentinel encoding ⊥ (nullopt) in probe trails. Schema attribute images
 /// are dense small ids, so the all-ones pattern is never a real attribute.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <type_traits>
 
 #include "net/codec.h"
@@ -102,6 +103,77 @@ Result<FactorId> AliasSessionRx::Resolve(uint32_t alias) const {
   return id_of[alias];
 }
 
+uint32_t ValueBitsForBudget(double eps) {
+  if (!(eps > 0.0)) return 0;
+  const double bits = std::ceil(std::log2(8.0 / eps));
+  if (bits <= 2.0) return 2;
+  if (bits >= kMaxValuePrecisionBits) return kMaxValuePrecisionBits;
+  return static_cast<uint32_t>(bits);
+}
+
+int64_t QuantizeLogOdds(const Belief& belief, uint32_t bits) {
+  // One-sided and degenerate measures first: log() of their entries is
+  // not finite, and their meaning survives quantization exactly.
+  const bool correct_zero = !(belief.correct > 0.0);
+  const bool incorrect_zero = !(belief.incorrect > 0.0);
+  if (correct_zero && incorrect_zero) return 0;  // normalizes to uniform
+  if (incorrect_zero) return kQuantPosInf;
+  if (correct_zero) return kQuantNegInf;
+  const double log_odds = std::log(belief.correct) - std::log(belief.incorrect);
+  if (std::isnan(log_odds)) return 0;
+  const int64_t bound = QuantBound(bits);
+  if (log_odds >= std::ldexp(static_cast<double>(bound), -static_cast<int>(bits)))
+    return bound;
+  if (log_odds <= std::ldexp(static_cast<double>(-bound), -static_cast<int>(bits)))
+    return -bound;
+  return std::llround(std::ldexp(log_odds, static_cast<int>(bits)));
+}
+
+Belief DequantizeLogOdds(int64_t quant, uint32_t bits) {
+  if (quant == kQuantPosInf) return Belief{1.0, 0.0};
+  if (quant == kQuantNegInf) return Belief{0.0, 1.0};
+  const double log_odds =
+      std::ldexp(static_cast<double>(quant), -static_cast<int>(bits));
+  // Normalized sigmoid pair: the log-odds of the result is exactly
+  // `log_odds` (up to one rounding each side), and extreme quanta
+  // degrade gracefully to the one-sided measures.
+  return Belief{1.0 / (1.0 + std::exp(-log_odds)),
+                1.0 / (1.0 + std::exp(log_odds))};
+}
+
+namespace {
+
+/// Zigzag mapping of a signed value onto the unsigned varint domain
+/// (0, -1, 1, -2, … -> 0, 1, 2, 3, …).
+uint64_t ZigZagQuant(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+}  // namespace
+
+uint64_t QuantWireToken(int64_t quant) {
+  if (quant == kQuantPosInf) return 0;
+  if (quant == kQuantNegInf) return 1;
+  return ZigZagQuant(quant) + 2;
+}
+
+int64_t QuantFromWireToken(uint64_t token) {
+  if (token == 0) return kQuantPosInf;
+  if (token == 1) return kQuantNegInf;
+  const uint64_t zigzag = token - 2;
+  return static_cast<int64_t>(zigzag >> 1) ^ -static_cast<int64_t>(zigzag & 1);
+}
+
+void BeliefMessage::QuantizeValues(uint32_t bits) {
+  value_bits = bits;
+  if (bits == 0) return;
+  for (BeliefEntry& entry : entries) {
+    entry.quant = QuantizeLogOdds(entry.belief, bits);
+    entry.belief = DequantizeLogOdds(entry.quant, bits);
+  }
+}
+
 void BeliefMessage::AddGroup(uint32_t alias, const FactorId& id,
                              std::initializer_list<BeliefEntry> group_entries) {
   BeliefGroup group;
@@ -152,14 +224,17 @@ uint64_t ZigZag(int64_t delta) {
 }
 
 /// All byte accounts of a bundle in one walk: alias headers (epoch + ack +
-/// counts + alias tokens), fingerprints (16 per unacknowledged group), and
-/// the delta-encoded entries; `bytes` is their sum.
+/// value-format + counts + alias tokens), fingerprints (16 per
+/// unacknowledged group), the delta-encoded positions and the values
+/// (raw doubles or quantum varints); `bytes` is their sum.
 WireBreakdown BundleBreakdown(const BeliefMessage& message) {
   WireBreakdown breakdown;
   breakdown.alias_bytes = VarintWireSize(message.epoch) +
                           VarintWireSize(message.ack) +
+                          VarintWireSize(message.value_bits) +
                           VarintWireSize(message.groups.size());
-  size_t entry_bytes = 0;
+  const bool quantized = message.value_bits != 0;
+  size_t position_bytes = 0;
   uint32_t previous_alias = 0;
   for (const BeliefGroup& group : message.groups) {
     const bool has_id = !group.id.IsNil();
@@ -174,14 +249,17 @@ WireBreakdown BundleBreakdown(const BeliefMessage& message) {
     previous_alias = group.alias;
     uint32_t previous_position = 0;
     for (const BeliefEntry& entry : message.EntriesOf(group)) {
-      entry_bytes +=
+      position_bytes +=
           VarintWireSize(ZigZag(static_cast<int64_t>(entry.position) -
-                                static_cast<int64_t>(previous_position))) +
-          2 * sizeof(double);
+                                static_cast<int64_t>(previous_position)));
+      breakdown.value_bytes = breakdown.value_bytes +
+          (quantized ? VarintWireSize(QuantWireToken(entry.quant))
+                     : 2 * sizeof(double));
       previous_position = entry.position;
     }
   }
-  breakdown.bytes = breakdown.alias_bytes + breakdown.key_bytes + entry_bytes;
+  breakdown.bytes = breakdown.alias_bytes + breakdown.key_bytes +
+                    position_bytes + breakdown.value_bytes;
   return breakdown;
 }
 
@@ -228,6 +306,10 @@ WireBreakdown PayloadWireBreakdown(const Payload& payload) {
   WireBreakdown breakdown;
   breakdown.bytes = ApproximateWireSize(payload);
   breakdown.key_bytes = FactorIdWireBytes(payload);
+  if (const auto* query = std::get_if<QueryMessage>(&payload)) {
+    // Lazy-schedule piggybacks always travel as raw doubles.
+    breakdown.value_bytes = query->piggyback.size() * 2 * sizeof(double);
+  }
   return breakdown;
 }
 

@@ -212,12 +212,72 @@ struct FeedbackAnnouncement {
   double delta = 0.1;
 };
 
+// --- Quantized belief values (wire format v4) ---------------------------------
+//
+// A 2-state measure only acts on posteriors through its log-odds
+// ln(correct/incorrect): the shared scale cancels under `Rescaled()` /
+// `Normalized()`. So when a session opts into a value error budget, each
+// entry ships a single fixed-point log-odds quantum q = round(l * 2^bits)
+// as a zigzag varint instead of two raw doubles, with the per-bundle
+// `value_bits` declaring the precision (0 keeps the legacy raw-double
+// encoding — the default, and the fallback when quantization is off).
+// Senders quantize at bundle construction and store the *dequantized*
+// value back into the entry, so in-memory transports (SimTransport moves
+// Payload structs without the codec) and the socket path deliver bitwise
+// the same beliefs.
+
+/// Upper bound on fractional log-odds bits a bundle may declare; beyond
+/// this a double's mantissa is exhausted and the varint stops paying.
+inline constexpr uint32_t kMaxValuePrecisionBits = 44;
+
+/// Quanta are bounded by |log-odds| <= 2^kQuantLogOddsRangeLog2 (doubles
+/// saturate near ±745 anyway); a wire quantum outside the declared
+/// precision's bound is rejected as forged.
+inline constexpr uint32_t kQuantLogOddsRangeLog2 = 10;
+
+/// In-memory sentinels for exactly-one-sided measures ({x,0} / {0,x});
+/// on the wire they map to the two reserved value tokens.
+inline constexpr int64_t kQuantPosInf = INT64_MAX;
+inline constexpr int64_t kQuantNegInf = INT64_MIN;
+
+/// Largest finite |quantum| representable at `bits` fractional bits.
+constexpr int64_t QuantBound(uint32_t bits) {
+  return int64_t{1} << (kQuantLogOddsRangeLog2 + bits);
+}
+
+/// Fractional bits for a target per-value error budget `eps`: the
+/// log-odds step 2^-bits is kept at most eps/8, leaving headroom for
+/// accumulation across loopy iterations. Returns 0 (raw doubles) for a
+/// non-positive budget.
+uint32_t ValueBitsForBudget(double eps);
+
+/// Fixed-point log-odds quantum of `belief` at `bits` fractional bits
+/// (clamped to ±QuantBound; one-sided measures map to the ±inf
+/// sentinels, all-zero measures to 0 — the uniform message).
+int64_t QuantizeLogOdds(const Belief& belief, uint32_t bits);
+
+/// The normalized 2-state measure whose log-odds is exactly
+/// quant / 2^bits (sentinels yield {1,0} / {0,1}).
+Belief DequantizeLogOdds(int64_t quant, uint32_t bits);
+
+/// Wire token of a quantum: 0 / 1 are the ±inf sentinels, everything
+/// else zigzag(q) + 2. Shared by the encoder and the wire-size model.
+uint64_t QuantWireToken(int64_t quant);
+
+/// Inverse of `QuantWireToken` (no range validation; the codec bounds
+/// the result against the declared precision).
+int64_t QuantFromWireToken(uint64_t token);
+
 /// One position/value entry inside a `BeliefGroup`: the member position
 /// (delta-encoded varint on the wire; entries are emitted in ascending
-/// position order) and the µ value itself.
+/// position order) and the µ value itself. Under a quantized bundle
+/// (`BeliefMessage::value_bits` != 0) `quant` is the wire value and
+/// `belief` its dequantized realization; under the raw format `belief`
+/// is authoritative and `quant` is unused.
 struct BeliefEntry {
   uint32_t position = 0;
   Belief belief;
+  int64_t quant = 0;
 };
 
 /// All updates of one factor inside a bundle: one alias header + N
@@ -242,9 +302,19 @@ struct BeliefGroup {
 struct BeliefMessage {
   uint32_t epoch = 0;
   uint32_t ack = 0;
+  /// Fractional log-odds bits of this bundle's values: 0 = legacy raw
+  /// doubles, else a quantized bundle at 2^-value_bits log-odds steps.
+  /// Self-describing per bundle, so a link may step precision up
+  /// mid-session without any receiver-side state.
+  uint32_t value_bits = 0;
   std::vector<BeliefGroup> groups;
   /// All groups' entries, concatenated in group order.
   std::vector<BeliefEntry> entries;
+
+  /// Switches the bundle to the quantized encoding at `bits` fractional
+  /// bits: every entry gets its quantum and the dequantized value the
+  /// receiver will observe (bits == 0 restores the raw encoding).
+  void QuantizeValues(uint32_t bits);
 
   /// Appends one group with its entries (test/tooling convenience; the
   /// peers' hot path writes the flat arrays directly).
@@ -306,10 +376,12 @@ size_t VarintWireSize(uint64_t value);
 /// (src/net/codec.h) produces. Used by transports to account bytes moved.
 /// Belief bundles keep a one-pass analytic model (cross-checked against
 /// the encoder in debug builds); the model is
-/// varint(epoch) + varint(ack) + varint(#groups), then per group a varint
-/// alias token (zigzag alias delta vs the previous group, low bit = "full
-/// id present"), the optional 16-byte fingerprint, varint(#entries), and
-/// per entry a zigzag position-delta varint plus the two message doubles.
+/// varint(epoch) + varint(ack) + varint(value_bits) + varint(#groups),
+/// then per group a varint alias token (zigzag alias delta vs the
+/// previous group, low bit = "full id present"), the optional 16-byte
+/// fingerprint, varint(#entries), and per entry a zigzag position-delta
+/// varint plus the value: two raw doubles under value_bits == 0, else
+/// one quantum varint (`QuantWireToken`).
 size_t ApproximateWireSize(const Payload& payload);
 
 /// The factor-identity bytes inside `payload` under the same encoding: one
@@ -326,15 +398,19 @@ size_t FactorIdWireBytes(const Payload& payload);
 /// the scale benchmarks report it as `alias_bytes_per_round`.
 size_t AliasWireBytes(const Payload& payload);
 
-/// All three byte accounts of a payload in one traversal — what the
+/// All byte accounts of a payload in one traversal — what the
 /// transports call per send, so the hot path walks a belief bundle once
 /// instead of once per metric. `bytes` always equals
 /// `ApproximateWireSize`, `key_bytes` `FactorIdWireBytes`, and
-/// `alias_bytes` `AliasWireBytes`.
+/// `alias_bytes` `AliasWireBytes`; `value_bytes` is the µ values
+/// themselves (raw doubles or quantum varints, incl. query piggybacks),
+/// so `bytes - value_bytes` is the header share the transports report as
+/// `header_bytes_sent`.
 struct WireBreakdown {
   size_t bytes = 0;
   size_t key_bytes = 0;
   size_t alias_bytes = 0;
+  size_t value_bytes = 0;
 };
 WireBreakdown PayloadWireBreakdown(const Payload& payload);
 

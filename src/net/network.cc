@@ -24,7 +24,7 @@ void SimTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
   }
   // Bytes account only what was accepted for delivery (drops excluded).
   const WireBreakdown wire = PayloadWireBreakdown(payload);
-  counters_.CountPayloadBytes(wire.bytes, wire.key_bytes, wire.alias_bytes);
+  counters_.CountPayloadBytes(wire);
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;

@@ -311,8 +311,7 @@ void SocketTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
                            Payload payload) {
   const MessageKind kind = KindOf(payload);
   const WireBreakdown breakdown = PayloadWireBreakdown(payload);
-  counters_.CountSent(kind, breakdown.bytes, breakdown.key_bytes,
-                      breakdown.alias_bytes);
+  counters_.CountSent(kind, breakdown);
 
   DataFrame frame;
   frame.from = from;

@@ -28,6 +28,11 @@ PdmsBuilder& PdmsBuilder::WithParallelism(size_t parallelism) {
   return *this;
 }
 
+PdmsBuilder& PdmsBuilder::WithValueErrorBudget(double eps) {
+  value_error_budget_ = eps;
+  return *this;
+}
+
 PdmsBuilder& PdmsBuilder::WithTransport(TransportFactory factory) {
   transport_factory_ = std::move(factory);
   return *this;
@@ -74,6 +79,13 @@ Result<Pdms> PdmsBuilder::Build() {
   }
   if (parallelism_.has_value()) {
     options_.parallelism = *parallelism_;
+  }
+  if (value_error_budget_.has_value()) {
+    if (*value_error_budget_ < 0.0) {
+      return Status::InvalidArgument(
+          "value error budget must be non-negative (0 disables quantization)");
+    }
+    options_.value_precision.error_budget = *value_error_budget_;
   }
   if (schemas_.empty()) {
     return Status::FailedPrecondition("a PDMS needs at least one peer");

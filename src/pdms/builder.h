@@ -54,6 +54,13 @@ class PdmsBuilder {
   /// top of whatever `WithOptions` supplied, so call order does not matter.
   PdmsBuilder& WithParallelism(size_t parallelism);
 
+  /// Quantized belief wire values (`EngineOptions::value_precision`):
+  /// ship remote µ values as adaptive fixed-point log-odds quanta with a
+  /// per-value error budget of `eps` (0 restores exact raw doubles, the
+  /// default). Applied at `Build()` time on top of whatever
+  /// `WithOptions` supplied, so call order does not matter.
+  PdmsBuilder& WithValueErrorBudget(double eps);
+
   /// Supplies a custom transport. The factory runs at `Build()` time with
   /// the final peer count.
   PdmsBuilder& WithTransport(TransportFactory factory);
@@ -91,6 +98,7 @@ class PdmsBuilder {
   std::vector<PendingMapping> mappings_;
   EngineOptions options_;
   std::optional<size_t> parallelism_;
+  std::optional<double> value_error_budget_;
   TransportFactory transport_factory_;
   /// First unsatisfiable request recorded while assembling (e.g. a
   /// FromSynthetic source whose edge ids cannot be reproduced);

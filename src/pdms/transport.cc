@@ -26,6 +26,9 @@ std::string TransportStats::ToString() const {
                    static_cast<unsigned long long>(bytes_sent),
                    static_cast<unsigned long long>(key_bytes_sent),
                    static_cast<unsigned long long>(alias_bytes_sent));
+  out += StrFormat("value_bytes_sent=%llu header_bytes_sent=%llu\n",
+                   static_cast<unsigned long long>(value_bytes_sent),
+                   static_cast<unsigned long long>(header_bytes_sent));
   if (frames_dropped_at_shutdown > 0) {
     out += StrFormat(
         "frames_dropped_at_shutdown=%llu\n",
@@ -43,6 +46,8 @@ void AtomicTransportStats::SnapshotTo(TransportStats* out) const {
   out->bytes_sent = bytes_sent.load(std::memory_order_relaxed);
   out->key_bytes_sent = key_bytes_sent.load(std::memory_order_relaxed);
   out->alias_bytes_sent = alias_bytes_sent.load(std::memory_order_relaxed);
+  out->value_bytes_sent = value_bytes_sent.load(std::memory_order_relaxed);
+  out->header_bytes_sent = header_bytes_sent.load(std::memory_order_relaxed);
   out->frames_dropped_at_shutdown =
       frames_dropped_at_shutdown.load(std::memory_order_relaxed);
 }
@@ -56,6 +61,8 @@ void AtomicTransportStats::Reset() {
   bytes_sent.store(0, std::memory_order_relaxed);
   key_bytes_sent.store(0, std::memory_order_relaxed);
   alias_bytes_sent.store(0, std::memory_order_relaxed);
+  value_bytes_sent.store(0, std::memory_order_relaxed);
+  header_bytes_sent.store(0, std::memory_order_relaxed);
   frames_dropped_at_shutdown.store(0, std::memory_order_relaxed);
 }
 
@@ -63,8 +70,7 @@ void InstantTransport::Send(PeerId from, PeerId to, std::optional<EdgeId> via,
                             Payload payload) {
   assert(to < mailboxes_.size());
   const WireBreakdown wire = PayloadWireBreakdown(payload);
-  counters_.CountSent(KindOf(payload), wire.bytes, wire.key_bytes,
-                      wire.alias_bytes);
+  counters_.CountSent(KindOf(payload), wire);
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;

@@ -30,6 +30,15 @@ struct TransportStats {
   /// (`AliasWireBytes`) — what the alias scheme pays to *replace* the
   /// fingerprints; reported as `alias_bytes_per_round` by the benchmarks.
   uint64_t alias_bytes_sent = 0;
+  /// The subset of `bytes_sent` spent on the µ values themselves
+  /// (`WireBreakdown::value_bytes`: raw doubles, or quantum varints under
+  /// a value error budget) — the share the quantized wire format attacks.
+  uint64_t value_bytes_sent = 0;
+  /// Everything else: `bytes_sent - value_bytes_sent` (framing varints,
+  /// alias headers, fingerprints, positions, probe/feedback structure),
+  /// maintained alongside so the value/header split is measured, not
+  /// estimated.
+  uint64_t header_bytes_sent = 0;
   /// Frames still unacknowledged when the transport shut down and stopped
   /// retransmitting (they may or may not have reached the receiver). Zero
   /// on a clean drain; non-zero means the shutdown deadline
@@ -51,6 +60,8 @@ struct AtomicTransportStats {
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> key_bytes_sent{0};
   std::atomic<uint64_t> alias_bytes_sent{0};
+  std::atomic<uint64_t> value_bytes_sent{0};
+  std::atomic<uint64_t> header_bytes_sent{0};
   std::atomic<uint64_t> frames_dropped_at_shutdown{0};
 
   /// Counts one send attempt of `kind` (drops included — `sent` tracks
@@ -61,16 +72,18 @@ struct AtomicTransportStats {
   /// Accounts payload bytes *accepted for delivery* — lossy transports
   /// must call this only after the drop decision, per the documented
   /// `TransportStats::bytes_sent` semantics.
-  void CountPayloadBytes(size_t bytes, size_t key_bytes, size_t alias_bytes) {
-    bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
-    key_bytes_sent.fetch_add(key_bytes, std::memory_order_relaxed);
-    alias_bytes_sent.fetch_add(alias_bytes, std::memory_order_relaxed);
+  void CountPayloadBytes(const WireBreakdown& wire) {
+    bytes_sent.fetch_add(wire.bytes, std::memory_order_relaxed);
+    key_bytes_sent.fetch_add(wire.key_bytes, std::memory_order_relaxed);
+    alias_bytes_sent.fetch_add(wire.alias_bytes, std::memory_order_relaxed);
+    value_bytes_sent.fetch_add(wire.value_bytes, std::memory_order_relaxed);
+    header_bytes_sent.fetch_add(wire.bytes - wire.value_bytes,
+                                std::memory_order_relaxed);
   }
   /// Attempt + bytes in one call, for transports that never drop.
-  void CountSent(MessageKind kind, size_t bytes, size_t key_bytes,
-                 size_t alias_bytes) {
+  void CountSent(MessageKind kind, const WireBreakdown& wire) {
     CountSendAttempt(kind);
-    CountPayloadBytes(bytes, key_bytes, alias_bytes);
+    CountPayloadBytes(wire);
   }
   void CountDropped(MessageKind kind) {
     dropped[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);

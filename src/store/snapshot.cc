@@ -276,6 +276,7 @@ void PutPeerImage(Writer& w, const Peer::Image& image) {
     w.Fixed32(link.rx_known_prefix);
     w.Varint(link.replica_of_alias.size());
     for (uint32_t replica : link.replica_of_alias) w.Fixed32(replica);
+    w.U8(static_cast<uint8_t>(link.value_rank));
   }
   w.Fixed32(image.alias_epoch);
 
@@ -408,6 +409,8 @@ Status GetPeerImage(Reader& r, Peer::Image* image) {
     link.rx_known_prefix = r.Fixed32();
     link.replica_of_alias.resize(r.Count(4));
     for (uint32_t& replica : link.replica_of_alias) replica = r.Fixed32();
+    link.value_rank = r.U8();
+    if (link.value_rank >= kValueRankCount) return corrupt("link value rank");
   }
   image->alias_epoch = r.Fixed32();
   if (r.failed()) return corrupt("alias links");
@@ -601,6 +604,12 @@ uint64_t ComputeStateEpoch(const Digraph& graph,
   HashDouble(h, options.tolerance);
   HashU64(h, options.convergence_patience);
   HashDouble(h, options.damping);
+  // The value error budget changes what travels on the wire (and thus the
+  // posteriors), so snapshots taken under one precision policy must never
+  // be resumed under another.
+  HashDouble(h, options.value_precision.error_budget);
+  HashU64(h, options.value_precision.adaptive ? 1 : 0);
+  HashU64(h, options.value_precision.exact_at_convergence ? 1 : 0);
   return h;
 }
 

@@ -33,7 +33,11 @@ namespace pdms {
 
 /// Bumped whenever the serialized layout changes incompatibly; loaders
 /// reject other versions rather than guessing.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+///
+/// v2: per-link `value_rank` (adaptive belief quantization tier) joins
+/// the link image, so a restored shard resumes its precision trajectory
+/// exactly where the crashed run left it.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Deterministic fingerprint of the deployment a snapshot belongs to:
 /// topology (nodes, every edge ever added, shard placement) plus the

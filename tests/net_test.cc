@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -141,28 +142,29 @@ TEST(AliasSessionTest, RxBindingsAdvanceContiguousPrefixOverHoles) {
 }
 
 TEST(BeliefWireFormatTest, BareAliasGroupsBeatTheFingerprintEncoding) {
-  // Binding declaration (first mention): epoch(1) + ack(1) + #groups(1) +
-  // alias token(1) + fingerprint(16) + #entries(1) + position(1) + 16.
+  // Binding declaration (first mention): epoch(1) + ack(1) + value
+  // format(1) + #groups(1) + alias token(1) + fingerprint(16) +
+  // #entries(1) + position(1) + 16.
   const BeliefMessage first = MakeBelief();
-  EXPECT_EQ(ApproximateWireSize(Payload{first}), 38u);
+  EXPECT_EQ(ApproximateWireSize(Payload{first}), 39u);
   EXPECT_EQ(FactorIdWireBytes(Payload{first}), 16u);
-  EXPECT_EQ(AliasWireBytes(Payload{first}), 5u);
+  EXPECT_EQ(AliasWireBytes(Payload{first}), 6u);
 
   // Steady state (acked binding): the fingerprint is gone and the same
-  // update costs 22 bytes against 34 under the pre-alias encoding — the
+  // update costs 23 bytes against 34 under the pre-alias encoding — the
   // worst case (singleton group); multi-update groups amortize further.
   BeliefMessage steady;
   steady.AddGroup(0, FactorId{}, {BeliefEntry{0, Belief::FromProbability(0.7)}});
-  EXPECT_EQ(ApproximateWireSize(Payload{steady}), 22u);
+  EXPECT_EQ(ApproximateWireSize(Payload{steady}), 23u);
   EXPECT_EQ(FactorIdWireBytes(Payload{steady}), 0u);
-  EXPECT_EQ(AliasWireBytes(Payload{steady}), 5u);
+  EXPECT_EQ(AliasWireBytes(Payload{steady}), 6u);
 
   // One alias header amortized over three delta-encoded entries.
   BeliefMessage grouped;
   grouped.AddGroup(3, FactorId{},
                    {BeliefEntry{0, Belief::Unit()}, BeliefEntry{1, Belief::Unit()},
                     BeliefEntry{2, Belief::Unit()}});
-  EXPECT_EQ(ApproximateWireSize(Payload{grouped}), 3u + 2u + 3u * 17u);
+  EXPECT_EQ(ApproximateWireSize(Payload{grouped}), 4u + 2u + 3u * 17u);
 
   // The one-pass transport breakdown agrees with the per-metric functions.
   for (const BeliefMessage& message : {first, steady, grouped}) {
@@ -177,7 +179,72 @@ TEST(BeliefWireFormatTest, BareAliasGroupsBeatTheFingerprintEncoding) {
   BeliefMessage wide;
   wide.AddGroup(0, FactorId{},
                 {BeliefEntry{64, Belief::Unit()}, BeliefEntry{200, Belief::Unit()}});
-  EXPECT_EQ(ApproximateWireSize(Payload{wide}), 3u + 2u + (2u + 16u) + (2u + 16u));
+  EXPECT_EQ(ApproximateWireSize(Payload{wide}), 4u + 2u + (2u + 16u) + (2u + 16u));
+}
+
+// --- Quantized belief values ---------------------------------------------------
+
+TEST(QuantizationTest, BudgetPicksEnoughFractionalBits) {
+  EXPECT_EQ(ValueBitsForBudget(0.0), 0u);      // disabled
+  EXPECT_EQ(ValueBitsForBudget(-1.0), 0u);     // nonsense disables too
+  EXPECT_EQ(ValueBitsForBudget(2.0), 2u);      // floor
+  EXPECT_EQ(ValueBitsForBudget(1e-3), 13u);    // ceil(log2(8000))
+  EXPECT_EQ(ValueBitsForBudget(1e-15), 44u);   // ceiling
+  // More budget never means more bits.
+  uint32_t previous = kMaxValuePrecisionBits;
+  for (double eps : {1e-12, 1e-9, 1e-6, 1e-3, 1e-1, 1.0}) {
+    const uint32_t bits = ValueBitsForBudget(eps);
+    EXPECT_LE(bits, previous) << "eps=" << eps;
+    previous = bits;
+  }
+}
+
+TEST(QuantizationTest, RoundTripStaysInsideTheBudgetAtEveryTier) {
+  for (uint32_t bits : {2u, 8u, 13u, 20u, 44u}) {
+    // A bits-tier quantum is 2^-bits wide in log-odds; the worst rounding
+    // error is half a quantum, and d(prob)/d(log-odds) = p(1-p) <= 1/4,
+    // so probabilities move by at most 2^-(bits+3).
+    const double budget = std::ldexp(1.0, -static_cast<int>(bits) - 3);
+    for (double p : {1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6}) {
+      const Belief original = Belief::FromProbability(p);
+      const int64_t quant = QuantizeLogOdds(original, bits);
+      const Belief decoded = DequantizeLogOdds(quant, bits);
+      EXPECT_NEAR(decoded.ProbabilityCorrect(), p, budget)
+          << "bits=" << bits << " p=" << p;
+      // Re-quantizing the dequantized belief is a fixed point: the value a
+      // receiver absorbs re-encodes to the identical quantum (and bytes).
+      EXPECT_EQ(QuantizeLogOdds(decoded, bits), quant);
+    }
+  }
+}
+
+TEST(QuantizationTest, CertaintySurvivesExactlyViaSentinels) {
+  for (uint32_t bits : {2u, 13u, 44u}) {
+    EXPECT_EQ(QuantizeLogOdds(Belief{1.0, 0.0}, bits), kQuantPosInf);
+    EXPECT_EQ(QuantizeLogOdds(Belief{0.0, 1.0}, bits), kQuantNegInf);
+    const Belief certain = DequantizeLogOdds(kQuantPosInf, bits);
+    EXPECT_EQ(certain.correct, 1.0);
+    EXPECT_EQ(certain.incorrect, 0.0);
+    const Belief impossible = DequantizeLogOdds(kQuantNegInf, bits);
+    EXPECT_EQ(impossible.correct, 0.0);
+    EXPECT_EQ(impossible.incorrect, 1.0);
+  }
+  // The degenerate all-zero measure and NaN-producing inputs quantize to
+  // the neutral quantum instead of poisoning the wire.
+  EXPECT_EQ(QuantizeLogOdds(Belief{0.0, 0.0}, 8), 0);
+}
+
+TEST(QuantizationTest, WireTokensRoundTripIncludingSentinels) {
+  EXPECT_EQ(QuantWireToken(kQuantPosInf), 0u);
+  EXPECT_EQ(QuantWireToken(kQuantNegInf), 1u);
+  EXPECT_EQ(QuantWireToken(0), 2u);  // zigzag(0) + 2
+  for (int64_t quant : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{1024},
+                        int64_t{-1024}, QuantBound(44), -QuantBound(44),
+                        kQuantPosInf, kQuantNegInf}) {
+    EXPECT_EQ(QuantFromWireToken(QuantWireToken(quant)), quant);
+  }
+  // Saturated small-tier quanta stay one byte on the wire.
+  EXPECT_EQ(VarintWireSize(QuantWireToken(0)), 1u);
 }
 
 TEST(SimTransportTest, DeliversAfterDelay) {
@@ -426,16 +493,16 @@ TEST(CodecTest, RejectsMalformedVarints) {
 }
 
 TEST(CodecTest, RejectsOutOfRangeBeliefAliases) {
-  // epoch 0, ack 0, one group whose zigzag alias delta lands exactly on
-  // the per-session bound.
+  // epoch 0, ack 0, value format 0 (raw doubles), one group whose zigzag
+  // alias delta lands exactly on the per-session bound.
   const uint64_t zigzag_bound = static_cast<uint64_t>(kMaxAliasesPerSession)
                                 << 1;
-  auto bytes = RawVarints({0, 0, 1, zigzag_bound << 1, 0});
+  auto bytes = RawVarints({0, 0, 0, 1, zigzag_bound << 1, 0});
   const auto beyond = DecodePayload(MessageKind::kBelief, bytes);
   EXPECT_EQ(beyond.status().code(), StatusCode::kOutOfRange);
 
   // zigzag(-1) = 1: the first group would get alias -1.
-  bytes = RawVarints({0, 0, 1, (1ull << 1), 0});
+  bytes = RawVarints({0, 0, 0, 1, (1ull << 1), 0});
   const auto negative = DecodePayload(MessageKind::kBelief, bytes);
   EXPECT_EQ(negative.status().code(), StatusCode::kOutOfRange);
 }
@@ -450,9 +517,123 @@ TEST(CodecTest, RejectsCountsLargerThanTheInput) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
 
   // A belief group promising more 17-byte entries than bytes remain.
-  auto belief = RawVarints({0, 0, 1, 0, 1u << 16});
+  auto belief = RawVarints({0, 0, 0, 1, 0, 1u << 16});
   EXPECT_EQ(DecodePayload(MessageKind::kBelief, belief).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+BeliefMessage MakeQuantized(uint32_t bits) {
+  BeliefMessage message;
+  message.AddGroup(0, FactorId{},
+                   {BeliefEntry{0, Belief::FromProbability(0.7)},
+                    BeliefEntry{1, Belief{1.0, 0.0}},       // +inf sentinel
+                    BeliefEntry{2, Belief{0.0, 1.0}},       // -inf sentinel
+                    BeliefEntry{3, Belief{1.0, 1.0}}});     // log-odds 0
+  message.AddGroup(2, FactorId{0xa, 0xb},
+                   {BeliefEntry{64, Belief::FromProbability(1e-4)}});
+  message.QuantizeValues(bits);
+  return message;
+}
+
+TEST(CodecTest, QuantizedBundlesRoundTripByteIdenticallyAtEveryTier) {
+  for (uint32_t bits : {2u, 8u, 13u, 20u, 44u}) {
+    const BeliefMessage message = MakeQuantized(bits);
+    ExpectRoundTrip(Payload{message});
+    // The decoded beliefs are exactly the sender's post-quantization
+    // realizations — the codec and QuantizeValues agree on dequantization.
+    const auto decoded =
+        DecodePayload(MessageKind::kBelief, Encoded(Payload{message}));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    const auto& bundle = std::get<BeliefMessage>(*decoded);
+    ASSERT_EQ(bundle.entries.size(), message.entries.size());
+    for (size_t i = 0; i < bundle.entries.size(); ++i) {
+      EXPECT_EQ(bundle.entries[i].quant, message.entries[i].quant);
+      EXPECT_EQ(bundle.entries[i].belief.correct,
+                message.entries[i].belief.correct);
+      EXPECT_EQ(bundle.entries[i].belief.incorrect,
+                message.entries[i].belief.incorrect);
+    }
+    // Framing stays strict under the compact entries: every truncation and
+    // any trailing byte is still rejected.
+    ExpectStrictFraming(Payload{message});
+  }
+  // A saturated-workload singleton (log-odds 0) costs 2 bytes of entry
+  // against 17 raw — the per-update win the 10k benchmark banks on.
+  BeliefMessage steady;
+  steady.AddGroup(0, FactorId{}, {BeliefEntry{0, Belief{1.0, 1.0}}});
+  steady.QuantizeValues(13);
+  EXPECT_EQ(ApproximateWireSize(Payload{steady}), 4u + 2u + 1u + 1u);
+  EXPECT_EQ(PayloadWireBreakdown(Payload{steady}).value_bytes, 1u);
+}
+
+TEST(CodecTest, MixedPrecisionBundlesCoexistOnOneLink) {
+  // Adjacent bundles may carry different per-bundle value formats (the
+  // sender steps precision up mid-session); each decodes independently.
+  for (uint32_t bits : {0u, 2u, 13u, 44u}) {
+    BeliefMessage message = MakeBelief();
+    message.QuantizeValues(bits);
+    const auto decoded =
+        DecodePayload(MessageKind::kBelief, Encoded(Payload{message}));
+    ASSERT_TRUE(decoded.ok()) << "bits=" << bits << ": " << decoded.status();
+    EXPECT_EQ(std::get<BeliefMessage>(*decoded).value_bits, bits);
+  }
+}
+
+TEST(CodecTest, RejectsInvalidBeliefValueFormats) {
+  // Formats 1 and >44 identify no tier this build knows how to decode.
+  for (uint64_t bad_format : {1u, 45u, 255u}) {
+    const auto bytes = RawVarints({0, 0, bad_format, 0});
+    EXPECT_EQ(DecodePayload(MessageKind::kBelief, bytes).status().code(),
+              StatusCode::kInvalidArgument)
+        << "format " << bad_format;
+  }
+}
+
+TEST(CodecTest, RejectsQuantaOutsideThePrecisionBound) {
+  // A forged quantum one past the 2-bit tier's bound must be refused —
+  // accepted quanta re-encode byte-identically, so out-of-range values
+  // would otherwise break the round-trip invariant.
+  BeliefMessage forged = MakeBelief();
+  forged.QuantizeValues(2);
+  forged.entries[0].quant = QuantBound(2) + 1;
+  EXPECT_EQ(DecodePayload(MessageKind::kBelief, Encoded(Payload{forged}))
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  forged.entries[0].quant = -QuantBound(2) - 1;
+  EXPECT_EQ(DecodePayload(MessageKind::kBelief, Encoded(Payload{forged}))
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  // The bound itself (the saturation value) is legal.
+  forged.entries[0].quant = QuantBound(2);
+  EXPECT_TRUE(
+      DecodePayload(MessageKind::kBelief, Encoded(Payload{forged})).ok());
+}
+
+TEST(CodecTest, RejectsBitFlippedQuantizedFrames) {
+  // End-to-end: a v4 data frame with any single payload byte corrupted is
+  // caught by the frame CRC before the payload codec ever runs.
+  DataFrame data;
+  data.from = 1;
+  data.to = 2;
+  data.seq = 7;
+  data.payload = MakeQuantized(13);
+  std::vector<uint8_t> bytes;
+  EncodeFrame(Frame{data}, &bytes);
+  for (size_t bit = 0; bit < 8 * bytes.size(); bit += 37) {
+    std::vector<uint8_t> flipped = bytes;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    FrameAssembler assembler;
+    assembler.Feed(flipped);
+    size_t accepted = 0;
+    for (;;) {
+      Result<std::optional<Frame>> next = assembler.Next();
+      if (!next.ok() || !next->has_value()) break;
+      ++accepted;
+    }
+    EXPECT_EQ(accepted, 0u) << "bit " << bit << " accepted";
+  }
 }
 
 TEST(CodecTest, RejectsUnknownEnumBytes) {

@@ -288,6 +288,85 @@ TEST(PdmsNodeTest, ResumesFromSnapshotWithoutRediscovery) {
   std::system(("rm -rf " + state_dir).c_str());
 }
 
+TEST(PdmsNodeTest, QuantizedResumeContinuesThePrecisionTrajectory) {
+  char dir_template[] = "/tmp/pdms_node_qstate_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  const std::string state_dir = dir_template;
+
+  // Same shape as ResumesFromSnapshotWithoutRediscovery, but with adaptive
+  // value quantization on: the snapshot carries each link's precision rank,
+  // and the resumed run must keep stepping up exactly where the first life
+  // left off to land on the identical fixpoint.
+  const auto make_node =
+      [&state_dir](double value_budget) -> std::unique_ptr<PdmsNode> {
+    EngineOptions engine_options = WorkloadOptions();
+    engine_options.value_precision.error_budget = value_budget;
+    bench::BibliographicPdms workload = bench::MakeBibliographicPdms(
+        engine_options,
+        [&](size_t peer_count, const EngineOptions&)
+            -> std::unique_ptr<Transport> {
+          return SocketTransport::CreateLoopback(peer_count);
+        });
+    NodeOptions node_options;
+    node_options.max_rounds = kRounds;
+    node_options.state_dir = state_dir;
+    Result<std::unique_ptr<PdmsNode>> node =
+        PdmsNode::Create(std::move(workload.pdms), node_options);
+    EXPECT_TRUE(node.ok()) << node.status().ToString();
+    if (!node.ok()) return nullptr;
+    return std::move(node).value();
+  };
+
+  const auto all_posteriors = [](const PdmsNode& node) {
+    std::vector<double> posteriors;
+    const Digraph& graph = node.pdms().graph();
+    for (EdgeId e : graph.LiveEdges()) {
+      const PeerId owner = graph.edge(e).src;
+      const size_t attrs = node.pdms().peer(owner).schema().size();
+      for (AttributeId a = 0; a < attrs; ++a) {
+        posteriors.push_back(node.pdms().Posterior(e, a));
+      }
+    }
+    return posteriors;
+  };
+
+  constexpr double kBudget = 1e-3;
+  std::unique_ptr<PdmsNode> first = make_node(kBudget);
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(first->Connect().ok());
+  ASSERT_TRUE(first->RunDiscovery().ok());
+  Result<ConvergenceReport> full = first->RunRounds();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  const std::vector<double> reference = all_posteriors(*first);
+  first.reset();
+
+  // A node configured with a *different* precision policy must refuse the
+  // snapshots outright: the state epoch folds the value budget in, so the
+  // store treats them as belonging to a foreign deployment.
+  std::unique_ptr<PdmsNode> mismatched = make_node(0.0);
+  ASSERT_NE(mismatched, nullptr);
+  ASSERT_TRUE(mismatched->Connect().ok());
+  EXPECT_EQ(mismatched->TryRestoreFromState().status().code(),
+            StatusCode::kNotFound);
+  mismatched.reset();
+
+  // Same policy: restore the newest cut mid-trajectory and finish; the
+  // restored link ranks make the remaining rounds — and the posteriors —
+  // bitwise-identical to the uninterrupted run.
+  std::unique_ptr<PdmsNode> second = make_node(kBudget);
+  ASSERT_NE(second, nullptr);
+  ASSERT_TRUE(second->Connect().ok());
+  Result<uint64_t> restored = second->TryRestoreFromState();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_GT(*restored, 0u);
+  ASSERT_TRUE(second->PerformRejoin().ok());
+  Result<ConvergenceReport> resumed = second->RunRounds();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(all_posteriors(*second), reference);
+
+  std::system(("rm -rf " + state_dir).c_str());
+}
+
 // --- Two real processes ---------------------------------------------------------
 
 /// Parses `P <edge> <attr> <hex-float>` lines into (edge, attr) → text.

@@ -345,7 +345,8 @@ TEST(TransportEquivalenceTest, InstantNeedsNoTickPerHopForQueries) {
 /// lossy simulator draws the same drop sequence.
 std::vector<double> ConvergedPosteriorsOn(
     size_t parallelism, double send_probability,
-    PdmsBuilder::TransportFactory transport_factory) {
+    PdmsBuilder::TransportFactory transport_factory,
+    double value_budget = 0.0) {
   constexpr size_t kNetAttrs = 6;
   Rng rng(123);
   Digraph graph = topology::BarabasiAlbert(24, 2, &rng);
@@ -367,7 +368,7 @@ std::vector<double> ConvergedPosteriorsOn(
   // parallel round path (and TSan keeps seeing it).
   options.min_peers_per_lane = 1;
   PdmsBuilder builder = PdmsBuilder::FromSynthetic(synthetic);
-  builder.WithOptions(options);
+  builder.WithOptions(options).WithValueErrorBudget(value_budget);
   if (transport_factory) builder.WithTransport(std::move(transport_factory));
   Pdms pdms = builder.Build().value();
   EXPECT_GT(pdms.session().Discover(), 0u);
@@ -443,6 +444,50 @@ TEST(ParallelDeterminismTest, BuilderParallelismKnobIsAppliedAtBuildTime) {
   builder.WithParallelism(2).WithOptions(options);
   Pdms reordered = builder.Build().value();
   EXPECT_EQ(reordered.options().parallelism, 2u);
+}
+
+TEST(BuilderValidationTest, NegativeValueErrorBudgetIsRejected) {
+  EngineOptions options;
+  const Result<Pdms> built =
+      IntroBuilder(options).WithValueErrorBudget(-0.5).Build();
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QuantizedValueTest, QuantizedRunsAreParallelDeterministicToo) {
+  // The precision ratchet is per-link peer-local state updated inside
+  // ComputeRound, so quantized runs keep the bitwise parallel-determinism
+  // guarantee — including under loss, where the coarse early bundles are
+  // exactly what gets dropped.
+  for (const double send_probability : {1.0, 0.6}) {
+    const std::vector<double> serial =
+        ConvergedPosteriorsOn(1, send_probability, nullptr, 1e-3);
+    ASSERT_FALSE(serial.empty());
+    for (const size_t parallelism : {2, 8}) {
+      const std::vector<double> parallel =
+          ConvergedPosteriorsOn(parallelism, send_probability, nullptr, 1e-3);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(parallel[i], serial[i])
+            << "posterior " << i << " at parallelism " << parallelism
+            << ", P(send)=" << send_probability;
+      }
+    }
+  }
+}
+
+TEST(QuantizedValueTest, ConvergedPosteriorsStayWithinTheErrorBudget) {
+  // The whole point of the explicit budget: against the exact raw-double
+  // run, every converged posterior of the quantized run is within eps.
+  constexpr double kBudget = 1e-3;
+  const std::vector<double> exact = ConvergedPosteriorsOn(1, 1.0, nullptr);
+  const std::vector<double> quantized =
+      ConvergedPosteriorsOn(1, 1.0, nullptr, kBudget);
+  ASSERT_EQ(quantized.size(), exact.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    worst = std::max(worst, std::abs(quantized[i] - exact[i]));
+  }
+  EXPECT_LE(worst, kBudget);
 }
 
 // --- Session observers --------------------------------------------------------

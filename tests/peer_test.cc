@@ -392,6 +392,150 @@ TEST_F(PeerTest, AliasTablesRebuildAfterRemoveMapping) {
   EXPECT_TRUE(BundleFromTo(*peers_[0], 1).groups[0].id.IsNil());
 }
 
+// --- Quantized value precision ------------------------------------------------
+
+TEST(ValueRankTest, TierFormulasClampAndOrder) {
+  ValuePrecisionOptions precision;
+  precision.error_budget = 1e-3;  // fine tier: ceil(log2(8000)) = 13 bits
+  EXPECT_EQ(ValueRankBits(precision, 0), 7u);
+  EXPECT_EQ(ValueRankBits(precision, 1), 10u);
+  EXPECT_EQ(ValueRankBits(precision, 2), 13u);
+  // Without the exact tail, the top rank still ships the fine tier.
+  EXPECT_EQ(ValueRankBits(precision, kValueRankExact), 13u);
+  precision.exact_at_convergence = true;
+  EXPECT_EQ(ValueRankBits(precision, kValueRankExact), 0u);  // raw doubles
+
+  // Non-adaptive sessions pin every rank at the fine tier.
+  precision.exact_at_convergence = false;
+  precision.adaptive = false;
+  for (uint32_t rank = 0; rank < kValueRankCount; ++rank) {
+    EXPECT_EQ(ValueRankBits(precision, rank), 13u);
+  }
+
+  // Generous budgets hit the 2-bit floor instead of underflowing.
+  ValuePrecisionOptions loose;
+  loose.error_budget = 1.0;  // fine = 3 bits
+  EXPECT_EQ(ValueRankBits(loose, 0), 2u);
+  EXPECT_EQ(ValueRankBits(loose, 1), 2u);
+  EXPECT_EQ(ValueRankBits(loose, 2), 3u);
+
+  // A zero budget means quantization is off at every rank.
+  ValuePrecisionOptions off;
+  for (uint32_t rank = 0; rank < kValueRankCount; ++rank) {
+    EXPECT_EQ(ValueRankBits(off, rank), 0u);
+  }
+}
+
+TEST(ValueRankTest, TargetTracksTheResidual) {
+  ValuePrecisionOptions precision;
+  precision.error_budget = 1e-3;
+  const double tolerance = 1e-7;
+  EXPECT_EQ(ValueRankTarget(precision, 1.0, tolerance), 0u);    // > 64eps
+  EXPECT_EQ(ValueRankTarget(precision, 1e-2, tolerance), 1u);   // > 8eps
+  EXPECT_EQ(ValueRankTarget(precision, 1e-4, tolerance), 2u);   // near done
+  // The exact tail engages only below the convergence tolerance.
+  EXPECT_EQ(ValueRankTarget(precision, 1e-8, tolerance), 2u);
+  precision.exact_at_convergence = true;
+  EXPECT_EQ(ValueRankTarget(precision, 1e-8, tolerance), kValueRankExact);
+  EXPECT_EQ(ValueRankTarget(precision, 1.0, tolerance), 0u);
+  // Non-adaptive: always the fine tier (the exact tail still applies).
+  precision.exact_at_convergence = false;
+  precision.adaptive = false;
+  EXPECT_EQ(ValueRankTarget(precision, 1.0, tolerance), 2u);
+}
+
+TEST_F(PeerTest, QuantizedLinksStepUpMonotonicallyToTheFineTier) {
+  options_.value_precision.error_budget = 1e-3;
+  peers_[0]->IngestFeedback(F1Announcement());
+  uint32_t previous_bits = 0;
+  for (int round = 0; round < 60; ++round) {
+    peers_[0]->ComputeRound();
+    const BeliefMessage bundle = BundleFromTo(*peers_[0], 1);
+    // Precision only ever ratchets up: a receiver never sees the wire
+    // degrade mid-session.
+    EXPECT_GE(bundle.value_bits, previous_bits) << "round " << round;
+    previous_bits = bundle.value_bits;
+    // Every entry ships its dequantized realization: re-quantizing it is a
+    // fixed point, so sim (struct-passing) and socket (codec) transports
+    // deliver identical values.
+    for (const BeliefEntry& entry : bundle.entries) {
+      EXPECT_EQ(QuantizeLogOdds(entry.belief, bundle.value_bits), entry.quant);
+    }
+  }
+  EXPECT_EQ(previous_bits, 13u);  // residual shrank: fine tier reached
+}
+
+TEST_F(PeerTest, ExactTailRestoresRawDoublesAtConvergence) {
+  options_.tolerance = 1e-4;
+  options_.value_precision.error_budget = 1e-3;
+  options_.value_precision.exact_at_convergence = true;
+  peers_[0]->IngestFeedback(F1Announcement());
+  double change = 1.0;
+  for (int round = 0; round < 2000 && change >= options_.tolerance; ++round) {
+    change = peers_[0]->ComputeRound();
+  }
+  ASSERT_LT(change, options_.tolerance);
+  // The converged round ratcheted the link to the exact rank: bundles ship
+  // raw doubles (value format 0) from here on.
+  EXPECT_EQ(BundleFromTo(*peers_[0], 1).value_bits, 0u);
+}
+
+TEST_F(PeerTest, RestoredPeerContinuesThePrecisionTrajectoryIdentically) {
+  options_.value_precision.error_budget = 1e-3;
+  peers_[0]->IngestFeedback(F1Announcement());
+  for (int round = 0; round < 5; ++round) peers_[0]->ComputeRound();
+  const Peer::Image image = peers_[0]->CaptureImage();
+
+  Schema schema("p1");
+  for (size_t a = 0; a < kAttrs; ++a) {
+    ASSERT_TRUE(schema.AddAttribute(StrFormat("a%zu", a)).ok());
+  }
+  Peer restored(0, std::move(schema), &graph_, &options_);
+  restored.RestoreImage(image);
+
+  // The restored peer emits bitwise-identical bundles — same precision
+  // tier, same quanta — and keeps stepping up in lockstep with the
+  // original run.
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_EQ(peers_[0]->ComputeRound(), restored.ComputeRound());
+    const BeliefMessage original = BundleFromTo(*peers_[0], 1);
+    const BeliefMessage resumed = BundleFromTo(restored, 1);
+    EXPECT_EQ(original.value_bits, resumed.value_bits) << "round " << round;
+    ASSERT_EQ(original.entries.size(), resumed.entries.size());
+    for (size_t i = 0; i < original.entries.size(); ++i) {
+      EXPECT_EQ(original.entries[i].quant, resumed.entries[i].quant);
+      EXPECT_EQ(original.entries[i].belief.correct,
+                resumed.entries[i].belief.correct);
+      EXPECT_EQ(original.entries[i].belief.incorrect,
+                resumed.entries[i].belief.incorrect);
+    }
+  }
+}
+
+TEST_F(PeerTest, MixedPrecisionBundlesAbsorbAcrossTierChanges) {
+  // p1 receives one coarse bundle and one fine bundle for the same factor
+  // (a sender stepping up mid-session): both absorb cleanly, latest wins.
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[1]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  peers_[1]->ComputeRound();
+
+  BeliefMessage coarse = BundleFromTo(*peers_[0], 1);
+  coarse.QuantizeValues(7);
+  ASSERT_TRUE(peers_[1]->AbsorbBeliefBundle(0, coarse).ok());
+  const double after_coarse = peers_[1]->ComputeRound();
+
+  BeliefMessage fine = BundleFromTo(*peers_[0], 1);
+  fine.QuantizeValues(13);
+  ASSERT_TRUE(peers_[1]->AbsorbBeliefBundle(0, fine).ok());
+  (void)after_coarse;
+
+  // A raw (format 0) bundle still interleaves with quantized ones.
+  BeliefMessage raw = BundleFromTo(*peers_[0], 1);
+  ASSERT_EQ(raw.value_bits, 0u);
+  ASSERT_TRUE(peers_[1]->AbsorbBeliefBundle(0, raw).ok());
+}
+
 TEST_F(PeerTest, PiggybackUpdatesFilteredByEdge) {
   peers_[1]->IngestFeedback(F1Announcement());  // p2 owns m23 in f1
   peers_[1]->ComputeRound();

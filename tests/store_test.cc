@@ -311,6 +311,73 @@ TEST(StateEpochTest, StableForEqualInputsSensitiveToDeploymentChanges) {
   EXPECT_NE(epoch, ComputeStateEpoch(graph, shard_of, 2, other_ttl));
 }
 
+TEST(SnapshotCodecTest, LinkValueRanksSurviveTheRoundTrip) {
+  // A shard crashed mid-trajectory with links at different precision
+  // tiers: restore must hand every link its exact rank back, or the
+  // resumed run would re-send coarse values the original never did.
+  EngineOptions options;
+  options.value_precision.error_budget = 1e-3;
+  Pdms pdms = MakeIntroPdms(options);
+  NodeSnapshot snapshot = MakeSnapshot(pdms);
+  bool saw_links = false;
+  for (Peer::Image& peer : snapshot.engine.peers) {
+    for (size_t l = 0; l < peer.links.size(); ++l) {
+      peer.links[l].value_rank =
+          static_cast<uint32_t>(l % kValueRankCount);
+      saw_links = true;
+    }
+  }
+  ASSERT_TRUE(saw_links);
+
+  Result<NodeSnapshot> decoded = DecodeSnapshot(EncodeSnapshot(snapshot));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  for (size_t p = 0; p < snapshot.engine.peers.size(); ++p) {
+    const auto& expected = snapshot.engine.peers[p].links;
+    const auto& restored = decoded.value().engine.peers[p].links;
+    ASSERT_EQ(restored.size(), expected.size());
+    for (size_t l = 0; l < expected.size(); ++l) {
+      EXPECT_EQ(restored[l].value_rank, expected[l].value_rank);
+    }
+  }
+}
+
+TEST(SnapshotCodecTest, RejectsOutOfRangeLinkValueRank) {
+  Pdms pdms = MakeIntroPdms();
+  NodeSnapshot snapshot = MakeSnapshot(pdms);
+  ASSERT_FALSE(snapshot.engine.peers.empty());
+  ASSERT_FALSE(snapshot.engine.peers[0].links.empty());
+  snapshot.engine.peers[0].links[0].value_rank = kValueRankCount;
+  const Result<NodeSnapshot> decoded =
+      DecodeSnapshot(EncodeSnapshot(snapshot));
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StateEpochTest, ValuePrecisionReKeysTheEpoch) {
+  // Quantization changes what travels on the wire and therefore the
+  // posteriors: a snapshot taken under one budget must never resume under
+  // another, and each precision knob re-keys independently.
+  Pdms pdms = MakeIntroPdms();
+  const std::vector<uint32_t> shard_of = {0, 1, 0, 1};
+  const EngineOptions options = pdms.options();
+  const uint64_t epoch = ComputeStateEpoch(pdms.graph(), shard_of, 2, options);
+
+  EngineOptions budgeted = options;
+  budgeted.value_precision.error_budget = 1e-3;
+  const uint64_t budgeted_epoch =
+      ComputeStateEpoch(pdms.graph(), shard_of, 2, budgeted);
+  EXPECT_NE(epoch, budgeted_epoch);
+
+  EngineOptions fixed_tier = budgeted;
+  fixed_tier.value_precision.adaptive = false;
+  EXPECT_NE(budgeted_epoch,
+            ComputeStateEpoch(pdms.graph(), shard_of, 2, fixed_tier));
+
+  EngineOptions exact_tail = budgeted;
+  exact_tail.value_precision.exact_at_convergence = true;
+  EXPECT_NE(budgeted_epoch,
+            ComputeStateEpoch(pdms.graph(), shard_of, 2, exact_tail));
+}
+
 TEST(StateEpochTest, ScheduleKnobsDoNotReKeyTheEpoch) {
   Pdms pdms = MakeIntroPdms();
   const std::vector<uint32_t> shard_of = {0, 0, 1, 1};

@@ -6,9 +6,11 @@ Usage:
                          [--tolerance 0.10] [--peers 1000]
                          [--parallelism 1]
 
-Configs are matched on (topology, peers, parallelism); rows present in only
-one file are ignored (the CI smoke run covers a subset of the checked-in
-sweep). For each matched pair the relative *regression* of `--metric` over
+Configs are matched on (topology, peers, parallelism, value_budget) — the
+budget defaults to 0 for pre-v5 baselines, so exact rows keep matching
+across schema versions while quantized rows only ever compare against
+quantized rows. Rows present in only one file are ignored (the CI smoke
+run covers a subset of the checked-in sweep). For each matched pair the relative *regression* of `--metric` over
 the baseline is computed — an increase for lower-is-better metrics
 (bytes_per_round, key_bytes_per_round, ...), a decrease for
 higher-is-better ones (rounds_per_sec, speedup_vs_serial) — and any
@@ -37,7 +39,8 @@ def load_configs(path, peers_filter, parallelism_filter):
         if (parallelism_filter is not None
                 and row["parallelism"] != parallelism_filter):
             continue
-        configs[(row["topology"], row["peers"], row["parallelism"])] = row
+        configs[(row["topology"], row["peers"], row["parallelism"],
+                 row.get("value_budget", 0))] = row
     return data.get("schema_version"), configs
 
 
@@ -93,8 +96,9 @@ def main():
         verdict = "FAIL" if delta > args.tolerance else "ok"
         if verdict == "FAIL":
             failures += 1
-        topology, peers, parallelism = key
-        print(f"[{verdict}] {topology} n={peers} p={parallelism} "
+        topology, peers, parallelism, value_budget = key
+        budget_tag = f" eps={value_budget:.0e}" if value_budget else ""
+        print(f"[{verdict}] {topology} n={peers} p={parallelism}{budget_tag} "
               f"{args.metric} ({direction} is better): "
               f"{base_value:.1f} -> {cur_value:.1f} "
               f"(regression {delta:+.1%}, tolerance +{args.tolerance:.0%})")

@@ -126,7 +126,7 @@ bool ParseRateFlag(int argc, char** argv, const char* name, double* out) {
   return true;
 }
 
-EngineOptions WorkloadOptions() {
+EngineOptions WorkloadOptions(double value_budget) {
   // Mirrors examples/bibliographic_alignment.cpp; period_ticks stays 1
   // (required by node mode) and the wire is lossless in both modes.
   EngineOptions options;
@@ -135,6 +135,9 @@ EngineOptions WorkloadOptions() {
   options.closure_limits.max_cycle_length = 4;
   options.closure_limits.max_path_length = 3;
   options.damping = 0.5;
+  // Budget participates in the state epoch: a node restarted with a
+  // different --value-error-budget refuses its old snapshots.
+  options.value_precision.error_budget = value_budget;
   return options;
 }
 
@@ -159,11 +162,15 @@ int Fail(const Status& status) {
 
 int RunReference(int argc, char** argv) {
   uint64_t max_rounds = 0;
+  double value_budget = 0.0;
   if (!ParseU64Flag(argc, argv, "max-rounds", "100", &max_rounds)) {
     return UsageError("max-rounds", "a non-negative integer");
   }
+  if (!ParseRateFlag(argc, argv, "value-error-budget", &value_budget)) {
+    return UsageError("value-error-budget", "a probability in [0, 1]");
+  }
   bench::BibliographicPdms workload =
-      bench::MakeBibliographicPdms(WorkloadOptions());
+      bench::MakeBibliographicPdms(WorkloadOptions(value_budget));
   workload.pdms.session().Discover();
   workload.pdms.session().Converge(max_rounds);
   PrintOwnedPosteriors(workload.pdms, workload.family, nullptr);
@@ -232,6 +239,10 @@ int RunServe(int argc, char** argv) {
   if (!ParseRateFlag(argc, argv, "chaos-link-kill", &chaos.link_kill_rate)) {
     return UsageError("chaos-link-kill", "a probability in [0, 1]");
   }
+  double value_budget = 0.0;
+  if (!ParseRateFlag(argc, argv, "value-error-budget", &value_budget)) {
+    return UsageError("value-error-budget", "a probability in [0, 1]");
+  }
   if (shards == 0 || shard >= shards) {
     std::fprintf(stderr, "pdms_node: need 0 <= --shard < --shards\n");
     return 2;
@@ -255,7 +266,7 @@ int RunServe(int argc, char** argv) {
   constexpr size_t kPeers = 6;  // the bibliographic family size
   SocketTransport* transport = nullptr;
   bench::BibliographicPdms workload = bench::MakeBibliographicPdms(
-      WorkloadOptions(),
+      WorkloadOptions(value_budget),
       [&](size_t peer_count, const EngineOptions&)
           -> std::unique_ptr<Transport> {
         SocketTransportOptions transport_options;
