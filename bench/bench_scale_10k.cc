@@ -21,8 +21,13 @@
 // Usage:
 //   bench_scale_10k [--smoke] [--out FILE] [--peers a,b,c]
 //                   [--parallelism a,b,c] [--rounds N] [--topology ba|er]
-//                   [--value-budget EPS] [--no-faults]
+//                   [--value-budget EPS] [--no-faults] [--no-adversaries]
 //                   [--require-cores=N] [--require-speedup=P:X]
+//
+// The adversary sweep reruns the BA workload guarded with 0/1/5/10% of
+// peers lying per a seeded ByzantinePlan and gates on lying-link demotion
+// recall (>= 0.95), honest-subnetwork posterior drift (<= 0.25) and the
+// clean run's false-positive demotions (< 1%).
 //
 // --smoke (CI mode) restricts to 1k peers, parallelism 1/2, 3 measured
 // rounds: fast enough for every PR, still end-to-end through discovery,
@@ -97,6 +102,31 @@ struct FaultRun {
   uint64_t dropped = 0;
   uint64_t duplicated = 0;
   uint64_t reordered = 0;
+};
+
+/// One point on the Byzantine-resilience curve: a guarded run with a
+/// fraction of peers lying per a seeded `ByzantinePlan`, scored on how
+/// far honest-subnetwork posteriors drift from the adversary-free guarded
+/// run and how precisely misbehaving links are demoted. The fraction-0
+/// row is the clean guarded control: its false-positive rate is the
+/// "guard does not demote honest traffic" gate.
+struct AdversaryRun {
+  double byzantine_fraction = 0.0;
+  size_t adversary_count = 0;
+  size_t rounds = 0;
+  bool converged = false;
+  /// Max |posterior - clean guarded run| over mappings whose BOTH
+  /// endpoints are honest.
+  double honest_posterior_delta = 0.0;
+  /// Guard links at honest receivers whose neighbor is an adversary.
+  size_t lying_links = 0;
+  size_t demoted_lying_links = 0;
+  double demotion_recall = 1.0;
+  /// Guard links at honest receivers whose neighbor is also honest.
+  size_t honest_links = 0;
+  size_t demoted_honest_links = 0;
+  double false_positive_rate = 0.0;
+  uint64_t rejected_beliefs = 0;
 };
 
 /// Nearest-rank percentile of the (unsorted) per-round wall times.
@@ -322,8 +352,139 @@ std::vector<FaultRun> RunFaultSweep(bool smoke) {
   return runs;
 }
 
+/// Every `count`-th peer, spread across the id space: deterministic, and
+/// at the fractions used here (<= 10%) the stride is >= 10 so the picks
+/// are distinct.
+std::vector<PeerId> PickAdversaries(size_t peers, size_t count) {
+  std::vector<PeerId> adversaries;
+  adversaries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    adversaries.push_back(static_cast<PeerId>(i * peers / count));
+  }
+  return adversaries;
+}
+
+AdversaryRun RunAdversaryConfig(const SyntheticPdms& workload,
+                                const ByzantinePlan& plan, size_t max_rounds,
+                                const std::vector<double>* reference,
+                                std::vector<double>* sample_out) {
+  ByzantineGuardOptions guard;
+  guard.enabled = true;
+  Pdms pdms = PdmsBuilder::FromSynthetic(workload)
+                  .WithOptions(ScaleOptions(1))
+                  .WithByzantineGuard(guard)
+                  .WithByzantinePlan(plan)
+                  .Build()
+                  .value();
+  Session& session = pdms.session();
+  session.Discover();
+  const ConvergenceReport report = session.Converge(max_rounds);
+
+  AdversaryRun run;
+  run.adversary_count = plan.adversaries.size();
+  run.byzantine_fraction =
+      static_cast<double>(plan.adversaries.size()) /
+      static_cast<double>(workload.graph.node_count());
+  run.rounds = report.rounds;
+  run.converged = report.converged;
+  run.rejected_beliefs = pdms.engine().GuardRejectedBeliefs();
+
+  const auto is_adversary = [&plan](PeerId peer) {
+    return std::binary_search(plan.adversaries.begin(), plan.adversaries.end(),
+                              peer);
+  };
+  // Honest-subnetwork accuracy: mappings with both endpoints honest,
+  // against the adversary-free guarded run.
+  const std::vector<double> sample = SamplePosteriors(pdms);
+  if (reference != nullptr) {
+    const std::vector<EdgeId> live = pdms.graph().LiveEdges();
+    for (size_t i = 0; i < live.size(); ++i) {
+      const Edge& edge = pdms.graph().edge(live[i]);
+      if (is_adversary(edge.src) || is_adversary(edge.dst)) continue;
+      run.honest_posterior_delta = std::max(
+          run.honest_posterior_delta, std::abs(sample[i] - (*reference)[i]));
+    }
+  }
+  if (sample_out != nullptr) *sample_out = sample;
+
+  // Demotion precision/recall over honest receivers' guard links.
+  const size_t peers = workload.graph.node_count();
+  for (PeerId p = 0; p < peers; ++p) {
+    if (is_adversary(p)) continue;
+    for (const Peer::GuardLinkView& view : pdms.peer(p).GuardViews()) {
+      const bool demoted = view.demote_level >= 1;
+      if (is_adversary(view.peer)) {
+        ++run.lying_links;
+        if (demoted) ++run.demoted_lying_links;
+      } else {
+        ++run.honest_links;
+        if (demoted) ++run.demoted_honest_links;
+      }
+    }
+  }
+  run.demotion_recall =
+      run.lying_links > 0 ? static_cast<double>(run.demoted_lying_links) /
+                                static_cast<double>(run.lying_links)
+                          : 1.0;
+  run.false_positive_rate =
+      run.honest_links > 0 ? static_cast<double>(run.demoted_honest_links) /
+                                 static_cast<double>(run.honest_links)
+                           : 0.0;
+  return run;
+}
+
+/// Byzantine sweep: guarded runs at 0 / 1 / 5 / 10% lying peers. The
+/// fraction-0 control doubles as the false-positive gate; the adversary
+/// rows gate demotion recall and honest-subnetwork accuracy.
+std::vector<AdversaryRun> RunAdversarySweep(bool smoke) {
+  const size_t peers = smoke ? 200 : 10000;
+  const size_t max_rounds = smoke ? 80 : 120;
+  const std::vector<double> fractions = {0.01, 0.05, 0.10};
+
+  const SyntheticPdms workload = BuildWorkload("ba", peers);
+  std::printf("\nadversary sweep (ba n=%zu, guarded, seeded lying peers):\n",
+              peers);
+  std::vector<AdversaryRun> runs;
+  std::vector<double> reference;
+
+  ByzantinePlan clean;
+  runs.push_back(
+      RunAdversaryConfig(workload, clean, max_rounds, nullptr, &reference));
+
+  uint64_t index = 0;
+  for (double fraction : fractions) {
+    ByzantinePlan plan;
+    plan.seed = kSeed * 77 + index++;
+    plan.lie_probability = 0.5;
+    plan.invert_values = true;
+    plan.equivocate_rate = 0.2;
+    plan.adversaries = PickAdversaries(
+        peers, std::max<size_t>(1, static_cast<size_t>(
+                                       static_cast<double>(peers) * fraction)));
+    runs.push_back(
+        RunAdversaryConfig(workload, plan, max_rounds, &reference, nullptr));
+  }
+
+  TextTable table;
+  table.SetHeader({"byzantine", "rounds", "converged", "honest |err|",
+                   "recall", "false pos", "rejected"});
+  for (const AdversaryRun& run : runs) {
+    table.AddRow({StrFormat("%.0f%%", run.byzantine_fraction * 100.0),
+                  StrFormat("%zu", run.rounds), run.converged ? "yes" : "no",
+                  StrFormat("%.2e", run.honest_posterior_delta),
+                  StrFormat("%zu/%zu", run.demoted_lying_links,
+                            run.lying_links),
+                  StrFormat("%.2f%%", run.false_positive_rate * 100.0),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        run.rejected_beliefs))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return runs;
+}
+
 void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
-               const std::vector<FaultRun>& fault_runs, bool smoke) {
+               const std::vector<FaultRun>& fault_runs,
+               const std::vector<AdversaryRun>& adversary_runs, bool smoke) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -331,6 +492,10 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"scale_10k\",\n");
+  // v6: + adversary_runs — guarded runs under seeded Byzantine plans
+  //     (lying / equivocating peers), scored on honest-subnetwork
+  //     posterior drift, lying-link demotion recall and the clean-run
+  //     false-positive rate.
   // v5: + value_budget / value_bytes_per_round / header_bytes_per_round —
   //     quantized config rows (value_budget > 0) carry adaptive fixed-point
   //     log-odds values; their max_posterior_diff_vs_serial is measured
@@ -344,7 +509,7 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
   //     the 3-step negotiation warm-up.
   // v2: + key_bytes_per_round (FactorId fingerprint bytes on the wire)
   //     + round_seconds_p50 / round_seconds_p95 per-round latency.
-  std::fprintf(out, "  \"schema_version\": 5,\n");
+  std::fprintf(out, "  \"schema_version\": 6,\n");
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
@@ -391,6 +556,26 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
         static_cast<unsigned long long>(r.reordered),
         i + 1 < fault_runs.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"adversary_runs\": [\n");
+  for (size_t i = 0; i < adversary_runs.size(); ++i) {
+    const AdversaryRun& r = adversary_runs[i];
+    std::fprintf(
+        out,
+        "    {\"byzantine_fraction\": %.4f, \"adversary_count\": %zu, "
+        "\"rounds\": %zu, \"converged\": %s, "
+        "\"honest_posterior_delta\": %.3e, "
+        "\"lying_links\": %zu, \"demoted_lying_links\": %zu, "
+        "\"demotion_recall\": %.4f, "
+        "\"honest_links\": %zu, \"demoted_honest_links\": %zu, "
+        "\"false_positive_rate\": %.4f, \"rejected_beliefs\": %llu}%s\n",
+        r.byzantine_fraction, r.adversary_count, r.rounds,
+        r.converged ? "true" : "false", r.honest_posterior_delta,
+        r.lying_links, r.demoted_lying_links, r.demotion_recall,
+        r.honest_links, r.demoted_honest_links, r.false_positive_rate,
+        static_cast<unsigned long long>(r.rejected_beliefs),
+        i + 1 < adversary_runs.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
@@ -422,6 +607,7 @@ int Main(int argc, char** argv) {
   std::vector<std::string> topologies = {"ba", "er"};
   size_t rounds = 10;
   bool run_faults = true;
+  bool run_adversaries = true;
   size_t require_cores = 0;
   size_t speedup_parallelism = 0;
   double speedup_floor = 0.0;
@@ -445,6 +631,8 @@ int Main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--no-faults") {
       run_faults = false;
+    } else if (arg == "--no-adversaries") {
+      run_adversaries = false;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--peers") {
@@ -582,7 +770,45 @@ int Main(int argc, char** argv) {
 
   const std::vector<FaultRun> fault_runs =
       run_faults ? RunFaultSweep(smoke) : std::vector<FaultRun>{};
-  WriteJson(out_path, results, fault_runs, smoke);
+  const std::vector<AdversaryRun> adversary_runs =
+      run_adversaries ? RunAdversarySweep(smoke) : std::vector<AdversaryRun>{};
+  WriteJson(out_path, results, fault_runs, adversary_runs, smoke);
+
+  bool adversaries_ok = true;
+  for (const AdversaryRun& run : adversary_runs) {
+    if (run.adversary_count == 0) {
+      // The clean guarded control: the guard must not demote honest
+      // traffic (< 1% of honest links) nor reject any belief.
+      if (run.false_positive_rate >= 0.01) {
+        std::fprintf(stderr,
+                     "FAIL: clean guarded run demoted %.2f%% of honest links "
+                     "(>= 1%% budget)\n",
+                     run.false_positive_rate * 100.0);
+        adversaries_ok = false;
+      }
+      continue;
+    }
+    if (run.demotion_recall < 0.95) {
+      std::fprintf(stderr,
+                   "FAIL: %.0f%% byzantine run demoted only %zu/%zu lying "
+                   "links (recall %.2f < 0.95)\n",
+                   run.byzantine_fraction * 100.0, run.demoted_lying_links,
+                   run.lying_links, run.demotion_recall);
+      adversaries_ok = false;
+    }
+    if (run.honest_posterior_delta > 0.25) {
+      std::fprintf(stderr,
+                   "FAIL: %.0f%% byzantine run drifted honest posteriors by "
+                   "%.3f (> 0.25)\n",
+                   run.byzantine_fraction * 100.0, run.honest_posterior_delta);
+      adversaries_ok = false;
+    }
+  }
+  if (!adversary_runs.empty() && adversaries_ok) {
+    std::printf("adversary guard: recall >= 0.95, honest drift <= 0.25, "
+                "clean false positives < 1%%\n");
+  }
+
   if (!deterministic) {
     std::fprintf(stderr,
                  "FAIL: parallel posteriors diverged from serial (> 1e-12)\n");
@@ -590,7 +816,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("determinism: all parallel runs matched serial posteriors "
               "(<= 1e-12)\n");
-  if (!wire_reduction_ok) return 1;
+  if (!wire_reduction_ok || !adversaries_ok) return 1;
   if (speedup_parallelism > 0) {
     double best = 0.0;
     for (const BenchResult& r : results) {

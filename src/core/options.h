@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "graph/closure.h"
+#include "net/fault_injection.h"
 #include "net/network.h"
 
 namespace pdms {
@@ -47,6 +48,63 @@ struct ValuePrecisionOptions {
   /// the way back to exact raw doubles, spending wire bytes to pin the
   /// fixpoint once traffic is cheap.
   bool exact_at_convergence = false;
+};
+
+/// Byzantine-resilient belief admission (off by default). When enabled,
+/// every inbound belief entry is validated semantically before it touches
+/// replica state — finite normalizable measures, values consistent with
+/// the bundle's declared quantization tier, no same-round equivocation —
+/// and each neighbor link carries a decaying misbehavior score fed by
+/// admission rejections, oscillation beyond a configurable bound, and
+/// posterior-influence outliers. Crossing `soft_threshold` demotes the
+/// link (absorbed beliefs damped toward uniform); crossing
+/// `hard_threshold` quarantines it (bundles dropped entirely). Demotions
+/// are sticky and replay deterministically from round-ordered evidence,
+/// so guarded runs stay bitwise parallel-deterministic. With `enabled`
+/// false the admission path is byte-for-byte the unguarded one.
+struct ByzantineGuardOptions {
+  bool enabled = false;
+
+  /// Multiplicative per-round decay of each link's misbehavior score, in
+  /// [0, 1): isolated violations (a delayed duplicate, one early
+  /// oscillation) wash out; sustained misbehavior accumulates.
+  double score_decay = 0.9;
+
+  /// Score added per admission rejection (non-finite / negative /
+  /// all-zero measures, quantization-tier mismatches, out-of-range or
+  /// own-member-forging positions).
+  double admission_weight = 2.0;
+  /// Score added when a link sends conflicting values for the same
+  /// factor position within one round (equivocation). Re-sending the
+  /// *same* value (a duplicated envelope) is not a violation.
+  double equivocation_weight = 4.0;
+  /// Score added when a slot's value reverses direction
+  /// `oscillation_bound` consecutive times by more than `flip_magnitude`
+  /// log-odds each.
+  double oscillation_weight = 1.0;
+  /// Score added when a link's mean absorbed |Δ log-odds| for a round
+  /// exceeds `outlier_ratio` times the median across this peer's
+  /// not-yet-suspect links (the independent-corroboration weighting: a
+  /// colluding neighbor cannot vouch a suspect back under the median).
+  double outlier_weight = 0.5;
+
+  /// Direction reversals tolerated per slot before they score.
+  uint32_t oscillation_bound = 6;
+  /// Minimum |Δ log-odds| for a move to count toward oscillation.
+  double flip_magnitude = 0.75;
+  /// Influence-outlier trigger: link mean vs median across clean links
+  /// (requires at least 3 clean links; smaller neighborhoods skip the
+  /// check).
+  double outlier_ratio = 8.0;
+
+  /// Demotion thresholds on the decayed score. Soft: absorbed beliefs
+  /// are damped toward the uniform message by `soft_damping`. Hard: the
+  /// link's bundles are dropped before absorption.
+  double soft_threshold = 6.0;
+  double hard_threshold = 12.0;
+  /// Log-odds retention factor for soft-demoted links, in [0, 1):
+  /// absorbed log-odds l becomes soft_damping · l.
+  double soft_damping = 0.25;
 };
 
 /// Configuration of a `PdmsEngine`.
@@ -112,6 +170,17 @@ struct EngineOptions {
   /// `ValuePrecisionOptions`. Participates in `ComputeStateEpoch`: a
   /// snapshot taken under one budget cannot restore under another.
   ValuePrecisionOptions value_precision;
+
+  /// Byzantine-resilient belief admission (see `ByzantineGuardOptions`).
+  /// Participates in `ComputeStateEpoch`: guard state in a snapshot only
+  /// restores under the configuration that produced it.
+  ByzantineGuardOptions byzantine_guard;
+
+  /// Seeded behavioral chaos: peers listed in the plan forge their
+  /// outgoing belief values (lies, inversion, equivocation, collusion) at
+  /// bundle send time. Replayable from the seed like the link-level
+  /// `FaultPlan`s; see `ByzantinePlan` in net/fault_injection.h.
+  ByzantinePlan byzantine;
 
   NetworkOptions network;
 };

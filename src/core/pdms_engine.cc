@@ -76,10 +76,10 @@ void PdmsEngine::DispatchEnvelope(PeerId to, Envelope& envelope) {
   } else if (auto* feedback =
                  std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
     const Status status = peer.IngestFeedback(*feedback);
-    if (!status.ok()) PDMS_LOG_WARNING << status.message();
+    if (!status.ok()) LogRejection(status);
   } else if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
     const Status status = peer.AbsorbBeliefBundle(envelope.from, *beliefs);
-    if (!status.ok()) PDMS_LOG_WARNING << status.message();
+    if (!status.ok()) LogRejection(status);
   } else if (auto* query = std::get_if<QueryMessage>(&envelope.payload)) {
     for (const BeliefUpdate& update : query->piggyback) {
       peer.AbsorbBeliefUpdate(update);
@@ -185,11 +185,11 @@ void PdmsEngine::DeliverRoundMessages() {
       if (auto* beliefs = std::get_if<BeliefMessage>(&envelope.payload)) {
         const Status status =
             peer.AbsorbBeliefBundle(envelope.from, *beliefs);
-        if (!status.ok()) PDMS_LOG_WARNING << status.message();
+        if (!status.ok()) LogRejection(status);
       } else if (auto* feedback =
                      std::get_if<FeedbackAnnouncement>(&envelope.payload)) {
         const Status status = peer.IngestFeedback(*feedback);
-        if (!status.ok()) PDMS_LOG_WARNING << status.message();
+        if (!status.ok()) LogRejection(status);
       }
     }
   });
@@ -218,7 +218,7 @@ void PdmsEngine::InjectFeedback(const FeedbackAnnouncement& announcement) {
   }
   for (PeerId owner : owners) {
     const Status status = peers_[owner]->IngestFeedback(announcement);
-    if (!status.ok()) PDMS_LOG_WARNING << status.message();
+    if (!status.ok()) LogRejection(status);
   }
 }
 
@@ -402,6 +402,47 @@ size_t PdmsEngine::UniqueFactorCount() const {
     }
   }
   return ids.size();
+}
+
+void PdmsEngine::LogRejection(const Status& status) {
+  const uint64_t n = rejection_logs_.fetch_add(1, std::memory_order_relaxed);
+  if (n < 8) {
+    PDMS_LOG_WARNING << status.message();
+  } else if ((n + 1) % 1024 == 0) {
+    PDMS_LOG_WARNING << status.message() << " ("
+                     << static_cast<unsigned long long>(n + 1)
+                     << " rejections so far, sampling 1/1024)";
+  }
+}
+
+uint64_t PdmsEngine::GuardRejectedBeliefs() const {
+  uint64_t total = 0;
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    if (IsLocalPeer(static_cast<PeerId>(p))) {
+      total += peers_[p]->guard_rejected_entries();
+    }
+  }
+  return total;
+}
+
+uint64_t PdmsEngine::GuardDemotedLinks() const {
+  uint64_t total = 0;
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    if (IsLocalPeer(static_cast<PeerId>(p))) {
+      total += peers_[p]->guard_demoted_links();
+    }
+  }
+  return total;
+}
+
+uint64_t PdmsEngine::GuardQuarantinedLinks() const {
+  uint64_t total = 0;
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    if (IsLocalPeer(static_cast<PeerId>(p))) {
+      total += peers_[p]->guard_quarantined_links();
+    }
+  }
+  return total;
 }
 
 FactorGraph PdmsEngine::BuildGlobalFactorGraph(

@@ -1,6 +1,7 @@
 #ifndef PDMS_CORE_PDMS_ENGINE_H_
 #define PDMS_CORE_PDMS_ENGINE_H_
 
+#include <atomic>
 #include <cassert>
 #include <functional>
 #include <map>
@@ -200,6 +201,13 @@ class PdmsEngine {
   /// Total distinct factor replicas (unique FactorIds across peers).
   size_t UniqueFactorCount() const;
 
+  /// Byzantine-guard totals over the *local* peers (all zero while the
+  /// guard is off): entries the admission guard refused (rejections +
+  /// equivocations), links at demote level >= 1, and links at level 2.
+  uint64_t GuardRejectedBeliefs() const;
+  uint64_t GuardDemotedLinks() const;
+  uint64_t GuardQuarantinedLinks() const;
+
   /// Materializes the *global* factor graph implied by the current peer
   /// states (priors + all announced feedback factors). Baseline for exact
   /// inference and for validating the decentralized engine. `vars_out`
@@ -227,6 +235,12 @@ class PdmsEngine {
 
   void SendAll(PeerId from, std::vector<Outgoing> messages);
 
+  /// Logs an absorb/ingest rejection, rate-limited: under a sustained
+  /// adversarial load every bundle from a lying peer carries a Status, and
+  /// the guard already counts them all — the log shows the first few and
+  /// then samples. Thread-safe (called from round workers).
+  void LogRejection(const Status& status);
+
   /// Whether round phases fan out to the pool: requires a pool *and*
   /// enough peers per lane to amortize its wake/steal/join overhead
   /// (`EngineOptions::min_peers_per_lane`). Purely a scheduling decision —
@@ -250,6 +264,8 @@ class PdmsEngine {
   /// Per-query report accumulators, keyed by query id; populated while
   /// IssueQueries drives the network.
   std::map<uint64_t, QueryReport*> active_queries_;
+  /// Rejections logged so far (the `LogRejection` rate limit).
+  std::atomic<uint64_t> rejection_logs_{0};
   /// Round scratch, reused to keep the round path allocation-stable.
   std::vector<double> round_changes_;
   std::vector<std::vector<Outgoing>> round_outgoing_;

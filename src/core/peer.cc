@@ -8,6 +8,29 @@
 #include "util/string_util.h"
 
 namespace pdms {
+namespace {
+
+/// Log-odds used by the admission guard's history (equivocation /
+/// oscillation / influence comparisons). One-sided measures map to a
+/// saturated constant — only comparisons consume the value, so the exact
+/// cap is immaterial as long as it is deterministic.
+constexpr double kGuardLogOddsCap = 745.0;
+
+double GuardLogOdds(const Belief& belief) {
+  if (belief.correct <= 0.0 && belief.incorrect <= 0.0) return 0.0;
+  if (belief.incorrect <= 0.0) return kGuardLogOddsCap;
+  if (belief.correct <= 0.0) return -kGuardLogOddsCap;
+  return std::log(belief.correct / belief.incorrect);
+}
+
+/// Soft demotion: damp a message toward the uniform (unit) message by
+/// retaining fraction `w` of its log-odds — elementwise pow keeps the
+/// measure scale-free ((c/i)^w) and one-sided measures one-sided.
+Belief GuardDamped(const Belief& belief, double w) {
+  return Belief{std::pow(belief.correct, w), std::pow(belief.incorrect, w)};
+}
+
+}  // namespace
 
 uint32_t ValueRankBits(const ValuePrecisionOptions& precision, uint32_t rank) {
   if (rank >= kValueRankExact && precision.exact_at_convergence) return 0;
@@ -63,18 +86,53 @@ void Peer::RemoveMapping(EdgeId edge) {
   // Drop every replica referencing the edge, then rebuild the indexes,
   // recompact the SoA pools, and rebuild the per-variable slot lists and
   // belief routing tables. Churn is rare; rounds are hot.
+  //
+  // The guard pool shares the message pools' slots; align it before
+  // compaction (it grows lazily, so it may trail the message pools).
+  if (!guard_slot_pool_.empty() &&
+      guard_slot_pool_.size() < var_to_factor_pool_.size()) {
+    guard_slot_pool_.resize(var_to_factor_pool_.size());
+  }
+  // Misbehavior is a property of the *neighbor*, not of the alias
+  // session: carry scores and demotions across the session reset below,
+  // so churn cannot parole a demoted link.
+  struct GuardCarry {
+    PeerId peer;
+    double score;
+    uint8_t demote_level;
+    uint64_t rejections, equivocations, oscillations, outliers, dropped;
+  };
+  std::vector<GuardCarry> carried;
+  if (options_->byzantine_guard.enabled) {
+    for (const auto& [peer, index] : alias_link_index_) {
+      const PeerLink& link = alias_links_[index];
+      if (link.guard_score == 0.0 && link.guard_demote_level == 0 &&
+          link.guard_rejections == 0 && link.guard_equivocations == 0 &&
+          link.guard_oscillations == 0 && link.guard_outliers == 0 &&
+          link.guard_dropped_bundles == 0) {
+        continue;
+      }
+      carried.push_back(GuardCarry{
+          peer, link.guard_score, link.guard_demote_level,
+          link.guard_rejections, link.guard_equivocations,
+          link.guard_oscillations, link.guard_outliers,
+          link.guard_dropped_bundles});
+    }
+  }
   const std::vector<Belief> old_var_to_factor = std::move(var_to_factor_pool_);
   const std::vector<Belief> old_factor_to_var = std::move(factor_to_var_pool_);
   const std::vector<MappingVarKey> old_members = std::move(member_pool_);
   const std::vector<PeerId> old_owners = std::move(member_owner_pool_);
   const std::vector<uint32_t> old_owned = std::move(owned_pos_pool_);
   const std::vector<ReplicaHot> old_hot = std::move(replica_hot_);
+  const std::vector<GuardSlot> old_guard = std::move(guard_slot_pool_);
   var_to_factor_pool_.clear();
   factor_to_var_pool_.clear();
   member_pool_.clear();
   member_owner_pool_.clear();
   owned_pos_pool_.clear();
   replica_hot_.clear();
+  guard_slot_pool_.clear();
   std::vector<Replica> kept;
   kept.reserve(replicas_.size());
   for (uint32_t r = 0; r < replicas_.size(); ++r) {
@@ -101,6 +159,11 @@ void Peer::RemoveMapping(EdgeId edge) {
     owned_pos_pool_.insert(
         owned_pos_pool_.end(), old_owned.begin() + hot.owned_base,
         old_owned.begin() + hot.owned_base + hot.owned_count);
+    if (!old_guard.empty()) {
+      guard_slot_pool_.insert(
+          guard_slot_pool_.end(), old_guard.begin() + hot.msg_base,
+          old_guard.begin() + hot.msg_base + hot.member_count);
+    }
     replica_hot_.push_back(compacted);
     kept.push_back(std::move(replicas_[r]));
   }
@@ -126,6 +189,16 @@ void Peer::RemoveMapping(EdgeId edge) {
           r, pos);
     }
     AddReplicaToRoutes(r);
+  }
+  for (const GuardCarry& carry : carried) {
+    PeerLink& link = alias_links_[InternAliasLink(carry.peer)];
+    link.guard_score = carry.score;
+    link.guard_demote_level = carry.demote_level;
+    link.guard_rejections = carry.rejections;
+    link.guard_equivocations = carry.equivocations;
+    link.guard_oscillations = carry.oscillations;
+    link.guard_outliers = carry.outliers;
+    link.guard_dropped_bundles = carry.dropped;
   }
 }
 
@@ -446,6 +519,22 @@ Status Peer::AbsorbBeliefBundle(PeerId from, const BeliefMessage& message) {
         from, message.epoch, id_, alias_epoch_));
   }
   PeerLink& link = alias_links_[InternAliasLink(from)];
+  const bool guarded = options_->byzantine_guard.enabled;
+  if (guarded) {
+    // Hard-quarantined link: nothing in the bundle is trusted — not the
+    // entries, not the ack, not the binding declarations. Counted and
+    // dropped without a Status (a per-round error would flood the logs
+    // for as long as the adversary keeps sending).
+    if (link.guard_demote_level >= 2) {
+      ++link.guard_dropped_bundles;
+      return Status::Ok();
+    }
+    // Slot histories share the message pools' slots and grow lazily, so
+    // replicas ingested since the last bundle get theirs here.
+    if (guard_slot_pool_.size() < var_to_factor_pool_.size()) {
+      guard_slot_pool_.resize(var_to_factor_pool_.size());
+    }
+  }
   AliasSessionTx& tx = link.session.tx;
   // The bundle's ack acknowledges *our* transmit session toward the
   // sender. Latest-wins, not max: an honest receiver's ack is monotone
@@ -502,7 +591,12 @@ Status Peer::AbsorbBeliefBundle(PeerId from, const BeliefMessage& message) {
           const auto overflow = replica_index_.find(id);
           if (overflow != replica_index_.end()) {
             for (const BeliefEntry& entry : message.EntriesOf(group)) {
-              AbsorbResolved(overflow->second, entry.position, entry.belief);
+              if (guarded) {
+                AbsorbGuarded(from, link, overflow->second, entry,
+                              message.value_bits, &status);
+              } else {
+                AbsorbResolved(overflow->second, entry.position, entry.belief);
+              }
             }
           }
           continue;
@@ -523,10 +617,227 @@ Status Peer::AbsorbBeliefBundle(PeerId from, const BeliefMessage& message) {
       link.replica_of_alias[group.alias] = replica;
     }
     for (const BeliefEntry& entry : message.EntriesOf(group)) {
-      AbsorbResolved(replica, entry.position, entry.belief);
+      if (guarded) {
+        AbsorbGuarded(from, link, replica, entry, message.value_bits,
+                      &status);
+      } else {
+        AbsorbResolved(replica, entry.position, entry.belief);
+      }
     }
   }
   return status;
+}
+
+void Peer::AbsorbGuarded(PeerId from, PeerLink& link, uint32_t r,
+                         const BeliefEntry& entry, uint32_t value_bits,
+                         Status* status) {
+  const ByzantineGuardOptions& guard = options_->byzantine_guard;
+  const ReplicaHot& hot = replica_hot_[r];
+  const Belief& received = entry.belief;
+  // Numerically degenerate measures — NaN, ±inf, all-zero — are refused
+  // so the pool only ever holds usable values, and counted, but NOT
+  // scored: they can be honest fallout of a poisoned upstream product
+  // (contradictory one-sided certainties multiply to {0, 0}; huge finite
+  // lies overflow to ±inf one hop later), and punishing relays for their
+  // neighbors' lies would cascade demotion through the honest
+  // subnetwork. Scoring keys on provable protocol violations below.
+  const bool nan_measure =
+      std::isnan(received.correct) || std::isnan(received.incorrect);
+  const bool negative =
+      !nan_measure && (received.correct < 0.0 || received.incorrect < 0.0);
+  if (nan_measure || std::isinf(received.correct) ||
+      std::isinf(received.incorrect) ||
+      (!negative && received.correct == 0.0 && received.incorrect == 0.0)) {
+    ++link.guard_rejections;
+    return;
+  }
+  // Admission proper: everything the unguarded path silently ignores
+  // (malformed positions, forged own-member updates) plus semantic
+  // validity is evidence here, rejected and scored instead of dropped.
+  bool admitted = !negative;
+  const char* reason = "negative measure";
+  if (admitted && value_bits != 0) {
+    // Declared-tier consistency: the quantum must lie within the
+    // bundle's tier and the belief must be exactly its dequantized
+    // realization — a sender cannot claim one precision and ship
+    // another.
+    if (entry.quant != kQuantPosInf && entry.quant != kQuantNegInf &&
+        (entry.quant > QuantBound(value_bits) ||
+         entry.quant < -QuantBound(value_bits))) {
+      admitted = false;
+      reason = "quantum outside the declared tier";
+    } else {
+      const Belief expected = DequantizeLogOdds(entry.quant, value_bits);
+      if (received.correct != expected.correct ||
+          received.incorrect != expected.incorrect) {
+        admitted = false;
+        reason = "belief inconsistent with its wire quantum";
+      }
+    }
+  }
+  if (admitted && entry.position >= hot.member_count) {
+    admitted = false;
+    reason = "position outside the factor scope";
+  }
+  if (admitted) {
+    // Exactly one peer legitimately writes each slot: the member's
+    // owner. Enforcing that here closes third-party overwrites (an
+    // adversary poisoning a slot it does not own) and keeps the per-slot
+    // equivocation / oscillation history attributable to one link — an
+    // impersonator can no longer frame the honest owner.
+    const PeerId owner = member_owner_pool_[hot.msg_base + entry.position];
+    if (owner == id_) {
+      admitted = false;
+      reason = "update for a variable this peer owns";
+    } else if (owner != from) {
+      admitted = false;
+      reason = "update for a variable the sender does not own";
+    }
+  }
+  if (!admitted) {
+    ++link.guard_rejections;
+    link.guard_score += guard.admission_weight;
+    if (status->ok()) {
+      *status = Status::InvalidArgument(
+          StrFormat("belief entry rejected at peer %u: %s", id_, reason));
+    }
+    return;
+  }
+
+  GuardSlot& slot = guard_slot_pool_[hot.msg_base + entry.position];
+  const double log_odds = GuardLogOdds(received);
+  if (slot.has_last && slot.last_round == round_ &&
+      log_odds != slot.last_log_odds) {
+    // Same-round conflicting value for one slot: equivocation. The first
+    // value is kept. Re-sending the *same* value (a duplicated envelope)
+    // falls through below as a clean idempotent overwrite.
+    ++link.guard_equivocations;
+    link.guard_score += guard.equivocation_weight;
+    if (status->ok()) {
+      *status = Status::FailedPrecondition(StrFormat(
+          "equivocating belief entry at peer %u: conflicting values for one "
+          "slot within round %llu",
+          id_, static_cast<unsigned long long>(round_)));
+    }
+    return;
+  }
+  if (slot.has_last) {
+    const double delta = log_odds - slot.last_log_odds;
+    if (std::abs(delta) >= guard.flip_magnitude) {
+      const int8_t dir = delta > 0.0 ? 1 : -1;
+      if (dir == -slot.last_dir) {
+        if (++slot.flips >= guard.oscillation_bound) {
+          // Count every completed streak, but score at most one
+          // oscillation event per link per round (GuardEndOfRound):
+          // links carry many slots, and per-slot scoring would let a
+          // poisoned honest relay — every slot thrashing secondhand —
+          // accrue score proportional to its slot count.
+          ++link.guard_oscillations;
+          link.guard_round_oscillated = true;
+          slot.flips = 0;
+        }
+      } else {
+        slot.flips = 0;
+      }
+      slot.last_dir = dir;
+    }
+    link.guard_round_influence += std::abs(delta);
+  } else {
+    link.guard_round_influence += std::abs(log_odds);
+  }
+  ++link.guard_round_absorbed;
+  slot.last_log_odds = log_odds;
+  slot.last_round = round_;
+  slot.has_last = true;
+  // Admission checks above subsume AbsorbResolved's guards; write the
+  // slot directly, damped toward the unit message on a soft-demoted link.
+  var_to_factor_pool_[hot.msg_base + entry.position] =
+      link.guard_demote_level >= 1 ? GuardDamped(received, guard.soft_damping)
+                                   : received;
+}
+
+void Peer::GuardEndOfRound() {
+  const ByzantineGuardOptions& guard = options_->byzantine_guard;
+  // Influence outliers: a link whose mean absorbed |Δ log-odds| this
+  // round dwarfs the median across still-clean links gets scored. The
+  // median deliberately excludes suspects — colluding neighbors cannot
+  // vouch each other back under it — and neighborhoods with fewer than
+  // three clean reporting links skip the check (no meaningful quorum).
+  std::vector<double> clean_means;
+  clean_means.reserve(alias_links_.size());
+  for (const PeerLink& link : alias_links_) {
+    if (link.guard_demote_level == 0 && link.guard_round_absorbed > 0) {
+      clean_means.push_back(link.guard_round_influence /
+                            link.guard_round_absorbed);
+    }
+  }
+  if (clean_means.size() >= 3) {
+    std::sort(clean_means.begin(), clean_means.end());
+    const double median = clean_means[clean_means.size() / 2];
+    // The baseline is floored at flip_magnitude: in a mostly-converged
+    // neighborhood the clean median collapses toward zero, and without
+    // the floor every link still doing real work would dwarf it and be
+    // scored as an "outlier".
+    const double baseline = std::max(median, guard.flip_magnitude);
+    if (baseline > 0.0) {
+      for (PeerLink& link : alias_links_) {
+        if (link.guard_demote_level != 0 || link.guard_round_absorbed == 0) {
+          continue;
+        }
+        const double mean =
+            link.guard_round_influence / link.guard_round_absorbed;
+        if (mean > guard.outlier_ratio * baseline) {
+          ++link.guard_outliers;
+          link.guard_score += guard.outlier_weight;
+        }
+      }
+    }
+  }
+  // Thresholds before decay, so a burst that crossed this round demotes
+  // this round; decay then ages whatever remains. Demotion is sticky —
+  // levels only ever rise — so replay from any snapshot reaches the
+  // same decisions.
+  for (size_t i = 0; i < alias_links_.size(); ++i) {
+    PeerLink& link = alias_links_[i];
+    if (link.guard_round_oscillated) {
+      link.guard_score += guard.oscillation_weight;
+      link.guard_round_oscillated = false;
+    }
+    if (link.guard_score >= guard.hard_threshold) {
+      if (link.guard_demote_level < 2) {
+        link.guard_demote_level = 2;
+        // Quarantining stops FUTURE bundles; the lies already absorbed
+        // would keep poisoning this peer's products (and its honest
+        // neighbors, secondhand) forever. Reset every slot the liar
+        // owns to the neutral measure so the subnetwork can heal.
+        for (const auto& [peer, index] : alias_link_index_) {
+          if (index == i) {
+            PurgeGuardDeposits(peer);
+            break;
+          }
+        }
+      }
+    } else if (link.guard_score >= guard.soft_threshold &&
+               link.guard_demote_level < 1) {
+      link.guard_demote_level = 1;
+    }
+    link.guard_score *= guard.score_decay;
+    link.guard_round_influence = 0.0;
+    link.guard_round_absorbed = 0;
+  }
+}
+
+void Peer::PurgeGuardDeposits(PeerId peer) {
+  for (const ReplicaHot& hot : replica_hot_) {
+    for (uint32_t m = 0; m < hot.member_count; ++m) {
+      const size_t slot = hot.msg_base + m;
+      if (member_owner_pool_[slot] != peer) continue;
+      var_to_factor_pool_[slot] = Belief::Unit();
+      if (slot < guard_slot_pool_.size()) {
+        guard_slot_pool_[slot] = GuardSlot{};
+      }
+    }
+  }
 }
 
 double Peer::ComputeRound() {
@@ -602,6 +913,11 @@ double Peer::ComputeRound() {
       }
     }
   }
+  if (options_->byzantine_guard.enabled) GuardEndOfRound();
+  // The round clock is maintained unconditionally (the guard's same-round
+  // window and the chaos layer's draw key both read it); with both off
+  // the increment touches nothing else.
+  ++round_;
   return max_change;
 }
 
@@ -613,6 +929,9 @@ void Peer::CollectOutgoingBeliefs(std::vector<Outgoing>* out) const {
   out->clear();
   out->reserve(belief_routes_.size());
   const bool quantize = options_->value_precision.error_budget > 0.0;
+  const ByzantinePlan& chaos = options_->byzantine;
+  const bool adversarial = chaos.Enabled() && chaos.IsAdversary(id_);
+  std::vector<FactorId> chaos_group_ids;
   for (const BeliefRoute& route : belief_routes_) {
     const PeerLink& link = alias_links_[route.link];
     const AliasLink& session = link.session;
@@ -649,6 +968,21 @@ void Peer::CollectOutgoingBeliefs(std::vector<Outgoing>* out) const {
     if (quantize) {
       bundle.QuantizeValues(
           ValueRankBits(options_->value_precision, link.value_rank));
+    }
+    // Behavioral chaos: an adversarial peer poisons its own wire *after*
+    // quantization, so forged entries stay tier-consistent and have to
+    // be caught semantically by receivers, not syntactically. Draws are
+    // keyed on (seed, round, global factor id, position) — replayable
+    // and identical at every parallelism; local replica state stays
+    // honest.
+    if (adversarial) {
+      chaos_group_ids.clear();
+      chaos_group_ids.reserve(route.groups.size());
+      for (const auto& [replica, alias] : route.groups) {
+        chaos_group_ids.push_back(replicas_[replica].id);
+      }
+      ApplyByzantineFaults(chaos, id_, route.to, round_, chaos_group_ids,
+                           &bundle);
     }
     Outgoing& outgoing = out->emplace_back();
     outgoing.to = route.to;
@@ -690,6 +1024,49 @@ std::vector<Peer::ReplicaView> Peer::ReplicaViews() const {
   return views;
 }
 
+std::vector<Peer::GuardLinkView> Peer::GuardViews() const {
+  std::vector<GuardLinkView> views(alias_links_.size());
+  for (const auto& [peer, index] : alias_link_index_) {
+    views[index].peer = peer;
+  }
+  for (size_t i = 0; i < alias_links_.size(); ++i) {
+    const PeerLink& link = alias_links_[i];
+    GuardLinkView& view = views[i];
+    view.score = link.guard_score;
+    view.demote_level = link.guard_demote_level;
+    view.rejections = link.guard_rejections;
+    view.equivocations = link.guard_equivocations;
+    view.oscillations = link.guard_oscillations;
+    view.outliers = link.guard_outliers;
+    view.dropped_bundles = link.guard_dropped_bundles;
+  }
+  return views;
+}
+
+uint64_t Peer::guard_rejected_entries() const {
+  uint64_t total = 0;
+  for (const PeerLink& link : alias_links_) {
+    total += link.guard_rejections + link.guard_equivocations;
+  }
+  return total;
+}
+
+uint64_t Peer::guard_demoted_links() const {
+  uint64_t total = 0;
+  for (const PeerLink& link : alias_links_) {
+    if (link.guard_demote_level >= 1) ++total;
+  }
+  return total;
+}
+
+uint64_t Peer::guard_quarantined_links() const {
+  uint64_t total = 0;
+  for (const PeerLink& link : alias_links_) {
+    if (link.guard_demote_level >= 2) ++total;
+  }
+  return total;
+}
+
 size_t Peer::RemoteMessageBound() const {
   size_t bound = 0;
   for (const ReplicaHot& hot : replica_hot_) {
@@ -729,8 +1106,19 @@ Peer::Image Peer::CaptureImage() const {
     out.rx_known_prefix = link.session.rx.known_prefix;
     out.replica_of_alias = link.replica_of_alias;
     out.value_rank = link.value_rank;
+    out.guard_score = link.guard_score;
+    out.guard_demote_level = link.guard_demote_level;
+    out.guard_rejections = link.guard_rejections;
+    out.guard_equivocations = link.guard_equivocations;
+    out.guard_oscillations = link.guard_oscillations;
+    out.guard_outliers = link.guard_outliers;
+    out.guard_dropped_bundles = link.guard_dropped_bundles;
+    out.guard_round_influence = link.guard_round_influence;
+    out.guard_round_absorbed = link.guard_round_absorbed;
   }
   image.alias_epoch = alias_epoch_;
+  image.guard_slot_pool = guard_slot_pool_;
+  image.round = round_;
   image.vars = vars_;
   image.announced.assign(announced_.begin(), announced_.end());
   std::sort(image.announced.begin(), image.announced.end());
@@ -775,10 +1163,21 @@ void Peer::RestoreImage(Image&& image) {
     link.session.rx.known_prefix = in.rx_known_prefix;
     link.replica_of_alias = std::move(in.replica_of_alias);
     link.value_rank = static_cast<uint8_t>(in.value_rank);
+    link.guard_score = in.guard_score;
+    link.guard_demote_level = static_cast<uint8_t>(in.guard_demote_level);
+    link.guard_rejections = in.guard_rejections;
+    link.guard_equivocations = in.guard_equivocations;
+    link.guard_oscillations = in.guard_oscillations;
+    link.guard_outliers = in.guard_outliers;
+    link.guard_dropped_bundles = in.guard_dropped_bundles;
+    link.guard_round_influence = in.guard_round_influence;
+    link.guard_round_absorbed = in.guard_round_absorbed;
     alias_link_index_.emplace_back(in.peer, static_cast<uint32_t>(i));
   }
   std::sort(alias_link_index_.begin(), alias_link_index_.end());
   alias_epoch_ = image.alias_epoch;
+  guard_slot_pool_ = std::move(image.guard_slot_pool);
+  round_ = image.round;
   vars_ = std::move(image.vars);
   var_index_.clear();
   edge_vars_.clear();

@@ -203,6 +203,32 @@ class Peer {
   /// Number of factor replicas currently stored.
   size_t replica_count() const { return replicas_.size(); }
 
+  // --- Byzantine guard introspection -------------------------------------------
+
+  /// One neighbor link's misbehavior state under the admission guard
+  /// (`EngineOptions::byzantine_guard`); all zeros when the guard is off.
+  struct GuardLinkView {
+    PeerId peer = 0;
+    /// Decaying misbehavior score (see ByzantineGuardOptions weights).
+    double score = 0.0;
+    /// 0 = normal, 1 = soft-demoted (beliefs damped toward uniform),
+    /// 2 = hard-quarantined (bundles dropped). Sticky.
+    uint32_t demote_level = 0;
+    uint64_t rejections = 0;     ///< admission-rejected entries
+    uint64_t equivocations = 0;  ///< same-round conflicting values
+    uint64_t oscillations = 0;   ///< flip streaks beyond the bound
+    uint64_t outliers = 0;       ///< influence-outlier rounds
+    uint64_t dropped_bundles = 0;  ///< bundles dropped while quarantined
+  };
+  /// Per-neighbor guard state, in link-intern order.
+  std::vector<GuardLinkView> GuardViews() const;
+
+  /// Totals across links (node/engine stats).
+  uint64_t guard_rejected_entries() const;
+  /// Links at demote level >= 1 / exactly 2.
+  uint64_t guard_demoted_links() const;
+  uint64_t guard_quarantined_links() const;
+
   /// Read-only summary of one stored factor replica (engine introspection:
   /// global-factor-graph reconstruction, baselines, debugging).
   struct ReplicaView {
@@ -322,6 +348,30 @@ class Peer {
     std::vector<uint32_t> replica_of_alias;
     /// Transmit-side value-precision tier (see `PeerLink::value_rank`).
     uint32_t value_rank = 0;
+    /// Byzantine-guard state (see `PeerLink`); zeros when the guard is
+    /// off. Persisted so demotion trajectories replay identically after a
+    /// restore (snapshot format v3).
+    double guard_score = 0.0;
+    uint32_t guard_demote_level = 0;
+    uint64_t guard_rejections = 0;
+    uint64_t guard_equivocations = 0;
+    uint64_t guard_oscillations = 0;
+    uint64_t guard_outliers = 0;
+    uint64_t guard_dropped_bundles = 0;
+    double guard_round_influence = 0.0;
+    uint32_t guard_round_absorbed = 0;
+  };
+
+  /// Per-slot admission history under the Byzantine guard, parallel to
+  /// `var_to_factor_pool_` (each foreign slot is written by exactly one
+  /// owner link, so the history needs no per-link dimension). Only
+  /// allocated while the guard is enabled.
+  struct GuardSlot {
+    double last_log_odds = 0.0;  ///< last absorbed value
+    uint64_t last_round = 0;     ///< peer round of the last absorb
+    uint8_t flips = 0;           ///< consecutive direction reversals
+    int8_t last_dir = 0;         ///< sign of the last large move
+    bool has_last = false;
   };
 
   /// A complete, self-contained copy of this peer's mutable state in
@@ -346,6 +396,11 @@ class Peer {
     /// ingest order), so `BeliefRoute::link` indexes into it unchanged.
     std::vector<LinkImage> links;
     uint32_t alias_epoch = 0;
+    /// Per-slot Byzantine-guard history (empty when the guard is off).
+    std::vector<GuardSlot> guard_slot_pool;
+    /// Completed local inference rounds (the guard's logical clock and
+    /// the chaos layer's draw key).
+    uint64_t round = 0;
     /// In intern order — restoring re-interns in the same order, so the
     /// rebuilt `var_index_` / `edge_vars_` iterate identically.
     std::vector<VarState> vars;
@@ -393,6 +448,25 @@ class Peer {
   /// Writes `belief` into the var->factor slot (replica `r`, `position`)
   /// unless the update is malformed or claims a variable this peer owns.
   void AbsorbResolved(uint32_t r, uint32_t position, const Belief& belief);
+
+  struct PeerLink;
+
+  /// Guarded admission of one bundle entry over `link` (guard enabled
+  /// only): semantic validation, equivocation/oscillation detection,
+  /// score feeds, soft-demotion damping — then `AbsorbResolved`. Records
+  /// the first violation in `*status`.
+  void AbsorbGuarded(PeerId from, PeerLink& link, uint32_t r,
+                     const BeliefEntry& entry, uint32_t value_bits,
+                     Status* status);
+
+  /// End-of-round guard bookkeeping: influence-outlier detection, score
+  /// decay, threshold crossings -> demotion. No-op when the guard is off.
+  void GuardEndOfRound();
+
+  /// Resets every pool slot owned by `peer` to the neutral measure (and
+  /// clears its guard history). Called on hard demotion: quarantine only
+  /// stops future bundles, this heals the lies already deposited.
+  void PurgeGuardDeposits(PeerId peer);
 
   /// ∆ used by this peer when announcing feedback.
   double EffectiveDelta() const;
@@ -452,6 +526,15 @@ class Peer {
   std::vector<PeerId> member_owner_pool_;
   /// Owned member positions (ascending per replica), at owned_base.
   std::vector<uint32_t> owned_pos_pool_;
+  /// Per-slot guard history, sharing the message pools' slots; sized only
+  /// while `options_->byzantine_guard.enabled` (empty otherwise, so the
+  /// guard-off footprint is unchanged).
+  std::vector<GuardSlot> guard_slot_pool_;
+  /// Completed `ComputeRound` calls — the guard's same-round clock and
+  /// the Byzantine chaos layer's draw key. Always maintained (one
+  /// increment per round; no behavioral effect while guard and chaos are
+  /// off).
+  uint64_t round_ = 0;
 
   /// Per-recipient outgoing-belief routes, ascending by recipient; built
   /// incrementally at ingest, rebuilt on mapping removal.
@@ -475,6 +558,30 @@ class Peer {
     /// snapshot continues it identically. Unused when quantization is
     /// off.
     uint8_t value_rank = 0;
+
+    // Byzantine-guard state (EngineOptions::byzantine_guard). All
+    // untouched — and all zero — while the guard is disabled.
+    /// Decaying misbehavior score; violations add their configured
+    /// weight, `score_decay` multiplies at each `ComputeRound`.
+    double guard_score = 0.0;
+    /// 0 normal, 1 soft (damped absorption), 2 hard (bundles dropped).
+    /// Sticky: demotion never reverts, so replay from any snapshot
+    /// reaches the same decisions.
+    uint8_t guard_demote_level = 0;
+    uint64_t guard_rejections = 0;
+    uint64_t guard_equivocations = 0;
+    uint64_t guard_oscillations = 0;
+    uint64_t guard_outliers = 0;
+    uint64_t guard_dropped_bundles = 0;
+    /// This round's absorbed |Δ log-odds| mass and entry count — the
+    /// influence-outlier feed, consumed and reset by `ComputeRound`.
+    double guard_round_influence = 0.0;
+    uint32_t guard_round_absorbed = 0;
+    /// An oscillation streak completed this round. Transient per-round
+    /// state — scored once (not once per slot) and cleared by
+    /// `ComputeRound`, never snapshotted: snapshots land at round
+    /// barriers where it is always false.
+    bool guard_round_oscillated = false;
   };
 
   /// Alias sessions, one per neighbor: dense storage indexed through

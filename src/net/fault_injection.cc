@@ -1,5 +1,7 @@
 #include "net/fault_injection.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "net/codec.h"
@@ -62,6 +64,167 @@ FaultDecision DrawFaults(const FaultPlan& plan, uint64_t stream, uint64_t seq,
   }
   decision.corrupt_entropy = MixDraw(plan, stream, seq, attempt, kEntropySalt);
   return decision;
+}
+
+// --- Behavioral (Byzantine) faults ----------------------------------------------
+
+namespace {
+
+/// Distinct salt per behavioral dimension, disjoint from the link salts.
+enum ByzantineSalt : uint64_t {
+  kLieSalt = 0x6c696521u,
+  kForgeSalt = 0x666f7267u,
+  kEquivSalt = 0x65717576u,
+  kEquivValueSalt = 0x65717632u,
+};
+
+/// Pure draw for one (round, factor, position) event of `stream` — same
+/// chained-SplitMix64 construction as the link-fault `MixDraw`, with the
+/// 128-bit factor id folded in so draws for distinct factors are
+/// independent even at equal positions.
+uint64_t ByzantineMix(uint64_t seed, uint64_t stream, uint64_t round,
+                      const FactorId& factor, uint32_t position,
+                      uint64_t salt) {
+  uint64_t h = SplitMix64(seed ^ (salt * 0x9e3779b97f4a7c15ull)).Next();
+  h = SplitMix64(h ^ (stream * 0xa24baed4963ee407ull)).Next();
+  h = SplitMix64(h ^ (round * 0x9fb21c651e98df25ull)).Next();
+  h = SplitMix64(h ^ factor.hi).Next();
+  h = SplitMix64(h ^ factor.lo).Next();
+  h = SplitMix64(h ^ (static_cast<uint64_t>(position) * 0xd6e8feb86659fd93ull))
+          .Next();
+  return h;
+}
+
+bool ByzantineBernoulli(double rate, uint64_t h) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+}
+
+/// Normalized 2-state measure with log-odds exactly `l`.
+Belief BeliefFromLogOdds(double l) {
+  const double p = 1.0 / (1.0 + std::exp(-l));
+  return Belief{p, 1.0 - p};
+}
+
+/// Log-odds of a measure (±kForgedLogOddsRange for one-sided measures, 0
+/// for all-zero ones) — only used to seed forgeries, so saturation
+/// behavior just bounds the lie.
+constexpr double kForgedLogOddsRange = 8.0;
+
+double ForgeryLogOdds(const Belief& belief) {
+  if (belief.correct <= 0.0 && belief.incorrect <= 0.0) return 0.0;
+  if (belief.incorrect <= 0.0) return kForgedLogOddsRange;
+  if (belief.correct <= 0.0) return -kForgedLogOddsRange;
+  return std::log(belief.correct / belief.incorrect);
+}
+
+/// A uniform forged log-odds in [-kForgedLogOddsRange, kForgedLogOddsRange].
+double DrawForgedLogOdds(uint64_t h) {
+  return (static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0) *
+         kForgedLogOddsRange;
+}
+
+/// The forged entry value: belief + wire quantum, consistent with the
+/// bundle's declared precision (the guard's tier check must not get a
+/// freebie — adversaries are wire-consistent).
+void WriteForgedValue(double log_odds, uint32_t value_bits,
+                      BeliefEntry* entry) {
+  if (value_bits == 0) {
+    entry->belief = BeliefFromLogOdds(log_odds);
+    entry->quant = 0;
+    return;
+  }
+  entry->quant = QuantizeLogOdds(BeliefFromLogOdds(log_odds), value_bits);
+  entry->belief = DequantizeLogOdds(entry->quant, value_bits);
+}
+
+}  // namespace
+
+bool ByzantinePlan::IsAdversary(PeerId peer) const {
+  return std::binary_search(adversaries.begin(), adversaries.end(), peer);
+}
+
+uint64_t ApplyByzantineFaults(const ByzantinePlan& plan, PeerId sender,
+                              PeerId recipient, uint64_t round,
+                              std::span<const FactorId> group_ids,
+                              BeliefMessage* bundle) {
+  if (!plan.Enabled() || !plan.IsAdversary(sender)) return 0;
+  // Colluding adversaries omit the sender from the draw key, so every
+  // group member forges the same value for the same (recipient, round,
+  // factor, position) — mutually corroborating lies at the receiver.
+  const uint64_t stream =
+      plan.collude ? static_cast<uint64_t>(recipient)
+                   : (static_cast<uint64_t>(sender) << 32) | recipient;
+  uint64_t forged = 0;
+  const bool rebuild = plan.equivocate_rate > 0.0;
+  std::vector<BeliefEntry> out;
+  if (rebuild) out.reserve(bundle->entries.size());
+  for (size_t g = 0; g < bundle->groups.size(); ++g) {
+    BeliefGroup& group = bundle->groups[g];
+    const FactorId& factor = group_ids[g];
+    const uint32_t begin = group.entry_begin;
+    const uint32_t count = group.entry_count;
+    if (rebuild) group.entry_begin = static_cast<uint32_t>(out.size());
+    uint32_t emitted = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      BeliefEntry entry = bundle->entries[begin + i];
+      const uint64_t lie_draw = ByzantineMix(plan.seed, stream, round, factor,
+                                             entry.position, kLieSalt);
+      if (ByzantineBernoulli(plan.lie_probability, lie_draw)) {
+        const double forged_log_odds =
+            plan.invert_values
+                ? -ForgeryLogOdds(entry.belief)
+                : DrawForgedLogOdds(ByzantineMix(plan.seed, stream, round,
+                                                 factor, entry.position,
+                                                 kForgeSalt));
+        WriteForgedValue(forged_log_odds, bundle->value_bits, &entry);
+        ++forged;
+      }
+      if (rebuild) {
+        out.push_back(entry);
+        ++emitted;
+        const uint64_t equiv_draw = ByzantineMix(
+            plan.seed, stream, round, factor, entry.position, kEquivSalt);
+        if (ByzantineBernoulli(plan.equivocate_rate, equiv_draw)) {
+          // A second, conflicting value for the same position in the same
+          // bundle: the within-round equivocation the admission guard
+          // detects directly.
+          BeliefEntry twin = entry;
+          WriteForgedValue(
+              DrawForgedLogOdds(ByzantineMix(plan.seed, stream, round, factor,
+                                             entry.position,
+                                             kEquivValueSalt)),
+              bundle->value_bits, &twin);
+          out.push_back(twin);
+          ++emitted;
+          ++forged;
+        }
+      } else {
+        bundle->entries[begin + i] = entry;
+      }
+    }
+    if (rebuild) group.entry_count = emitted;
+  }
+  if (rebuild) bundle->entries = std::move(out);
+  return forged;
+}
+
+void ByzantinePeerDecorator::DecorateBundle(PeerId sender, PeerId recipient,
+                                            uint64_t round,
+                                            std::span<const FactorId> group_ids,
+                                            BeliefMessage* bundle) const {
+  const uint64_t forged = ApplyByzantineFaults(plan_, sender, recipient, round,
+                                               group_ids, bundle);
+  if (forged > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    forged_entries_ += forged;
+  }
+}
+
+uint64_t ByzantinePeerDecorator::forged_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return forged_entries_;
 }
 
 // --- FaultInjectingTransport ----------------------------------------------------

@@ -5,7 +5,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -72,6 +74,96 @@ struct FaultDecision {
 /// `attempt` distinguishes retransmissions of the same frame.
 FaultDecision DrawFaults(const FaultPlan& plan, uint64_t stream, uint64_t seq,
                          uint32_t attempt);
+
+// --- Behavioral (Byzantine) faults ----------------------------------------------
+//
+// `FaultPlan` perturbs the *channel*; `ByzantinePlan` perturbs the *peers*:
+// a seeded set of adversaries forge the belief values inside their own
+// outgoing bundles — lies redrawn every round, optional value inversion,
+// within-bundle equivocation, and colluding groups that cross-confirm the
+// same forged values. Like link faults, every decision is a pure function
+// of (seed, round, sender, alias, position), so chaos runs replay exactly
+// and stay bitwise parallel-deterministic: forging happens at send time on
+// the engine's canonical serial send path, never on a worker thread.
+
+struct ByzantinePlan {
+  uint64_t seed = 0;
+
+  /// Per-entry probability that an adversary replaces the true µ value
+  /// with a forged log-odds, redrawn every round (so lies oscillate — the
+  /// behavior the admission guard's flip detector keys on).
+  double lie_probability = 0.0;
+
+  /// Forged values are the *negated* true log-odds instead of random
+  /// draws: the adversary pushes each belief toward the opposite verdict.
+  bool invert_values = false;
+
+  /// Per-entry probability that an adversary additionally emits a second,
+  /// conflicting entry for the same position in the same bundle
+  /// (within-round equivocation, directly observable by the receiver).
+  double equivocate_rate = 0.0;
+
+  /// The misbehaving peers, ascending. Everyone else sends honestly.
+  std::vector<PeerId> adversaries;
+
+  /// Colluding group: forged-value draws omit the sender from the key, so
+  /// every adversary forges the *same* value for the same (round, alias,
+  /// position) — mutually corroborating lies.
+  bool collude = false;
+
+  bool Enabled() const {
+    return !adversaries.empty() &&
+           (lie_probability > 0 || equivocate_rate > 0);
+  }
+
+  /// Binary search over the sorted adversary list.
+  bool IsAdversary(PeerId peer) const;
+};
+
+/// Rewrites one outgoing belief bundle of an adversary per `plan`: lied
+/// entries get forged values (negated true log-odds under
+/// `invert_values`, a seeded uniform log-odds otherwise), equivocated
+/// entries are duplicated with a second conflicting value for the same
+/// position. A no-op for honest senders and disabled plans.
+///
+/// `group_ids[i]` must be the full factor id of `bundle->groups[i]`:
+/// draw keys use *global* factor identity (not the link-local alias), so
+/// colluding senders forge identical values for the same factor position
+/// — which is why this runs at bundle construction inside the peer,
+/// where replica identity is at hand. When the bundle declares a
+/// quantization tier the forged entries are re-quantized consistently
+/// (an adversary controls its own sender; its wire format stays
+/// self-consistent, so forged values must be caught semantically, not
+/// syntactically). The adversary's own replica state stays honest; only
+/// the wire is poisoned. Returns the number of forged entries.
+uint64_t ApplyByzantineFaults(const ByzantinePlan& plan, PeerId sender,
+                              PeerId recipient, uint64_t round,
+                              std::span<const FactorId> group_ids,
+                              BeliefMessage* bundle);
+
+/// Plan + injection ledger in one object, for benches and tests that
+/// drive `ApplyByzantineFaults` outside a peer. Thread-safe.
+class ByzantinePeerDecorator {
+ public:
+  explicit ByzantinePeerDecorator(ByzantinePlan plan) : plan_(std::move(plan)) {}
+
+  const ByzantinePlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.Enabled(); }
+
+  /// Applies the plan to one outgoing bundle of `sender` -> `recipient`
+  /// at logical time `round` (any per-round monotone clock shared across
+  /// parallelism levels; peers use their local round counter).
+  void DecorateBundle(PeerId sender, PeerId recipient, uint64_t round,
+                      std::span<const FactorId> group_ids,
+                      BeliefMessage* bundle) const;
+
+  uint64_t forged_entries() const;
+
+ private:
+  ByzantinePlan plan_;
+  mutable std::mutex mutex_;
+  mutable uint64_t forged_entries_ = 0;
+};
 
 /// Ledger of injected faults, separate from `TransportStats` (which only
 /// see the traffic that survived injection).

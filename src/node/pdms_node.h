@@ -177,6 +177,19 @@ class PdmsNode {
     return rejected_marks_.load(std::memory_order_relaxed);
   }
 
+  /// Belief entries the Byzantine guard refused to absorb across the
+  /// shard's local peers (admission failures plus equivocations).
+  /// Always 0 when the guard is disabled.
+  uint64_t rejected_beliefs() const {
+    return pdms_.engine().GuardRejectedBeliefs();
+  }
+
+  /// Links the guard demoted (soft-damped or hard-quarantined) across
+  /// the shard's local peers. Always 0 when the guard is disabled.
+  uint64_t demoted_links() const {
+    return pdms_.engine().GuardDemotedLinks();
+  }
+
   Pdms& pdms() { return pdms_; }
   const Pdms& pdms() const { return pdms_; }
   SocketTransport& transport() { return *transport_; }

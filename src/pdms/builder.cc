@@ -1,5 +1,6 @@
 #include "pdms/builder.h"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
@@ -30,6 +31,17 @@ PdmsBuilder& PdmsBuilder::WithParallelism(size_t parallelism) {
 
 PdmsBuilder& PdmsBuilder::WithValueErrorBudget(double eps) {
   value_error_budget_ = eps;
+  return *this;
+}
+
+PdmsBuilder& PdmsBuilder::WithByzantineGuard(
+    const ByzantineGuardOptions& guard) {
+  byzantine_guard_ = guard;
+  return *this;
+}
+
+PdmsBuilder& PdmsBuilder::WithByzantinePlan(const ByzantinePlan& plan) {
+  byzantine_plan_ = plan;
   return *this;
 }
 
@@ -87,10 +99,56 @@ Result<Pdms> PdmsBuilder::Build() {
     }
     options_.value_precision.error_budget = *value_error_budget_;
   }
+  if (byzantine_guard_.has_value()) {
+    const ByzantineGuardOptions& g = *byzantine_guard_;
+    if (g.admission_weight < 0.0 || g.equivocation_weight < 0.0 ||
+        g.oscillation_weight < 0.0 || g.outlier_weight < 0.0) {
+      return Status::InvalidArgument(
+          "byzantine guard: score weights must be non-negative");
+    }
+    if (g.score_decay < 0.0 || g.score_decay >= 1.0) {
+      return Status::InvalidArgument(
+          "byzantine guard: score_decay must lie in [0, 1)");
+    }
+    if (g.soft_damping < 0.0 || g.soft_damping >= 1.0) {
+      return Status::InvalidArgument(
+          "byzantine guard: soft_damping must lie in [0, 1)");
+    }
+    if (g.soft_threshold <= 0.0 || g.hard_threshold <= 0.0 ||
+        g.hard_threshold < g.soft_threshold) {
+      return Status::InvalidArgument(
+          "byzantine guard: thresholds must be positive with hard >= soft");
+    }
+    if (g.flip_magnitude < 0.0 || g.outlier_ratio <= 1.0) {
+      return Status::InvalidArgument(
+          "byzantine guard: flip_magnitude must be non-negative and "
+          "outlier_ratio greater than 1");
+    }
+    options_.byzantine_guard = g;
+  }
+  if (byzantine_plan_.has_value()) {
+    ByzantinePlan plan = *byzantine_plan_;
+    if (plan.lie_probability < 0.0 || plan.lie_probability > 1.0 ||
+        plan.equivocate_rate < 0.0 || plan.equivocate_rate > 1.0) {
+      return Status::InvalidArgument(
+          "byzantine plan: probabilities must lie in [0, 1]");
+    }
+    std::sort(plan.adversaries.begin(), plan.adversaries.end());
+    plan.adversaries.erase(
+        std::unique(plan.adversaries.begin(), plan.adversaries.end()),
+        plan.adversaries.end());
+    options_.byzantine = std::move(plan);
+  }
   if (schemas_.empty()) {
     return Status::FailedPrecondition("a PDMS needs at least one peer");
   }
   const size_t n = schemas_.size();
+  if (!options_.byzantine.adversaries.empty() &&
+      options_.byzantine.adversaries.back() >= n) {
+    return Status::OutOfRange(StrFormat(
+        "byzantine plan: adversary %u outside the %zu peers added",
+        options_.byzantine.adversaries.back(), n));
+  }
   std::set<std::pair<PeerId, PeerId>> links;
   for (size_t i = 0; i < mappings_.size(); ++i) {
     const PendingMapping& pending = mappings_[i];

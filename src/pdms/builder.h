@@ -61,6 +61,22 @@ class PdmsBuilder {
   /// `WithOptions` supplied, so call order does not matter.
   PdmsBuilder& WithValueErrorBudget(double eps);
 
+  /// Byzantine-resilient belief admission
+  /// (`EngineOptions::byzantine_guard`): semantic validation of every
+  /// inbound belief entry plus per-neighbor misbehavior scoring with
+  /// soft/hard link demotion. `Build()` rejects malformed configurations
+  /// (negative weights or rates, thresholds out of order, damping or
+  /// decay outside [0, 1)). Applied at `Build()` time on top of whatever
+  /// `WithOptions` supplied, so call order does not matter.
+  PdmsBuilder& WithByzantineGuard(const ByzantineGuardOptions& guard);
+
+  /// Seeded behavioral chaos (`EngineOptions::byzantine`): the listed
+  /// adversaries forge their outgoing belief values per the plan.
+  /// `Build()` rejects probabilities outside [0, 1]; the adversary list
+  /// is sorted automatically (`ByzantinePlan::IsAdversary` binary
+  /// searches it).
+  PdmsBuilder& WithByzantinePlan(const ByzantinePlan& plan);
+
   /// Supplies a custom transport. The factory runs at `Build()` time with
   /// the final peer count.
   PdmsBuilder& WithTransport(TransportFactory factory);
@@ -99,6 +115,8 @@ class PdmsBuilder {
   EngineOptions options_;
   std::optional<size_t> parallelism_;
   std::optional<double> value_error_budget_;
+  std::optional<ByzantineGuardOptions> byzantine_guard_;
+  std::optional<ByzantinePlan> byzantine_plan_;
   TransportFactory transport_factory_;
   /// First unsatisfiable request recorded while assembling (e.g. a
   /// FromSynthetic source whose edge ids cannot be reproduced);

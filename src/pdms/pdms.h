@@ -111,6 +111,7 @@ class Pdms {
   /// drive sharded execution through it; applications should stick to
   /// `session()`.
   PdmsEngine& engine() { return *engine_; }
+  const PdmsEngine& engine() const { return *engine_; }
 
  private:
   friend class PdmsBuilder;

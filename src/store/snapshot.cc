@@ -277,8 +277,26 @@ void PutPeerImage(Writer& w, const Peer::Image& image) {
     w.Varint(link.replica_of_alias.size());
     for (uint32_t replica : link.replica_of_alias) w.Fixed32(replica);
     w.U8(static_cast<uint8_t>(link.value_rank));
+    w.Double(link.guard_score);
+    w.U8(static_cast<uint8_t>(link.guard_demote_level));
+    w.Fixed64(link.guard_rejections);
+    w.Fixed64(link.guard_equivocations);
+    w.Fixed64(link.guard_oscillations);
+    w.Fixed64(link.guard_outliers);
+    w.Fixed64(link.guard_dropped_bundles);
+    w.Double(link.guard_round_influence);
+    w.Fixed32(link.guard_round_absorbed);
   }
   w.Fixed32(image.alias_epoch);
+  w.Varint(image.guard_slot_pool.size());
+  for (const Peer::GuardSlot& slot : image.guard_slot_pool) {
+    w.Double(slot.last_log_odds);
+    w.Fixed64(slot.last_round);
+    w.U8(slot.flips);
+    w.U8(static_cast<uint8_t>(slot.last_dir));
+    w.Bool(slot.has_last);
+  }
+  w.Fixed64(image.round);
 
   w.Varint(image.vars.size());
   for (const Peer::VarState& var : image.vars) {
@@ -411,8 +429,27 @@ Status GetPeerImage(Reader& r, Peer::Image* image) {
     for (uint32_t& replica : link.replica_of_alias) replica = r.Fixed32();
     link.value_rank = r.U8();
     if (link.value_rank >= kValueRankCount) return corrupt("link value rank");
+    link.guard_score = r.Double();
+    link.guard_demote_level = r.U8();
+    if (link.guard_demote_level > 2) return corrupt("link demote level");
+    link.guard_rejections = r.Fixed64();
+    link.guard_equivocations = r.Fixed64();
+    link.guard_oscillations = r.Fixed64();
+    link.guard_outliers = r.Fixed64();
+    link.guard_dropped_bundles = r.Fixed64();
+    link.guard_round_influence = r.Double();
+    link.guard_round_absorbed = r.Fixed32();
   }
   image->alias_epoch = r.Fixed32();
+  image->guard_slot_pool.resize(r.Count(19));
+  for (Peer::GuardSlot& slot : image->guard_slot_pool) {
+    slot.last_log_odds = r.Double();
+    slot.last_round = r.Fixed64();
+    slot.flips = r.U8();
+    slot.last_dir = static_cast<int8_t>(r.U8());
+    slot.has_last = r.Bool();
+  }
+  image->round = r.Fixed64();
   if (r.failed()) return corrupt("alias links");
 
   image->vars.resize(r.Count(8));
@@ -610,6 +647,36 @@ uint64_t ComputeStateEpoch(const Digraph& graph,
   HashDouble(h, options.value_precision.error_budget);
   HashU64(h, options.value_precision.adaptive ? 1 : 0);
   HashU64(h, options.value_precision.exact_at_convergence ? 1 : 0);
+  // The Byzantine guard changes what gets absorbed (and persists demotion
+  // state in the image), and the chaos plan changes what goes on the
+  // wire: a snapshot taken under one configuration must never be resumed
+  // under another.
+  const ByzantineGuardOptions& guard = options.byzantine_guard;
+  HashU64(h, guard.enabled ? 1 : 0);
+  if (guard.enabled) {
+    HashDouble(h, guard.score_decay);
+    HashDouble(h, guard.admission_weight);
+    HashDouble(h, guard.equivocation_weight);
+    HashDouble(h, guard.oscillation_weight);
+    HashDouble(h, guard.outlier_weight);
+    HashU64(h, guard.oscillation_bound);
+    HashDouble(h, guard.flip_magnitude);
+    HashDouble(h, guard.outlier_ratio);
+    HashDouble(h, guard.soft_threshold);
+    HashDouble(h, guard.hard_threshold);
+    HashDouble(h, guard.soft_damping);
+  }
+  const ByzantinePlan& chaos = options.byzantine;
+  HashU64(h, chaos.Enabled() ? 1 : 0);
+  if (chaos.Enabled()) {
+    HashU64(h, chaos.seed);
+    HashDouble(h, chaos.lie_probability);
+    HashU64(h, chaos.invert_values ? 1 : 0);
+    HashDouble(h, chaos.equivocate_rate);
+    HashU64(h, chaos.adversaries.size());
+    for (PeerId adversary : chaos.adversaries) HashU64(h, adversary);
+    HashU64(h, chaos.collude ? 1 : 0);
+  }
   return h;
 }
 

@@ -37,7 +37,12 @@ namespace pdms {
 /// v2: per-link `value_rank` (adaptive belief quantization tier) joins
 /// the link image, so a restored shard resumes its precision trajectory
 /// exactly where the crashed run left it.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+///
+/// v3: Byzantine-guard state joins the peer image — per-link misbehavior
+/// scores, demotion levels and violation counters, the per-slot
+/// admission histories, and the peer round clock — so demotion
+/// trajectories replay identically after a restore.
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /// Deterministic fingerprint of the deployment a snapshot belongs to:
 /// topology (nodes, every edge ever added, shard placement) plus the

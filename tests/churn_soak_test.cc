@@ -4,6 +4,7 @@
 // or probe-cache residue across the churn.
 
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -25,6 +26,17 @@ namespace {
 constexpr size_t kAttrs = 11;
 constexpr size_t kChurnIterations = 12;
 
+/// Churn iterations per soak loop. The nightly node-soak CI job promotes
+/// this suite to a long run via PDMS_SOAK_ITERATIONS; PR runs keep the
+/// fast default.
+size_t ChurnIterations() {
+  if (const char* env = std::getenv("PDMS_SOAK_ITERATIONS")) {
+    const unsigned long value = std::strtoul(env, nullptr, 10);
+    if (value > 0) return static_cast<size_t>(value);
+  }
+  return kChurnIterations;
+}
+
 Schema MakeSchema(const std::string& name, size_t attrs = kAttrs) {
   Schema schema(name);
   for (size_t a = 0; a < attrs; ++a) {
@@ -34,13 +46,26 @@ Schema MakeSchema(const std::string& name, size_t attrs = kAttrs) {
 }
 
 /// The intro example on a fault-injecting simulated network: duplicated,
-/// reordered and delayed frames over two worker lanes.
-Pdms MakeChurnPdms(uint64_t seed = 17) {
+/// reordered and delayed frames over two worker lanes. With `adversarial`
+/// set, peer 1 additionally lies and equivocates per a seeded
+/// ByzantinePlan and every peer runs the admission guard.
+Pdms MakeChurnPdms(uint64_t seed = 17, bool adversarial = false) {
   Rng rng(seed);
   EngineOptions options;
   options.probe_ttl = 5;
   PdmsBuilder builder;
   builder.WithOptions(options).WithParallelism(2);
+  if (adversarial) {
+    ByzantineGuardOptions guard;
+    guard.enabled = true;
+    ByzantinePlan plan;
+    plan.seed = 7;
+    plan.lie_probability = 0.4;
+    plan.invert_values = true;
+    plan.equivocate_rate = 0.2;
+    plan.adversaries = {1};
+    builder.WithByzantineGuard(guard).WithByzantinePlan(plan);
+  }
   builder.WithTransport([](size_t peers, const EngineOptions&) {
     NetworkOptions net;
     net.seed = 99;
@@ -102,6 +127,7 @@ Footprint Measure(const Pdms& pdms) {
       footprint.dims.push_back(link.rx_id_of.size());
       footprint.dims.push_back(link.replica_of_alias.size());
     }
+    footprint.dims.push_back(image.guard_slot_pool.size());
     footprint.dims.push_back(image.vars.size());
     footprint.dims.push_back(image.probe_cache.size());
   }
@@ -131,7 +157,7 @@ TEST(ChurnSoakTest, UndoChurnUnderLinkFaultsLeavesNoResidue) {
   const Footprint baseline = Measure(pdms);
   ASSERT_GT(baseline.total(), 0u);
 
-  for (size_t i = 0; i < kChurnIterations; ++i) {
+  for (size_t i = 0; i < ChurnIterations(); ++i) {
     {
       UndoSession undo = pdms.StartUndoSession();
       pdms.InjectFeedback(ChurnFeedback(i));
@@ -144,6 +170,33 @@ TEST(ChurnSoakTest, UndoChurnUnderLinkFaultsLeavesNoResidue) {
     EXPECT_EQ(Measure(pdms), baseline) << "iteration " << i;
     // Keep traffic flowing between iterations: stale in-flight frames
     // from the rolled-back execution must drain without growing state.
+    pdms.session().Step();
+    EXPECT_EQ(Measure(pdms), baseline) << "iteration " << i;
+  }
+}
+
+TEST(ChurnSoakTest, GuardedAdversarialChurnLeavesNoResidue) {
+  // Same churn loop, but peer 1 lies and equivocates while every peer
+  // runs the admission guard: rejected entries, equivocation handling,
+  // demotion bookkeeping and the per-slot guard history must all churn
+  // without leaking state, and rollback must restore guard pools exactly.
+  Pdms pdms = MakeChurnPdms(17, /*adversarial=*/true);
+  ASSERT_GT(pdms.session().Discover(), 0u);
+  pdms.session().Converge(25);
+  // The guard actually engaged: the equivocating adversary was caught.
+  EXPECT_GT(pdms.engine().GuardRejectedBeliefs(), 0u);
+  const Footprint baseline = Measure(pdms);
+  ASSERT_GT(baseline.total(), 0u);
+
+  for (size_t i = 0; i < ChurnIterations(); ++i) {
+    {
+      UndoSession undo = pdms.StartUndoSession();
+      pdms.InjectFeedback(ChurnFeedback(i));
+      ASSERT_TRUE(pdms.RemoveMapping(static_cast<EdgeId>(i % 5)).ok());
+      pdms.session().Converge(3);
+      // Rollback on scope exit.
+    }
+    EXPECT_EQ(Measure(pdms), baseline) << "iteration " << i;
     pdms.session().Step();
     EXPECT_EQ(Measure(pdms), baseline) << "iteration " << i;
   }

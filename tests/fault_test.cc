@@ -67,6 +67,65 @@ TEST(FaultPlanTest, DrawsAreDeterministicAndAttemptSalted) {
                none.kill_link || none.delay_ticks > 0);
 }
 
+TEST(ByzantinePlanTest, ForgeryDrawsAreDeterministicAndColludersAgree) {
+  ByzantinePlan plan;
+  plan.seed = 5;
+  plan.lie_probability = 0.5;
+  plan.invert_values = true;
+  plan.equivocate_rate = 0.25;
+  plan.adversaries = {1, 2};
+
+  const FactorId factor{0xabc, 0xdef};
+  const auto make_bundle = [&] {
+    BeliefMessage bundle;
+    bundle.AddGroup(0, factor,
+                    {BeliefEntry{0, Belief{0.1, 0.9}},
+                     BeliefEntry{1, Belief{0.2, 0.8}},
+                     BeliefEntry{2, Belief{0.3, 0.7}},
+                     BeliefEntry{3, Belief{0.4, 0.6}},
+                     BeliefEntry{4, Belief{0.5, 0.5}},
+                     BeliefEntry{5, Belief{0.6, 0.4}},
+                     BeliefEntry{6, Belief{0.7, 0.3}},
+                     BeliefEntry{7, Belief{0.8, 0.2}}});
+    return bundle;
+  };
+  const std::vector<FactorId> ids = {factor};
+
+  // Same (plan, sender, recipient, round): bitwise-identical forgeries.
+  BeliefMessage first = make_bundle();
+  BeliefMessage again = make_bundle();
+  const uint64_t forged = ApplyByzantineFaults(plan, 1, 3, 4, ids, &first);
+  EXPECT_GT(forged, 0u);
+  EXPECT_EQ(ApplyByzantineFaults(plan, 1, 3, 4, ids, &again), forged);
+  ASSERT_EQ(first.entries.size(), again.entries.size());
+  for (size_t i = 0; i < first.entries.size(); ++i) {
+    EXPECT_EQ(first.entries[i].position, again.entries[i].position);
+    EXPECT_EQ(first.entries[i].belief.correct, again.entries[i].belief.correct);
+    EXPECT_EQ(first.entries[i].belief.incorrect,
+              again.entries[i].belief.incorrect);
+  }
+
+  // An honest sender's bundle passes through untouched.
+  BeliefMessage honest = make_bundle();
+  EXPECT_EQ(ApplyByzantineFaults(plan, 0, 3, 4, ids, &honest), 0u);
+  EXPECT_EQ(honest.entries.size(), 8u);
+
+  // Colluding adversaries draw without the sender in the key: both forge
+  // the identical values toward the same recipient — corroborating lies.
+  plan.collude = true;
+  BeliefMessage from_one = make_bundle();
+  BeliefMessage from_two = make_bundle();
+  ApplyByzantineFaults(plan, 1, 3, 4, ids, &from_one);
+  ApplyByzantineFaults(plan, 2, 3, 4, ids, &from_two);
+  ASSERT_EQ(from_one.entries.size(), from_two.entries.size());
+  for (size_t i = 0; i < from_one.entries.size(); ++i) {
+    EXPECT_EQ(from_one.entries[i].belief.correct,
+              from_two.entries[i].belief.correct);
+    EXPECT_EQ(from_one.entries[i].belief.incorrect,
+              from_two.entries[i].belief.incorrect);
+  }
+}
+
 TEST(FaultInjectingTransportTest, ReplaysExactlyForASeed) {
   // Serially-driven decorated SimTransport: the same seed must perturb the
   // same envelopes the same way, twice.

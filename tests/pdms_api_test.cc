@@ -346,7 +346,8 @@ TEST(TransportEquivalenceTest, InstantNeedsNoTickPerHopForQueries) {
 std::vector<double> ConvergedPosteriorsOn(
     size_t parallelism, double send_probability,
     PdmsBuilder::TransportFactory transport_factory,
-    double value_budget = 0.0) {
+    double value_budget = 0.0,
+    const std::function<void(PdmsBuilder&)>& customize = nullptr) {
   constexpr size_t kNetAttrs = 6;
   Rng rng(123);
   Digraph graph = topology::BarabasiAlbert(24, 2, &rng);
@@ -370,6 +371,7 @@ std::vector<double> ConvergedPosteriorsOn(
   PdmsBuilder builder = PdmsBuilder::FromSynthetic(synthetic);
   builder.WithOptions(options).WithValueErrorBudget(value_budget);
   if (transport_factory) builder.WithTransport(std::move(transport_factory));
+  if (customize) customize(builder);
   Pdms pdms = builder.Build().value();
   EXPECT_GT(pdms.session().Discover(), 0u);
   pdms.session().Converge(60);
@@ -488,6 +490,183 @@ TEST(QuantizedValueTest, ConvergedPosteriorsStayWithinTheErrorBudget) {
     worst = std::max(worst, std::abs(quantized[i] - exact[i]));
   }
   EXPECT_LE(worst, kBudget);
+}
+
+// --- Byzantine resilience -----------------------------------------------------
+
+TEST(BuilderValidationTest, MalformedByzantineGuardIsRejected) {
+  auto build_with = [](ByzantineGuardOptions guard) {
+    return IntroBuilder(EngineOptions{}).WithByzantineGuard(guard).Build();
+  };
+  ByzantineGuardOptions guard;
+  guard.score_decay = 1.0;  // decay must stay below 1 or scores never fade
+  EXPECT_EQ(build_with(guard).status().code(), StatusCode::kInvalidArgument);
+  guard = ByzantineGuardOptions{};
+  guard.hard_threshold = guard.soft_threshold / 2.0;  // hard below soft
+  EXPECT_EQ(build_with(guard).status().code(), StatusCode::kInvalidArgument);
+  guard = ByzantineGuardOptions{};
+  guard.admission_weight = -1.0;
+  EXPECT_EQ(build_with(guard).status().code(), StatusCode::kInvalidArgument);
+  guard = ByzantineGuardOptions{};
+  guard.outlier_ratio = 1.0;  // must exceed 1 or every clean link is an outlier
+  EXPECT_EQ(build_with(guard).status().code(), StatusCode::kInvalidArgument);
+  guard = ByzantineGuardOptions{};
+  guard.soft_damping = 1.0;
+  EXPECT_EQ(build_with(guard).status().code(), StatusCode::kInvalidArgument);
+  // The defaults themselves must build.
+  guard = ByzantineGuardOptions{};
+  guard.enabled = true;
+  EXPECT_TRUE(build_with(guard).ok());
+}
+
+TEST(BuilderValidationTest, ByzantinePlanValidatesRatesAndAdversaryRange) {
+  ByzantinePlan plan;
+  plan.adversaries = {0};
+  plan.lie_probability = 1.5;
+  EXPECT_EQ(IntroBuilder(EngineOptions{})
+                .WithByzantinePlan(plan)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  plan.lie_probability = 0.5;
+  plan.adversaries = {99};  // the intro network has 4 peers
+  EXPECT_EQ(IntroBuilder(EngineOptions{})
+                .WithByzantinePlan(plan)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  // An unsorted, duplicated list is canonicalized, not rejected —
+  // IsAdversary binary searches, so order matters downstream.
+  plan.adversaries = {2, 0, 2};
+  Pdms pdms =
+      IntroBuilder(EngineOptions{}).WithByzantinePlan(plan).Build().value();
+  EXPECT_EQ(pdms.options().byzantine.adversaries,
+            (std::vector<PeerId>{0, 2}));
+}
+
+TEST(ByzantineGuardTest, GuardedAdversarialRunsAreParallelDeterministic) {
+  // The guard's decisions are pure functions of peer-local slot history
+  // and the chaos draws key on (seed, round, factor, position) — neither
+  // depends on worker scheduling, so a guarded run under active
+  // adversaries stays bitwise parallel-deterministic, lossy wire included.
+  const auto arm = [](PdmsBuilder& builder) {
+    ByzantineGuardOptions guard;
+    guard.enabled = true;
+    ByzantinePlan plan;
+    plan.seed = 41;
+    plan.lie_probability = 0.3;
+    plan.invert_values = true;
+    plan.equivocate_rate = 0.1;
+    plan.adversaries = {1, 5};
+    builder.WithByzantineGuard(guard).WithByzantinePlan(plan);
+  };
+  for (const double send_probability : {1.0, 0.6}) {
+    const std::vector<double> serial =
+        ConvergedPosteriorsOn(1, send_probability, nullptr, 0.0, arm);
+    ASSERT_FALSE(serial.empty());
+    for (const size_t parallelism : {2, 4}) {
+      const std::vector<double> parallel =
+          ConvergedPosteriorsOn(parallelism, send_probability, nullptr, 0.0,
+                                arm);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(parallel[i], serial[i])
+            << "posterior " << i << " at parallelism " << parallelism
+            << ", P(send)=" << send_probability;
+      }
+    }
+  }
+}
+
+TEST(ByzantineGuardTest, ColludingNeighborsAreBothDemoted) {
+  // Two colluding adversaries forge the SAME values toward every shared
+  // honest neighbor — mutual corroboration that would defeat naive
+  // single-link outlier checks. The guard still demotes both: admission
+  // violations, equivocation and flip detection are per-link, and the
+  // influence-outlier median only trusts clean links.
+  constexpr size_t kNetAttrs = 6;
+  Rng rng(123);
+  Digraph graph = topology::BarabasiAlbert(24, 2, &rng);
+  topology::Symmetrize(&graph);
+  MappingNetworkOptions network_options;
+  network_options.attributes_per_schema = kNetAttrs;
+  const SyntheticPdms synthetic =
+      BuildSyntheticPdms(graph, network_options, &rng);
+  EngineOptions options;
+  options.probe_ttl = 3;
+  options.closure_limits.min_cycle_length = 2;
+  options.closure_limits.max_cycle_length = 3;
+  ByzantineGuardOptions guard;
+  guard.enabled = true;
+  ByzantinePlan plan;
+  plan.seed = 9;
+  plan.lie_probability = 0.6;
+  plan.invert_values = true;
+  plan.equivocate_rate = 0.3;
+  plan.collude = true;
+  plan.adversaries = {1, 2};  // early BA nodes: well-connected hubs
+  PdmsBuilder builder = PdmsBuilder::FromSynthetic(synthetic);
+  builder.WithOptions(options)
+      .WithByzantineGuard(guard)
+      .WithByzantinePlan(plan);
+  Pdms pdms = builder.Build().value();
+  ASSERT_GT(pdms.session().Discover(), 0u);
+  pdms.session().Converge(60);
+
+  bool adversary1_demoted = false;
+  bool adversary2_demoted = false;
+  size_t honest_links = 0;
+  size_t honest_demoted = 0;
+  for (PeerId p = 0; p < pdms.peer_count(); ++p) {
+    if (plan.IsAdversary(p)) continue;  // only honest receivers' verdicts
+    for (const Peer::GuardLinkView& view : pdms.engine().peer(p).GuardViews()) {
+      if (view.peer == 1) {
+        adversary1_demoted = adversary1_demoted || view.demote_level >= 1;
+      } else if (view.peer == 2) {
+        adversary2_demoted = adversary2_demoted || view.demote_level >= 1;
+      } else {
+        ++honest_links;
+        if (view.demote_level >= 1) ++honest_demoted;
+      }
+    }
+  }
+  EXPECT_TRUE(adversary1_demoted);
+  EXPECT_TRUE(adversary2_demoted);
+  EXPECT_GT(pdms.engine().GuardRejectedBeliefs(), 0u);
+  // Collateral damage stays bounded: honest peers downstream of the liars
+  // legitimately oscillate secondhand until demotion cuts the poison off,
+  // but demotions must concentrate on the adversaries' own links.
+  ASSERT_GT(honest_links, 0u);
+  EXPECT_LT(honest_demoted * 10, honest_links)
+      << honest_demoted << " of " << honest_links
+      << " honest links demoted";
+
+  // The identical guarded network with no adversaries is a clean run:
+  // zero rejections, zero demotions — no false positives.
+  PdmsBuilder clean_builder = PdmsBuilder::FromSynthetic(synthetic);
+  clean_builder.WithOptions(options).WithByzantineGuard(guard);
+  Pdms clean = clean_builder.Build().value();
+  ASSERT_GT(clean.session().Discover(), 0u);
+  clean.session().Converge(60);
+  EXPECT_EQ(clean.engine().GuardRejectedBeliefs(), 0u);
+  EXPECT_EQ(clean.engine().GuardDemotedLinks(), 0u);
+}
+
+TEST(ByzantineGuardTest, GuardOffRunsIgnoreThePlanKnobsBitwise) {
+  // With the guard disabled and no plan armed, setting the (default,
+  // disabled) knobs explicitly must not perturb posteriors at all.
+  const std::vector<double> baseline = ConvergedPosteriors(1, 1.0);
+  const std::vector<double> with_knobs = ConvergedPosteriorsOn(
+      1, 1.0, nullptr, 0.0, [](PdmsBuilder& builder) {
+        builder.WithByzantineGuard(ByzantineGuardOptions{})
+            .WithByzantinePlan(ByzantinePlan{});
+      });
+  ASSERT_EQ(with_knobs.size(), baseline.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ASSERT_EQ(with_knobs[i], baseline[i]) << "posterior " << i;
+  }
 }
 
 // --- Session observers --------------------------------------------------------

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -745,6 +746,237 @@ TEST_F(PeerTest, ForcedFingerprintCollisionSurfacesStatus) {
   ASSERT_EQ(views.size(), 1u);
   EXPECT_EQ(views[0].sign, FeedbackSign::kPositive);
   EXPECT_DOUBLE_EQ(views[0].delta, 0.1);
+}
+
+// --- Byzantine guard ---------------------------------------------------------
+
+TEST_F(PeerTest, GuardRejectsMalformedMeasures) {
+  options_.byzantine_guard.enabled = true;
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const double before = peers_[0]->Posterior(MappingVarKey{edges_.m12, 0});
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+
+  // NaN, infinite and all-zero measures never reach the factor pool, but
+  // they are honest-fallout shapes (a poisoned upstream product collapses
+  // to {0,0} or overflows one hop later), so they are refused WITHOUT a
+  // Status and WITHOUT feeding the sender's misbehavior score.
+  BeliefMessage degenerate;
+  degenerate.AddGroup(
+      0, id,
+      {BeliefEntry{3, Belief{std::numeric_limits<double>::quiet_NaN(), 1.0}},
+       BeliefEntry{3, Belief{std::numeric_limits<double>::infinity(), 1.0}},
+       BeliefEntry{3, Belief{0.0, 0.0}}});
+  EXPECT_TRUE(peers_[0]->AbsorbBeliefBundle(3, degenerate).ok());
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 3u);
+  {
+    const auto views = peers_[0]->GuardViews();
+    const auto sender = std::find_if(
+        views.begin(), views.end(),
+        [](const Peer::GuardLinkView& v) { return v.peer == 3; });
+    ASSERT_NE(sender, views.end());
+    EXPECT_EQ(sender->rejections, 3u);
+    EXPECT_EQ(sender->score, 0.0);
+  }
+
+  // A negative measure cannot arise from honest arithmetic — it is a
+  // protocol violation: refused with a Status AND scored.
+  BeliefMessage negative;
+  negative.AddGroup(0, id, {BeliefEntry{3, Belief{-0.5, 1.0}}});
+  EXPECT_EQ(peers_[0]->AbsorbBeliefBundle(3, negative).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 4u);
+  const auto views = peers_[0]->GuardViews();
+  const auto guilty = std::find_if(
+      views.begin(), views.end(),
+      [](const Peer::GuardLinkView& v) { return v.peer == 3; });
+  ASSERT_NE(guilty, views.end());
+  EXPECT_EQ(guilty->rejections, 4u);
+  EXPECT_GT(guilty->score, 0.0);
+
+  peers_[0]->ComputeRound();
+  EXPECT_NEAR(peers_[0]->Posterior(MappingVarKey{edges_.m12, 0}), before,
+              1e-12);
+}
+
+TEST_F(PeerTest, GuardEnforcesSlotOwnership) {
+  options_.byzantine_guard.enabled = true;
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+
+  // In f1, position i is owned by peer i. Peer 3 writing position 1
+  // is a third-party overwrite: without this check an impersonator
+  // could both poison the slot AND frame its honest owner for
+  // equivocation (slot history is per-slot, not per-link).
+  BeliefMessage forged;
+  forged.AddGroup(0, id, {BeliefEntry{1, Belief{0.9, 0.1}}});
+  EXPECT_EQ(peers_[0]->AbsorbBeliefBundle(3, forged).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 1u);
+
+  // Claiming the RECEIVER's own variable is equally rejected.
+  BeliefMessage own;
+  own.AddGroup(0, id, {BeliefEntry{0, Belief{0.9, 0.1}}});
+  EXPECT_EQ(peers_[0]->AbsorbBeliefBundle(3, own).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 2u);
+
+  const auto views = peers_[0]->GuardViews();
+  const auto guilty = std::find_if(
+      views.begin(), views.end(),
+      [](const Peer::GuardLinkView& v) { return v.peer == 3; });
+  ASSERT_NE(guilty, views.end());
+  EXPECT_EQ(guilty->rejections, 2u);
+  EXPECT_GT(guilty->score, 0.0);
+
+  // The same value from the slot's actual owner is admitted untouched.
+  BeliefMessage honest;
+  honest.AddGroup(0, id, {BeliefEntry{1, Belief{0.9, 0.1}}});
+  EXPECT_TRUE(peers_[0]->AbsorbBeliefBundle(1, honest).ok());
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 2u);
+}
+
+TEST_F(PeerTest, GuardFlagsSameRoundEquivocationAndKeepsFirstValue) {
+  options_.byzantine_guard.enabled = true;
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+
+  BeliefMessage first;
+  first.AddGroup(0, id, {BeliefEntry{1, Belief{0.2, 0.8}}});
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, first).ok());
+  // An identical re-delivery (the retransmission layer's duplicate) is
+  // NOT equivocation — only a conflicting same-round value is.
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, first).ok());
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 0u);
+
+  BeliefMessage conflicting;
+  conflicting.AddGroup(0, id, {BeliefEntry{1, Belief{0.8, 0.2}}});
+  EXPECT_EQ(peers_[0]->AbsorbBeliefBundle(1, conflicting).code(),
+            StatusCode::kFailedPrecondition);
+  const auto views = peers_[0]->GuardViews();
+  const auto guilty = std::find_if(
+      views.begin(), views.end(),
+      [](const Peer::GuardLinkView& v) { return v.peer == 1; });
+  ASSERT_NE(guilty, views.end());
+  EXPECT_EQ(guilty->equivocations, 1u);
+
+  // First-value-wins: re-delivering the ORIGINAL value after the
+  // conflicting one is still consistent with what the pool holds.
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, first).ok());
+  EXPECT_GE(peers_[0]->ComputeRound(), 0.0);
+}
+
+TEST_F(PeerTest, GuardRejectsQuantInconsistentValues) {
+  options_.byzantine_guard.enabled = true;
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+
+  // A tier-consistent quantized bundle is admitted...
+  BeliefMessage honest;
+  honest.AddGroup(0, id, {BeliefEntry{3, Belief{0.3, 0.7}}});
+  honest.QuantizeValues(10);
+  ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(3, honest).ok());
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 0u);
+
+  // ...but a belief that is not the exact realization of its declared
+  // quantum is a lie about the wire encoding and is rejected.
+  BeliefMessage tampered;
+  tampered.AddGroup(0, id, {BeliefEntry{3, Belief{0.3, 0.7}}});
+  tampered.QuantizeValues(10);
+  tampered.entries[0].belief = Belief{0.31, 0.69};
+  EXPECT_EQ(peers_[0]->AbsorbBeliefBundle(3, tampered).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 1u);
+
+  // A quantum outside the tier's representable range is equally invalid
+  // (unless it is one of the ±inf sentinels).
+  BeliefMessage out_of_tier;
+  out_of_tier.AddGroup(0, id, {BeliefEntry{3, Belief{0.3, 0.7}}});
+  out_of_tier.QuantizeValues(10);
+  out_of_tier.entries[0].quant = QuantBound(10) + 1;
+  EXPECT_EQ(peers_[0]->AbsorbBeliefBundle(3, out_of_tier).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(peers_[0]->guard_rejected_entries(), 2u);
+}
+
+TEST_F(PeerTest, GuardDemotesOscillatingNeighborStickily) {
+  options_.byzantine_guard.enabled = true;
+  // One full flip streak should cross the soft threshold by itself.
+  options_.byzantine_guard.oscillation_weight =
+      options_.byzantine_guard.soft_threshold;
+  peers_[0]->IngestFeedback(F1Announcement());
+  peers_[0]->ComputeRound();
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+
+  // Alternate a strong pro / strong con value every round: each round
+  // reverses the slot's direction, and after `oscillation_bound`
+  // reversals the streak scores one oscillation event.
+  uint32_t demoted_at = 0;
+  for (uint32_t round = 0; round < 32; ++round) {
+    BeliefMessage swing;
+    const Belief value =
+        (round % 2 == 0) ? Belief{0.99, 0.01} : Belief{0.01, 0.99};
+    swing.AddGroup(0, id, {BeliefEntry{3, value}});
+    ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(3, swing).ok());
+    peers_[0]->ComputeRound();
+    if (peers_[0]->guard_demoted_links() > 0) {
+      demoted_at = round;
+      break;
+    }
+  }
+  EXPECT_GT(demoted_at, 0u);
+  const auto views = peers_[0]->GuardViews();
+  const auto guilty = std::find_if(
+      views.begin(), views.end(),
+      [](const Peer::GuardLinkView& v) { return v.peer == 3; });
+  ASSERT_NE(guilty, views.end());
+  EXPECT_GE(guilty->oscillations, 1u);
+  EXPECT_EQ(guilty->demote_level, 1u);
+
+  // Demotion is sticky: honest rounds afterwards do not parole the link
+  // even as the score decays below the threshold.
+  for (uint32_t round = 0; round < 40; ++round) {
+    peers_[0]->ComputeRound();
+  }
+  EXPECT_EQ(peers_[0]->guard_demoted_links(), 1u);
+}
+
+TEST_F(PeerTest, GuardedCleanAbsorbMatchesUnguardedBitwise) {
+  // Clone peer 0's exact state into a twin that runs with the guard on;
+  // feed both the identical honest traffic. The guard must be a pure
+  // observer on clean input: posteriors stay bitwise-identical.
+  peers_[0]->IngestFeedback(F1Announcement());
+  const Peer::Image image = peers_[0]->CaptureImage();
+  EngineOptions guarded_options = options_;
+  guarded_options.byzantine_guard.enabled = true;
+  Schema schema("p1");
+  for (size_t a = 0; a < kAttrs; ++a) {
+    ASSERT_TRUE(schema.AddAttribute(StrFormat("a%zu", a)).ok());
+  }
+  Peer guarded(0, std::move(schema), &graph_, &guarded_options);
+  guarded.RestoreImage(image);
+
+  const FactorId id = FactorId::Make(F1Announcement().closure, 0);
+  for (uint32_t round = 0; round < 12; ++round) {
+    // Honest traffic: each owner sends its own position's value.
+    BeliefMessage from1;
+    const double pro = 0.3 + 0.04 * round;
+    from1.AddGroup(0, id, {BeliefEntry{1, Belief{pro, 1.0 - pro}}});
+    BeliefMessage from2;
+    from2.AddGroup(0, id, {BeliefEntry{2, Belief{0.6, 0.4}}});
+    ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(1, from1).ok());
+    ASSERT_TRUE(peers_[0]->AbsorbBeliefBundle(2, from2).ok());
+    ASSERT_TRUE(guarded.AbsorbBeliefBundle(1, from1).ok());
+    ASSERT_TRUE(guarded.AbsorbBeliefBundle(2, from2).ok());
+    EXPECT_EQ(peers_[0]->ComputeRound(), guarded.ComputeRound());
+  }
+  EXPECT_EQ(peers_[0]->Posterior(MappingVarKey{edges_.m12, 0}),
+            guarded.Posterior(MappingVarKey{edges_.m12, 0}));
+  EXPECT_EQ(guarded.guard_rejected_entries(), 0u);
+  EXPECT_EQ(guarded.guard_demoted_links(), 0u);
 }
 
 TEST_F(PeerTest, ProcessQueryDeduplicatesByQueryId) {

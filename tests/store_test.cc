@@ -378,6 +378,111 @@ TEST(StateEpochTest, ValuePrecisionReKeysTheEpoch) {
             ComputeStateEpoch(pdms.graph(), shard_of, 2, exact_tail));
 }
 
+TEST(SnapshotCodecTest, GuardStateSurvivesTheRoundTrip) {
+  // A guarded shard crashed mid-demotion: link scores, demotion levels,
+  // rejection tallies, the per-slot admission history and the round clock
+  // must all restore exactly, or the replayed run would re-litigate — or
+  // forget — demotion decisions the original already made.
+  EngineOptions options;
+  options.byzantine_guard.enabled = true;
+  Pdms pdms = MakeIntroPdms(options);
+  NodeSnapshot snapshot = MakeSnapshot(pdms);
+
+  bool saw_links = false;
+  for (Peer::Image& peer : snapshot.engine.peers) {
+    peer.round = 29;
+    for (size_t l = 0; l < peer.links.size(); ++l) {
+      Peer::LinkImage& link = peer.links[l];
+      link.guard_score = 3.25 + static_cast<double>(l);
+      link.guard_demote_level = static_cast<uint32_t>(l % 3);
+      link.guard_rejections = 11 + l;
+      link.guard_equivocations = 5 + l;
+      link.guard_oscillations = 2 + l;
+      link.guard_outliers = 1 + l;
+      link.guard_dropped_bundles = 7 + l;
+      link.guard_round_influence = 0.5 * static_cast<double>(l);
+      link.guard_round_absorbed = static_cast<uint32_t>(l);
+      saw_links = true;
+    }
+    for (size_t s = 0; s < peer.guard_slot_pool.size(); ++s) {
+      Peer::GuardSlot& slot = peer.guard_slot_pool[s];
+      slot.last_log_odds = -1.5 + static_cast<double>(s);
+      slot.last_round = 28;
+      slot.flips = static_cast<uint8_t>(s % 4);
+      slot.last_dir = (s % 2 == 0) ? 1 : -1;
+      slot.has_last = true;
+    }
+  }
+  ASSERT_TRUE(saw_links);
+
+  Result<NodeSnapshot> decoded = DecodeSnapshot(EncodeSnapshot(snapshot));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  for (size_t p = 0; p < snapshot.engine.peers.size(); ++p) {
+    const Peer::Image& expected = snapshot.engine.peers[p];
+    const Peer::Image& restored = decoded.value().engine.peers[p];
+    EXPECT_EQ(restored.round, expected.round);
+    ASSERT_EQ(restored.links.size(), expected.links.size());
+    for (size_t l = 0; l < expected.links.size(); ++l) {
+      EXPECT_EQ(restored.links[l].guard_score, expected.links[l].guard_score);
+      EXPECT_EQ(restored.links[l].guard_demote_level,
+                expected.links[l].guard_demote_level);
+      EXPECT_EQ(restored.links[l].guard_rejections,
+                expected.links[l].guard_rejections);
+      EXPECT_EQ(restored.links[l].guard_equivocations,
+                expected.links[l].guard_equivocations);
+      EXPECT_EQ(restored.links[l].guard_oscillations,
+                expected.links[l].guard_oscillations);
+      EXPECT_EQ(restored.links[l].guard_outliers,
+                expected.links[l].guard_outliers);
+      EXPECT_EQ(restored.links[l].guard_dropped_bundles,
+                expected.links[l].guard_dropped_bundles);
+      EXPECT_EQ(restored.links[l].guard_round_influence,
+                expected.links[l].guard_round_influence);
+      EXPECT_EQ(restored.links[l].guard_round_absorbed,
+                expected.links[l].guard_round_absorbed);
+    }
+    ASSERT_EQ(restored.guard_slot_pool.size(), expected.guard_slot_pool.size());
+    for (size_t s = 0; s < expected.guard_slot_pool.size(); ++s) {
+      EXPECT_EQ(restored.guard_slot_pool[s].last_log_odds,
+                expected.guard_slot_pool[s].last_log_odds);
+      EXPECT_EQ(restored.guard_slot_pool[s].last_round,
+                expected.guard_slot_pool[s].last_round);
+      EXPECT_EQ(restored.guard_slot_pool[s].flips,
+                expected.guard_slot_pool[s].flips);
+      EXPECT_EQ(restored.guard_slot_pool[s].last_dir,
+                expected.guard_slot_pool[s].last_dir);
+      EXPECT_EQ(restored.guard_slot_pool[s].has_last,
+                expected.guard_slot_pool[s].has_last);
+    }
+  }
+}
+
+TEST(StateEpochTest, ByzantineKnobsReKeyTheEpoch) {
+  // The guard changes what gets absorbed and the chaos plan changes what
+  // gets sent: a snapshot taken under either configuration must never be
+  // resumed under another.
+  Pdms pdms = MakeIntroPdms();
+  const std::vector<uint32_t> shard_of = {0, 1, 0, 1};
+  const EngineOptions options = pdms.options();
+  const uint64_t epoch = ComputeStateEpoch(pdms.graph(), shard_of, 2, options);
+
+  EngineOptions guarded = options;
+  guarded.byzantine_guard.enabled = true;
+  const uint64_t guarded_epoch =
+      ComputeStateEpoch(pdms.graph(), shard_of, 2, guarded);
+  EXPECT_NE(epoch, guarded_epoch);
+
+  EngineOptions threshold = guarded;
+  threshold.byzantine_guard.soft_threshold += 1.0;
+  EXPECT_NE(guarded_epoch,
+            ComputeStateEpoch(pdms.graph(), shard_of, 2, threshold));
+
+  EngineOptions chaos = options;
+  chaos.byzantine.lie_probability = 0.25;
+  chaos.byzantine.adversaries = {1};
+  EXPECT_NE(epoch, ComputeStateEpoch(pdms.graph(), shard_of, 2, chaos));
+}
+
 TEST(StateEpochTest, ScheduleKnobsDoNotReKeyTheEpoch) {
   Pdms pdms = MakeIntroPdms();
   const std::vector<uint32_t> shard_of = {0, 0, 1, 1};

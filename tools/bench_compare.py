@@ -19,6 +19,14 @@ regression above `--tolerance` fails the run with a per-config report.
 A zero baseline (e.g. key_bytes_per_round once alias negotiation settles)
 is a hard floor: any nonzero current value counts as an unbounded
 regression rather than being silently skipped.
+
+When both files carry an `adversary_runs` section (schema v6+), the
+Byzantine-resilience floors are additionally re-checked on the CURRENT
+file regardless of the baseline: every adversarial row must keep
+demotion recall >= 0.95 and honest_posterior_delta <= 0.25, and the
+clean guarded row must keep false_positive_rate < 0.01. A current file
+that *dropped* the section while the baseline had it is an error — the
+resilience sweep must not silently disappear.
 """
 
 import argparse
@@ -41,7 +49,50 @@ def load_configs(path, peers_filter, parallelism_filter):
             continue
         configs[(row["topology"], row["peers"], row["parallelism"],
                  row.get("value_budget", 0))] = row
-    return data.get("schema_version"), configs
+    return data.get("schema_version"), configs, data
+
+
+RECALL_FLOOR = 0.95
+HONEST_DELTA_CEILING = 0.25
+FALSE_POSITIVE_CEILING = 0.01
+
+
+def check_adversary_runs(base_data, cur_data):
+    """Absolute Byzantine-resilience floors on the current file.
+
+    Returns the number of failures (0 = all floors hold or the section is
+    legitimately absent from both files).
+    """
+    base_runs = base_data.get("adversary_runs")
+    cur_runs = cur_data.get("adversary_runs")
+    if cur_runs is None:
+        if base_runs:
+            print("[FAIL] baseline has adversary_runs but current dropped "
+                  "the section")
+            return 1
+        return 0
+
+    failures = 0
+    for run in cur_runs:
+        fraction = run.get("byzantine_fraction", 0.0)
+        if run.get("adversary_count", 0) == 0:
+            fp = run.get("false_positive_rate", 0.0)
+            verdict = "FAIL" if fp >= FALSE_POSITIVE_CEILING else "ok"
+            print(f"[{verdict}] adversary clean run: false positives "
+                  f"{fp:.2%} (< {FALSE_POSITIVE_CEILING:.0%} required)")
+            failures += verdict == "FAIL"
+            continue
+        recall = run.get("demotion_recall", 0.0)
+        verdict = "FAIL" if recall < RECALL_FLOOR else "ok"
+        print(f"[{verdict}] adversary {fraction:.0%} run: demotion recall "
+              f"{recall:.2%} (>= {RECALL_FLOOR:.0%} required)")
+        failures += verdict == "FAIL"
+        delta = run.get("honest_posterior_delta", 0.0)
+        verdict = "FAIL" if delta > HONEST_DELTA_CEILING else "ok"
+        print(f"[{verdict}] adversary {fraction:.0%} run: honest posterior "
+              f"drift {delta:.3f} (<= {HONEST_DELTA_CEILING} required)")
+        failures += verdict == "FAIL"
+    return failures
 
 
 def regression(metric, base_value, cur_value):
@@ -71,10 +122,10 @@ def main():
                         help="only compare configs with this parallelism")
     args = parser.parse_args()
 
-    base_version, baseline = load_configs(args.baseline, args.peers,
-                                          args.parallelism)
-    cur_version, current = load_configs(args.current, args.peers,
-                                        args.parallelism)
+    base_version, baseline, base_data = load_configs(args.baseline, args.peers,
+                                                     args.parallelism)
+    cur_version, current, cur_data = load_configs(args.current, args.peers,
+                                                  args.parallelism)
     if base_version != cur_version:
         print(f"note: schema_version differs (baseline v{base_version}, "
               f"current v{cur_version}); comparing shared fields")
@@ -103,9 +154,13 @@ def main():
               f"{base_value:.1f} -> {cur_value:.1f} "
               f"(regression {delta:+.1%}, tolerance +{args.tolerance:.0%})")
 
-    if failures:
-        print(f"{failures}/{len(matched)} configs regressed on "
-              f"'{args.metric}'")
+    adversary_failures = check_adversary_runs(base_data, cur_data)
+    if failures or adversary_failures:
+        if failures:
+            print(f"{failures}/{len(matched)} configs regressed on "
+                  f"'{args.metric}'")
+        if adversary_failures:
+            print(f"{adversary_failures} Byzantine-resilience floors broken")
         return 1
     print(f"all {len(matched)} matched configs within tolerance")
     return 0

@@ -12,13 +12,25 @@
 //       [--state-dir=/tmp/run1/state] [--rejoin-grace-ms=0]
 //       [--chaos-seed=0 --chaos-drop=0 --chaos-duplicate=0 --chaos-reorder=0
 //        --chaos-corrupt=0 --chaos-link-kill=0] [--kill-after-round=0]
-//   pdms_node reference [--max-rounds=100]
+//       [--byzantine-guard=0] [--demote-threshold=6]
+//       [--chaos-lie-probability=0 --chaos-lie-seed=0 --chaos-lie-peers=]
+//   pdms_node reference [--max-rounds=100] [--byzantine-guard=0]
+//       [--demote-threshold=6]
+//       [--chaos-lie-probability=0 --chaos-lie-seed=0 --chaos-lie-peers=]
 //   pdms_node query --addr=127.0.0.1:PORT --origin=0 --ttl=3
 //       --text='SELECT <attr>'
 //
 // Chaos knobs (CI's node-chaos job): the --chaos-* rates inject seeded
 // frame-level faults on the TCP links — all masked by the retransmission
 // layer, so posteriors stay bitwise-identical to the fault-free run.
+//
+// Byzantine knobs: --byzantine-guard=1 turns on semantic belief admission
+// and per-neighbor misbehavior scoring; --demote-threshold sets the soft
+// demotion score (hard quarantine fires at twice that). The --chaos-lie-*
+// flags make the listed peers forge their outgoing belief values with the
+// given probability — seeded, so every shard of a run draws identically.
+// Guard and chaos config both fold into the state epoch: a node restarted
+// with different flags refuses its old snapshots.
 // --kill-after-round=K SIGKILLs this process right after round K (a real
 // crash, exit 137); peers with --heartbeat-ms/--quarantine-ms set detect
 // the silence, quarantine the dead shard and finish the run degraded.
@@ -43,7 +55,9 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -126,7 +140,91 @@ bool ParseRateFlag(int argc, char** argv, const char* name, double* out) {
   return true;
 }
 
-EngineOptions WorkloadOptions(double value_budget) {
+/// Strictly positive double flag (scores, thresholds).
+bool ParsePositiveFlag(int argc, char** argv, const char* name,
+                       const char* fallback, double* out) {
+  const std::string text = FlagValue(argc, argv, name, fallback);
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (!(value > 0.0) || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+/// Comma-separated peer-id list flag; empty means no peers. Every item
+/// must be a whole peer id below `peer_count` — sorted and deduplicated
+/// on return.
+bool ParsePeerListFlag(int argc, char** argv, const char* name,
+                       size_t peer_count, std::vector<PeerId>* out) {
+  const std::string text = FlagValue(argc, argv, name, "");
+  out->clear();
+  if (text.empty()) return true;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t comma = text.find(',', begin);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    uint64_t id = 0;
+    if (!ParseWholeUint(text.substr(begin, end - begin), &id) ||
+        id >= peer_count) {
+      return false;
+    }
+    out->push_back(static_cast<PeerId>(id));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+// The bibliographic workload is fixed at six ontologies; the Byzantine
+// flags validate peer ids against this up front.
+constexpr size_t kBibliographicPeers = 6;
+
+/// Byzantine-resilience flags shared by serve and reference mode, so a
+/// guarded shard run stays comparable against a guarded reference run.
+struct ByzantineCli {
+  bool guard = false;
+  double demote_threshold = 6.0;  // soft score; hard quarantine at 2x
+  double lie_probability = 0.0;
+  uint64_t lie_seed = 0;
+  std::vector<PeerId> lie_peers;
+};
+
+/// Parses the --byzantine-guard / --demote-threshold / --chaos-lie-*
+/// family. Returns 0 on success, a process exit code (usage error)
+/// otherwise.
+int ParseByzantineCli(int argc, char** argv, ByzantineCli* out) {
+  uint64_t guard64 = 0;
+  if (!ParseU64Flag(argc, argv, "byzantine-guard", "0", &guard64) ||
+      guard64 > 1) {
+    return UsageError("byzantine-guard", "0 or 1");
+  }
+  out->guard = guard64 == 1;
+  if (!ParsePositiveFlag(argc, argv, "demote-threshold", "6",
+                         &out->demote_threshold)) {
+    return UsageError("demote-threshold", "a positive score");
+  }
+  if (!ParseRateFlag(argc, argv, "chaos-lie-probability",
+                     &out->lie_probability)) {
+    return UsageError("chaos-lie-probability", "a probability in [0, 1]");
+  }
+  if (!ParseU64Flag(argc, argv, "chaos-lie-seed", "0", &out->lie_seed)) {
+    return UsageError("chaos-lie-seed", "a non-negative integer");
+  }
+  if (!ParsePeerListFlag(argc, argv, "chaos-lie-peers", kBibliographicPeers,
+                         &out->lie_peers)) {
+    return UsageError("chaos-lie-peers",
+                      "a comma-separated list of peer ids below 6");
+  }
+  return 0;
+}
+
+EngineOptions WorkloadOptions(double value_budget,
+                              const ByzantineCli& byzantine) {
   // Mirrors examples/bibliographic_alignment.cpp; period_ticks stays 1
   // (required by node mode) and the wire is lossless in both modes.
   EngineOptions options;
@@ -138,6 +236,16 @@ EngineOptions WorkloadOptions(double value_budget) {
   // Budget participates in the state epoch: a node restarted with a
   // different --value-error-budget refuses its old snapshots.
   options.value_precision.error_budget = value_budget;
+  if (byzantine.guard) {
+    options.byzantine_guard.enabled = true;
+    options.byzantine_guard.soft_threshold = byzantine.demote_threshold;
+    options.byzantine_guard.hard_threshold = 2.0 * byzantine.demote_threshold;
+  }
+  if (!byzantine.lie_peers.empty() && byzantine.lie_probability > 0.0) {
+    options.byzantine.seed = byzantine.lie_seed;
+    options.byzantine.lie_probability = byzantine.lie_probability;
+    options.byzantine.adversaries = byzantine.lie_peers;
+  }
   return options;
 }
 
@@ -169,8 +277,13 @@ int RunReference(int argc, char** argv) {
   if (!ParseRateFlag(argc, argv, "value-error-budget", &value_budget)) {
     return UsageError("value-error-budget", "a probability in [0, 1]");
   }
+  ByzantineCli byzantine;
+  if (const int usage = ParseByzantineCli(argc, argv, &byzantine);
+      usage != 0) {
+    return usage;
+  }
   bench::BibliographicPdms workload =
-      bench::MakeBibliographicPdms(WorkloadOptions(value_budget));
+      bench::MakeBibliographicPdms(WorkloadOptions(value_budget, byzantine));
   workload.pdms.session().Discover();
   workload.pdms.session().Converge(max_rounds);
   PrintOwnedPosteriors(workload.pdms, workload.family, nullptr);
@@ -243,6 +356,11 @@ int RunServe(int argc, char** argv) {
   if (!ParseRateFlag(argc, argv, "value-error-budget", &value_budget)) {
     return UsageError("value-error-budget", "a probability in [0, 1]");
   }
+  ByzantineCli byzantine;
+  if (const int usage = ParseByzantineCli(argc, argv, &byzantine);
+      usage != 0) {
+    return usage;
+  }
   if (shards == 0 || shard >= shards) {
     std::fprintf(stderr, "pdms_node: need 0 <= --shard < --shards\n");
     return 2;
@@ -263,10 +381,9 @@ int RunServe(int argc, char** argv) {
 
   // All processes build the identical workload deterministically; only
   // the shard assignment below decides which peers this one runs.
-  constexpr size_t kPeers = 6;  // the bibliographic family size
   SocketTransport* transport = nullptr;
   bench::BibliographicPdms workload = bench::MakeBibliographicPdms(
-      WorkloadOptions(value_budget),
+      WorkloadOptions(value_budget, byzantine),
       [&](size_t peer_count, const EngineOptions&)
           -> std::unique_ptr<Transport> {
         SocketTransportOptions transport_options;
@@ -294,7 +411,8 @@ int RunServe(int argc, char** argv) {
         transport = created->get();
         return std::move(created).value();
       });
-  if (transport == nullptr || workload.pdms.peer_count() != kPeers) {
+  if (transport == nullptr ||
+      workload.pdms.peer_count() != kBibliographicPeers) {
     std::fprintf(stderr, "pdms_node: workload construction failed\n");
     return 1;
   }
@@ -396,8 +514,12 @@ int RunServe(int argc, char** argv) {
   }
   Result<ConvergenceReport> converged = (*node)->RunRounds();
   if (!converged.ok()) return Fail(converged.status());
-  std::fprintf(stderr, "pdms_node: shard %u ran %zu rounds (converged=%d)\n",
-               shard, converged->rounds, converged->converged ? 1 : 0);
+  std::fprintf(stderr,
+               "pdms_node: shard %u ran %zu rounds (converged=%d "
+               "rejected_beliefs=%llu demoted_links=%llu)\n",
+               shard, converged->rounds, converged->converged ? 1 : 0,
+               static_cast<unsigned long long>((*node)->rejected_beliefs()),
+               static_cast<unsigned long long>((*node)->demoted_links()));
 
   PrintOwnedPosteriors((*node)->pdms(), workload.family,
                        &(*node)->transport());
